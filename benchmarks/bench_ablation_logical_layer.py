@@ -1,0 +1,110 @@
+"""Ablation: value of the logical-layer simulation (early abort, §2.2/§3.1.2).
+
+TROPIC simulates every transaction against the logical data model before
+touching devices, so constraint violations abort with *zero* device API
+calls.  A platform without that layer would discover the violation only
+when a device call fails (e.g. the hypervisor refusing to start an
+over-committed VM) and would then have to issue undo calls as well.
+
+This ablation quantifies the difference: for a batch of constraint-
+violating spawn requests it counts device API calls under (a) TROPIC and
+(b) a no-logical-layer baseline that replays the unchecked execution log
+directly against the devices and relies on the device's own admission
+checks.
+"""
+
+import pytest
+
+from repro.core.constraints import ConstraintEngine
+from repro.core.physical import PhysicalExecutor
+from repro.core.simulation import LogicalExecutor
+from repro.core.txn import Transaction, TransactionState
+from repro.datamodel.schema import ModelSchema
+from repro.metrics.report import ascii_table
+from repro.tcloud.entities import build_schema
+from repro.tcloud.inventory import build_inventory
+from repro.tcloud.procedures import build_procedures
+from repro.tcloud.service import build_tcloud
+
+from conftest import print_block
+
+VIOLATING_REQUESTS = 10
+
+
+def _schema_without_constraints() -> ModelSchema:
+    """The TCloud schema with every constraint stripped (baseline)."""
+    schema = build_schema()
+    for entity_type in schema.entity_types():
+        entity_type.constraints.clear()
+    return schema
+
+
+def _spawn_args(index: int, inventory, mem_mb: int) -> dict:
+    return {
+        "vm_name": f"abl-{index}",
+        "image_template": "template-small",
+        "storage_host": inventory.storage_hosts[0],
+        "vm_host": inventory.vm_hosts[0],
+        "mem_mb": mem_mb,
+    }
+
+
+def _device_calls(registry) -> int:
+    return sum(len(device.call_log) for _, device in registry.devices())
+
+
+def test_ablation_logical_layer_early_abort(benchmark):
+    # --- TROPIC: full platform with the logical layer -----------------------
+    cloud = build_tcloud(num_vm_hosts=2, num_storage_hosts=1, host_mem_mb=2048)
+    cloud.platform.start()
+    try:
+        tropic_inventory = cloud.inventory
+        before = _device_calls(tropic_inventory.registry)
+        outcomes = []
+        for index in range(VIOLATING_REQUESTS):
+            txn = cloud.platform.submit(
+                "spawnVM", _spawn_args(index, tropic_inventory, mem_mb=4096)
+            )
+            outcomes.append(txn.state)
+        tropic_calls = _device_calls(tropic_inventory.registry) - before
+        assert all(state is TransactionState.ABORTED for state in outcomes)
+    finally:
+        cloud.platform.stop()
+
+    # --- Baseline: no logical layer, devices discover the violation ---------
+    baseline_inventory = build_inventory(num_vm_hosts=2, num_storage_hosts=1,
+                                         host_mem_mb=2048)
+    unchecked_schema = _schema_without_constraints()
+    logical = LogicalExecutor(baseline_inventory.model, unchecked_schema,
+                              build_procedures(), ConstraintEngine(unchecked_schema))
+    physical = PhysicalExecutor(baseline_inventory.registry)
+    baseline_outcomes = []
+    for index in range(VIOLATING_REQUESTS):
+        txn = Transaction("spawnVM", _spawn_args(index, baseline_inventory, mem_mb=4096))
+        outcome = logical.simulate(txn)
+        assert outcome.ok  # nothing stops it without constraints
+        result = physical.execute(txn)
+        baseline_outcomes.append(result.outcome)
+        logical.rollback(txn)
+    baseline_calls = _device_calls(baseline_inventory.registry)
+
+    print_block(
+        ascii_table(
+            ("platform", "device API calls for 10 unsafe spawns", "outcome"),
+            [
+                ("TROPIC (logical-layer simulation)", tropic_calls,
+                 "aborted before any device call"),
+                ("baseline (no logical layer)", baseline_calls,
+                 "aborted by device admission check + undo calls"),
+            ],
+            title="Ablation — early abort in the logical layer avoids wasted device work",
+        )
+    )
+
+    # TROPIC issues zero device calls for unsafe requests; the baseline pays
+    # several calls (partial provisioning + undo) per request.
+    assert tropic_calls == 0
+    assert baseline_calls >= VIOLATING_REQUESTS * 4
+    assert all(outcome == "aborted" for outcome in baseline_outcomes)
+
+    benchmark(lambda: _device_calls(baseline_inventory.registry))

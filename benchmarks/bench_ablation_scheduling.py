@@ -1,0 +1,101 @@
+"""Ablation (§3.1.1 future work): FIFO vs aggressive scheduling policy.
+
+TROPIC's controller schedules todoQ with a plain FIFO policy: a head-of-
+queue transaction blocked by a resource conflict blocks everything behind
+it.  The paper mentions, as future work, a more aggressive policy that
+schedules transactions queued behind the conflicting one.  Both policies
+are implemented; this ablation submits a workload in which many
+transactions contend for one compute host while others target idle hosts,
+and compares how quickly each policy dispatches the non-conflicting work.
+"""
+
+import pytest
+
+from repro.common.config import TropicConfig
+from repro.core.txn import TransactionState
+from repro.metrics.report import ascii_table
+from repro.tcloud.service import build_tcloud
+
+from conftest import print_block
+
+CONTENDED_SPAWNS = 6
+INDEPENDENT_SPAWNS = 12
+
+
+def _run_policy(policy: str) -> dict:
+    config = TropicConfig(scheduler_policy=policy, logical_only=True,
+                          checkpoint_every=100_000)
+    cloud = build_tcloud(num_vm_hosts=INDEPENDENT_SPAWNS + 1, num_storage_hosts=4,
+                         host_mem_mb=65536, config=config, logical_only=True)
+    with cloud.platform:
+        platform = cloud.platform
+        requests = []
+        # Interleave contended and independent spawns so FIFO repeatedly finds
+        # a conflicting transaction at the head of todoQ.
+        for index in range(max(CONTENDED_SPAWNS, INDEPENDENT_SPAWNS)):
+            if index < CONTENDED_SPAWNS:
+                requests.append((f"hot-{index}", "/vmRoot/vmHost0",
+                                 "/storageRoot/storageHost0"))
+            if index < INDEPENDENT_SPAWNS:
+                requests.append((f"cold-{index}", f"/vmRoot/vmHost{index + 1}",
+                                 f"/storageRoot/storageHost{index % 4}"))
+        handles = [
+            platform.submit(
+                "spawnVM",
+                {"vm_name": name, "image_template": "template-small",
+                 "storage_host": storage, "vm_host": host, "mem_mb": 512},
+                wait=False,
+            )
+            for name, host, storage in requests
+        ]
+        # A single controller pass: how much work gets dispatched immediately?
+        controller = platform.leader()
+        controller.run_until_idle()
+        dispatched_first_pass = controller.outstanding_count()
+        deferred_first_pass = controller.stats["deferred"]
+        # Then drive to completion and make sure both policies finish everything.
+        platform.run_until_idle()
+        results = [handle.wait(timeout=60.0) for handle in handles]
+        committed = sum(txn.state is TransactionState.COMMITTED for txn in results)
+        return {
+            "policy": policy,
+            "dispatched_first_pass": dispatched_first_pass,
+            "deferred_first_pass": deferred_first_pass,
+            "committed": committed,
+            "total": len(results),
+            "defer_events": platform.controller_stats()["deferred"],
+        }
+
+
+@pytest.fixture(scope="module")
+def policy_results():
+    return {policy: _run_policy(policy) for policy in ("fifo", "aggressive")}
+
+
+def test_ablation_scheduling_policies(benchmark, policy_results):
+    fifo = policy_results["fifo"]
+    aggressive = policy_results["aggressive"]
+    print_block(
+        ascii_table(
+            ("policy", "dispatched after first pass", "deferred after first pass",
+             "committed / total", "total defer events"),
+            [
+                (entry["policy"], entry["dispatched_first_pass"],
+                 entry["deferred_first_pass"],
+                 f"{entry['committed']}/{entry['total']}", entry["defer_events"])
+                for entry in (fifo, aggressive)
+            ],
+            title="Ablation — FIFO vs aggressive todoQ scheduling "
+                  "(contended + independent spawn mix)",
+        )
+    )
+    # Both policies eventually commit the whole workload (safety is unaffected).
+    assert fifo["committed"] == fifo["total"]
+    assert aggressive["committed"] == aggressive["total"]
+    # The aggressive policy dispatches at least as much non-conflicting work in
+    # the first scheduling pass as FIFO, typically strictly more.
+    assert aggressive["dispatched_first_pass"] >= fifo["dispatched_first_pass"]
+
+    benchmark.pedantic(
+        lambda: (fifo["committed"], aggressive["committed"]), rounds=1, iterations=1
+    )

@@ -1,0 +1,169 @@
+"""Figures 4 and 5: controller CPU utilisation and transaction latency under
+the EC2 workload at 1x-5x intensity (§6.1).
+
+The paper replays a 1-hour EC2 trace against a logical-only TROPIC
+deployment managing 12,500 compute servers (100,000 VMs) and reports
+
+* Figure 4 — controller CPU utilisation tracks the workload and rises
+  roughly linearly with the workload multiplier, staying below saturation
+  (54% at 5x),
+* Figure 5 — the CDF of transaction latency: sub-second medians for all
+  multipliers, with 4x/5x developing a heavier tail around the workload
+  peak.
+
+This reproduction replays a time-compressed window of the synthesised trace
+against the threaded runtime in logical-only mode and checks the same
+shape: the controller busy fraction grows with the multiplier, and the
+median latency is low for 1x and grows monotonically toward 5x.  Scale is
+controlled by the TROPIC_BENCH_* environment variables (see conftest).
+"""
+
+import pytest
+
+from repro.common.config import TropicConfig
+from repro.metrics.report import ascii_table, format_cdf, format_series
+from repro.metrics.stats import cdf_points, linear_correlation, percentile, summary
+from repro.tcloud.service import build_tcloud
+from repro.workloads.ec2 import EC2TraceParams, ec2_spawn_trace
+from repro.workloads.loadgen import LoadGenerator
+
+from conftest import print_block
+
+
+def _run_one_multiplier(multiplier: int, scale: dict) -> dict:
+    """Replay the scaled EC2 trace at one intensity on a fresh deployment."""
+    params = EC2TraceParams().scaled_to(scale["window_s"])
+    trace = ec2_spawn_trace(params, mem_mb=512).scaled(multiplier)
+    config = TropicConfig(
+        num_controllers=1,
+        num_workers=2,
+        logical_only=True,
+        checkpoint_every=100_000,
+        queue_poll_interval=0.001,
+        heartbeat_interval=0.2,
+        session_timeout=2.0,
+    )
+    cloud = build_tcloud(
+        num_vm_hosts=scale["hosts"],
+        num_storage_hosts=scale["storage_hosts"],
+        host_mem_mb=65536,
+        config=config,
+        threaded=True,
+        logical_only=True,
+    )
+    with cloud.platform:
+        # Pre-bind spawns round-robin across the fleet: the paper's setup
+        # statically assigns 8 VMs to each of 12,500 compute servers, so
+        # placement is not part of the measured orchestration cost.
+        generator = LoadGenerator(cloud, prebind_spawns=True)
+        result = generator.replay_async(
+            trace,
+            compression=scale["compression"],
+            utilization_bucket_s=max(scale["window_s"] / 10.0, 1.0),
+            wait_timeout=300.0,
+        )
+    return {
+        "multiplier": multiplier,
+        "result": result,
+        "avg_util": (sum(u for _, u in result.utilization) / len(result.utilization))
+        if result.utilization
+        else 0.0,
+        "peak_util": max((u for _, u in result.utilization), default=0.0),
+        "median_latency": percentile(result.latencies, 50) if result.latencies else 0.0,
+        "p95_latency": percentile(result.latencies, 95) if result.latencies else 0.0,
+    }
+
+
+@pytest.fixture(scope="module")
+def ec2_sweep(bench_scale):
+    """Run the 1x..5x sweep once and share it between the Fig 4 and Fig 5 checks."""
+    return [_run_one_multiplier(m, bench_scale) for m in bench_scale["multipliers"]]
+
+
+def test_fig4_controller_cpu_utilisation(benchmark, ec2_sweep, bench_scale):
+    rows = []
+    for entry in ec2_sweep:
+        rows.append(
+            (
+                f"{entry['multiplier']}x EC2",
+                f"{entry['avg_util'] * 100:.1f}%",
+                f"{entry['peak_util'] * 100:.1f}%",
+                entry["result"].submitted,
+                entry["result"].committed,
+            )
+        )
+    print_block(
+        ascii_table(
+            ("workload", "avg controller util", "peak controller util", "submitted", "committed"),
+            rows,
+            title="Figure 4 — controller CPU utilisation (busy-fraction proxy) vs workload",
+        )
+        + "\n\n"
+        + format_series(
+            ec2_sweep[-1]["result"].utilization,
+            x_label="trace time (s)",
+            y_label="busy fraction",
+            title=f"Figure 4 — utilisation over time at {ec2_sweep[-1]['multiplier']}x",
+        )
+    )
+
+    multipliers = [float(e["multiplier"]) for e in ec2_sweep]
+    utils = [e["avg_util"] for e in ec2_sweep]
+    # Shape: utilisation rises with the workload multiplier.  Compare the two
+    # heaviest multipliers against the two lightest (robust to per-bucket
+    # sampling noise) and require a positive overall trend.
+    light = (utils[0] + utils[1]) / 2
+    heavy = (utils[-1] + utils[-2]) / 2
+    assert heavy > light
+    assert linear_correlation(multipliers, utils) > 0.5
+    # Most transactions commit at every multiplier.
+    for entry in ec2_sweep:
+        assert entry["result"].commit_ratio > 0.9
+
+    # Benchmark the sampling/aggregation step itself (negligible vs the replay).
+    benchmark(lambda: [summary(e["result"].latencies) for e in ec2_sweep])
+
+
+def test_fig5_transaction_latency_cdf(benchmark, ec2_sweep):
+    blocks = []
+    rows = []
+    for entry in ec2_sweep:
+        latencies = entry["result"].latencies
+        points = cdf_points(latencies)
+        blocks.append(
+            format_cdf(points, title=f"Figure 5 — latency CDF, {entry['multiplier']}x EC2")
+        )
+        rows.append(
+            (
+                f"{entry['multiplier']}x EC2",
+                len(latencies),
+                f"{entry['median_latency'] * 1000:.1f}",
+                f"{entry['p95_latency'] * 1000:.1f}",
+            )
+        )
+    print_block(
+        "\n\n".join(blocks)
+        + "\n\n"
+        + ascii_table(
+            ("workload", "transactions", "median (ms)", "p95 (ms)"),
+            rows,
+            title="Figure 5 — transaction latency summary",
+        )
+    )
+
+    medians = [entry["median_latency"] for entry in ec2_sweep]
+    p95s = [entry["p95_latency"] for entry in ec2_sweep]
+    # Shape (paper, Figure 5): 1x latency is almost negligible, medians stay
+    # low at light load, and 4x/5x develop markedly higher latency with a
+    # heavy tail caused by the workload peak.  The absolute sub-second
+    # median the paper reports at 4x/5x is not expected here: the replay is
+    # time-compressed, so the heavy multipliers push the single Python
+    # controller past saturation around the peak (see EXPERIMENTS.md).
+    assert medians[0] < 1.0
+    assert medians[1] < 1.0
+    light = (medians[0] + medians[1]) / 2
+    heavy = (medians[-1] + medians[-2]) / 2
+    assert heavy >= light
+    assert max(p95s[-2:]) >= max(p95s[:2])
+
+    benchmark(lambda: [cdf_points(e["result"].latencies) for e in ec2_sweep])

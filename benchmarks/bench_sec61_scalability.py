@@ -1,0 +1,138 @@
+"""§6.1 (text): transaction throughput and memory footprint vs resource scale.
+
+The paper reports that TROPIC's transaction throughput stays roughly
+constant as the number of managed resources grows, because the dominant
+costs (locking, queue management, coordination I/O) are independent of the
+fleet size; the real scalability bottleneck is controller memory, which
+grows with the quantity of managed resources (about 2 million VMs fit in
+32 GB on their hardware).
+
+This benchmark processes a fixed batch of spawn transactions (hosts pinned
+round-robin, logical-only mode) against fleets of increasing size and
+checks that throughput does not degrade appreciably while the estimated
+memory footprint of the logical data model grows roughly linearly.
+"""
+
+import time
+
+import pytest
+
+from repro.common.config import TropicConfig
+from repro.metrics.collectors import MemoryEstimator
+from repro.metrics.report import ascii_table
+from repro.tcloud.service import build_tcloud
+
+from conftest import env_int, print_block
+
+FLEET_SIZES = [env_int("TROPIC_BENCH_SCALE_SMALL", 50),
+               env_int("TROPIC_BENCH_SCALE_MEDIUM", 200),
+               env_int("TROPIC_BENCH_SCALE_LARGE", 800)]
+TXN_BATCH = env_int("TROPIC_BENCH_SCALE_TXNS", 150)
+
+
+def _run_fleet(num_hosts: int) -> dict:
+    config = TropicConfig(logical_only=True, checkpoint_every=100_000)
+    cloud = build_tcloud(
+        num_vm_hosts=num_hosts,
+        num_storage_hosts=max(num_hosts // 4, 1),
+        host_mem_mb=65536,
+        config=config,
+        logical_only=True,
+    )
+    with cloud.platform:
+        model = cloud.platform.leader().model
+        resources_before = model.count()
+        start = time.perf_counter()
+        handles = []
+        for index in range(TXN_BATCH):
+            host = cloud.inventory.vm_hosts[index % num_hosts]
+            storage = cloud.inventory.storage_hosts[index % len(cloud.inventory.storage_hosts)]
+            handles.append(
+                cloud.platform.submit(
+                    "spawnVM",
+                    {
+                        "vm_name": f"scale-vm-{index}",
+                        "image_template": "template-small",
+                        "storage_host": storage,
+                        "vm_host": host,
+                        "mem_mb": 512,
+                    },
+                    wait=False,
+                )
+            )
+        cloud.platform.run_until_idle()
+        results = [handle.wait(timeout=60.0) for handle in handles]
+        elapsed = time.perf_counter() - start
+        committed = sum(txn.state.value == "committed" for txn in results)
+        memory_bytes = MemoryEstimator.estimate_bytes(model)
+        return {
+            "hosts": num_hosts,
+            "resources": model.count(),
+            "resources_initial": resources_before,
+            "throughput": committed / elapsed,
+            "committed": committed,
+            "memory_mb": memory_bytes / 1e6,
+            "bytes_per_resource": MemoryEstimator.bytes_per_resource(model),
+        }
+
+
+@pytest.fixture(scope="module")
+def scalability_results():
+    return [_run_fleet(size) for size in FLEET_SIZES]
+
+
+def test_sec61_throughput_constant_with_scale(benchmark, scalability_results):
+    rows = [
+        (
+            entry["hosts"],
+            entry["resources"],
+            f"{entry['throughput']:.1f}",
+            entry["committed"],
+            f"{entry['memory_mb']:.2f}",
+        )
+        for entry in scalability_results
+    ]
+    print_block(
+        ascii_table(
+            ("compute hosts", "managed resources", "throughput (txn/s)", "committed",
+             "model memory (MB)"),
+            rows,
+            title="§6.1 — throughput and controller memory vs resource scale",
+        )
+    )
+
+    throughputs = [entry["throughput"] for entry in scalability_results]
+    # Shape: throughput is roughly flat — the largest fleet achieves at least
+    # half the throughput of the smallest (the paper reports it constant).
+    assert min(throughputs) > 0
+    assert throughputs[-1] >= 0.5 * throughputs[0]
+    # All transactions commit at every scale.
+    for entry in scalability_results:
+        assert entry["committed"] == TXN_BATCH
+
+    benchmark(lambda: [e["throughput"] for e in scalability_results])
+
+
+def test_sec61_memory_grows_with_resources(benchmark, scalability_results):
+    memory = [entry["memory_mb"] for entry in scalability_results]
+    resources = [entry["resources"] for entry in scalability_results]
+    rows = [
+        (entry["hosts"], entry["resources"], f"{entry['memory_mb']:.2f}",
+         f"{entry['bytes_per_resource']:.0f}")
+        for entry in scalability_results
+    ]
+    print_block(
+        ascii_table(
+            ("compute hosts", "managed resources", "model memory (MB)", "bytes / resource"),
+            rows,
+            title="§6.1 — memory footprint is dominated by managed resources",
+        )
+    )
+    # Shape: memory grows with the number of managed resources...
+    assert memory[-1] > memory[0] * 2
+    # ...and roughly proportionally (constant bytes per resource within 2x,
+    # measured against the post-workload model size).
+    per_resource = [m * 1e6 / r for m, r in zip(memory, resources)]
+    assert max(per_resource) < 2 * min(per_resource)
+
+    benchmark(lambda: MemoryEstimator.node_count.__name__)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""EC2-workload replay: concurrency and performance measurement (§6.1).
+
+Synthesises the EC2 spawn trace calibrated to the paper's published
+statistics, replays a time-compressed window of it against a logical-only
+TROPIC deployment (the mode the paper uses for its large-scale performance
+experiments), and prints the controller-utilisation series (Figure 4) and
+the transaction-latency CDF (Figure 5) for the replayed window.
+
+Run with:  python examples/ec2_workload_replay.py [window_seconds] [multiplier]
+"""
+
+import sys
+
+from repro.common.config import TropicConfig
+from repro.metrics.report import format_cdf, format_series
+from repro.metrics.stats import cdf_points, summary
+from repro.tcloud import build_tcloud
+from repro.workloads import EC2TraceParams, LoadGenerator, ec2_spawn_trace
+
+
+def main() -> None:
+    window_s = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    multiplier = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    compression = 6.0
+
+    params = EC2TraceParams().scaled_to(window_s)
+    trace = ec2_spawn_trace(params, mem_mb=512).scaled(multiplier)
+    stats = trace.stats()
+    print(f"trace window: {window_s}s of the 1-hour EC2 trace, x{multiplier} intensity")
+    print(f"  spawns: {stats.total_events}, mean rate {stats.mean_rate:.2f}/s, "
+          f"peak {stats.peak_rate}/s")
+    print(f"  replayed with time compression x{compression}\n")
+
+    config = TropicConfig(
+        num_controllers=1,
+        num_workers=2,
+        logical_only=True,
+        checkpoint_every=100_000,
+        heartbeat_interval=0.2,
+        session_timeout=2.0,
+    )
+    cloud = build_tcloud(num_vm_hosts=100, num_storage_hosts=25, host_mem_mb=65536,
+                         config=config, threaded=True, logical_only=True)
+    with cloud.platform:
+        generator = LoadGenerator(cloud)
+        result = generator.replay_async(trace, compression=compression,
+                                        utilization_bucket_s=window_s / 10.0)
+
+    print(f"submitted {result.submitted}, committed {result.committed}, "
+          f"aborted {result.aborted} in {result.wall_seconds:.1f}s wall time "
+          f"({result.throughput:.1f} committed txn/s)\n")
+
+    print(format_series(result.utilization, x_label="trace time (s)",
+                        y_label="busy fraction",
+                        title="Controller utilisation over the replayed window (cf. Figure 4)"))
+    print()
+    print(format_cdf(cdf_points(result.latencies),
+                     title="Transaction latency CDF (cf. Figure 5)"))
+    print()
+    print(f"latency summary (s): {summary(result.latencies)}")
+
+
+if __name__ == "__main__":
+    main()

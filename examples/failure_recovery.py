@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Robustness and volatility demo: rollback, undo failure, repair and reload.
+
+Reproduces, end to end, the §3.2/§4 scenarios of the paper:
+
+1. a device fault in the last step of a spawn triggers undo of the whole
+   execution log — the aborted transaction leaves no trace in either layer;
+2. an undo failure produces a *failed* transaction and a fenced subtree;
+3. an out-of-band host reboot (all VMs powered off) is detected and fixed
+   by ``repair`` (logical → physical);
+4. an operator installing a new image template out of band is adopted by
+   ``reload`` (physical → logical).
+
+Run with:  python examples/failure_recovery.py
+"""
+
+from repro.tcloud import build_tcloud
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    cloud = build_tcloud(num_vm_hosts=3, num_storage_hosts=2, host_mem_mb=8192)
+
+    with cloud.platform:
+        registry = cloud.inventory.registry
+        host0 = registry.device_at("/vmRoot/vmHost0")
+        host1 = registry.device_at("/vmRoot/vmHost1")
+        storage1 = registry.device_at("/storageRoot/storageHost1")
+
+        banner("1. Device fault in the last step -> atomic rollback")
+        host0.faults.fail_next("startVM", message="hypervisor crashed")
+        txn = cloud.spawn_vm("unlucky", vm_host="/vmRoot/vmHost0",
+                             storage_host="/storageRoot/storageHost0")
+        print(f"spawn outcome: {txn.state.value} ({txn.error})")
+        print(f"VM left on host?        {host0.vm_state('unlucky')}")
+        print(f"image left on storage?  "
+              f"{registry.device_at('/storageRoot/storageHost0').has_image('unlucky-disk')}")
+        print(f"cross-layer divergence: {len(cloud.platform.reconciler().detect())} deltas")
+
+        banner("2. Undo failure -> failed transaction, fenced subtree")
+        host1.faults.fail_next("startVM", message="hypervisor crashed")
+        host1.faults.fail_next("removeVM", message="undo failed too")
+        txn = cloud.spawn_vm("cursed", vm_host="/vmRoot/vmHost1",
+                             storage_host="/storageRoot/storageHost1")
+        print(f"spawn outcome: {txn.state.value} ({txn.error})")
+        leader = cloud.platform.leader()
+        print(f"host fenced? {leader.model.is_fenced('/vmRoot/vmHost1')}")
+        blocked = cloud.spawn_vm("blocked", vm_host="/vmRoot/vmHost1",
+                                 storage_host="/storageRoot/storageHost1")
+        print(f"new transaction on the fenced host: {blocked.state.value}")
+
+        banner("   ... repair reconciles the fenced host")
+        report = cloud.platform.repair("/vmRoot/vmHost1")
+        print(f"repair actions: {report.actions_executed}")
+        print(f"host fenced after repair? {leader.model.is_fenced('/vmRoot/vmHost1')}")
+        retried = cloud.spawn_vm("retried", vm_host="/vmRoot/vmHost1",
+                                 storage_host="/storageRoot/storageHost1")
+        print(f"retried spawn: {retried.state.value}")
+
+        banner("3. Out-of-band host reboot -> repair restarts the VMs")
+        for index in range(3):
+            cloud.spawn_vm(f"svc-{index}", vm_host="/vmRoot/vmHost2", mem_mb=512)
+        host2 = registry.device_at("/vmRoot/vmHost2")
+        host2.power_cycle()
+        print(f"VM states after reboot : "
+              f"{[host2.vm_state(f'svc-{i}') for i in range(3)]}")
+        report = cloud.platform.repair("/vmRoot/vmHost2")
+        print(f"repair actions         : {[a for _, a, _ in report.actions_executed]}")
+        print(f"VM states after repair : "
+              f"{[host2.vm_state(f'svc-{i}') for i in range(3)]}")
+
+        banner("4. Out-of-band template install -> reload adopts it")
+        storage1.add_template("template-gpu", size_gb=48.0)
+        result = cloud.platform.reload("/storageRoot/storageHost1")
+        print(f"reload applied: {result.applied}")
+        gpu_vm = cloud.spawn_vm("gpu-1", image_template="template-gpu",
+                                storage_host="/storageRoot/storageHost1")
+        print(f"spawn from the new template: {gpu_vm.state.value}")
+
+        banner("Final state")
+        print(f"VMs: {[r.name for r in cloud.list_vms()]}")
+        print(f"controller stats: {cloud.platform.controller_stats()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is configured in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools lacks the
+``bdist_wheel`` command needed by PEP 517 editable installs (use
+``pip install -e . --no-use-pep517 --no-build-isolation`` there).
+"""
+
+from setuptools import setup
+
+setup()

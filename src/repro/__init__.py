@@ -1,0 +1,64 @@
+"""Reproduction of TROPIC: Transactional Resource Orchestration Platform in
+the Cloud (Liu et al., USENIX ATC 2012).
+
+The package is organised as:
+
+* :mod:`repro.core` — the transactional orchestration engine (controllers,
+  workers, locks, constraints, reconciliation, high availability) and the
+  :class:`~repro.core.platform.TropicPlatform` public API;
+* :mod:`repro.datamodel` — the hierarchical resource data model;
+* :mod:`repro.coordination` — the ZooKeeper-like coordination substrate;
+* :mod:`repro.drivers` — mock compute/storage/network devices;
+* :mod:`repro.tcloud` — the EC2-like TCloud service built on TROPIC,
+  including composite multi-VM orchestrations;
+* :mod:`repro.gateway` — the multi-tenant API service gateway (auth,
+  quotas, namespacing, audit);
+* :mod:`repro.workloads` — EC2 and hosting-provider workload generators;
+* :mod:`repro.metrics` — statistics collectors and report rendering;
+* :mod:`repro.cli` — the ``tropic-demo`` operator console.
+
+Quickstart::
+
+    from repro.tcloud import build_tcloud
+
+    cloud = build_tcloud(num_vm_hosts=4, num_storage_hosts=2)
+    with cloud.platform:
+        result = cloud.spawn_vm("vm1", image_template="template-small")
+        print(result.state)          # TransactionState.COMMITTED
+        print(result.log.format_table())
+"""
+
+from repro.common.config import TropicConfig
+from repro.common.errors import (
+    ConstraintViolation,
+    LockConflict,
+    ReproError,
+    TransactionAborted,
+    TransactionFailed,
+)
+from repro.core.platform import TransactionHandle, TropicPlatform
+from repro.core.procedures import ProcedureRegistry, procedure
+from repro.core.txn import Transaction, TransactionState
+from repro.datamodel.schema import EntityType, ModelSchema
+from repro.datamodel.tree import DataModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TropicConfig",
+    "TropicPlatform",
+    "TransactionHandle",
+    "Transaction",
+    "TransactionState",
+    "ProcedureRegistry",
+    "procedure",
+    "ModelSchema",
+    "EntityType",
+    "DataModel",
+    "ReproError",
+    "ConstraintViolation",
+    "LockConflict",
+    "TransactionAborted",
+    "TransactionFailed",
+    "__version__",
+]

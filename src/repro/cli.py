@@ -1,0 +1,261 @@
+"""Operator console for the TROPIC reproduction.
+
+``tropic-demo`` (or ``python -m repro.cli``) builds an in-memory TCloud
+deployment and runs self-contained demonstrations of the paper's
+mechanisms from the command line:
+
+* ``table1``       — print the spawnVM execution log (Table 1);
+* ``lifecycle``    — spawn / migrate / constraint-abort / destroy walkthrough;
+* ``replay-ec2``   — replay a scaled EC2 spawn trace and report Figure 4/5
+  style metrics (controller busy fraction, latency percentiles);
+* ``replay-hosting`` — replay the hosting-provider operation mix (§6.2);
+* ``failover``     — kill the lead controller mid-workload and report the
+  recovery time (§6.4);
+* ``repair-drill`` — power-cycle a host out of band and repair it (§4);
+* ``inventory``    — print the fleet and per-host utilisation.
+
+Every command prints its transactions' outcomes; nothing persists between
+invocations (the coordination service and devices are simulated in
+process), which makes the console safe to run anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.common.config import TropicConfig
+from repro.core.txn import TransactionState
+from repro.metrics.report import ascii_table
+from repro.metrics.stats import percentile
+from repro.tcloud.service import TCloud, build_tcloud
+from repro.workloads.ec2 import EC2TraceParams, ec2_spawn_trace
+from repro.workloads.hosting import HostingTraceParams, hosting_trace
+from repro.workloads.loadgen import LoadGenerator
+
+
+def _build_cloud(args: argparse.Namespace, threaded: bool = False,
+                 logical_only: bool = False) -> TCloud:
+    config = TropicConfig(
+        num_controllers=3 if threaded else 1,
+        num_workers=2,
+        logical_only=logical_only,
+        heartbeat_interval=0.05,
+        session_timeout=0.5,
+        queue_poll_interval=0.002,
+    )
+    return build_tcloud(
+        num_vm_hosts=args.hosts,
+        num_storage_hosts=max(1, args.hosts // 4),
+        host_mem_mb=args.host_mem_mb,
+        config=config,
+        threaded=threaded,
+        logical_only=logical_only,
+    )
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Print the execution log of one spawnVM transaction (Table 1)."""
+    cloud = _build_cloud(args)
+    with cloud.platform:
+        txn = cloud.spawn_vm("vm1", image_template="template-small", mem_mb=1024)
+        print(f"spawnVM transaction {txn.txid}: {txn.state.value}")
+        print()
+        print(txn.log.format_table())
+    return 0
+
+
+def cmd_lifecycle(args: argparse.Namespace) -> int:
+    """Spawn, migrate, violate a constraint, and destroy — end to end."""
+    cloud = _build_cloud(args)
+    with cloud.platform:
+        spawn = cloud.spawn_vm("web-1", mem_mb=1024)
+        print(f"spawn:    {spawn.state.value}")
+        migrate = cloud.migrate_vm("web-1")
+        print(f"migrate:  {migrate.state.value} -> {cloud.find_vm('web-1').host}")
+        doomed = cloud.spawn_vm("whale", mem_mb=args.host_mem_mb * 2,
+                                vm_host=cloud.inventory.vm_hosts[0],
+                                storage_host=cloud.inventory.storage_hosts[0])
+        print(f"oversized spawn: {doomed.state.value} ({doomed.error})")
+        destroy = cloud.destroy_vm("web-1")
+        print(f"destroy:  {destroy.state.value}")
+        print(f"VMs left: {cloud.vm_count()}")
+        print(f"cross-layer divergence: "
+              f"{len(cloud.platform.reconciler().detect().all_deltas())} node(s)")
+    return 0
+
+
+def cmd_replay_ec2(args: argparse.Namespace) -> int:
+    """Replay a scaled EC2 spawn trace (Figures 3-5 style metrics)."""
+    cloud = _build_cloud(args, threaded=True, logical_only=True)
+    params = EC2TraceParams().scaled_to(args.window)
+    trace = ec2_spawn_trace(params, mem_mb=512).scaled(args.multiplier)
+    print(f"replaying {len(trace)} spawn requests "
+          f"({args.multiplier}x EC2, {args.window}s window, "
+          f"compression {args.compression}x)")
+    with cloud.platform:
+        generator = LoadGenerator(cloud, prebind_spawns=True)
+        result = generator.replay_async(trace, compression=args.compression,
+                                        utilization_bucket_s=max(args.window / 10, 1.0))
+    rows = [
+        ("submitted", result.submitted),
+        ("committed", result.committed),
+        ("aborted", result.aborted),
+        ("throughput (txn/s)", f"{result.throughput:.1f}"),
+        ("median latency (ms)", f"{percentile(result.latencies, 50) * 1000:.1f}"),
+        ("p95 latency (ms)", f"{percentile(result.latencies, 95) * 1000:.1f}"),
+        ("avg controller busy fraction",
+         f"{sum(u for _, u in result.utilization) / max(len(result.utilization), 1):.2f}"),
+    ]
+    print(ascii_table(("metric", "value"), rows, title="EC2 replay"))
+    return 0
+
+
+def cmd_replay_hosting(args: argparse.Namespace) -> int:
+    """Replay the hosting-provider operation mix (§6.2)."""
+    cloud = _build_cloud(args)
+    trace = hosting_trace(HostingTraceParams(duration_s=args.window,
+                                             num_operations=args.operations))
+    with cloud.platform:
+        generator = LoadGenerator(cloud)
+        result = generator.replay_sync(trace)
+        stats = cloud.platform.controller_stats()
+    mix = trace.stats().mix
+    rows = [
+        ("operation mix", ", ".join(f"{op}:{n}" for op, n in sorted(mix.items()))),
+        ("submitted", result.submitted),
+        ("committed", result.committed),
+        ("aborted", result.aborted),
+        ("deferred (lock conflicts)", stats.get("deferred", 0)),
+        ("median latency (ms)", f"{percentile(result.latencies, 50) * 1000:.1f}"),
+    ]
+    print(ascii_table(("metric", "value"), rows, title="hosting-workload replay"))
+    return 0
+
+
+def cmd_failover(args: argparse.Namespace) -> int:
+    """Kill the lead controller mid-workload and measure recovery (§6.4)."""
+    cloud = _build_cloud(args, threaded=True)
+    clock = cloud.platform.clock
+    with cloud.platform:
+        for index in range(args.operations):
+            cloud.spawn_vm(f"pre-{index}", mem_mb=256)
+        handles = [cloud.spawn_vm(f"inflight-{i}", mem_mb=256, wait=False)
+                   for i in range(5)]
+        killed_at = clock.now()
+        killed = cloud.platform.kill_leader()
+        print(f"killed lead controller: {killed}")
+        outcomes = [h.wait(timeout=30.0) for h in handles]
+        recovered_at = clock.now()
+        lost = [t for t in outcomes if t.state is not TransactionState.COMMITTED]
+        print(f"in-flight transactions committed after failover: "
+              f"{len(outcomes) - len(lost)}/{len(outcomes)}")
+        print(f"time from kill to all in-flight transactions finished: "
+              f"{recovered_at - killed_at:.2f}s")
+        print(f"new leader: {cloud.platform.leader().name}")
+    return 0 if not lost else 1
+
+
+def cmd_repair_drill(args: argparse.Namespace) -> int:
+    """Simulate an out-of-band host reboot and repair it (§4)."""
+    cloud = _build_cloud(args)
+    with cloud.platform:
+        for index in range(3):
+            cloud.spawn_vm(f"svc-{index}", vm_host=cloud.inventory.vm_hosts[0], mem_mb=256)
+        device = cloud.inventory.registry.device_at(cloud.inventory.vm_hosts[0])
+        device.power_cycle()
+        diff = cloud.platform.reconciler().detect()
+        print(f"divergence after out-of-band reboot: {len(diff.all_deltas())} node(s)")
+        report = cloud.platform.repair(cloud.inventory.vm_hosts[0])
+        print(f"repair actions executed: {[a for _, a, _ in report.actions_executed]}")
+        print(f"repair clean: {report.clean}")
+        print(f"layers back in sync: {cloud.platform.reconciler().detect().is_empty}")
+    return 0
+
+
+def cmd_inventory(args: argparse.Namespace) -> int:
+    """Print the fleet layout and per-host utilisation."""
+    cloud = _build_cloud(args)
+    with cloud.platform:
+        for index in range(args.operations):
+            cloud.spawn_vm(f"seed-{index}", mem_mb=512)
+        rows = []
+        for host, info in sorted(cloud.host_utilisation().items()):
+            rows.append((host, info["running"], f"{info['mem_used_mb']}/{info['mem_mb']} MB"))
+        print(ascii_table(("compute host", "running VMs", "memory"), rows,
+                          title="fleet utilisation"))
+        print(f"\nstorage hosts: {len(cloud.inventory.storage_hosts)}   "
+              f"routers: {len(cloud.inventory.routers)}   "
+              f"resources in the data model: {cloud.platform.resource_count()}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tropic-demo",
+        description="Self-contained demonstrations of the TROPIC reproduction.",
+    )
+    parser.add_argument("--hosts", type=int, default=4,
+                        help="number of compute hosts in the simulated fleet")
+    parser.add_argument("--host-mem-mb", type=int, default=8192,
+                        help="memory capacity of each compute host (MB)")
+
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the spawnVM execution log (Table 1)")
+    sub.add_parser("lifecycle", help="VM life-cycle walkthrough with a constraint abort")
+
+    replay = sub.add_parser("replay-ec2", help="replay a scaled EC2 spawn trace")
+    replay.add_argument("--window", type=int, default=60,
+                        help="trace window in seconds (paper: 3600)")
+    replay.add_argument("--multiplier", type=int, default=1, choices=range(1, 6),
+                        help="workload multiplier (1x-5x, Figure 4/5)")
+    replay.add_argument("--compression", type=float, default=6.0,
+                        help="time-compression factor for the replay")
+
+    hosting = sub.add_parser("replay-hosting", help="replay the hosting operation mix")
+    hosting.add_argument("--window", type=int, default=120, help="trace window in seconds")
+    hosting.add_argument("--operations", type=int, default=60,
+                         help="number of operations to generate")
+
+    failover = sub.add_parser("failover", help="leader-failover drill (§6.4)")
+    failover.add_argument("--operations", type=int, default=10,
+                          help="transactions committed before the kill")
+
+    sub.add_parser("repair-drill", help="out-of-band change + repair drill (§4)")
+
+    inventory = sub.add_parser("inventory", help="show fleet and utilisation")
+    inventory.add_argument("--operations", type=int, default=6,
+                           help="VMs to seed before reporting utilisation")
+
+    return parser
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "lifecycle": cmd_lifecycle,
+    "replay-ec2": cmd_replay_ec2,
+    "replay-hosting": cmd_replay_hosting,
+    "failover": cmd_failover,
+    "repair-drill": cmd_repair_drill,
+    "inventory": cmd_inventory,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

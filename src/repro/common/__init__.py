@@ -1,0 +1,40 @@
+"""Shared utilities used across the TROPIC reproduction.
+
+This package deliberately has no dependency on any other ``repro``
+subpackage so that every other subsystem can build on it.
+"""
+
+from repro.common.clock import Clock, RealClock, VirtualClock
+from repro.common.errors import (
+    ConfigurationError,
+    ConstraintViolation,
+    CoordinationError,
+    DataModelError,
+    DeviceError,
+    InconsistencyError,
+    LockConflict,
+    ProcedureError,
+    ReproError,
+    TransactionAborted,
+    TransactionFailed,
+)
+from repro.common.idgen import IdGenerator, monotonic_id
+
+__all__ = [
+    "Clock",
+    "RealClock",
+    "VirtualClock",
+    "ReproError",
+    "ConfigurationError",
+    "ConstraintViolation",
+    "CoordinationError",
+    "DataModelError",
+    "DeviceError",
+    "InconsistencyError",
+    "LockConflict",
+    "ProcedureError",
+    "TransactionAborted",
+    "TransactionFailed",
+    "IdGenerator",
+    "monotonic_id",
+]

@@ -1,0 +1,120 @@
+"""Clock abstraction.
+
+TROPIC components never call :func:`time.monotonic` directly.  They take a
+:class:`Clock` so that
+
+* unit tests can use a :class:`VirtualClock` and advance time manually
+  (e.g. to expire coordination sessions or trigger the periodic repair
+  daemon without sleeping), and
+* benchmarks can replay the one hour EC2 trace under time compression.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface for reading and waiting on time."""
+
+    def now(self) -> float:
+        """Return the current time in seconds (monotonic)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` of this clock's time."""
+        raise NotImplementedError
+
+
+class RealClock(Clock):
+    """Wall-clock time based on :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """A manually advanced clock for deterministic tests.
+
+    ``sleep`` blocks the calling thread until another thread advances the
+    clock past the wake-up time, which lets multi-threaded tests stay
+    deterministic without real delays.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._cond = threading.Condition()
+
+    def now(self) -> float:
+        with self._cond:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward and wake up sleepers."""
+        if seconds < 0:
+            raise ValueError("cannot move a clock backwards")
+        with self._cond:
+            self._now += seconds
+            self._cond.notify_all()
+
+    def set(self, timestamp: float) -> None:
+        """Jump to an absolute time (must not go backwards)."""
+        with self._cond:
+            if timestamp < self._now:
+                raise ValueError("cannot move a clock backwards")
+            self._now = timestamp
+            self._cond.notify_all()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        with self._cond:
+            deadline = self._now + seconds
+            while self._now < deadline:
+                self._cond.wait(timeout=0.05)
+
+
+class Stopwatch:
+    """Accumulates busy time; used for the controller CPU-utilisation proxy."""
+
+    def __init__(self, clock: Clock | None = None):
+        self._clock = clock or RealClock()
+        self._busy = 0.0
+        self._started_at: float | None = None
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = self._clock.now()
+
+    def stop(self) -> None:
+        with self._lock:
+            if self._started_at is not None:
+                self._busy += self._clock.now() - self._started_at
+                self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def busy_seconds(self) -> float:
+        with self._lock:
+            busy = self._busy
+            if self._started_at is not None:
+                busy += self._clock.now() - self._started_at
+            return busy
+
+    def reset(self) -> None:
+        with self._lock:
+            self._busy = 0.0
+            self._started_at = None

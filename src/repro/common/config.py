@@ -1,0 +1,88 @@
+"""Platform-wide configuration.
+
+A single :class:`TropicConfig` object is threaded through the platform so
+experiments can tune timing (heartbeats, repair period), concurrency
+(worker count) and mode (logical-only) from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass
+class TropicConfig:
+    """Configuration knobs for a TROPIC deployment.
+
+    Attributes
+    ----------
+    num_controllers:
+        Number of controller replicas (leader + followers), §2.3.
+    num_workers:
+        Number of physical-worker threads, §3.2.
+    logical_only:
+        Bypass physical device API calls (§5); used by the performance
+        benchmarks to explore large resource scales.
+    heartbeat_interval:
+        Coordination session heartbeat period in seconds.  Failover
+        detection time — and hence recovery time (§6.4) — is dominated by
+        ``session_timeout``.
+    session_timeout:
+        Coordination session timeout in seconds.
+    repair_period:
+        Period of the background repair daemon, in seconds (§4).  ``0``
+        disables periodic repair.
+    txn_timeout:
+        Per-transaction stall timeout in seconds before the platform raises
+        a TERM signal (§4).  ``0`` disables the watchdog.
+    scheduler_policy:
+        ``"fifo"`` (paper default) or ``"aggressive"`` (the future-work
+        policy of §3.1.1 that schedules past a conflicting head-of-queue
+        transaction).
+    checkpoint_every:
+        Number of applied transactions between data-model checkpoints
+        written to persistent storage.
+    queue_poll_interval:
+        Poll period of the controller/worker service loops in seconds.
+    simulated_action_latency:
+        Per-action latency (seconds) charged by the logical-only physical
+        worker, modelling device API round-trips.
+    coordination_latency:
+        Simulated latency of each coordination-store operation in seconds
+        (the paper identifies ZooKeeper I/O as the dominant overhead).
+    """
+
+    num_controllers: int = 3
+    num_workers: int = 1
+    worker_threads: int = 4
+    logical_only: bool = False
+    heartbeat_interval: float = 0.05
+    session_timeout: float = 0.5
+    repair_period: float = 0.0
+    txn_timeout: float = 0.0
+    scheduler_policy: str = "fifo"
+    checkpoint_every: int = 64
+    queue_poll_interval: float = 0.002
+    simulated_action_latency: float = 0.0
+    coordination_latency: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on nonsensical settings."""
+        if self.num_controllers < 1:
+            raise ValueError("num_controllers must be >= 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.worker_threads < 1:
+            raise ValueError("worker_threads must be >= 1")
+        if self.scheduler_policy not in ("fifo", "aggressive"):
+            raise ValueError(f"unknown scheduler_policy {self.scheduler_policy!r}")
+        if self.session_timeout <= self.heartbeat_interval:
+            raise ValueError("session_timeout must exceed heartbeat_interval")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+
+    def with_overrides(self, **kwargs: Any) -> "TropicConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

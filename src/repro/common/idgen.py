@@ -1,0 +1,46 @@
+"""Identifier generation for transactions, sessions and devices."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+
+
+class IdGenerator:
+    """Thread-safe generator of prefixed, monotonically increasing ids.
+
+    Example: ``IdGenerator("txn")`` yields ``txn-000001``, ``txn-000002`` ...
+    The zero-padded counter keeps lexicographic order equal to creation
+    order, which the FIFO queues and the recovery protocol rely on.
+    """
+
+    def __init__(self, prefix: str, width: int = 6):
+        self._prefix = prefix
+        self._width = width
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def next(self) -> str:
+        with self._lock:
+            value = next(self._counter)
+        return f"{self._prefix}-{value:0{self._width}d}"
+
+
+_GLOBAL_COUNTERS: dict[str, IdGenerator] = {}
+_GLOBAL_LOCK = threading.Lock()
+
+
+def monotonic_id(prefix: str) -> str:
+    """Return the next id for ``prefix`` from a process-global generator."""
+    with _GLOBAL_LOCK:
+        gen = _GLOBAL_COUNTERS.get(prefix)
+        if gen is None:
+            gen = IdGenerator(prefix)
+            _GLOBAL_COUNTERS[prefix] = gen
+    return gen.next()
+
+
+def random_id(prefix: str) -> str:
+    """Return a collision-resistant random id (used for controller names)."""
+    return f"{prefix}-{uuid.uuid4().hex[:8]}"

@@ -1,0 +1,38 @@
+"""JSON helpers.
+
+Transaction state, execution logs and the data-model checkpoint are stored
+in the coordination service as JSON documents.  These helpers keep the
+encoding deterministic (sorted keys) so that replicas and recovery code can
+compare serialized state byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def dumps(value: Any) -> str:
+    """Serialize ``value`` deterministically."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def loads(data: str | bytes | None) -> Any:
+    """Deserialize JSON, returning ``None`` for empty payloads."""
+    if data is None:
+        return None
+    if isinstance(data, bytes):
+        data = data.decode("utf-8")
+    if data == "":
+        return None
+    return json.loads(data)
+
+
+def deep_copy(value: Any) -> Any:
+    """Copy a JSON-compatible structure by round-tripping it.
+
+    Used where we need a defensive copy of attribute dictionaries that are
+    guaranteed to be JSON-serialisable (data-model attributes, procedure
+    arguments).
+    """
+    return json.loads(json.dumps(value))

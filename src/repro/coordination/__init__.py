@@ -1,0 +1,37 @@
+"""Coordination substrate (ZooKeeper stand-in).
+
+TROPIC (§2.3, §5) relies on ZooKeeper for three things:
+
+* a replicated, strongly consistent persistent store for transaction state,
+  execution logs and the data-model checkpoint,
+* highly available distributed queues (``inputQ`` and ``phyQ``) decoupling
+  clients, controllers and workers, and
+* quorum-based leader election among controller replicas, with failure
+  detection driven by session heartbeats.
+
+This package provides an in-process reproduction of those primitives:
+znodes with versions, ephemeral and sequential nodes, one-shot watches,
+sessions with heartbeat expiry, quorum writes over a set of crashable
+replica servers, and the queue / election / key-value recipes built on top.
+"""
+
+from repro.coordination.znode import Stat, ZNode
+from repro.coordination.server import CoordinationServer
+from repro.coordination.ensemble import CoordinationEnsemble, Session, WatchEvent
+from repro.coordination.client import CoordinationClient
+from repro.coordination.queue import DistributedQueue
+from repro.coordination.election import LeaderElection
+from repro.coordination.kvstore import KVStore
+
+__all__ = [
+    "Stat",
+    "ZNode",
+    "CoordinationServer",
+    "CoordinationEnsemble",
+    "Session",
+    "WatchEvent",
+    "CoordinationClient",
+    "DistributedQueue",
+    "LeaderElection",
+    "KVStore",
+]

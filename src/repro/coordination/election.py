@@ -1,0 +1,117 @@
+"""Quorum-based leader election recipe (§2.3).
+
+Each controller volunteers by creating an ephemeral sequential znode under
+the election path.  The participant owning the lowest sequence number is the
+leader.  When the leader's session expires (missed heartbeats), its znode is
+removed and the next-lowest participant becomes leader — this is the
+follower-takes-over mechanism whose detection delay dominates the recovery
+time measured in §6.4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import NoNodeError
+from repro.coordination.client import CoordinationClient
+from repro.coordination.ensemble import WatchEvent
+
+
+class LeaderElection:
+    """One participant in a leader election."""
+
+    def __init__(
+        self,
+        client: CoordinationClient,
+        election_path: str,
+        participant_name: str,
+        on_change: Callable[[bool], None] | None = None,
+    ):
+        self.client = client
+        self.election_path = election_path.rstrip("/")
+        self.participant_name = participant_name
+        self.on_change = on_change
+        self._member_path: str | None = None
+        self._was_leader = False
+        self.client.ensure_path(self.election_path)
+
+    # -- participation ------------------------------------------------------
+
+    def volunteer(self) -> str:
+        """Join the election; returns the member znode path."""
+        if self._member_path is not None:
+            return self._member_path
+        self._member_path = self.client.create(
+            f"{self.election_path}/member-",
+            data=self.participant_name,
+            ephemeral=True,
+            sequential=True,
+        )
+        self._watch_children()
+        return self._member_path
+
+    def resign(self) -> None:
+        """Leave the election (e.g. on graceful shutdown)."""
+        if self._member_path is not None:
+            try:
+                self.client.delete(self._member_path)
+            except NoNodeError:
+                pass
+            self._member_path = None
+        self._notify()
+
+    def rejoin(self) -> str:
+        """Re-volunteer after a session expiry created a fresh session."""
+        self._member_path = None
+        return self.volunteer()
+
+    # -- queries ------------------------------------------------------------
+
+    def members(self) -> list[tuple[str, str]]:
+        """Return ``(znode_name, participant_name)`` sorted by sequence."""
+        result = []
+        for name in sorted(self.client.get_children(self.election_path)):
+            try:
+                data, _ = self.client.get(f"{self.election_path}/{name}")
+            except NoNodeError:
+                continue
+            result.append((name, data))
+        return result
+
+    def current_leader(self) -> str | None:
+        """Participant name of the current leader, or ``None``."""
+        members = self.members()
+        if not members:
+            return None
+        return members[0][1]
+
+    def is_leader(self) -> bool:
+        """True if this participant currently owns the lowest sequence node."""
+        if self._member_path is None:
+            return False
+        my_name = self._member_path.rsplit("/", 1)[-1]
+        members = [name for name, _ in self.members()]
+        leader = members[0] if members else None
+        result = leader == my_name
+        self._was_leader = result
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _watch_children(self) -> None:
+        def watcher(event: WatchEvent) -> None:
+            self._notify()
+            try:
+                self.client.get_children(self.election_path, watcher)
+            except Exception:  # noqa: BLE001 - ensemble may be unavailable during teardown
+                pass
+
+        self.client.get_children(self.election_path, watcher)
+
+    def _notify(self) -> None:
+        if self.on_change is None:
+            return
+        try:
+            self.on_change(self.is_leader())
+        except Exception:  # noqa: BLE001 - observer bugs must not break election bookkeeping
+            pass

@@ -1,0 +1,364 @@
+"""The coordination ensemble: quorum writes, sessions, and watches.
+
+The ensemble is the authoritative implementation of the coordination
+protocol.  Clients talk to it through :class:`~repro.coordination.client.
+CoordinationClient`.  All committed operations are applied synchronously to
+every *up* replica server, which trivially provides the strong consistency
+TROPIC expects of its persistent store (§2.3).  Writes (and reads — we model
+linearizable reads) require a majority of replicas to be up; otherwise
+:class:`~repro.common.errors.QuorumLostError` is raised.
+
+Sessions mirror ZooKeeper sessions: a client heartbeats periodically, and if
+the ensemble does not see a heartbeat within the session timeout the session
+expires, its ephemeral znodes are removed and watches fire.  This is the
+failure-detection mechanism that drives controller failover; the paper notes
+(§6.4) that recovery time is dominated by exactly this detection interval.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.clock import Clock, RealClock
+from repro.common.errors import (
+    BadVersionError,
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    QuorumLostError,
+    SessionExpiredError,
+)
+from repro.coordination.server import CoordinationServer
+from repro.coordination.znode import Stat, join_path, parent_path, split_path
+
+
+@dataclass
+class WatchEvent:
+    """A one-shot notification delivered to a watcher callback."""
+
+    kind: str  # "created" | "deleted" | "changed" | "child"
+    path: str
+
+
+Watcher = Callable[[WatchEvent], None]
+
+
+@dataclass
+class Session:
+    """A client session with heartbeat-based liveness."""
+
+    session_id: str
+    timeout: float
+    last_heartbeat: float
+    expired: bool = False
+
+
+class CoordinationEnsemble:
+    """An ensemble of :class:`CoordinationServer` replicas."""
+
+    def __init__(
+        self,
+        num_servers: int = 3,
+        clock: Clock | None = None,
+        default_session_timeout: float = 0.5,
+        op_latency: float = 0.0,
+    ):
+        if num_servers < 1:
+            raise ValueError("ensemble needs at least one server")
+        self.clock = clock or RealClock()
+        self.servers = [CoordinationServer(f"coord-{i}") for i in range(num_servers)]
+        self.default_session_timeout = default_session_timeout
+        self.op_latency = op_latency
+        self._zxid = 0
+        self._session_counter = 0
+        self._sessions: dict[str, Session] = {}
+        self._data_watches: dict[str, list[Watcher]] = {}
+        self._child_watches: dict[str, list[Watcher]] = {}
+        self._lock = threading.RLock()
+        self._op_count = 0
+
+    # ------------------------------------------------------------------
+    # Availability / fault injection
+    # ------------------------------------------------------------------
+
+    def up_servers(self) -> list[CoordinationServer]:
+        return [server for server in self.servers if server.up]
+
+    def has_quorum(self) -> bool:
+        return len(self.up_servers()) * 2 > len(self.servers)
+
+    def crash_server(self, index: int) -> None:
+        with self._lock:
+            self.servers[index].crash()
+
+    def restart_server(self, index: int) -> None:
+        with self._lock:
+            server = self.servers[index]
+            healthy = next((s for s in self.servers if s.up), None)
+            if healthy is not None:
+                server.sync_from(healthy)
+            server.restart()
+
+    @property
+    def op_count(self) -> int:
+        """Total number of coordination operations served (I/O proxy)."""
+        return self._op_count
+
+    def total_znodes(self) -> int:
+        with self._lock:
+            reference = self._reference_server()
+            return reference.count_nodes()
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def create_session(self, timeout: float | None = None) -> Session:
+        with self._lock:
+            self._check_quorum()
+            self._session_counter += 1
+            session = Session(
+                session_id=f"session-{self._session_counter:04d}",
+                timeout=timeout or self.default_session_timeout,
+                last_heartbeat=self.clock.now(),
+            )
+            self._sessions[session.session_id] = session
+            return session
+
+    def heartbeat(self, session_id: str) -> None:
+        """Refresh a session and lazily expire any dead ones."""
+        events: list[tuple[Watcher, WatchEvent]] = []
+        with self._lock:
+            self._check_quorum()
+            self._expire_dead_sessions(events)
+            session = self._sessions.get(session_id)
+            if session is None or session.expired:
+                self._fire(events)
+                raise SessionExpiredError(f"session {session_id} has expired")
+            session.last_heartbeat = self.clock.now()
+        self._fire(events)
+
+    def close_session(self, session_id: str) -> None:
+        events: list[tuple[Watcher, WatchEvent]] = []
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+            if session is not None:
+                self._remove_ephemerals(session_id, events)
+        self._fire(events)
+
+    def expire_session(self, session_id: str) -> None:
+        """Force-expire a session (used by tests and the KILL experiments)."""
+        events: list[tuple[Watcher, WatchEvent]] = []
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None:
+                session.expired = True
+                self._remove_ephemerals(session_id, events)
+        self._fire(events)
+
+    def session_is_live(self, session_id: str) -> bool:
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None or session.expired:
+                return False
+            return (self.clock.now() - session.last_heartbeat) <= session.timeout
+
+    def tick(self) -> None:
+        """Expire dead sessions without touching any session's heartbeat."""
+        events: list[tuple[Watcher, WatchEvent]] = []
+        with self._lock:
+            self._expire_dead_sessions(events)
+        self._fire(events)
+
+    def _expire_dead_sessions(self, events: list[tuple[Watcher, WatchEvent]]) -> None:
+        now = self.clock.now()
+        for session in list(self._sessions.values()):
+            if not session.expired and now - session.last_heartbeat > session.timeout:
+                session.expired = True
+                self._remove_ephemerals(session.session_id, events)
+
+    def _remove_ephemerals(self, session_id: str, events: list[tuple[Watcher, WatchEvent]]) -> None:
+        reference = self._reference_server()
+        ephemeral_paths: list[str] = []
+
+        def collect(node, path: str) -> None:
+            for name, child in list(node.children.items()):
+                child_path = join_path(path if path != "/" else "/", name)
+                if child.ephemeral_owner == session_id:
+                    ephemeral_paths.append(child_path)
+                collect(child, child_path)
+
+        collect(reference.root, "/")
+        for path in ephemeral_paths:
+            self._commit_delete(path, events)
+
+    # ------------------------------------------------------------------
+    # Znode operations
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        session_id: str,
+        path: str,
+        data: str = "",
+        ephemeral: bool = False,
+        sequential: bool = False,
+    ) -> str:
+        """Create a znode; returns the actual path (with sequence suffix)."""
+        events: list[tuple[Watcher, WatchEvent]] = []
+        with self._lock:
+            self._prepare_write(session_id)
+            reference = self._reference_server()
+            parent = parent_path(path)
+            if not reference.exists(parent):
+                raise NoNodeError(f"parent {parent} does not exist")
+            actual_path = path
+            if sequential:
+                seq = None
+                for server in self.up_servers():
+                    seq = server.apply_bump_sequence(parent)
+                actual_path = f"{path}{seq:010d}"
+            if reference.exists(actual_path):
+                raise NodeExistsError(f"znode {actual_path} already exists")
+            self._zxid += 1
+            owner = session_id if ephemeral else None
+            for server in self.up_servers():
+                server.apply_create(actual_path, data, owner, self._zxid)
+            self._queue_watch(self._data_watches, actual_path, "created", events)
+            self._queue_watch(self._child_watches, parent, "child", events)
+        self._fire(events)
+        return actual_path
+
+    def ensure_path(self, session_id: str, path: str) -> None:
+        """Create any missing ancestors of ``path`` and ``path`` itself."""
+        parts = split_path(path)
+        current = ""
+        for part in parts:
+            current = current + "/" + part
+            try:
+                self.create(session_id, current)
+            except NodeExistsError:
+                continue
+
+    def get(self, session_id: str, path: str, watcher: Watcher | None = None) -> tuple[str, Stat]:
+        with self._lock:
+            self._prepare_read(session_id)
+            node = self._reference_server().lookup(path)
+            if watcher is not None:
+                self._data_watches.setdefault(path, []).append(watcher)
+            return node.data, node.stat()
+
+    def set(self, session_id: str, path: str, data: str, version: int = -1) -> Stat:
+        events: list[tuple[Watcher, WatchEvent]] = []
+        with self._lock:
+            self._prepare_write(session_id)
+            node = self._reference_server().lookup(path)
+            if version >= 0 and node.version != version:
+                raise BadVersionError(
+                    f"version mismatch on {path}: expected {version}, found {node.version}"
+                )
+            self._zxid += 1
+            for server in self.up_servers():
+                server.apply_set(path, data, self._zxid)
+            self._queue_watch(self._data_watches, path, "changed", events)
+            stat = self._reference_server().lookup(path).stat()
+        self._fire(events)
+        return stat
+
+    def delete(self, session_id: str, path: str, version: int = -1) -> None:
+        events: list[tuple[Watcher, WatchEvent]] = []
+        with self._lock:
+            self._prepare_write(session_id)
+            node = self._reference_server().lookup(path)
+            if version >= 0 and node.version != version:
+                raise BadVersionError(
+                    f"version mismatch on {path}: expected {version}, found {node.version}"
+                )
+            if node.children:
+                raise NotEmptyError(f"znode {path} has children")
+            self._commit_delete(path, events)
+        self._fire(events)
+
+    def exists(self, session_id: str, path: str, watcher: Watcher | None = None) -> Stat | None:
+        with self._lock:
+            self._prepare_read(session_id)
+            if watcher is not None:
+                self._data_watches.setdefault(path, []).append(watcher)
+            try:
+                return self._reference_server().lookup(path).stat()
+            except NoNodeError:
+                return None
+
+    def get_children(
+        self, session_id: str, path: str, watcher: Watcher | None = None
+    ) -> list[str]:
+        with self._lock:
+            self._prepare_read(session_id)
+            node = self._reference_server().lookup(path)
+            if watcher is not None:
+                self._child_watches.setdefault(path, []).append(watcher)
+            return sorted(node.children)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _reference_server(self) -> CoordinationServer:
+        for server in self.servers:
+            if server.up:
+                return server
+        raise QuorumLostError("no coordination server is up")
+
+    def _check_quorum(self) -> None:
+        if not self.has_quorum():
+            raise QuorumLostError(
+                f"only {len(self.up_servers())}/{len(self.servers)} coordination servers up"
+            )
+
+    def _check_session(self, session_id: str) -> None:
+        session = self._sessions.get(session_id)
+        if session is None or session.expired:
+            raise SessionExpiredError(f"session {session_id} has expired")
+
+    def _prepare_write(self, session_id: str) -> None:
+        self._charge_latency()
+        self._check_quorum()
+        self._check_session(session_id)
+
+    def _prepare_read(self, session_id: str) -> None:
+        self._charge_latency()
+        self._check_quorum()
+        self._check_session(session_id)
+
+    def _charge_latency(self) -> None:
+        self._op_count += 1
+        if self.op_latency > 0:
+            self.clock.sleep(self.op_latency)
+
+    def _commit_delete(self, path: str, events: list[tuple[Watcher, WatchEvent]]) -> None:
+        self._zxid += 1
+        for server in self.up_servers():
+            server.apply_delete(path, self._zxid)
+        self._queue_watch(self._data_watches, path, "deleted", events)
+        self._queue_watch(self._child_watches, parent_path(path), "child", events)
+
+    def _queue_watch(
+        self,
+        registry: dict[str, list[Watcher]],
+        path: str,
+        kind: str,
+        events: list[tuple[Watcher, WatchEvent]],
+    ) -> None:
+        watchers = registry.pop(path, [])
+        for watcher in watchers:
+            events.append((watcher, WatchEvent(kind=kind, path=path)))
+
+    @staticmethod
+    def _fire(events: list[tuple[Watcher, WatchEvent]]) -> None:
+        for watcher, event in events:
+            try:
+                watcher(event)
+            except Exception:  # noqa: BLE001 - watcher bugs must not corrupt the ensemble
+                pass

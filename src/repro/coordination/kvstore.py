@@ -1,0 +1,77 @@
+"""JSON document store facade over the coordination service.
+
+TROPIC "unconventionally" uses ZooKeeper as its highly available persistent
+storage engine for transaction states and logs (§5).  :class:`KVStore`
+provides the small document-oriented API the persistence layer needs:
+``put``/``get``/``delete`` of JSON values keyed by slash-separated paths,
+plus listing of child keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.common.errors import NoNodeError
+from repro.common.jsonutil import dumps, loads
+from repro.coordination.client import CoordinationClient
+
+
+class KVStore:
+    """A namespaced JSON key-value store on top of the coordination tree."""
+
+    def __init__(self, client: CoordinationClient, prefix: str = "/tropic"):
+        self.client = client
+        self.prefix = prefix.rstrip("/")
+        self.client.ensure_path(self.prefix)
+
+    def _full(self, key: str) -> str:
+        key = key.strip("/")
+        return f"{self.prefix}/{key}" if key else self.prefix
+
+    # -- document operations ----------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Upsert a JSON document, creating intermediate keys as needed."""
+        path = self._full(key)
+        self.client.ensure_path(path)
+        self.client.set(path, dumps(value))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        data = self.client.get_data(self._full(key))
+        if data is None or data == "":
+            return default
+        return loads(data)
+
+    def exists(self, key: str) -> bool:
+        return self.client.exists(self._full(key)) is not None
+
+    def delete(self, key: str, recursive: bool = False) -> None:
+        path = self._full(key)
+        if recursive:
+            self._delete_recursive(path)
+        else:
+            self.client.delete_if_exists(path)
+
+    def _delete_recursive(self, path: str) -> None:
+        try:
+            children = self.client.get_children(path)
+        except NoNodeError:
+            return
+        for child in children:
+            self._delete_recursive(f"{path}/{child}")
+        self.client.delete_if_exists(path)
+
+    # -- listing -------------------------------------------------------------
+
+    def keys(self, key: str = "") -> list[str]:
+        """List direct child keys under ``key`` (empty list if absent)."""
+        try:
+            return sorted(self.client.get_children(self._full(key)))
+        except NoNodeError:
+            return []
+
+    def items(self, key: str = "") -> Iterator[tuple[str, Any]]:
+        """Yield ``(child_key, value)`` pairs under ``key``."""
+        for child in self.keys(key):
+            child_key = f"{key.strip('/')}/{child}" if key.strip("/") else child
+            yield child, self.get(child_key)

@@ -1,0 +1,118 @@
+"""Distributed FIFO queue recipe (inputQ / phyQ).
+
+TROPIC decouples clients, controllers and workers with highly available
+queues hosted in the coordination service (Figure 1).  The queue is the
+standard sequential-znode recipe: ``put`` creates a sequential child under
+the queue path; consumers take the lowest-sequence child and delete it.
+Deletion is atomic, so two workers polling the same queue never both obtain
+the same item.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.clock import Clock, RealClock
+from repro.common.errors import NoNodeError
+from repro.common.jsonutil import dumps, loads
+from repro.coordination.client import CoordinationClient
+
+
+class DistributedQueue:
+    """FIFO queue of JSON-serialisable items backed by the coordination store."""
+
+    def __init__(self, client: CoordinationClient, path: str, clock: Clock | None = None):
+        self.client = client
+        self.path = path.rstrip("/")
+        self.clock = clock or RealClock()
+        self.client.ensure_path(self.path)
+
+    # -- producers -------------------------------------------------------
+
+    def put(self, item: Any) -> str:
+        """Enqueue an item; returns the znode name assigned to it."""
+        created = self.client.create(f"{self.path}/item-", dumps(item), sequential=True)
+        return created.rsplit("/", 1)[-1]
+
+    # -- consumers -------------------------------------------------------
+
+    def poll(self) -> Any | None:
+        """Dequeue the oldest item, or return ``None`` if the queue is empty."""
+        while True:
+            children = sorted(self.client.get_children(self.path))
+            if not children:
+                return None
+            for name in children:
+                item_path = f"{self.path}/{name}"
+                try:
+                    data, _ = self.client.get(item_path)
+                    self.client.delete(item_path)
+                except NoNodeError:
+                    continue  # another consumer raced us; try the next item
+                return loads(data)
+            # All candidates vanished under us; retry the listing.
+
+    def get(self, timeout: float | None = None, poll_interval: float = 0.002) -> Any | None:
+        """Blocking dequeue with an optional timeout (None waits forever)."""
+        deadline = None if timeout is None else self.clock.now() + timeout
+        while True:
+            item = self.poll()
+            if item is not None:
+                return item
+            if deadline is not None and self.clock.now() >= deadline:
+                return None
+            self.clock.sleep(poll_interval)
+
+    def take(self) -> tuple[str, Any] | None:
+        """Return ``(item_name, item)`` for the oldest item *without* removing it.
+
+        Combined with :meth:`ack`, this gives at-least-once consumption: the
+        TROPIC controller only acknowledges an inputQ item after the
+        corresponding state change has been persisted, so a leader crash
+        between the two re-delivers the item to the next leader, which
+        handles it idempotently (§2.3).
+        """
+        children = sorted(self.client.get_children(self.path))
+        for name in children:
+            try:
+                data, _ = self.client.get(f"{self.path}/{name}")
+            except NoNodeError:
+                continue
+            return name, loads(data)
+        return None
+
+    def ack(self, name: str) -> bool:
+        """Remove a previously taken item; returns False if already gone."""
+        try:
+            self.client.delete(f"{self.path}/{name}")
+            return True
+        except NoNodeError:
+            return False
+
+    # -- inspection --------------------------------------------------------
+
+    def peek(self) -> Any | None:
+        """Return the oldest item without removing it."""
+        children = sorted(self.client.get_children(self.path))
+        for name in children:
+            try:
+                data, _ = self.client.get(f"{self.path}/{name}")
+            except NoNodeError:
+                continue
+            return loads(data)
+        return None
+
+    def size(self) -> int:
+        return len(self.client.get_children(self.path))
+
+    def is_empty(self) -> bool:
+        return self.size() == 0
+
+    def drain(self) -> list[Any]:
+        """Remove and return every queued item (used in recovery and tests)."""
+        items = []
+        while True:
+            item = self.poll()
+            if item is None:
+                return items
+            items.append(item)

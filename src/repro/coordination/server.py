@@ -1,0 +1,99 @@
+"""A single coordination replica server.
+
+Each server holds a full copy of the znode tree.  The ensemble applies
+committed operations to every *up* server; a write succeeds only if a
+majority of servers are up (quorum), mirroring ZooKeeper's availability
+model.  Crashing and restarting servers lets tests and the §6.4 experiment
+exercise the platform's behaviour under coordination-service failures.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import NoNodeError
+from repro.coordination.znode import ZNode, split_path
+
+
+class CoordinationServer:
+    """One replica of the coordination tree."""
+
+    def __init__(self, server_id: str):
+        self.server_id = server_id
+        self.root = ZNode(path="/")
+        self.up = True
+        self.applied_zxid = 0
+
+    # -- availability ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a server crash.  State is retained (ZooKeeper persists its
+        log to disk) but the server stops serving until restarted."""
+        self.up = False
+
+    def restart(self) -> None:
+        self.up = True
+
+    def sync_from(self, other: "CoordinationServer") -> None:
+        """Catch up from a healthy replica after a restart."""
+        self.root = other.root.clone()
+        self.applied_zxid = other.applied_zxid
+
+    # -- tree access -------------------------------------------------------
+
+    def lookup(self, path: str) -> ZNode:
+        node = self.root
+        for part in split_path(path):
+            child = node.children.get(part)
+            if child is None:
+                raise NoNodeError(f"no znode at {path}")
+            node = child
+        return node
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.lookup(path)
+            return True
+        except NoNodeError:
+            return False
+
+    # -- applying committed operations --------------------------------------
+
+    def apply_create(self, path: str, data: str, ephemeral_owner: str | None, zxid: int) -> None:
+        parts = split_path(path)
+        parent = self.root
+        for part in parts[:-1]:
+            parent = parent.children[part]
+        node = ZNode(
+            path=path,
+            data=data,
+            czxid=zxid,
+            mzxid=zxid,
+            ephemeral_owner=ephemeral_owner,
+        )
+        parent.children[parts[-1]] = node
+        self.applied_zxid = zxid
+
+    def apply_set(self, path: str, data: str, zxid: int) -> None:
+        node = self.lookup(path)
+        node.data = data
+        node.version += 1
+        node.mzxid = zxid
+        self.applied_zxid = zxid
+
+    def apply_delete(self, path: str, zxid: int) -> None:
+        parts = split_path(path)
+        parent = self.root
+        for part in parts[:-1]:
+            parent = parent.children[part]
+        parent.children.pop(parts[-1], None)
+        self.applied_zxid = zxid
+
+    def apply_bump_sequence(self, path: str) -> int:
+        node = self.lookup(path)
+        node.sequence_counter += 1
+        return node.sequence_counter
+
+    def count_nodes(self) -> int:
+        def count(node: ZNode) -> int:
+            return 1 + sum(count(child) for child in node.children.values())
+
+        return count(self.root)

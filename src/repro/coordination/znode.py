@@ -1,0 +1,91 @@
+"""Znodes: the data nodes of the coordination service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Stat:
+    """Metadata returned alongside znode data (a subset of ZooKeeper's Stat)."""
+
+    version: int
+    czxid: int
+    mzxid: int
+    ephemeral_owner: str | None
+    num_children: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "czxid": self.czxid,
+            "mzxid": self.mzxid,
+            "ephemeral_owner": self.ephemeral_owner,
+            "num_children": self.num_children,
+        }
+
+
+@dataclass
+class ZNode:
+    """A node in the coordination tree.
+
+    ``data`` is always a string (the library stores JSON documents).
+    ``ephemeral_owner`` is the id of the owning session for ephemeral nodes;
+    such nodes are removed automatically when the session expires, which is
+    how controller failure is detected (§2.3).
+    """
+
+    path: str
+    data: str = ""
+    version: int = 0
+    czxid: int = 0
+    mzxid: int = 0
+    ephemeral_owner: str | None = None
+    children: dict[str, "ZNode"] = field(default_factory=dict)
+    sequence_counter: int = 0
+
+    @property
+    def is_ephemeral(self) -> bool:
+        return self.ephemeral_owner is not None
+
+    def stat(self) -> Stat:
+        return Stat(
+            version=self.version,
+            czxid=self.czxid,
+            mzxid=self.mzxid,
+            ephemeral_owner=self.ephemeral_owner,
+            num_children=len(self.children),
+        )
+
+    def clone(self) -> "ZNode":
+        """Deep copy used when replicating state to a restarted server."""
+        node = ZNode(
+            path=self.path,
+            data=self.data,
+            version=self.version,
+            czxid=self.czxid,
+            mzxid=self.mzxid,
+            ephemeral_owner=self.ephemeral_owner,
+            sequence_counter=self.sequence_counter,
+        )
+        node.children = {name: child.clone() for name, child in self.children.items()}
+        return node
+
+
+def split_path(path: str) -> list[str]:
+    """Split a coordination path into components (root = empty list)."""
+    return [part for part in path.split("/") if part]
+
+
+def parent_path(path: str) -> str:
+    parts = split_path(path)
+    if not parts:
+        return "/"
+    return "/" + "/".join(parts[:-1])
+
+
+def join_path(parent: str, name: str) -> str:
+    if parent.endswith("/"):
+        return parent + name
+    return parent + "/" + name

@@ -1,0 +1,68 @@
+"""Transactional orchestration core (the paper's primary contribution).
+
+The two-layer transaction processing stack of §3:
+
+* the **logical layer** — scheduling, simulation against the logical data
+  model, constraint checking and multi-granularity locking — implemented by
+  :class:`~repro.core.controller.Controller`, and
+* the **physical layer** — replay of execution logs against device APIs
+  with undo-based rollback — implemented by
+  :class:`~repro.core.worker.Worker` /
+  :class:`~repro.core.physical.PhysicalExecutor`.
+
+:class:`~repro.core.platform.TropicPlatform` wires both layers to the
+coordination substrate (queues, persistent store, leader election) and is
+the public entry point of the library.
+"""
+
+from repro.core.txn import (
+    ExecutionLog,
+    LogRecord,
+    ReadWriteSet,
+    Transaction,
+    TransactionState,
+)
+from repro.core.locks import LockManager, LockMode
+from repro.core.constraints import ConstraintEngine
+from repro.core.context import OrchestrationContext
+from repro.core.procedures import ProcedureRegistry, procedure
+from repro.core.simulation import LogicalExecutor, SimulationOutcome
+from repro.core.scheduler import TodoQueue
+from repro.core.persistence import TropicStore
+from repro.core.physical import PhysicalExecutor, PhysicalOutcome
+from repro.core.controller import Controller
+from repro.core.worker import Worker
+from repro.core.reconcile import Reconciler
+from repro.core.signals import KILL, TERM, SignalBoard
+from repro.core.recovery import RecoveredState, recover_state
+from repro.core.platform import TransactionHandle, TropicPlatform
+
+__all__ = [
+    "Transaction",
+    "TransactionState",
+    "ExecutionLog",
+    "LogRecord",
+    "ReadWriteSet",
+    "LockManager",
+    "LockMode",
+    "ConstraintEngine",
+    "OrchestrationContext",
+    "ProcedureRegistry",
+    "procedure",
+    "LogicalExecutor",
+    "SimulationOutcome",
+    "TodoQueue",
+    "TropicStore",
+    "PhysicalExecutor",
+    "PhysicalOutcome",
+    "Controller",
+    "Worker",
+    "Reconciler",
+    "SignalBoard",
+    "TERM",
+    "KILL",
+    "RecoveredState",
+    "recover_state",
+    "TransactionHandle",
+    "TropicPlatform",
+]

@@ -1,0 +1,175 @@
+"""Orchestration context: the API stored procedures use to touch resources.
+
+A stored procedure never mutates the data model or devices directly.  It
+receives an :class:`OrchestrationContext` and
+
+* reads state with :meth:`read`, :meth:`children`, :meth:`find` and
+  :meth:`query` (recorded in the read set), and
+* performs actions with :meth:`do`, which simulates the action on the
+  logical model, records the execution-log entry together with its undo
+  action, and enforces constraints (recorded in the write set).
+
+The resulting execution log is later replayed verbatim by the physical
+layer, so the procedure's control flow runs exactly once — in the logical
+layer — as the paper's simulation step prescribes (§3.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+from repro.common.errors import ConstraintViolation, ProcedureError
+from repro.core.constraints import ConstraintEngine
+from repro.core.txn import Transaction
+from repro.datamodel.node import Node
+from repro.datamodel.path import ResourcePath
+from repro.datamodel.schema import ModelSchema
+from repro.datamodel.tree import DataModel
+
+#: Sub-procedure calls are bounded so a buggy composite procedure that
+#: (transitively) calls itself aborts instead of recursing forever.
+MAX_CALL_DEPTH = 16
+
+
+class ProcedureRegistryLike(Protocol):
+    """The subset of the stored-procedure registry the context relies on."""
+
+    def get(self, name: str) -> Callable[..., Any]:
+        ...  # pragma: no cover - protocol definition
+
+
+class OrchestrationContext:
+    """Execution context handed to stored procedures during simulation."""
+
+    def __init__(
+        self,
+        model: DataModel,
+        schema: ModelSchema,
+        txn: Transaction,
+        constraint_engine: ConstraintEngine | None = None,
+        procedures: "ProcedureRegistryLike | None" = None,
+    ):
+        self.model = model
+        self.schema = schema
+        self.txn = txn
+        self.constraints = constraint_engine or ConstraintEngine(schema)
+        self.procedures = procedures
+        self._call_depth = 0
+
+    # ------------------------------------------------------------------
+    # Read-only access (recorded in the read set)
+    # ------------------------------------------------------------------
+
+    def exists(self, path: str | ResourcePath) -> bool:
+        rpath = ResourcePath.parse(path)
+        self.txn.rwset.record_read(str(rpath))
+        return self.model.exists(rpath)
+
+    def node(self, path: str | ResourcePath) -> Node:
+        """Return the node at ``path`` (treat it as read-only)."""
+        rpath = ResourcePath.parse(path)
+        self.model.check_not_fenced(rpath)
+        self.txn.rwset.record_read(str(rpath))
+        return self.model.get(rpath)
+
+    def read(self, path: str | ResourcePath) -> dict[str, Any]:
+        """Return a copy of the attributes of the node at ``path``."""
+        return dict(self.node(path).attrs)
+
+    def get_attr(self, path: str | ResourcePath, key: str, default: Any = None) -> Any:
+        return self.node(path).get(key, default)
+
+    def children(self, path: str | ResourcePath) -> list[str]:
+        rpath = ResourcePath.parse(path)
+        self.txn.rwset.record_read(str(rpath))
+        return sorted(self.model.get(rpath).children)
+
+    def find(
+        self,
+        entity_type: str | None = None,
+        predicate: Callable[[ResourcePath, Node], bool] | None = None,
+        start: str | ResourcePath = "/",
+    ) -> list[str]:
+        """Search the model; the searched subtree root is recorded as read."""
+        rpath = ResourcePath.parse(start)
+        self.txn.rwset.record_read(str(rpath))
+        return [str(p) for p in self.model.find(entity_type, predicate, rpath)]
+
+    def query(self, path: str | ResourcePath, name: str, *args: Any) -> Any:
+        """Invoke a named query of the entity at ``path``."""
+        node = self.node(path)
+        query_def = self.schema.get(node.entity_type).get_query(name)
+        return query_def.func(self.model, node, *args)
+
+    # ------------------------------------------------------------------
+    # Actions (recorded in the write set and the execution log)
+    # ------------------------------------------------------------------
+
+    def do(self, path: str | ResourcePath, action: str, *args: Any) -> Any:
+        """Simulate ``action`` on the object at ``path`` and log it.
+
+        Raises :class:`ConstraintViolation` if the resulting logical state
+        violates any constraint in the affected (locked) subtree; the
+        logical executor then rolls the transaction back and aborts it.
+        """
+        rpath = ResourcePath.parse(path)
+        self.model.check_not_fenced(rpath)
+        node = self.model.get(rpath)
+        action_def = self.schema.get(node.entity_type).get_action(action)
+        undo_args = action_def.undo_arguments(node, list(args))
+
+        result = action_def.simulate(self.model, node, *args)
+
+        self.txn.log.append(str(rpath), action, list(args), action_def.undo, undo_args)
+        self.txn.rwset.record_write(str(rpath))
+        scope = self.constraints.highest_constrained_ancestor(self.model, rpath)
+        if scope is not None:
+            self.txn.rwset.record_constraint_read(str(scope))
+
+        violations = self.constraints.check_after_write(self.model, rpath)
+        if violations:
+            raise ConstraintViolation(
+                "; ".join(violations), constraint="post-action", path=str(rpath)
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Sub-procedure composition (§2.2: procedures compose other procedures)
+    # ------------------------------------------------------------------
+
+    def call(self, procedure: str, **kwargs: Any) -> Any:
+        """Invoke another stored procedure inside the current transaction.
+
+        The callee runs against the same context, so its actions extend this
+        transaction's execution log and read/write set: the composite
+        orchestration commits or rolls back as a single atomic unit.
+        """
+        if self.procedures is None:
+            raise ProcedureError(
+                "this context has no procedure registry; sub-procedure calls "
+                "are unavailable"
+            )
+        if self._call_depth >= MAX_CALL_DEPTH:
+            raise ProcedureError(
+                f"sub-procedure call depth exceeded {MAX_CALL_DEPTH} "
+                f"(while calling {procedure!r})"
+            )
+        func = self.procedures.get(procedure)
+        self._call_depth += 1
+        try:
+            return func(self, **kwargs)
+        finally:
+            self._call_depth -= 1
+
+    # ------------------------------------------------------------------
+    # Control flow helpers
+    # ------------------------------------------------------------------
+
+    def abort(self, reason: str) -> None:
+        """Abort the transaction from inside a stored procedure."""
+        raise ProcedureError(reason)
+
+    def require(self, condition: bool, reason: str) -> None:
+        """Abort unless ``condition`` holds (guard clauses in procedures)."""
+        if not condition:
+            raise ProcedureError(reason)

@@ -1,0 +1,363 @@
+"""The TROPIC controller: logical-layer transaction processing (§3, Figure 2).
+
+The (leader) controller accepts transaction requests from inputQ, schedules
+them from todoQ, simulates them against the logical data model with
+constraint checking, acquires multi-granularity locks, hands runnable
+transactions to the physical workers through phyQ, and performs cleanup
+(commit bookkeeping or logical rollback) when the workers report results.
+
+The controller keeps only soft state in memory; everything needed to resume
+after a leader failure is persisted in the coordination store *before* the
+triggering inputQ item is acknowledged, which makes message handling
+idempotent across failovers (§2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.clock import Clock, RealClock, Stopwatch
+from repro.common.config import TropicConfig
+from repro.common.errors import UnknownPathError
+from repro.coordination.queue import DistributedQueue
+from repro.core.constraints import ConstraintEngine
+from repro.core.events import (
+    KIND_REQUEST,
+    KIND_RESULT,
+    OUTCOME_ABORTED,
+    OUTCOME_COMMITTED,
+    execute_message,
+)
+from repro.core.locks import LockManager
+from repro.core.persistence import TropicStore
+from repro.core.procedures import ProcedureRegistry
+from repro.core.recovery import recover_state
+from repro.core.scheduler import FIFO, TodoQueue
+from repro.core.signals import KILL, SignalBoard, TERM
+from repro.core.simulation import LogicalExecutor
+from repro.core.txn import Transaction, TransactionState
+from repro.datamodel.schema import ModelSchema
+from repro.datamodel.tree import DataModel
+
+
+class Controller:
+    """A controller replica.  Only the elected leader executes transactions."""
+
+    def __init__(
+        self,
+        name: str,
+        config: TropicConfig,
+        store: TropicStore,
+        input_queue: DistributedQueue,
+        phy_queue: DistributedQueue,
+        schema: ModelSchema,
+        procedures: ProcedureRegistry,
+        clock: Clock | None = None,
+        on_complete: Callable[[Transaction], None] | None = None,
+    ):
+        self.name = name
+        self.config = config
+        self.store = store
+        self.input_queue = input_queue
+        self.phy_queue = phy_queue
+        self.schema = schema
+        self.procedures = procedures
+        self.clock = clock or RealClock()
+        self.on_complete = on_complete
+
+        self.model = DataModel()
+        self.constraint_engine = ConstraintEngine(schema)
+        self.executor = LogicalExecutor(self.model, schema, procedures, self.constraint_engine)
+        self.lock_manager = LockManager()
+        self.todo = TodoQueue(config.scheduler_policy)
+        self.outstanding: dict[str, Transaction] = {}
+        self.signals = SignalBoard(store)
+
+        self.busy = Stopwatch(self.clock)
+        self.recovered = False
+        self.applied_since_checkpoint = 0
+        self.stats: dict[str, int] = {
+            "accepted": 0,
+            "committed": 0,
+            "aborted_logical": 0,
+            "aborted_physical": 0,
+            "failed": 0,
+            "deferred": 0,
+            "killed": 0,
+            "checkpoints": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # State restoration (leader takeover, §2.3)
+    # ------------------------------------------------------------------
+
+    def recover(self) -> None:
+        """Rebuild logical state from the persistent store.
+
+        Called when this replica becomes leader (including the very first
+        leader).  Idempotent: calling it again simply rebuilds the same
+        state from the store.
+        """
+        state = recover_state(
+            self.store, self.schema, self.procedures, self.config, self.clock
+        )
+        self.model = state.model
+        self.constraint_engine = ConstraintEngine(self.schema)
+        self.executor = LogicalExecutor(
+            self.model, self.schema, self.procedures, self.constraint_engine
+        )
+        self.lock_manager = state.lock_manager
+        self.todo = state.todo
+        self.outstanding = state.outstanding
+        self.applied_since_checkpoint = len(state.replayed_committed)
+        self.recovered = True
+
+    def demote(self) -> None:
+        """Drop leader-only soft state when losing leadership."""
+        self.recovered = False
+        self.outstanding = {}
+        self.lock_manager = LockManager()
+        self.todo = TodoQueue(self.config.scheduler_policy)
+
+    # ------------------------------------------------------------------
+    # Main loop step
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Handle at most one inputQ message and run one scheduling pass.
+
+        Returns True if any work was performed.  All CPU time spent here is
+        charged to the busy stopwatch, which backs the controller CPU
+        utilisation measurements of Figure 4.
+        """
+        if not self.recovered:
+            self.recover()
+        did_work = False
+        with self.busy:
+            taken = self.input_queue.take()
+            if taken is not None:
+                name, item = taken
+                self._handle_message(item)
+                self.input_queue.ack(name)
+                did_work = True
+            if self.schedule():
+                did_work = True
+        return did_work
+
+    def run_until_idle(self, max_steps: int = 1_000_000) -> int:
+        """Step until no more progress can be made (used by the inline runtime)."""
+        steps = 0
+        while steps < max_steps and self.step():
+            steps += 1
+        return steps
+
+    # ------------------------------------------------------------------
+    # Message handling (Steps 2 and 5 of Figure 2)
+    # ------------------------------------------------------------------
+
+    def _handle_message(self, item: dict[str, Any]) -> None:
+        kind = item.get("kind")
+        if kind == KIND_REQUEST:
+            self._accept(item)
+        elif kind == KIND_RESULT:
+            self._cleanup(item)
+
+    def _accept(self, item: dict[str, Any]) -> None:
+        """Step 2: accept a client request into todoQ."""
+        txid = item["txid"]
+        txn = self.store.load_transaction(txid)
+        if txn is None:
+            return
+        if txn.state is not TransactionState.INITIALIZED:
+            # Duplicate delivery after a failover; recovery already placed
+            # the transaction where it belongs.
+            return
+        txn.mark(TransactionState.ACCEPTED, self.clock.now())
+        self.store.save_transaction(txn)
+        self.todo.push_back(txn)
+        self.stats["accepted"] += 1
+
+    def _cleanup(self, item: dict[str, Any]) -> None:
+        """Step 5: commit bookkeeping or logical rollback after physical execution."""
+        txid = item["txid"]
+        txn = self.outstanding.pop(txid, None)
+        if txn is None:
+            txn = self.store.load_transaction(txid)
+        if txn is None or txn.is_terminal:
+            return  # duplicate result (idempotent cleanup)
+        outcome = item.get("outcome")
+        if outcome == OUTCOME_COMMITTED:
+            self.store.record_applied(txid)
+            txn.mark(TransactionState.COMMITTED, self.clock.now())
+            self.store.save_transaction(txn)
+            self.stats["committed"] += 1
+            self.applied_since_checkpoint += 1
+            if self.applied_since_checkpoint >= self.config.checkpoint_every:
+                self.checkpoint()
+        else:
+            # 5B: roll back the logical layer via the undo log.
+            self.executor.rollback(txn)
+            txn.error = item.get("error")
+            if outcome == OUTCOME_ABORTED:
+                txn.mark(TransactionState.ABORTED, self.clock.now())
+                self.stats["aborted_physical"] += 1
+            else:
+                txn.mark(TransactionState.FAILED, self.clock.now())
+                self.stats["failed"] += 1
+                self._fence(item.get("failed_path"))
+            self.store.save_transaction(txn)
+        self.lock_manager.release_all(txid)
+        self.signals.clear(txid)
+        self._notify(txn)
+
+    def _fence(self, path: str | None) -> None:
+        """Mark a subtree inconsistent after an undo failure (§4)."""
+        if not path:
+            return
+        try:
+            self.model.mark_inconsistent(path)
+        except UnknownPathError:
+            return
+        fenced = {str(p) for p in self.model.inconsistent_paths()}
+        self.store.save_inconsistent_paths(sorted(fenced))
+
+    def _notify(self, txn: Transaction) -> None:
+        if self.on_complete is not None:
+            try:
+                self.on_complete(txn)
+            except Exception:  # noqa: BLE001 - observer bugs must not affect cleanup
+                pass
+
+    # ------------------------------------------------------------------
+    # Scheduling and logical execution (Step 3 of Figure 2)
+    # ------------------------------------------------------------------
+
+    def schedule(self) -> bool:
+        """One scheduling pass over todoQ; returns True if any transaction
+        was started or aborted."""
+        progressed = False
+        deferred: list[Transaction] = []
+        pending = self.todo.transactions()
+        for txn in pending:
+            if self.todo.remove(txn.txid) is None:
+                continue
+            disposition = self._try_run(txn)
+            if disposition == "deferred":
+                deferred.append(txn)
+                if self.todo.policy == FIFO:
+                    break  # a blocked head blocks the FIFO queue
+            else:
+                progressed = True
+        for txn in reversed(deferred):
+            self.todo.push_front(txn)
+        return progressed
+
+    def _try_run(self, txn: Transaction) -> str:
+        """Simulate, check constraints and locks, and dispatch one transaction.
+
+        Returns ``"started"``, ``"aborted"`` or ``"deferred"`` (3A/3B/3C in
+        Figure 2).
+        """
+        if self.signals.get(txn.txid) == KILL:
+            txn.error = "killed before execution"
+            txn.mark(TransactionState.ABORTED, self.clock.now())
+            self.store.save_transaction(txn)
+            self.stats["killed"] += 1
+            self._notify(txn)
+            return "aborted"
+
+        outcome = self.executor.simulate(txn)
+        if not outcome.ok:
+            # 3A: constraint violation (or procedure error) — abort.
+            txn.error = outcome.error
+            txn.mark(TransactionState.ABORTED, self.clock.now())
+            self.store.save_transaction(txn)
+            self.stats["aborted_logical"] += 1
+            self._notify(txn)
+            return "aborted"
+
+        conflict = self.lock_manager.try_acquire(txn.txid, txn.rwset)
+        if conflict is not None:
+            # 3B: resource conflict — undo the simulation and defer.
+            self.executor.rollback(txn)
+            txn.defer_count += 1
+            txn.mark(TransactionState.DEFERRED, self.clock.now())
+            self.store.save_transaction(txn)
+            self.stats["deferred"] += 1
+            return "deferred"
+
+        # 3C: runnable — keep the simulated changes, dispatch to phyQ.
+        txn.mark(TransactionState.STARTED, self.clock.now())
+        self.store.save_transaction(txn)
+        self.outstanding[txn.txid] = txn
+        self.phy_queue.put(execute_message(txn.txid))
+        return "started"
+
+    # ------------------------------------------------------------------
+    # Signals (§4)
+    # ------------------------------------------------------------------
+
+    def send_term(self, txid: str) -> None:
+        """Gracefully abort a stalled transaction (worker rolls back undo-wise)."""
+        self.signals.send(txid, TERM)
+
+    def send_kill(self, txid: str) -> None:
+        """Immediately abort a transaction in the logical layer only.
+
+        Physical effects already applied are *not* undone; the affected
+        subtrees are fenced and later reconciled with repair.
+        """
+        self.signals.send(txid, KILL)
+        txn = self.outstanding.pop(txid, None)
+        if txn is None:
+            queued = self.todo.remove(txid)
+            txn = queued or self.store.load_transaction(txid)
+            if txn is None or txn.is_terminal:
+                return
+            txn.error = "killed"
+            txn.mark(TransactionState.ABORTED, self.clock.now())
+            self.store.save_transaction(txn)
+            self.stats["killed"] += 1
+            self._notify(txn)
+            return
+        with self.busy:
+            self.executor.rollback(txn)
+            txn.error = "killed"
+            txn.mark(TransactionState.ABORTED, self.clock.now())
+            self.store.save_transaction(txn)
+            for path in sorted(txn.rwset.writes):
+                self._fence(path)
+            self.lock_manager.release_all(txid)
+            self.stats["killed"] += 1
+        self._notify(txn)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Write a data-model checkpoint and truncate the applied log."""
+        seq = self.store.applied_seq()
+        self.store.save_checkpoint(self.model, seq)
+        self.store.truncate_applied(seq)
+        self.applied_since_checkpoint = 0
+        self.stats["checkpoints"] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def busy_seconds(self) -> float:
+        return self.busy.busy_seconds
+
+    def queue_depth(self) -> int:
+        return len(self.todo)
+
+    def outstanding_count(self) -> int:
+        return len(self.outstanding)
+
+    def snapshot_stats(self) -> dict[str, int]:
+        return dict(self.stats)
+
+    def __repr__(self) -> str:
+        return f"<Controller {self.name} recovered={self.recovered} todo={len(self.todo)}>"

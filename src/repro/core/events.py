@@ -1,0 +1,49 @@
+"""Message formats flowing through inputQ and phyQ (Figure 1/2).
+
+Messages are plain JSON dictionaries so they can live in the coordination
+queues.  Three kinds exist:
+
+* ``request`` — a client submitted a transaction (already persisted in the
+  store in ``initialized`` state); the controller accepts it.
+* ``execute`` — the controller hands a runnable transaction to the
+  physical workers via phyQ.
+* ``result`` — a worker reports the physical outcome (committed, aborted
+  or failed) back to the controller via inputQ.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+KIND_REQUEST = "request"
+KIND_EXECUTE = "execute"
+KIND_RESULT = "result"
+
+OUTCOME_COMMITTED = "committed"
+OUTCOME_ABORTED = "aborted"
+OUTCOME_FAILED = "failed"
+
+
+def request_message(txid: str) -> dict[str, Any]:
+    return {"kind": KIND_REQUEST, "txid": txid}
+
+
+def execute_message(txid: str) -> dict[str, Any]:
+    return {"kind": KIND_EXECUTE, "txid": txid}
+
+
+def result_message(
+    txid: str,
+    outcome: str,
+    error: str | None = None,
+    failed_path: str | None = None,
+    worker: str = "",
+) -> dict[str, Any]:
+    return {
+        "kind": KIND_RESULT,
+        "txid": txid,
+        "outcome": outcome,
+        "error": error,
+        "failed_path": failed_path,
+        "worker": worker,
+    }

@@ -1,0 +1,199 @@
+"""Multi-granularity lock manager (§3.1.3).
+
+TROPIC uses pessimistic concurrency control with hierarchical intention
+locking [Gray/Ramakrishnan]: a transaction takes read (R) or write (W)
+locks on the objects it uses and intention locks (IR/IW) on all ancestors
+of those objects, so conflicts can be detected high up the tree.  Per the
+paper's footnote: *IW locks conflict with R and W locks, while IR locks
+conflict with W locks*.
+
+All locks of a transaction are acquired atomically at schedule time (after
+simulation has inferred the read/write sets); if any requested lock
+conflicts with an outstanding transaction, the transaction is deferred and
+retried later, so deadlock cannot occur.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.txn import ReadWriteSet
+from repro.datamodel.path import ResourcePath
+
+
+class LockMode(str, enum.Enum):
+    """Lock modes of the multi-granularity scheme."""
+
+    IR = "IR"
+    IW = "IW"
+    R = "R"
+    W = "W"
+
+
+#: Compatibility matrix: ``COMPATIBLE[(held, requested)]`` is True when a lock
+#: of mode ``requested`` may coexist with a held lock of mode ``held``.
+COMPATIBLE: dict[tuple[LockMode, LockMode], bool] = {
+    (LockMode.IR, LockMode.IR): True,
+    (LockMode.IR, LockMode.IW): True,
+    (LockMode.IR, LockMode.R): True,
+    (LockMode.IR, LockMode.W): False,
+    (LockMode.IW, LockMode.IR): True,
+    (LockMode.IW, LockMode.IW): True,
+    (LockMode.IW, LockMode.R): False,
+    (LockMode.IW, LockMode.W): False,
+    (LockMode.R, LockMode.IR): True,
+    (LockMode.R, LockMode.IW): False,
+    (LockMode.R, LockMode.R): True,
+    (LockMode.R, LockMode.W): False,
+    (LockMode.W, LockMode.IR): False,
+    (LockMode.W, LockMode.IW): False,
+    (LockMode.W, LockMode.R): False,
+    (LockMode.W, LockMode.W): False,
+}
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    return COMPATIBLE[(held, requested)]
+
+
+@dataclass
+class LockConflictInfo:
+    """Description of the first conflict found for a lock request."""
+
+    path: str
+    requested: LockMode
+    held: LockMode
+    holder: str
+
+
+class LockManager:
+    """Tracks locks held by outstanding transactions."""
+
+    def __init__(self) -> None:
+        # path -> txid -> set of modes held by that transaction on that path
+        self._locks: dict[ResourcePath, dict[str, set[LockMode]]] = defaultdict(dict)
+        self._by_txn: dict[str, set[ResourcePath]] = defaultdict(set)
+        self._mutex = threading.RLock()
+        self.acquisitions = 0
+        self.conflicts_detected = 0
+
+    # -- building lock requests --------------------------------------------
+
+    @staticmethod
+    def requests_for(rwset: ReadWriteSet) -> dict[ResourcePath, LockMode]:
+        """Expand a read/write set into the full set of locks to acquire,
+        including intention locks on ancestors.
+
+        Stronger modes win when the same path is implied several times
+        (W > R > IW > IR).
+        """
+        strength = {LockMode.IR: 0, LockMode.IW: 1, LockMode.R: 2, LockMode.W: 3}
+        requests: dict[ResourcePath, LockMode] = {}
+
+        def add(path: ResourcePath, mode: LockMode) -> None:
+            current = requests.get(path)
+            if current is None or strength[mode] > strength[current]:
+                requests[path] = mode
+
+        def add_with_intentions(path_str: str, mode: LockMode, intention: LockMode) -> None:
+            path = ResourcePath.parse(path_str)
+            add(path, mode)
+            for ancestor in path.ancestors():
+                add(ancestor, intention)
+
+        for path_str in rwset.writes:
+            add_with_intentions(path_str, LockMode.W, LockMode.IW)
+        for path_str in rwset.reads:
+            add_with_intentions(path_str, LockMode.R, LockMode.IR)
+        for path_str in rwset.constraint_reads:
+            add_with_intentions(path_str, LockMode.R, LockMode.IR)
+        return requests
+
+    # -- conflict detection and acquisition -----------------------------------
+
+    def find_conflict(
+        self, txid: str, requests: dict[ResourcePath, LockMode]
+    ) -> LockConflictInfo | None:
+        """Return the first conflict between ``requests`` and locks held by
+        *other* transactions, or ``None`` if all requests are grantable."""
+        with self._mutex:
+            for path, requested in requests.items():
+                holders = self._locks.get(path)
+                if not holders:
+                    continue
+                for holder, modes in holders.items():
+                    if holder == txid:
+                        continue
+                    for held in modes:
+                        if not compatible(held, requested):
+                            self.conflicts_detected += 1
+                            return LockConflictInfo(
+                                path=str(path), requested=requested, held=held, holder=holder
+                            )
+            return None
+
+    def acquire(self, txid: str, requests: dict[ResourcePath, LockMode]) -> None:
+        """Grant all requested locks to ``txid`` (caller must have checked
+        :meth:`find_conflict` first; this method does not block)."""
+        with self._mutex:
+            for path, mode in requests.items():
+                self._locks[path].setdefault(txid, set()).add(mode)
+                self._by_txn[txid].add(path)
+                self.acquisitions += 1
+
+    def try_acquire(self, txid: str, rwset: ReadWriteSet) -> LockConflictInfo | None:
+        """Convenience: expand, check and acquire in one step."""
+        requests = self.requests_for(rwset)
+        with self._mutex:
+            conflict = self.find_conflict(txid, requests)
+            if conflict is not None:
+                return conflict
+            self.acquire(txid, requests)
+            return None
+
+    def release_all(self, txid: str) -> int:
+        """Release every lock held by ``txid``; returns the number released."""
+        released = 0
+        with self._mutex:
+            for path in self._by_txn.pop(txid, set()):
+                holders = self._locks.get(path)
+                if holders and txid in holders:
+                    released += len(holders[txid])
+                    del holders[txid]
+                    if not holders:
+                        del self._locks[path]
+        return released
+
+    # -- introspection ------------------------------------------------------------
+
+    def holders(self, path: str | ResourcePath) -> dict[str, set[LockMode]]:
+        with self._mutex:
+            return {
+                txid: set(modes)
+                for txid, modes in self._locks.get(ResourcePath.parse(path), {}).items()
+            }
+
+    def locks_of(self, txid: str) -> dict[ResourcePath, set[LockMode]]:
+        with self._mutex:
+            result = {}
+            for path in self._by_txn.get(txid, set()):
+                modes = self._locks.get(path, {}).get(txid)
+                if modes:
+                    result[path] = set(modes)
+            return result
+
+    def active_transactions(self) -> set[str]:
+        with self._mutex:
+            return set(self._by_txn)
+
+    def total_locked_paths(self) -> int:
+        with self._mutex:
+            return len(self._locks)
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._locks.clear()
+            self._by_txn.clear()

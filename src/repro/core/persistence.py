@@ -1,0 +1,151 @@
+"""Persistent controller state in the coordination store (§2.3, §5).
+
+TROPIC controllers keep only soft state in memory; everything needed to
+resume execution after a leader failure lives in the replicated store:
+
+* one document per transaction (state, arguments, execution log, read/write
+  sets, timestamps),
+* the latest data-model checkpoint plus an *applied log* of transactions
+  committed since that checkpoint (a write-ahead structure the new leader
+  replays to rebuild the logical model),
+* the set of paths fenced off by cross-layer inconsistencies, and
+* the TERM/KILL signal board.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.coordination.kvstore import KVStore
+from repro.core.txn import Transaction, TransactionState
+from repro.datamodel.tree import DataModel
+
+
+class TropicStore:
+    """Typed facade over the KV store for controller/worker persistence."""
+
+    TXN_PREFIX = "txns"
+    APPLIED_PREFIX = "applied"
+    SIGNAL_PREFIX = "signals"
+
+    def __init__(self, kv: KVStore):
+        self.kv = kv
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def save_transaction(self, txn: Transaction) -> None:
+        self.kv.put(f"{self.TXN_PREFIX}/{txn.txid}", txn.to_dict())
+
+    def load_transaction(self, txid: str) -> Transaction | None:
+        data = self.kv.get(f"{self.TXN_PREFIX}/{txid}")
+        if data is None:
+            return None
+        return Transaction.from_dict(data)
+
+    def transaction_ids(self) -> list[str]:
+        return self.kv.keys(self.TXN_PREFIX)
+
+    def load_all_transactions(self) -> list[Transaction]:
+        return [
+            Transaction.from_dict(value)
+            for _, value in self.kv.items(self.TXN_PREFIX)
+            if value is not None
+        ]
+
+    def load_active_transactions(self) -> list[Transaction]:
+        """Transactions that still occupy the logical layer (non-terminal)."""
+        return [txn for txn in self.load_all_transactions() if not txn.is_terminal]
+
+    def delete_transaction(self, txid: str) -> None:
+        self.kv.delete(f"{self.TXN_PREFIX}/{txid}", recursive=True)
+
+    def count_by_state(self) -> dict[str, int]:
+        counts: dict[str, int] = {state.value: 0 for state in TransactionState}
+        for txn in self.load_all_transactions():
+            counts[txn.state.value] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Checkpoint + applied log (write-ahead structure for recovery)
+    # ------------------------------------------------------------------
+
+    def save_checkpoint(self, model: DataModel, applied_seq: int) -> None:
+        self.kv.put("checkpoint", {"model": model.to_dict(), "applied_seq": applied_seq})
+
+    def load_checkpoint(self) -> tuple[DataModel | None, int]:
+        data = self.kv.get("checkpoint")
+        if data is None:
+            return None, 0
+        return DataModel.from_dict(data["model"]), int(data.get("applied_seq", 0))
+
+    def applied_seq(self) -> int:
+        return int(self.kv.get("applied_seq", 0))
+
+    def record_applied(self, txid: str) -> int:
+        """Append ``txid`` to the applied log; returns its sequence number."""
+        seq = self.applied_seq() + 1
+        self.kv.put(f"{self.APPLIED_PREFIX}/e-{seq:010d}", {"seq": seq, "txid": txid})
+        self.kv.put("applied_seq", seq)
+        return seq
+
+    def applied_since(self, seq: int) -> list[str]:
+        """Transaction ids applied after sequence number ``seq``, in order."""
+        entries: list[tuple[int, str]] = []
+        for _, value in self.kv.items(self.APPLIED_PREFIX):
+            if value is None:
+                continue
+            if int(value["seq"]) > seq:
+                entries.append((int(value["seq"]), value["txid"]))
+        return [txid for _, txid in sorted(entries)]
+
+    def applied_txids(self) -> set[str]:
+        return {
+            value["txid"]
+            for _, value in self.kv.items(self.APPLIED_PREFIX)
+            if value is not None
+        }
+
+    def truncate_applied(self, upto_seq: int) -> int:
+        """Drop applied-log entries with sequence <= ``upto_seq`` (after a
+        checkpoint has captured their effects).  Returns entries removed."""
+        removed = 0
+        for key, value in list(self.kv.items(self.APPLIED_PREFIX)):
+            if value is not None and int(value["seq"]) <= upto_seq:
+                self.kv.delete(f"{self.APPLIED_PREFIX}/{key}")
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Inconsistency fencing (§4)
+    # ------------------------------------------------------------------
+
+    def save_inconsistent_paths(self, paths: list[str]) -> None:
+        self.kv.put("inconsistent", sorted(set(paths)))
+
+    def load_inconsistent_paths(self) -> list[str]:
+        return list(self.kv.get("inconsistent", []))
+
+    # ------------------------------------------------------------------
+    # Signals (§4)
+    # ------------------------------------------------------------------
+
+    def set_signal(self, txid: str, signal: str) -> None:
+        self.kv.put(f"{self.SIGNAL_PREFIX}/{txid}", signal)
+
+    def get_signal(self, txid: str) -> str | None:
+        return self.kv.get(f"{self.SIGNAL_PREFIX}/{txid}")
+
+    def clear_signal(self, txid: str) -> None:
+        self.kv.delete(f"{self.SIGNAL_PREFIX}/{txid}")
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def put_meta(self, key: str, value: Any) -> None:
+        self.kv.put(f"meta/{key}", value)
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        return self.kv.get(f"meta/{key}", default)

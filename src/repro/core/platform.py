@@ -1,0 +1,539 @@
+"""The TROPIC platform: public API tying all components together (Figure 1).
+
+:class:`TropicPlatform` owns the coordination ensemble, the persistent
+store, the inputQ/phyQ queues, a set of replicated controllers (leader +
+followers) and the physical workers.  Clients submit stored-procedure calls
+with :meth:`TropicPlatform.submit` and receive a
+:class:`TransactionHandle`.
+
+Two runtimes are provided:
+
+* **inline** (``threaded=False``): controller and workers are stepped in
+  the calling thread; execution is fully deterministic.  Used by most
+  tests and by benchmarks that measure per-transaction costs.
+* **threaded** (``threaded=True``): one service thread per controller
+  replica and per worker, plus an optional maintenance thread (periodic
+  repair, stalled-transaction watchdog).  Used by the examples, the
+  EC2-trace performance benchmarks, and the high-availability experiments
+  (leader failover, §6.4).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.common.clock import Clock, RealClock
+from repro.common.config import TropicConfig
+from repro.common.errors import ConfigurationError, ReproError, TransactionFailed
+from repro.common.idgen import random_id
+from repro.coordination.client import CoordinationClient
+from repro.coordination.election import LeaderElection
+from repro.coordination.ensemble import CoordinationEnsemble
+from repro.coordination.kvstore import KVStore
+from repro.coordination.queue import DistributedQueue
+from repro.core.controller import Controller
+from repro.core.events import request_message
+from repro.core.persistence import TropicStore
+from repro.core.procedures import ProcedureRegistry
+from repro.core.reconcile import Reconciler, ReloadReport, RepairReport
+from repro.core.signals import SignalBoard
+from repro.core.txn import Transaction, TransactionState
+from repro.core.worker import Worker
+from repro.datamodel.schema import ModelSchema
+from repro.datamodel.tree import DataModel
+from repro.drivers.registry import DeviceRegistry
+
+#: Session timeout used for clients whose failure need not be detected
+#: (the platform's own client and the workers').  Controller election
+#: sessions use ``config.session_timeout`` instead.
+_LONG_SESSION = 3600.0
+
+INPUT_QUEUE_PATH = "/tropic/queues/inputQ"
+PHY_QUEUE_PATH = "/tropic/queues/phyQ"
+ELECTION_PATH = "/tropic/election"
+STORE_PREFIX = "/tropic/store"
+
+
+class TransactionHandle:
+    """Client-side handle to a submitted transaction."""
+
+    def __init__(self, platform: "TropicPlatform", txid: str):
+        self.platform = platform
+        self.txid = txid
+
+    def refresh(self) -> Transaction | None:
+        return self.platform.store.load_transaction(self.txid)
+
+    @property
+    def state(self) -> TransactionState | None:
+        txn = self.refresh()
+        return None if txn is None else txn.state
+
+    def is_done(self) -> bool:
+        txn = self.refresh()
+        return txn is not None and txn.is_terminal
+
+    def wait(self, timeout: float | None = None) -> Transaction:
+        """Block until the transaction reaches a terminal state."""
+        return self.platform.wait_for(self.txid, timeout)
+
+    def __repr__(self) -> str:
+        return f"<TransactionHandle {self.txid}>"
+
+
+class _ControllerRunner(threading.Thread):
+    """Service thread hosting one controller replica."""
+
+    def __init__(self, platform: "TropicPlatform", controller: Controller):
+        super().__init__(name=f"tropic-{controller.name}", daemon=True)
+        self.platform = platform
+        self.controller = controller
+        self.stop_event = threading.Event()
+        self.election_client = CoordinationClient(
+            platform.ensemble, session_timeout=platform.config.session_timeout
+        )
+        self.election = LeaderElection(
+            self.election_client, ELECTION_PATH, controller.name
+        )
+        self.is_leader = False
+        self.became_leader_at: float | None = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration tests
+        clock = self.platform.clock
+        config = self.platform.config
+        self.election.volunteer()
+        last_heartbeat = clock.now()
+        while not self.stop_event.is_set():
+            try:
+                now = clock.now()
+                if now - last_heartbeat >= config.heartbeat_interval:
+                    self.election_client.heartbeat()
+                    last_heartbeat = now
+                leading = self.election.is_leader()
+                if leading and not self.is_leader:
+                    self.controller.recover()
+                    self.became_leader_at = clock.now()
+                elif not leading and self.is_leader:
+                    self.controller.demote()
+                self.is_leader = leading
+                did_work = self.controller.step() if leading else False
+                if not did_work:
+                    clock.sleep(config.queue_poll_interval)
+            except ReproError:
+                # Coordination hiccups (lost quorum, expired session) are
+                # retried on the next loop iteration.
+                clock.sleep(config.queue_poll_interval)
+            except Exception:  # noqa: BLE001 - keep the replica alive
+                clock.sleep(config.queue_poll_interval)
+
+    def stop(self) -> None:
+        self.stop_event.set()
+
+
+class _WorkerRunner(threading.Thread):
+    """Service thread hosting one physical worker."""
+
+    def __init__(self, platform: "TropicPlatform", worker: Worker):
+        super().__init__(name=f"tropic-{worker.name}", daemon=True)
+        self.platform = platform
+        self.worker = worker
+        self.stop_event = threading.Event()
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration tests
+        clock = self.platform.clock
+        config = self.platform.config
+        while not self.stop_event.is_set():
+            try:
+                if not self.worker.step():
+                    clock.sleep(config.queue_poll_interval)
+            except ReproError:
+                clock.sleep(config.queue_poll_interval)
+            except Exception:  # noqa: BLE001 - keep the worker alive
+                clock.sleep(config.queue_poll_interval)
+
+    def stop(self) -> None:
+        self.stop_event.set()
+
+
+class _MaintenanceRunner(threading.Thread):
+    """Periodic repair daemon and stalled-transaction watchdog (§4)."""
+
+    def __init__(self, platform: "TropicPlatform"):
+        super().__init__(name="tropic-maintenance", daemon=True)
+        self.platform = platform
+        self.stop_event = threading.Event()
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration tests
+        clock = self.platform.clock
+        config = self.platform.config
+        last_repair = clock.now()
+        while not self.stop_event.is_set():
+            try:
+                now = clock.now()
+                if config.repair_period > 0 and now - last_repair >= config.repair_period:
+                    self.platform.repair()
+                    last_repair = now
+                if config.txn_timeout > 0:
+                    self.platform.terminate_stalled(config.txn_timeout)
+            except ReproError:
+                pass
+            except Exception:  # noqa: BLE001
+                pass
+            clock.sleep(max(config.queue_poll_interval, 0.01))
+
+    def stop(self) -> None:
+        self.stop_event.set()
+
+
+class TropicPlatform:
+    """Transactional resource orchestration platform."""
+
+    def __init__(
+        self,
+        schema: ModelSchema,
+        procedures: ProcedureRegistry,
+        config: TropicConfig | None = None,
+        registry: DeviceRegistry | None = None,
+        initial_model: DataModel | None = None,
+        ensemble: CoordinationEnsemble | None = None,
+        clock: Clock | None = None,
+        threaded: bool = False,
+    ):
+        self.schema = schema
+        self.procedures = procedures
+        self.config = config or TropicConfig()
+        self.config.validate()
+        self.registry = registry
+        self.initial_model = initial_model
+        self.clock = clock or RealClock()
+        self.threaded = threaded
+
+        self.ensemble = ensemble or CoordinationEnsemble(
+            num_servers=3,
+            clock=self.clock,
+            default_session_timeout=self.config.session_timeout,
+            op_latency=self.config.coordination_latency,
+        )
+        self.client: CoordinationClient | None = None
+        self.store: TropicStore | None = None
+        self.input_queue: DistributedQueue | None = None
+        self.phy_queue: DistributedQueue | None = None
+        self.controllers: list[Controller] = []
+        self.workers: list[Worker] = []
+        self.signals: SignalBoard | None = None
+        self.completed_transactions: list[Transaction] = []
+        self._controller_runners: list[_ControllerRunner] = []
+        self._worker_runners: list[_WorkerRunner] = []
+        self._maintenance: _MaintenanceRunner | None = None
+        self._started = False
+        self._completion_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "TropicPlatform":
+        """Bring up the store, queues, controllers and workers."""
+        if self._started:
+            return self
+        self.client = CoordinationClient(self.ensemble, session_timeout=_LONG_SESSION)
+        self.store = TropicStore(KVStore(self.client, STORE_PREFIX))
+        self.input_queue = DistributedQueue(self.client, INPUT_QUEUE_PATH, self.clock)
+        self.phy_queue = DistributedQueue(self.client, PHY_QUEUE_PATH, self.clock)
+        self.signals = SignalBoard(self.store)
+
+        # Bootstrap the data-model checkpoint on first start.
+        checkpoint, _ = self.store.load_checkpoint()
+        if checkpoint is None:
+            model = self.initial_model if self.initial_model is not None else DataModel()
+            self.store.save_checkpoint(model, 0)
+
+        num_controllers = self.config.num_controllers if self.threaded else 1
+        for index in range(num_controllers):
+            controller = Controller(
+                name=f"controller-{index}-{random_id('c')[-4:]}",
+                config=self.config,
+                store=self.store,
+                input_queue=self.input_queue,
+                phy_queue=self.phy_queue,
+                schema=self.schema,
+                procedures=self.procedures,
+                clock=self.clock,
+                on_complete=self._on_complete,
+            )
+            self.controllers.append(controller)
+
+        for index in range(self.config.num_workers):
+            worker = Worker(
+                name=f"worker-{index}",
+                store=self.store,
+                phy_queue=self.phy_queue,
+                input_queue=self.input_queue,
+                registry=self.registry,
+                config=self.config,
+                clock=self.clock,
+            )
+            self.workers.append(worker)
+
+        if self.threaded:
+            for controller in self.controllers:
+                runner = _ControllerRunner(self, controller)
+                self._controller_runners.append(runner)
+                runner.start()
+            for worker in self.workers:
+                runner = _WorkerRunner(self, worker)
+                self._worker_runners.append(runner)
+                runner.start()
+            if self.config.repair_period > 0 or self.config.txn_timeout > 0:
+                self._maintenance = _MaintenanceRunner(self)
+                self._maintenance.start()
+        else:
+            # Inline runtime: one controller, recovered eagerly.
+            self.controllers[0].recover()
+
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop service threads and close coordination sessions."""
+        for runner in self._controller_runners:
+            runner.stop()
+        for runner in self._worker_runners:
+            runner.stop()
+        if self._maintenance is not None:
+            self._maintenance.stop()
+        for runner in self._controller_runners:
+            runner.join(timeout=2.0)
+        for runner in self._worker_runners:
+            runner.join(timeout=2.0)
+        if self._maintenance is not None:
+            self._maintenance.join(timeout=2.0)
+        self._controller_runners = []
+        self._worker_runners = []
+        self._maintenance = None
+        self._started = False
+
+    def __enter__(self) -> "TropicPlatform":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        procedure: str,
+        args: dict[str, Any] | None = None,
+        wait: bool = True,
+        timeout: float | None = 30.0,
+        client: str = "",
+    ) -> Transaction | TransactionHandle:
+        """Submit a transactional orchestration (Step 1 of Figure 2).
+
+        With ``wait=True`` (default) the call blocks until the transaction
+        reaches a terminal state and returns the final
+        :class:`~repro.core.txn.Transaction`; otherwise it returns a
+        :class:`TransactionHandle` immediately.
+        """
+        self._require_started()
+        if not self.procedures.has(procedure):
+            raise ConfigurationError(f"unknown stored procedure {procedure!r}")
+        txn = Transaction(procedure=procedure, args=dict(args or {}), client=client)
+        txn.mark(TransactionState.INITIALIZED, self.clock.now())
+        self.store.save_transaction(txn)
+        self.input_queue.put(request_message(txn.txid))
+        handle = TransactionHandle(self, txn.txid)
+        if not wait:
+            if not self.threaded:
+                return handle
+            return handle
+        if not self.threaded:
+            self.run_until_idle()
+        return handle.wait(timeout)
+
+    def submit_many(
+        self, requests: list[tuple[str, dict[str, Any]]], wait: bool = True, timeout: float | None = 60.0
+    ) -> list[Transaction | TransactionHandle]:
+        """Submit a batch of transactions, then optionally wait for all."""
+        handles = [self.submit(proc, args, wait=False) for proc, args in requests]
+        if not wait:
+            return handles
+        if not self.threaded:
+            self.run_until_idle()
+        return [handle.wait(timeout) for handle in handles]
+
+    def wait_for(self, txid: str, timeout: float | None = 30.0) -> Transaction:
+        """Block until ``txid`` reaches a terminal state (polling the store)."""
+        self._require_started()
+        deadline = None if timeout is None else self.clock.now() + timeout
+        while True:
+            txn = self.store.load_transaction(txid)
+            if txn is not None and txn.is_terminal:
+                return txn
+            if not self.threaded:
+                # Inline runtime: drive execution ourselves.
+                progressed = self.run_until_idle()
+                txn = self.store.load_transaction(txid)
+                if txn is not None and txn.is_terminal:
+                    return txn
+                if not progressed:
+                    raise TransactionFailed(
+                        f"transaction {txid} cannot make progress (deadlocked or lost)",
+                        txid=txid,
+                    )
+                continue
+            if deadline is not None and self.clock.now() >= deadline:
+                raise TimeoutError(f"transaction {txid} did not finish within {timeout}s")
+            self.clock.sleep(self.config.queue_poll_interval)
+
+    # ------------------------------------------------------------------
+    # Inline runtime driver
+    # ------------------------------------------------------------------
+
+    def run_until_idle(self, max_rounds: int = 100_000) -> int:
+        """Step controller and workers until every queue is drained.
+
+        Only meaningful for the inline runtime; returns the number of
+        productive rounds.
+        """
+        self._require_started()
+        if self.threaded:
+            return 0
+        controller = self.controllers[0]
+        rounds = 0
+        for _ in range(max_rounds):
+            progressed = controller.step()
+            for worker in self.workers:
+                if worker.step():
+                    progressed = True
+            if not progressed and self.input_queue.is_empty() and self.phy_queue.is_empty():
+                break
+            if progressed:
+                rounds += 1
+        return rounds
+
+    # ------------------------------------------------------------------
+    # Reconciliation and signals (§4)
+    # ------------------------------------------------------------------
+
+    def reconciler(self) -> Reconciler:
+        self._require_started()
+        if self.registry is None:
+            raise ConfigurationError("reconciliation requires a device registry")
+        return Reconciler(self.leader(), self.registry)
+
+    def repair(self, path: str = "/") -> RepairReport:
+        return self.reconciler().repair(path)
+
+    def reload(self, path: str) -> ReloadReport:
+        return self.reconciler().reload(path)
+
+    def send_term(self, txid: str) -> None:
+        self.leader().send_term(txid)
+
+    def send_kill(self, txid: str) -> None:
+        self.leader().send_kill(txid)
+
+    def terminate_stalled(self, txn_timeout: float) -> list[str]:
+        """TERM every outstanding transaction older than ``txn_timeout``."""
+        leader = self.leader()
+        now = self.clock.now()
+        terminated = []
+        for txid, txn in list(leader.outstanding.items()):
+            started = txn.timestamps.get(TransactionState.STARTED.value)
+            if started is not None and now - started > txn_timeout:
+                leader.send_term(txid)
+                terminated.append(txid)
+        return terminated
+
+    # ------------------------------------------------------------------
+    # High availability controls (§6.4)
+    # ------------------------------------------------------------------
+
+    def leader(self) -> Controller:
+        """The controller currently acting as leader."""
+        self._require_started()
+        if not self.threaded:
+            return self.controllers[0]
+        for runner in self._controller_runners:
+            if runner.is_alive() and runner.is_leader:
+                return runner.controller
+        # No acknowledged leader yet (e.g. mid-failover); prefer a replica
+        # that has already restored state, then any live replica.
+        for runner in self._controller_runners:
+            if runner.is_alive() and runner.controller.recovered:
+                return runner.controller
+        for runner in self._controller_runners:
+            if runner.is_alive():
+                return runner.controller
+        raise ConfigurationError("no live controller replica")
+
+    def leader_runner(self) -> "_ControllerRunner | None":
+        for runner in self._controller_runners:
+            if runner.is_alive() and runner.is_leader:
+                return runner
+        return None
+
+    def kill_leader(self) -> str | None:
+        """Crash the current lead controller (thread stop + session expiry).
+
+        Returns the name of the killed controller.  Followers detect the
+        failure through session expiry and elect a new leader which resumes
+        in-flight transactions from the persistent store.
+        """
+        self._require_started()
+        if not self.threaded:
+            raise ConfigurationError("kill_leader requires the threaded runtime")
+        runner = self.leader_runner()
+        if runner is None:
+            return None
+        runner.stop()
+        runner.join(timeout=2.0)
+        self.ensemble.expire_session(runner.election_client.session_id)
+        return runner.controller.name
+
+    def live_controller_names(self) -> list[str]:
+        return [r.controller.name for r in self._controller_runners if r.is_alive()]
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def _on_complete(self, txn: Transaction) -> None:
+        with self._completion_lock:
+            self.completed_transactions.append(txn)
+
+    def completed(self) -> list[Transaction]:
+        with self._completion_lock:
+            return list(self.completed_transactions)
+
+    def latencies(self) -> list[float]:
+        """Submit-to-terminal latencies of completed transactions, in seconds."""
+        return [
+            latency
+            for txn in self.completed()
+            if (latency := txn.latency()) is not None
+        ]
+
+    def controller_stats(self) -> dict[str, int]:
+        return self.leader().snapshot_stats()
+
+    def controller_busy_seconds(self) -> float:
+        return sum(controller.busy_seconds() for controller in self.controllers)
+
+    def resource_count(self) -> int:
+        return self.leader().model.count()
+
+    # ------------------------------------------------------------------
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise ConfigurationError("platform is not started; call start() first")
+
+    def __repr__(self) -> str:
+        mode = "threaded" if self.threaded else "inline"
+        return f"<TropicPlatform {mode} controllers={len(self.controllers)} workers={len(self.workers)}>"

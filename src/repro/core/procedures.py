@@ -1,0 +1,70 @@
+"""Stored procedure registry.
+
+Orchestration logic is specified as *stored procedures* composed of
+queries, actions and other stored procedures (§2.2).  A procedure is a
+Python callable ``proc(ctx, **kwargs)`` that receives an
+:class:`~repro.core.context.OrchestrationContext`.  Procedures are
+registered by name so that every controller replica — including a follower
+taking over after failover — resolves the same transaction request to the
+same code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.errors import ConfigurationError, ProcedureError
+
+ProcedureFn = Callable[..., Any]
+
+
+class ProcedureRegistry:
+    """Named collection of stored procedures for one deployment."""
+
+    def __init__(self) -> None:
+        self._procedures: dict[str, ProcedureFn] = {}
+
+    def register(self, name: str, func: ProcedureFn) -> ProcedureFn:
+        if name in self._procedures:
+            raise ConfigurationError(f"duplicate stored procedure {name!r}")
+        self._procedures[name] = func
+        return func
+
+    def procedure(self, name: str | None = None) -> Callable[[ProcedureFn], ProcedureFn]:
+        """Decorator form of :meth:`register`."""
+
+        def decorator(func: ProcedureFn) -> ProcedureFn:
+            self.register(name or func.__name__, func)
+            return func
+
+        return decorator
+
+    def get(self, name: str) -> ProcedureFn:
+        try:
+            return self._procedures[name]
+        except KeyError:
+            raise ProcedureError(f"unknown stored procedure {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._procedures
+
+    def names(self) -> list[str]:
+        return sorted(self._procedures)
+
+    def merge(self, other: "ProcedureRegistry") -> "ProcedureRegistry":
+        """Add every procedure of ``other`` into this registry."""
+        for name in other.names():
+            self.register(name, other.get(name))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._procedures)
+
+
+#: Convenience registry for small scripts and examples.
+DEFAULT_REGISTRY = ProcedureRegistry()
+
+
+def procedure(name: str | None = None) -> Callable[[ProcedureFn], ProcedureFn]:
+    """Register a stored procedure in the module-level default registry."""
+    return DEFAULT_REGISTRY.procedure(name)

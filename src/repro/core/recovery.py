@@ -1,0 +1,114 @@
+"""Leader failover recovery (§2.3, evaluated in §6.4).
+
+Controllers keep state in memory only as a cached copy.  When a follower
+takes over, it restores the previous leader's state from the persistent
+store:
+
+1. load the latest data-model checkpoint,
+2. replay the execution logs of transactions committed since that
+   checkpoint (the *applied log*), in commit order,
+3. re-apply the logical effects and re-acquire the locks of in-flight
+   (started) transactions, and
+4. put accepted/deferred transactions back into todoQ.
+
+Every step is idempotent: the procedure only reads persistent state and the
+resulting in-memory state is the same no matter how many times it runs, so
+a leader can fail at any point without losing submitted transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import Clock, RealClock
+from repro.common.config import TropicConfig
+from repro.common.errors import UnknownPathError
+from repro.core.locks import LockManager
+from repro.core.persistence import TropicStore
+from repro.core.procedures import ProcedureRegistry
+from repro.core.scheduler import TodoQueue
+from repro.core.simulation import LogicalExecutor
+from repro.core.txn import Transaction, TransactionState
+from repro.datamodel.schema import ModelSchema
+from repro.datamodel.tree import DataModel
+
+
+@dataclass
+class RecoveredState:
+    """In-memory controller state rebuilt from the persistent store."""
+
+    model: DataModel
+    lock_manager: LockManager
+    todo: TodoQueue
+    outstanding: dict[str, Transaction]
+    replayed_committed: list[str] = field(default_factory=list)
+    completed_started: list[str] = field(default_factory=list)
+
+
+def recover_state(
+    store: TropicStore,
+    schema: ModelSchema,
+    procedures: ProcedureRegistry,
+    config: TropicConfig,
+    clock: Clock | None = None,
+) -> RecoveredState:
+    """Rebuild the leader's soft state from the coordination store."""
+    clock = clock or RealClock()
+
+    checkpoint_model, checkpoint_seq = store.load_checkpoint()
+    model = checkpoint_model if checkpoint_model is not None else DataModel()
+    executor = LogicalExecutor(model, schema, procedures)
+
+    # Step 2: replay committed transactions since the checkpoint, in order.
+    replayed: list[str] = []
+    applied_txids = set()
+    for txid in store.applied_since(checkpoint_seq):
+        applied_txids.add(txid)
+        txn = store.load_transaction(txid)
+        if txn is None:
+            continue
+        executor.apply_log(txn.log)
+        replayed.append(txid)
+
+    # Steps 3-4: rebuild in-flight state.
+    lock_manager = LockManager()
+    todo = TodoQueue(config.scheduler_policy)
+    outstanding: dict[str, Transaction] = {}
+    completed_started: list[str] = []
+
+    transactions = sorted(store.load_all_transactions(), key=lambda t: t.txid)
+    for txn in transactions:
+        if txn.state in (TransactionState.ACCEPTED, TransactionState.DEFERRED):
+            todo.push_back(txn)
+        elif txn.state is TransactionState.STARTED:
+            if txn.txid in applied_txids:
+                # The previous leader recorded the commit in the applied log
+                # but crashed before updating the transaction document.
+                # Its effects were replayed above; finish the cleanup now.
+                txn.mark(TransactionState.COMMITTED, clock.now())
+                store.save_transaction(txn)
+                completed_started.append(txn.txid)
+                continue
+            executor.apply_log(txn.log)
+            conflict = lock_manager.try_acquire(txn.txid, txn.rwset)
+            if conflict is not None:
+                # Cannot happen if the previous leader scheduled correctly,
+                # but acquire unconditionally to be safe.
+                lock_manager.acquire(txn.txid, lock_manager.requests_for(txn.rwset))
+            outstanding[txn.txid] = txn
+
+    # Restore inconsistency fencing (§4).
+    for path in store.load_inconsistent_paths():
+        try:
+            model.mark_inconsistent(path)
+        except UnknownPathError:
+            continue
+
+    return RecoveredState(
+        model=model,
+        lock_manager=lock_manager,
+        todo=todo,
+        outstanding=outstanding,
+        replayed_committed=replayed,
+        completed_started=completed_started,
+    )

@@ -1,0 +1,87 @@
+"""The todo queue and scheduling policies (§3.1.1).
+
+Accepted transactions wait in ``todoQ``.  The paper's controller uses a
+plain FIFO policy for fairness and simplicity: only the head of the queue
+is considered, and a head blocked by a resource conflict is put back at the
+front and retried later.  The paper mentions, as future work, a more
+aggressive policy that schedules transactions queued behind a conflicting
+head; this module implements both, and the ablation benchmark compares
+them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.common.errors import ConfigurationError
+from repro.core.txn import Transaction
+
+FIFO = "fifo"
+AGGRESSIVE = "aggressive"
+POLICIES = (FIFO, AGGRESSIVE)
+
+
+class TodoQueue:
+    """In-memory queue of accepted transactions awaiting logical execution.
+
+    The queue itself is controller-local (soft state); its content is
+    recoverable because every accepted transaction is persisted in the
+    coordination store before being enqueued.
+    """
+
+    def __init__(self, policy: str = FIFO):
+        if policy not in POLICIES:
+            raise ConfigurationError(f"unknown scheduling policy {policy!r}")
+        self.policy = policy
+        self._queue: deque[Transaction] = deque()
+
+    # -- queue operations ----------------------------------------------------
+
+    def push_back(self, txn: Transaction) -> None:
+        self._queue.append(txn)
+
+    def push_front(self, txn: Transaction) -> None:
+        self._queue.appendleft(txn)
+
+    def remove(self, txid: str) -> Transaction | None:
+        for index, txn in enumerate(self._queue):
+            if txn.txid == txid:
+                del self._queue[index]
+                return txn
+        return None
+
+    def pop_index(self, index: int) -> Transaction:
+        txn = self._queue[index]
+        del self._queue[index]
+        return txn
+
+    def peek(self) -> Transaction | None:
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._queue)
+
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def transactions(self) -> list[Transaction]:
+        return list(self._queue)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def candidate_indices(self) -> list[int]:
+        """Queue positions to try, in order, according to the policy.
+
+        * ``fifo``: only the head — a blocked head blocks the queue.
+        * ``aggressive``: every position, front to back — a blocked head is
+          skipped and later transactions may be scheduled ahead of it.
+        """
+        if not self._queue:
+            return []
+        if self.policy == FIFO:
+            return [0]
+        return list(range(len(self._queue)))

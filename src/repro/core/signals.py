@@ -1,0 +1,51 @@
+"""TERM / KILL signals for stalled transactions (§4).
+
+Resource volatility can stall a transaction indefinitely (e.g. an
+unresponsive device).  TROPIC offers two remedies, analogous to SIGTERM and
+SIGKILL:
+
+* **TERM** — the physical worker notices the signal between actions,
+  stops, and rolls back gracefully with undo actions in both layers, so
+  cross-layer consistency is maintained.
+* **KILL** — the controller aborts the transaction immediately, but only in
+  the logical layer; any resulting cross-layer inconsistency is later
+  reconciled with *repair*.
+
+Signals are posted on a shared board in the coordination store so that both
+the (possibly failed-over) controller and the workers observe them.
+"""
+
+from __future__ import annotations
+
+from repro.core.persistence import TropicStore
+
+TERM = "TERM"
+KILL = "KILL"
+
+
+class SignalBoard:
+    """Reads and writes per-transaction signals in the persistent store."""
+
+    def __init__(self, store: TropicStore):
+        self.store = store
+
+    def send(self, txid: str, signal: str) -> None:
+        if signal not in (TERM, KILL):
+            raise ValueError(f"unknown signal {signal!r}")
+        self.store.set_signal(txid, signal)
+
+    def term(self, txid: str) -> None:
+        self.send(txid, TERM)
+
+    def kill(self, txid: str) -> None:
+        self.send(txid, KILL)
+
+    def get(self, txid: str) -> str | None:
+        return self.store.get_signal(txid)
+
+    def clear(self, txid: str) -> None:
+        self.store.clear_signal(txid)
+
+    def should_stop(self, txid: str) -> bool:
+        """True if the worker should stop replaying actions for ``txid``."""
+        return self.get(txid) in (TERM, KILL)

@@ -1,0 +1,81 @@
+"""Physical workers (§3.2).
+
+Workers sit between the controllers and the physical devices.  Each worker
+dequeues runnable transactions from phyQ, replays their execution logs via
+:class:`~repro.core.physical.PhysicalExecutor`, and reports the outcome
+(committed / aborted / failed) back to the controller through inputQ.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import Clock, RealClock
+from repro.common.config import TropicConfig
+from repro.coordination.queue import DistributedQueue
+from repro.core.events import KIND_EXECUTE, result_message
+from repro.core.persistence import TropicStore
+from repro.core.physical import PhysicalExecutor
+from repro.core.signals import KILL, SignalBoard
+from repro.drivers.registry import DeviceRegistry
+
+
+class Worker:
+    """One physical worker."""
+
+    def __init__(
+        self,
+        name: str,
+        store: TropicStore,
+        phy_queue: DistributedQueue,
+        input_queue: DistributedQueue,
+        registry: DeviceRegistry | None = None,
+        config: TropicConfig | None = None,
+        clock: Clock | None = None,
+    ):
+        self.name = name
+        self.store = store
+        self.phy_queue = phy_queue
+        self.input_queue = input_queue
+        self.config = config or TropicConfig()
+        self.clock = clock or RealClock()
+        self.signals = SignalBoard(store)
+        self.executor = PhysicalExecutor(registry, self.config, self.clock, self.signals)
+        self.transactions_processed = 0
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process at most one phyQ item; returns True if work was done."""
+        item = self.phy_queue.poll()
+        if item is None:
+            return False
+        if item.get("kind") != KIND_EXECUTE:
+            return True  # unknown message kinds are dropped
+        txid = item["txid"]
+        txn = self.store.load_transaction(txid)
+        if txn is None:
+            return True
+        if self.signals.get(txid) == KILL:
+            # The controller aborts KILLed transactions in the logical layer
+            # only; the physical layer does not touch the devices (§4).
+            return True
+        outcome = self.executor.execute(txn)
+        self.transactions_processed += 1
+        self.input_queue.put(
+            result_message(
+                txid,
+                outcome.outcome,
+                error=outcome.error,
+                failed_path=outcome.failed_path,
+                worker=self.name,
+            )
+        )
+        return True
+
+    def run_pending(self, max_items: int | None = None) -> int:
+        """Drain phyQ (bounded by ``max_items``); returns items processed."""
+        processed = 0
+        while max_items is None or processed < max_items:
+            if not self.step():
+                break
+            processed += 1
+        return processed

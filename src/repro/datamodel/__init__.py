@@ -1,0 +1,42 @@
+"""Semi-structured hierarchical data model (paper §2.2).
+
+Cloud resources are represented as a tree of objects.  Each tree node is an
+instance of an :class:`~repro.datamodel.schema.EntityType`, which declares
+
+* **queries** — read-only inspections of system state,
+* **actions** — atomic state transitions, defined once for the logical layer
+  (simulation on the data model) and once for the physical layer (device API
+  call), each preferably with an undo action,
+* **constraints** — service and engineering rules enforced at runtime.
+
+The same tree structure is used for the controller's logical data model and
+for the physical data model derived from device state.
+"""
+
+from repro.datamodel.path import ROOT_PATH, ResourcePath
+from repro.datamodel.node import Node
+from repro.datamodel.tree import DataModel
+from repro.datamodel.schema import (
+    ActionDef,
+    ConstraintDef,
+    EntityType,
+    ModelSchema,
+    QueryDef,
+)
+from repro.datamodel.snapshot import ModelDiff, diff_models, snapshot, restore
+
+__all__ = [
+    "ROOT_PATH",
+    "ResourcePath",
+    "Node",
+    "DataModel",
+    "EntityType",
+    "ActionDef",
+    "QueryDef",
+    "ConstraintDef",
+    "ModelSchema",
+    "ModelDiff",
+    "diff_models",
+    "snapshot",
+    "restore",
+]

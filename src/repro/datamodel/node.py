@@ -1,0 +1,118 @@
+"""Tree nodes of the hierarchical data model."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.common.errors import DataModelError
+from repro.common.jsonutil import deep_copy
+from repro.datamodel.path import ResourcePath
+
+
+class Node:
+    """A single object in the data model tree.
+
+    A node carries the entity type name (e.g. ``"vmHost"``), a dictionary
+    of JSON-serialisable attributes, and named children.  Nodes also carry
+    the *inconsistent* flag used by reconciliation (§4): when a cross-layer
+    inconsistency is detected on a node, the node and its descendants are
+    fenced off from further transactions until repaired or reloaded.
+    """
+
+    __slots__ = ("name", "entity_type", "attrs", "children", "parent", "inconsistent")
+
+    def __init__(
+        self,
+        name: str,
+        entity_type: str,
+        attrs: dict[str, Any] | None = None,
+        parent: "Node | None" = None,
+    ):
+        self.name = name
+        self.entity_type = entity_type
+        self.attrs: dict[str, Any] = dict(attrs or {})
+        self.children: dict[str, Node] = {}
+        self.parent = parent
+        self.inconsistent = False
+
+    # -- structure ----------------------------------------------------
+
+    @property
+    def path(self) -> ResourcePath:
+        """Reconstruct this node's path by walking up to the root."""
+        parts: list[str] = []
+        node: Node | None = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return ResourcePath(reversed(parts))
+
+    def add_child(self, child: "Node") -> "Node":
+        if child.name in self.children:
+            raise DataModelError(f"duplicate child {child.name!r} under {self.path}")
+        child.parent = self
+        self.children[child.name] = child
+        return child
+
+    def remove_child(self, name: str) -> "Node":
+        try:
+            child = self.children.pop(name)
+        except KeyError:
+            raise DataModelError(f"no child {name!r} under {self.path}") from None
+        child.parent = None
+        return child
+
+    def child(self, name: str) -> "Node | None":
+        return self.children.get(name)
+
+    def iter_subtree(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, depth-first, children in
+        name order (deterministic for serialisation and diffing)."""
+        yield self
+        for name in sorted(self.children):
+            yield from self.children[name].iter_subtree()
+
+    # -- attributes ---------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.attrs.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self.attrs[key]
+        except KeyError:
+            raise DataModelError(f"node {self.path} has no attribute {key!r}") from None
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.attrs
+
+    # -- serialisation ------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the subtree rooted at this node."""
+        return {
+            "name": self.name,
+            "entity_type": self.entity_type,
+            "attrs": deep_copy(self.attrs),
+            "inconsistent": self.inconsistent,
+            "children": [self.children[name].to_dict() for name in sorted(self.children)],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any], parent: "Node | None" = None) -> "Node":
+        node = cls(data["name"], data["entity_type"], data.get("attrs") or {}, parent)
+        node.inconsistent = bool(data.get("inconsistent", False))
+        for child_data in data.get("children", []):
+            child = cls.from_dict(child_data, node)
+            node.children[child.name] = child
+        return node
+
+    def clone(self) -> "Node":
+        """Deep copy of the subtree (parent link of the copy is ``None``)."""
+        return Node.from_dict(self.to_dict())
+
+    def __repr__(self) -> str:
+        return f"<Node {self.path} type={self.entity_type} attrs={self.attrs}>"

@@ -1,0 +1,135 @@
+"""Resource paths.
+
+Every object in the data model is identified by a slash-separated path such
+as ``/vmRoot/vmHost3/vm17`` (cf. the execution log in Table 1 of the paper:
+``/storageRoot/storageHost``, ``/vmRoot/vmHost``).  Paths are immutable and
+hashable so they can key lock tables and inconsistency sets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+from repro.common.errors import DataModelError
+
+_COMPONENT_RE = re.compile(r"^[A-Za-z0-9._\-]+$")
+
+
+class ResourcePath:
+    """An immutable, normalised path in the resource tree."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts: Iterable[str] = ()):
+        parts = tuple(parts)
+        for part in parts:
+            if not _COMPONENT_RE.match(part):
+                raise DataModelError(f"invalid path component: {part!r}")
+        self._parts = parts
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: "str | ResourcePath") -> "ResourcePath":
+        """Parse ``"/a/b/c"`` (leading slash optional, empty string = root)."""
+        if isinstance(text, ResourcePath):
+            return text
+        if not isinstance(text, str):
+            raise DataModelError(f"cannot parse path from {type(text).__name__}")
+        stripped = text.strip()
+        if stripped in ("", "/"):
+            return ROOT_PATH
+        parts = [p for p in stripped.split("/") if p != ""]
+        return cls(parts)
+
+    def child(self, name: str) -> "ResourcePath":
+        """Return the path of a direct child."""
+        return ResourcePath(self._parts + (name,))
+
+    def join(self, *names: str) -> "ResourcePath":
+        """Return the path extended by several components."""
+        return ResourcePath(self._parts + tuple(names))
+
+    # -- structure ----------------------------------------------------
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return self._parts
+
+    @property
+    def name(self) -> str:
+        """The final component, or ``""`` for the root."""
+        return self._parts[-1] if self._parts else ""
+
+    @property
+    def parent(self) -> "ResourcePath":
+        """The parent path; the root is its own parent."""
+        if not self._parts:
+            return self
+        return ResourcePath(self._parts[:-1])
+
+    @property
+    def depth(self) -> int:
+        return len(self._parts)
+
+    def is_root(self) -> bool:
+        return not self._parts
+
+    def ancestors(self, include_self: bool = False) -> Iterator["ResourcePath"]:
+        """Yield ancestors from the root downwards (optionally including self).
+
+        The order (root first) matches how intention locks are acquired in
+        the multi-granularity locking scheme (§3.1.3).
+        """
+        upper = len(self._parts) + (1 if include_self else 0)
+        for i in range(upper):
+            yield ResourcePath(self._parts[:i])
+
+    def is_ancestor_of(self, other: "ResourcePath", strict: bool = True) -> bool:
+        """True if ``self`` lies on the path from the root to ``other``."""
+        if len(self._parts) > len(other._parts):
+            return False
+        if strict and len(self._parts) == len(other._parts):
+            return False
+        return other._parts[: len(self._parts)] == self._parts
+
+    def is_descendant_of(self, other: "ResourcePath", strict: bool = True) -> bool:
+        return other.is_ancestor_of(self, strict=strict)
+
+    def relative_to(self, ancestor: "ResourcePath") -> tuple[str, ...]:
+        """Components of ``self`` below ``ancestor``."""
+        if not ancestor.is_ancestor_of(self, strict=False):
+            raise DataModelError(f"{self} is not under {ancestor}")
+        return self._parts[len(ancestor._parts):]
+
+    # -- dunder -------------------------------------------------------
+
+    def __str__(self) -> str:
+        return "/" + "/".join(self._parts)
+
+    def __repr__(self) -> str:
+        return f"ResourcePath({str(self)!r})"
+
+    def __hash__(self) -> int:
+        return hash(self._parts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ResourcePath):
+            return self._parts == other._parts
+        if isinstance(other, str):
+            return self == ResourcePath.parse(other)
+        return NotImplemented
+
+    def __lt__(self, other: "ResourcePath") -> bool:
+        return self._parts < other._parts
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._parts)
+
+
+#: The root of every data model tree.
+ROOT_PATH = ResourcePath()

@@ -1,0 +1,117 @@
+"""Snapshots and structural diffs of data models.
+
+Snapshots back the persistence checkpoints (§2.3) and the periodic
+cross-layer comparison used by reconciliation (§4): ``repair`` diffs the
+logical model against the physical model and derives compensating actions,
+while ``reload`` replaces logical subtrees with the physical truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datamodel.path import ResourcePath
+from repro.datamodel.tree import DataModel
+
+
+def snapshot(model: DataModel) -> dict[str, Any]:
+    """Serialise a model into a JSON-compatible checkpoint."""
+    return model.to_dict()
+
+
+def restore(checkpoint: dict[str, Any]) -> DataModel:
+    """Rebuild a model from a checkpoint produced by :func:`snapshot`."""
+    return DataModel.from_dict(checkpoint)
+
+
+@dataclass
+class NodeDelta:
+    """One difference between two models at a given path."""
+
+    path: ResourcePath
+    kind: str  # "added", "removed", "changed"
+    attrs_left: dict[str, Any] = field(default_factory=dict)
+    attrs_right: dict[str, Any] = field(default_factory=dict)
+    changed_keys: list[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"<NodeDelta {self.kind} {self.path} keys={self.changed_keys}>"
+
+
+@dataclass
+class ModelDiff:
+    """Structural difference between a left (e.g. logical) and a right
+    (e.g. physical) model."""
+
+    added: list[NodeDelta] = field(default_factory=list)
+    removed: list[NodeDelta] = field(default_factory=list)
+    changed: list[NodeDelta] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def all_deltas(self) -> list[NodeDelta]:
+        return self.added + self.removed + self.changed
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed) + len(self.changed)
+
+
+def diff_models(
+    left: DataModel,
+    right: DataModel,
+    start: str | ResourcePath = "/",
+) -> ModelDiff:
+    """Compare two models under ``start``.
+
+    ``added`` lists nodes present only in ``right``; ``removed`` nodes present
+    only in ``left``; ``changed`` nodes present in both but with differing
+    attributes.  When reconciling, ``left`` is the logical model and ``right``
+    the physical model, so e.g. a VM whose physical state is ``stopped`` while
+    the logical state is ``running`` appears in ``changed``.
+    """
+    start_path = ResourcePath.parse(start)
+    left_nodes = (
+        {path: node for path, node in left.walk(start_path)}
+        if left.exists(start_path)
+        else {}
+    )
+    right_nodes = (
+        {path: node for path, node in right.walk(start_path)}
+        if right.exists(start_path)
+        else {}
+    )
+
+    diff = ModelDiff()
+    for path in sorted(set(left_nodes) | set(right_nodes)):
+        in_left = path in left_nodes
+        in_right = path in right_nodes
+        if in_left and not in_right:
+            diff.removed.append(
+                NodeDelta(path, "removed", attrs_left=dict(left_nodes[path].attrs))
+            )
+        elif in_right and not in_left:
+            diff.added.append(
+                NodeDelta(path, "added", attrs_right=dict(right_nodes[path].attrs))
+            )
+        else:
+            lattrs = left_nodes[path].attrs
+            rattrs = right_nodes[path].attrs
+            changed_keys = sorted(
+                key
+                for key in set(lattrs) | set(rattrs)
+                if lattrs.get(key) != rattrs.get(key)
+            )
+            if changed_keys or left_nodes[path].entity_type != right_nodes[path].entity_type:
+                diff.changed.append(
+                    NodeDelta(
+                        path,
+                        "changed",
+                        attrs_left=dict(lattrs),
+                        attrs_right=dict(rattrs),
+                        changed_keys=changed_keys,
+                    )
+                )
+    return diff

@@ -1,0 +1,210 @@
+"""The data model tree used by both the logical and physical layers."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.common.errors import DataModelError, InconsistencyError, UnknownPathError
+from repro.datamodel.node import Node
+from repro.datamodel.path import ROOT_PATH, ResourcePath
+
+PathLike = "str | ResourcePath"
+
+
+class DataModel:
+    """A tree of :class:`Node` objects addressed by :class:`ResourcePath`.
+
+    The controller holds one instance as the *logical* data model; the
+    physical layer derives equivalent instances from device state for
+    reconciliation.  The class is deliberately a plain in-memory structure:
+    durability is provided by the persistence layer (checkpoints and
+    execution logs in the coordination store), not by the tree itself.
+    """
+
+    def __init__(self, root: Node | None = None):
+        self.root = root or Node("", "root")
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, path: PathLike) -> Node:
+        """Return the node at ``path`` or raise :class:`UnknownPathError`."""
+        rpath = ResourcePath.parse(path)
+        node = self.root
+        for part in rpath.parts:
+            child = node.child(part)
+            if child is None:
+                raise UnknownPathError(f"no node at {rpath} (missing {part!r})")
+            node = child
+        return node
+
+    def exists(self, path: PathLike) -> bool:
+        try:
+            self.get(path)
+            return True
+        except UnknownPathError:
+            return False
+
+    def get_attr(self, path: PathLike, key: str, default: Any = None) -> Any:
+        return self.get(path).get(key, default)
+
+    def children(self, path: PathLike) -> list[Node]:
+        node = self.get(path)
+        return [node.children[name] for name in sorted(node.children)]
+
+    def child_paths(self, path: PathLike) -> list[ResourcePath]:
+        rpath = ResourcePath.parse(path)
+        return [rpath.child(name) for name in sorted(self.get(rpath).children)]
+
+    # -- mutation --------------------------------------------------------
+
+    def create(
+        self,
+        path: PathLike,
+        entity_type: str,
+        attrs: dict[str, Any] | None = None,
+    ) -> Node:
+        """Create a node at ``path``; the parent must already exist."""
+        rpath = ResourcePath.parse(path)
+        if rpath.is_root():
+            raise DataModelError("cannot create the root node")
+        parent = self.get(rpath.parent)
+        if parent.child(rpath.name) is not None:
+            raise DataModelError(f"node already exists at {rpath}")
+        node = Node(rpath.name, entity_type, attrs)
+        parent.add_child(node)
+        return node
+
+    def ensure(
+        self,
+        path: PathLike,
+        entity_type: str,
+        attrs: dict[str, Any] | None = None,
+    ) -> Node:
+        """Return the node at ``path``, creating it (and no ancestors) if absent."""
+        rpath = ResourcePath.parse(path)
+        if self.exists(rpath):
+            return self.get(rpath)
+        return self.create(rpath, entity_type, attrs)
+
+    def delete(self, path: PathLike, recursive: bool = False) -> Node:
+        """Remove the node at ``path``.
+
+        Non-recursive deletion of a node with children is an error, mirroring
+        the behaviour of decommissioning only empty resources.
+        """
+        rpath = ResourcePath.parse(path)
+        if rpath.is_root():
+            raise DataModelError("cannot delete the root node")
+        node = self.get(rpath)
+        if node.children and not recursive:
+            raise DataModelError(f"node {rpath} has children; use recursive=True")
+        parent = self.get(rpath.parent)
+        return parent.remove_child(rpath.name)
+
+    def set_attrs(self, path: PathLike, **attrs: Any) -> Node:
+        node = self.get(path)
+        node.attrs.update(attrs)
+        return node
+
+    def replace_subtree(self, path: PathLike, subtree: Node) -> Node:
+        """Replace the node at ``path`` with ``subtree`` (used by *reload*)."""
+        rpath = ResourcePath.parse(path)
+        if rpath.is_root():
+            self.root = subtree
+            subtree.parent = None
+            subtree.name = ""
+            return subtree
+        parent = self.get(rpath.parent)
+        if rpath.name in parent.children:
+            parent.remove_child(rpath.name)
+        subtree.name = rpath.name
+        parent.add_child(subtree)
+        return subtree
+
+    # -- traversal -------------------------------------------------------
+
+    def walk(self, start: PathLike = ROOT_PATH) -> Iterator[tuple[ResourcePath, Node]]:
+        """Yield ``(path, node)`` pairs for the subtree rooted at ``start``."""
+        start_path = ResourcePath.parse(start)
+        start_node = self.get(start_path)
+        stack: list[tuple[ResourcePath, Node]] = [(start_path, start_node)]
+        while stack:
+            path, node = stack.pop()
+            yield path, node
+            for name in sorted(node.children, reverse=True):
+                stack.append((path.child(name), node.children[name]))
+
+    def find(
+        self,
+        entity_type: str | None = None,
+        predicate: Callable[[ResourcePath, Node], bool] | None = None,
+        start: PathLike = ROOT_PATH,
+    ) -> list[ResourcePath]:
+        """Return paths of nodes matching an entity type and/or predicate."""
+        matches = []
+        for path, node in self.walk(start):
+            if entity_type is not None and node.entity_type != entity_type:
+                continue
+            if predicate is not None and not predicate(path, node):
+                continue
+            matches.append(path)
+        return matches
+
+    def count(self, entity_type: str | None = None) -> int:
+        """Number of nodes (optionally of one entity type) in the model."""
+        return sum(
+            1
+            for _, node in self.walk()
+            if entity_type is None or node.entity_type == entity_type
+        )
+
+    # -- inconsistency fencing (§4) ---------------------------------------
+
+    def mark_inconsistent(self, path: PathLike) -> None:
+        """Fence off a subtree after a cross-layer inconsistency is detected."""
+        self.get(path).inconsistent = True
+
+    def clear_inconsistent(self, path: PathLike) -> None:
+        self.get(path).inconsistent = False
+
+    def is_fenced(self, path: PathLike) -> bool:
+        """True if ``path`` or any ancestor is marked inconsistent."""
+        rpath = ResourcePath.parse(path)
+        node = self.root
+        if node.inconsistent:
+            return True
+        for part in rpath.parts:
+            node = node.child(part)
+            if node is None:
+                return False
+            if node.inconsistent:
+                return True
+        return False
+
+    def check_not_fenced(self, path: PathLike) -> None:
+        if self.is_fenced(path):
+            raise InconsistencyError(
+                f"resource {ResourcePath.parse(path)} is fenced pending reconciliation",
+                path=str(path),
+            )
+
+    def inconsistent_paths(self) -> list[ResourcePath]:
+        return [path for path, node in self.walk() if node.inconsistent]
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return self.root.to_dict()
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DataModel":
+        return cls(Node.from_dict(data))
+
+    def clone(self) -> "DataModel":
+        return DataModel(self.root.clone())
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __repr__(self) -> str:
+        return f"<DataModel nodes={self.count()}>"

@@ -1,0 +1,32 @@
+"""Mock physical devices and their drivers.
+
+The TROPIC prototype drives Xen hypervisors, GNBD/DRBD storage servers and
+Juniper routers (§5).  This package substitutes deterministic in-process
+device models exposing the same orchestration-relevant behaviour:
+
+* device API calls that succeed, fail, or time out (configurable fault
+  injection, per §4's volatility scenarios),
+* per-call latency models,
+* externally visible device state that can drift out of band (operator CLI
+  changes, crashes) and be described back for *reload*/*repair*,
+* an inventory/registry mapping data-model paths to devices so the physical
+  workers can route execution-log actions to the right device.
+"""
+
+from repro.drivers.base import Device, action_to_method
+from repro.drivers.faults import FaultInjector, FaultRule
+from repro.drivers.compute import ComputeHostDevice
+from repro.drivers.storage import StorageHostDevice
+from repro.drivers.network import RouterDevice
+from repro.drivers.registry import DeviceRegistry
+
+__all__ = [
+    "Device",
+    "action_to_method",
+    "FaultInjector",
+    "FaultRule",
+    "ComputeHostDevice",
+    "StorageHostDevice",
+    "RouterDevice",
+    "DeviceRegistry",
+]

@@ -1,0 +1,112 @@
+"""Base class for mock devices."""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Any
+
+from repro.common.clock import Clock, RealClock
+from repro.common.errors import DeviceError
+from repro.datamodel.node import Node
+from repro.drivers.faults import FaultInjector
+
+_CAMEL_STEP1 = re.compile(r"(.)([A-Z][a-z]+)")
+_CAMEL_STEP2 = re.compile(r"([a-z0-9])([A-Z])")
+
+
+def action_to_method(action: str) -> str:
+    """Map an execution-log action name (``cloneImage``, ``startVM``) to the
+    Python method name implementing it (``clone_image``, ``start_vm``)."""
+    partial = _CAMEL_STEP1.sub(r"\1_\2", action)
+    return _CAMEL_STEP2.sub(r"\1_\2", partial).lower()
+
+
+class Device:
+    """A mock physical device.
+
+    Subclasses implement device API calls as snake_case methods; the worker
+    invokes them by the camelCase action names recorded in the execution log
+    (Table 1) through :meth:`invoke`, which also applies fault injection and
+    the per-call latency model.
+    """
+
+    entity_type = "device"
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock | None = None,
+        call_latency: float = 0.0,
+        faults: FaultInjector | None = None,
+    ):
+        self.name = name
+        self.clock = clock or RealClock()
+        self.call_latency = call_latency
+        self.faults = faults or FaultInjector()
+        self.call_log: list[tuple[str, tuple[Any, ...]]] = []
+        self.online = True
+        self._hang_event = threading.Event()
+        self._hang_event.set()
+        self._lock = threading.RLock()
+
+    # -- invocation --------------------------------------------------------
+
+    def invoke(
+        self, action: str, args: list[Any] | tuple[Any, ...], phase: str = "forward"
+    ) -> Any:
+        """Invoke a device API call by its action name.
+
+        ``phase`` tells fault injection whether this call replays a forward
+        action (``"forward"``), an undo action during rollback (``"undo"``)
+        or a reconciliation repair action (``"repair"``).
+        """
+        with self._lock:
+            if not self.online:
+                raise DeviceError(f"device {self.name} is offline", device=self.name, action=action)
+            method_name = action_to_method(action)
+            method = getattr(self, method_name, None)
+            if method is None or not callable(method):
+                raise DeviceError(
+                    f"device {self.name} does not implement action {action!r}",
+                    device=self.name,
+                    action=action,
+                )
+            outcome = self.faults.check(self.name, action, phase)
+        if outcome == "hang":
+            # Simulate a stalled device call (cleared by release_hang()).
+            self._hang_event.clear()
+        self._hang_event.wait()
+        if self.call_latency > 0:
+            self.clock.sleep(self.call_latency)
+        with self._lock:
+            self.call_log.append((action, tuple(args)))
+            return method(*args)
+
+    def supports(self, action: str) -> bool:
+        return callable(getattr(self, action_to_method(action), None))
+
+    # -- volatility hooks ------------------------------------------------------
+
+    def go_offline(self) -> None:
+        """Simulate an unreachable device."""
+        self.online = False
+
+    def go_online(self) -> None:
+        self.online = True
+
+    def release_hang(self) -> None:
+        """Unblock a call stalled by a hang fault."""
+        self._hang_event.set()
+
+    # -- reconciliation support -------------------------------------------------
+
+    def describe(self) -> Node:
+        """Return a data-model subtree describing current physical state.
+
+        Used to build the physical data model for *reload* and *repair* (§4).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} online={self.online}>"

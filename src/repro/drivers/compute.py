@@ -1,0 +1,158 @@
+"""Mock compute host (Xen-like hypervisor)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import DeviceError
+from repro.datamodel.node import Node
+from repro.drivers.base import Device
+
+
+class ComputeHostDevice(Device):
+    """A compute server running a hypervisor and hosting VMs.
+
+    The device exposes the actions used by the spawn execution log of
+    Table 1 (``importImage``, ``createVM``, ``startVM``) plus their undo
+    counterparts and the stop/remove actions used by the hosting workload
+    (start/stop/destroy/migrate).
+    """
+
+    entity_type = "vmHost"
+
+    def __init__(
+        self,
+        name: str,
+        hypervisor: str = "xen-4.1",
+        mem_mb: int = 32768,
+        cpu_cores: int = 8,
+        **kwargs: Any,
+    ):
+        super().__init__(name, **kwargs)
+        self.hypervisor = hypervisor
+        self.mem_mb = mem_mb
+        self.cpu_cores = cpu_cores
+        #: vm name -> {"state": "stopped"|"running", "mem_mb": int, "image": str}
+        self.vms: dict[str, dict[str, Any]] = {}
+        #: image names imported (made locally accessible) on this host
+        self.imported_images: set[str] = set()
+
+    # -- device API (invoked via action names) -----------------------------
+
+    def import_image(self, vm_image: str) -> None:
+        """Make a network-exported image accessible on this host."""
+        self.imported_images.add(vm_image)
+
+    def unimport_image(self, vm_image: str) -> None:
+        self.imported_images.discard(vm_image)
+
+    def create_vm(
+        self,
+        vm_name: str,
+        vm_image: str,
+        mem_mb: int = 1024,
+        hypervisor: str | None = None,
+    ) -> None:
+        """Create the VM configuration on the hypervisor (the VM stays stopped)."""
+        if vm_name in self.vms:
+            raise DeviceError(
+                f"VM {vm_name} already exists on {self.name}", device=self.name, action="createVM"
+            )
+        if vm_image not in self.imported_images:
+            raise DeviceError(
+                f"image {vm_image} is not imported on {self.name}",
+                device=self.name,
+                action="createVM",
+            )
+        self.vms[vm_name] = {
+            "state": "stopped",
+            "mem_mb": int(mem_mb),
+            "image": vm_image,
+            "hypervisor": hypervisor or self.hypervisor,
+        }
+
+    def remove_vm(self, vm_name: str) -> None:
+        vm = self._vm(vm_name, "removeVM")
+        if vm["state"] == "running":
+            raise DeviceError(
+                f"VM {vm_name} is running; stop it before removal",
+                device=self.name,
+                action="removeVM",
+            )
+        del self.vms[vm_name]
+
+    def start_vm(self, vm_name: str) -> None:
+        vm = self._vm(vm_name, "startVM")
+        used = sum(v["mem_mb"] for n, v in self.vms.items() if v["state"] == "running" and n != vm_name)
+        if used + vm["mem_mb"] > self.mem_mb:
+            raise DeviceError(
+                f"host {self.name} out of memory starting {vm_name}",
+                device=self.name,
+                action="startVM",
+            )
+        vm["state"] = "running"
+
+    def stop_vm(self, vm_name: str) -> None:
+        vm = self._vm(vm_name, "stopVM")
+        vm["state"] = "stopped"
+
+    # -- introspection helpers --------------------------------------------
+
+    def _vm(self, vm_name: str, action: str) -> dict[str, Any]:
+        vm = self.vms.get(vm_name)
+        if vm is None:
+            raise DeviceError(
+                f"no VM {vm_name} on host {self.name}", device=self.name, action=action
+            )
+        return vm
+
+    def vm_state(self, vm_name: str) -> str | None:
+        vm = self.vms.get(vm_name)
+        return None if vm is None else vm["state"]
+
+    def memory_used(self) -> int:
+        """Memory committed to running VMs, in MB."""
+        return sum(vm["mem_mb"] for vm in self.vms.values() if vm["state"] == "running")
+
+    # -- out-of-band volatility hooks (§4) -----------------------------------
+
+    def power_cycle(self) -> None:
+        """Simulate an unexpected host reboot: all VMs end up powered off."""
+        for vm in self.vms.values():
+            vm["state"] = "stopped"
+
+    def oob_destroy_vm(self, vm_name: str) -> None:
+        """Simulate an operator deleting a VM behind TROPIC's back."""
+        self.vms.pop(vm_name, None)
+
+    def oob_set_state(self, vm_name: str, state: str) -> None:
+        self._vm(vm_name, "oobSetState")["state"] = state
+
+    # -- reconciliation -------------------------------------------------------
+
+    def describe(self) -> Node:
+        node = Node(
+            self.name,
+            self.entity_type,
+            {
+                "hypervisor": self.hypervisor,
+                "mem_mb": self.mem_mb,
+                "cpu_cores": self.cpu_cores,
+                "imported_images": sorted(self.imported_images),
+            },
+        )
+        for vm_name in sorted(self.vms):
+            vm = self.vms[vm_name]
+            node.add_child(
+                Node(
+                    vm_name,
+                    "vm",
+                    {
+                        "state": vm["state"],
+                        "mem_mb": vm["mem_mb"],
+                        "image": vm["image"],
+                        "hypervisor": vm.get("hypervisor", self.hypervisor),
+                    },
+                )
+            )
+        return node

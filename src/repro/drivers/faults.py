@@ -1,0 +1,143 @@
+"""Fault injection for mock devices.
+
+The robustness experiments (§6.3) inject errors into the last step of VM
+spawn and migrate; the volatility scenarios of §4 include failures during
+undo, out-of-band changes and crashes.  :class:`FaultInjector` lets tests
+and benchmarks express all of these declaratively.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.errors import DeviceError, DeviceTimeout
+
+
+@dataclass
+class FaultRule:
+    """A single fault-injection rule.
+
+    Attributes
+    ----------
+    action:
+        Action name the rule applies to (e.g. ``"startVM"``), or ``"*"``
+        for any action.
+    probability:
+        Probability of triggering on a matching call (``1.0`` = always).
+    remaining:
+        Number of times the rule may still fire; ``None`` means unlimited.
+    kind:
+        ``"error"`` raises :class:`DeviceError`, ``"timeout"`` raises
+        :class:`DeviceTimeout`, ``"hang"`` is reported to the caller via the
+        injector so it can simulate a stalled transaction (§4's TERM/KILL).
+    message:
+        Error message attached to the raised exception.
+    phase:
+        Which execution phase the rule applies to: ``"any"`` (default),
+        ``"forward"`` (only actions replayed from the execution log, the
+        §6.3 error-injection setup) or ``"undo"`` (only rollback actions,
+        the §4 undo-failure volatility scenario).
+    """
+
+    action: str = "*"
+    probability: float = 1.0
+    remaining: int | None = 1
+    kind: str = "error"
+    message: str = "injected fault"
+    phase: str = "any"
+
+    def matches(self, action: str, phase: str = "forward") -> bool:
+        if self.remaining is not None and self.remaining <= 0:
+            return False
+        if self.phase not in ("any", phase):
+            return False
+        return self.action in ("*", action)
+
+
+@dataclass
+class FaultInjector:
+    """Holds fault rules for one device and decides per call whether to fire."""
+
+    rules: list[FaultRule] = field(default_factory=list)
+    seed: int | None = None
+    calls: int = 0
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # -- configuration ----------------------------------------------------
+
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        self.rules.append(rule)
+        return rule
+
+    def fail_next(
+        self, action: str = "*", message: str = "injected fault", phase: str = "any"
+    ) -> FaultRule:
+        """Fail the next matching call exactly once."""
+        return self.add_rule(FaultRule(action=action, remaining=1, message=message, phase=phase))
+
+    def fail_always(
+        self, action: str = "*", message: str = "injected fault", phase: str = "any"
+    ) -> FaultRule:
+        return self.add_rule(
+            FaultRule(action=action, remaining=None, message=message, phase=phase)
+        )
+
+    def fail_with_probability(
+        self,
+        probability: float,
+        action: str = "*",
+        message: str = "injected fault",
+        phase: str = "any",
+    ) -> FaultRule:
+        return self.add_rule(
+            FaultRule(
+                action=action,
+                probability=probability,
+                remaining=None,
+                message=message,
+                phase=phase,
+            )
+        )
+
+    def timeout_next(self, action: str = "*") -> FaultRule:
+        return self.add_rule(FaultRule(action=action, remaining=1, kind="timeout"))
+
+    def hang_next(self, action: str = "*") -> FaultRule:
+        return self.add_rule(FaultRule(action=action, remaining=1, kind="hang"))
+
+    def clear(self) -> None:
+        self.rules.clear()
+
+    # -- evaluation ---------------------------------------------------------
+
+    def check(self, device_name: str, action: str, phase: str = "forward") -> str | None:
+        """Raise the configured fault for ``action`` if a rule fires.
+
+        ``phase`` identifies whether the call replays a forward action of
+        the execution log or an undo action during rollback, so rules can
+        target one phase only.  Returns ``"hang"`` when a hang rule fires so
+        the device can block, otherwise returns ``None``.
+        """
+        self.calls += 1
+        for rule in self.rules:
+            if not rule.matches(action, phase):
+                continue
+            if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                continue
+            if rule.remaining is not None:
+                rule.remaining -= 1
+            self.fired += 1
+            if rule.kind == "timeout":
+                raise DeviceTimeout(
+                    f"{device_name}.{action}: {rule.message}", device=device_name, action=action
+                )
+            if rule.kind == "hang":
+                return "hang"
+            raise DeviceError(
+                f"{device_name}.{action}: {rule.message}", device=device_name, action=action
+            )
+        return None

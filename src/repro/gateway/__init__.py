@@ -1,0 +1,34 @@
+"""API service gateway (Figure 1): the end-user entry point to TROPIC.
+
+Cloud end users do not talk to the TROPIC controllers directly; their
+requests arrive through an API gateway that authenticates the caller,
+enforces per-tenant service rules (quotas), namespaces resource names, maps
+API actions onto TCloud orchestrations and records every request in an
+audit log.  The gateway is deliberately thin: all safety-critical checks
+(constraints, concurrency control, atomicity) still happen inside the
+transactional platform — the gateway adds the *multi-tenant* service rules
+that live above individual resources.
+
+Public classes:
+
+* :class:`~repro.gateway.tenants.Tenant`, :class:`~repro.gateway.tenants.
+  TenantDirectory`, :class:`~repro.gateway.tenants.TenantQuota` — tenant
+  records, API-key authentication and quota definitions;
+* :class:`~repro.gateway.audit.AuditLog` — append-only request audit trail;
+* :class:`~repro.gateway.api.ApiGateway` — the request dispatcher;
+* :class:`~repro.gateway.api.ApiResponse` — structured responses.
+"""
+
+from repro.gateway.api import ApiGateway, ApiResponse
+from repro.gateway.audit import AuditLog, AuditRecord
+from repro.gateway.tenants import Tenant, TenantDirectory, TenantQuota
+
+__all__ = [
+    "ApiGateway",
+    "ApiResponse",
+    "AuditLog",
+    "AuditRecord",
+    "Tenant",
+    "TenantDirectory",
+    "TenantQuota",
+]

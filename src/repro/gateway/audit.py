@@ -1,0 +1,111 @@
+"""Append-only audit trail of API-gateway requests.
+
+The April-2011 EC2 outage the paper cites started with an operator change
+that violated an implicit service rule; an audit log that ties every
+request to a tenant, an outcome and (when one was submitted) a transaction
+id is the minimum a provider needs to reconstruct such incidents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.common.clock import Clock, RealClock
+
+
+@dataclass
+class AuditRecord:
+    """One gateway request and its outcome."""
+
+    seq: int
+    time: float
+    tenant: str
+    action: str
+    params: dict[str, Any] = field(default_factory=dict)
+    outcome: str = "ok"
+    txid: str | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "tenant": self.tenant,
+            "action": self.action,
+            "params": dict(self.params),
+            "outcome": self.outcome,
+            "txid": self.txid,
+            "error": self.error,
+        }
+
+
+class AuditLog:
+    """In-memory, append-only audit log with simple filtering."""
+
+    def __init__(self, clock: Clock | None = None, capacity: int | None = None):
+        self.clock = clock or RealClock()
+        self.capacity = capacity
+        self._records: list[AuditRecord] = []
+        self._seq = 0
+
+    def record(
+        self,
+        tenant: str,
+        action: str,
+        params: dict[str, Any] | None = None,
+        outcome: str = "ok",
+        txid: str | None = None,
+        error: str | None = None,
+    ) -> AuditRecord:
+        """Append one record (oldest records are dropped beyond capacity)."""
+        self._seq += 1
+        entry = AuditRecord(
+            seq=self._seq,
+            time=self.clock.now(),
+            tenant=tenant,
+            action=action,
+            params=dict(params or {}),
+            outcome=outcome,
+            txid=txid,
+            error=error,
+        )
+        self._records.append(entry)
+        if self.capacity is not None and len(self._records) > self.capacity:
+            self._records = self._records[-self.capacity:]
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def entries(
+        self,
+        tenant: str | None = None,
+        action: str | None = None,
+        outcome: str | None = None,
+    ) -> list[AuditRecord]:
+        """Records matching every given filter, in submission order."""
+        result = []
+        for record in self._records:
+            if tenant is not None and record.tenant != tenant:
+                continue
+            if action is not None and record.action != action:
+                continue
+            if outcome is not None and record.outcome != outcome:
+                continue
+            result.append(record)
+        return result
+
+    def denials(self, tenant: str | None = None) -> list[AuditRecord]:
+        """Requests rejected by the gateway itself (auth, quota, validation)."""
+        return [r for r in self.entries(tenant=tenant) if r.outcome == "denied"]
+
+    def last(self) -> AuditRecord | None:
+        return self._records[-1] if self._records else None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)

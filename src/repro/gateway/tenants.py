@@ -1,0 +1,155 @@
+"""Tenant records, API-key authentication and per-tenant quotas.
+
+Quotas are *service rules* in the sense of §2.1: engineering limits a cloud
+provider imposes on each customer (how many VMs, how much memory, how much
+block storage).  They complement — but never replace — the resource-level
+constraints enforced inside the transactional platform: a request within
+quota can still abort if, say, no compute host has enough free memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+
+
+class GatewayError(ReproError):
+    """Base class for API-gateway failures."""
+
+
+class AuthenticationError(GatewayError):
+    """The API key does not identify any active tenant."""
+
+
+class AuthorizationError(GatewayError):
+    """The tenant is not allowed to perform the requested action."""
+
+
+class QuotaExceeded(GatewayError):
+    """Admitting the request would exceed one of the tenant's quotas."""
+
+
+@dataclass
+class TenantQuota:
+    """Per-tenant resource ceilings (``None`` means unlimited)."""
+
+    max_vms: int | None = 20
+    max_total_mem_mb: int | None = 65536
+    max_volumes: int | None = 20
+    max_volume_gb: float | None = 1024.0
+
+    def validate(self) -> None:
+        for name in ("max_vms", "max_total_mem_mb", "max_volumes", "max_volume_gb"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative or None")
+
+
+@dataclass
+class Tenant:
+    """One cloud customer known to the gateway."""
+
+    name: str
+    api_key: str
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    active: bool = True
+    #: Extra actions this tenant may call beyond the standard user actions
+    #: (e.g. operators get "MigrateInstance").
+    extra_actions: set[str] = field(default_factory=set)
+
+    def prefix(self) -> str:
+        """Namespace prefix applied to every resource the tenant creates."""
+        return f"{self.name}--"
+
+    def owns(self, resource_name: str) -> bool:
+        return resource_name.startswith(self.prefix())
+
+    def qualify(self, resource_name: str) -> str:
+        """Fully qualified (tenant-prefixed) name of a tenant resource."""
+        if self.owns(resource_name):
+            return resource_name
+        return f"{self.prefix()}{resource_name}"
+
+    def unqualify(self, resource_name: str) -> str:
+        """Strip the tenant prefix for display back to the tenant."""
+        if self.owns(resource_name):
+            return resource_name[len(self.prefix()):]
+        return resource_name
+
+
+class TenantDirectory:
+    """Registry of tenants, keyed by name and by (hashed) API key."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, Tenant] = {}
+        self._by_key: dict[str, str] = {}
+
+    @staticmethod
+    def _digest(api_key: str) -> str:
+        return hashlib.sha256(api_key.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        api_key: str,
+        quota: TenantQuota | None = None,
+        extra_actions: set[str] | None = None,
+    ) -> Tenant:
+        """Add a tenant; ``api_key`` is stored only as a digest."""
+        if name in self._by_name:
+            raise GatewayError(f"tenant {name!r} is already registered")
+        if "--" in name:
+            raise GatewayError("tenant names must not contain '--' (the namespace separator)")
+        digest = self._digest(api_key)
+        if digest in self._by_key:
+            raise GatewayError("another tenant already uses this API key")
+        quota = quota or TenantQuota()
+        quota.validate()
+        tenant = Tenant(
+            name=name,
+            api_key=digest,
+            quota=quota,
+            extra_actions=set(extra_actions or ()),
+        )
+        self._by_name[name] = tenant
+        self._by_key[digest] = name
+        return tenant
+
+    def deactivate(self, name: str) -> None:
+        """Disable a tenant without forgetting its resources."""
+        self.get(name).active = False
+
+    def reactivate(self, name: str) -> None:
+        self.get(name).active = True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> Tenant:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise GatewayError(f"unknown tenant {name!r}") from None
+
+    def authenticate(self, api_key: str) -> Tenant:
+        """Resolve an API key to an active tenant."""
+        name = self._by_key.get(self._digest(api_key))
+        if name is None:
+            raise AuthenticationError("invalid API key")
+        tenant = self._by_name[name]
+        if not tenant.active:
+            raise AuthenticationError(f"tenant {name!r} is deactivated")
+        return tenant
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)

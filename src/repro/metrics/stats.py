@@ -1,0 +1,70 @@
+"""Small statistics helpers (percentiles, CDFs, summaries).
+
+Implemented without numpy so that the core library remains dependency-free;
+the benchmark harness may still use numpy for plotting-oriented work.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[int(rank)])
+    fraction = rank - low
+    return float(ordered[low] * (1 - fraction) + ordered[high] * fraction)
+
+
+def cdf_points(values: Iterable[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as ``(value, cumulative_fraction)`` pairs (Figure 5)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return []
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def summary(values: Sequence[float]) -> dict[str, float]:
+    """Mean / median / tail summary of a sample."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "median": 0.0, "p95": 0.0, "p99": 0.0,
+                "min": 0.0, "max": 0.0}
+    return {
+        "count": float(len(values)),
+        "mean": sum(values) / len(values),
+        "median": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "min": float(min(values)),
+        "max": float(max(values)),
+    }
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def linear_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation; used to check that CPU load scales with workload."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two sequences of equal length >= 2")
+    mx, my = mean(xs), mean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = math.sqrt(sum((x - mx) ** 2 for x in xs))
+    vy = math.sqrt(sum((y - my) ** 2 for y in ys))
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / (vx * vy)

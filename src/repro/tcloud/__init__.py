@@ -1,0 +1,30 @@
+"""TCloud: an EC2-like IaaS service built on TROPIC (§5).
+
+TCloud lets end users spawn VMs from disk images and start, stop, destroy
+and migrate them.  The data centre model consists of storage servers that
+export block devices over the network, compute servers that host VMs, and a
+programmable switch layer with VLANs — mirroring the GNBD/DRBD + Xen +
+Juniper deployment of the prototype, here backed by the mock drivers of
+:mod:`repro.drivers`.
+
+The public entry point is :func:`build_tcloud`, which assembles the schema,
+stored procedures, initial data model, device fleet and a
+:class:`~repro.core.platform.TropicPlatform` into a ready-to-use
+:class:`TCloud` service object.
+"""
+
+from repro.tcloud.entities import build_schema
+from repro.tcloud.procedures import build_procedures
+from repro.tcloud.inventory import TCloudInventory, build_inventory
+from repro.tcloud.placement import PlacementEngine
+from repro.tcloud.service import TCloud, build_tcloud
+
+__all__ = [
+    "build_schema",
+    "build_procedures",
+    "build_inventory",
+    "TCloudInventory",
+    "PlacementEngine",
+    "TCloud",
+    "build_tcloud",
+]

@@ -1,0 +1,275 @@
+"""Composite TCloud orchestrations built from other stored procedures.
+
+The paper's programming model allows stored procedures to be "composed of
+queries, actions and other stored procedures" (§2.2).  The procedures in
+this module exercise that composition: each one calls the primitive VM /
+volume / network procedures of :mod:`repro.tcloud.procedures` through
+:meth:`~repro.core.context.OrchestrationContext.call`, so the whole
+workflow — provisioning a tenant environment, evacuating a compute host for
+maintenance, cloning or rebalancing VMs — runs as **one** ACID transaction:
+either every constituent orchestration takes effect or none does.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.context import OrchestrationContext
+from repro.tcloud.procedures import disk_image_name
+
+
+# ----------------------------------------------------------------------
+# Tenant environments
+# ----------------------------------------------------------------------
+
+def provision_tenant(
+    ctx: OrchestrationContext,
+    tenant: str,
+    vms: list[dict[str, Any]],
+    router: str | None = None,
+    vlan_id: int | None = None,
+    firewall_rules: list[dict[str, Any]] | None = None,
+) -> dict:
+    """Provision a complete tenant environment in one transaction.
+
+    ``vms`` is a list of spawn requests (``vm_name``, ``vm_host``,
+    ``storage_host``, optional ``image_template`` and ``mem_mb``).  When a
+    ``router`` and ``vlan_id`` are given, a tenant VLAN is created and every
+    VM is attached to it; ``firewall_rules`` are then installed on the same
+    router.  A constraint violation or error anywhere — e.g. the last VM not
+    fitting on its host — rolls back the whole environment.
+    """
+    ctx.require(bool(vms), f"tenant {tenant!r} requests no VMs")
+    spawned: list[str] = []
+    for request in vms:
+        outcome = ctx.call(
+            "spawnVM",
+            vm_name=request["vm_name"],
+            image_template=request.get("image_template", "template-small"),
+            storage_host=request["storage_host"],
+            vm_host=request["vm_host"],
+            mem_mb=request.get("mem_mb", 1024),
+        )
+        spawned.append(outcome["vm"])
+
+    if router is not None and vlan_id is not None:
+        ctx.call("createVLAN", router=router, vlan_id=vlan_id, name=tenant)
+        for request in vms:
+            ctx.call(
+                "attachVMToVLAN",
+                router=router,
+                vlan_id=vlan_id,
+                vm_host=request["vm_host"],
+                vm_name=request["vm_name"],
+            )
+
+    installed_rules: list[int] = []
+    for rule in firewall_rules or []:
+        target_router = rule.get("router", router)
+        ctx.require(
+            target_router is not None,
+            f"firewall rule {rule.get('rule_id')} for tenant {tenant!r} names no router",
+        )
+        ctx.call(
+            "addFirewallRule",
+            router=target_router,
+            rule_id=rule["rule_id"],
+            src=rule.get("src", "any"),
+            dst=rule.get("dst", "any"),
+            policy=rule.get("policy", "deny"),
+        )
+        installed_rules.append(int(rule["rule_id"]))
+
+    return {
+        "tenant": tenant,
+        "vms": spawned,
+        "vlan_id": vlan_id,
+        "firewall_rules": installed_rules,
+    }
+
+
+def teardown_tenant(
+    ctx: OrchestrationContext,
+    tenant: str,
+    vms: list[dict[str, Any]],
+    router: str | None = None,
+    vlan_id: int | None = None,
+    firewall_rule_ids: list[int] | None = None,
+) -> dict:
+    """Decommission a tenant environment in one transaction.
+
+    Firewall rules are removed first, then every VM is destroyed (with its
+    disk image), and finally the tenant VLAN is deleted.  The reverse order
+    of :func:`provision_tenant` keeps intermediate states safe: the VLAN
+    outlives its members, never the other way around.
+    """
+    if firewall_rule_ids:
+        ctx.require(router is not None, "removing firewall rules requires a router")
+    for rule_id in firewall_rule_ids or []:
+        ctx.call(
+            "removeFirewallRule",
+            router=router,
+            rule_id=int(rule_id),
+        )
+    if router is not None and vlan_id is not None:
+        # Detach every port before the VLAN itself can be removed.
+        vlan_path = f"{router}/vlan{int(vlan_id)}"
+        ctx.require(ctx.exists(vlan_path), f"VLAN {vlan_id} does not exist on {router}")
+        for port in list(ctx.get_attr(vlan_path, "ports", [])):
+            ctx.do(router, "detachPort", int(vlan_id), port)
+    destroyed: list[str] = []
+    for request in vms:
+        ctx.call(
+            "destroyVM",
+            vm_host=request["vm_host"],
+            vm_name=request["vm_name"],
+            storage_host=request.get("storage_host"),
+        )
+        destroyed.append(request["vm_name"])
+    if router is not None and vlan_id is not None:
+        ctx.call("deleteVLAN", router=router, vlan_id=vlan_id)
+    return {"tenant": tenant, "destroyed": destroyed, "vlan_id": vlan_id}
+
+
+# ----------------------------------------------------------------------
+# Host maintenance
+# ----------------------------------------------------------------------
+
+def evacuate_host(
+    ctx: OrchestrationContext,
+    src_host: str,
+    dst_hosts: list[str],
+) -> dict:
+    """Migrate *every* VM off ``src_host`` as one atomic transaction.
+
+    Destinations are chosen greedily: each VM goes to the compatible
+    destination host with the most available memory at that point of the
+    simulation.  If any VM cannot be placed — no compatible destination or
+    all destinations full — the whole evacuation aborts and the source host
+    keeps its VMs, which is what an operator wants before powering a host
+    down for maintenance.
+    """
+    ctx.require(ctx.exists(src_host), f"compute host {src_host} does not exist")
+    candidates = [host for host in dst_hosts if host != src_host and ctx.exists(host)]
+    ctx.require(bool(candidates), "no destination hosts available for evacuation")
+
+    src_hypervisor = ctx.get_attr(src_host, "hypervisor")
+    vm_names = [
+        name
+        for name in ctx.children(src_host)
+        if ctx.node(f"{src_host}/{name}").entity_type == "vm"
+    ]
+    moves: list[dict[str, str]] = []
+    for vm_name in vm_names:
+        compatible = [
+            host
+            for host in candidates
+            if ctx.get_attr(host, "hypervisor") == src_hypervisor
+        ]
+        ctx.require(
+            bool(compatible),
+            f"no destination host runs hypervisor {src_hypervisor!r} for VM {vm_name}",
+        )
+        target = max(compatible, key=lambda host: ctx.query(host, "memoryAvailable"))
+        ctx.call("migrateVM", vm_name=vm_name, src_host=src_host, dst_host=target)
+        moves.append({"vm": vm_name, "to": target})
+    return {"evacuated": src_host, "moves": moves}
+
+
+def rebalance_hosts(
+    ctx: OrchestrationContext,
+    src_host: str,
+    dst_host: str,
+    target_free_mb: int,
+) -> dict:
+    """Migrate VMs from ``src_host`` to ``dst_host`` until the source has at
+    least ``target_free_mb`` of memory available (or no movable VM is left).
+
+    Smaller VMs are moved first so the source frees memory with the fewest
+    migrations that still reach the target.  Aborts if the target cannot be
+    reached — a partial rebalance would leave the operator guessing.
+    """
+    ctx.require(ctx.exists(src_host), f"compute host {src_host} does not exist")
+    ctx.require(ctx.exists(dst_host), f"compute host {dst_host} does not exist")
+    ctx.require(src_host != dst_host, "source and destination hosts are identical")
+
+    moves: list[str] = []
+    movable = sorted(
+        (
+            name
+            for name in ctx.children(src_host)
+            if ctx.node(f"{src_host}/{name}").entity_type == "vm"
+            and ctx.get_attr(f"{src_host}/{name}", "state") == "running"
+        ),
+        key=lambda name: ctx.get_attr(f"{src_host}/{name}", "mem_mb", 0),
+    )
+    for vm_name in movable:
+        if ctx.query(src_host, "memoryAvailable") >= target_free_mb:
+            break
+        ctx.call("migrateVM", vm_name=vm_name, src_host=src_host, dst_host=dst_host)
+        moves.append(vm_name)
+    ctx.require(
+        ctx.query(src_host, "memoryAvailable") >= target_free_mb,
+        f"cannot free {target_free_mb} MB on {src_host} by migrating to {dst_host}",
+    )
+    return {"rebalanced": src_host, "moved": moves, "to": dst_host}
+
+
+# ----------------------------------------------------------------------
+# VM cloning
+# ----------------------------------------------------------------------
+
+def clone_vm(
+    ctx: OrchestrationContext,
+    vm_name: str,
+    new_vm_name: str,
+    vm_host: str,
+    storage_host: str,
+    dst_host: str | None = None,
+    mem_mb: int | None = None,
+) -> dict:
+    """Clone an existing VM onto ``dst_host`` (default: the same host).
+
+    The source VM is stopped for the duration of the disk-image copy so the
+    clone is crash-consistent, then restarted; the copy is used as the image
+    template for a regular ``spawnVM`` of the new VM.  Rollback restores the
+    source VM's running state and removes the copied image.
+    """
+    state = ctx.query(vm_host, "vmState", vm_name)
+    ctx.require(state is not None, f"VM {vm_name} does not exist on {vm_host}")
+    source = ctx.read(f"{vm_host}/{vm_name}")
+    source_image = source.get("image") or disk_image_name(vm_name)
+    clone_image = f"{new_vm_name}-base"
+    ctx.require(
+        not ctx.query(storage_host, "hasImage", clone_image),
+        f"image {clone_image} already exists on {storage_host}",
+    )
+
+    if state == "running":
+        ctx.do(vm_host, "stopVM", vm_name)
+    ctx.do(storage_host, "cloneImage", source_image, clone_image)
+    if state == "running":
+        ctx.do(vm_host, "startVM", vm_name)
+
+    outcome = ctx.call(
+        "spawnVM",
+        vm_name=new_vm_name,
+        image_template=clone_image,
+        storage_host=storage_host,
+        vm_host=dst_host or vm_host,
+        mem_mb=mem_mb if mem_mb is not None else source.get("mem_mb", 1024),
+    )
+    return {"cloned_from": f"{vm_host}/{vm_name}", "vm": outcome["vm"]}
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+
+def register_composite_procedures(registry) -> None:
+    """Add the composite orchestrations to a stored-procedure registry."""
+    registry.register("provisionTenant", provision_tenant)
+    registry.register("teardownTenant", teardown_tenant)
+    registry.register("evacuateHost", evacuate_host)
+    registry.register("rebalanceHosts", rebalance_hosts)
+    registry.register("cloneVM", clone_vm)

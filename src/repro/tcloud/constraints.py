@@ -1,0 +1,110 @@
+"""TCloud safety constraints (§6.2).
+
+The evaluation highlights two representative constraints:
+
+* **VM memory constraint** — the aggregated memory of running VMs must not
+  exceed the host's capacity (prevents overloading a compute server);
+* **VM type constraint** — a VM cannot run on (or be migrated to) a host
+  whose hypervisor differs from the one it was built for.
+
+A third, storage-capacity constraint protects storage hosts the same way.
+The checks are plain functions over the logical data model; they are
+attached to entity types in :mod:`repro.tcloud.entities` and enforced by
+the constraint engine after every simulated action.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.node import Node
+from repro.datamodel.tree import DataModel
+
+
+def vm_memory_constraint(model: DataModel, host: Node) -> list[str]:
+    """Aggregated memory of running VMs must fit in the host's memory."""
+    capacity = host.get("mem_mb", 0)
+    used = sum(
+        vm.get("mem_mb", 0)
+        for vm in host.children.values()
+        if vm.entity_type == "vm" and vm.get("state") == "running"
+    )
+    if used > capacity:
+        return [f"running VMs use {used} MB but host capacity is {capacity} MB"]
+    return []
+
+
+def vm_hypervisor_constraint(model: DataModel, host: Node) -> list[str]:
+    """Every VM on a host must match the host's hypervisor type."""
+    host_hypervisor = host.get("hypervisor")
+    violations = []
+    for vm in host.children.values():
+        if vm.entity_type != "vm":
+            continue
+        vm_hypervisor = vm.get("hypervisor")
+        if vm_hypervisor is not None and vm_hypervisor != host_hypervisor:
+            violations.append(
+                f"VM {vm.name} requires hypervisor {vm_hypervisor} "
+                f"but host runs {host_hypervisor}"
+            )
+    return violations
+
+
+def storage_capacity_constraint(model: DataModel, host: Node) -> list[str]:
+    """Total size of images and volumes on a storage host must fit its capacity."""
+    capacity = host.get("capacity_gb", 0.0)
+    used = sum(
+        child.get("size_gb", 0.0)
+        for child in host.children.values()
+        if child.entity_type in ("image", "volume")
+    )
+    if used > capacity:
+        return [f"images and volumes use {used:.1f} GB but capacity is {capacity:.1f} GB"]
+    return []
+
+
+def volume_attachment_constraint(model: DataModel, host: Node) -> list[str]:
+    """Attached volumes must be exported as network block devices.
+
+    A volume that is attached to a VM but no longer exported would leave the
+    VM with a dangling block device, the kind of half-configured state the
+    EC2 outage postmortem attributes to unchecked storage operations.
+    """
+    violations = []
+    for volume in host.children.values():
+        if volume.entity_type != "volume":
+            continue
+        if volume.get("attached_to") and not volume.get("exported", False):
+            violations.append(
+                f"volume {volume.name} is attached to {volume.get('attached_to')} "
+                "but is not exported"
+            )
+    return violations
+
+
+def firewall_capacity_constraint(model: DataModel, router: Node) -> list[str]:
+    """The number of firewall rules on a router must not exceed its TCAM budget."""
+    max_rules = int(router.get("max_fw_rules", 1024))
+    rules = [
+        child for child in router.children.values() if child.entity_type == "fwRule"
+    ]
+    if len(rules) > max_rules:
+        return [f"router has {len(rules)} firewall rules but supports at most {max_rules}"]
+    return []
+
+
+def vlan_range_constraint(model: DataModel, router: Node) -> list[str]:
+    """VLAN ids configured on a router must be unique and within range."""
+    violations = []
+    seen: dict[int, str] = {}
+    max_vlans = router.get("max_vlans", 4096)
+    for vlan in router.children.values():
+        if vlan.entity_type != "vlan":
+            continue
+        vlan_id = vlan.get("vlan_id")
+        if vlan_id is None:
+            continue
+        if not 1 <= int(vlan_id) <= max_vlans:
+            violations.append(f"VLAN id {vlan_id} out of range 1..{max_vlans}")
+        if vlan_id in seen:
+            violations.append(f"duplicate VLAN id {vlan_id} ({seen[vlan_id]} and {vlan.name})")
+        seen[vlan_id] = vlan.name
+    return violations

@@ -1,0 +1,337 @@
+"""TCloud stored procedures (orchestration logic, §2.2 / §5).
+
+Procedures compose queries and actions into complete orchestrations.  The
+``spawnVM`` procedure produces exactly the execution log of Table 1 of the
+paper (clone and export the disk image on a storage host, then import it,
+create the VM configuration and start the VM on a compute host), optionally
+followed by attaching the VM to a VLAN.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import OrchestrationContext
+from repro.core.procedures import ProcedureRegistry
+
+
+def disk_image_name(vm_name: str) -> str:
+    """Name of the per-VM disk image cloned from the template."""
+    return f"{vm_name}-disk"
+
+
+# ----------------------------------------------------------------------
+# VM life cycle
+# ----------------------------------------------------------------------
+
+def spawn_vm(
+    ctx: OrchestrationContext,
+    vm_name: str,
+    image_template: str,
+    storage_host: str,
+    vm_host: str,
+    mem_mb: int = 1024,
+    router: str | None = None,
+    vlan_id: int | None = None,
+) -> dict:
+    """Spawn a new VM from a disk image template (Table 1).
+
+    Steps: clone and export the image on the storage server; import the
+    image, create the VM configuration and start the VM on the compute
+    server; optionally attach the VM to a VLAN on the switch layer.
+    """
+    vm_image = disk_image_name(vm_name)
+    ctx.require(ctx.exists(storage_host), f"storage host {storage_host} does not exist")
+    ctx.require(ctx.exists(vm_host), f"compute host {vm_host} does not exist")
+    ctx.require(
+        ctx.query(storage_host, "hasImage", image_template),
+        f"image template {image_template} not present on {storage_host}",
+    )
+
+    ctx.do(storage_host, "cloneImage", image_template, vm_image)
+    ctx.do(storage_host, "exportImage", vm_image)
+    ctx.do(vm_host, "importImage", vm_image)
+    ctx.do(vm_host, "createVM", vm_name, vm_image, mem_mb)
+    ctx.do(vm_host, "startVM", vm_name)
+    if router is not None and vlan_id is not None:
+        ctx.do(router, "attachPort", vlan_id, vm_name)
+    return {"vm": f"{vm_host}/{vm_name}", "image": f"{storage_host}/{vm_image}"}
+
+
+def start_vm(ctx: OrchestrationContext, vm_host: str, vm_name: str) -> dict:
+    """Start a stopped VM."""
+    state = ctx.query(vm_host, "vmState", vm_name)
+    ctx.require(state is not None, f"VM {vm_name} does not exist on {vm_host}")
+    if state != "running":
+        ctx.do(vm_host, "startVM", vm_name)
+    return {"vm": f"{vm_host}/{vm_name}", "state": "running"}
+
+
+def stop_vm(ctx: OrchestrationContext, vm_host: str, vm_name: str) -> dict:
+    """Stop a running VM."""
+    state = ctx.query(vm_host, "vmState", vm_name)
+    ctx.require(state is not None, f"VM {vm_name} does not exist on {vm_host}")
+    if state != "stopped":
+        ctx.do(vm_host, "stopVM", vm_name)
+    return {"vm": f"{vm_host}/{vm_name}", "state": "stopped"}
+
+
+def destroy_vm(
+    ctx: OrchestrationContext,
+    vm_host: str,
+    vm_name: str,
+    storage_host: str | None = None,
+) -> dict:
+    """Decommission a VM and clean up its disk image."""
+    state = ctx.query(vm_host, "vmState", vm_name)
+    ctx.require(state is not None, f"VM {vm_name} does not exist on {vm_host}")
+    vm_image = ctx.node(f"{vm_host}/{vm_name}").get("image")
+    if state == "running":
+        ctx.do(vm_host, "stopVM", vm_name)
+    ctx.do(vm_host, "removeVM", vm_name)
+    ctx.do(vm_host, "unimportImage", vm_image)
+    if storage_host is not None and ctx.query(storage_host, "hasImage", vm_image):
+        ctx.do(storage_host, "unexportImage", vm_image)
+        ctx.do(storage_host, "removeImage", vm_image)
+    return {"vm": f"{vm_host}/{vm_name}", "state": "destroyed"}
+
+
+def migrate_vm(
+    ctx: OrchestrationContext,
+    vm_name: str,
+    src_host: str,
+    dst_host: str,
+) -> dict:
+    """Migrate a VM between compute hosts.
+
+    The hypervisor-compatibility and memory constraints on the destination
+    host are enforced automatically when the VM is created there; an
+    incompatible or overloaded destination aborts the transaction before
+    any physical action runs (§6.2).
+    """
+    state = ctx.query(src_host, "vmState", vm_name)
+    ctx.require(state is not None, f"VM {vm_name} does not exist on {src_host}")
+    ctx.require(ctx.exists(dst_host), f"destination host {dst_host} does not exist")
+    ctx.require(src_host != dst_host, "source and destination hosts are identical")
+    vm = ctx.read(f"{src_host}/{vm_name}")
+    vm_image = vm.get("image")
+    mem_mb = vm.get("mem_mb", 1024)
+
+    if state == "running":
+        ctx.do(src_host, "stopVM", vm_name)
+    ctx.do(dst_host, "importImage", vm_image)
+    # Carry the VM's original hypervisor type so the destination host's
+    # VM-type constraint can reject an incompatible migration (§6.2).
+    ctx.do(dst_host, "createVM", vm_name, vm_image, mem_mb, vm.get("hypervisor"))
+    if state == "running":
+        ctx.do(dst_host, "startVM", vm_name)
+    ctx.do(src_host, "removeVM", vm_name)
+    ctx.do(src_host, "unimportImage", vm_image)
+    return {"vm": f"{dst_host}/{vm_name}", "from": src_host, "to": dst_host}
+
+
+# ----------------------------------------------------------------------
+# Block volumes (EBS-like virtual block devices)
+# ----------------------------------------------------------------------
+
+def create_volume(
+    ctx: OrchestrationContext, storage_host: str, volume_name: str, size_gb: float
+) -> dict:
+    """Allocate a block volume and export it as a network block device."""
+    ctx.require(ctx.exists(storage_host), f"storage host {storage_host} does not exist")
+    ctx.require(
+        not ctx.query(storage_host, "hasVolume", volume_name),
+        f"volume {volume_name} already exists on {storage_host}",
+    )
+    free = ctx.query(storage_host, "freeCapacity")
+    ctx.require(
+        free >= float(size_gb),
+        f"storage host {storage_host} has only {free:.1f} GB free",
+    )
+    ctx.do(storage_host, "createVolume", volume_name, float(size_gb))
+    ctx.do(storage_host, "exportVolume", volume_name)
+    return {"volume": f"{storage_host}/{volume_name}", "size_gb": float(size_gb)}
+
+
+def delete_volume(ctx: OrchestrationContext, storage_host: str, volume_name: str) -> dict:
+    """Unexport and delete a block volume (it must be detached)."""
+    ctx.require(
+        ctx.query(storage_host, "hasVolume", volume_name),
+        f"volume {volume_name} does not exist on {storage_host}",
+    )
+    ctx.require(
+        ctx.query(storage_host, "volumeAttachment", volume_name) is None,
+        f"volume {volume_name} is still attached",
+    )
+    ctx.do(storage_host, "unexportVolume", volume_name)
+    ctx.do(storage_host, "deleteVolume", volume_name)
+    return {"volume": f"{storage_host}/{volume_name}", "state": "deleted"}
+
+
+def attach_volume(
+    ctx: OrchestrationContext,
+    storage_host: str,
+    volume_name: str,
+    vm_host: str,
+    vm_name: str,
+) -> dict:
+    """Attach an exported volume to a VM.
+
+    The VM is read (and therefore R-locked) so a concurrent destroy or
+    migrate of the same VM cannot interleave with the attachment.
+    """
+    ctx.require(
+        ctx.query(vm_host, "vmState", vm_name) is not None,
+        f"VM {vm_name} does not exist on {vm_host}",
+    )
+    ctx.require(
+        ctx.query(storage_host, "hasVolume", volume_name),
+        f"volume {volume_name} does not exist on {storage_host}",
+    )
+    vm_ref = f"{vm_host}/{vm_name}"
+    ctx.do(storage_host, "connectVolume", volume_name, vm_ref)
+    return {"volume": f"{storage_host}/{volume_name}", "attached_to": vm_ref}
+
+
+def detach_volume(
+    ctx: OrchestrationContext,
+    storage_host: str,
+    volume_name: str,
+    vm_host: str,
+    vm_name: str,
+) -> dict:
+    """Detach a volume from the VM it is attached to."""
+    vm_ref = f"{vm_host}/{vm_name}"
+    ctx.require(
+        ctx.query(storage_host, "volumeAttachment", volume_name) == vm_ref,
+        f"volume {volume_name} is not attached to {vm_ref}",
+    )
+    ctx.do(storage_host, "disconnectVolume", volume_name, vm_ref)
+    return {"volume": f"{storage_host}/{volume_name}", "attached_to": None}
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+
+def snapshot_vm(
+    ctx: OrchestrationContext,
+    vm_host: str,
+    vm_name: str,
+    storage_host: str,
+    snapshot_name: str,
+) -> dict:
+    """Take a crash-consistent snapshot of a VM's disk image.
+
+    The VM is stopped for the duration of the image clone and restarted
+    afterwards; if any step fails, the undo log restores the original
+    running state.
+    """
+    state = ctx.query(vm_host, "vmState", vm_name)
+    ctx.require(state is not None, f"VM {vm_name} does not exist on {vm_host}")
+    vm_image = ctx.node(f"{vm_host}/{vm_name}").get("image")
+    ctx.require(
+        ctx.query(storage_host, "hasImage", vm_image),
+        f"disk image {vm_image} not found on {storage_host}",
+    )
+    ctx.require(
+        not ctx.query(storage_host, "hasImage", snapshot_name),
+        f"snapshot {snapshot_name} already exists on {storage_host}",
+    )
+    if state == "running":
+        ctx.do(vm_host, "stopVM", vm_name)
+    ctx.do(storage_host, "cloneImage", vm_image, snapshot_name)
+    if state == "running":
+        ctx.do(vm_host, "startVM", vm_name)
+    return {"snapshot": f"{storage_host}/{snapshot_name}", "vm": f"{vm_host}/{vm_name}"}
+
+
+# ----------------------------------------------------------------------
+# Network
+# ----------------------------------------------------------------------
+
+def create_vlan(ctx: OrchestrationContext, router: str, vlan_id: int, name: str = "") -> dict:
+    """Create a VLAN on the switch layer."""
+    ctx.require(ctx.exists(router), f"router {router} does not exist")
+    ctx.do(router, "createVlan", vlan_id, name)
+    return {"router": router, "vlan_id": vlan_id}
+
+
+def delete_vlan(ctx: OrchestrationContext, router: str, vlan_id: int) -> dict:
+    """Remove a VLAN from the switch layer."""
+    ctx.do(router, "deleteVlan", vlan_id)
+    return {"router": router, "vlan_id": vlan_id}
+
+
+def attach_vm_to_vlan(
+    ctx: OrchestrationContext, router: str, vlan_id: int, vm_host: str, vm_name: str
+) -> dict:
+    """Attach a VM's virtual interface to a VLAN."""
+    ctx.require(
+        ctx.query(vm_host, "vmState", vm_name) is not None,
+        f"VM {vm_name} does not exist on {vm_host}",
+    )
+    ctx.do(router, "attachPort", vlan_id, vm_name)
+    return {"router": router, "vlan_id": vlan_id, "vm": vm_name}
+
+
+def add_firewall_rule(
+    ctx: OrchestrationContext,
+    router: str,
+    rule_id: int,
+    src: str = "any",
+    dst: str = "any",
+    policy: str = "deny",
+) -> dict:
+    """Install a firewall rule on the switch layer."""
+    ctx.require(ctx.exists(router), f"router {router} does not exist")
+    ctx.require(
+        int(rule_id) not in ctx.query(router, "listFirewallRules"),
+        f"firewall rule {rule_id} already exists on {router}",
+    )
+    ctx.do(router, "addFirewallRule", int(rule_id), src, dst, policy)
+    return {"router": router, "rule_id": int(rule_id), "policy": policy}
+
+
+def remove_firewall_rule(ctx: OrchestrationContext, router: str, rule_id: int) -> dict:
+    """Remove a firewall rule from the switch layer."""
+    ctx.require(
+        int(rule_id) in ctx.query(router, "listFirewallRules"),
+        f"firewall rule {rule_id} does not exist on {router}",
+    )
+    ctx.do(router, "removeFirewallRule", int(rule_id))
+    return {"router": router, "rule_id": int(rule_id)}
+
+
+# ----------------------------------------------------------------------
+# Registry assembly
+# ----------------------------------------------------------------------
+
+def build_procedures() -> ProcedureRegistry:
+    """Stored-procedure registry for the TCloud service.
+
+    Includes both the primitive orchestrations defined in this module and
+    the composite (multi-VM / maintenance) orchestrations of
+    :mod:`repro.tcloud.composite`, which are built by calling the primitive
+    ones inside the same transaction.
+    """
+    # Imported here to avoid a circular import: composite procedures call
+    # the primitives defined above by name.
+    from repro.tcloud.composite import register_composite_procedures
+
+    registry = ProcedureRegistry()
+    registry.register("spawnVM", spawn_vm)
+    registry.register("startVM", start_vm)
+    registry.register("stopVM", stop_vm)
+    registry.register("destroyVM", destroy_vm)
+    registry.register("migrateVM", migrate_vm)
+    registry.register("snapshotVM", snapshot_vm)
+    registry.register("createVolume", create_volume)
+    registry.register("deleteVolume", delete_volume)
+    registry.register("attachVolume", attach_volume)
+    registry.register("detachVolume", detach_volume)
+    registry.register("createVLAN", create_vlan)
+    registry.register("deleteVLAN", delete_vlan)
+    registry.register("attachVMToVLAN", attach_vm_to_vlan)
+    registry.register("addFirewallRule", add_firewall_rule)
+    registry.register("removeFirewallRule", remove_firewall_rule)
+    register_composite_procedures(registry)
+    return registry

@@ -1,0 +1,35 @@
+"""Workload generation and replay (§6).
+
+The paper drives its evaluation with two traces that are not publicly
+available; this package synthesises equivalents calibrated to the published
+statistics:
+
+* the **EC2 workload** — VM spawn rate over one hour inferred from Amazon
+  EC2 instance ids (8,417 spawns, 2.34/s on average, peaking at 14/s at
+  0.8 h) — reproduced by :mod:`repro.workloads.ec2` (Figure 3);
+* the **hosting workload** — a mix of VM spawn/start/stop/migrate
+  operations derived from a large US hosting provider — reproduced by
+  :mod:`repro.workloads.hosting`.
+
+:mod:`repro.workloads.loadgen` replays either trace against a running
+TCloud deployment under time compression and collects the measurements
+behind Figures 4 and 5.
+"""
+
+from repro.workloads.trace import Trace, TraceEvent, TraceStats
+from repro.workloads.ec2 import EC2TraceParams, ec2_spawn_trace, synthesize_launch_counts
+from repro.workloads.hosting import HostingTraceParams, hosting_trace
+from repro.workloads.loadgen import LoadGenerator, ReplayResult
+
+__all__ = [
+    "Trace",
+    "TraceEvent",
+    "TraceStats",
+    "EC2TraceParams",
+    "ec2_spawn_trace",
+    "synthesize_launch_counts",
+    "HostingTraceParams",
+    "hosting_trace",
+    "LoadGenerator",
+    "ReplayResult",
+]

@@ -1,0 +1,160 @@
+"""Synthetic EC2 spawn-rate workload (Figure 3, §6.1).
+
+The paper measured newly launched VM instances in EC2's US-east region over
+one week (July 2011) and selected a 1-hour window containing 8,417 VM
+spawns, averaging 2.34 per second with a 14/s peak at 0.8 hours.  The raw
+trace is not public, so this module synthesises a per-second launch-rate
+series with exactly those aggregate properties:
+
+* a Poisson-like base rate around the published mean,
+* a pronounced burst centred at the published peak time whose maximum is
+  exactly the published peak rate, and
+* a total adjusted to exactly the published number of spawns.
+
+The generator is fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.workloads.trace import Trace, TraceEvent
+
+
+@dataclass
+class EC2TraceParams:
+    """Calibration targets (defaults are the values quoted in §6.1)."""
+
+    duration_s: int = 3600
+    total_spawns: int = 8417
+    peak_rate: int = 14
+    peak_time_frac: float = 0.8
+    base_rate: float = 2.0
+    burst_width_s: float = 180.0
+    seed: int = 2011
+
+    def scaled_to(self, duration_s: int) -> "EC2TraceParams":
+        """Shrink the trace window while preserving rates (for fast benchmarks)."""
+        factor = duration_s / self.duration_s
+        return EC2TraceParams(
+            duration_s=duration_s,
+            total_spawns=max(1, int(round(self.total_spawns * factor))),
+            peak_rate=self.peak_rate,
+            peak_time_frac=self.peak_time_frac,
+            base_rate=self.base_rate,
+            burst_width_s=max(10.0, self.burst_width_s * factor),
+            seed=self.seed,
+        )
+
+
+def synthesize_launch_counts(params: EC2TraceParams | None = None) -> list[int]:
+    """Per-second VM launch counts with the calibrated shape.
+
+    Guarantees: ``sum(counts) == params.total_spawns`` and
+    ``max(counts) == params.peak_rate`` (at the peak-time second).
+    """
+    params = params or EC2TraceParams()
+    rng = random.Random(params.seed)
+    n = params.duration_s
+    peak_at = int(params.peak_time_frac * n)
+
+    # Keep the base Poisson rate consistent with the requested total so the
+    # final adjustment only has to nudge the series, even when the caller
+    # asks for a total well below ``base_rate * duration``.
+    base_rate = min(params.base_rate, params.total_spawns / max(n, 1))
+
+    counts = []
+    for second in range(n):
+        # Base Poisson traffic plus a Gaussian burst around the peak.
+        lam = base_rate
+        burst = (params.peak_rate - base_rate) * math.exp(
+            -((second - peak_at) ** 2) / (2 * params.burst_width_s**2)
+        )
+        lam += max(0.0, burst * 0.75)
+        counts.append(_poisson(rng, lam))
+
+    # Pin the peak second to exactly the published peak rate and cap others.
+    counts[peak_at] = params.peak_rate
+    cap = params.peak_rate
+    for second in range(n):
+        if second != peak_at and counts[second] >= cap:
+            counts[second] = cap - 1
+
+    # Adjust the total to exactly the published number of spawns: first by
+    # spreading random +/-1 nudges (keeps the series natural-looking) ...
+    delta = params.total_spawns - sum(counts)
+    step = 1 if delta > 0 else -1
+    guard = 0
+    while delta != 0 and guard < 10 * abs(params.total_spawns):
+        guard += 1
+        second = rng.randrange(n)
+        if second == peak_at:
+            continue
+        new_value = counts[second] + step
+        if 0 <= new_value <= cap - 1:
+            counts[second] = new_value
+            delta -= step
+    # ... then, if random nudging did not converge (extreme calibrations),
+    # with a deterministic sweep that guarantees the exact total whenever it
+    # is achievable within [0, cap-1] per non-peak second.
+    while delta != 0:
+        progressed = False
+        step = 1 if delta > 0 else -1
+        for second in range(n):
+            if delta == 0:
+                break
+            if second == peak_at:
+                continue
+            new_value = counts[second] + step
+            if 0 <= new_value <= cap - 1:
+                counts[second] = new_value
+                delta -= step
+                progressed = True
+        if not progressed:
+            break  # target unreachable (e.g. total below the pinned peak)
+    return counts
+
+
+def ec2_spawn_trace(
+    params: EC2TraceParams | None = None,
+    mem_mb: int = 1024,
+    image_template: str = "template-small",
+) -> Trace:
+    """Build the spawn-only EC2 trace as a :class:`~repro.workloads.trace.Trace`."""
+    params = params or EC2TraceParams()
+    counts = synthesize_launch_counts(params)
+    rng = random.Random(params.seed + 1)
+    events = []
+    sequence = 0
+    for second, count in enumerate(counts):
+        offsets = sorted(rng.random() for _ in range(count))
+        for offset in offsets:
+            sequence += 1
+            events.append(
+                TraceEvent(
+                    time=second + offset,
+                    operation="spawn",
+                    args={
+                        "vm_name": f"ec2-vm-{sequence:06d}",
+                        "mem_mb": mem_mb,
+                        "image_template": image_template,
+                    },
+                )
+            )
+    return Trace(events, duration_s=float(params.duration_s))
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Sample a Poisson variate (Knuth's method; lam is small here)."""
+    if lam <= 0:
+        return 0
+    threshold = math.exp(-lam)
+    k = 0
+    product = 1.0
+    while True:
+        product *= rng.random()
+        if product <= threshold:
+            return k
+        k += 1

@@ -1,0 +1,238 @@
+"""Load generation: replay traces against a TCloud deployment (§6.1).
+
+Two replay modes are provided:
+
+* :meth:`LoadGenerator.replay_async` — paced, time-compressed replay for
+  the EC2 performance experiments (Figures 4 and 5): requests are submitted
+  at their trace times divided by the compression factor while the
+  controller and workers run in their own threads; per-bucket controller
+  busy fraction (the CPU-utilisation proxy) and per-transaction latencies
+  are collected.
+* :meth:`LoadGenerator.replay_sync` — closed-loop replay for the hosting
+  workload experiments (§6.2-§6.4): each operation is bound to concrete
+  VMs using the live logical model and waited for before the next one is
+  submitted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.clock import Clock, RealClock
+from repro.core.platform import TransactionHandle
+from repro.core.txn import Transaction, TransactionState
+from repro.tcloud.service import TCloud
+from repro.workloads.trace import Trace, TraceEvent
+
+
+@dataclass
+class ReplayResult:
+    """Measurements collected while replaying one trace."""
+
+    submitted: int = 0
+    committed: int = 0
+    aborted: int = 0
+    failed: int = 0
+    wall_seconds: float = 0.0
+    compression: float = 1.0
+    latencies: list[float] = field(default_factory=list)
+    #: (trace_time_seconds, busy_fraction) samples — the Figure 4 series.
+    utilization: list[tuple[float, float]] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.committed / self.wall_seconds
+
+    @property
+    def commit_ratio(self) -> float:
+        total = self.committed + self.aborted + self.failed
+        return self.committed / total if total else 0.0
+
+    def record_outcome(self, txn: Transaction) -> None:
+        if txn.state is TransactionState.COMMITTED:
+            self.committed += 1
+        elif txn.state is TransactionState.FAILED:
+            self.failed += 1
+        else:
+            self.aborted += 1
+            if txn.error and len(self.errors) < 50:
+                self.errors.append(txn.error)
+        latency = txn.latency()
+        if latency is not None:
+            self.latencies.append(latency)
+
+
+class LoadGenerator:
+    """Replays workload traces against a TCloud service.
+
+    With ``prebind_spawns=True`` the generator assigns compute and storage
+    hosts to spawn requests round-robin from the static inventory instead
+    of consulting the live logical model for placement.  This keeps the
+    client-side submission path cheap, so an open-loop replay (the EC2
+    performance experiments) is paced by the trace rather than by the
+    submitter, matching the paper's setup where placement is not part of
+    the measured orchestration cost.
+    """
+
+    def __init__(
+        self,
+        cloud: TCloud,
+        clock: Clock | None = None,
+        seed: int = 7,
+        prebind_spawns: bool = False,
+    ):
+        self.cloud = cloud
+        self.clock = clock or RealClock()
+        self.rng = random.Random(seed)
+        self.prebind_spawns = prebind_spawns
+        self._spawn_counter = 0
+
+    # ------------------------------------------------------------------
+    # Open-loop, paced replay (EC2 workload)
+    # ------------------------------------------------------------------
+
+    def replay_async(
+        self,
+        trace: Trace,
+        compression: float = 60.0,
+        utilization_bucket_s: float = 60.0,
+        wait_timeout: float = 120.0,
+    ) -> ReplayResult:
+        """Submit requests at ``trace.time / compression`` and wait for all.
+
+        Requires the platform's threaded runtime.  ``utilization_bucket_s``
+        is the width (in *trace* seconds) of the buckets over which the
+        controller busy fraction is sampled.
+        """
+        platform = self.cloud.platform
+        result = ReplayResult(compression=compression)
+        handles: list[TransactionHandle] = []
+
+        start_wall = self.clock.now()
+        last_busy = platform.controller_busy_seconds()
+        last_sample_wall = start_wall
+        next_bucket = utilization_bucket_s
+
+        for event in trace:
+            target_wall = start_wall + event.time / compression
+            delay = target_wall - self.clock.now()
+            if delay > 0:
+                self.clock.sleep(delay)
+            handle = self._submit(event, wait=False)
+            if handle is not None:
+                handles.append(handle)
+                result.submitted += 1
+            # Sample controller utilisation at bucket boundaries.
+            if event.time >= next_bucket:
+                now = self.clock.now()
+                busy = platform.controller_busy_seconds()
+                elapsed = max(now - last_sample_wall, 1e-9)
+                result.utilization.append((next_bucket, min(1.0, (busy - last_busy) / elapsed)))
+                last_busy, last_sample_wall = busy, now
+                next_bucket += utilization_bucket_s
+
+        for handle in handles:
+            try:
+                txn = handle.wait(timeout=wait_timeout)
+            except TimeoutError:
+                result.failed += 1
+                continue
+            result.record_outcome(txn)
+
+        end_wall = self.clock.now()
+        result.wall_seconds = end_wall - start_wall
+        # Final utilisation sample covering the tail of the replay.
+        busy = platform.controller_busy_seconds()
+        elapsed = max(end_wall - last_sample_wall, 1e-9)
+        result.utilization.append(
+            (min(trace.duration_s, next_bucket), min(1.0, (busy - last_busy) / elapsed))
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Closed-loop replay (hosting workload)
+    # ------------------------------------------------------------------
+
+    def replay_sync(self, trace: Trace, timeout: float = 30.0) -> ReplayResult:
+        """Submit each operation and wait for it before the next one."""
+        result = ReplayResult(compression=0.0)
+        start_wall = self.clock.now()
+        for event in trace:
+            txn = self._submit(event, wait=True, timeout=timeout)
+            if txn is None:
+                continue
+            result.submitted += 1
+            result.record_outcome(txn)
+        result.wall_seconds = self.clock.now() - start_wall
+        return result
+
+    # ------------------------------------------------------------------
+    # Operation binding
+    # ------------------------------------------------------------------
+
+    def _submit(self, event: TraceEvent, wait: bool, timeout: float = 30.0):
+        """Bind an abstract trace event to concrete resources and submit it."""
+        operation = event.operation
+        try:
+            if operation == "spawn":
+                vm_host, storage_host = self._spawn_binding(event)
+                return self.cloud.spawn_vm(
+                    event.args["vm_name"],
+                    image_template=event.args.get("image_template", "template-small"),
+                    mem_mb=event.args.get("mem_mb", 1024),
+                    vm_host=vm_host,
+                    storage_host=storage_host,
+                    wait=wait,
+                    timeout=timeout,
+                )
+            vm = self._pick_vm(operation)
+            if vm is None:
+                return None
+            if operation == "start":
+                return self.cloud.start_vm(vm, wait=wait, timeout=timeout)
+            if operation == "stop":
+                return self.cloud.stop_vm(vm, wait=wait, timeout=timeout)
+            if operation == "migrate":
+                return self.cloud.migrate_vm(vm, wait=wait, timeout=timeout)
+            if operation == "destroy":
+                return self.cloud.destroy_vm(vm, wait=wait, timeout=timeout)
+        except Exception:  # noqa: BLE001 - placement/binding failures are skipped
+            return None
+        return None
+
+    def _spawn_binding(self, event: TraceEvent) -> tuple[str | None, str | None]:
+        """Host binding for a spawn: from the event, round-robin, or placement.
+
+        Explicit ``vm_host``/``storage_host`` entries in the trace event win;
+        otherwise round-robin over the inventory when ``prebind_spawns`` is
+        set; otherwise ``(None, None)`` to let the placement engine decide.
+        """
+        explicit_vm = event.args.get("vm_host")
+        explicit_storage = event.args.get("storage_host")
+        if explicit_vm is not None or explicit_storage is not None:
+            return explicit_vm, explicit_storage
+        if not self.prebind_spawns:
+            return None, None
+        inventory = self.cloud.inventory
+        if not inventory.vm_hosts or not inventory.storage_hosts:
+            return None, None
+        index = self._spawn_counter
+        self._spawn_counter += 1
+        vm_host = inventory.vm_hosts[index % len(inventory.vm_hosts)]
+        storage_host = inventory.storage_host_for(index % len(inventory.vm_hosts))
+        return vm_host, storage_host
+
+    def _pick_vm(self, operation: str) -> str | None:
+        records = self.cloud.list_vms()
+        if operation == "start":
+            records = [r for r in records if r.state == "stopped"] or records
+        elif operation in ("stop", "migrate"):
+            records = [r for r in records if r.state == "running"] or records
+        if not records:
+            return None
+        return self.rng.choice(records).name

@@ -1,0 +1,134 @@
+"""Trace representation shared by the workload generators."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class TraceEvent:
+    """One orchestration request in a trace.
+
+    ``time`` is the offset (seconds) from the start of the trace at which
+    the request is submitted; ``operation`` names the abstract TCloud
+    operation (``spawn``, ``start``, ``stop``, ``migrate``); ``args`` carry
+    operation parameters fixed at generation time (e.g. the memory size of
+    a spawned VM).  Binding to concrete hosts and existing VMs happens at
+    replay time.
+    """
+
+    time: float
+    operation: str
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"time": self.time, "operation": self.operation, "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceEvent":
+        return cls(float(data["time"]), data["operation"], dict(data.get("args") or {}))
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of a trace (the numbers quoted in §6.1)."""
+
+    duration_s: float
+    total_events: int
+    mean_rate: float
+    peak_rate: int
+    peak_time_s: float
+    mix: dict[str, int]
+
+
+class Trace:
+    """A time-ordered sequence of orchestration requests."""
+
+    def __init__(self, events: list[TraceEvent] | None = None, duration_s: float = 0.0):
+        self.events = sorted(events or [], key=lambda e: e.time)
+        self.duration_s = duration_s or (self.events[-1].time if self.events else 0.0)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def operations(self) -> list[str]:
+        return [event.operation for event in self.events]
+
+    def per_second_counts(self, operation: str | None = None) -> list[int]:
+        """Number of events in each 1-second bucket (the Figure 3 series)."""
+        buckets = [0] * (int(self.duration_s) + 1)
+        for event in self.events:
+            if operation is not None and event.operation != operation:
+                continue
+            buckets[min(int(event.time), len(buckets) - 1)] += 1
+        return buckets
+
+    def stats(self) -> TraceStats:
+        counts = self.per_second_counts()
+        peak_rate = max(counts) if counts else 0
+        peak_time = counts.index(peak_rate) if counts else 0
+        mix: dict[str, int] = {}
+        for event in self.events:
+            mix[event.operation] = mix.get(event.operation, 0) + 1
+        mean = len(self.events) / self.duration_s if self.duration_s else 0.0
+        return TraceStats(
+            duration_s=self.duration_s,
+            total_events=len(self.events),
+            mean_rate=mean,
+            peak_rate=peak_rate,
+            peak_time_s=float(peak_time),
+            mix=mix,
+        )
+
+    def slice(self, start_s: float, end_s: float) -> "Trace":
+        """Sub-trace covering ``[start_s, end_s)``, re-based to time zero."""
+        events = [
+            TraceEvent(event.time - start_s, event.operation, dict(event.args))
+            for event in self.events
+            if start_s <= event.time < end_s
+        ]
+        return Trace(events, duration_s=end_s - start_s)
+
+    def scaled(self, multiplier: int) -> "Trace":
+        """Multiply the workload intensity (the 2x..5x EC2 workloads of §6.1).
+
+        Each original event is replicated ``multiplier`` times with small
+        deterministic offsets within the same second, preserving the shape
+        of the rate curve while scaling its magnitude.  Replicas of spawn
+        events get distinct VM names so the multiplied workload provisions
+        distinct resources rather than colliding on the originals.
+        """
+        if multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        events: list[TraceEvent] = []
+        for event in self.events:
+            second = math.floor(event.time)
+            frac = event.time - second
+            for copy in range(multiplier):
+                # Spread replicas over the same 1-second bucket as the
+                # original so per-second counts scale by exactly the
+                # multiplier.
+                replica_time = second + (frac + copy / multiplier) % 1.0
+                args = dict(event.args)
+                if copy > 0 and "vm_name" in args:
+                    args["vm_name"] = f"{args['vm_name']}x{copy}"
+                events.append(TraceEvent(replica_time, event.operation, args))
+        return Trace(events, duration_s=self.duration_s)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "duration_s": self.duration_s,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Trace":
+        return cls(
+            [TraceEvent.from_dict(item) for item in data.get("events", [])],
+            duration_s=float(data.get("duration_s", 0.0)),
+        )

@@ -1,0 +1,116 @@
+"""Shared fixtures for the TROPIC reproduction test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Fallback so the tests run even if the package was not installed
+# (e.g. a fresh checkout without `pip install -e .`).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.common.config import TropicConfig  # noqa: E402
+from repro.coordination.client import CoordinationClient  # noqa: E402
+from repro.coordination.ensemble import CoordinationEnsemble  # noqa: E402
+from repro.core.constraints import ConstraintEngine  # noqa: E402
+from repro.core.simulation import LogicalExecutor  # noqa: E402
+from repro.core.txn import Transaction  # noqa: E402
+from repro.tcloud.entities import build_schema  # noqa: E402
+from repro.tcloud.inventory import build_inventory  # noqa: E402
+from repro.tcloud.procedures import build_procedures  # noqa: E402
+from repro.tcloud.service import build_tcloud  # noqa: E402
+
+
+@pytest.fixture
+def schema():
+    """TCloud model schema (entity types, actions, constraints)."""
+    return build_schema()
+
+
+@pytest.fixture
+def procedures():
+    """TCloud stored-procedure registry."""
+    return build_procedures()
+
+
+@pytest.fixture
+def inventory():
+    """A small data centre: 4 compute hosts, 2 storage hosts, 1 router."""
+    return build_inventory(num_vm_hosts=4, num_storage_hosts=2, num_routers=1,
+                           host_mem_mb=4096)
+
+
+@pytest.fixture
+def model(inventory):
+    """The logical data model of the small data centre."""
+    return inventory.model
+
+
+@pytest.fixture
+def registry(inventory):
+    """The device registry matching the small data centre."""
+    return inventory.registry
+
+
+@pytest.fixture
+def executor(model, schema, procedures):
+    """Logical executor bound to the small data centre."""
+    return LogicalExecutor(model, schema, procedures, ConstraintEngine(schema))
+
+
+@pytest.fixture
+def ensemble():
+    """A 3-server coordination ensemble."""
+    return CoordinationEnsemble(num_servers=3, default_session_timeout=5.0)
+
+
+@pytest.fixture
+def coord_client(ensemble):
+    """A client session on the coordination ensemble."""
+    return CoordinationClient(ensemble)
+
+
+@pytest.fixture
+def inline_cloud():
+    """A started TCloud on the inline (deterministic) runtime."""
+    cloud = build_tcloud(num_vm_hosts=4, num_storage_hosts=2, host_mem_mb=4096)
+    cloud.platform.start()
+    yield cloud
+    cloud.platform.stop()
+
+
+@pytest.fixture
+def threaded_config():
+    """Config for threaded-runtime tests with fast failure detection."""
+    return TropicConfig(
+        num_controllers=3,
+        num_workers=2,
+        heartbeat_interval=0.03,
+        session_timeout=0.3,
+        queue_poll_interval=0.002,
+    )
+
+
+def spawn_txn(vm_name: str = "vm1", vm_host: str = "/vmRoot/vmHost0",
+              storage_host: str = "/storageRoot/storageHost0",
+              mem_mb: int = 1024, template: str = "template-small") -> Transaction:
+    """Helper constructing a spawnVM transaction object (not yet simulated)."""
+    return Transaction(
+        procedure="spawnVM",
+        args={
+            "vm_name": vm_name,
+            "image_template": template,
+            "storage_host": storage_host,
+            "vm_host": vm_host,
+            "mem_mb": mem_mb,
+        },
+    )
+
+
+@pytest.fixture
+def make_spawn_txn():
+    return spawn_txn

@@ -1,0 +1,153 @@
+"""Integration tests for the ACID guarantees of orchestration (§2.2, §3).
+
+Atomicity   — failed orchestrations have no effect in either layer.
+Consistency — constraints hold after every committed transaction.
+Isolation   — concurrent conflicting orchestrations cannot both commit if
+              together they would violate a constraint; non-conflicting
+              ones proceed in parallel.
+Durability  — committed orchestrations persist on the (mock) devices and
+              survive controller loss.
+"""
+
+import pytest
+
+from repro.common.config import TropicConfig
+from repro.core.txn import TransactionState
+from repro.tcloud.entities import build_schema
+from repro.tcloud.service import build_tcloud
+
+
+@pytest.fixture
+def cloud():
+    cloud = build_tcloud(num_vm_hosts=3, num_storage_hosts=2, host_mem_mb=2048)
+    cloud.platform.start()
+    yield cloud
+    cloud.platform.stop()
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("failing_action", ["cloneImage", "importImage", "createVM", "startVM"])
+    def test_failure_at_any_step_leaves_no_trace(self, cloud, failing_action):
+        registry = cloud.inventory.registry
+        device_path = ("/storageRoot/storageHost0" if failing_action == "cloneImage"
+                       else "/vmRoot/vmHost0")
+        registry.device_at(device_path).faults.fail_next(failing_action)
+        txn = cloud.spawn_vm("atom", vm_host="/vmRoot/vmHost0",
+                             storage_host="/storageRoot/storageHost0")
+        assert txn.state is TransactionState.ABORTED
+        assert cloud.find_vm("atom") is None
+        assert not registry.device_at("/storageRoot/storageHost0").has_image("atom-disk")
+        assert registry.device_at("/vmRoot/vmHost0").vm_state("atom") is None
+        # Layers stay consistent after the rollback.
+        assert cloud.platform.reconciler().detect().is_empty
+
+    def test_migration_failure_keeps_vm_on_source(self, cloud):
+        cloud.spawn_vm("movable", vm_host="/vmRoot/vmHost0")
+        registry = cloud.inventory.registry
+        registry.device_at("/vmRoot/vmHost1").faults.fail_next("startVM")
+        txn = cloud.platform.submit(
+            "migrateVM",
+            {"vm_name": "movable", "src_host": "/vmRoot/vmHost0",
+             "dst_host": "/vmRoot/vmHost1"},
+        )
+        assert txn.state is TransactionState.ABORTED
+        record = cloud.find_vm("movable")
+        assert record.host == "/vmRoot/vmHost0"
+        assert record.state == "running"
+        assert registry.device_at("/vmRoot/vmHost0").vm_state("movable") == "running"
+        assert registry.device_at("/vmRoot/vmHost1").vm_state("movable") is None
+
+    def test_undo_failure_yields_failed_state_and_fencing(self, cloud):
+        registry = cloud.inventory.registry
+        host = registry.device_at("/vmRoot/vmHost0")
+        host.faults.fail_next("startVM")    # forces rollback
+        host.faults.fail_next("removeVM")   # undo fails -> cross-layer inconsistency
+        txn = cloud.spawn_vm("broken", vm_host="/vmRoot/vmHost0",
+                             storage_host="/storageRoot/storageHost0")
+        assert txn.state is TransactionState.FAILED
+        leader = cloud.platform.leader()
+        assert leader.model.is_fenced("/vmRoot/vmHost0")
+        # Further transactions touching the fenced subtree abort safely.
+        blocked = cloud.spawn_vm("after", vm_host="/vmRoot/vmHost0",
+                                 storage_host="/storageRoot/storageHost0")
+        assert blocked.state is TransactionState.ABORTED
+        # Other hosts keep working.
+        ok = cloud.spawn_vm("elsewhere", vm_host="/vmRoot/vmHost1",
+                            storage_host="/storageRoot/storageHost1")
+        assert ok.state is TransactionState.COMMITTED
+
+
+class TestConsistency:
+    def test_constraints_hold_after_every_commit(self, cloud):
+        schema = build_schema()
+        for index in range(6):
+            cloud.spawn_vm(f"c{index}", mem_mb=512)
+            violations = schema.check_subtree(cloud.platform.leader().model)
+            assert violations == []
+
+    def test_overcommit_rejected_before_touching_devices(self, cloud):
+        registry = cloud.inventory.registry
+        host = registry.device_at("/vmRoot/vmHost0")
+        calls_before = len(host.call_log)
+        txn = cloud.spawn_vm("toobig", mem_mb=4096, vm_host="/vmRoot/vmHost0")
+        assert txn.state is TransactionState.ABORTED
+        assert "capacity" in txn.error
+        assert len(host.call_log) == calls_before  # early abort in the logical layer
+
+    def test_sequential_overcommit_caught(self, cloud):
+        assert cloud.spawn_vm("a", mem_mb=1024, vm_host="/vmRoot/vmHost0").state \
+            is TransactionState.COMMITTED
+        assert cloud.spawn_vm("b", mem_mb=1024, vm_host="/vmRoot/vmHost0").state \
+            is TransactionState.COMMITTED
+        third = cloud.spawn_vm("c", mem_mb=1024, vm_host="/vmRoot/vmHost0")
+        assert third.state is TransactionState.ABORTED
+
+
+class TestIsolation:
+    def test_conflicting_spawns_serialise_and_constraint_still_enforced(self):
+        cloud = build_tcloud(num_vm_hosts=1, num_storage_hosts=1, host_mem_mb=2048)
+        with cloud.platform:
+            handles = [
+                cloud.spawn_vm(f"iso{i}", mem_mb=1024, vm_host="/vmRoot/vmHost0", wait=False)
+                for i in range(3)
+            ]
+            cloud.platform.run_until_idle()
+            results = [h.wait(timeout=10) for h in handles]
+            states = sorted(r.state.value for r in results)
+            assert states.count("committed") == 2
+            assert states.count("aborted") == 1
+            # Never more memory committed than the host has.
+            util = cloud.host_utilisation()["/vmRoot/vmHost0"]
+            assert util["mem_used_mb"] <= 2048
+
+    def test_non_conflicting_spawns_all_commit(self, cloud):
+        handles = [
+            cloud.spawn_vm(f"par{i}", mem_mb=256, vm_host=f"/vmRoot/vmHost{i}",
+                           storage_host=f"/storageRoot/storageHost{i % 2}", wait=False)
+            for i in range(3)
+        ]
+        cloud.platform.run_until_idle()
+        assert all(h.wait(10).state is TransactionState.COMMITTED for h in handles)
+
+    def test_deferred_transaction_eventually_commits(self, cloud):
+        first = cloud.spawn_vm("d1", vm_host="/vmRoot/vmHost0", wait=False)
+        second = cloud.spawn_vm("d2", vm_host="/vmRoot/vmHost0", wait=False)
+        cloud.platform.run_until_idle()
+        assert first.wait(10).state is TransactionState.COMMITTED
+        assert second.wait(10).state is TransactionState.COMMITTED
+        stats = cloud.platform.controller_stats()
+        assert stats["deferred"] >= 1
+
+
+class TestDurability:
+    def test_committed_state_visible_on_devices_and_after_recovery(self, cloud):
+        cloud.spawn_vm("durable", vm_host="/vmRoot/vmHost2")
+        registry = cloud.inventory.registry
+        assert registry.device_at("/vmRoot/vmHost2").vm_state("durable") == "running"
+        # Rebuild controller state purely from the persistent store.
+        from repro.core.recovery import recover_state
+        from repro.tcloud.procedures import build_procedures
+
+        state = recover_state(cloud.platform.store, build_schema(), build_procedures(),
+                              TropicConfig())
+        assert state.model.get("/vmRoot/vmHost2/durable")["state"] == "running"

@@ -1,0 +1,102 @@
+"""Integration tests for the threaded runtime and controller failover (§6.4)."""
+
+import time
+
+import pytest
+
+from repro.core.txn import TransactionState
+from repro.tcloud.service import build_tcloud
+
+
+@pytest.fixture
+def threaded_cloud(threaded_config):
+    cloud = build_tcloud(num_vm_hosts=6, num_storage_hosts=2, host_mem_mb=8192,
+                         config=threaded_config, threaded=True)
+    cloud.platform.start()
+    # Give the replicas a moment to elect a leader.
+    deadline = time.time() + 5.0
+    while time.time() < deadline and cloud.platform.leader_runner() is None:
+        time.sleep(0.02)
+    yield cloud
+    cloud.platform.stop()
+
+
+class TestThreadedRuntime:
+    def test_spawn_on_threaded_runtime(self, threaded_cloud):
+        txn = threaded_cloud.spawn_vm("t1", timeout=30.0)
+        assert txn.state is TransactionState.COMMITTED
+        assert threaded_cloud.find_vm("t1") is not None
+
+    def test_exactly_one_leader(self, threaded_cloud):
+        runners = threaded_cloud.platform._controller_runners
+        time.sleep(0.2)
+        leaders = [r for r in runners if r.is_alive() and r.is_leader]
+        assert len(leaders) == 1
+
+    def test_concurrent_submissions_all_terminal(self, threaded_cloud):
+        handles = [threaded_cloud.spawn_vm(f"batch{i}", mem_mb=512, wait=False)
+                   for i in range(12)]
+        results = [handle.wait(timeout=60.0) for handle in handles]
+        assert all(txn.is_terminal for txn in results)
+        committed = [txn for txn in results if txn.state is TransactionState.COMMITTED]
+        assert len(committed) >= 10  # a couple may abort on placement races
+
+    def test_controller_busy_time_grows_under_load(self, threaded_cloud):
+        before = threaded_cloud.platform.controller_busy_seconds()
+        for index in range(5):
+            threaded_cloud.spawn_vm(f"busy{index}", mem_mb=256, timeout=30.0)
+        assert threaded_cloud.platform.controller_busy_seconds() > before
+
+
+class TestFailover:
+    def test_no_submitted_transaction_lost_across_failover(self, threaded_cloud):
+        platform = threaded_cloud.platform
+        # Mix of already-submitted work and work submitted during recovery.
+        before = [threaded_cloud.spawn_vm(f"pre{i}", mem_mb=512, wait=False) for i in range(6)]
+        killed = platform.kill_leader()
+        assert killed is not None
+        after = [threaded_cloud.spawn_vm(f"post{i}", mem_mb=512, wait=False) for i in range(4)]
+        results = [handle.wait(timeout=60.0) for handle in before + after]
+        assert all(txn.is_terminal for txn in results)
+        assert sum(txn.state is TransactionState.COMMITTED for txn in results) >= 8
+        assert len(platform.live_controller_names()) == 2
+
+    def test_new_leader_elected_within_session_timeout_margin(self, threaded_cloud):
+        platform = threaded_cloud.platform
+        config = platform.config
+        old = platform.kill_leader()
+        assert old is not None
+        start = time.time()
+        deadline = start + 20 * config.session_timeout + 5.0
+        new_runner = None
+        while time.time() < deadline:
+            runner = platform.leader_runner()
+            if runner is not None and runner.controller.name != old and runner.controller.recovered:
+                new_runner = runner
+                break
+            time.sleep(0.01)
+        assert new_runner is not None, "no follower took over"
+        # The new leader serves transactions.
+        txn = threaded_cloud.spawn_vm("after-failover", timeout=30.0)
+        assert txn.state is TransactionState.COMMITTED
+
+    def test_survives_two_failovers(self, threaded_cloud):
+        platform = threaded_cloud.platform
+        assert platform.kill_leader() is not None
+        txn1 = threaded_cloud.spawn_vm("ha1", timeout=60.0)
+        assert platform.kill_leader() is not None
+        txn2 = threaded_cloud.spawn_vm("ha2", timeout=60.0)
+        assert txn1.state is TransactionState.COMMITTED
+        assert txn2.state is TransactionState.COMMITTED
+        assert len(platform.live_controller_names()) == 1
+
+
+class TestCoordinationFaults:
+    def test_single_coordination_server_crash_is_transparent(self, threaded_cloud):
+        platform = threaded_cloud.platform
+        platform.ensemble.crash_server(2)
+        txn = threaded_cloud.spawn_vm("quorum-ok", timeout=30.0)
+        assert txn.state is TransactionState.COMMITTED
+        platform.ensemble.restart_server(2)
+        txn = threaded_cloud.spawn_vm("after-restart", timeout=30.0)
+        assert txn.state is TransactionState.COMMITTED

@@ -1,0 +1,66 @@
+"""Integration test: the hosting workload drives a realistic TCloud mix (§6.2)."""
+
+import pytest
+
+from repro.core.txn import TransactionState
+from repro.tcloud.entities import build_schema
+from repro.tcloud.service import build_tcloud
+from repro.workloads.hosting import HostingTraceParams, hosting_trace
+from repro.workloads.loadgen import LoadGenerator
+
+
+@pytest.fixture
+def cloud():
+    cloud = build_tcloud(num_vm_hosts=6, num_storage_hosts=3, host_mem_mb=16384)
+    cloud.platform.start()
+    yield cloud
+    cloud.platform.stop()
+
+
+class TestHostingWorkload:
+    def test_replay_sync_commits_most_operations(self, cloud):
+        trace = hosting_trace(HostingTraceParams(num_operations=60, seed=11))
+        generator = LoadGenerator(cloud, seed=11)
+        result = generator.replay_sync(trace)
+        assert result.submitted > 0
+        assert result.committed > 0.8 * result.submitted
+        assert result.failed == 0
+        # Latencies were recorded for completed transactions.
+        assert len(result.latencies) == result.committed + result.aborted
+
+    def test_constraints_hold_throughout_replay(self, cloud):
+        trace = hosting_trace(HostingTraceParams(num_operations=40, seed=3))
+        LoadGenerator(cloud, seed=3).replay_sync(trace)
+        schema = build_schema()
+        assert schema.check_subtree(cloud.platform.leader().model) == []
+        # Logical and physical layers agree at the end of the replay.
+        assert cloud.platform.reconciler().detect().is_empty
+
+    def test_error_injection_produces_aborts_not_corruption(self, cloud):
+        """§6.3 scenario: random failures in the last step of spawn/migrate.
+
+        The paper injects the error into the forward execution of the last
+        action only; undo actions are not failed, so every affected
+        transaction aborts cleanly and none ends up *failed*.
+        """
+        for path in cloud.inventory.vm_hosts:
+            device = cloud.inventory.registry.device_at(path)
+            device.faults.fail_with_probability(
+                0.3, "startVM", message="random error", phase="forward"
+            )
+        trace = hosting_trace(HostingTraceParams(num_operations=40, seed=5))
+        result = LoadGenerator(cloud, seed=5).replay_sync(trace)
+        assert result.aborted > 0
+        assert result.committed > 0
+        # Every abort rolled back cleanly: constraints hold and no VM is half-created.
+        schema = build_schema()
+        assert schema.check_subtree(cloud.platform.leader().model) == []
+        stats = cloud.platform.controller_stats()
+        assert stats["failed"] == 0
+
+    def test_mixed_operations_reach_terminal_states(self, cloud):
+        trace = hosting_trace(HostingTraceParams(num_operations=30, seed=9))
+        LoadGenerator(cloud, seed=9).replay_sync(trace)
+        counts = cloud.platform.store.count_by_state()
+        active = counts["accepted"] + counts["started"] + counts["deferred"]
+        assert active == 0

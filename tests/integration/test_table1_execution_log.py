@@ -1,0 +1,57 @@
+"""Integration test reproducing Table 1: the execution log of spawnVM."""
+
+from repro.core.txn import TransactionState
+
+#: The paper's Table 1, modulo host/arg naming: (path-prefix, action, undo action).
+TABLE1_ROWS = [
+    ("/storageRoot/", "cloneImage", "removeImage"),
+    ("/storageRoot/", "exportImage", "unexportImage"),
+    ("/vmRoot/", "importImage", "unimportImage"),
+    ("/vmRoot/", "createVM", "removeVM"),
+    ("/vmRoot/", "startVM", "stopVM"),
+]
+
+
+class TestTable1:
+    def test_spawn_execution_log_matches_table1(self, inline_cloud):
+        txn = inline_cloud.spawn_vm("vm1", image_template="template-small",
+                                    vm_host="/vmRoot/vmHost0",
+                                    storage_host="/storageRoot/storageHost0")
+        assert txn.state is TransactionState.COMMITTED
+        assert len(txn.log) == len(TABLE1_ROWS)
+        for record, (prefix, action, undo) in zip(txn.log, TABLE1_ROWS):
+            assert record.path.startswith(prefix)
+            assert record.action == action
+            assert record.undo_action == undo
+
+    def test_log_args_reference_image_and_vm(self, inline_cloud):
+        txn = inline_cloud.spawn_vm("vm42")
+        clone = txn.log[0]
+        assert clone.args == ["template-small", "vm42-disk"]
+        assert clone.undo_args == ["vm42-disk"]
+        create = txn.log[3]
+        assert create.args[:2] == ["vm42", "vm42-disk"]
+        start = txn.log[4]
+        assert start.args == ["vm42"] and start.undo_args == ["vm42"]
+
+    def test_undo_order_restores_initial_state_on_last_step_failure(self, inline_cloud):
+        """Failing the 5th action must trigger undo of records 4,3,2,1 (§3.2)."""
+        registry = inline_cloud.inventory.registry
+        host = registry.device_at("/vmRoot/vmHost1")
+        host.faults.fail_next("startVM")
+        txn = inline_cloud.spawn_vm("doomed", vm_host="/vmRoot/vmHost1",
+                                    storage_host="/storageRoot/storageHost0")
+        assert txn.state is TransactionState.ABORTED
+        # VM configuration and cloned image are removed everywhere.
+        assert host.vm_state("doomed") is None
+        assert "doomed-disk" not in host.imported_images
+        storage = registry.device_at("/storageRoot/storageHost0")
+        assert not storage.has_image("doomed-disk")
+        assert inline_cloud.find_vm("doomed") is None
+        undo_order = [a for a, _ in host.call_log if a in ("removeVM", "unimportImage")]
+        assert undo_order == ["removeVM", "unimportImage"]
+
+    def test_format_table_is_printable(self, inline_cloud):
+        txn = inline_cloud.spawn_vm("vmp")
+        table = txn.log.format_table()
+        assert "cloneImage" in table and "undo action" in table

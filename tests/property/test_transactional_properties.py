@@ -1,0 +1,216 @@
+"""Property-based tests for the transactional guarantees themselves:
+atomicity of simulation and physical rollback, lock isolation, trace
+scaling and gateway namespacing."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import ConstraintEngine
+from repro.core.locks import LockManager
+from repro.core.physical import PhysicalExecutor
+from repro.core.simulation import LogicalExecutor
+from repro.core.txn import ReadWriteSet, Transaction
+from repro.datamodel.path import ResourcePath
+from repro.gateway.tenants import Tenant
+from repro.tcloud.entities import build_schema
+from repro.tcloud.inventory import build_inventory
+from repro.tcloud.procedures import build_procedures
+from repro.workloads.trace import Trace, TraceEvent
+
+SCHEMA = build_schema()
+PROCEDURES = build_procedures()
+
+spawn_request = st.fixed_dictionaries(
+    {
+        "vm_name": st.text("abcdefgh", min_size=1, max_size=6),
+        "mem_mb": st.sampled_from([256, 512, 1024, 2048, 4096, 8192]),
+        "host_index": st.integers(0, 2),
+    }
+)
+
+
+def _make_executor():
+    inventory = build_inventory(num_vm_hosts=3, num_storage_hosts=1,
+                                host_mem_mb=2048, with_devices=False)
+    executor = LogicalExecutor(inventory.model, SCHEMA, PROCEDURES,
+                               ConstraintEngine(SCHEMA))
+    return inventory, executor
+
+
+def _spawn_txn(request) -> Transaction:
+    return Transaction(
+        procedure="spawnVM",
+        args={
+            "vm_name": request["vm_name"],
+            "image_template": "template-small",
+            "storage_host": "/storageRoot/storageHost0",
+            "vm_host": f"/vmRoot/vmHost{request['host_index']}",
+            "mem_mb": request["mem_mb"],
+        },
+    )
+
+
+class TestLogicalAtomicity:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(spawn_request, min_size=1, max_size=6))
+    def test_aborted_simulations_leave_no_trace(self, requests):
+        """Whatever mix of fitting and oversized spawns is simulated, an
+        aborted transaction never changes the logical model, and a
+        successful one is exactly undone by its rollback."""
+        inventory, executor = _make_executor()
+        for request in requests:
+            before = inventory.model.to_dict()
+            txn = _spawn_txn(request)
+            outcome = executor.simulate(txn)
+            if not outcome.ok:
+                assert inventory.model.to_dict() == before
+            else:
+                executor.rollback(txn)
+                assert inventory.model.to_dict() == before
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(spawn_request, min_size=1, max_size=6, unique_by=lambda r: r["vm_name"]))
+    def test_memory_constraint_never_violated(self, requests):
+        """No sequence of committed simulations can overcommit a host."""
+        inventory, executor = _make_executor()
+        for request in requests:
+            executor.simulate(_spawn_txn(request))
+        for host_path in inventory.vm_hosts:
+            host = inventory.model.get(host_path)
+            used = sum(vm.get("mem_mb", 0) for vm in host.children.values()
+                       if vm.entity_type == "vm" and vm.get("state") == "running")
+            assert used <= host.get("mem_mb")
+
+
+class TestPhysicalAtomicity:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 4), st.text("abcdef", min_size=1, max_size=6))
+    def test_failed_action_rolls_back_all_device_state(self, fail_at, vm_name):
+        """Injecting a failure at any of the five spawn actions leaves every
+        device exactly as it was before the transaction."""
+        inventory = build_inventory(num_vm_hosts=2, num_storage_hosts=1,
+                                    host_mem_mb=4096, with_devices=True)
+        executor = LogicalExecutor(inventory.model, SCHEMA, PROCEDURES,
+                                   ConstraintEngine(SCHEMA))
+        txn = _spawn_txn({"vm_name": vm_name, "mem_mb": 512, "host_index": 0})
+        assert executor.simulate(txn).ok
+
+        before = inventory.registry.build_physical_model().to_dict()
+        action = txn.log[fail_at].action
+        device_path = txn.log[fail_at].path
+        inventory.registry.device_at(device_path).faults.fail_next(action)
+
+        outcome = PhysicalExecutor(inventory.registry).execute(txn)
+        assert outcome.outcome == "aborted"
+        assert inventory.registry.build_physical_model().to_dict() == before
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.text("abcdef", min_size=1, max_size=6))
+    def test_successful_execution_matches_logical_state(self, vm_name):
+        inventory = build_inventory(num_vm_hosts=2, num_storage_hosts=1,
+                                    host_mem_mb=4096, with_devices=True)
+        executor = LogicalExecutor(inventory.model, SCHEMA, PROCEDURES,
+                                   ConstraintEngine(SCHEMA))
+        txn = _spawn_txn({"vm_name": vm_name, "mem_mb": 512, "host_index": 1})
+        assert executor.simulate(txn).ok
+        assert PhysicalExecutor(inventory.registry).execute(txn).committed
+        from repro.datamodel.snapshot import diff_models
+
+        assert diff_models(inventory.model,
+                           inventory.registry.build_physical_model()).is_empty
+
+
+class TestLockIsolation:
+    write_paths = st.sets(
+        st.sampled_from(["/a", "/a/b", "/a/b/c", "/a/d", "/e", "/e/f"]),
+        min_size=1, max_size=3,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(write_paths, write_paths)
+    def test_granted_writers_never_overlap_hierarchically(self, writes_a, writes_b):
+        """If two transactions both hold their write locks, no written path
+        of one is equal to, an ancestor of, or a descendant of a written
+        path of the other (the multi-granularity guarantee of §3.1.3)."""
+        manager = LockManager()
+        assert manager.try_acquire("t1", ReadWriteSet(writes=writes_a)) is None
+        granted = manager.try_acquire("t2", ReadWriteSet(writes=writes_b)) is None
+        overlapping = any(
+            ResourcePath.parse(a) == ResourcePath.parse(b)
+            or ResourcePath.parse(a).is_ancestor_of(ResourcePath.parse(b))
+            or ResourcePath.parse(b).is_ancestor_of(ResourcePath.parse(a))
+            for a in writes_a
+            for b in writes_b
+        )
+        if granted:
+            assert not overlapping
+        else:
+            assert overlapping
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["t1", "t2", "t3"]), write_paths),
+                    min_size=1, max_size=8))
+    def test_release_always_restores_a_clean_manager(self, operations):
+        manager = LockManager()
+        for txid, writes in operations:
+            manager.try_acquire(txid, ReadWriteSet(writes=writes))
+        for txid in ("t1", "t2", "t3"):
+            manager.release_all(txid)
+        assert manager.total_locked_paths() == 0
+        assert manager.active_transactions() == set()
+
+
+class TestTraceScaling:
+    events = st.lists(
+        st.tuples(st.floats(min_value=0, max_value=59, allow_nan=False),
+                  st.text("abcde", min_size=1, max_size=4)),
+        min_size=1, max_size=30,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(events, st.integers(1, 5))
+    def test_scaling_multiplies_every_bucket_exactly(self, raw, multiplier):
+        trace = Trace([TraceEvent(t, "spawn", {"vm_name": f"vm-{i}-{name}"})
+                       for i, (t, name) in enumerate(raw)], duration_s=60)
+        scaled = trace.scaled(multiplier)
+        assert len(scaled) == multiplier * len(trace)
+        original = trace.per_second_counts()
+        assert scaled.per_second_counts() == [multiplier * c for c in original]
+        names = [e.args["vm_name"] for e in scaled]
+        assert len(set(names)) == len(names)
+
+    @settings(max_examples=40, deadline=None)
+    @given(events, st.floats(min_value=1, max_value=30, allow_nan=False),
+           st.floats(min_value=31, max_value=59, allow_nan=False))
+    def test_slice_preserves_events_and_rebases(self, raw, start, end):
+        trace = Trace([TraceEvent(t, name) for t, name in raw], duration_s=60)
+        window = trace.slice(start, end)
+        assert len(window) == sum(1 for t, _ in raw if start <= t < end)
+        assert all(0 <= e.time < end - start for e in window)
+
+
+class TestGatewayNamespacing:
+    names = st.text("abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=16)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text("abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8), names)
+    def test_qualify_unqualify_roundtrip(self, tenant_name, resource):
+        tenant = Tenant(name=tenant_name, api_key="k")
+        qualified = tenant.qualify(resource)
+        assert tenant.owns(qualified)
+        assert tenant.unqualify(qualified) == resource
+        # Qualification is idempotent.
+        assert tenant.qualify(qualified) == qualified
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text("abcdefgh", min_size=1, max_size=8),
+           st.text("abcdefgh", min_size=1, max_size=8), names)
+    def test_tenants_never_own_each_others_resources(self, first, second, resource):
+        if first == second or first.startswith(second) or second.startswith(first):
+            return
+        a, b = Tenant(name=first, api_key="x"), Tenant(name=second, api_key="y")
+        assert not b.owns(a.qualify(resource))

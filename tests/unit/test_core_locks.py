@@ -1,0 +1,140 @@
+"""Unit tests for the multi-granularity lock manager (§3.1.3)."""
+
+import pytest
+
+from repro.core.locks import COMPATIBLE, LockManager, LockMode, compatible
+from repro.core.txn import ReadWriteSet
+from repro.datamodel.path import ResourcePath
+
+
+def rwset(reads=(), writes=(), constraint_reads=()):
+    rw = ReadWriteSet()
+    for path in reads:
+        rw.record_read(path)
+    for path in writes:
+        rw.record_write(path)
+    for path in constraint_reads:
+        rw.record_constraint_read(path)
+    return rw
+
+
+class TestCompatibilityMatrix:
+    def test_matrix_is_total(self):
+        assert len(COMPATIBLE) == 16
+
+    def test_paper_footnote_iw_conflicts_with_r_and_w(self):
+        assert not compatible(LockMode.IW, LockMode.R)
+        assert not compatible(LockMode.IW, LockMode.W)
+        assert not compatible(LockMode.R, LockMode.IW)
+        assert not compatible(LockMode.W, LockMode.IW)
+
+    def test_paper_footnote_ir_conflicts_with_w_only(self):
+        assert not compatible(LockMode.IR, LockMode.W)
+        assert compatible(LockMode.IR, LockMode.R)
+        assert compatible(LockMode.IR, LockMode.IW)
+        assert compatible(LockMode.IR, LockMode.IR)
+
+    def test_read_locks_are_shared(self):
+        assert compatible(LockMode.R, LockMode.R)
+
+    def test_write_locks_are_exclusive(self):
+        for mode in LockMode:
+            assert not compatible(LockMode.W, mode)
+
+
+class TestLockRequestExpansion:
+    def test_write_implies_iw_on_ancestors(self):
+        requests = LockManager.requests_for(rwset(writes=["/vmRoot/host1/vm1"]))
+        assert requests[ResourcePath.parse("/vmRoot/host1/vm1")] is LockMode.W
+        assert requests[ResourcePath.parse("/vmRoot/host1")] is LockMode.IW
+        assert requests[ResourcePath.parse("/vmRoot")] is LockMode.IW
+        assert requests[ResourcePath.parse("/")] is LockMode.IW
+
+    def test_read_implies_ir_on_ancestors(self):
+        requests = LockManager.requests_for(rwset(reads=["/a/b"]))
+        assert requests[ResourcePath.parse("/a/b")] is LockMode.R
+        assert requests[ResourcePath.parse("/a")] is LockMode.IR
+
+    def test_constraint_reads_take_r_locks(self):
+        requests = LockManager.requests_for(rwset(constraint_reads=["/vmRoot/host1"]))
+        assert requests[ResourcePath.parse("/vmRoot/host1")] is LockMode.R
+
+    def test_stronger_mode_wins(self):
+        requests = LockManager.requests_for(
+            rwset(reads=["/a/b"], writes=["/a/b"], constraint_reads=["/a"])
+        )
+        assert requests[ResourcePath.parse("/a/b")] is LockMode.W
+        # /a is both an IW ancestor of a write and an explicit R constraint
+        # read; R is stronger than IW in our ordering.
+        assert requests[ResourcePath.parse("/a")] in (LockMode.R, LockMode.W)
+
+
+class TestConflictDetection:
+    def test_writes_to_same_object_conflict(self):
+        manager = LockManager()
+        assert manager.try_acquire("t1", rwset(writes=["/a/b"])) is None
+        conflict = manager.try_acquire("t2", rwset(writes=["/a/b"]))
+        assert conflict is not None
+        assert conflict.holder == "t1"
+
+    def test_writes_to_sibling_objects_do_not_conflict(self):
+        manager = LockManager()
+        assert manager.try_acquire("t1", rwset(writes=["/vmRoot/host1"])) is None
+        assert manager.try_acquire("t2", rwset(writes=["/vmRoot/host2"])) is None
+
+    def test_reads_share(self):
+        manager = LockManager()
+        assert manager.try_acquire("t1", rwset(reads=["/a"])) is None
+        assert manager.try_acquire("t2", rwset(reads=["/a"])) is None
+
+    def test_read_blocks_descendant_write(self):
+        # The constraint-ancestor R lock makes the whole subtree read-only
+        # to concurrent writers (§3.1.3).
+        manager = LockManager()
+        assert manager.try_acquire("t1", rwset(constraint_reads=["/vmRoot/host1"])) is None
+        conflict = manager.try_acquire("t2", rwset(writes=["/vmRoot/host1/vm2"]))
+        assert conflict is not None
+
+    def test_write_blocks_ancestor_read(self):
+        manager = LockManager()
+        assert manager.try_acquire("t1", rwset(writes=["/vmRoot/host1/vm1"])) is None
+        conflict = manager.try_acquire("t2", rwset(reads=["/vmRoot/host1"]))
+        assert conflict is not None
+
+    def test_same_transaction_never_conflicts_with_itself(self):
+        manager = LockManager()
+        assert manager.try_acquire("t1", rwset(writes=["/a"])) is None
+        assert manager.find_conflict("t1", manager.requests_for(rwset(writes=["/a"]))) is None
+
+    def test_conflicts_counter_increases(self):
+        manager = LockManager()
+        manager.try_acquire("t1", rwset(writes=["/a"]))
+        manager.try_acquire("t2", rwset(writes=["/a"]))
+        assert manager.conflicts_detected >= 1
+
+
+class TestReleaseAndIntrospection:
+    def test_release_allows_waiting_transaction(self):
+        manager = LockManager()
+        manager.try_acquire("t1", rwset(writes=["/a"]))
+        assert manager.try_acquire("t2", rwset(writes=["/a"])) is not None
+        released = manager.release_all("t1")
+        assert released > 0
+        assert manager.try_acquire("t2", rwset(writes=["/a"])) is None
+
+    def test_release_unknown_transaction_is_noop(self):
+        assert LockManager().release_all("ghost") == 0
+
+    def test_holders_and_locks_of(self):
+        manager = LockManager()
+        manager.try_acquire("t1", rwset(writes=["/a/b"]))
+        assert "t1" in manager.holders("/a/b")
+        assert ResourcePath.parse("/a/b") in manager.locks_of("t1")
+        assert manager.active_transactions() == {"t1"}
+
+    def test_clear(self):
+        manager = LockManager()
+        manager.try_acquire("t1", rwset(writes=["/a"]))
+        manager.clear()
+        assert manager.total_locked_paths() == 0
+        assert manager.active_transactions() == set()

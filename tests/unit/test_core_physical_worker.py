@@ -1,0 +1,147 @@
+"""Unit tests for physical execution, undo rollback and workers (§3.2)."""
+
+import pytest
+
+from repro.common.config import TropicConfig
+from repro.coordination.client import CoordinationClient
+from repro.coordination.ensemble import CoordinationEnsemble
+from repro.coordination.kvstore import KVStore
+from repro.coordination.queue import DistributedQueue
+from repro.core.events import KIND_RESULT, execute_message
+from repro.core.persistence import TropicStore
+from repro.core.physical import PhysicalExecutor
+from repro.core.signals import SignalBoard, TERM
+from repro.core.simulation import LogicalExecutor
+from repro.core.worker import Worker
+from repro.core.txn import Transaction
+
+
+@pytest.fixture
+def simulated_spawn(executor, make_spawn_txn):
+    txn = make_spawn_txn("vm1")
+    assert executor.simulate(txn).ok
+    return txn
+
+
+class TestPhysicalExecutor:
+    def test_commit_applies_all_actions(self, registry, simulated_spawn):
+        executor = PhysicalExecutor(registry)
+        outcome = executor.execute(simulated_spawn)
+        assert outcome.committed
+        assert outcome.executed == 5
+        host = registry.device_at("/vmRoot/vmHost0")
+        assert host.vm_state("vm1") == "running"
+        storage = registry.device_at("/storageRoot/storageHost0")
+        assert storage.has_image("vm1-disk")
+
+    def test_failure_triggers_reverse_undo(self, registry, simulated_spawn):
+        host = registry.device_at("/vmRoot/vmHost0")
+        host.faults.fail_next("startVM")
+        executor = PhysicalExecutor(registry)
+        outcome = executor.execute(simulated_spawn)
+        assert outcome.outcome == "aborted"
+        assert outcome.executed == 4
+        assert outcome.undone == 4
+        # All physical effects rolled back.
+        assert host.vm_state("vm1") is None
+        assert "vm1-disk" not in host.imported_images
+        assert not registry.device_at("/storageRoot/storageHost0").has_image("vm1-disk")
+
+    def test_undo_failure_reports_failed(self, registry, simulated_spawn):
+        host = registry.device_at("/vmRoot/vmHost0")
+        host.faults.fail_next("startVM")
+        host.faults.fail_next("removeVM")  # first undo step fails
+        executor = PhysicalExecutor(registry)
+        outcome = executor.execute(simulated_spawn)
+        assert outcome.outcome == "failed"
+        assert outcome.undo_errors
+        # Remaining undos were skipped: the image is still on the storage host.
+        assert registry.device_at("/storageRoot/storageHost0").has_image("vm1-disk")
+
+    def test_logical_only_mode_skips_devices(self, registry, simulated_spawn):
+        config = TropicConfig(logical_only=True)
+        executor = PhysicalExecutor(registry, config)
+        outcome = executor.execute(simulated_spawn)
+        assert outcome.committed
+        assert registry.device_at("/vmRoot/vmHost0").vm_state("vm1") is None
+
+    def test_no_registry_behaves_as_logical_only(self, simulated_spawn):
+        outcome = PhysicalExecutor(None).execute(simulated_spawn)
+        assert outcome.committed
+
+    def test_counters(self, registry, simulated_spawn):
+        executor = PhysicalExecutor(registry)
+        executor.execute(simulated_spawn)
+        assert executor.transactions_executed == 1
+        assert executor.actions_executed == 5
+
+
+class TestTermSignal:
+    def test_term_stops_execution_and_rolls_back(self, registry, schema, procedures, model,
+                                                 make_spawn_txn):
+        ensemble = CoordinationEnsemble(num_servers=1, default_session_timeout=60.0)
+        store = TropicStore(KVStore(CoordinationClient(ensemble)))
+        signals = SignalBoard(store)
+        txn = make_spawn_txn("vm1")
+        LogicalExecutor(model, schema, procedures).simulate(txn)
+        signals.send(txn.txid, TERM)
+        executor = PhysicalExecutor(registry, signals=signals)
+        outcome = executor.execute(txn)
+        assert outcome.outcome == "aborted"
+        assert "TERM" in (outcome.error or "")
+        assert outcome.executed == 0
+
+
+class TestWorker:
+    @pytest.fixture
+    def worker_env(self, registry):
+        ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=60.0)
+        client = CoordinationClient(ensemble)
+        store = TropicStore(KVStore(client))
+        input_queue = DistributedQueue(client, "/queues/inputQ")
+        phy_queue = DistributedQueue(client, "/queues/phyQ")
+        worker = Worker("w0", store, phy_queue, input_queue, registry)
+        return store, input_queue, phy_queue, worker
+
+    def test_worker_reports_commit(self, worker_env, simulated_spawn):
+        store, input_queue, phy_queue, worker = worker_env
+        store.save_transaction(simulated_spawn)
+        phy_queue.put(execute_message(simulated_spawn.txid))
+        assert worker.step() is True
+        result = input_queue.poll()
+        assert result["kind"] == KIND_RESULT
+        assert result["outcome"] == "committed"
+        assert result["txid"] == simulated_spawn.txid
+
+    def test_worker_reports_abort_with_error(self, worker_env, simulated_spawn, registry):
+        store, input_queue, phy_queue, worker = worker_env
+        registry.device_at("/vmRoot/vmHost0").faults.fail_next("startVM")
+        store.save_transaction(simulated_spawn)
+        phy_queue.put(execute_message(simulated_spawn.txid))
+        worker.step()
+        result = input_queue.poll()
+        assert result["outcome"] == "aborted"
+        assert "injected fault" in result["error"]
+        assert result["failed_path"] == "/vmRoot/vmHost0"
+
+    def test_worker_idle_step_returns_false(self, worker_env):
+        _, _, _, worker = worker_env
+        assert worker.step() is False
+
+    def test_worker_skips_unknown_transaction(self, worker_env):
+        store, input_queue, phy_queue, worker = worker_env
+        phy_queue.put(execute_message("txn-does-not-exist"))
+        assert worker.step() is True
+        assert input_queue.is_empty()
+
+    def test_run_pending_drains_queue(self, worker_env, executor, make_spawn_txn):
+        store, input_queue, phy_queue, worker = worker_env
+        for index in range(3):
+            txn = make_spawn_txn(f"vm{index}", vm_host=f"/vmRoot/vmHost{index}")
+            assert executor.simulate(txn).ok
+            store.save_transaction(txn)
+            phy_queue.put(execute_message(txn.txid))
+        processed = worker.run_pending()
+        assert processed == 3
+        assert phy_queue.is_empty()
+        assert input_queue.size() == 3

@@ -1,0 +1,153 @@
+"""Unit tests for reload/repair reconciliation (§4)."""
+
+import pytest
+
+from repro.core.events import result_message
+from repro.core.reconcile import Reconciler
+from repro.core.txn import TransactionState
+from repro.drivers.compute import ComputeHostDevice
+from repro.drivers.registry import DeviceRegistry
+from repro.drivers.storage import StorageHostDevice
+from repro.tcloud.inventory import build_inventory
+
+from tests.unit.test_core_controller import make_controller, submit_spawn
+
+
+def make_env(num_hosts=2):
+    """Controller plus a device registry whose state matches the model."""
+    controller, store, input_queue, phy_queue = make_controller(num_hosts=num_hosts)
+    inventory = build_inventory(num_vm_hosts=num_hosts, num_storage_hosts=2,
+                                host_mem_mb=4096, with_devices=True)
+    reconciler = Reconciler(controller, inventory.registry)
+    controller.recover()
+    return controller, store, input_queue, reconciler, inventory.registry
+
+
+def commit_spawn(controller, store, input_queue, registry, vm_name, host_index=0):
+    txn = submit_spawn(store, input_queue, vm_name, vm_host=f"/vmRoot/vmHost{host_index}")
+    controller.run_until_idle()
+    # Execute physically so devices match the logical layer.
+    host = registry.device_at(f"/vmRoot/vmHost{host_index}")
+    storage = registry.device_at("/storageRoot/storageHost0")
+    storage.clone_image("template-small", f"{vm_name}-disk")
+    storage.export_image(f"{vm_name}-disk")
+    host.import_image(f"{vm_name}-disk")
+    host.create_vm(vm_name, f"{vm_name}-disk", 1024)
+    host.start_vm(vm_name)
+    input_queue.put(result_message(txn.txid, "committed"))
+    controller.run_until_idle()
+    assert store.load_transaction(txn.txid).state is TransactionState.COMMITTED
+    return txn
+
+
+class TestDetection:
+    def test_layers_in_sync_initially(self):
+        _, _, _, reconciler, _ = make_env()
+        assert reconciler.detect().is_empty
+
+    def test_out_of_band_change_detected_and_fenced(self):
+        controller, store, input_queue, reconciler, registry = make_env()
+        commit_spawn(controller, store, input_queue, registry, "vm1")
+        registry.device_at("/vmRoot/vmHost0").power_cycle()
+        diff = reconciler.detect_and_fence()
+        assert not diff.is_empty
+        assert controller.model.is_fenced("/vmRoot/vmHost0/vm1")
+
+
+class TestRepair:
+    def test_repair_restarts_powered_off_vms(self):
+        controller, store, input_queue, reconciler, registry = make_env()
+        commit_spawn(controller, store, input_queue, registry, "vm1")
+        host = registry.device_at("/vmRoot/vmHost0")
+        host.power_cycle()
+        report = reconciler.repair("/vmRoot/vmHost0")
+        assert ("/vmRoot/vmHost0", "startVM", ["vm1"]) in report.actions_executed
+        assert report.clean
+        assert reconciler.detect().is_empty
+
+    def test_repair_recreates_oob_destroyed_vm(self):
+        controller, store, input_queue, reconciler, registry = make_env()
+        commit_spawn(controller, store, input_queue, registry, "vm1")
+        host = registry.device_at("/vmRoot/vmHost0")
+        host.oob_destroy_vm("vm1")
+        report = reconciler.repair("/vmRoot/vmHost0")
+        assert report.clean
+        assert host.vm_state("vm1") == "running"
+        assert reconciler.detect("/vmRoot/vmHost0").is_empty
+
+    def test_repair_removes_orphan_physical_vm(self):
+        controller, store, input_queue, reconciler, registry = make_env()
+        host = registry.device_at("/vmRoot/vmHost0")
+        host.import_image("orphan-disk")
+        host.create_vm("orphan", "orphan-disk", 256)
+        # The orphan VM exists physically but not logically.
+        report = reconciler.repair("/vmRoot/vmHost0")
+        assert host.vm_state("orphan") is None
+        assert any(action == "removeVM" for _, action, _ in report.actions_executed)
+
+    def test_repair_clears_fencing_once_converged(self):
+        controller, store, input_queue, reconciler, registry = make_env()
+        commit_spawn(controller, store, input_queue, registry, "vm1")
+        registry.device_at("/vmRoot/vmHost0").power_cycle()
+        reconciler.detect_and_fence("/vmRoot/vmHost0")
+        assert controller.model.is_fenced("/vmRoot/vmHost0/vm1")
+        reconciler.repair("/vmRoot/vmHost0")
+        assert not controller.model.is_fenced("/vmRoot/vmHost0/vm1")
+        assert store.load_inconsistent_paths() == []
+
+    def test_repair_reports_device_errors(self):
+        controller, store, input_queue, reconciler, registry = make_env()
+        commit_spawn(controller, store, input_queue, registry, "vm1")
+        host = registry.device_at("/vmRoot/vmHost0")
+        host.power_cycle()
+        host.faults.fail_always("startVM")
+        report = reconciler.repair("/vmRoot/vmHost0")
+        assert not report.clean
+        assert report.action_errors
+
+
+class TestReload:
+    def test_reload_adopts_physical_state(self):
+        controller, store, input_queue, reconciler, registry = make_env()
+        host = registry.device_at("/vmRoot/vmHost1")
+        host.import_image("newdisk")
+        host.create_vm("adopted", "newdisk", 512)
+        report = reconciler.reload("/vmRoot/vmHost1")
+        assert report.applied
+        assert controller.model.exists("/vmRoot/vmHost1/adopted")
+        assert reconciler.detect("/vmRoot/vmHost1").is_empty
+
+    def test_reload_aborts_on_constraint_violation(self):
+        controller, store, input_queue, reconciler, registry = make_env()
+        host = registry.device_at("/vmRoot/vmHost1")
+        host.import_image("bigdisk")
+        # Physically overcommitted host (devices allow it if created stopped
+        # then forced): fabricate an over-capacity running VM out of band.
+        host.vms["giant"] = {"state": "running", "mem_mb": 99999, "image": "bigdisk",
+                             "hypervisor": host.hypervisor}
+        report = reconciler.reload("/vmRoot/vmHost1")
+        assert not report.applied
+        assert report.violations
+        assert not controller.model.exists("/vmRoot/vmHost1/giant")
+
+    def test_reload_aborts_when_subtree_locked(self):
+        controller, store, input_queue, reconciler, registry = make_env()
+        submit_spawn(store, input_queue, "vm1", vm_host="/vmRoot/vmHost0")
+        controller.run_until_idle()  # outstanding: holds locks on vmHost0
+        report = reconciler.reload("/vmRoot/vmHost0")
+        assert not report.applied
+        assert report.conflict
+
+    def test_reload_of_decommissioned_device_drops_subtree(self):
+        controller, store, input_queue, reconciler, registry = make_env()
+        registry.unregister("/vmRoot/vmHost1")
+        report = reconciler.reload("/vmRoot/vmHost1")
+        assert report.applied
+        assert not controller.model.exists("/vmRoot/vmHost1")
+
+    def test_reload_clears_fencing(self):
+        controller, store, input_queue, reconciler, registry = make_env()
+        controller.model.mark_inconsistent("/vmRoot/vmHost1")
+        report = reconciler.reload("/vmRoot/vmHost1")
+        assert report.applied
+        assert not controller.model.is_fenced("/vmRoot/vmHost1")

@@ -1,0 +1,162 @@
+"""Unit tests for logical simulation, constraint aborts and rollback (§3.1.2)."""
+
+import pytest
+
+from repro.core.constraints import ConstraintEngine
+from repro.core.context import OrchestrationContext
+from repro.core.simulation import LogicalExecutor
+from repro.core.txn import Transaction
+from repro.datamodel.path import ResourcePath
+
+
+class TestSpawnSimulation:
+    def test_successful_spawn_produces_table1_log(self, executor, make_spawn_txn):
+        txn = make_spawn_txn("vm1")
+        outcome = executor.simulate(txn)
+        assert outcome.ok
+        actions = [(record.path, record.action) for record in txn.log]
+        assert actions == [
+            ("/storageRoot/storageHost0", "cloneImage"),
+            ("/storageRoot/storageHost0", "exportImage"),
+            ("/vmRoot/vmHost0", "importImage"),
+            ("/vmRoot/vmHost0", "createVM"),
+            ("/vmRoot/vmHost0", "startVM"),
+        ]
+        undos = [record.undo_action for record in txn.log]
+        assert undos == ["removeImage", "unexportImage", "unimportImage", "removeVM", "stopVM"]
+
+    def test_simulation_mutates_logical_model(self, executor, model, make_spawn_txn):
+        executor.simulate(make_spawn_txn("vm1"))
+        assert model.get("/vmRoot/vmHost0/vm1")["state"] == "running"
+        assert model.exists("/storageRoot/storageHost0/vm1-disk")
+
+    def test_rwset_contains_written_paths_and_constraint_scope(self, executor, make_spawn_txn):
+        txn = make_spawn_txn("vm1")
+        executor.simulate(txn)
+        assert "/vmRoot/vmHost0" in txn.rwset.writes
+        assert "/storageRoot/storageHost0" in txn.rwset.writes
+        assert "/vmRoot/vmHost0" in txn.rwset.constraint_reads
+
+    def test_resimulation_resets_log(self, executor, make_spawn_txn):
+        txn = make_spawn_txn("vm1")
+        executor.simulate(txn)
+        executor.rollback(txn)
+        executor.simulate(txn)
+        assert len(txn.log) == 5  # not 10
+
+
+class TestConstraintAborts:
+    def test_memory_constraint_violation_aborts(self, executor, make_spawn_txn):
+        # Host capacity in the fixture inventory is 4096 MB.
+        txn = make_spawn_txn("huge", mem_mb=5000)
+        outcome = executor.simulate(txn)
+        assert not outcome.ok
+        assert outcome.constraint_violation
+        assert "capacity" in (outcome.error or "")
+
+    def test_constraint_abort_rolls_back_model(self, executor, model, make_spawn_txn):
+        executor.simulate(make_spawn_txn("huge", mem_mb=5000))
+        assert not model.exists("/vmRoot/vmHost0/huge")
+        assert not model.exists("/storageRoot/storageHost0/huge-disk")
+
+    def test_cumulative_memory_constraint(self, executor, make_spawn_txn):
+        assert executor.simulate(make_spawn_txn("vm1", mem_mb=3000)).ok
+        outcome = executor.simulate(make_spawn_txn("vm2", mem_mb=3000))
+        assert not outcome.ok and outcome.constraint_violation
+
+    def test_unknown_procedure_aborts(self, executor):
+        outcome = executor.simulate(Transaction("noSuchProcedure"))
+        assert not outcome.ok
+        assert not outcome.constraint_violation
+
+    def test_missing_template_aborts(self, executor, make_spawn_txn):
+        outcome = executor.simulate(make_spawn_txn("vm1", template="no-such-template"))
+        assert not outcome.ok
+
+    def test_missing_host_aborts(self, executor, make_spawn_txn):
+        outcome = executor.simulate(make_spawn_txn("vm1", vm_host="/vmRoot/vmHost99"))
+        assert not outcome.ok
+
+
+class TestRollbackAndReplay:
+    def test_rollback_undoes_all_effects(self, executor, model, make_spawn_txn):
+        txn = make_spawn_txn("vm1")
+        executor.simulate(txn)
+        executor.rollback(txn)
+        assert not model.exists("/vmRoot/vmHost0/vm1")
+        assert not model.exists("/storageRoot/storageHost0/vm1-disk")
+        assert "vm1-disk" not in model.get("/vmRoot/vmHost0")["imported_images"]
+
+    def test_apply_log_replays_committed_effects(self, executor, model, schema, procedures,
+                                                 make_spawn_txn):
+        txn = make_spawn_txn("vm1")
+        executor.simulate(txn)
+        # Re-apply the same log on a fresh copy of the initial model.
+        fresh = model.clone()
+        fresh.delete("/vmRoot/vmHost0/vm1")
+        fresh.delete("/storageRoot/storageHost0/vm1-disk")
+        fresh.set_attrs("/vmRoot/vmHost0", imported_images=[])
+        other = LogicalExecutor(fresh, schema, procedures)
+        other.apply_log(txn.log)
+        assert fresh.get("/vmRoot/vmHost0/vm1")["state"] == "running"
+
+    def test_rollback_counter(self, executor, make_spawn_txn):
+        before = executor.rollbacks
+        executor.simulate(make_spawn_txn("huge", mem_mb=9999))
+        assert executor.rollbacks == before + 1
+
+
+class TestOrchestrationContext:
+    def test_reads_are_recorded(self, model, schema):
+        txn = Transaction("inline")
+        ctx = OrchestrationContext(model, schema, txn, ConstraintEngine(schema))
+        ctx.read("/vmRoot/vmHost0")
+        ctx.children("/vmRoot")
+        ctx.exists("/vmRoot/vmHost1")
+        assert {"/vmRoot/vmHost0", "/vmRoot", "/vmRoot/vmHost1"} <= txn.rwset.reads
+
+    def test_do_records_log_and_write(self, model, schema):
+        txn = Transaction("inline")
+        ctx = OrchestrationContext(model, schema, txn, ConstraintEngine(schema))
+        ctx.do("/vmRoot/vmHost0", "importImage", "disk-x")
+        assert txn.log[0].action == "importImage"
+        assert "/vmRoot/vmHost0" in txn.rwset.writes
+        assert "disk-x" in model.get("/vmRoot/vmHost0")["imported_images"]
+
+    def test_query_via_context(self, model, schema):
+        txn = Transaction("inline")
+        ctx = OrchestrationContext(model, schema, txn, ConstraintEngine(schema))
+        assert ctx.query("/vmRoot/vmHost0", "memoryAvailable") == 4096
+
+    def test_require_raises_procedure_error(self, model, schema):
+        from repro.common.errors import ProcedureError
+
+        txn = Transaction("inline")
+        ctx = OrchestrationContext(model, schema, txn, ConstraintEngine(schema))
+        with pytest.raises(ProcedureError):
+            ctx.require(False, "nope")
+
+    def test_fenced_path_rejected(self, model, schema):
+        from repro.common.errors import InconsistencyError
+
+        model.mark_inconsistent("/vmRoot/vmHost0")
+        txn = Transaction("inline")
+        ctx = OrchestrationContext(model, schema, txn, ConstraintEngine(schema))
+        with pytest.raises(InconsistencyError):
+            ctx.do("/vmRoot/vmHost0", "importImage", "x")
+
+
+class TestConstraintEngine:
+    def test_highest_constrained_ancestor_is_host(self, model, schema):
+        engine = ConstraintEngine(schema)
+        scope = engine.highest_constrained_ancestor(model, "/vmRoot/vmHost0/vm1")
+        assert scope == ResourcePath.parse("/vmRoot/vmHost0")
+
+    def test_no_constrained_ancestor_returns_none(self, model, schema):
+        engine = ConstraintEngine(schema)
+        assert engine.highest_constrained_ancestor(model, "/netRoot") is None
+
+    def test_check_counts(self, model, schema):
+        engine = ConstraintEngine(schema)
+        engine.check_after_write(model, "/vmRoot/vmHost0")
+        assert engine.checks_performed == 1

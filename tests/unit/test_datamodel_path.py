@@ -1,0 +1,101 @@
+"""Unit tests for resource paths."""
+
+import pytest
+
+from repro.common.errors import DataModelError
+from repro.datamodel.path import ROOT_PATH, ResourcePath
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        path = ResourcePath.parse("/vmRoot/vmHost1")
+        assert path.parts == ("vmRoot", "vmHost1")
+
+    def test_parse_root_variants(self):
+        assert ResourcePath.parse("/") == ROOT_PATH
+        assert ResourcePath.parse("") == ROOT_PATH
+
+    def test_parse_ignores_duplicate_slashes(self):
+        assert ResourcePath.parse("//a///b/") == ResourcePath(("a", "b"))
+
+    def test_parse_passthrough(self):
+        path = ResourcePath.parse("/a/b")
+        assert ResourcePath.parse(path) is path
+
+    def test_parse_rejects_non_string(self):
+        with pytest.raises(DataModelError):
+            ResourcePath.parse(123)
+
+    def test_invalid_component_rejected(self):
+        with pytest.raises(DataModelError):
+            ResourcePath(("ok", "not ok"))
+
+    def test_str_roundtrip(self):
+        text = "/storageRoot/storageHost0/img-1"
+        assert str(ResourcePath.parse(text)) == text
+
+    def test_root_str(self):
+        assert str(ROOT_PATH) == "/"
+
+
+class TestStructure:
+    def test_child_and_join(self):
+        assert str(ROOT_PATH.child("a").join("b", "c")) == "/a/b/c"
+
+    def test_name_and_parent(self):
+        path = ResourcePath.parse("/a/b/c")
+        assert path.name == "c"
+        assert str(path.parent) == "/a/b"
+        assert ROOT_PATH.parent == ROOT_PATH
+
+    def test_depth(self):
+        assert ROOT_PATH.depth == 0
+        assert ResourcePath.parse("/a/b").depth == 2
+
+    def test_ancestors_order_root_first(self):
+        path = ResourcePath.parse("/a/b/c")
+        ancestors = [str(p) for p in path.ancestors()]
+        assert ancestors == ["/", "/a", "/a/b"]
+
+    def test_ancestors_include_self(self):
+        path = ResourcePath.parse("/a/b")
+        assert [str(p) for p in path.ancestors(include_self=True)] == ["/", "/a", "/a/b"]
+
+    def test_is_ancestor_of(self):
+        a = ResourcePath.parse("/a")
+        abc = ResourcePath.parse("/a/b/c")
+        assert a.is_ancestor_of(abc)
+        assert not abc.is_ancestor_of(a)
+        assert not a.is_ancestor_of(a)
+        assert a.is_ancestor_of(a, strict=False)
+
+    def test_root_is_ancestor_of_everything(self):
+        assert ROOT_PATH.is_ancestor_of(ResourcePath.parse("/x/y"))
+
+    def test_is_descendant_of(self):
+        assert ResourcePath.parse("/a/b").is_descendant_of(ResourcePath.parse("/a"))
+
+    def test_relative_to(self):
+        path = ResourcePath.parse("/a/b/c")
+        assert path.relative_to(ResourcePath.parse("/a")) == ("b", "c")
+
+    def test_relative_to_rejects_non_ancestor(self):
+        with pytest.raises(DataModelError):
+            ResourcePath.parse("/a/b").relative_to(ResourcePath.parse("/x"))
+
+
+class TestEqualityAndHashing:
+    def test_equality_with_string(self):
+        assert ResourcePath.parse("/a/b") == "/a/b"
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {ResourcePath.parse("/a/b"): 1}
+        assert d[ResourcePath.parse("/a/b")] == 1
+
+    def test_ordering(self):
+        assert ResourcePath.parse("/a") < ResourcePath.parse("/b")
+
+    def test_len_and_iter(self):
+        path = ResourcePath.parse("/a/b/c")
+        assert len(path) == 3
+        assert list(path) == ["a", "b", "c"]

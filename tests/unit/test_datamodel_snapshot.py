@@ -1,0 +1,79 @@
+"""Unit tests for snapshots and model diffs."""
+
+import pytest
+
+from repro.datamodel.snapshot import diff_models, restore, snapshot
+from repro.datamodel.tree import DataModel
+
+
+@pytest.fixture
+def left():
+    model = DataModel()
+    model.create("/vmRoot", "vmRoot")
+    model.create("/vmRoot/host1", "vmHost", {"mem_mb": 2048})
+    model.create("/vmRoot/host1/vm1", "vm", {"state": "running"})
+    model.create("/vmRoot/host1/vm2", "vm", {"state": "stopped"})
+    return model
+
+
+class TestSnapshot:
+    def test_snapshot_restore_roundtrip(self, left):
+        restored = restore(snapshot(left))
+        assert restored.to_dict() == left.to_dict()
+
+    def test_restored_model_is_independent(self, left):
+        restored = restore(snapshot(left))
+        restored.set_attrs("/vmRoot/host1", mem_mb=1)
+        assert left.get("/vmRoot/host1")["mem_mb"] == 2048
+
+
+class TestDiff:
+    def test_identical_models_have_empty_diff(self, left):
+        assert diff_models(left, left.clone()).is_empty
+
+    def test_changed_attribute_detected(self, left):
+        right = left.clone()
+        right.set_attrs("/vmRoot/host1/vm1", state="stopped")
+        diff = diff_models(left, right)
+        assert len(diff.changed) == 1
+        delta = diff.changed[0]
+        assert str(delta.path) == "/vmRoot/host1/vm1"
+        assert delta.changed_keys == ["state"]
+        assert delta.attrs_left["state"] == "running"
+        assert delta.attrs_right["state"] == "stopped"
+
+    def test_added_node_detected(self, left):
+        right = left.clone()
+        right.create("/vmRoot/host1/vm3", "vm", {"state": "running"})
+        diff = diff_models(left, right)
+        assert [str(d.path) for d in diff.added] == ["/vmRoot/host1/vm3"]
+
+    def test_removed_node_detected(self, left):
+        right = left.clone()
+        right.delete("/vmRoot/host1/vm2")
+        diff = diff_models(left, right)
+        assert [str(d.path) for d in diff.removed] == ["/vmRoot/host1/vm2"]
+
+    def test_diff_restricted_to_subtree(self, left):
+        right = left.clone()
+        right.create("/storageRoot", "storageRoot")
+        diff = diff_models(left, right, "/vmRoot")
+        assert diff.is_empty
+
+    def test_diff_missing_subtree_on_one_side(self, left):
+        empty = DataModel()
+        diff = diff_models(left, empty, "/vmRoot")
+        assert len(diff.removed) == 4  # vmRoot + host + 2 VMs
+
+    def test_len_counts_all_deltas(self, left):
+        right = left.clone()
+        right.set_attrs("/vmRoot/host1/vm1", state="stopped")
+        right.create("/vmRoot/host2", "vmHost")
+        assert len(diff_models(left, right)) == 2
+
+    def test_entity_type_change_counts_as_changed(self, left):
+        right = left.clone()
+        right.delete("/vmRoot/host1/vm2")
+        right.create("/vmRoot/host1/vm2", "image", {"state": "stopped"})
+        diff = diff_models(left, right)
+        assert len(diff.changed) == 1

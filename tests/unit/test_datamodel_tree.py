@@ -1,0 +1,152 @@
+"""Unit tests for the data model tree and nodes."""
+
+import pytest
+
+from repro.common.errors import DataModelError, InconsistencyError, UnknownPathError
+from repro.datamodel.node import Node
+from repro.datamodel.tree import DataModel
+
+
+@pytest.fixture
+def small_model():
+    model = DataModel()
+    model.create("/vmRoot", "vmRoot")
+    model.create("/vmRoot/host1", "vmHost", {"mem_mb": 2048, "hypervisor": "xen"})
+    model.create("/vmRoot/host1/vm1", "vm", {"state": "running", "mem_mb": 512})
+    model.create("/storageRoot", "storageRoot")
+    return model
+
+
+class TestLookup:
+    def test_get_existing(self, small_model):
+        node = small_model.get("/vmRoot/host1")
+        assert node.entity_type == "vmHost"
+        assert node["mem_mb"] == 2048
+
+    def test_get_missing_raises(self, small_model):
+        with pytest.raises(UnknownPathError):
+            small_model.get("/vmRoot/host2")
+
+    def test_exists(self, small_model):
+        assert small_model.exists("/vmRoot/host1/vm1")
+        assert not small_model.exists("/vmRoot/host1/vm9")
+
+    def test_get_attr_default(self, small_model):
+        assert small_model.get_attr("/vmRoot/host1", "missing", 7) == 7
+
+    def test_children_sorted(self, small_model):
+        small_model.create("/vmRoot/host0", "vmHost")
+        names = [n.name for n in small_model.children("/vmRoot")]
+        assert names == ["host0", "host1"]
+
+    def test_child_paths(self, small_model):
+        assert [str(p) for p in small_model.child_paths("/vmRoot")] == ["/vmRoot/host1"]
+
+
+class TestMutation:
+    def test_create_requires_parent(self, small_model):
+        with pytest.raises(UnknownPathError):
+            small_model.create("/netRoot/router1", "router")
+
+    def test_create_duplicate_rejected(self, small_model):
+        with pytest.raises(DataModelError):
+            small_model.create("/vmRoot/host1", "vmHost")
+
+    def test_create_root_rejected(self, small_model):
+        with pytest.raises(DataModelError):
+            small_model.create("/", "root")
+
+    def test_ensure_is_idempotent(self, small_model):
+        first = small_model.ensure("/netRoot", "netRoot")
+        second = small_model.ensure("/netRoot", "netRoot")
+        assert first is second
+
+    def test_delete_leaf(self, small_model):
+        small_model.delete("/vmRoot/host1/vm1")
+        assert not small_model.exists("/vmRoot/host1/vm1")
+
+    def test_delete_non_empty_requires_recursive(self, small_model):
+        with pytest.raises(DataModelError):
+            small_model.delete("/vmRoot/host1")
+        small_model.delete("/vmRoot/host1", recursive=True)
+        assert not small_model.exists("/vmRoot/host1")
+
+    def test_delete_root_rejected(self, small_model):
+        with pytest.raises(DataModelError):
+            small_model.delete("/")
+
+    def test_set_attrs(self, small_model):
+        small_model.set_attrs("/vmRoot/host1", mem_mb=4096)
+        assert small_model.get("/vmRoot/host1")["mem_mb"] == 4096
+
+    def test_replace_subtree(self, small_model):
+        replacement = Node("host1", "vmHost", {"mem_mb": 1})
+        small_model.replace_subtree("/vmRoot/host1", replacement)
+        assert small_model.get("/vmRoot/host1")["mem_mb"] == 1
+        assert not small_model.exists("/vmRoot/host1/vm1")
+
+
+class TestTraversal:
+    def test_walk_yields_all_nodes(self, small_model):
+        paths = {str(path) for path, _ in small_model.walk()}
+        assert "/" in paths and "/vmRoot/host1/vm1" in paths
+        assert len(paths) == small_model.count()
+
+    def test_find_by_entity_type(self, small_model):
+        assert [str(p) for p in small_model.find(entity_type="vm")] == ["/vmRoot/host1/vm1"]
+
+    def test_find_with_predicate(self, small_model):
+        running = small_model.find(
+            entity_type="vm", predicate=lambda p, n: n.get("state") == "running"
+        )
+        assert len(running) == 1
+
+    def test_count_by_type(self, small_model):
+        assert small_model.count("vmHost") == 1
+        assert small_model.count() == 5
+
+
+class TestFencing:
+    def test_mark_and_check(self, small_model):
+        small_model.mark_inconsistent("/vmRoot/host1")
+        assert small_model.is_fenced("/vmRoot/host1/vm1")
+        assert not small_model.is_fenced("/storageRoot")
+        with pytest.raises(InconsistencyError):
+            small_model.check_not_fenced("/vmRoot/host1/vm1")
+
+    def test_clear(self, small_model):
+        small_model.mark_inconsistent("/vmRoot/host1")
+        small_model.clear_inconsistent("/vmRoot/host1")
+        assert not small_model.is_fenced("/vmRoot/host1/vm1")
+
+    def test_inconsistent_paths_listing(self, small_model):
+        small_model.mark_inconsistent("/vmRoot/host1")
+        assert [str(p) for p in small_model.inconsistent_paths()] == ["/vmRoot/host1"]
+
+    def test_fencing_missing_path_is_not_fenced(self, small_model):
+        assert not small_model.is_fenced("/vmRoot/ghost")
+
+
+class TestSerialisation:
+    def test_roundtrip(self, small_model):
+        restored = DataModel.from_dict(small_model.to_dict())
+        assert restored.to_dict() == small_model.to_dict()
+        assert restored.get("/vmRoot/host1/vm1")["state"] == "running"
+
+    def test_clone_is_independent(self, small_model):
+        clone = small_model.clone()
+        clone.set_attrs("/vmRoot/host1", mem_mb=1)
+        assert small_model.get("/vmRoot/host1")["mem_mb"] == 2048
+
+    def test_clone_preserves_inconsistency_flag(self, small_model):
+        small_model.mark_inconsistent("/vmRoot/host1")
+        clone = small_model.clone()
+        assert clone.is_fenced("/vmRoot/host1")
+
+    def test_node_getitem_missing_raises(self, small_model):
+        with pytest.raises(DataModelError):
+            small_model.get("/vmRoot/host1")["nonexistent"]
+
+    def test_node_path_reconstruction(self, small_model):
+        node = small_model.get("/vmRoot/host1/vm1")
+        assert str(node.path) == "/vmRoot/host1/vm1"

@@ -1,0 +1,277 @@
+"""Unit tests for the mock device drivers and the device registry."""
+
+import pytest
+
+from repro.common.errors import DeviceError, DeviceTimeout
+from repro.drivers.base import Device, action_to_method
+from repro.drivers.compute import ComputeHostDevice
+from repro.drivers.faults import FaultInjector, FaultRule
+from repro.drivers.network import RouterDevice
+from repro.drivers.registry import DeviceRegistry
+from repro.drivers.storage import StorageHostDevice
+
+
+class TestActionNameMapping:
+    @pytest.mark.parametrize(
+        "action,method",
+        [
+            ("cloneImage", "clone_image"),
+            ("exportImage", "export_image"),
+            ("unexportImage", "unexport_image"),
+            ("importImage", "import_image"),
+            ("unimportImage", "unimport_image"),
+            ("createVM", "create_vm"),
+            ("removeVM", "remove_vm"),
+            ("startVM", "start_vm"),
+            ("stopVM", "stop_vm"),
+            ("createVlan", "create_vlan"),
+            ("attachPort", "attach_port"),
+        ],
+    )
+    def test_camel_to_snake(self, action, method):
+        assert action_to_method(action) == method
+
+
+class TestComputeHost:
+    @pytest.fixture
+    def host(self):
+        host = ComputeHostDevice("host0", mem_mb=2048)
+        host.import_image("disk1")
+        return host
+
+    def test_create_and_start_vm(self, host):
+        host.create_vm("vm1", "disk1", 1024)
+        assert host.vm_state("vm1") == "stopped"
+        host.start_vm("vm1")
+        assert host.vm_state("vm1") == "running"
+        assert host.memory_used() == 1024
+
+    def test_create_requires_imported_image(self, host):
+        with pytest.raises(DeviceError):
+            host.create_vm("vm1", "missing-image")
+
+    def test_duplicate_vm_rejected(self, host):
+        host.create_vm("vm1", "disk1")
+        with pytest.raises(DeviceError):
+            host.create_vm("vm1", "disk1")
+
+    def test_start_respects_memory_capacity(self, host):
+        host.create_vm("vm1", "disk1", 1500)
+        host.create_vm("vm2", "disk1", 1500)
+        host.start_vm("vm1")
+        with pytest.raises(DeviceError):
+            host.start_vm("vm2")
+
+    def test_remove_running_vm_rejected(self, host):
+        host.create_vm("vm1", "disk1")
+        host.start_vm("vm1")
+        with pytest.raises(DeviceError):
+            host.remove_vm("vm1")
+        host.stop_vm("vm1")
+        host.remove_vm("vm1")
+        assert host.vm_state("vm1") is None
+
+    def test_invoke_by_action_name(self, host):
+        host.invoke("createVM", ["vm1", "disk1", 512])
+        host.invoke("startVM", ["vm1"])
+        assert host.vm_state("vm1") == "running"
+        assert [a for a, _ in host.call_log] == ["createVM", "startVM"]
+
+    def test_invoke_unknown_action(self, host):
+        with pytest.raises(DeviceError):
+            host.invoke("explodeVM", ["vm1"])
+
+    def test_offline_device_rejects_calls(self, host):
+        host.go_offline()
+        with pytest.raises(DeviceError):
+            host.invoke("importImage", ["x"])
+        host.go_online()
+        host.invoke("importImage", ["x"])
+
+    def test_power_cycle_stops_all_vms(self, host):
+        host.create_vm("vm1", "disk1")
+        host.start_vm("vm1")
+        host.power_cycle()
+        assert host.vm_state("vm1") == "stopped"
+
+    def test_describe_matches_state(self, host):
+        host.create_vm("vm1", "disk1", 256)
+        node = host.describe()
+        assert node.entity_type == "vmHost"
+        assert node.child("vm1")["mem_mb"] == 256
+        assert node.child("vm1")["hypervisor"] == host.hypervisor
+
+
+class TestStorageHost:
+    @pytest.fixture
+    def storage(self):
+        storage = StorageHostDevice("stor0", capacity_gb=20.0)
+        storage.add_template("template", size_gb=8.0)
+        return storage
+
+    def test_clone_and_export(self, storage):
+        storage.clone_image("template", "vm1-disk")
+        storage.export_image("vm1-disk")
+        assert storage.images["vm1-disk"]["exported"] is True
+        assert storage.used_gb() == 16.0
+
+    def test_clone_unknown_template(self, storage):
+        with pytest.raises(DeviceError):
+            storage.clone_image("missing", "vm1-disk")
+
+    def test_clone_over_capacity(self, storage):
+        storage.clone_image("template", "a")
+        with pytest.raises(DeviceError):
+            storage.clone_image("template", "b")  # 24 GB > 20 GB
+
+    def test_remove_exported_image_rejected(self, storage):
+        storage.clone_image("template", "a")
+        storage.export_image("a")
+        with pytest.raises(DeviceError):
+            storage.remove_image("a")
+        storage.unexport_image("a")
+        storage.remove_image("a")
+        assert not storage.has_image("a")
+
+    def test_describe_lists_images(self, storage):
+        storage.clone_image("template", "a")
+        node = storage.describe()
+        assert sorted(node.children) == ["a", "template"]
+        assert node.child("template")["template"] is True
+
+
+class TestRouter:
+    @pytest.fixture
+    def router(self):
+        return RouterDevice("r0", max_vlans=10)
+
+    def test_create_attach_detach_delete(self, router):
+        router.create_vlan(5, "blue")
+        router.attach_port(5, "vm1")
+        assert router.vlans[5]["ports"] == ["vm1"]
+        with pytest.raises(DeviceError):
+            router.delete_vlan(5)
+        router.detach_port(5, "vm1")
+        router.delete_vlan(5)
+        assert not router.has_vlan(5)
+
+    def test_vlan_id_range_enforced(self, router):
+        with pytest.raises(DeviceError):
+            router.create_vlan(99)
+
+    def test_duplicate_vlan_rejected(self, router):
+        router.create_vlan(5)
+        with pytest.raises(DeviceError):
+            router.create_vlan(5)
+
+    def test_describe(self, router):
+        router.create_vlan(3)
+        node = router.describe()
+        assert node.child("vlan3")["vlan_id"] == 3
+
+
+class TestFaultInjection:
+    def test_fail_next_fires_once(self):
+        host = ComputeHostDevice("h", mem_mb=1024)
+        host.faults.fail_next("importImage")
+        with pytest.raises(DeviceError):
+            host.invoke("importImage", ["x"])
+        host.invoke("importImage", ["x"])  # second call succeeds
+
+    def test_fail_always(self):
+        host = ComputeHostDevice("h")
+        host.faults.fail_always("startVM")
+        host.import_image("d")
+        host.create_vm("vm1", "d")
+        with pytest.raises(DeviceError):
+            host.invoke("startVM", ["vm1"])
+        with pytest.raises(DeviceError):
+            host.invoke("startVM", ["vm1"])
+
+    def test_wildcard_rule(self):
+        injector = FaultInjector()
+        injector.fail_next("*")
+        with pytest.raises(DeviceError):
+            injector.check("dev", "anything")
+
+    def test_timeout_rule(self):
+        injector = FaultInjector()
+        injector.timeout_next("slowOp")
+        with pytest.raises(DeviceTimeout):
+            injector.check("dev", "slowOp")
+
+    def test_probability_zero_never_fires(self):
+        injector = FaultInjector(seed=1)
+        injector.add_rule(FaultRule(action="*", probability=0.0, remaining=None))
+        for _ in range(50):
+            assert injector.check("dev", "op") is None
+
+    def test_probabilistic_rule_is_deterministic_for_seed(self):
+        def run(seed):
+            injector = FaultInjector(seed=seed)
+            injector.fail_with_probability(0.5, "op")
+            fired = 0
+            for _ in range(100):
+                try:
+                    injector.check("dev", "op")
+                except DeviceError:
+                    fired += 1
+            return fired
+
+        assert run(7) == run(7)
+
+    def test_clear_removes_rules(self):
+        injector = FaultInjector()
+        injector.fail_always("*")
+        injector.clear()
+        assert injector.check("dev", "op") is None
+
+    def test_hang_and_release(self):
+        device = ComputeHostDevice("h")
+        device.faults.hang_next("importImage")
+        device.release_hang()  # pre-release so the call does not block the test
+        device.invoke("importImage", ["x"])
+        assert "x" in device.imported_images
+
+
+class TestDeviceRegistry:
+    @pytest.fixture
+    def registry(self):
+        registry = DeviceRegistry()
+        registry.register_container("/vmRoot", "vmRoot")
+        registry.register("/vmRoot/host0", ComputeHostDevice("host0"))
+        registry.register("/vmRoot/host1", ComputeHostDevice("host1"))
+        return registry
+
+    def test_lookup_exact_and_ancestor(self, registry):
+        path, device = registry.lookup("/vmRoot/host0")
+        assert device.name == "host0"
+        path, device = registry.lookup("/vmRoot/host1/vm3")
+        assert device.name == "host1"
+        assert str(path) == "/vmRoot/host1"
+
+    def test_lookup_missing_raises(self, registry):
+        with pytest.raises(DeviceError):
+            registry.lookup("/storageRoot/host9")
+
+    def test_duplicate_registration_rejected(self, registry):
+        with pytest.raises(DeviceError):
+            registry.register("/vmRoot/host0", ComputeHostDevice("dup"))
+
+    def test_build_physical_model(self, registry):
+        registry.device_at("/vmRoot/host0").import_image("d")
+        registry.device_at("/vmRoot/host0").create_vm("vm1", "d")
+        model = registry.build_physical_model()
+        assert model.exists("/vmRoot/host0/vm1")
+        assert model.get("/vmRoot").entity_type == "vmRoot"
+
+    def test_offline_device_excluded_from_physical_model(self, registry):
+        registry.device_at("/vmRoot/host1").go_offline()
+        model = registry.build_physical_model()
+        assert not model.exists("/vmRoot/host1")
+        assert model.exists("/vmRoot/host0")
+
+    def test_unregister(self, registry):
+        assert registry.unregister("/vmRoot/host1") is not None
+        assert registry.device_at("/vmRoot/host1") is None
+        assert len(registry) == 1

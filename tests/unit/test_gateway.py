@@ -1,0 +1,233 @@
+"""Unit tests for the API gateway: authentication, authorisation, quotas,
+namespacing, action dispatch and the audit trail."""
+
+import pytest
+
+from repro.gateway import ApiGateway, AuditLog, TenantDirectory, TenantQuota
+from repro.gateway.tenants import (
+    AuthenticationError,
+    GatewayError,
+    Tenant,
+)
+
+
+@pytest.fixture
+def gateway(inline_cloud):
+    tenants = TenantDirectory()
+    tenants.register("acme", "acme-key", quota=TenantQuota(max_vms=3, max_total_mem_mb=4096,
+                                                           max_volumes=2, max_volume_gb=64.0))
+    tenants.register("globex", "globex-key")
+    tenants.register("ops", "ops-key", extra_actions={"MigrateInstance", "DescribeHosts"})
+    return ApiGateway(inline_cloud, tenants)
+
+
+class TestTenantDirectory:
+    def test_authenticate_by_api_key(self):
+        directory = TenantDirectory()
+        directory.register("acme", "secret")
+        assert directory.authenticate("secret").name == "acme"
+
+    def test_api_keys_are_not_stored_in_clear(self):
+        directory = TenantDirectory()
+        tenant = directory.register("acme", "secret")
+        assert tenant.api_key != "secret"
+
+    def test_invalid_key_rejected(self):
+        directory = TenantDirectory()
+        directory.register("acme", "secret")
+        with pytest.raises(AuthenticationError):
+            directory.authenticate("wrong")
+
+    def test_deactivated_tenant_cannot_authenticate(self):
+        directory = TenantDirectory()
+        directory.register("acme", "secret")
+        directory.deactivate("acme")
+        with pytest.raises(AuthenticationError):
+            directory.authenticate("secret")
+        directory.reactivate("acme")
+        assert directory.authenticate("secret").name == "acme"
+
+    def test_duplicate_names_and_keys_rejected(self):
+        directory = TenantDirectory()
+        directory.register("acme", "secret")
+        with pytest.raises(GatewayError):
+            directory.register("acme", "other")
+        with pytest.raises(GatewayError):
+            directory.register("initech", "secret")
+
+    def test_namespace_separator_reserved(self):
+        directory = TenantDirectory()
+        with pytest.raises(GatewayError):
+            directory.register("a--b", "secret")
+
+    def test_qualify_and_unqualify_roundtrip(self):
+        tenant = Tenant(name="acme", api_key="x")
+        assert tenant.qualify("web") == "acme--web"
+        assert tenant.qualify("acme--web") == "acme--web"
+        assert tenant.unqualify("acme--web") == "web"
+        assert not tenant.owns("globex--web")
+
+
+class TestAuthenticationAndAuthorisation:
+    def test_bad_key_yields_auth_failure(self, gateway):
+        response = gateway.handle("nope", "DescribeInstances")
+        assert not response.ok
+        assert response.code == "AuthFailure"
+        assert gateway.audit.denials()[-1].tenant == "<unauthenticated>"
+
+    def test_operator_action_denied_for_regular_tenant(self, gateway):
+        gateway.handle("acme-key", "RunInstances", name="web", instance_type="t.small")
+        response = gateway.handle("acme-key", "MigrateInstance", name="web")
+        assert not response.ok
+        assert response.code == "AuthorizationError"
+
+    def test_operator_action_allowed_with_grant(self, gateway):
+        gateway.handle("ops-key", "RunInstances", name="infra", instance_type="t.small")
+        response = gateway.handle("ops-key", "MigrateInstance", name="infra")
+        assert response.ok
+
+    def test_unknown_action_rejected(self, gateway):
+        response = gateway.handle("acme-key", "LaunchRocket")
+        assert not response.ok
+        assert response.code == "GatewayError"
+
+    def test_missing_parameter_is_a_client_error(self, gateway):
+        response = gateway.handle("acme-key", "RunInstances")
+        assert not response.ok
+        assert response.code == "InvalidParameter"
+
+
+class TestInstanceLifecycle:
+    def test_run_describe_stop_terminate(self, gateway, inline_cloud):
+        run = gateway.handle("acme-key", "RunInstances", name="web", instance_type="t.small")
+        assert run.ok and run.txids
+        # The platform sees the namespaced name, the tenant sees the short one.
+        assert inline_cloud.find_vm("acme--web") is not None
+        described = gateway.handle("acme-key", "DescribeInstances")
+        assert described.data["instances"][0]["instance"] == "web"
+
+        stopped = gateway.handle("acme-key", "StopInstances", names=["web"])
+        assert stopped.ok
+        assert inline_cloud.find_vm("acme--web").state == "stopped"
+
+        gone = gateway.handle("acme-key", "TerminateInstances", names="web")
+        assert gone.ok
+        assert inline_cloud.find_vm("acme--web") is None
+
+    def test_run_multiple_instances(self, gateway):
+        response = gateway.handle("globex-key", "RunInstances", name="worker", count=3,
+                                  instance_type="t.small")
+        assert response.ok
+        assert len(response.data["instances"]) == 3
+        described = gateway.handle("globex-key", "DescribeInstances")
+        names = {i["instance"] for i in described.data["instances"]}
+        assert names == {"worker-0", "worker-1", "worker-2"}
+
+    def test_unknown_instance_type_rejected(self, gateway):
+        response = gateway.handle("acme-key", "RunInstances", name="web",
+                                  instance_type="t.mega")
+        assert not response.ok and response.code == "GatewayError"
+
+    def test_tenant_cannot_touch_foreign_instances(self, gateway):
+        gateway.handle("acme-key", "RunInstances", name="web", instance_type="t.small")
+        response = gateway.handle("globex-key", "StopInstances", names=["web"])
+        assert not response.ok
+        assert response.code == "GatewayError"
+
+    def test_snapshot_instance(self, gateway, inline_cloud):
+        gateway.handle("acme-key", "RunInstances", name="db", instance_type="t.small")
+        response = gateway.handle("acme-key", "CreateSnapshot", name="db",
+                                  snapshot_name="db-backup")
+        assert response.ok
+        model = inline_cloud.platform.leader().model
+        assert model.find(predicate=lambda p, n: n.name == "acme--db-backup") != []
+
+
+class TestQuotas:
+    def test_vm_count_quota(self, gateway):
+        assert gateway.handle("acme-key", "RunInstances", name="a", count=3,
+                              instance_type="t.small").ok
+        denied = gateway.handle("acme-key", "RunInstances", name="b",
+                                instance_type="t.small")
+        assert not denied.ok
+        assert denied.code == "QuotaExceeded"
+
+    def test_memory_quota(self, gateway):
+        denied = gateway.handle("acme-key", "RunInstances", name="fat", count=2,
+                                instance_type="t.xlarge")
+        assert not denied.ok
+        assert denied.code == "QuotaExceeded"
+
+    def test_volume_quota(self, gateway):
+        assert gateway.handle("acme-key", "CreateVolume", name="v1", size_gb=40).ok
+        denied = gateway.handle("acme-key", "CreateVolume", name="v2", size_gb=40)
+        assert not denied.ok
+        assert denied.code == "QuotaExceeded"
+
+    def test_quota_only_counts_own_tenant(self, gateway):
+        assert gateway.handle("acme-key", "RunInstances", name="a", count=3,
+                              instance_type="t.small").ok
+        # globex has the default (larger) quota and is unaffected by acme's usage.
+        assert gateway.handle("globex-key", "RunInstances", name="b", count=3,
+                              instance_type="t.small").ok
+
+    def test_duplicate_instance_name_denied_by_gateway(self, gateway):
+        assert gateway.handle("acme-key", "RunInstances", name="web",
+                              instance_type="t.small").ok
+        response = gateway.handle("acme-key", "RunInstances", name="web",
+                                  instance_type="t.small")
+        assert not response.ok
+        assert response.code == "GatewayError"
+        assert gateway.audit.last().outcome == "denied"
+
+    def test_platform_abort_reported_faithfully_within_quota(self, gateway):
+        # Both requests are within quota, but the second snapshot collides
+        # with the first inside the logical layer: the transaction aborts and
+        # the gateway reports the abort rather than masking it.
+        assert gateway.handle("acme-key", "RunInstances", name="db",
+                              instance_type="t.small").ok
+        assert gateway.handle("acme-key", "CreateSnapshot", name="db",
+                              snapshot_name="backup").ok
+        response = gateway.handle("acme-key", "CreateSnapshot", name="db",
+                                  snapshot_name="backup")
+        assert not response.ok
+        assert response.code == "OperationAborted"
+        assert gateway.audit.last().outcome == "aborted"
+
+
+class TestVolumes:
+    def test_volume_lifecycle(self, gateway, inline_cloud):
+        gateway.handle("acme-key", "RunInstances", name="app", instance_type="t.small")
+        assert gateway.handle("acme-key", "CreateVolume", name="data", size_gb=10).ok
+        assert gateway.handle("acme-key", "AttachVolume", volume="data", instance="app").ok
+        described = gateway.handle("acme-key", "DescribeVolumes")
+        assert described.data["volumes"] == [
+            {"volume": "data", "size_gb": 10.0, "attached_to": "app"}]
+        assert gateway.handle("acme-key", "DetachVolume", volume="data", instance="app").ok
+        assert gateway.handle("acme-key", "DeleteVolume", name="data").ok
+        assert inline_cloud.list_volumes() == []
+
+
+class TestAuditTrail:
+    def test_every_request_is_recorded(self, gateway):
+        gateway.handle("acme-key", "RunInstances", name="web", instance_type="t.small")
+        gateway.handle("acme-key", "DescribeInstances")
+        gateway.handle("bad-key", "DescribeInstances")
+        assert len(gateway.audit) == 3
+        assert [r.outcome for r in gateway.audit] == ["ok", "ok", "denied"]
+
+    def test_committed_requests_record_their_transaction(self, gateway):
+        response = gateway.handle("acme-key", "RunInstances", name="web",
+                                  instance_type="t.small")
+        record = gateway.audit.entries(tenant="acme", action="RunInstances")[-1]
+        assert record.txid == response.txids[0]
+
+    def test_filtering_and_capacity(self):
+        log = AuditLog(capacity=2)
+        log.record("a", "X", outcome="ok")
+        log.record("a", "Y", outcome="denied", error="nope")
+        log.record("b", "X", outcome="ok")
+        assert len(log) == 2  # oldest dropped
+        assert log.entries(tenant="b", action="X")[0].action == "X"
+        assert log.denials() and log.denials()[0].tenant == "a"
+        assert log.last().tenant == "b"

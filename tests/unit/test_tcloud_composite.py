@@ -1,0 +1,188 @@
+"""Unit tests for stored-procedure composition and the composite TCloud
+orchestrations (provisionTenant, evacuateHost, cloneVM, rebalanceHosts)."""
+
+import pytest
+
+from repro.common.errors import ProcedureError
+from repro.core.context import MAX_CALL_DEPTH, OrchestrationContext
+from repro.core.txn import Transaction, TransactionState
+from repro.tcloud.procedures import build_procedures
+
+
+class TestProcedureComposition:
+    def test_call_requires_registry(self, model, schema):
+        txn = Transaction(procedure="adhoc")
+        ctx = OrchestrationContext(model, schema, txn)
+        with pytest.raises(ProcedureError, match="no procedure registry"):
+            ctx.call("spawnVM", vm_name="x")
+
+    def test_call_unknown_procedure_aborts_transaction(self, executor):
+        txn = Transaction(procedure="provisionTenant", args={
+            "tenant": "t", "vms": [{"vm_name": "a", "vm_host": "/vmRoot/vmHost0",
+                                     "storage_host": "/storageRoot/storageHost0"}]})
+        # Sabotage the registry after building the executor: the callee is gone.
+        executor.procedures = build_procedures()
+        executor.procedures._procedures.pop("spawnVM")
+        outcome = executor.simulate(txn)
+        assert not outcome.ok
+        assert "spawnVM" in outcome.error
+
+    def test_call_depth_is_bounded(self, executor):
+        def recursive(ctx):
+            return ctx.call("recurse")
+
+        executor.procedures.register("recurse", recursive)
+        outcome = executor.simulate(Transaction(procedure="recurse"))
+        assert not outcome.ok
+        assert str(MAX_CALL_DEPTH) in outcome.error
+
+    def test_callee_actions_extend_the_callers_log(self, executor):
+        def wrapper(ctx, **kwargs):
+            return ctx.call("spawnVM", **kwargs)
+
+        executor.procedures.register("wrappedSpawn", wrapper)
+        txn = Transaction(procedure="wrappedSpawn", args={
+            "vm_name": "vm1", "image_template": "template-small",
+            "storage_host": "/storageRoot/storageHost0",
+            "vm_host": "/vmRoot/vmHost0", "mem_mb": 512})
+        outcome = executor.simulate(txn)
+        assert outcome.ok
+        # The wrapper itself performed no action: the whole log comes from
+        # the callee and is owned by the single enclosing transaction.
+        assert [r.action for r in txn.log] == [
+            "cloneImage", "exportImage", "importImage", "createVM", "startVM"]
+        assert "/vmRoot/vmHost0" in txn.rwset.writes
+
+
+class TestProvisionTenant:
+    def test_tenant_environment_is_provisioned_atomically(self, inline_cloud):
+        txn = inline_cloud.provision_tenant(
+            "acme", num_vms=3, mem_mb=512, vlan_id=100,
+            firewall_rules=[{"rule_id": 10, "src": "10.0.0.0/8", "policy": "allow"}],
+        )
+        assert txn.state is TransactionState.COMMITTED
+        names = {record.name for record in inline_cloud.list_vms()}
+        assert names == {"acme-vm0", "acme-vm1", "acme-vm2"}
+        assert all(record.state == "running" for record in inline_cloud.list_vms())
+        assert 10 in inline_cloud.list_firewall_rules()
+        router = inline_cloud.inventory.routers[0]
+        model = inline_cloud.platform.leader().model
+        vlans = [model.get(p).get("vlan_id") for p in model.find(entity_type="vlan")]
+        assert 100 in vlans
+        # One transaction covers the whole environment.
+        assert len(txn.log) >= 3 * 5 + 1
+        assert txn.result["tenant"] == "acme"
+
+    def test_oversized_tenant_rolls_back_completely(self, inline_cloud):
+        # 9 VMs x 2048 MB over 4 hosts x 4096 MB: the last VM cannot fit, so
+        # the whole environment must be rolled back.
+        txn = inline_cloud.provision_tenant("big", num_vms=9, mem_mb=2048, vlan_id=200)
+        assert txn.state is TransactionState.ABORTED
+        assert inline_cloud.vm_count() == 0
+        model = inline_cloud.platform.leader().model
+        assert model.find(entity_type="vlan") == []
+        # The physical layer was never touched either.
+        assert inline_cloud.platform.reconciler().detect().is_empty
+
+    def test_empty_tenant_rejected(self, inline_cloud):
+        with pytest.raises(ProcedureError):
+            inline_cloud.provision_tenant("empty", num_vms=0)
+
+    def test_teardown_removes_vms_rules_and_vlan(self, inline_cloud):
+        inline_cloud.provision_tenant(
+            "acme", num_vms=2, mem_mb=512, vlan_id=101,
+            firewall_rules=[{"rule_id": 11}])
+        txn = inline_cloud.teardown_tenant("acme", vlan_id=101, firewall_rule_ids=[11])
+        assert txn.state is TransactionState.COMMITTED
+        assert inline_cloud.vm_count() == 0
+        assert inline_cloud.list_firewall_rules() == []
+        model = inline_cloud.platform.leader().model
+        assert model.find(entity_type="vlan") == []
+        assert inline_cloud.platform.reconciler().detect().is_empty
+
+    def test_teardown_unknown_tenant_rejected(self, inline_cloud):
+        with pytest.raises(ProcedureError):
+            inline_cloud.teardown_tenant("ghost")
+
+
+class TestEvacuateHostAtomic:
+    def test_all_vms_leave_the_host(self, inline_cloud):
+        inline_cloud.spawn_vm("a", vm_host="/vmRoot/vmHost0", mem_mb=1024)
+        inline_cloud.spawn_vm("b", vm_host="/vmRoot/vmHost0", mem_mb=1024)
+        txn = inline_cloud.evacuate_host_atomic("/vmRoot/vmHost0")
+        assert txn.state is TransactionState.COMMITTED
+        assert all(r.host != "/vmRoot/vmHost0" for r in inline_cloud.list_vms())
+        assert {r.state for r in inline_cloud.list_vms()} == {"running"}
+        assert inline_cloud.platform.reconciler().detect().is_empty
+
+    def test_evacuation_is_all_or_nothing(self, inline_cloud):
+        # Fill every destination so only 1024 MB is free there, then try to
+        # evacuate two 2048 MB VMs: neither move must survive the abort.
+        for index in (1, 2, 3):
+            inline_cloud.spawn_vm(f"filler{index}a", vm_host=f"/vmRoot/vmHost{index}",
+                                  mem_mb=2048)
+            inline_cloud.spawn_vm(f"filler{index}b", vm_host=f"/vmRoot/vmHost{index}",
+                                  mem_mb=1024)
+        inline_cloud.spawn_vm("busy0", vm_host="/vmRoot/vmHost0", mem_mb=2048)
+        inline_cloud.spawn_vm("busy1", vm_host="/vmRoot/vmHost0", mem_mb=2048)
+        txn = inline_cloud.evacuate_host_atomic("/vmRoot/vmHost0")
+        assert txn.state is TransactionState.ABORTED
+        still_there = {r.name for r in inline_cloud.list_vms() if r.host == "/vmRoot/vmHost0"}
+        assert still_there == {"busy0", "busy1"}
+        assert inline_cloud.platform.reconciler().detect().is_empty
+
+    def test_evacuating_empty_host_is_a_noop_commit(self, inline_cloud):
+        txn = inline_cloud.evacuate_host_atomic("/vmRoot/vmHost3")
+        assert txn.state is TransactionState.COMMITTED
+        assert txn.result["moves"] == []
+
+    def test_evacuation_requires_compatible_hypervisor(self):
+        from repro.tcloud.service import build_tcloud
+
+        cloud = build_tcloud(num_vm_hosts=2, num_storage_hosts=1, host_mem_mb=4096,
+                             hypervisors=["xen-4.1", "kvm-1.0"])
+        cloud.platform.start()
+        try:
+            cloud.spawn_vm("only", vm_host="/vmRoot/vmHost0", mem_mb=512)
+            txn = cloud.evacuate_host_atomic("/vmRoot/vmHost0")
+            assert txn.state is TransactionState.ABORTED
+            assert "hypervisor" in (txn.error or "")
+        finally:
+            cloud.platform.stop()
+
+
+class TestCloneAndRebalance:
+    def test_clone_vm_creates_an_independent_copy(self, inline_cloud):
+        inline_cloud.spawn_vm("web", vm_host="/vmRoot/vmHost0", mem_mb=512)
+        txn = inline_cloud.clone_vm("web", "web-copy", dst_host="/vmRoot/vmHost1")
+        assert txn.state is TransactionState.COMMITTED
+        copy = inline_cloud.find_vm("web-copy")
+        original = inline_cloud.find_vm("web")
+        assert copy is not None and copy.host == "/vmRoot/vmHost1"
+        assert original.state == "running"
+        assert copy.state == "running"
+        assert copy.image != original.image
+        assert inline_cloud.platform.reconciler().detect().is_empty
+
+    def test_clone_of_unknown_vm_rejected(self, inline_cloud):
+        with pytest.raises(ProcedureError):
+            inline_cloud.clone_vm("ghost", "ghost-copy")
+
+    def test_rebalance_moves_smallest_vms_first(self, inline_cloud):
+        inline_cloud.spawn_vm("small", vm_host="/vmRoot/vmHost0", mem_mb=512)
+        inline_cloud.spawn_vm("large", vm_host="/vmRoot/vmHost0", mem_mb=2048)
+        txn = inline_cloud.rebalance_hosts("/vmRoot/vmHost0", "/vmRoot/vmHost1",
+                                           target_free_mb=2048)
+        assert txn.state is TransactionState.COMMITTED
+        assert txn.result["moved"] == ["small"]
+        assert inline_cloud.find_vm("small").host == "/vmRoot/vmHost1"
+        assert inline_cloud.find_vm("large").host == "/vmRoot/vmHost0"
+
+    def test_rebalance_aborts_when_target_unreachable(self, inline_cloud):
+        # The target exceeds the host's total capacity, so no sequence of
+        # migrations can reach it and the transaction must roll back.
+        inline_cloud.spawn_vm("pinned", vm_host="/vmRoot/vmHost0", mem_mb=1024)
+        txn = inline_cloud.rebalance_hosts("/vmRoot/vmHost0", "/vmRoot/vmHost1",
+                                           target_free_mb=8192)
+        assert txn.state is TransactionState.ABORTED
+        assert inline_cloud.find_vm("pinned").host == "/vmRoot/vmHost0"

@@ -1,0 +1,141 @@
+"""Unit tests for TCloud entity types, actions and constraints."""
+
+import pytest
+
+from repro.common.errors import DataModelError
+from repro.datamodel.tree import DataModel
+from repro.tcloud.constraints import (
+    storage_capacity_constraint,
+    vlan_range_constraint,
+    vm_hypervisor_constraint,
+    vm_memory_constraint,
+)
+from repro.tcloud.entities import build_schema
+from repro.tcloud.inventory import build_inventory
+
+
+@pytest.fixture
+def schema():
+    return build_schema()
+
+
+@pytest.fixture
+def model():
+    return build_inventory(num_vm_hosts=2, num_storage_hosts=1, host_mem_mb=2048,
+                           with_devices=False).model
+
+
+def act(schema, model, path, action, *args):
+    node = model.get(path)
+    schema.get(node.entity_type).get_action(action).simulate(model, node, *args)
+
+
+class TestVMHostActions:
+    def test_spawn_sequence_in_logical_layer(self, schema, model):
+        act(schema, model, "/storageRoot/storageHost0", "cloneImage", "template-small", "d1")
+        act(schema, model, "/storageRoot/storageHost0", "exportImage", "d1")
+        act(schema, model, "/vmRoot/vmHost0", "importImage", "d1")
+        act(schema, model, "/vmRoot/vmHost0", "createVM", "vm1", "d1", 512)
+        act(schema, model, "/vmRoot/vmHost0", "startVM", "vm1")
+        vm = model.get("/vmRoot/vmHost0/vm1")
+        assert vm["state"] == "running"
+        assert vm["hypervisor"] == "xen-4.1"
+        assert model.get("/storageRoot/storageHost0/d1")["exported"] is True
+
+    def test_create_vm_requires_imported_image(self, schema, model):
+        with pytest.raises(DataModelError):
+            act(schema, model, "/vmRoot/vmHost0", "createVM", "vm1", "ghost", 512)
+
+    def test_create_duplicate_vm_rejected(self, schema, model):
+        act(schema, model, "/vmRoot/vmHost0", "importImage", "d1")
+        act(schema, model, "/vmRoot/vmHost0", "createVM", "vm1", "d1", 512)
+        with pytest.raises(DataModelError):
+            act(schema, model, "/vmRoot/vmHost0", "createVM", "vm1", "d1", 512)
+
+    def test_remove_running_vm_rejected(self, schema, model):
+        act(schema, model, "/vmRoot/vmHost0", "importImage", "d1")
+        act(schema, model, "/vmRoot/vmHost0", "createVM", "vm1", "d1", 512)
+        act(schema, model, "/vmRoot/vmHost0", "startVM", "vm1")
+        with pytest.raises(DataModelError):
+            act(schema, model, "/vmRoot/vmHost0", "removeVM", "vm1")
+
+    def test_remove_vm_undo_args_capture_original_config(self, schema, model):
+        act(schema, model, "/vmRoot/vmHost0", "importImage", "d1")
+        act(schema, model, "/vmRoot/vmHost0", "createVM", "vm1", "d1", 768)
+        action = schema.get("vmHost").get_action("removeVM")
+        undo_args = action.undo_arguments(model.get("/vmRoot/vmHost0"), ["vm1"])
+        assert undo_args == ["vm1", "d1", 768]
+
+    def test_queries(self, schema, model):
+        host = model.get("/vmRoot/vmHost0")
+        assert schema.get("vmHost").get_query("memoryAvailable").func(model, host) == 2048
+        assert schema.get("vmHost").get_query("listVMs").func(model, host) == []
+        assert schema.get("vmHost").get_query("vmState").func(model, host, "nope") is None
+
+
+class TestStorageAndRouterActions:
+    def test_clone_requires_template(self, schema, model):
+        with pytest.raises(DataModelError):
+            act(schema, model, "/storageRoot/storageHost0", "cloneImage", "ghost", "d1")
+
+    def test_remove_exported_image_rejected(self, schema, model):
+        act(schema, model, "/storageRoot/storageHost0", "cloneImage", "template-small", "d1")
+        act(schema, model, "/storageRoot/storageHost0", "exportImage", "d1")
+        with pytest.raises(DataModelError):
+            act(schema, model, "/storageRoot/storageHost0", "removeImage", "d1")
+
+    def test_free_capacity_query(self, schema, model):
+        host = model.get("/storageRoot/storageHost0")
+        free_before = schema.get("storageHost").get_query("freeCapacity").func(model, host)
+        act(schema, model, "/storageRoot/storageHost0", "cloneImage", "template-small", "d1")
+        free_after = schema.get("storageHost").get_query("freeCapacity").func(model, host)
+        assert free_after == free_before - 8.0
+
+    def test_vlan_lifecycle(self, schema, model):
+        act(schema, model, "/netRoot/router0", "createVlan", 10, "blue")
+        act(schema, model, "/netRoot/router0", "attachPort", 10, "vm1")
+        with pytest.raises(DataModelError):
+            act(schema, model, "/netRoot/router0", "deleteVlan", 10)
+        act(schema, model, "/netRoot/router0", "detachPort", 10, "vm1")
+        act(schema, model, "/netRoot/router0", "deleteVlan", 10)
+        assert not model.exists("/netRoot/router0/vlan10")
+
+
+class TestConstraints:
+    def test_memory_constraint_trips_only_on_running_vms(self, schema, model):
+        host = model.get("/vmRoot/vmHost0")
+        act(schema, model, "/vmRoot/vmHost0", "importImage", "d1")
+        act(schema, model, "/vmRoot/vmHost0", "createVM", "big1", "d1", 1500)
+        act(schema, model, "/vmRoot/vmHost0", "createVM", "big2", "d1", 1500)
+        assert vm_memory_constraint(model, host) == []
+        act(schema, model, "/vmRoot/vmHost0", "startVM", "big1")
+        act(schema, model, "/vmRoot/vmHost0", "startVM", "big2")
+        assert vm_memory_constraint(model, host) != []
+
+    def test_hypervisor_constraint(self, schema, model):
+        host = model.get("/vmRoot/vmHost0")
+        act(schema, model, "/vmRoot/vmHost0", "importImage", "d1")
+        act(schema, model, "/vmRoot/vmHost0", "createVM", "vm1", "d1", 512)
+        assert vm_hypervisor_constraint(model, host) == []
+        model.get("/vmRoot/vmHost0/vm1")["hypervisor"] = "kvm-1.0"
+        violations = vm_hypervisor_constraint(model, host)
+        assert violations and "kvm-1.0" in violations[0]
+
+    def test_storage_capacity_constraint(self, model):
+        host = model.get("/storageRoot/storageHost0")
+        assert storage_capacity_constraint(model, host) == []
+        host["capacity_gb"] = 1.0  # templates already exceed this
+        assert storage_capacity_constraint(model, host) != []
+
+    def test_vlan_constraints(self, schema, model):
+        router = model.get("/netRoot/router0")
+        act(schema, model, "/netRoot/router0", "createVlan", 5)
+        assert vlan_range_constraint(model, router) == []
+        model.get("/netRoot/router0/vlan5")["vlan_id"] = 9999
+        assert vlan_range_constraint(model, router) != []
+
+    def test_schema_wires_constraints_to_types(self, schema):
+        assert schema.has_constraints("vmHost")
+        assert schema.has_constraints("storageHost")
+        assert schema.has_constraints("router")
+        assert not schema.has_constraints("vm")

@@ -1,0 +1,120 @@
+"""Unit tests for trace generation (EC2 and hosting workloads)."""
+
+import pytest
+
+from repro.workloads.ec2 import EC2TraceParams, ec2_spawn_trace, synthesize_launch_counts
+from repro.workloads.hosting import DEFAULT_MIX, HostingTraceParams, hosting_trace
+from repro.workloads.trace import Trace, TraceEvent
+
+
+class TestTrace:
+    def test_events_sorted_by_time(self):
+        trace = Trace([TraceEvent(5, "spawn"), TraceEvent(1, "stop")], duration_s=10)
+        assert [e.time for e in trace] == [1, 5]
+
+    def test_per_second_counts(self):
+        trace = Trace([TraceEvent(0.1, "spawn"), TraceEvent(0.9, "spawn"),
+                       TraceEvent(2.5, "spawn")], duration_s=3)
+        assert trace.per_second_counts() == [2, 0, 1, 0]
+
+    def test_stats(self):
+        trace = Trace([TraceEvent(0, "spawn"), TraceEvent(1, "stop")], duration_s=2)
+        stats = trace.stats()
+        assert stats.total_events == 2
+        assert stats.mix == {"spawn": 1, "stop": 1}
+        assert stats.mean_rate == pytest.approx(1.0)
+
+    def test_slice_rebases_time(self):
+        trace = Trace([TraceEvent(t, "spawn") for t in range(10)], duration_s=10)
+        window = trace.slice(3, 6)
+        assert len(window) == 3
+        assert [e.time for e in window] == [0, 1, 2]
+
+    def test_scaled_preserves_shape(self):
+        trace = Trace([TraceEvent(0.5, "spawn"), TraceEvent(1.5, "spawn")], duration_s=2)
+        doubled = trace.scaled(2)
+        assert len(doubled) == 4
+        # Replicas stay within their original 1-second bucket, so the shape
+        # of the rate curve is preserved and each bucket doubles exactly.
+        assert doubled.per_second_counts() == [2, 2, 0]
+
+    def test_scaled_spawns_get_unique_names(self):
+        trace = Trace([TraceEvent(0.0, "spawn", {"vm_name": "a"})], duration_s=1)
+        names = [e.args["vm_name"] for e in trace.scaled(3)]
+        assert len(set(names)) == 3
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Trace([]).scaled(0)
+
+    def test_roundtrip(self):
+        trace = Trace([TraceEvent(1.0, "spawn", {"vm_name": "a"})], duration_s=5)
+        restored = Trace.from_dict(trace.to_dict())
+        assert restored.duration_s == 5
+        assert restored.events[0].args == {"vm_name": "a"}
+
+
+class TestEC2Workload:
+    def test_calibration_targets_met(self):
+        params = EC2TraceParams()
+        counts = synthesize_launch_counts(params)
+        assert sum(counts) == params.total_spawns == 8417
+        assert max(counts) == params.peak_rate == 14
+        peak_index = counts.index(max(counts))
+        assert peak_index == int(0.8 * params.duration_s)
+
+    def test_mean_rate_close_to_paper(self):
+        counts = synthesize_launch_counts()
+        mean = sum(counts) / len(counts)
+        assert mean == pytest.approx(2.34, abs=0.01)
+
+    def test_deterministic_for_seed(self):
+        assert synthesize_launch_counts(EC2TraceParams(seed=3)) == synthesize_launch_counts(
+            EC2TraceParams(seed=3)
+        )
+        assert synthesize_launch_counts(EC2TraceParams(seed=3)) != synthesize_launch_counts(
+            EC2TraceParams(seed=4)
+        )
+
+    def test_trace_event_names_unique(self):
+        trace = ec2_spawn_trace(EC2TraceParams(duration_s=60, total_spawns=120))
+        names = [event.args["vm_name"] for event in trace]
+        assert len(names) == len(set(names)) == len(trace)
+
+    def test_scaled_down_window(self):
+        params = EC2TraceParams().scaled_to(360)
+        counts = synthesize_launch_counts(params)
+        assert sum(counts) == params.total_spawns
+        assert abs(params.total_spawns - 842) <= 1
+        assert max(counts) == 14
+
+    def test_all_events_are_spawns(self):
+        trace = ec2_spawn_trace(EC2TraceParams(duration_s=30, total_spawns=60))
+        assert set(trace.operations()) == {"spawn"}
+
+
+class TestHostingWorkload:
+    def test_operation_mix_present(self):
+        trace = hosting_trace(HostingTraceParams(num_operations=400, seed=1))
+        mix = trace.stats().mix
+        for operation in DEFAULT_MIX:
+            assert mix.get(operation, 0) > 0
+
+    def test_warmup_is_spawn_only(self):
+        trace = hosting_trace(HostingTraceParams(num_operations=100))
+        first_ops = [event.operation for event in list(trace)[:10]]
+        assert set(first_ops) == {"spawn"}
+
+    def test_spawn_names_unique(self):
+        trace = hosting_trace(HostingTraceParams(num_operations=300))
+        names = [e.args["vm_name"] for e in trace if e.operation == "spawn"]
+        assert len(names) == len(set(names))
+
+    def test_deterministic(self):
+        a = hosting_trace(HostingTraceParams(seed=5))
+        b = hosting_trace(HostingTraceParams(seed=5))
+        assert a.to_dict() == b.to_dict()
+
+    def test_duration_respected(self):
+        trace = hosting_trace(HostingTraceParams(duration_s=120, num_operations=50))
+        assert max(event.time for event in trace) < 120
