@@ -1,0 +1,23 @@
+# Convenience targets for the TROPIC reproduction.
+
+PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-unit test-integration bench bench-micro
+
+## Tier-1 verification: the full test suite.
+test:
+	$(PYTHONPATH_PREFIX) python -m pytest -x -q
+
+test-unit:
+	$(PYTHONPATH_PREFIX) python -m pytest tests/unit -q
+
+test-integration:
+	$(PYTHONPATH_PREFIX) python -m pytest tests/integration tests/property -q
+
+## Full benchmark suite; writes BENCH_pr1.json.
+bench:
+	bash scripts/run_benchmarks.sh
+
+## Write-path micro-benchmark guards only.
+bench-micro:
+	$(PYTHONPATH_PREFIX) python -m pytest benchmarks/bench_writepath.py -q

@@ -18,11 +18,11 @@ import time
 import pytest
 
 from repro.common.config import TropicConfig
-from repro.metrics.collectors import MemoryEstimator
+from repro.metrics.collectors import MemoryEstimator, StoreIOSnapshot
 from repro.metrics.report import ascii_table
 from repro.tcloud.service import build_tcloud
 
-from conftest import env_int, print_block
+from conftest import bench_json_emit, env_int, print_block
 
 FLEET_SIZES = [env_int("TROPIC_BENCH_SCALE_SMALL", 50),
                env_int("TROPIC_BENCH_SCALE_MEDIUM", 200),
@@ -42,6 +42,7 @@ def _run_fleet(num_hosts: int) -> dict:
     with cloud.platform:
         model = cloud.platform.leader().model
         resources_before = model.count()
+        io_before = StoreIOSnapshot.capture(cloud.platform.ensemble)
         start = time.perf_counter()
         handles = []
         for index in range(TXN_BATCH):
@@ -64,6 +65,7 @@ def _run_fleet(num_hosts: int) -> dict:
         results = [handle.wait(timeout=60.0) for handle in handles]
         elapsed = time.perf_counter() - start
         committed = sum(txn.state.value == "committed" for txn in results)
+        io = StoreIOSnapshot.capture(cloud.platform.ensemble).delta(io_before)
         memory_bytes = MemoryEstimator.estimate_bytes(model)
         return {
             "hosts": num_hosts,
@@ -73,6 +75,10 @@ def _run_fleet(num_hosts: int) -> dict:
             "committed": committed,
             "memory_mb": memory_bytes / 1e6,
             "bytes_per_resource": MemoryEstimator.bytes_per_resource(model),
+            "store_writes": io.writes,
+            "writes_per_commit": io.writes / max(committed, 1),
+            "store_bytes_per_commit": io.bytes_written / max(committed, 1),
+            "multi_commits": io.multi_commits,
         }
 
 
@@ -89,17 +95,20 @@ def test_sec61_throughput_constant_with_scale(benchmark, scalability_results):
             f"{entry['throughput']:.1f}",
             entry["committed"],
             f"{entry['memory_mb']:.2f}",
+            f"{entry['writes_per_commit']:.2f}",
         )
         for entry in scalability_results
     ]
     print_block(
         ascii_table(
             ("compute hosts", "managed resources", "throughput (txn/s)", "committed",
-             "model memory (MB)"),
+             "model memory (MB)", "store writes / txn"),
             rows,
             title="§6.1 — throughput and controller memory vs resource scale",
         )
     )
+    for entry in scalability_results:
+        bench_json_emit("sec61_scalability", entry)
 
     throughputs = [entry["throughput"] for entry in scalability_results]
     # Shape: throughput is roughly flat — the largest fleet achieves at least

@@ -21,7 +21,7 @@ from repro.tcloud.entities import build_schema
 from repro.tcloud.inventory import build_inventory
 from repro.tcloud.procedures import build_procedures
 
-from conftest import mean_seconds, print_block
+from conftest import bench_json_emit, mean_seconds, print_block
 
 
 def _populated_executor(num_hosts=20, vms_per_host=6):
@@ -82,6 +82,10 @@ def test_sec62_constraint_checking_overhead(benchmark):
             ],
             title="§6.2 — safety-constraint checking overhead (spawnVM, hosting-scale fleet)",
         )
+    )
+    bench_json_emit(
+        "sec62_safety_overhead",
+        {"mean_ms": mean_ms, "constraint_checks": checks},
     )
     # Paper's bound with generous head-room for slower CI machines.
     assert mean_ms < 50.0

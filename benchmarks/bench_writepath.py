@@ -1,0 +1,207 @@
+"""Write-path micro-benchmarks (PR 1 performance subsystem).
+
+Covers the four write-path optimisations in isolation:
+
+* structure-aware ``deep_copy`` vs the legacy JSON round-trip (guarded: a
+  regression that reintroduces serialisation-based copying fails the run),
+* delta-aware ``save_transaction`` (fields re-encoded per save, writes
+  skipped on unchanged documents),
+* ``WriteBatch`` group commit vs one round-trip per put, and
+* ``ResourcePath.parse`` interning.
+
+Runs under pytest (``make bench-micro``) or standalone to emit JSON:
+``python benchmarks/bench_writepath.py --json out.json``.
+"""
+
+import json
+import os
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.common.jsonutil import deep_copy  # noqa: E402
+from repro.coordination.client import CoordinationClient  # noqa: E402
+from repro.coordination.ensemble import CoordinationEnsemble  # noqa: E402
+from repro.coordination.kvstore import KVStore  # noqa: E402
+from repro.core.persistence import TropicStore  # noqa: E402
+from repro.core.txn import Transaction, TransactionState  # noqa: E402
+from repro.datamodel.path import ResourcePath  # noqa: E402
+
+#: A representative attribute document (nested, mixed types).
+_DOC = {
+    "name": "vm17",
+    "state": "running",
+    "mem_mb": 2048,
+    "disks": [{"id": f"d{i}", "size_gb": 16 * (i + 1)} for i in range(4)],
+    "tags": {"tier": "web", "owner": "tenant-42", "numbers": list(range(20))},
+}
+
+
+def _legacy_deep_copy(value):
+    return json.loads(json.dumps(value))
+
+
+def _time(fn, iterations):
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return time.perf_counter() - start
+
+
+def _fresh_store():
+    ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=600.0)
+    store = TropicStore(KVStore(CoordinationClient(ensemble)))
+    return ensemble, store
+
+
+def _big_txn(n_records: int = 8) -> Transaction:
+    txn = Transaction("spawnVM", {"vm_name": "vm1", "mem_mb": 512, "doc": _DOC})
+    for i in range(n_records):
+        txn.log.append(
+            f"/vmRoot/host{i}/vm{i}", "createVM", [f"vm{i}", 512], "removeVM", [f"vm{i}"]
+        )
+        txn.rwset.record_write(f"/vmRoot/host{i}/vm{i}")
+    return txn
+
+
+# ----------------------------------------------------------------------
+# Micro-benchmarks (each returns a result dict; pytest wrappers assert the
+# guard conditions, the standalone runner collects the dicts)
+# ----------------------------------------------------------------------
+
+def run_deep_copy(iterations: int = 2000) -> dict:
+    fast = _time(lambda: deep_copy(_DOC), iterations)
+    legacy = _time(lambda: _legacy_deep_copy(_DOC), iterations)
+    assert deep_copy(_DOC) == _legacy_deep_copy(_DOC)
+    return {
+        "iterations": iterations,
+        "fast_s": round(fast, 5),
+        "legacy_json_roundtrip_s": round(legacy, 5),
+        "speedup": round(legacy / fast, 2) if fast else float("inf"),
+    }
+
+
+def run_txn_save_delta(saves: int = 300) -> dict:
+    """State-cycle one large transaction; the delta path re-encodes only
+    the cheap fields after the first save."""
+    _, store = _fresh_store()
+    txn = _big_txn()
+    store.save_transaction(txn, dirty_fields=("log", "rwset", "result"))
+    states = [TransactionState.DEFERRED, TransactionState.ACCEPTED]
+    start = time.perf_counter()
+    for i in range(saves):
+        txn.mark(states[i % 2], float(i))
+        store.save_transaction(txn, dirty_fields=())
+    elapsed = time.perf_counter() - start
+    reused = store.fields_reused
+    reserialized = store.fields_reserialized
+    loaded = store.load_transaction(txn.txid)
+    assert loaded.state == txn.state and len(loaded.log) == len(txn.log)
+    return {
+        "saves": saves,
+        "elapsed_s": round(elapsed, 5),
+        "fields_reused": reused,
+        "fields_reserialized": reserialized,
+        "reuse_fraction": round(reused / max(reused + reserialized, 1), 3),
+    }
+
+
+def run_group_commit(puts: int = 200) -> dict:
+    ensemble, store = _fresh_store()
+    kv = store.kv
+
+    before = ensemble.write_round_trips
+    for i in range(puts):
+        kv.put(f"unbatched/key-{i}", {"value": i})
+    unbatched_rts = ensemble.write_round_trips - before
+
+    before = ensemble.write_round_trips
+    with kv.batch():
+        for i in range(puts):
+            kv.put(f"batched/key-{i}", {"value": i})
+    batched_rts = ensemble.write_round_trips - before
+
+    assert kv.get("batched/key-0") == {"value": 0}
+    assert kv.get(f"batched/key-{puts - 1}") == {"value": puts - 1}
+    return {
+        "puts": puts,
+        "unbatched_write_round_trips": unbatched_rts,
+        "batched_write_round_trips": batched_rts,
+        "round_trip_reduction": round(unbatched_rts / max(batched_rts, 1), 1),
+    }
+
+
+def run_path_interning(iterations: int = 5000) -> dict:
+    paths = [f"/vmRoot/host{i % 40}/vm{i % 7}" for i in range(iterations)]
+    start = time.perf_counter()
+    parsed = [ResourcePath.parse(p) for p in paths]
+    elapsed = time.perf_counter() - start
+    interned = ResourcePath.parse("/vmRoot/host0/vm0") is ResourcePath.parse(
+        "/vmRoot/host0/vm0"
+    )
+    return {
+        "iterations": iterations,
+        "elapsed_s": round(elapsed, 5),
+        "interned_identity": interned,
+        "distinct_objects": len({id(p) for p in parsed}),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest wrappers (guards)
+# ----------------------------------------------------------------------
+
+def test_deep_copy_faster_than_json_roundtrip():
+    result = run_deep_copy()
+    # Micro-benchmark guard: the structure-aware copy must not regress to
+    # serialisation speed (generous margin for noisy CI machines).
+    assert result["speedup"] > 1.2, result
+
+
+def test_txn_save_delta_reuses_expensive_fields():
+    result = run_txn_save_delta()
+    # After the first save, only the 4 cheap fields are re-encoded per
+    # save; the 7 expensive fields are reused.
+    assert result["reuse_fraction"] > 0.5, result
+
+
+def test_group_commit_reduces_round_trips():
+    result = run_group_commit()
+    assert result["batched_write_round_trips"] == 1, result
+    assert result["unbatched_write_round_trips"] >= result["puts"], result
+
+
+def test_path_parse_interning():
+    result = run_path_interning()
+    assert result["interned_identity"] is True
+    # 40 hosts x 7 vm slots = 280 distinct paths.
+    assert result["distinct_objects"] == 280, result
+
+
+# ----------------------------------------------------------------------
+# standalone runner
+# ----------------------------------------------------------------------
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", type=str, default=None)
+    args = parser.parse_args()
+    results = {
+        "deep_copy": run_deep_copy(),
+        "txn_save_delta": run_txn_save_delta(),
+        "group_commit": run_group_commit(),
+        "path_interning": run_path_interning(),
+    }
+    print(json.dumps(results, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,20 @@ def bench_scale():
     }
 
 
+def bench_json_emit(name: str, payload: dict) -> None:
+    """Append one benchmark result fragment (JSON lines) to the path named
+    by ``TROPIC_BENCH_JSON_OUT``; no-op when the variable is unset.  The
+    ``scripts/run_benchmarks.sh`` harness merges the fragments into
+    ``BENCH_pr1.json``."""
+    out = os.environ.get("TROPIC_BENCH_JSON_OUT")
+    if not out:
+        return
+    import json
+
+    with open(out, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps({"name": name, **payload}, sort_keys=True) + "\n")
+
+
 def print_block(text: str) -> None:
     """Print a report block surrounded by blank lines so it stands out in
     the pytest-benchmark output."""

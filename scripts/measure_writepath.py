@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Measure controller write-path performance (logical-only fleet).
+
+Runs the §6.1-style scalability workload at one fleet size and reports
+throughput plus coordination-store I/O per committed transaction.  The
+script works against both the seed implementation and the batched
+write-path implementation: store *write round-trips* are counted by
+wrapping the coordination-ensemble entry points (``create``, ``set``,
+``delete``, and — when present — ``upsert`` and ``multi``), so a multi-op
+group commit counts as a single round-trip, exactly as a ZooKeeper
+``multi()`` would be.
+
+Usage:
+    PYTHONPATH=src python scripts/measure_writepath.py [--hosts N] [--txns N] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.common.config import TropicConfig  # noqa: E402
+from repro.coordination.ensemble import CoordinationEnsemble  # noqa: E402
+from repro.metrics.collectors import MemoryEstimator  # noqa: E402
+from repro.tcloud.service import build_tcloud  # noqa: E402
+
+WRITE_METHODS = ("create", "set", "delete", "upsert", "multi")
+
+
+class WriteCounter:
+    """Counts write round-trips by wrapping ensemble write entry points."""
+
+    def __init__(self, ensemble: CoordinationEnsemble):
+        self.round_trips = 0
+        self.bytes_written = 0
+        self._ensemble = ensemble
+        self._originals = {}
+        for name in WRITE_METHODS:
+            original = getattr(ensemble, name, None)
+            if original is None:
+                continue
+            self._originals[name] = original
+            setattr(ensemble, name, self._wrap(name, original))
+
+    def _wrap(self, name, original):
+        def wrapper(*args, **kwargs):
+            self.round_trips += 1
+            if name in ("create", "set", "upsert") and len(args) >= 3:
+                self.bytes_written += len(str(args[2]))
+            elif name == "multi" and len(args) >= 2:
+                for op in args[1]:
+                    if len(op) >= 3 and op[2] is not None:
+                        self.bytes_written += len(str(op[2]))
+            return original(*args, **kwargs)
+
+        return wrapper
+
+
+def run(num_hosts: int, txn_batch: int, checkpoint_every: int) -> dict:
+    config = TropicConfig(logical_only=True, checkpoint_every=checkpoint_every)
+    cloud = build_tcloud(
+        num_vm_hosts=num_hosts,
+        num_storage_hosts=max(num_hosts // 4, 1),
+        host_mem_mb=65536,
+        config=config,
+        logical_only=True,
+    )
+    with cloud.platform:
+        counter = WriteCounter(cloud.platform.ensemble)
+        ops_before = cloud.platform.ensemble.op_count
+        model = cloud.platform.leader().model
+        start = time.perf_counter()
+        handles = []
+        for index in range(txn_batch):
+            host = cloud.inventory.vm_hosts[index % num_hosts]
+            storage = cloud.inventory.storage_hosts[index % len(cloud.inventory.storage_hosts)]
+            handles.append(
+                cloud.platform.submit(
+                    "spawnVM",
+                    {
+                        "vm_name": f"scale-vm-{index}",
+                        "image_template": "template-small",
+                        "storage_host": storage,
+                        "vm_host": host,
+                        "mem_mb": 512,
+                    },
+                    wait=False,
+                )
+            )
+        cloud.platform.run_until_idle()
+        results = [handle.wait(timeout=120.0) for handle in handles]
+        elapsed = time.perf_counter() - start
+        committed = sum(txn.state.value == "committed" for txn in results)
+        return {
+            "hosts": num_hosts,
+            "txns": txn_batch,
+            "committed": committed,
+            "elapsed_s": round(elapsed, 4),
+            "throughput_txn_s": round(committed / elapsed, 2),
+            "store_write_round_trips": counter.round_trips,
+            "writes_per_commit": round(counter.round_trips / max(committed, 1), 2),
+            "store_bytes_written": counter.bytes_written,
+            "bytes_per_commit": round(counter.bytes_written / max(committed, 1), 1),
+            "total_ops": cloud.platform.ensemble.op_count - ops_before,
+            "ops_per_commit": round(
+                (cloud.platform.ensemble.op_count - ops_before) / max(committed, 1), 2
+            ),
+            "model_memory_mb": round(MemoryEstimator.estimate_bytes(model) / 1e6, 2),
+            "checkpoint_every": checkpoint_every,
+        }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=int(os.environ.get("TROPIC_BENCH_SCALE_LARGE", 800)))
+    parser.add_argument("--txns", type=int, default=int(os.environ.get("TROPIC_BENCH_SCALE_TXNS", 150)))
+    parser.add_argument("--checkpoint-every", type=int, default=50)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="run the workload N times and report the run with "
+                             "the median throughput (wall-clock noise on shared "
+                             "machines easily swings a single run +/-20%%)")
+    parser.add_argument("--json", type=str, default=None, help="write result JSON to this path")
+    args = parser.parse_args()
+
+    runs = [run(args.hosts, args.txns, args.checkpoint_every)
+            for _ in range(max(args.repeat, 1))]
+    runs.sort(key=lambda r: r["throughput_txn_s"])
+    result = dict(runs[len(runs) // 2])
+    if len(runs) > 1:
+        result["throughput_runs"] = [r["throughput_txn_s"] for r in runs]
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+
+
+if __name__ == "__main__":
+    main()

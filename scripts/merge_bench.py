@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Merge benchmark outputs into one machine-readable BENCH JSON.
+
+Combines the bench_writepath micro-benchmarks, the LARGE-fleet end-to-end
+measurement, the pytest benchmark fragments (sec 6.1 / 6.2) and the seed
+baseline into a single document with computed speedup ratios, so future PRs
+have a perf trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+
+def _load(path: str):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _load_fragments(path: str) -> list[dict]:
+    fragments = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    fragments.append(json.loads(line))
+    except FileNotFoundError:
+        pass
+    return fragments
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--writepath", required=True)
+    parser.add_argument("--large-fleet", required=True)
+    parser.add_argument("--fragments", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--out", required=True)
+    args = parser.parse_args()
+
+    large = _load(args.large_fleet)
+    baseline = _load(args.baseline)
+    seed_bench = baseline["bench_config"]
+
+    ratios = {
+        "throughput_vs_seed": round(
+            large["throughput_txn_s"] / seed_bench["throughput_txn_s"], 2
+        ),
+        "write_round_trips_per_commit_reduction": round(
+            seed_bench["writes_per_commit"] / max(large["writes_per_commit"], 1e-9), 2
+        ),
+        "bytes_per_commit_reduction": round(
+            seed_bench["bytes_per_commit"] / max(large["bytes_per_commit"], 1e-9), 2
+        ),
+    }
+
+    result = {
+        "pr": 1,
+        "subsystem": "controller write path (group commit, incremental "
+                     "checkpoints, path interning, batched scheduling)",
+        "seed_baseline": baseline,
+        "large_fleet": large,
+        "ratios": ratios,
+        "micro": _load(args.writepath),
+        "pytest_benchmarks": _load_fragments(args.fragments),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+    print(json.dumps(ratios, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run the PR 1 write-path benchmark suite and write BENCH_pr1.json.
+#
+# Covers:
+#   * bench_writepath.py        — micro-benchmarks of the four optimisations
+#   * bench_sec61_scalability   — throughput + store writes/commit vs fleet size
+#   * bench_sec62_safety_overhead — logical-layer constraint-checking cost
+#   * scripts/measure_writepath — LARGE-fleet end-to-end measurement
+#
+# The results are merged with benchmarks/BASELINE_seed.json (measured at the
+# seed commit with the same tooling) so the JSON carries the speedup ratios.
+#
+# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr1.json)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_pr1.json}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== micro-benchmarks (bench_writepath) =="
+python benchmarks/bench_writepath.py --json "$WORK/writepath.json"
+
+echo "== LARGE-fleet end-to-end measurement =="
+# 600-txn batch to match benchmarks/BASELINE_seed.json (short runs are
+# dominated by host jitter; see the baseline's method note).
+python scripts/measure_writepath.py \
+    --hosts "${TROPIC_BENCH_SCALE_LARGE:-800}" \
+    --txns "${TROPIC_BENCH_LARGE_TXNS:-600}" \
+    --checkpoint-every 100000 \
+    --repeat "${TROPIC_BENCH_REPEAT:-5}" \
+    --json "$WORK/large_fleet.json"
+
+echo "== pytest benchmarks (sec 6.1 scalability, sec 6.2 safety overhead) =="
+TROPIC_BENCH_JSON_OUT="$WORK/fragments.jsonl" \
+    python -m pytest benchmarks/bench_sec61_scalability.py \
+                     benchmarks/bench_sec62_safety_overhead.py \
+                     -q -p no:cacheprovider
+
+echo "== merging results into $OUT =="
+python scripts/merge_bench.py \
+    --writepath "$WORK/writepath.json" \
+    --large-fleet "$WORK/large_fleet.json" \
+    --fragments "$WORK/fragments.jsonl" \
+    --baseline benchmarks/BASELINE_seed.json \
+    --out "$OUT"
+
+echo "wrote $OUT"

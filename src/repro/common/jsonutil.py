@@ -28,11 +28,28 @@ def loads(data: str | bytes | None) -> Any:
     return json.loads(data)
 
 
+#: Immutable JSON scalar types that can be shared instead of copied.
+_SCALARS = (str, int, float, bool, type(None))
+
+
 def deep_copy(value: Any) -> Any:
-    """Copy a JSON-compatible structure by round-tripping it.
+    """Copy a JSON-compatible structure without serialising it.
 
     Used where we need a defensive copy of attribute dictionaries that are
     guaranteed to be JSON-serialisable (data-model attributes, procedure
-    arguments).
+    arguments).  Scalars are shared (immutable), dicts and lists are copied
+    recursively; tuples become lists, matching the behaviour of the previous
+    ``json.loads(json.dumps(value))`` implementation, which is kept as the
+    fallback for exotic-but-serialisable inputs.
     """
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, dict):
+        if all(type(key) is str for key in value):
+            return {key: deep_copy(item) for key, item in value.items()}
+        # Non-string keys need JSON's key coercion (int -> "1", True ->
+        # "true", ...) to keep the copy identical to the persisted form.
+        return json.loads(json.dumps(value))
+    if isinstance(value, (list, tuple)):
+        return [deep_copy(item) for item in value]
     return json.loads(json.dumps(value))

@@ -75,6 +75,14 @@ class CoordinationClient:
             self.ensure_path(path)
             self.set(path, data)
 
+    def upsert(self, path: str, data: str = "") -> None:
+        """Single-round-trip set-or-create, creating missing ancestors."""
+        self.ensemble.upsert(self.session_id, path, data)
+
+    def multi(self, ops: list[tuple]) -> list[str | None]:
+        """Apply a batch of write ops in one round-trip (group commit)."""
+        return self.ensemble.multi(self.session_id, ops)
+
     def delete(self, path: str, version: int = -1) -> None:
         self.ensemble.delete(self.session_id, path, version)
 
@@ -92,6 +100,10 @@ class CoordinationClient:
         self, path: str, watcher: Callable[[WatchEvent], None] | None = None
     ) -> list[str]:
         return self.ensemble.get_children(self.session_id, path, watcher)
+
+    def remove_data_watch(self, path: str, watcher: Callable[[WatchEvent], None]) -> bool:
+        """Deregister an unfired one-shot data watch (local bookkeeping)."""
+        return self.ensemble.remove_data_watch(path, watcher)
 
     def __repr__(self) -> str:
         return f"<CoordinationClient session={self.session_id}>"

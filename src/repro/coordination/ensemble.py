@@ -78,6 +78,11 @@ class CoordinationEnsemble:
         self._child_watches: dict[str, list[Watcher]] = {}
         self._lock = threading.RLock()
         self._op_count = 0
+        self._read_round_trips = 0
+        self._write_round_trips = 0
+        self._multi_count = 0
+        self._multi_sub_ops = 0
+        self._bytes_written = 0
 
     # ------------------------------------------------------------------
     # Availability / fault injection
@@ -105,6 +110,43 @@ class CoordinationEnsemble:
     def op_count(self) -> int:
         """Total number of coordination operations served (I/O proxy)."""
         return self._op_count
+
+    @property
+    def write_round_trips(self) -> int:
+        """Write operations served, counting a ``multi`` batch as one
+        round-trip (the group-commit I/O proxy of the write-path metrics)."""
+        return self._write_round_trips
+
+    @property
+    def read_round_trips(self) -> int:
+        return self._read_round_trips
+
+    @property
+    def multi_count(self) -> int:
+        """Number of ``multi`` group commits served."""
+        return self._multi_count
+
+    @property
+    def multi_sub_ops(self) -> int:
+        """Total sub-operations carried inside ``multi`` group commits."""
+        return self._multi_sub_ops
+
+    @property
+    def bytes_written(self) -> int:
+        """Total payload bytes accepted by write operations."""
+        return self._bytes_written
+
+    def io_stats(self) -> dict[str, int]:
+        """Snapshot of the I/O counters (consumed by metrics collectors)."""
+        with self._lock:
+            return {
+                "ops": self._op_count,
+                "reads": self._read_round_trips,
+                "writes": self._write_round_trips,
+                "multi_commits": self._multi_count,
+                "multi_sub_ops": self._multi_sub_ops,
+                "bytes_written": self._bytes_written,
+            }
 
     def total_znodes(self) -> int:
         with self._lock:
@@ -267,6 +309,74 @@ class CoordinationEnsemble:
         self._fire(events)
         return stat
 
+    def upsert(self, session_id: str, path: str, data: str = "") -> None:
+        """Set ``path`` to ``data``, creating it (and any missing ancestors)
+        in the same operation.
+
+        This is the single-round-trip write primitive behind
+        :meth:`~repro.coordination.kvstore.KVStore.put`: the seed
+        implementation issued one ``create`` per ancestor (each a quorum
+        round) followed by a ``set``; ``upsert`` charges exactly one
+        coordination operation.
+        """
+        events: list[tuple[Watcher, WatchEvent]] = []
+        with self._lock:
+            self._prepare_write(session_id, len(data))
+            self._apply_upsert(path, data, events)
+        self._fire(events)
+
+    def multi(self, session_id: str, ops: list[tuple]) -> list[str | None]:
+        """Apply a batch of write operations in one coordination round-trip
+        (group commit, mirroring ZooKeeper's ``multi()``).
+
+        Each op is a tuple:
+
+        * ``("upsert", path, data)`` — set, creating node and ancestors,
+        * ``("create_seq", path_prefix, data)`` — sequential create under
+          an existing parent (queue recipe),
+        * ``("delete", path, None)`` — recursive delete-if-exists.
+
+        Returns one result per op (the created path for ``create_seq``,
+        otherwise ``None``).  The batch is isolated from other clients —
+        all sub-operations commit under a single ensemble lock acquisition
+        and charge a single operation — and applied in order; if a sub-op
+        fails (e.g. a ``create_seq`` under a deleted parent), the earlier
+        sub-ops remain applied, their watch events still fire, and the
+        error propagates.  Callers needing all-or-nothing semantics must
+        ensure each sub-op is individually valid (the persistence layer's
+        upsert/delete-if-exists ops cannot fail).
+        """
+        events: list[tuple[Watcher, WatchEvent]] = []
+        results: list[str | None] = []
+        for op in ops:
+            if op[0] not in ("upsert", "create_seq", "delete"):
+                raise ValueError(f"unknown multi op kind {op[0]!r}")
+        try:
+            with self._lock:
+                payload = sum(
+                    len(op[2]) for op in ops if len(op) >= 3 and op[2] is not None
+                )
+                self._prepare_write(session_id, payload)
+                self._multi_count += 1
+                self._multi_sub_ops += len(ops)
+                for op in ops:
+                    kind, path = op[0], op[1]
+                    data = op[2] if len(op) >= 3 else None
+                    if kind == "upsert":
+                        self._apply_upsert(path, data or "", events)
+                        results.append(None)
+                    elif kind == "create_seq":
+                        results.append(self._apply_create_seq(path, data or "", events))
+                    else:
+                        self._apply_delete_recursive(path, events)
+                        results.append(None)
+        finally:
+            # Watchers of already-applied sub-ops must fire even when a
+            # later sub-op raises, or consumers blocked on those watches
+            # would hang forever.
+            self._fire(events)
+        return results
+
     def delete(self, session_id: str, path: str, version: int = -1) -> None:
         events: list[tuple[Watcher, WatchEvent]] = []
         with self._lock:
@@ -301,6 +411,24 @@ class CoordinationEnsemble:
                 self._child_watches.setdefault(path, []).append(watcher)
             return sorted(node.children)
 
+    def remove_data_watch(self, path: str, watcher: Watcher) -> bool:
+        """Deregister a one-shot data watch that has not fired (local
+        bookkeeping only; no coordination round-trip is charged).  Returns
+        whether the watcher was found.  Required by subscribers with
+        shorter lifetimes than the watched path — e.g. the per-transaction
+        signal subscriptions — so unfired watches do not accumulate."""
+        with self._lock:
+            watchers = self._data_watches.get(path)
+            if not watchers:
+                return False
+            try:
+                watchers.remove(watcher)
+            except ValueError:
+                return False
+            if not watchers:
+                del self._data_watches[path]
+            return True
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -322,15 +450,91 @@ class CoordinationEnsemble:
         if session is None or session.expired:
             raise SessionExpiredError(f"session {session_id} has expired")
 
-    def _prepare_write(self, session_id: str) -> None:
+    def _prepare_write(self, session_id: str, payload_bytes: int = 0) -> None:
         self._charge_latency()
+        self._write_round_trips += 1
+        self._bytes_written += payload_bytes
         self._check_quorum()
         self._check_session(session_id)
 
     def _prepare_read(self, session_id: str) -> None:
         self._charge_latency()
+        self._read_round_trips += 1
         self._check_quorum()
         self._check_session(session_id)
+
+    # -- multi/upsert sub-operation appliers ----------------------------
+
+    def _apply_upsert(
+        self, path: str, data: str, events: list[tuple[Watcher, WatchEvent]]
+    ) -> None:
+        """Create-or-set ``path`` (creating missing ancestors), firing the
+        same watches the equivalent create/set sequence would fire.
+
+        The reference tree is walked once to find the deepest existing
+        prefix; only the missing suffix is created (instead of one
+        existence probe per ancestor per call).
+        """
+        reference = self._reference_server()
+        parts = split_path(path)
+        servers = self.up_servers()
+        # Walk down the existing prefix.
+        node = reference.root
+        existing_depth = 0
+        for part in parts:
+            child = node.children.get(part)
+            if child is None:
+                break
+            node = child
+            existing_depth += 1
+        if existing_depth == len(parts):
+            self._zxid += 1
+            for server in servers:
+                server.apply_set(path, data, self._zxid)
+            self._queue_watch(self._data_watches, path, "changed", events)
+            return
+        current = "/" + "/".join(parts[:existing_depth]) if existing_depth else ""
+        for index in range(existing_depth, len(parts)):
+            current = current + "/" + parts[index]
+            is_leaf = index == len(parts) - 1
+            self._zxid += 1
+            for server in servers:
+                server.apply_create(current, data if is_leaf else "", None, self._zxid)
+            self._queue_watch(self._data_watches, current, "created", events)
+            self._queue_watch(self._child_watches, parent_path(current), "child", events)
+
+    def _apply_create_seq(
+        self, path_prefix: str, data: str, events: list[tuple[Watcher, WatchEvent]]
+    ) -> str:
+        reference = self._reference_server()
+        parent = parent_path(path_prefix)
+        if not reference.exists(parent):
+            raise NoNodeError(f"parent {parent} does not exist")
+        seq = None
+        for server in self.up_servers():
+            seq = server.apply_bump_sequence(parent)
+        actual_path = f"{path_prefix}{seq:010d}"
+        if reference.exists(actual_path):
+            raise NodeExistsError(f"znode {actual_path} already exists")
+        self._zxid += 1
+        for server in self.up_servers():
+            server.apply_create(actual_path, data, None, self._zxid)
+        self._queue_watch(self._data_watches, actual_path, "created", events)
+        self._queue_watch(self._child_watches, parent, "child", events)
+        return actual_path
+
+    def _apply_delete_recursive(
+        self, path: str, events: list[tuple[Watcher, WatchEvent]]
+    ) -> None:
+        reference = self._reference_server()
+        try:
+            node = reference.lookup(path)
+        except NoNodeError:
+            return
+        for name in list(node.children):
+            child_path = join_path(path if path != "/" else "/", name)
+            self._apply_delete_recursive(child_path, events)
+        self._commit_delete(path, events)
 
     def _charge_latency(self) -> None:
         self._op_count += 1

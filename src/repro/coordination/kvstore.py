@@ -5,15 +5,71 @@ storage engine for transaction states and logs (§5).  :class:`KVStore`
 provides the small document-oriented API the persistence layer needs:
 ``put``/``get``/``delete`` of JSON values keyed by slash-separated paths,
 plus listing of child keys.
+
+Two write-path optimisations live here:
+
+* every ``put`` is a single coordination round-trip (``upsert``), instead
+  of the seed's one-create-per-ancestor-plus-set sequence, and
+* a :class:`WriteBatch` coalesces many puts/deletes into one ``multi``
+  group commit — the controller wraps each main-loop iteration in a batch,
+  so all state transitions persisted during that iteration cost one
+  coordination write round-trip.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.common.errors import NoNodeError
 from repro.common.jsonutil import dumps, loads
 from repro.coordination.client import CoordinationClient
+
+#: Sentinel distinguishing "key deleted in batch" from "key not in batch".
+_TOMBSTONE = object()
+
+
+class WriteBatch:
+    """A buffered set of put/delete operations committed as one ``multi``.
+
+    Later operations on the same key overwrite earlier ones (last-writer
+    wins), so a transaction that transitions through several states within
+    one controller loop iteration is persisted exactly once.
+    """
+
+    def __init__(self) -> None:
+        # key -> serialized JSON text, or _TOMBSTONE for deletions.
+        self._ops: dict[str, Any] = {}
+        self.coalesced = 0
+
+    def put(self, key: str, data: str) -> None:
+        if key in self._ops:
+            self.coalesced += 1
+        self._ops[key] = data
+
+    def delete(self, key: str) -> None:
+        if key in self._ops:
+            self.coalesced += 1
+        self._ops[key] = _TOMBSTONE
+
+    def pending(self, key: str) -> Any:
+        """The buffered value for ``key``: serialized text, ``_TOMBSTONE``,
+        or ``None`` when the batch does not touch the key."""
+        return self._ops.get(key)
+
+    def pending_children(self, prefix: str) -> Iterator[tuple[str, Any]]:
+        """Yield ``(key, value)`` pairs the batch holds under ``prefix/``."""
+        lead = prefix + "/" if prefix else ""
+        for key, value in self._ops.items():
+            if key.startswith(lead):
+                yield key, value
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def is_empty(self) -> bool:
+        return not self._ops
 
 
 class KVStore:
@@ -23,6 +79,34 @@ class KVStore:
         self.client = client
         self.prefix = prefix.rstrip("/")
         self.client.ensure_path(self.prefix)
+        # Batch state is thread-local: in the threaded runtime several
+        # controller replicas, workers and the maintenance daemon share
+        # one store, and a batch scope belongs to exactly one thread's
+        # loop iteration — writes from other threads must not be captured
+        # by (or lost with) it.
+        self._local = threading.local()
+        # -- write-path instrumentation ---------------------------------
+        self.puts = 0
+        self.deletes = 0
+        self.batch_commits = 0
+        self.writes_coalesced = 0
+        self.bytes_serialized = 0
+
+    @property
+    def _batch(self) -> WriteBatch | None:
+        return getattr(self._local, "batch", None)
+
+    @_batch.setter
+    def _batch(self, value: "WriteBatch | None") -> None:
+        self._local.batch = value
+
+    @property
+    def _batch_depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @_batch_depth.setter
+    def _batch_depth(self, value: int) -> None:
+        self._local.depth = value
 
     def _full(self, key: str) -> str:
         key = key.strip("/")
@@ -32,20 +116,61 @@ class KVStore:
 
     def put(self, key: str, value: Any) -> None:
         """Upsert a JSON document, creating intermediate keys as needed."""
-        path = self._full(key)
-        self.client.ensure_path(path)
-        self.client.set(path, dumps(value))
+        self.put_serialized(key, dumps(value))
+
+    def put_serialized(self, key: str, data: str) -> None:
+        """Upsert a document already serialized to deterministic JSON.
+
+        The delta-aware transaction persistence builds document text from
+        cached field fragments; this entry point lets it skip re-encoding.
+        """
+        self.puts += 1
+        self.bytes_serialized += len(data)
+        if self._batch is not None:
+            self._batch.put(key, data)
+            return
+        self.client.upsert(self._full(key), data)
 
     def get(self, key: str, default: Any = None) -> Any:
+        if self._batch is not None:
+            pending = self._batch.pending(key)
+            if pending is _TOMBSTONE:
+                return default
+            if pending is not None:
+                return loads(pending)
         data = self.client.get_data(self._full(key))
         if data is None or data == "":
             return default
         return loads(data)
 
+    def watch(self, key: str, watcher: Any) -> bool:
+        """Register a one-shot watch on ``key``; returns whether the key
+        currently exists.  The watcher fires on the next create/change/
+        delete of the key — the ZooKeeper idiom for observing rare events
+        (e.g. TERM signals) without polling."""
+        return self.client.exists(self._full(key), watcher) is not None
+
+    def unwatch(self, key: str, watcher: Any) -> bool:
+        """Deregister an unfired watch placed by :meth:`watch`."""
+        return self.client.remove_data_watch(self._full(key), watcher)
+
     def exists(self, key: str) -> bool:
+        if self._batch is not None:
+            pending = self._batch.pending(key)
+            if pending is _TOMBSTONE:
+                return False
+            if pending is not None:
+                return True
         return self.client.exists(self._full(key)) is not None
 
     def delete(self, key: str, recursive: bool = False) -> None:
+        self.deletes += 1
+        if self._batch is not None:
+            # Batched deletes are always recursive at commit time; the
+            # persistence layer only deletes leaf documents or whole
+            # transaction subtrees, for which the semantics coincide.
+            self._batch.delete(key)
+            return
         path = self._full(key)
         if recursive:
             self._delete_recursive(path)
@@ -61,17 +186,94 @@ class KVStore:
             self._delete_recursive(f"{path}/{child}")
         self.client.delete_if_exists(path)
 
+    # -- group commit -------------------------------------------------------
+
+    @contextmanager
+    def batch(self):
+        """Scope within which puts/deletes are coalesced into one group
+        commit.  Re-entrant: nested scopes join the outermost batch, which
+        commits when the outermost scope exits."""
+        self.begin_batch()
+        try:
+            yield self
+        finally:
+            self.end_batch()
+
+    def begin_batch(self) -> None:
+        if self._batch is None:
+            self._batch = WriteBatch()
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        self._batch_depth -= 1
+        if self._batch_depth <= 0:
+            self._batch_depth = 0
+            try:
+                self.flush()
+            finally:
+                self._batch = None
+
+    def flush(self) -> int:
+        """Commit the pending batch (if any) as one ``multi`` round-trip,
+        keeping the batch scope open.  Returns the number of ops flushed.
+
+        On failure the buffered ops are LOST (not retried): callers own
+        in-memory state derived from them and must treat a raised flush as
+        a leadership-soft-state loss — the controller demotes and
+        re-recovers from the store (see ``Controller.step``)."""
+        batch = self._batch
+        if batch is None or batch.is_empty():
+            return 0
+        ops: list[tuple] = []
+        for key, value in batch._ops.items():
+            if value is _TOMBSTONE:
+                ops.append(("delete", self._full(key), None))
+            else:
+                ops.append(("upsert", self._full(key), value))
+        self.writes_coalesced += batch.coalesced
+        self._batch = WriteBatch()
+        self.client.multi(ops)
+        self.batch_commits += 1
+        return len(ops)
+
+    def in_batch(self) -> bool:
+        return self._batch is not None
+
     # -- listing -------------------------------------------------------------
 
     def keys(self, key: str = "") -> list[str]:
         """List direct child keys under ``key`` (empty list if absent)."""
+        names: set[str] = set()
         try:
-            return sorted(self.client.get_children(self._full(key)))
+            names.update(self.client.get_children(self._full(key)))
         except NoNodeError:
-            return []
+            pass
+        if self._batch is not None:
+            stripped = key.strip("/")
+            for pending_key, value in self._batch.pending_children(stripped):
+                remainder = pending_key[len(stripped) + 1 if stripped else 0:]
+                child, _, rest = remainder.partition("/")
+                if value is _TOMBSTONE:
+                    # Only a tombstone on the child itself removes it from
+                    # the listing; a deeper delete leaves the child node
+                    # (and its other descendants) in place.
+                    if not rest:
+                        names.discard(child)
+                else:
+                    names.add(child)
+        return sorted(names)
 
     def items(self, key: str = "") -> Iterator[tuple[str, Any]]:
         """Yield ``(child_key, value)`` pairs under ``key``."""
         for child in self.keys(key):
             child_key = f"{key.strip('/')}/{child}" if key.strip("/") else child
             yield child, self.get(child_key)
+
+    def io_stats(self) -> dict[str, int]:
+        return {
+            "puts": self.puts,
+            "deletes": self.deletes,
+            "batch_commits": self.batch_commits,
+            "writes_coalesced": self.writes_coalesced,
+            "bytes_serialized": self.bytes_serialized,
+        }

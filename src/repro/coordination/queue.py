@@ -34,6 +34,18 @@ class DistributedQueue:
         created = self.client.create(f"{self.path}/item-", dumps(item), sequential=True)
         return created.rsplit("/", 1)[-1]
 
+    def put_many(self, items: list[Any]) -> list[str]:
+        """Enqueue several items in one coordination round-trip (group
+        commit); returns the znode names assigned, in order."""
+        if not items:
+            return []
+        if len(items) == 1:
+            return [self.put(items[0])]
+        results = self.client.multi(
+            [("create_seq", f"{self.path}/item-", dumps(item)) for item in items]
+        )
+        return [created.rsplit("/", 1)[-1] for created in results if created]
+
     # -- consumers -------------------------------------------------------
 
     def poll(self) -> Any | None:
@@ -51,6 +63,24 @@ class DistributedQueue:
                     continue  # another consumer raced us; try the next item
                 return loads(data)
             # All candidates vanished under us; retry the listing.
+
+    def poll_many(self, limit: int) -> list[Any]:
+        """Dequeue up to ``limit`` items, oldest first (one child listing
+        instead of one per item).  Each item is still claimed by its own
+        atomic delete, so concurrent consumers never share an item."""
+        items: list[Any] = []
+        if limit <= 0:
+            return items
+        children = sorted(self.client.get_children(self.path))
+        for name in children[:limit]:
+            item_path = f"{self.path}/{name}"
+            try:
+                data, _ = self.client.get(item_path)
+                self.client.delete(item_path)
+            except NoNodeError:
+                continue  # another consumer raced us
+            items.append(loads(data))
+        return items
 
     def get(self, timeout: float | None = None, poll_interval: float = 0.002) -> Any | None:
         """Blocking dequeue with an optional timeout (None waits forever)."""
@@ -81,6 +111,27 @@ class DistributedQueue:
             return name, loads(data)
         return None
 
+    def take_many(self, limit: int) -> list[tuple[str, Any]]:
+        """Return up to ``limit`` ``(item_name, item)`` pairs, oldest first,
+        *without* removing them (batched form of :meth:`take`).
+
+        The controller drains its inputQ through this: all taken messages
+        are processed and their state changes group-committed before any is
+        acknowledged, preserving the at-least-once/idempotent-handling
+        contract of §2.3 across the whole batch.
+        """
+        taken: list[tuple[str, Any]] = []
+        if limit <= 0:
+            return taken
+        children = sorted(self.client.get_children(self.path))
+        for name in children[:limit]:
+            try:
+                data, _ = self.client.get(f"{self.path}/{name}")
+            except NoNodeError:
+                continue
+            taken.append((name, loads(data)))
+        return taken
+
     def ack(self, name: str) -> bool:
         """Remove a previously taken item; returns False if already gone."""
         try:
@@ -88,6 +139,15 @@ class DistributedQueue:
             return True
         except NoNodeError:
             return False
+
+    def ack_many(self, names: list[str]) -> int:
+        """Remove a batch of previously taken items in one round-trip."""
+        if not names:
+            return 0
+        if len(names) == 1:
+            return 1 if self.ack(names[0]) else 0
+        self.client.multi([("delete", f"{self.path}/{name}", None) for name in names])
+        return len(names)
 
     # -- inspection --------------------------------------------------------
 

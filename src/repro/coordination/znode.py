@@ -73,9 +73,22 @@ class ZNode:
         return node
 
 
-def split_path(path: str) -> list[str]:
-    """Split a coordination path into components (root = empty list)."""
-    return [part for part in path.split("/") if part]
+#: Bounded memo cache for path splitting: znode paths repeat heavily on the
+#: write path (transaction documents, queue nodes), and splitting shows up
+#: in profiles of every coordination operation.  Reset when full.
+_SPLIT_CACHE: dict[str, tuple[str, ...]] = {}
+_SPLIT_CACHE_LIMIT = 1 << 16
+
+
+def split_path(path: str) -> tuple[str, ...]:
+    """Split a coordination path into components (root = empty tuple)."""
+    parts = _SPLIT_CACHE.get(path)
+    if parts is None:
+        parts = tuple(part for part in path.split("/") if part)
+        if len(_SPLIT_CACHE) >= _SPLIT_CACHE_LIMIT:
+            _SPLIT_CACHE.clear()
+        _SPLIT_CACHE[path] = parts
+    return parts
 
 
 def parent_path(path: str) -> str:

@@ -14,6 +14,7 @@ idempotent across failovers (§2.3).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable
 
 from repro.common.clock import Clock, RealClock, Stopwatch
@@ -76,6 +77,22 @@ class Controller:
         self.busy = Stopwatch(self.clock)
         self.recovered = False
         self.applied_since_checkpoint = 0
+        #: phyQ dispatches deferred until the pending group commit makes
+        #: the corresponding STARTED states durable.
+        self._dispatch_buffer: list[str] = []
+        #: completion notifications deferred until the terminal states are
+        #: durable (see _notify).
+        self._notify_buffer: list[Transaction] = []
+        #: Signal-board snapshot refreshed once per step (one listing
+        #: round-trip instead of one read per scheduled transaction).
+        self._signals_present: set[str] | None = None
+        #: Serialises the step loop with cross-thread mutations
+        #: (send_kill / send_term).  With group-commit batching, a direct
+        #: store write racing a pending batch could be overwritten when
+        #: the batch flushes (e.g. a kill's ABORTED document clobbered by
+        #: the buffered STARTED document); the mutex restores the seed's
+        #: sequential ordering.
+        self._op_mutex = threading.RLock()
         self.stats: dict[str, int] = {
             "accepted": 0,
             "committed": 0,
@@ -85,6 +102,8 @@ class Controller:
             "deferred": 0,
             "killed": 0,
             "checkpoints": 0,
+            "input_batches": 0,
+            "messages_handled": 0,
         }
 
     # ------------------------------------------------------------------
@@ -110,6 +129,14 @@ class Controller:
         self.todo = state.todo
         self.outstanding = state.outstanding
         self.applied_since_checkpoint = len(state.replayed_committed)
+        self._dispatch_buffer = []
+        self._notify_buffer = []
+        # Another leader may have rewritten transaction documents since
+        # this replica last persisted them.
+        self.store.reset_fragment_cache()
+        # The rebuilt model is conservatively all-dirty, so the first
+        # checkpoint after a failover is a full one.
+        self.model.mark_all_dirty()
         self.recovered = True
 
     def demote(self) -> None:
@@ -118,13 +145,24 @@ class Controller:
         self.outstanding = {}
         self.lock_manager = LockManager()
         self.todo = TodoQueue(self.config.scheduler_policy)
+        self._dispatch_buffer = []
+        self._notify_buffer = []
+        self._signals_present = None
+        self.store.reset_fragment_cache()
 
     # ------------------------------------------------------------------
     # Main loop step
     # ------------------------------------------------------------------
 
     def step(self) -> bool:
-        """Handle at most one inputQ message and run one scheduling pass.
+        """Drain a batch of inputQ messages and run one scheduling pass.
+
+        All store writes issued while handling the batch — acceptance and
+        terminal state transitions, applied-log appends, signal clears —
+        are coalesced into a single group commit, and the messages are
+        acknowledged only after that commit: a leader crash mid-batch
+        re-delivers every message to the next leader, which handles each
+        idempotently (§2.3).
 
         Returns True if any work was performed.  All CPU time spent here is
         charged to the busy stopwatch, which backs the controller CPU
@@ -133,15 +171,40 @@ class Controller:
         if not self.recovered:
             self.recover()
         did_work = False
-        with self.busy:
-            taken = self.input_queue.take()
-            if taken is not None:
-                name, item = taken
-                self._handle_message(item)
-                self.input_queue.ack(name)
-                did_work = True
-            if self.schedule():
-                did_work = True
+        with self.busy, self._op_mutex:
+            try:
+                taken = self.input_queue.take_many(self.config.input_batch_size)
+                if taken or not self.todo.is_empty():
+                    # One listing round-trip amortised over the batch; idle
+                    # polls (no messages, nothing queued) skip the board
+                    # entirely — _signal_of falls back to direct reads when
+                    # the snapshot is None.
+                    self._signals_present = self.signals.signalled()
+                else:
+                    self._signals_present = None
+                with self.store.batch():
+                    for _, item in taken:
+                        self._handle_message(item)
+                    if taken:
+                        did_work = True
+                        self.stats["input_batches"] += 1
+                        self.stats["messages_handled"] += len(taken)
+                    if self.schedule():
+                        did_work = True
+                # The batch has committed: terminal states are durable, so
+                # the buffered notifications may reach clients and the
+                # consumed messages may be acknowledged.
+                self._flush_notifications()
+                self.input_queue.ack_many([name for name, _ in taken])
+            except Exception:
+                # A failed step may have lost buffered store writes while
+                # the in-memory transitions survived (or vice versa).  Soft
+                # state is cheap to rebuild and the consumed messages were
+                # not acked, so abandon it and re-recover from the store —
+                # exactly the §2.3 failover contract, applied to the same
+                # replica.
+                self.demote()
+                raise
         return did_work
 
     def run_until_idle(self, max_steps: int = 1_000_000) -> int:
@@ -173,7 +236,7 @@ class Controller:
             # the transaction where it belongs.
             return
         txn.mark(TransactionState.ACCEPTED, self.clock.now())
-        self.store.save_transaction(txn)
+        self.store.save_transaction(txn, dirty_fields=())
         self.todo.push_back(txn)
         self.stats["accepted"] += 1
 
@@ -189,14 +252,18 @@ class Controller:
         if outcome == OUTCOME_COMMITTED:
             self.store.record_applied(txid)
             txn.mark(TransactionState.COMMITTED, self.clock.now())
-            self.store.save_transaction(txn)
+            self.store.save_transaction(txn, dirty_fields=())
+            self._mark_dirty_writes(txn)
             self.stats["committed"] += 1
             self.applied_since_checkpoint += 1
             if self.applied_since_checkpoint >= self.config.checkpoint_every:
-                self.checkpoint()
+                self.checkpoint()  # no-op unless at a quiesce point
         else:
             # 5B: roll back the logical layer via the undo log.
             self.executor.rollback(txn)
+            # Logical undo is best-effort; conservatively treat the touched
+            # subtrees as diverged from the last checkpoint.
+            self._mark_dirty_writes(txn)
             txn.error = item.get("error")
             if outcome == OUTCOME_ABORTED:
                 txn.mark(TransactionState.ABORTED, self.clock.now())
@@ -205,10 +272,27 @@ class Controller:
                 txn.mark(TransactionState.FAILED, self.clock.now())
                 self.stats["failed"] += 1
                 self._fence(item.get("failed_path"))
-            self.store.save_transaction(txn)
+            self.store.save_transaction(txn, dirty_fields=())
         self.lock_manager.release_all(txid)
         self.signals.clear(txid)
         self._notify(txn)
+
+    def _signal_of(self, txid: str) -> str | None:
+        """Pending signal for ``txid``, consulting the per-step snapshot to
+        avoid a store read for the (overwhelmingly common) unsignalled
+        case.  Falls back to a direct read when no snapshot is active."""
+        snapshot = self._signals_present
+        if snapshot is not None and txid not in snapshot:
+            return None
+        return self.signals.get(txid)
+
+    def _mark_dirty_writes(self, txn: Transaction) -> None:
+        """Mark the subtrees in ``txn``'s write set dirty for incremental
+        checkpointing.  The write set is the same authority the lock
+        manager trusts, so it covers attribute mutations performed inside
+        action simulation functions that bypass the DataModel API."""
+        for path in txn.rwset.writes:
+            self.model.mark_dirty(path)
 
     def _fence(self, path: str | None) -> None:
         """Mark a subtree inconsistent after an undo failure (§4)."""
@@ -222,11 +306,28 @@ class Controller:
         self.store.save_inconsistent_paths(sorted(fenced))
 
     def _notify(self, txn: Transaction) -> None:
+        """Queue (or deliver) a completion notification.
+
+        While a group-commit batch is open, the terminal state is not yet
+        durable, so the notification is buffered and delivered only after
+        the batch flushes — a client must never observe an outcome the
+        store could still lose to a crash.
+        """
+        if self.store.kv.in_batch():
+            self._notify_buffer.append(txn)
+            return
+        self._deliver_notification(txn)
+
+    def _deliver_notification(self, txn: Transaction) -> None:
         if self.on_complete is not None:
             try:
                 self.on_complete(txn)
             except Exception:  # noqa: BLE001 - observer bugs must not affect cleanup
                 pass
+
+    def _flush_notifications(self) -> None:
+        while self._notify_buffer:
+            self._deliver_notification(self._notify_buffer.pop(0))
 
     # ------------------------------------------------------------------
     # Scheduling and logical execution (Step 3 of Figure 2)
@@ -234,7 +335,13 @@ class Controller:
 
     def schedule(self) -> bool:
         """One scheduling pass over todoQ; returns True if any transaction
-        was started or aborted."""
+        was started or aborted.
+
+        Every currently-runnable transaction is dispatched in this single
+        pass.  Dispatches to phyQ are buffered and sent only after the
+        pending store writes are flushed, so a worker can never observe a
+        transaction whose STARTED state is not yet durable.
+        """
         progressed = False
         deferred: list[Transaction] = []
         pending = self.todo.transactions()
@@ -250,7 +357,20 @@ class Controller:
                 progressed = True
         for txn in reversed(deferred):
             self.todo.push_front(txn)
+        self._flush_dispatches()
         return progressed
+
+    def _flush_dispatches(self) -> None:
+        """Group-commit pending state changes, then hand the buffered
+        runnable transactions to the physical workers in one queue write."""
+        if not self._dispatch_buffer:
+            return
+        self.store.flush()
+        # The flush made all prior state changes durable, so buffered
+        # completion notifications can be delivered alongside.
+        self._flush_notifications()
+        batch, self._dispatch_buffer = self._dispatch_buffer, []
+        self.phy_queue.put_many([execute_message(txid) for txid in batch])
 
     def _try_run(self, txn: Transaction) -> str:
         """Simulate, check constraints and locks, and dispatch one transaction.
@@ -258,7 +378,7 @@ class Controller:
         Returns ``"started"``, ``"aborted"`` or ``"deferred"`` (3A/3B/3C in
         Figure 2).
         """
-        if self.signals.get(txn.txid) == KILL:
+        if self._signal_of(txn.txid) == KILL:
             txn.error = "killed before execution"
             txn.mark(TransactionState.ABORTED, self.clock.now())
             self.store.save_transaction(txn)
@@ -268,10 +388,13 @@ class Controller:
 
         outcome = self.executor.simulate(txn)
         if not outcome.ok:
-            # 3A: constraint violation (or procedure error) — abort.
+            # 3A: constraint violation (or procedure error) — abort.  The
+            # simulation was rolled back, but logical undo is best-effort,
+            # so conservatively mark the touched subtrees dirty.
+            self._mark_dirty_writes(txn)
             txn.error = outcome.error
             txn.mark(TransactionState.ABORTED, self.clock.now())
-            self.store.save_transaction(txn)
+            self.store.save_transaction(txn, dirty_fields=("log", "rwset", "result"))
             self.stats["aborted_logical"] += 1
             self._notify(txn)
             return "aborted"
@@ -280,17 +403,20 @@ class Controller:
         if conflict is not None:
             # 3B: resource conflict — undo the simulation and defer.
             self.executor.rollback(txn)
+            self._mark_dirty_writes(txn)
             txn.defer_count += 1
             txn.mark(TransactionState.DEFERRED, self.clock.now())
-            self.store.save_transaction(txn)
+            self.store.save_transaction(txn, dirty_fields=("log", "rwset", "result"))
             self.stats["deferred"] += 1
             return "deferred"
 
-        # 3C: runnable — keep the simulated changes, dispatch to phyQ.
+        # 3C: runnable — keep the simulated changes, dispatch to phyQ
+        # (buffered until the STARTED state is group-committed).
         txn.mark(TransactionState.STARTED, self.clock.now())
-        self.store.save_transaction(txn)
+        self.store.save_transaction(txn, dirty_fields=("log", "rwset", "result"))
+        self._mark_dirty_writes(txn)
         self.outstanding[txn.txid] = txn
-        self.phy_queue.put(execute_message(txn.txid))
+        self._dispatch_buffer.append(txn.txid)
         return "started"
 
     # ------------------------------------------------------------------
@@ -299,49 +425,75 @@ class Controller:
 
     def send_term(self, txid: str) -> None:
         """Gracefully abort a stalled transaction (worker rolls back undo-wise)."""
-        self.signals.send(txid, TERM)
+        with self._op_mutex:
+            self.signals.send(txid, TERM)
+            if self._signals_present is not None:
+                self._signals_present.add(txid)
 
     def send_kill(self, txid: str) -> None:
         """Immediately abort a transaction in the logical layer only.
 
         Physical effects already applied are *not* undone; the affected
         subtrees are fenced and later reconciled with repair.
+
+        Serialised with the step loop: interleaving the direct ABORTED
+        write with a pending group commit could let the buffered STARTED
+        document land last.
         """
-        self.signals.send(txid, KILL)
-        txn = self.outstanding.pop(txid, None)
-        if txn is None:
-            queued = self.todo.remove(txid)
-            txn = queued or self.store.load_transaction(txid)
-            if txn is None or txn.is_terminal:
+        with self._op_mutex:
+            self.signals.send(txid, KILL)
+            if self._signals_present is not None:
+                self._signals_present.add(txid)
+            txn = self.outstanding.pop(txid, None)
+            if txn is None:
+                queued = self.todo.remove(txid)
+                txn = queued or self.store.load_transaction(txid)
+                if txn is None or txn.is_terminal:
+                    return
+                txn.error = "killed"
+                txn.mark(TransactionState.ABORTED, self.clock.now())
+                self.store.save_transaction(txn)
+                self.stats["killed"] += 1
+                self._notify(txn)
                 return
-            txn.error = "killed"
-            txn.mark(TransactionState.ABORTED, self.clock.now())
-            self.store.save_transaction(txn)
-            self.stats["killed"] += 1
+            with self.busy:
+                self.executor.rollback(txn)
+                txn.error = "killed"
+                txn.mark(TransactionState.ABORTED, self.clock.now())
+                self.store.save_transaction(txn)
+                for path in sorted(txn.rwset.writes):
+                    self._fence(path)
+                self.lock_manager.release_all(txid)
+                self.stats["killed"] += 1
             self._notify(txn)
-            return
-        with self.busy:
-            self.executor.rollback(txn)
-            txn.error = "killed"
-            txn.mark(TransactionState.ABORTED, self.clock.now())
-            self.store.save_transaction(txn)
-            for path in sorted(txn.rwset.writes):
-                self._fence(path)
-            self.lock_manager.release_all(txid)
-            self.stats["killed"] += 1
-        self._notify(txn)
 
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
 
-    def checkpoint(self) -> None:
-        """Write a data-model checkpoint and truncate the applied log."""
-        seq = self.store.applied_seq()
-        self.store.save_checkpoint(self.model, seq)
-        self.store.truncate_applied(seq)
-        self.applied_since_checkpoint = 0
-        self.stats["checkpoints"] += 1
+    def checkpoint(self) -> bool:
+        """Write an incremental data-model checkpoint and truncate the
+        applied log.  Only subtrees dirtied since the previous checkpoint
+        are re-serialised; the applied-log compaction rides in a group
+        commit.
+
+        Checkpoints happen only at quiesce points (no STARTED transactions
+        outstanding): the model contains the simulated-but-uncommitted
+        effects of in-flight transactions, and recovery re-applies their
+        logs on top of the checkpoint — a non-quiesced checkpoint would
+        double-apply them after a failover.  When skipped, the dirty marks
+        are retained, so the state is captured by the next quiesce-point
+        checkpoint.  Serialised with the step loop (callers include the
+        reconciler's reload, which runs on other threads)."""
+        with self._op_mutex:
+            if self.outstanding:
+                return False
+            seq = self.store.applied_seq()
+            self.store.save_checkpoint_incremental(self.model, seq)
+            self.store.truncate_applied(seq)
+            self.applied_since_checkpoint = 0
+            self.stats["checkpoints"] += 1
+            return True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -358,6 +510,10 @@ class Controller:
 
     def snapshot_stats(self) -> dict[str, int]:
         return dict(self.stats)
+
+    def io_stats(self) -> dict[str, Any]:
+        """Write-path counters of the underlying persistent store."""
+        return self.store.io_stats()
 
     def __repr__(self) -> str:
         return f"<Controller {self.name} recovered={self.recovered} todo={len(self.todo)}>"

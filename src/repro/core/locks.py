@@ -59,6 +59,16 @@ def compatible(held: LockMode, requested: LockMode) -> bool:
     return COMPATIBLE[(held, requested)]
 
 
+#: For each requested mode, the held modes that conflict with it (derived
+#: from the compatibility matrix; used for O(1) aggregate conflict checks).
+_INCOMPATIBLE_WITH: dict[LockMode, tuple[LockMode, ...]] = {
+    requested: tuple(
+        held for held in LockMode if not COMPATIBLE[(held, requested)]
+    )
+    for requested in LockMode
+}
+
+
 @dataclass
 class LockConflictInfo:
     """Description of the first conflict found for a lock request."""
@@ -76,6 +86,11 @@ class LockManager:
         # path -> txid -> set of modes held by that transaction on that path
         self._locks: dict[ResourcePath, dict[str, set[LockMode]]] = defaultdict(dict)
         self._by_txn: dict[str, set[ResourcePath]] = defaultdict(set)
+        # path -> mode -> number of transactions holding that mode.  The
+        # aggregate makes conflict detection O(1) per requested lock even
+        # when hundreds of outstanding transactions hold intention locks on
+        # a hot ancestor (e.g. the root).
+        self._mode_counts: dict[ResourcePath, dict[LockMode, int]] = defaultdict(dict)
         self._mutex = threading.RLock()
         self.acquisitions = 0
         self.conflicts_detected = 0
@@ -118,21 +133,32 @@ class LockManager:
         self, txid: str, requests: dict[ResourcePath, LockMode]
     ) -> LockConflictInfo | None:
         """Return the first conflict between ``requests`` and locks held by
-        *other* transactions, or ``None`` if all requests are grantable."""
+        *other* transactions, or ``None`` if all requests are grantable.
+
+        The fast path consults the per-path mode counts; only when a
+        conflicting mode is genuinely held by another transaction does it
+        scan the holders to name the conflicting party.
+        """
         with self._mutex:
             for path, requested in requests.items():
-                holders = self._locks.get(path)
-                if not holders:
+                counts = self._mode_counts.get(path)
+                if not counts:
                     continue
-                for holder, modes in holders.items():
-                    if holder == txid:
-                        continue
-                    for held in modes:
-                        if not compatible(held, requested):
-                            self.conflicts_detected += 1
-                            return LockConflictInfo(
-                                path=str(path), requested=requested, held=held, holder=holder
-                            )
+                own = self._locks[path].get(txid, ())
+                for held in _INCOMPATIBLE_WITH[requested]:
+                    held_count = counts.get(held, 0)
+                    if held in own:
+                        held_count -= 1
+                    if held_count > 0:
+                        holder = next(
+                            other
+                            for other, modes in self._locks[path].items()
+                            if other != txid and held in modes
+                        )
+                        self.conflicts_detected += 1
+                        return LockConflictInfo(
+                            path=str(path), requested=requested, held=held, holder=holder
+                        )
             return None
 
     def acquire(self, txid: str, requests: dict[ResourcePath, LockMode]) -> None:
@@ -140,7 +166,11 @@ class LockManager:
         :meth:`find_conflict` first; this method does not block)."""
         with self._mutex:
             for path, mode in requests.items():
-                self._locks[path].setdefault(txid, set()).add(mode)
+                modes = self._locks[path].setdefault(txid, set())
+                if mode not in modes:
+                    modes.add(mode)
+                    counts = self._mode_counts[path]
+                    counts[mode] = counts.get(mode, 0) + 1
                 self._by_txn[txid].add(path)
                 self.acquisitions += 1
 
@@ -161,10 +191,19 @@ class LockManager:
             for path in self._by_txn.pop(txid, set()):
                 holders = self._locks.get(path)
                 if holders and txid in holders:
+                    counts = self._mode_counts.get(path)
+                    for mode in holders[txid]:
+                        if counts is not None:
+                            remaining = counts.get(mode, 0) - 1
+                            if remaining > 0:
+                                counts[mode] = remaining
+                            else:
+                                counts.pop(mode, None)
                     released += len(holders[txid])
                     del holders[txid]
                     if not holders:
                         del self._locks[path]
+                        self._mode_counts.pop(path, None)
         return released
 
     # -- introspection ------------------------------------------------------------
@@ -197,3 +236,4 @@ class LockManager:
         with self._mutex:
             self._locks.clear()
             self._by_txn.clear()
+            self._mode_counts.clear()

@@ -10,15 +10,109 @@ resume execution after a leader failure lives in the replicated store:
   replays to rebuild the logical model),
 * the set of paths fenced off by cross-layer inconsistencies, and
 * the TERM/KILL signal board.
+
+Write-path performance (§6.1 identifies coordination I/O as a dominant
+cost) is addressed on three fronts:
+
+* **delta-aware transaction documents** — :meth:`TropicStore.
+  save_transaction` caches the serialized JSON fragment of each document
+  field and re-encodes only the fields a state transition touched (the
+  execution log and argument blobs dominate document size but change at
+  most once per transaction), and skips the store write entirely when the
+  document text is unchanged;
+* **group commit** — :meth:`TropicStore.batch` coalesces every store write
+  issued during one controller loop iteration into a single multi-op
+  round-trip;
+* **incremental checkpoints** — instead of re-serialising the whole data
+  model, a checkpoint persists a ``checkpoint/meta`` document plus one
+  ``checkpoint/sub/<name>`` document per *top-level subtree*, and only the
+  subtrees dirtied since the previous checkpoint are rewritten.
 """
 
 from __future__ import annotations
 
-from typing import Any
+import time
+from contextlib import contextmanager
+from typing import Any, Iterable
 
+from repro.common.jsonutil import dumps
 from repro.coordination.kvstore import KVStore
 from repro.core.txn import Transaction, TransactionState
+from repro.datamodel.snapshot import (
+    node_info,
+    restore_from_parts,
+    snapshot_root_info,
+    snapshot_unit,
+)
 from repro.datamodel.tree import DataModel
+
+#: Document fields that are cheap to encode and may change on any state
+#: transition; they are re-serialised on every save.
+_CHEAP_FIELDS = ("state", "error", "defer_count", "timestamps")
+#: Expensive fields re-serialised only when explicitly marked dirty (or on
+#: first save): the execution log, read/write set and result are produced
+#: by simulation; args/procedure/client/txid never change after creation.
+_EXPENSIVE_FIELDS = ("args", "client", "log", "procedure", "result", "rwset", "txid")
+#: Serialisation order must match ``json.dumps(..., sort_keys=True)``.
+_FIELD_ORDER = tuple(sorted(_CHEAP_FIELDS + _EXPENSIVE_FIELDS))
+
+#: Marker requesting a full re-serialisation of a transaction document.
+ALL_FIELDS = _FIELD_ORDER
+
+#: Bound on the serialized-fragment cache (entries are evicted wholesale if
+#: the active-transaction population ever exceeds this).
+_FRAGMENT_CACHE_LIMIT = 8192
+
+
+def _field_value(txn: Transaction, field: str) -> Any:
+    """The JSON-compatible value of one document field, without defensive
+    copies (the value is serialised immediately)."""
+    if field == "state":
+        return txn.state.value
+    if field == "log":
+        return [
+            {
+                "seq": record.seq,
+                "path": record.path,
+                "action": record.action,
+                "args": record.args,
+                "undo_action": record.undo_action,
+                "undo_args": record.undo_args,
+            }
+            for record in txn.log
+        ]
+    if field == "rwset":
+        return txn.rwset.to_dict()
+    if field == "timestamps":
+        return txn.timestamps
+    return getattr(txn, field)
+
+
+class CheckpointStats:
+    """Counters describing checkpoint activity (consumed by metrics)."""
+
+    __slots__ = ("checkpoints", "full_checkpoints", "subtrees_written",
+                 "subtrees_skipped", "bytes_serialized", "seconds", "last_seconds")
+
+    def __init__(self) -> None:
+        self.checkpoints = 0
+        self.full_checkpoints = 0
+        self.subtrees_written = 0
+        self.subtrees_skipped = 0
+        self.bytes_serialized = 0
+        self.seconds = 0.0
+        self.last_seconds = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "checkpoints": self.checkpoints,
+            "full_checkpoints": self.full_checkpoints,
+            "subtrees_written": self.subtrees_written,
+            "subtrees_skipped": self.subtrees_skipped,
+            "bytes_serialized": self.bytes_serialized,
+            "seconds": self.seconds,
+            "last_seconds": self.last_seconds,
+        }
 
 
 class TropicStore:
@@ -27,16 +121,118 @@ class TropicStore:
     TXN_PREFIX = "txns"
     APPLIED_PREFIX = "applied"
     SIGNAL_PREFIX = "signals"
+    CHECKPOINT_META = "checkpoint/meta"
+    CHECKPOINT_SUB_PREFIX = "checkpoint/sub"
 
     def __init__(self, kv: KVStore):
         self.kv = kv
+        # txid -> {field: serialized fragment, "__doc__": full doc text}.
+        # Concurrency contract: same-txid saves are serialised by the
+        # controller's op mutex (submit writes a fresh txid before any
+        # other thread knows it); cross-txid dict operations are
+        # GIL-atomic, so no lock is taken on this hot path.
+        self._fragments: dict[str, dict[str, str]] = {}
+        self.txn_writes_skipped = 0
+        self.fields_reserialized = 0
+        self.fields_reused = 0
+        self.checkpoint_stats = CheckpointStats()
+
+    # ------------------------------------------------------------------
+    # Group commit
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def batch(self):
+        """Context manager coalescing all store writes in scope into one
+        multi-op group commit (see :meth:`KVStore.batch`).
+
+        If the commit fails (e.g. quorum loss), the fragment cache is
+        invalidated: buffered transaction documents were recorded in the
+        cache as persisted, and a retry after a transient error must not
+        have its writes suppressed by the unchanged-document check.
+        """
+        try:
+            with self.kv.batch():
+                yield self
+        except Exception:
+            self._fragments.clear()
+            raise
+
+    def flush(self) -> int:
+        """Commit any pending batched writes immediately (keeps the batch
+        scope open).  Required before an action whose correctness depends
+        on prior state being durable — e.g. dispatching to phyQ."""
+        try:
+            return self.kv.flush()
+        except Exception:
+            self._fragments.clear()
+            raise
 
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
 
-    def save_transaction(self, txn: Transaction) -> None:
-        self.kv.put(f"{self.TXN_PREFIX}/{txn.txid}", txn.to_dict())
+    def save_transaction(
+        self, txn: Transaction, dirty_fields: Iterable[str] = ALL_FIELDS
+    ) -> bool:
+        """Persist ``txn``, re-serialising only ``dirty_fields`` plus the
+        always-cheap fields (state, error, defer count, timestamps).
+
+        Callers that know which fields a transition touched pass a hint
+        (e.g. ``("log", "rwset", "result")`` after simulation); the default
+        re-encodes everything, which is always correct.  Returns ``True``
+        if a store write was issued, ``False`` if the document text was
+        unchanged and the write was skipped.
+        """
+        txid = txn.txid
+        fragments = self._fragments.get(txid)
+        if fragments is None:
+            if len(self._fragments) >= _FRAGMENT_CACHE_LIMIT:
+                self._fragments.clear()
+            fragments = {}
+            self._fragments[txid] = fragments
+            dirty_fields = ALL_FIELDS
+        refresh = set(_CHEAP_FIELDS)
+        refresh.update(dirty_fields)
+        for field in _FIELD_ORDER:
+            if field in refresh or field not in fragments:
+                # Trivial scalar fields skip the JSON encoder entirely.
+                if field == "state":
+                    fragments[field] = f'"{txn.state.value}"'
+                elif field == "defer_count":
+                    fragments[field] = str(txn.defer_count)
+                elif field == "error" and txn.error is None:
+                    fragments[field] = "null"
+                else:
+                    fragments[field] = dumps(_field_value(txn, field))
+                self.fields_reserialized += 1
+            else:
+                self.fields_reused += 1
+        doc = "{" + ",".join(
+            f'"{field}":{fragments[field]}' for field in _FIELD_ORDER
+        ) + "}"
+        if fragments.get("__doc__") == doc:
+            self.txn_writes_skipped += 1
+            return False
+        # The doc is recorded as persisted only after the write is issued;
+        # batched writes that later fail to commit are handled by the
+        # batch()/flush() wrappers invalidating the whole cache.
+        self.kv.put_serialized(f"{self.TXN_PREFIX}/{txid}", doc)
+        fragments["__doc__"] = doc
+        if txn.is_terminal:
+            # Terminal documents are effectively immutable; keep the cache
+            # bounded by the active-transaction population.
+            self._fragments.pop(txid, None)
+        return True
+
+    def reset_fragment_cache(self) -> None:
+        """Drop all cached document fragments.
+
+        Must be called on leadership changes: fragments cached under a
+        previous leadership may describe transaction state another leader
+        has since rewritten, and a delta save would splice the stale
+        fragment into the document."""
+        self._fragments.clear()
 
     def load_transaction(self, txid: str) -> Transaction | None:
         data = self.kv.get(f"{self.TXN_PREFIX}/{txid}")
@@ -59,6 +255,7 @@ class TropicStore:
         return [txn for txn in self.load_all_transactions() if not txn.is_terminal]
 
     def delete_transaction(self, txid: str) -> None:
+        self._fragments.pop(txid, None)
         self.kv.delete(f"{self.TXN_PREFIX}/{txid}", recursive=True)
 
     def count_by_state(self) -> dict[str, int]:
@@ -72,13 +269,112 @@ class TropicStore:
     # ------------------------------------------------------------------
 
     def save_checkpoint(self, model: DataModel, applied_seq: int) -> None:
-        self.kv.put("checkpoint", {"model": model.to_dict(), "applied_seq": applied_seq})
+        """Write a *full* checkpoint (every checkpoint unit)."""
+        self._write_checkpoint(
+            model, applied_seq, full=True, dirty_tops=set(), dirty_pairs=set()
+        )
+
+    def save_checkpoint_incremental(self, model: DataModel, applied_seq: int) -> int:
+        """Write a checkpoint re-serialising only the second-level units
+        dirtied since the last one (per the model's dirty tracking); falls
+        back to a full write when the model is marked all-dirty.  Returns
+        the number of unit documents written."""
+        all_dirty, dirty_tops, dirty_pairs = model.dirty_state()
+        return self._write_checkpoint(
+            model, applied_seq, full=all_dirty,
+            dirty_tops=dirty_tops, dirty_pairs=dirty_pairs,
+        )
+
+    def _write_checkpoint(
+        self,
+        model: DataModel,
+        applied_seq: int,
+        full: bool,
+        dirty_tops: set[str],
+        dirty_pairs: set[tuple[str, str]],
+    ) -> int:
+        started = time.perf_counter()
+        stats = self.checkpoint_stats
+        root = model.root
+        tops_meta = {
+            name: {"info": node_info(top), "children": sorted(top.children)}
+            for name, top in sorted(root.children.items())
+        }
+        meta = {
+            "applied_seq": applied_seq,
+            "root": snapshot_root_info(model),
+            "tops": tops_meta,
+        }
+        current_pairs = {
+            (top, child)
+            for top, entry in tops_meta.items()
+            for child in entry["children"]
+        }
+        previous = self.kv.get(self.CHECKPOINT_META)
+        previous_pairs: set[tuple[str, str]] = set()
+        if previous:
+            for top, entry in (previous.get("tops") or {}).items():
+                for child in entry.get("children", []):
+                    previous_pairs.add((top, child))
+        if full:
+            to_write = set(current_pairs)
+        else:
+            to_write = dirty_pairs & current_pairs
+            # A dirty top-level node invalidates all its units (e.g. after
+            # a subtree replacement), and units that appeared since the
+            # last checkpoint must be written even if nothing marked them.
+            to_write.update(p for p in current_pairs if p[0] in dirty_tops)
+            to_write.update(current_pairs - previous_pairs)
+        to_delete = previous_pairs - current_pairs
+        written = 0
+        with self.kv.batch():
+            self.kv.put(self.CHECKPOINT_META, meta)
+            for top, child in sorted(to_write):
+                doc = dumps(snapshot_unit(model, top, child))
+                stats.bytes_serialized += len(doc)
+                self.kv.put_serialized(
+                    f"{self.CHECKPOINT_SUB_PREFIX}/{top}/{child}", doc
+                )
+                written += 1
+            for top, child in sorted(to_delete):
+                self.kv.delete(f"{self.CHECKPOINT_SUB_PREFIX}/{top}/{child}")
+            # Force-commit even when nested inside an enclosing batch: the
+            # dirty flags may only be cleared once the checkpoint is
+            # durable, otherwise a failed outer commit would leave a stale
+            # checkpoint with no record of what it is missing.
+            self.kv.flush()
+        model.clear_dirty()
+        elapsed = time.perf_counter() - started
+        stats.checkpoints += 1
+        if full:
+            stats.full_checkpoints += 1
+        stats.subtrees_written += written
+        stats.subtrees_skipped += len(current_pairs) - written
+        stats.seconds += elapsed
+        stats.last_seconds = elapsed
+        return written
 
     def load_checkpoint(self) -> tuple[DataModel | None, int]:
-        data = self.kv.get("checkpoint")
-        if data is None:
-            return None, 0
-        return DataModel.from_dict(data["model"]), int(data.get("applied_seq", 0))
+        meta = self.kv.get(self.CHECKPOINT_META)
+        if meta is None:
+            # Legacy single-document layout (pre group-commit).
+            data = self.kv.get("checkpoint")
+            if data is None:
+                return None, 0
+            return DataModel.from_dict(data["model"]), int(data.get("applied_seq", 0))
+        tops = meta.get("tops") or {}
+        units: dict[tuple[str, str], Any] = {}
+        for top, entry in tops.items():
+            for child in entry.get("children", []):
+                doc = self.kv.get(f"{self.CHECKPOINT_SUB_PREFIX}/{top}/{child}")
+                if doc is not None:
+                    units[(top, child)] = doc
+        model = restore_from_parts(
+            meta.get("root") or {},
+            {name: entry.get("info") or {} for name, entry in tops.items()},
+            units,
+        )
+        return model, int(meta.get("applied_seq", 0))
 
     def applied_seq(self) -> int:
         return int(self.kv.get("applied_seq", 0))
@@ -109,12 +405,14 @@ class TropicStore:
 
     def truncate_applied(self, upto_seq: int) -> int:
         """Drop applied-log entries with sequence <= ``upto_seq`` (after a
-        checkpoint has captured their effects).  Returns entries removed."""
+        checkpoint has captured their effects).  The deletes are grouped
+        into one multi-op commit.  Returns entries removed."""
         removed = 0
-        for key, value in list(self.kv.items(self.APPLIED_PREFIX)):
-            if value is not None and int(value["seq"]) <= upto_seq:
-                self.kv.delete(f"{self.APPLIED_PREFIX}/{key}")
-                removed += 1
+        with self.kv.batch():
+            for key, value in list(self.kv.items(self.APPLIED_PREFIX)):
+                if value is not None and int(value["seq"]) <= upto_seq:
+                    self.kv.delete(f"{self.APPLIED_PREFIX}/{key}")
+                    removed += 1
         return removed
 
     # ------------------------------------------------------------------
@@ -137,6 +435,20 @@ class TropicStore:
     def get_signal(self, txid: str) -> str | None:
         return self.kv.get(f"{self.SIGNAL_PREFIX}/{txid}")
 
+    def signalled_txids(self) -> list[str]:
+        """Transaction ids with a pending signal (one listing round-trip)."""
+        return self.kv.keys(self.SIGNAL_PREFIX)
+
+    def watch_signal(self, txid: str, watcher: Any) -> bool:
+        """Watch for a signal on ``txid``; returns whether one is already
+        posted.  Lets the physical executor observe TERM without polling
+        the store between every action."""
+        return self.kv.watch(f"{self.SIGNAL_PREFIX}/{txid}", watcher)
+
+    def unwatch_signal(self, txid: str, watcher: Any) -> bool:
+        """Deregister an unfired signal watch (subscription cleanup)."""
+        return self.kv.unwatch(f"{self.SIGNAL_PREFIX}/{txid}", watcher)
+
     def clear_signal(self, txid: str) -> None:
         self.kv.delete(f"{self.SIGNAL_PREFIX}/{txid}")
 
@@ -149,3 +461,14 @@ class TropicStore:
 
     def get_meta(self, key: str, default: Any = None) -> Any:
         return self.kv.get(f"meta/{key}", default)
+
+    def io_stats(self) -> dict[str, Any]:
+        """Write-path counters for the metrics collectors."""
+        stats = dict(self.kv.io_stats())
+        stats.update(
+            txn_writes_skipped=self.txn_writes_skipped,
+            fields_reserialized=self.fields_reserialized,
+            fields_reused=self.fields_reused,
+            checkpoint=self.checkpoint_stats.as_dict(),
+        )
+        return stats

@@ -223,6 +223,7 @@ class TropicPlatform:
         self.workers: list[Worker] = []
         self.signals: SignalBoard | None = None
         self.completed_transactions: list[Transaction] = []
+        self._completed_index: dict[str, Transaction] = {}
         self._controller_runners: list[_ControllerRunner] = []
         self._worker_runners: list[_WorkerRunner] = []
         self._maintenance: _MaintenanceRunner | None = None
@@ -371,13 +372,13 @@ class TropicPlatform:
         self._require_started()
         deadline = None if timeout is None else self.clock.now() + timeout
         while True:
-            txn = self.store.load_transaction(txid)
+            txn = self._completed_lookup(txid) or self.store.load_transaction(txid)
             if txn is not None and txn.is_terminal:
                 return txn
             if not self.threaded:
                 # Inline runtime: drive execution ourselves.
                 progressed = self.run_until_idle()
-                txn = self.store.load_transaction(txid)
+                txn = self._completed_lookup(txid) or self.store.load_transaction(txid)
                 if txn is not None and txn.is_terminal:
                     return txn
                 if not progressed:
@@ -506,6 +507,14 @@ class TropicPlatform:
     def _on_complete(self, txn: Transaction) -> None:
         with self._completion_lock:
             self.completed_transactions.append(txn)
+            self._completed_index[txn.txid] = txn
+
+    def _completed_lookup(self, txid: str) -> Transaction | None:
+        """Terminal transaction from the in-process observer index, sparing
+        a store read + document decode per wait (the store remains the
+        source of truth for cross-process callers)."""
+        with self._completion_lock:
+            return self._completed_index.get(txid)
 
     def completed(self) -> list[Transaction]:
         with self._completion_lock:

@@ -7,10 +7,16 @@ front and retried later.  The paper mentions, as future work, a more
 aggressive policy that schedules transactions queued behind a conflicting
 head; this module implements both, and the ablation benchmark compares
 them.
+
+The queue maintains a txid index so that :meth:`TodoQueue.remove` — called
+once per transaction per scheduling pass, and by KILL handling — is O(1)
+instead of an O(n) scan.  Removal marks the queue cell dead; dead cells are
+skipped during iteration and compacted away once they outnumber live ones.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Iterator
 
@@ -20,6 +26,16 @@ from repro.core.txn import Transaction
 FIFO = "fifo"
 AGGRESSIVE = "aggressive"
 POLICIES = (FIFO, AGGRESSIVE)
+
+
+class _Cell:
+    """One queue slot; ``live`` is cleared on removal (lazy deletion)."""
+
+    __slots__ = ("txn", "live")
+
+    def __init__(self, txn: Transaction):
+        self.txn = txn
+        self.live = True
 
 
 class TodoQueue:
@@ -34,54 +50,84 @@ class TodoQueue:
         if policy not in POLICIES:
             raise ConfigurationError(f"unknown scheduling policy {policy!r}")
         self.policy = policy
-        self._queue: deque[Transaction] = deque()
+        self._queue: deque[_Cell] = deque()
+        self._index: dict[str, _Cell] = {}
+        # send_kill (and the maintenance daemon) touch the queue from
+        # other threads, and _compact rebuilds the deque: all structural
+        # access is serialised.
+        self._mutex = threading.RLock()
 
     # -- queue operations ----------------------------------------------------
 
     def push_back(self, txn: Transaction) -> None:
-        self._queue.append(txn)
+        with self._mutex:
+            self._displace(txn.txid)
+            cell = _Cell(txn)
+            self._queue.append(cell)
+            self._index[txn.txid] = cell
 
     def push_front(self, txn: Transaction) -> None:
-        self._queue.appendleft(txn)
+        with self._mutex:
+            self._displace(txn.txid)
+            cell = _Cell(txn)
+            self._queue.appendleft(cell)
+            self._index[txn.txid] = cell
+
+    def _displace(self, txid: str) -> None:
+        """Kill any existing cell for ``txid`` (a transaction is queued at
+        most once; re-pushing moves it)."""
+        existing = self._index.pop(txid, None)
+        if existing is not None:
+            existing.live = False
 
     def remove(self, txid: str) -> Transaction | None:
-        for index, txn in enumerate(self._queue):
-            if txn.txid == txid:
-                del self._queue[index]
-                return txn
-        return None
+        with self._mutex:
+            cell = self._index.pop(txid, None)
+            if cell is None:
+                return None
+            cell.live = False
+            if len(self._queue) > 2 * max(len(self._index), 8):
+                self._compact()
+            return cell.txn
 
-    def pop_index(self, index: int) -> Transaction:
-        txn = self._queue[index]
-        del self._queue[index]
-        return txn
+    def _compact(self) -> None:
+        self._queue = deque(cell for cell in self._queue if cell.live)
 
     def peek(self) -> Transaction | None:
-        return self._queue[0] if self._queue else None
+        with self._mutex:
+            while self._queue and not self._queue[0].live:
+                self._queue.popleft()
+            return self._queue[0].txn if self._queue else None
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._index)
 
     def __iter__(self) -> Iterator[Transaction]:
-        return iter(self._queue)
+        return iter(self.transactions())
 
     def is_empty(self) -> bool:
-        return not self._queue
+        return not self._index
 
     def transactions(self) -> list[Transaction]:
-        return list(self._queue)
+        with self._mutex:
+            return [cell.txn for cell in self._queue if cell.live]
 
     # -- scheduling ----------------------------------------------------------
 
     def candidate_indices(self) -> list[int]:
-        """Queue positions to try, in order, according to the policy.
+        """Positions in the *live* view (:meth:`transactions`) to try, in
+        order, according to the policy.
 
         * ``fifo``: only the head — a blocked head blocks the queue.
         * ``aggressive``: every position, front to back — a blocked head is
           skipped and later transactions may be scheduled ahead of it.
+
+        The controller's schedule loop implements the same policy inline;
+        this method documents it and serves the scheduling ablation
+        tooling and tests.
         """
-        if not self._queue:
+        if not self._index:
             return []
         if self.policy == FIFO:
             return [0]
-        return list(range(len(self._queue)))
+        return list(range(len(self._index)))

@@ -49,3 +49,49 @@ class SignalBoard:
     def should_stop(self, txid: str) -> bool:
         """True if the worker should stop replaying actions for ``txid``."""
         return self.get(txid) in (TERM, KILL)
+
+    def signalled(self) -> set[str]:
+        """Transaction ids with a pending signal (one listing round-trip;
+        used to snapshot the board once per batch instead of reading it
+        once per transaction)."""
+        return set(self.store.signalled_txids())
+
+    def subscribe(self, txid: str) -> "SignalSubscription":
+        return SignalSubscription(self, txid)
+
+
+class SignalSubscription:
+    """Watch-based signal observation for one transaction.
+
+    Instead of polling the store between every physical action, the
+    executor registers a one-shot coordination watch; :meth:`active` is a
+    pure in-memory check until a signal is actually posted.
+    """
+
+    __slots__ = ("board", "txid", "_fired", "_present")
+
+    def __init__(self, board: SignalBoard, txid: str):
+        self.board = board
+        self.txid = txid
+        self._fired = False
+        self._present = board.store.watch_signal(txid, self._on_event)
+
+    def _on_event(self, _event) -> None:
+        self._fired = True
+
+    def active(self) -> bool:
+        """True if a signal was posted at subscribe time or since."""
+        return self._present or self._fired
+
+    def current(self) -> str | None:
+        """The posted signal, re-read from the store (slow path; only
+        taken when :meth:`active` is true)."""
+        return self.board.get(self.txid)
+
+    def close(self) -> None:
+        """Deregister the watch if it never fired.  Subscriptions are
+        per-transaction-execution while the watched path is eternal, so
+        skipping this would leak one watcher entry per executed
+        transaction."""
+        if not self._fired:
+            self.board.store.unwatch_signal(self.txid, self._on_event)

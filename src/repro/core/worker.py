@@ -44,38 +44,50 @@ class Worker:
     # ------------------------------------------------------------------
 
     def step(self) -> bool:
-        """Process at most one phyQ item; returns True if work was done."""
-        item = self.phy_queue.poll()
-        if item is None:
+        """Drain a batch of phyQ items; returns True if work was done.
+
+        The result messages of the whole batch ride back to the controller
+        in a single inputQ group write.
+        """
+        items = self.phy_queue.poll_many(self.config.worker_batch_size)
+        if not items:
             return False
-        if item.get("kind") != KIND_EXECUTE:
-            return True  # unknown message kinds are dropped
-        txid = item["txid"]
-        txn = self.store.load_transaction(txid)
-        if txn is None:
-            return True
-        if self.signals.get(txid) == KILL:
-            # The controller aborts KILLed transactions in the logical layer
-            # only; the physical layer does not touch the devices (§4).
-            return True
-        outcome = self.executor.execute(txn)
-        self.transactions_processed += 1
-        self.input_queue.put(
-            result_message(
-                txid,
-                outcome.outcome,
-                error=outcome.error,
-                failed_path=outcome.failed_path,
-                worker=self.name,
+        results = []
+        for item in items:
+            if item.get("kind") != KIND_EXECUTE:
+                continue  # unknown message kinds are dropped
+            txid = item["txid"]
+            txn = self.store.load_transaction(txid)
+            if txn is None:
+                continue
+            # Checked fresh per item (not snapshotted per batch): a KILL
+            # posted while earlier batch items executed must still stop
+            # this one before it touches the devices.
+            if self.signals.get(txid) == KILL:
+                # The controller aborts KILLed transactions in the logical
+                # layer only; the physical layer does not touch the
+                # devices (§4).
+                continue
+            outcome = self.executor.execute(txn)
+            self.transactions_processed += 1
+            results.append(
+                result_message(
+                    txid,
+                    outcome.outcome,
+                    error=outcome.error,
+                    failed_path=outcome.failed_path,
+                    worker=self.name,
+                )
             )
-        )
+        self.input_queue.put_many(results)
         return True
 
     def run_pending(self, max_items: int | None = None) -> int:
         """Drain phyQ (bounded by ``max_items``); returns items processed."""
         processed = 0
         while max_items is None or processed < max_items:
+            before = self.transactions_processed
             if not self.step():
                 break
-            processed += 1
+            processed += max(self.transactions_processed - before, 1)
         return processed

@@ -4,6 +4,14 @@ Every object in the data model is identified by a slash-separated path such
 as ``/vmRoot/vmHost3/vm17`` (cf. the execution log in Table 1 of the paper:
 ``/storageRoot/storageHost``, ``/vmRoot/vmHost``).  Paths are immutable and
 hashable so they can key lock tables and inconsistency sets.
+
+Paths are also *interned*: parsing the same string, or deriving the same
+component tuple (child/parent/ancestor navigation), returns a shared
+instance.  The controller hot path parses every read/write-set entry on
+every scheduling pass and expands ancestor chains for intention locking, so
+interning turns the dominant allocation cost into a dictionary hit and lets
+equality short-circuit on identity.  The caches are bounded and simply
+reset when full (paths are cheap to rebuild).
 """
 
 from __future__ import annotations
@@ -15,11 +23,16 @@ from repro.common.errors import DataModelError
 
 _COMPONENT_RE = re.compile(r"^[A-Za-z0-9._\-]+$")
 
+#: Bounded intern caches: parse-text -> path and parts-tuple -> path.
+_PARSE_CACHE: dict[str, "ResourcePath"] = {}
+_PARTS_CACHE: dict[tuple[str, ...], "ResourcePath"] = {}
+_CACHE_LIMIT = 1 << 16
+
 
 class ResourcePath:
     """An immutable, normalised path in the resource tree."""
 
-    __slots__ = ("_parts",)
+    __slots__ = ("_parts", "_hash")
 
     def __init__(self, parts: Iterable[str] = ()):
         parts = tuple(parts)
@@ -27,8 +40,21 @@ class ResourcePath:
             if not _COMPONENT_RE.match(part):
                 raise DataModelError(f"invalid path component: {part!r}")
         self._parts = parts
+        self._hash = hash(parts)
 
     # -- construction -------------------------------------------------
+
+    @classmethod
+    def _intern(cls, parts: tuple[str, ...]) -> "ResourcePath":
+        """Return a shared instance for an already-validated parts tuple."""
+        cached = _PARTS_CACHE.get(parts)
+        if cached is not None:
+            return cached
+        path = cls(parts)
+        if len(_PARTS_CACHE) >= _CACHE_LIMIT:
+            _PARTS_CACHE.clear()
+        _PARTS_CACHE[parts] = path
+        return path
 
     @classmethod
     def parse(cls, text: "str | ResourcePath") -> "ResourcePath":
@@ -37,19 +63,26 @@ class ResourcePath:
             return text
         if not isinstance(text, str):
             raise DataModelError(f"cannot parse path from {type(text).__name__}")
+        cached = _PARSE_CACHE.get(text)
+        if cached is not None:
+            return cached
         stripped = text.strip()
         if stripped in ("", "/"):
-            return ROOT_PATH
-        parts = [p for p in stripped.split("/") if p != ""]
-        return cls(parts)
+            path = ROOT_PATH
+        else:
+            path = cls._intern(tuple(p for p in stripped.split("/") if p != ""))
+        if len(_PARSE_CACHE) >= _CACHE_LIMIT:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[text] = path
+        return path
 
     def child(self, name: str) -> "ResourcePath":
         """Return the path of a direct child."""
-        return ResourcePath(self._parts + (name,))
+        return ResourcePath._intern(self._parts + (name,))
 
     def join(self, *names: str) -> "ResourcePath":
         """Return the path extended by several components."""
-        return ResourcePath(self._parts + tuple(names))
+        return ResourcePath._intern(self._parts + tuple(names))
 
     # -- structure ----------------------------------------------------
 
@@ -67,7 +100,7 @@ class ResourcePath:
         """The parent path; the root is its own parent."""
         if not self._parts:
             return self
-        return ResourcePath(self._parts[:-1])
+        return ResourcePath._intern(self._parts[:-1])
 
     @property
     def depth(self) -> int:
@@ -84,7 +117,7 @@ class ResourcePath:
         """
         upper = len(self._parts) + (1 if include_self else 0)
         for i in range(upper):
-            yield ResourcePath(self._parts[:i])
+            yield ResourcePath._intern(self._parts[:i])
 
     def is_ancestor_of(self, other: "ResourcePath", strict: bool = True) -> bool:
         """True if ``self`` lies on the path from the root to ``other``."""
@@ -112,9 +145,11 @@ class ResourcePath:
         return f"ResourcePath({str(self)!r})"
 
     def __hash__(self) -> int:
-        return hash(self._parts)
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, ResourcePath):
             return self._parts == other._parts
         if isinstance(other, str):
@@ -133,3 +168,4 @@ class ResourcePath:
 
 #: The root of every data model tree.
 ROOT_PATH = ResourcePath()
+_PARTS_CACHE[()] = ROOT_PATH

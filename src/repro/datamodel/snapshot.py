@@ -25,6 +25,65 @@ def restore(checkpoint: dict[str, Any]) -> DataModel:
     return DataModel.from_dict(checkpoint)
 
 
+# -- incremental (per-subtree) checkpoints -------------------------------
+#
+# The persistence layer stores one document per *second-level node* (e.g.
+# one per vmHost) plus a small meta document describing the root and the
+# top-level nodes, so a checkpoint only re-serialises the units dirtied
+# since the previous one (see ``TropicStore.save_checkpoint_incremental``).
+# These helpers define the split/reassemble contract.
+
+
+def node_info(node: Any) -> dict[str, Any]:
+    """Serialise one node *without* its children (checkpoint meta entry)."""
+    return {
+        "name": node.name,
+        "entity_type": node.entity_type,
+        "attrs": node.attrs,
+        "inconsistent": node.inconsistent,
+    }
+
+
+def snapshot_root_info(model: DataModel) -> dict[str, Any]:
+    """Serialise the root node *without* its children (checkpoint meta)."""
+    return node_info(model.root)
+
+
+def snapshot_unit(model: DataModel, top: str, child: str) -> dict[str, Any]:
+    """Serialise one second-level checkpoint unit of ``model``."""
+    return model.root.children[top].children[child].to_dict()
+
+
+def restore_from_parts(
+    root_info: dict[str, Any],
+    tops: "dict[str, dict[str, Any]]",
+    units: "dict[tuple[str, str], dict[str, Any]]",
+) -> DataModel:
+    """Reassemble a model from a root descriptor, top-level node
+    descriptors, and second-level unit documents."""
+    from repro.datamodel.node import Node
+
+    def build(info: dict[str, Any]) -> Node:
+        node = Node(
+            info.get("name", ""),
+            info.get("entity_type", "root"),
+            info.get("attrs") or {},
+        )
+        node.inconsistent = bool(info.get("inconsistent", False))
+        return node
+
+    root = build(root_info)
+    for top_name in sorted(tops):
+        top_node = build(tops[top_name])
+        root.add_child(top_node)
+    for (top_name, child_name) in sorted(units):
+        top_node = root.children.get(top_name)
+        if top_node is None:
+            continue
+        top_node.add_child(Node.from_dict(units[(top_name, child_name)]))
+    return DataModel(root)
+
+
 @dataclass
 class NodeDelta:
     """One difference between two models at a given path."""

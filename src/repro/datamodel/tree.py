@@ -23,6 +23,47 @@ class DataModel:
 
     def __init__(self, root: Node | None = None):
         self.root = root or Node("", "root")
+        # -- per-subtree dirty tracking (incremental checkpoints) --------
+        # Checkpoints are stored as one document per *second-level* node
+        # (e.g. one per vmHost), so dirt is tracked at that granularity:
+        # ``_dirty_pairs`` holds (top, child) units, ``_dirty_tops`` holds
+        # top-level names whose entire subtree must be considered dirty
+        # (subtree replacement, attribute edits on the top node).  A fresh
+        # model is conservatively all-dirty so the first checkpoint is
+        # always a full one.
+        self._dirty_pairs: set[tuple[str, str]] = set()
+        self._dirty_tops: set[str] = set()
+        self._all_dirty = True
+
+    # -- dirty tracking ---------------------------------------------------
+
+    def mark_dirty(self, path: PathLike) -> None:
+        """Record that the checkpoint unit containing ``path`` diverged
+        from the last checkpoint.  Mutations at the root mark everything;
+        mutations on a top-level node mark its whole subtree."""
+        rpath = ResourcePath.parse(path)
+        parts = rpath.parts
+        if not parts:
+            self._all_dirty = True
+        elif len(parts) == 1:
+            self._dirty_tops.add(parts[0])
+        else:
+            self._dirty_pairs.add((parts[0], parts[1]))
+
+    def mark_all_dirty(self) -> None:
+        self._all_dirty = True
+
+    def dirty_state(self) -> tuple[bool, set[str], set[tuple[str, str]]]:
+        """``(all_dirty, dirty_top_names, dirty_pairs)`` accumulated since
+        the last :meth:`clear_dirty`."""
+        return self._all_dirty, set(self._dirty_tops), set(self._dirty_pairs)
+
+    def clear_dirty(self) -> None:
+        """Called by the persistence layer after a checkpoint captured the
+        current state."""
+        self._dirty_pairs.clear()
+        self._dirty_tops.clear()
+        self._all_dirty = False
 
     # -- lookup ---------------------------------------------------------
 
@@ -72,6 +113,7 @@ class DataModel:
             raise DataModelError(f"node already exists at {rpath}")
         node = Node(rpath.name, entity_type, attrs)
         parent.add_child(node)
+        self.mark_dirty(rpath)
         return node
 
     def ensure(
@@ -99,11 +141,13 @@ class DataModel:
         if node.children and not recursive:
             raise DataModelError(f"node {rpath} has children; use recursive=True")
         parent = self.get(rpath.parent)
+        self.mark_dirty(rpath)
         return parent.remove_child(rpath.name)
 
     def set_attrs(self, path: PathLike, **attrs: Any) -> Node:
         node = self.get(path)
         node.attrs.update(attrs)
+        self.mark_dirty(path)
         return node
 
     def replace_subtree(self, path: PathLike, subtree: Node) -> Node:
@@ -113,12 +157,14 @@ class DataModel:
             self.root = subtree
             subtree.parent = None
             subtree.name = ""
+            self.mark_all_dirty()
             return subtree
         parent = self.get(rpath.parent)
         if rpath.name in parent.children:
             parent.remove_child(rpath.name)
         subtree.name = rpath.name
         parent.add_child(subtree)
+        self.mark_dirty(rpath)
         return subtree
 
     # -- traversal -------------------------------------------------------
@@ -163,9 +209,11 @@ class DataModel:
     def mark_inconsistent(self, path: PathLike) -> None:
         """Fence off a subtree after a cross-layer inconsistency is detected."""
         self.get(path).inconsistent = True
+        self.mark_dirty(path)
 
     def clear_inconsistent(self, path: PathLike) -> None:
         self.get(path).inconsistent = False
+        self.mark_dirty(path)
 
     def is_fenced(self, path: PathLike) -> bool:
         """True if ``path`` or any ancestor is marked inconsistent."""

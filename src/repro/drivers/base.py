@@ -48,6 +48,7 @@ class Device:
         self.online = True
         self._hang_event = threading.Event()
         self._hang_event.set()
+        self._hang_permits = 0
         self._lock = threading.RLock()
 
     # -- invocation --------------------------------------------------------
@@ -74,9 +75,26 @@ class Device:
                 )
             outcome = self.faults.check(self.name, action, phase)
         if outcome == "hang":
-            # Simulate a stalled device call (cleared by release_hang()).
-            self._hang_event.clear()
-        self._hang_event.wait()
+            # Simulate a stalled device call, cleared by release_hang().
+            # A release issued before the hang fires counts as a permit so
+            # the call does not block at all; each hang consumes at most
+            # one permit.
+            with self._lock:
+                consumed = self._hang_permits > 0
+                if consumed:
+                    self._hang_permits -= 1
+                else:
+                    self._hang_event.clear()
+            if not consumed:
+                # Only an unpermitted hang blocks; a banked permit lets the
+                # call pass straight through even if another caller has the
+                # event cleared right now.
+                self._hang_event.wait()
+                with self._lock:
+                    if self._hang_permits > 0:
+                        self._hang_permits -= 1  # the release that woke us
+        else:
+            self._hang_event.wait()
         if self.call_latency > 0:
             self.clock.sleep(self.call_latency)
         with self._lock:
@@ -96,8 +114,11 @@ class Device:
         self.online = True
 
     def release_hang(self) -> None:
-        """Unblock a call stalled by a hang fault."""
-        self._hang_event.set()
+        """Unblock a call stalled by a hang fault (or pre-authorise the
+        next hang to pass straight through)."""
+        with self._lock:
+            self._hang_permits += 1
+            self._hang_event.set()
 
     # -- reconciliation support -------------------------------------------------
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.common.clock import Clock, RealClock
 from repro.datamodel.tree import DataModel
@@ -71,6 +72,66 @@ class ThroughputMeter:
             return 0.0
         elapsed = max(self.clock.now() - self.started_at, 1e-9)
         return self.completed / elapsed
+
+
+@dataclass
+class StoreIOSnapshot:
+    """Point-in-time coordination-store I/O counters.
+
+    Captures the write-path instrumentation added for the group-commit
+    subsystem: total operations, read/write round-trips (a ``multi`` group
+    commit counts as one write round-trip), multi-op batching volume, and
+    bytes accepted by the store.  Use :meth:`delta` to measure a workload
+    interval and :meth:`per_commit` to normalise by committed transactions.
+    """
+
+    ops: int = 0
+    reads: int = 0
+    writes: int = 0
+    multi_commits: int = 0
+    multi_sub_ops: int = 0
+    bytes_written: int = 0
+
+    @classmethod
+    def capture(cls, ensemble: Any) -> "StoreIOSnapshot":
+        """Snapshot the counters of a coordination ensemble."""
+        stats = ensemble.io_stats()
+        return cls(
+            ops=stats["ops"],
+            reads=stats["reads"],
+            writes=stats["writes"],
+            multi_commits=stats["multi_commits"],
+            multi_sub_ops=stats["multi_sub_ops"],
+            bytes_written=stats["bytes_written"],
+        )
+
+    def delta(self, since: "StoreIOSnapshot") -> "StoreIOSnapshot":
+        return StoreIOSnapshot(
+            ops=self.ops - since.ops,
+            reads=self.reads - since.reads,
+            writes=self.writes - since.writes,
+            multi_commits=self.multi_commits - since.multi_commits,
+            multi_sub_ops=self.multi_sub_ops - since.multi_sub_ops,
+            bytes_written=self.bytes_written - since.bytes_written,
+        )
+
+    def per_commit(self, committed: int) -> dict[str, float]:
+        denom = max(committed, 1)
+        return {
+            "ops_per_commit": self.ops / denom,
+            "writes_per_commit": self.writes / denom,
+            "bytes_per_commit": self.bytes_written / denom,
+        }
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "ops": self.ops,
+            "reads": self.reads,
+            "writes": self.writes,
+            "multi_commits": self.multi_commits,
+            "multi_sub_ops": self.multi_sub_ops,
+            "bytes_written": self.bytes_written,
+        }
 
 
 class MemoryEstimator:

@@ -21,7 +21,6 @@ def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title:
     if title:
         lines.append(title)
     lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
-    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
     for row in str_rows:
         lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
     return "\n".join(lines)

@@ -138,3 +138,93 @@ class TestReleaseAndIntrospection:
         manager.clear()
         assert manager.total_locked_paths() == 0
         assert manager.active_transactions() == set()
+
+
+class TestCompatibilityMatrixExhaustive:
+    """Exhaustive 4x4 property test of the compatibility matrix (PR 1).
+
+    The expected value for every pair is *derived* from first principles of
+    multi-granularity locking rather than restated, so a regression in the
+    matrix cannot be masked by editing the table: a held mode conflicts
+    with a requested mode iff the data either lock actually covers can
+    overlap and at least one side writes.
+    """
+
+    @staticmethod
+    def _expected(held: LockMode, requested: LockMode) -> bool:
+        # W is exclusive against everything (covers the whole subtree).
+        if LockMode.W in (held, requested):
+            return False
+        # IW (some descendant is being written) conflicts with R (the whole
+        # subtree must stay read-only), in both directions.
+        if {held, requested} == {LockMode.IW, LockMode.R}:
+            return False
+        # IR/IR, IR/IW, IW/IW, IR/R, R/R are all compatible.
+        return True
+
+    def test_full_4x4_matrix(self):
+        for held in LockMode:
+            for requested in LockMode:
+                assert COMPATIBLE[(held, requested)] == self._expected(held, requested), (
+                    held, requested
+                )
+
+    def test_matrix_is_symmetric(self):
+        for held in LockMode:
+            for requested in LockMode:
+                assert COMPATIBLE[(held, requested)] == COMPATIBLE[(requested, held)]
+
+    def test_compatible_function_matches_matrix(self):
+        for held in LockMode:
+            for requested in LockMode:
+                assert compatible(held, requested) == COMPATIBLE[(held, requested)]
+
+
+class TestAggregateConflictDetection:
+    """The O(1) mode-count fast path must agree with a naive holder scan."""
+
+    @staticmethod
+    def _naive_conflict(manager, txid, requests):
+        for path, requested in requests.items():
+            for holder, modes in manager.holders(path).items():
+                if holder == txid:
+                    continue
+                for held in modes:
+                    if not compatible(held, requested):
+                        return True
+        return False
+
+    def _random_rwset(self, rng):
+        paths = [f"/a/b{rng.randrange(3)}/c{rng.randrange(3)}",
+                 f"/a/b{rng.randrange(3)}"]
+        rw = ReadWriteSet()
+        for path in paths:
+            if rng.random() < 0.5:
+                rw.record_write(path)
+            else:
+                rw.record_read(path)
+        return rw
+
+    def test_fast_path_matches_naive_scan_over_random_workload(self):
+        import random
+
+        rng = random.Random(1234)
+        manager = LockManager()
+        held_txids = []
+        for step in range(400):
+            txid = f"t{step}"
+            rw = self._random_rwset(rng)
+            requests = LockManager.requests_for(rw)
+            naive = self._naive_conflict(manager, txid, requests)
+            fast = manager.find_conflict(txid, requests) is not None
+            assert fast == naive, (step, requests)
+            if not fast:
+                manager.acquire(txid, requests)
+                held_txids.append(txid)
+            if held_txids and rng.random() < 0.4:
+                manager.release_all(held_txids.pop(rng.randrange(len(held_txids))))
+        # Drain and verify the aggregates empty out with the locks.
+        for txid in held_txids:
+            manager.release_all(txid)
+        assert manager.total_locked_paths() == 0
+        assert manager.active_transactions() == set()

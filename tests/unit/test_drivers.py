@@ -233,6 +233,15 @@ class TestFaultInjection:
         device.invoke("importImage", ["x"])
         assert "x" in device.imported_images
 
+    def test_each_hang_consumes_one_permit(self):
+        device = ComputeHostDevice("h")
+        device.release_hang()
+        device.release_hang()  # two permits for two future hangs
+        device.faults.add_rule(FaultRule(action="importImage", remaining=2, kind="hang"))
+        device.invoke("importImage", ["x"])
+        device.invoke("importImage", ["y"])  # must not deadlock
+        assert {"x", "y"} <= set(device.imported_images)
+
 
 class TestDeviceRegistry:
     @pytest.fixture

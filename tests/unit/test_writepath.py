@@ -1,0 +1,601 @@
+"""Tests for the PR 1 write-path performance subsystem.
+
+Covers the group-commit batch (KVStore.WriteBatch + ensemble multi), the
+delta-aware transaction documents, incremental checkpoints (including the
+recovery-equality guarantee after leader failover), the txid-indexed
+TodoQueue, the AGGRESSIVE policy's conflict-skip behaviour, queue batch
+operations, the structure-aware deep copy, and path interning.
+"""
+
+import json
+
+import pytest
+
+from repro.common.config import TropicConfig
+from repro.common.jsonutil import deep_copy, dumps
+from repro.coordination.client import CoordinationClient
+from repro.coordination.ensemble import CoordinationEnsemble
+from repro.coordination.kvstore import KVStore
+from repro.coordination.queue import DistributedQueue
+from repro.core.controller import Controller
+from repro.core.events import result_message
+from repro.core.persistence import TropicStore
+from repro.core.scheduler import AGGRESSIVE, TodoQueue
+from repro.core.signals import TERM
+from repro.core.txn import Transaction, TransactionState
+from repro.datamodel.path import ResourcePath
+from repro.datamodel.tree import DataModel
+from repro.tcloud.entities import build_schema
+from repro.tcloud.procedures import build_procedures
+
+from tests.unit.test_core_controller import make_controller, submit_spawn
+
+
+@pytest.fixture
+def ensemble():
+    return CoordinationEnsemble(num_servers=3, default_session_timeout=600.0)
+
+
+@pytest.fixture
+def kv(ensemble):
+    return KVStore(CoordinationClient(ensemble))
+
+
+@pytest.fixture
+def store(kv):
+    return TropicStore(kv)
+
+
+class TestUpsertAndMulti:
+    def test_upsert_is_one_round_trip(self, ensemble, kv):
+        before = ensemble.write_round_trips
+        kv.put("a/b/c/d", {"x": 1})
+        assert ensemble.write_round_trips == before + 1
+        assert kv.get("a/b/c/d") == {"x": 1}
+
+    def test_upsert_overwrites(self, kv):
+        kv.put("k", 1)
+        kv.put("k", 2)
+        assert kv.get("k") == 2
+
+    def test_multi_applies_all_ops_in_one_round_trip(self, ensemble, kv):
+        before = ensemble.write_round_trips
+        with kv.batch():
+            kv.put("m/a", 1)
+            kv.put("m/b", 2)
+            kv.delete("m/a")
+        assert ensemble.write_round_trips == before + 1
+        assert ensemble.multi_count == 1
+        assert kv.get("m/a") is None
+        assert kv.get("m/b") == 2
+
+
+class TestWriteBatch:
+    def test_batch_coalesces_same_key(self, ensemble, kv):
+        before = ensemble.write_round_trips
+        with kv.batch():
+            kv.put("doc", {"v": 1})
+            kv.put("doc", {"v": 2})
+            kv.put("doc", {"v": 3})
+        assert ensemble.write_round_trips == before + 1
+        assert ensemble.multi_sub_ops == 1  # last-writer-wins coalescing
+        assert kv.get("doc") == {"v": 3}
+
+    def test_batch_read_through(self, kv):
+        kv.put("seen", "old")
+        with kv.batch():
+            kv.put("seen", "new")
+            kv.put("fresh", 7)
+            kv.delete("seen-later")
+            assert kv.get("seen") == "new"
+            assert kv.get("fresh") == 7
+            assert kv.exists("fresh")
+        assert kv.get("seen") == "new"
+
+    def test_batch_keys_read_through(self, kv):
+        kv.put("dir/a", 1)
+        with kv.batch():
+            kv.put("dir/b", 2)
+            kv.delete("dir/a")
+            assert kv.keys("dir") == ["b"]
+        assert kv.keys("dir") == ["b"]
+
+    def test_batch_keys_deep_delete_keeps_child(self, kv):
+        kv.put("dir/a/x", 1)
+        kv.put("dir/a/y", 2)
+        with kv.batch():
+            kv.delete("dir/a/x")
+            # Deleting a grandchild must not hide the child from listings.
+            assert kv.keys("dir") == ["a"]
+        assert kv.keys("dir") == ["a"]
+        assert kv.get("dir/a/y") == 2
+
+    def test_nested_batches_join_outermost(self, ensemble, kv):
+        before = ensemble.write_round_trips
+        with kv.batch():
+            kv.put("n/a", 1)
+            with kv.batch():
+                kv.put("n/b", 2)
+            # Inner exit must not commit yet.
+            assert ensemble.write_round_trips == before
+        assert ensemble.write_round_trips == before + 1
+
+    def test_flush_mid_batch_commits_pending(self, ensemble, kv):
+        with kv.batch():
+            kv.put("f/a", 1)
+            kv.flush()
+            after_flush = ensemble.write_round_trips
+            kv.put("f/b", 2)
+            assert ensemble.write_round_trips == after_flush
+        assert kv.get("f/a") == 1
+        assert kv.get("f/b") == 2
+
+
+class TestDeltaAwareTransactionDocuments:
+    def _txn(self):
+        txn = Transaction("spawnVM", {"vm_name": "vm1", "mem_mb": 512})
+        txn.log.append("/vmRoot/h0/vm1", "createVM", ["vm1", 512], "removeVM", ["vm1"])
+        txn.rwset.record_write("/vmRoot/h0/vm1")
+        txn.rwset.record_read("/vmRoot/h0")
+        return txn
+
+    def test_document_bytes_identical_to_full_serialisation(self, store, kv):
+        txn = self._txn()
+        txn.mark(TransactionState.ACCEPTED, 1.0)
+        store.save_transaction(txn, dirty_fields=("log", "rwset", "result"))
+        txn.mark(TransactionState.DEFERRED, 2.0)
+        txn.defer_count += 1
+        store.save_transaction(txn, dirty_fields=())
+        raw = kv.client.get_data(f"{kv.prefix}/txns/{txn.txid}")
+        assert raw == dumps(txn.to_dict())
+        assert json.loads(raw)["defer_count"] == 1
+
+    def test_unchanged_document_skips_the_store_write(self, store, kv):
+        txn = self._txn()
+        txn.mark(TransactionState.ACCEPTED, 1.0)
+        assert store.save_transaction(txn) is True
+        puts_before = kv.puts
+        assert store.save_transaction(txn, dirty_fields=()) is False
+        assert kv.puts == puts_before
+        assert store.txn_writes_skipped == 1
+
+    def test_roundtrip_after_delta_saves(self, store):
+        txn = self._txn()
+        txn.mark(TransactionState.ACCEPTED, 1.0)
+        store.save_transaction(txn)
+        txn.mark(TransactionState.STARTED, 2.0)
+        store.save_transaction(txn, dirty_fields=())
+        loaded = store.load_transaction(txn.txid)
+        assert loaded.state is TransactionState.STARTED
+        assert len(loaded.log) == 1
+        assert loaded.rwset.writes == {"/vmRoot/h0/vm1"}
+        assert loaded.timestamps == txn.timestamps
+
+    def test_failed_group_commit_invalidates_fragment_cache(self, ensemble, store):
+        """A transient commit failure must not leave documents recorded as
+        persisted: the retry would otherwise be suppressed by the
+        unchanged-document check."""
+        txn = self._txn()
+        txn.mark(TransactionState.ACCEPTED, 1.0)
+        for server in (0, 1):
+            ensemble.crash_server(server)  # quorum lost
+        with pytest.raises(Exception):
+            with store.batch():
+                store.save_transaction(txn)
+        for server in (0, 1):
+            ensemble.restart_server(server)
+        assert store.load_transaction(txn.txid) is None  # nothing persisted
+        assert store.save_transaction(txn) is True  # retry is not suppressed
+        assert store.load_transaction(txn.txid).state is TransactionState.ACCEPTED
+
+    def test_terminal_save_evicts_fragment_cache(self, store):
+        txn = self._txn()
+        store.save_transaction(txn)
+        assert txn.txid in store._fragments
+        txn.mark(TransactionState.COMMITTED, 3.0)
+        store.save_transaction(txn, dirty_fields=())
+        assert txn.txid not in store._fragments
+
+
+class TestIncrementalCheckpoints:
+    def _model(self):
+        model = DataModel()
+        model.create("/vmRoot", "vmRoot")
+        model.create("/storageRoot", "storageRoot")
+        for i in range(4):
+            model.create(f"/vmRoot/h{i}", "vmHost", {"mem_mb": 4096})
+        model.create("/storageRoot/s0", "storageHost")
+        return model
+
+    def test_full_then_incremental_roundtrip(self, store):
+        model = self._model()
+        store.save_checkpoint(model, 0)
+        restored, seq = store.load_checkpoint()
+        assert seq == 0
+        assert restored.to_dict() == model.to_dict()
+
+    def test_incremental_writes_only_dirty_units(self, store):
+        model = self._model()
+        store.save_checkpoint(model, 0)  # clears dirty tracking
+        model.create("/vmRoot/h1/vm9", "vm", {"state": "running"})
+        written = store.save_checkpoint_incremental(model, 1)
+        assert written == 1  # only vmRoot/h1
+        restored, seq = store.load_checkpoint()
+        assert seq == 1
+        assert restored.to_dict() == model.to_dict()
+
+    def test_incremental_handles_deleted_units(self, store):
+        model = self._model()
+        store.save_checkpoint(model, 0)
+        model.delete("/vmRoot/h3")
+        store.save_checkpoint_incremental(model, 2)
+        restored, _ = store.load_checkpoint()
+        assert not restored.exists("/vmRoot/h3")
+        assert restored.to_dict() == model.to_dict()
+
+    def test_all_dirty_model_falls_back_to_full_write(self, store):
+        model = self._model()  # fresh models are all-dirty
+        written = store.save_checkpoint_incremental(model, 0)
+        assert written == 5  # 4 hosts + 1 storage host
+        restored, _ = store.load_checkpoint()
+        assert restored.to_dict() == model.to_dict()
+
+    def test_attr_mutation_marks_unit_dirty(self, store):
+        model = self._model()
+        store.save_checkpoint(model, 0)
+        model.set_attrs("/vmRoot/h2", mem_mb=8192)
+        assert store.save_checkpoint_incremental(model, 3) == 1
+        restored, _ = store.load_checkpoint()
+        assert restored.get("/vmRoot/h2")["mem_mb"] == 8192
+
+    def test_inconsistency_flag_survives_incremental_checkpoint(self, store):
+        model = self._model()
+        store.save_checkpoint(model, 0)
+        model.mark_inconsistent("/vmRoot/h0")
+        store.save_checkpoint_incremental(model, 4)
+        restored, _ = store.load_checkpoint()
+        assert restored.is_fenced("/vmRoot/h0")
+
+
+class TestRecoveryEqualityAfterFailover:
+    """Incremental checkpoints + the applied log must rebuild the *exact*
+    model a failed leader held (the §2.3 guarantee, now via the new
+    checkpoint layout)."""
+
+    def test_recovered_model_identical_after_checkpointed_workload(self):
+        controller, store, input_queue, _ = make_controller()
+        controller.config = controller.config.with_overrides(checkpoint_every=2)
+        for index in range(5):
+            txn = submit_spawn(
+                store, input_queue, f"vm{index}",
+                vm_host=f"/vmRoot/vmHost{index % 4}",
+                storage_host=f"/storageRoot/storageHost{index % 2}",
+            )
+            controller.run_until_idle()
+            input_queue.put(result_message(txn.txid, "committed"))
+            controller.run_until_idle()
+        assert controller.stats["checkpoints"] >= 2  # incremental path used
+
+        replacement = Controller(
+            name="ctrl-replacement",
+            config=TropicConfig(),
+            store=store,
+            input_queue=input_queue,
+            phy_queue=controller.phy_queue,
+            schema=build_schema(),
+            procedures=build_procedures(),
+        )
+        replacement.recover()
+        assert replacement.model.to_dict() == controller.model.to_dict()
+
+    def test_recovery_replays_commits_after_last_incremental_checkpoint(self):
+        controller, store, input_queue, _ = make_controller()
+        controller.config = controller.config.with_overrides(checkpoint_every=2)
+        txids = []
+        for index in range(3):  # checkpoint after 2, third rides the applied log
+            txn = submit_spawn(
+                store, input_queue, f"vm{index}", vm_host=f"/vmRoot/vmHost{index}",
+            )
+            controller.run_until_idle()
+            input_queue.put(result_message(txn.txid, "committed"))
+            controller.run_until_idle()
+            txids.append(txn.txid)
+        model, seq = store.load_checkpoint()
+        assert seq == 2
+        assert store.applied_since(seq) == [txids[2]]
+
+        replacement = Controller(
+            name="ctrl-b",
+            config=TropicConfig(),
+            store=store,
+            input_queue=input_queue,
+            phy_queue=controller.phy_queue,
+            schema=build_schema(),
+            procedures=build_procedures(),
+        )
+        replacement.recover()
+        for index in range(3):
+            assert replacement.model.exists(f"/vmRoot/vmHost{index}/vm{index}")
+
+
+class TestCheckpointQuiescePoint:
+    def test_checkpoint_deferred_while_transactions_outstanding(self):
+        controller, store, input_queue, _ = make_controller()
+        controller.config = controller.config.with_overrides(checkpoint_every=1)
+        first = submit_spawn(store, input_queue, "vm1", vm_host="/vmRoot/vmHost0")
+        second = submit_spawn(store, input_queue, "vm2", vm_host="/vmRoot/vmHost1",
+                              storage_host="/storageRoot/storageHost1")
+        controller.run_until_idle()  # both STARTED
+        input_queue.put(result_message(first.txid, "committed"))
+        controller.run_until_idle()
+        # vm2 is still outstanding: its simulated effects are in the model,
+        # so the checkpoint must wait for the quiesce point.
+        assert controller.stats["checkpoints"] == 0
+        input_queue.put(result_message(second.txid, "committed"))
+        controller.run_until_idle()
+        assert controller.stats["checkpoints"] == 1
+        model, seq = store.load_checkpoint()
+        assert seq == 2
+        assert model.exists("/vmRoot/vmHost0/vm1")
+        assert model.exists("/vmRoot/vmHost1/vm2")
+
+
+class TestFailedCommitRecovery:
+    def test_step_failure_demotes_and_rerecovery_processes_exactly_once(self):
+        """A failed group commit loses the buffered writes while in-memory
+        transitions survive; the controller must abandon its soft state and
+        re-recover from the store so nothing is double-scheduled."""
+        controller, store, input_queue, phy_queue = make_controller()
+        txn = submit_spawn(store, input_queue, "vm1")
+
+        client = store.kv.client
+        original_multi = client.multi
+        calls = {"n": 0}
+
+        def failing_multi(ops):
+            calls["n"] += 1
+            raise ConnectionError("injected commit failure")
+
+        client.multi = failing_multi
+        with pytest.raises(ConnectionError):
+            controller.step()
+        client.multi = original_multi
+
+        assert controller.recovered is False  # soft state abandoned
+        assert controller.outstanding == {}
+        # Nothing was persisted or dispatched, and the message is unacked.
+        assert store.load_transaction(txn.txid).state is TransactionState.INITIALIZED
+        assert phy_queue.is_empty()
+        assert input_queue.size() == 1
+
+        controller.run_until_idle()
+        input_queue.put(result_message(txn.txid, "committed"))
+        controller.run_until_idle()
+        assert store.load_transaction(txn.txid).state is TransactionState.COMMITTED
+        assert store.applied_since(0) == [txn.txid]  # exactly one commit
+
+
+class TestTodoQueueIndex:
+    def _txn(self, name):
+        return Transaction(name)
+
+    def test_remove_is_indexed(self):
+        queue = TodoQueue()
+        txns = [self._txn(f"p{i}") for i in range(50)]
+        for txn in txns:
+            queue.push_back(txn)
+        assert queue.remove(txns[25].txid) is txns[25]
+        assert queue.remove(txns[25].txid) is None
+        assert len(queue) == 49
+
+    def test_repush_after_remove(self):
+        queue = TodoQueue()
+        a = self._txn("a")
+        queue.push_back(a)
+        queue.remove(a.txid)
+        queue.push_front(a)
+        assert queue.peek() is a
+        assert len(queue) == 1
+        assert queue.transactions() == [a]
+
+    def test_repush_displaces_stale_entry(self):
+        queue = TodoQueue()
+        a, b = self._txn("a"), self._txn("b")
+        queue.push_back(a)
+        queue.push_back(b)
+        queue.push_back(a)  # moves a behind b, never duplicates it
+        assert [t.txid for t in queue.transactions()] == [b.txid, a.txid]
+        assert len(queue) == 2
+
+    def test_compaction_keeps_order(self):
+        queue = TodoQueue()
+        txns = [self._txn(f"p{i}") for i in range(64)]
+        for txn in txns:
+            queue.push_back(txn)
+        for txn in txns[:48]:
+            queue.remove(txn.txid)
+        assert [t.txid for t in queue.transactions()] == [t.txid for t in txns[48:]]
+        assert queue.peek() is txns[48]
+
+    def test_iteration_skips_dead_cells(self):
+        queue = TodoQueue(AGGRESSIVE)
+        a, b, c = self._txn("a"), self._txn("b"), self._txn("c")
+        for txn in (a, b, c):
+            queue.push_back(txn)
+        queue.remove(b.txid)
+        assert list(queue) == [a, c]
+        assert queue.candidate_indices() == [0, 1]
+
+
+class TestAggressiveConflictSkip:
+    """The AGGRESSIVE policy schedules past *any number* of conflicting
+    transactions in a single pass, while FIFO stops at the first."""
+
+    def test_aggressive_schedules_past_multiple_blocked_transactions(self):
+        controller, store, input_queue, phy_queue = make_controller(policy="aggressive")
+        blocked_head = submit_spawn(store, input_queue, "vm1")
+        blocked_second = submit_spawn(store, input_queue, "vm2")  # conflicts with vm1
+        runnable = submit_spawn(store, input_queue, "vm3", vm_host="/vmRoot/vmHost1",
+                                storage_host="/storageRoot/storageHost1")
+        # Conflicts with vm1 through the shared storage host: also skipped.
+        blocked_third = submit_spawn(store, input_queue, "vm4", vm_host="/vmRoot/vmHost2",
+                                     storage_host="/storageRoot/storageHost0")
+        controller.run_until_idle()
+        assert store.load_transaction(blocked_head.txid).state is TransactionState.STARTED
+        assert store.load_transaction(blocked_second.txid).state is TransactionState.DEFERRED
+        assert store.load_transaction(runnable.txid).state is TransactionState.STARTED
+        assert store.load_transaction(blocked_third.txid).state is TransactionState.DEFERRED
+        assert phy_queue.size() == 2
+
+    def test_fifo_blocks_behind_conflicting_head(self):
+        controller, store, input_queue, phy_queue = make_controller(policy="fifo")
+        submit_spawn(store, input_queue, "vm1")
+        submit_spawn(store, input_queue, "vm2")  # conflicts with vm1
+        other = submit_spawn(store, input_queue, "vm3", vm_host="/vmRoot/vmHost2",
+                             storage_host="/storageRoot/storageHost1")
+        controller.run_until_idle()
+        # FIFO never even considers vm3 behind the deferred head: it stays
+        # ACCEPTED in the queue while AGGRESSIVE (above) would start it.
+        assert store.load_transaction(other.txid).state is TransactionState.ACCEPTED
+        assert [t.txid for t in controller.todo.transactions()][-1] == other.txid
+        assert phy_queue.size() == 1
+
+    def test_deferred_transactions_keep_queue_order(self):
+        controller, store, input_queue, _ = make_controller(policy="aggressive")
+        submit_spawn(store, input_queue, "vm1")
+        second = submit_spawn(store, input_queue, "vm2")
+        third = submit_spawn(store, input_queue, "vm3")  # same host: also conflicts
+        controller.run_until_idle()
+        deferred = [txn.txid for txn in controller.todo.transactions()]
+        assert deferred == [second.txid, third.txid]
+
+
+class TestQueueBatchOperations:
+    @pytest.fixture
+    def queue(self, ensemble):
+        return DistributedQueue(CoordinationClient(ensemble), "/queues/q")
+
+    def test_put_many_preserves_order(self, ensemble, queue):
+        before = ensemble.write_round_trips
+        names = queue.put_many([{"n": i} for i in range(5)])
+        assert len(names) == 5
+        assert ensemble.write_round_trips == before + 1
+        assert [queue.poll()["n"] for _ in range(5)] == list(range(5))
+
+    def test_take_many_then_ack_many(self, queue):
+        queue.put_many([{"n": i} for i in range(4)])
+        taken = queue.take_many(3)
+        assert [item["n"] for _, item in taken] == [0, 1, 2]
+        assert queue.size() == 4  # take does not remove
+        queue.ack_many([name for name, _ in taken])
+        assert queue.size() == 1
+        assert queue.poll()["n"] == 3
+
+    def test_poll_many_claims_atomically(self, queue):
+        queue.put_many([{"n": i} for i in range(6)])
+        first = queue.poll_many(4)
+        second = queue.poll_many(4)
+        assert [i["n"] for i in first] == [0, 1, 2, 3]
+        assert [i["n"] for i in second] == [4, 5]
+        assert queue.is_empty()
+
+    def test_empty_batches(self, queue):
+        assert queue.put_many([]) == []
+        assert queue.take_many(5) == []
+        assert queue.poll_many(5) == []
+        assert queue.ack_many([]) == 0
+
+
+class TestDeepCopy:
+    def test_nested_structures_are_independent(self):
+        original = {"a": [1, {"b": [2, 3]}], "c": {"d": None, "e": True}}
+        copy = deep_copy(original)
+        assert copy == original
+        copy["a"][1]["b"].append(4)
+        copy["c"]["d"] = "changed"
+        assert original["a"][1]["b"] == [2, 3]
+        assert original["c"]["d"] is None
+
+    def test_tuples_become_lists_like_json_roundtrip(self):
+        assert deep_copy({"t": (1, 2)}) == json.loads(json.dumps({"t": [1, 2]}))
+
+    def test_scalars_pass_through(self):
+        for value in ("s", 5, 2.5, True, None):
+            assert deep_copy(value) == value
+
+    def test_matches_legacy_roundtrip_on_mixed_document(self):
+        doc = {"k": [{"x": 1.5, "y": None}, [True, False], "z"], "n": 0}
+        assert deep_copy(doc) == json.loads(json.dumps(doc))
+
+    def test_non_string_keys_coerced_like_json(self):
+        doc = {"outer": {1: "a", True: "b"}}
+        assert deep_copy(doc) == json.loads(json.dumps(doc))
+
+
+class TestPathInterning:
+    def test_parse_returns_shared_instance(self):
+        a = ResourcePath.parse("/x/y/z")
+        b = ResourcePath.parse("/x/y/z")
+        assert a is b
+
+    def test_navigation_interns_too(self):
+        a = ResourcePath.parse("/x/y/z")
+        assert a.parent is ResourcePath.parse("/x/y")
+        assert a.parent.child("z") is a
+
+    def test_equality_and_hash_preserved(self):
+        a = ResourcePath.parse("/x/y")
+        b = ResourcePath(("x", "y"))  # direct construction bypasses the cache
+        assert a == b and hash(a) == hash(b)
+        assert a == "/x/y"
+
+    def test_invalid_paths_still_rejected(self):
+        from repro.common.errors import DataModelError
+
+        with pytest.raises(DataModelError):
+            ResourcePath.parse("/bad path/with spaces").parts
+
+
+class TestSignalWatch:
+    def test_subscription_observes_term_posted_later(self, store):
+        from repro.core.signals import SignalBoard
+
+        board = SignalBoard(store)
+        sub = board.subscribe("t1")
+        assert sub.active() is False
+        board.term("t1")
+        assert sub.active() is True
+        assert sub.current() == TERM
+
+    def test_subscription_sees_pre_posted_signal(self, store):
+        from repro.core.signals import SignalBoard
+
+        board = SignalBoard(store)
+        board.term("t2")
+        sub = board.subscribe("t2")
+        assert sub.active() is True
+
+    def test_closed_subscription_releases_its_watch(self, ensemble, store):
+        from repro.core.signals import SignalBoard
+
+        board = SignalBoard(store)
+        watches_before = sum(len(w) for w in ensemble._data_watches.values())
+        subs = [board.subscribe(f"t{i}") for i in range(10)]
+        for sub in subs:
+            sub.close()
+        watches_after = sum(len(w) for w in ensemble._data_watches.values())
+        assert watches_after == watches_before
+
+    def test_physical_executor_does_not_leak_watches(self, ensemble, store):
+        from repro.core.physical import PhysicalExecutor
+        from repro.core.signals import SignalBoard
+
+        executor = PhysicalExecutor(None, TropicConfig(logical_only=True),
+                                    signals=SignalBoard(store))
+        txn = Transaction("p")
+        txn.log.append("/a", "noop", [], None, [])
+        watches_before = sum(len(w) for w in ensemble._data_watches.values())
+        for _ in range(20):
+            executor.execute(txn)
+        watches_after = sum(len(w) for w in ensemble._data_watches.values())
+        assert watches_after == watches_before
