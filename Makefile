@@ -14,7 +14,7 @@ test-unit:
 test-integration:
 	$(PYTHONPATH_PREFIX) python -m pytest tests/integration tests/property -q
 
-## Full benchmark suite; writes BENCH_pr1.json.
+## Full benchmark suite; writes BENCH_pr2.json (incl. 2/4-shard runs).
 bench:
 	bash scripts/run_benchmarks.sh
 

@@ -1,13 +1,16 @@
-"""Write-path micro-benchmarks (PR 1 performance subsystem).
+"""Write-path micro-benchmarks (PR 1 + PR 2 performance subsystems).
 
-Covers the four write-path optimisations in isolation:
+Covers the write-path optimisations in isolation:
 
 * structure-aware ``deep_copy`` vs the legacy JSON round-trip (guarded: a
   regression that reintroduces serialisation-based copying fails the run),
 * delta-aware ``save_transaction`` (fields re-encoded per save, writes
   skipped on unchanged documents),
-* ``WriteBatch`` group commit vs one round-trip per put, and
-* ``ResourcePath.parse`` interning.
+* ``WriteBatch`` group commit vs one round-trip per put,
+* ``ResourcePath.parse`` interning,
+* submit-side batching (``submit_many``: two coordination round-trips per
+  shard per batch, PR 2), and
+* watch-driven queue consumers (zero store round-trips while idle, PR 2).
 
 Runs under pytest (``make bench-micro``) or standalone to emit JSON:
 ``python benchmarks/bench_writepath.py --json out.json``.
@@ -134,6 +137,80 @@ def run_group_commit(puts: int = 200) -> dict:
     }
 
 
+def run_submit_batching(txns: int = 120) -> dict:
+    """Round-trips to submit a batch through ``submit_many`` vs per-call
+    ``submit``: the batch costs one store group commit plus one queue group
+    write regardless of size."""
+    from repro.common.config import TropicConfig
+    from repro.tcloud.service import build_tcloud
+
+    def requests(cloud, tag):
+        return [
+            (
+                "spawnVM",
+                {
+                    "vm_name": f"{tag}-{i}",
+                    "image_template": "template-small",
+                    "storage_host": cloud.inventory.storage_host_for(i % 20),
+                    "vm_host": cloud.inventory.vm_hosts[i % 20],
+                    "mem_mb": 256,
+                },
+            )
+            for i in range(txns)
+        ]
+
+    config = TropicConfig(logical_only=True, checkpoint_every=100_000)
+    cloud = build_tcloud(num_vm_hosts=20, num_storage_hosts=5, host_mem_mb=1 << 20,
+                         config=config, logical_only=True)
+    with cloud.platform as platform:
+        before = platform.ensemble.write_round_trips
+        unbatched = [platform.submit(p, a, wait=False) for p, a in requests(cloud, "u")]
+        unbatched_rts = platform.ensemble.write_round_trips - before
+
+        before = platform.ensemble.write_round_trips
+        batched = platform.submit_many(requests(cloud, "b"), wait=False)
+        batched_rts = platform.ensemble.write_round_trips - before
+
+        platform.run_until_idle()
+        states = {h.wait(timeout=60.0).state.value for h in unbatched + batched}
+    return {
+        "txns": txns,
+        "unbatched_submit_round_trips": unbatched_rts,
+        "batched_submit_round_trips": batched_rts,
+        "round_trip_reduction": round(unbatched_rts / max(batched_rts, 1), 1),
+        "all_committed": states == {"committed"},
+    }
+
+
+def run_idle_queue_watch(idle_s: float = 0.2) -> dict:
+    """Store round-trips issued by a blocked consumer while the queue is
+    idle (watch-driven wakeup: must be zero)."""
+    import threading
+    import time as _time
+
+    from repro.coordination.queue import DistributedQueue
+
+    ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=600.0)
+    client = CoordinationClient(ensemble)
+    queue = DistributedQueue(client, "/queues/benchidle")
+    results: list = []
+    consumer = threading.Thread(
+        target=lambda: results.append(queue.get(timeout=30.0)), daemon=True
+    )
+    consumer.start()
+    _time.sleep(0.1)  # let the consumer park on its watch
+    ops_before = ensemble.op_count
+    _time.sleep(idle_s)
+    idle_ops = ensemble.op_count - ops_before
+    queue.put({"wake": True})
+    consumer.join(timeout=10.0)
+    return {
+        "idle_window_s": idle_s,
+        "idle_round_trips": idle_ops,
+        "woke_with_item": results == [{"wake": True}],
+    }
+
+
 def run_path_interning(iterations: int = 5000) -> dict:
     paths = [f"/vmRoot/host{i % 40}/vm{i % 7}" for i in range(iterations)]
     start = time.perf_counter()
@@ -181,6 +258,19 @@ def test_path_parse_interning():
     assert result["distinct_objects"] == 280, result
 
 
+def test_submit_batching_costs_two_round_trips_per_batch():
+    result = run_submit_batching()
+    assert result["batched_submit_round_trips"] == 2, result
+    assert result["unbatched_submit_round_trips"] >= result["txns"], result
+    assert result["all_committed"], result
+
+
+def test_idle_queue_consumer_issues_zero_round_trips():
+    result = run_idle_queue_watch()
+    assert result["idle_round_trips"] == 0, result
+    assert result["woke_with_item"], result
+
+
 # ----------------------------------------------------------------------
 # standalone runner
 # ----------------------------------------------------------------------
@@ -196,6 +286,8 @@ def main() -> None:
         "txn_save_delta": run_txn_save_delta(),
         "group_commit": run_group_commit(),
         "path_interning": run_path_interning(),
+        "submit_batching": run_submit_batching(),
+        "idle_queue_watch": run_idle_queue_watch(),
     }
     print(json.dumps(results, indent=2, sort_keys=True))
     if args.json:

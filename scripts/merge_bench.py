@@ -2,9 +2,10 @@
 """Merge benchmark outputs into one machine-readable BENCH JSON.
 
 Combines the bench_writepath micro-benchmarks, the LARGE-fleet end-to-end
-measurement, the pytest benchmark fragments (sec 6.1 / 6.2) and the seed
-baseline into a single document with computed speedup ratios, so future PRs
-have a perf trajectory to compare against.
+measurement, the sharded LARGE-fleet runs (PR 2), the pytest benchmark
+fragments (sec 6.1 / 6.2) and the seed/PR 1 baselines into a single
+document with computed speedup ratios, so future PRs have a perf
+trajectory to compare against.
 """
 
 from __future__ import annotations
@@ -37,6 +38,11 @@ def main() -> None:
     parser.add_argument("--large-fleet", required=True)
     parser.add_argument("--fragments", required=True)
     parser.add_argument("--baseline", required=True)
+    parser.add_argument("--sharded", action="append", default=[],
+                        help="path to a sharded measure_writepath JSON (repeatable)")
+    parser.add_argument("--pr1", default=None,
+                        help="BENCH_pr1.json for the single-controller reference")
+    parser.add_argument("--pr", type=int, default=1)
     parser.add_argument("--out", required=True)
     args = parser.parse_args()
 
@@ -57,15 +63,46 @@ def main() -> None:
     }
 
     result = {
-        "pr": 1,
-        "subsystem": "controller write path (group commit, incremental "
-                     "checkpoints, path interning, batched scheduling)",
+        "pr": args.pr,
+        "subsystem": (
+            "subtree-sharded controller scale-out + submit-side batching + "
+            "watch-driven queue consumers"
+            if args.pr >= 2
+            else "controller write path (group commit, incremental "
+                 "checkpoints, path interning, batched scheduling)"
+        ),
         "seed_baseline": baseline,
         "large_fleet": large,
         "ratios": ratios,
         "micro": _load(args.writepath),
         "pytest_benchmarks": _load_fragments(args.fragments),
     }
+
+    if args.pr1:
+        pr1 = _load(args.pr1)
+        pr1_tput = pr1["large_fleet"]["throughput_txn_s"]
+        result["pr1_reference"] = {
+            "throughput_txn_s": pr1_tput,
+            "writes_per_commit": pr1["large_fleet"]["writes_per_commit"],
+        }
+        ratios["single_shard_vs_pr1"] = round(
+            large["throughput_txn_s"] / pr1_tput, 2
+        )
+    if args.sharded:
+        sharded = [_load(path) for path in args.sharded]
+        sharded.sort(key=lambda r: r["shards"])
+        result["sharded_large_fleet"] = sharded
+        if args.pr1:
+            for run in sharded:
+                ratios[f"sharded{run['shards']}_aggregate_vs_pr1"] = round(
+                    run["aggregate_throughput_txn_s"] / pr1_tput, 2
+                )
+            single = large["throughput_txn_s"]
+            for run in sharded:
+                ratios[f"sharded{run['shards']}_scaling_vs_single_shard"] = round(
+                    run["aggregate_throughput_txn_s"] / single, 2
+                )
+
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
     print(json.dumps(ratios, indent=2, sort_keys=True))

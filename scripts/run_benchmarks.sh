@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
-# Run the PR 1 write-path benchmark suite and write BENCH_pr1.json.
+# Run the PR 2 write-path + sharding benchmark suite and write BENCH_pr2.json.
 #
 # Covers:
-#   * bench_writepath.py        — micro-benchmarks of the four optimisations
+#   * bench_writepath.py        — micro-benchmarks (group commit, delta docs,
+#                                 interning, submit batching, idle queue watch)
 #   * bench_sec61_scalability   — throughput + store writes/commit vs fleet size
 #   * bench_sec62_safety_overhead — logical-layer constraint-checking cost
-#   * scripts/measure_writepath — LARGE-fleet end-to-end measurement
+#   * scripts/measure_writepath — LARGE-fleet end-to-end measurement at 1, 2
+#                                 and 4 controller shards (per-shard and
+#                                 aggregate txn/s)
 #
-# The results are merged with benchmarks/BASELINE_seed.json (measured at the
-# seed commit with the same tooling) so the JSON carries the speedup ratios.
+# The results are merged with benchmarks/BASELINE_seed.json (seed commit) and
+# BENCH_pr1.json (single-controller PR 1 numbers) so the JSON carries the
+# speedup and scaling ratios.
 #
-# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr1.json)
+# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr2.json)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_pr1.json}"
+OUT="${1:-BENCH_pr2.json}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -24,7 +28,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== micro-benchmarks (bench_writepath) =="
 python benchmarks/bench_writepath.py --json "$WORK/writepath.json"
 
-echo "== LARGE-fleet end-to-end measurement =="
+echo "== LARGE-fleet end-to-end measurement (single shard) =="
 # 600-txn batch to match benchmarks/BASELINE_seed.json (short runs are
 # dominated by host jitter; see the baseline's method note).
 python scripts/measure_writepath.py \
@@ -33,6 +37,19 @@ python scripts/measure_writepath.py \
     --checkpoint-every 100000 \
     --repeat "${TROPIC_BENCH_REPEAT:-5}" \
     --json "$WORK/large_fleet.json"
+
+SHARDED_ARGS=()
+for SHARDS in ${TROPIC_BENCH_SHARD_COUNTS:-2 4}; do
+    echo "== LARGE-fleet sharded measurement (${SHARDS} shards) =="
+    python scripts/measure_writepath.py \
+        --hosts "${TROPIC_BENCH_SCALE_LARGE:-800}" \
+        --txns "${TROPIC_BENCH_LARGE_TXNS:-600}" \
+        --checkpoint-every 100000 \
+        --shards "$SHARDS" \
+        --repeat "${TROPIC_BENCH_REPEAT:-5}" \
+        --json "$WORK/sharded_${SHARDS}.json"
+    SHARDED_ARGS+=(--sharded "$WORK/sharded_${SHARDS}.json")
+done
 
 echo "== pytest benchmarks (sec 6.1 scalability, sec 6.2 safety overhead) =="
 TROPIC_BENCH_JSON_OUT="$WORK/fragments.jsonl" \
@@ -46,6 +63,9 @@ python scripts/merge_bench.py \
     --large-fleet "$WORK/large_fleet.json" \
     --fragments "$WORK/fragments.jsonl" \
     --baseline benchmarks/BASELINE_seed.json \
+    --pr1 BENCH_pr1.json \
+    --pr 2 \
+    "${SHARDED_ARGS[@]}" \
     --out "$OUT"
 
 echo "wrote $OUT"

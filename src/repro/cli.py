@@ -44,6 +44,10 @@ def _build_cloud(args: argparse.Namespace, threaded: bool = False,
         heartbeat_interval=0.05,
         session_timeout=0.5,
         queue_poll_interval=0.002,
+        num_shards=getattr(args, "shards", 1),
+        # Demo workloads include cross-subtree orchestrations (migrate,
+        # tenant provisioning); pin them to one shard instead of rejecting.
+        cross_shard_policy=getattr(args, "cross_shard", "pin"),
     )
     return build_tcloud(
         num_vm_hosts=args.hosts,
@@ -208,6 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of compute hosts in the simulated fleet")
     parser.add_argument("--host-mem-mb", type=int, default=8192,
                         help="memory capacity of each compute host (MB)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="number of controller shards the data-model tree "
+                             "is partitioned over (1 = the paper's single "
+                             "controller)")
+    parser.add_argument("--cross-shard", choices=("reject", "pin"), default="pin",
+                        help="policy for transactions spanning shards: reject "
+                             "at submit time, or pin to the lowest involved "
+                             "shard (default for the demos; pinned effects on "
+                             "foreign subtrees are visible only through the "
+                             "pinned shard)")
 
     sub = parser.add_subparsers(dest="command", required=True)
 

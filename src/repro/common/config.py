@@ -40,6 +40,16 @@ class TropicConfig:
         ``"fifo"`` (paper default) or ``"aggressive"`` (the future-work
         policy of §3.1.1 that schedules past a conflicting head-of-queue
         transaction).
+    num_shards:
+        Number of controller shards the data-model tree is partitioned
+        over.  Each shard runs its own leader election, inputQ/phyQ, lock
+        domain and checkpoint namespace; ``1`` (default) reproduces the
+        paper's single-controller deployment exactly.
+    cross_shard_policy:
+        What to do with a transaction whose paths span several shards:
+        ``"reject"`` (refuse at submit time, preserving full isolation) or
+        ``"pin"`` (run it on the lowest involved shard; isolation degrades
+        to per-shard).  See :mod:`repro.core.sharding`.
     checkpoint_every:
         Number of applied transactions between data-model checkpoints
         written to persistent storage.
@@ -70,6 +80,8 @@ class TropicConfig:
     repair_period: float = 0.0
     txn_timeout: float = 0.0
     scheduler_policy: str = "fifo"
+    num_shards: int = 1
+    cross_shard_policy: str = "reject"
     checkpoint_every: int = 64
     input_batch_size: int = 64
     worker_batch_size: int = 16
@@ -88,6 +100,10 @@ class TropicConfig:
             raise ValueError("worker_threads must be >= 1")
         if self.scheduler_policy not in ("fifo", "aggressive"):
             raise ValueError(f"unknown scheduler_policy {self.scheduler_policy!r}")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.cross_shard_policy not in ("reject", "pin"):
+            raise ValueError(f"unknown cross_shard_policy {self.cross_shard_policy!r}")
         if self.session_timeout <= self.heartbeat_interval:
             raise ValueError("session_timeout must exceed heartbeat_interval")
         if self.checkpoint_every < 1:

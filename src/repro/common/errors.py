@@ -137,3 +137,28 @@ class NotLeaderError(ReproError):
 
 class RecoveryError(ReproError):
     """Leader failover could not restore controller state."""
+
+
+class CrossShardTransaction(ReproError):
+    """A submitted transaction addresses subtrees owned by more than one
+    controller shard and the deployment's cross-shard policy is ``reject``.
+
+    Attributes
+    ----------
+    shards:
+        Sorted indices of the shards the transaction would span.
+    """
+
+    def __init__(self, message: str, shards: list[int] | None = None):
+        super().__init__(message)
+        self.shards = list(shards or [])
+
+
+class ShardNotLocalError(ConfigurationError):
+    """A request was routed to a shard this process does not host (the
+    deployment runs with ``local_shards`` restricted, e.g. one shard per
+    process); resubmit against the process hosting the owning shard."""
+
+    def __init__(self, message: str, shard: int = -1):
+        super().__init__(message)
+        self.shard = shard

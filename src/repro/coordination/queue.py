@@ -10,12 +10,16 @@ the same item.
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
 from repro.common.clock import Clock, RealClock
 from repro.common.errors import NoNodeError
 from repro.common.jsonutil import dumps, loads
 from repro.coordination.client import CoordinationClient
+
+#: Sentinel distinguishing "no item claimed" from a claimed ``None`` item.
+_NOTHING = object()
 
 
 class DistributedQueue:
@@ -54,15 +58,23 @@ class DistributedQueue:
             children = sorted(self.client.get_children(self.path))
             if not children:
                 return None
-            for name in children:
-                item_path = f"{self.path}/{name}"
-                try:
-                    data, _ = self.client.get(item_path)
-                    self.client.delete(item_path)
-                except NoNodeError:
-                    continue  # another consumer raced us; try the next item
-                return loads(data)
+            claimed = self._claim_one(children)
+            if claimed is not _NOTHING:
+                return claimed
             # All candidates vanished under us; retry the listing.
+
+    def _claim_one(self, children: list[str]) -> Any:
+        """Atomically claim the oldest of ``children``; returns the item or
+        ``_NOTHING`` when every candidate was taken by another consumer."""
+        for name in children:
+            item_path = f"{self.path}/{name}"
+            try:
+                data, _ = self.client.get(item_path)
+                self.client.delete(item_path)
+            except NoNodeError:
+                continue  # another consumer raced us; try the next item
+            return loads(data)
+        return _NOTHING
 
     def poll_many(self, limit: int) -> list[Any]:
         """Dequeue up to ``limit`` items, oldest first (one child listing
@@ -83,15 +95,34 @@ class DistributedQueue:
         return items
 
     def get(self, timeout: float | None = None, poll_interval: float = 0.002) -> Any | None:
-        """Blocking dequeue with an optional timeout (None waits forever)."""
+        """Blocking dequeue with an optional timeout (None waits forever).
+
+        Watch-driven: while the queue is empty the consumer parks on a
+        child watch registered with the (single) listing round-trip, so an
+        idle consumer issues **zero** further coordination operations until
+        a producer's ``put`` fires the watch.  ``poll_interval`` no longer
+        paces store polling — it only bounds how often the timeout deadline
+        is re-checked while parked.
+        """
         deadline = None if timeout is None else self.clock.now() + timeout
         while True:
-            item = self.poll()
-            if item is not None:
-                return item
-            if deadline is not None and self.clock.now() >= deadline:
-                return None
-            self.clock.sleep(poll_interval)
+            wakeup = threading.Event()
+            children = sorted(
+                self.client.get_children(self.path, lambda event: wakeup.set())
+            )
+            if children:
+                claimed = self._claim_one(children)
+                if claimed is not _NOTHING:
+                    return claimed
+                continue  # raced by other consumers; re-list immediately
+            # Idle: wait for the child watch (no store round-trips).  The
+            # deadline is re-read on the platform clock every slice, so a
+            # simulated clock advanced by another thread still times the
+            # consumer out without any store traffic.
+            while not wakeup.is_set():
+                if deadline is not None and self.clock.now() >= deadline:
+                    return None
+                wakeup.wait(poll_interval)
 
     def take(self) -> tuple[str, Any] | None:
         """Return ``(item_name, item)`` for the oldest item *without* removing it.

@@ -55,8 +55,14 @@ class Controller:
         procedures: ProcedureRegistry,
         clock: Clock | None = None,
         on_complete: Callable[[Transaction], None] | None = None,
+        shard_id: int = 0,
     ):
         self.name = name
+        #: Index of the data-model shard this replica serves.  All of the
+        #: controller's persistent state (store, queues, election) is
+        #: namespaced per shard by the platform; the lock domain and todoQ
+        #: below are therefore shard-local by construction.
+        self.shard_id = shard_id
         self.config = config
         self.store = store
         self.input_queue = input_queue
@@ -516,4 +522,7 @@ class Controller:
         return self.store.io_stats()
 
     def __repr__(self) -> str:
-        return f"<Controller {self.name} recovered={self.recovered} todo={len(self.todo)}>"
+        return (
+            f"<Controller {self.name} shard={self.shard_id} "
+            f"recovered={self.recovered} todo={len(self.todo)}>"
+        )

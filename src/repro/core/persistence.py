@@ -124,8 +124,14 @@ class TropicStore:
     CHECKPOINT_META = "checkpoint/meta"
     CHECKPOINT_SUB_PREFIX = "checkpoint/sub"
 
-    def __init__(self, kv: KVStore):
+    def __init__(self, kv: KVStore, shard_id: int | None = None, num_shards: int | None = None):
         self.kv = kv
+        #: Shard identity stamped into checkpoint metadata (sharded
+        #: deployments).  Recovery refuses a checkpoint stamped for a
+        #: different shard layout — a misconfigured ``num_shards`` across a
+        #: restart would silently re-route subtrees between lock domains.
+        self.shard_id = shard_id
+        self.num_shards = num_shards
         # txid -> {field: serialized fragment, "__doc__": full doc text}.
         # Concurrency contract: same-txid saves are serialised by the
         # controller's op mutex (submit writes a fresh txid before any
@@ -305,6 +311,8 @@ class TropicStore:
             "root": snapshot_root_info(model),
             "tops": tops_meta,
         }
+        if self.shard_id is not None:
+            meta["shard"] = {"shard_id": self.shard_id, "num_shards": self.num_shards}
         current_pairs = {
             (top, child)
             for top, entry in tops_meta.items()

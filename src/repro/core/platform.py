@@ -16,16 +16,30 @@ Two runtimes are provided:
   repair, stalled-transaction watchdog).  Used by the examples, the
   EC2-trace performance benchmarks, and the high-availability experiments
   (leader failover, §6.4).
+
+With ``config.num_shards > 1`` the data-model tree is partitioned over N
+controller *shards* (see :mod:`repro.core.sharding`).  Each shard gets its
+own namespaced store prefix, inputQ/phyQ, leader election and replica set;
+submissions are routed client-side to the owning shard's inputQ.  Shards
+share nothing, so a process may host only a subset of them
+(``local_shards``) — the scale-out deployment runs one shard (plus its
+replicas) per process or machine.
 """
 
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.common.clock import Clock, RealClock
 from repro.common.config import TropicConfig
-from repro.common.errors import ConfigurationError, ReproError, TransactionFailed
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    ShardNotLocalError,
+    TransactionFailed,
+)
 from repro.common.idgen import random_id
 from repro.coordination.client import CoordinationClient
 from repro.coordination.election import LeaderElection
@@ -37,6 +51,7 @@ from repro.core.events import request_message
 from repro.core.persistence import TropicStore
 from repro.core.procedures import ProcedureRegistry
 from repro.core.reconcile import Reconciler, ReloadReport, RepairReport
+from repro.core.sharding import ShardMap, ShardRouter, is_global_path
 from repro.core.signals import SignalBoard
 from repro.core.txn import Transaction, TransactionState
 from repro.core.worker import Worker
@@ -53,6 +68,22 @@ INPUT_QUEUE_PATH = "/tropic/queues/inputQ"
 PHY_QUEUE_PATH = "/tropic/queues/phyQ"
 ELECTION_PATH = "/tropic/election"
 STORE_PREFIX = "/tropic/store"
+#: Global (unsharded) namespace holding the persisted shard map.
+SHARD_MAP_PREFIX = "/tropic/shards"
+
+
+@dataclass
+class ShardRuntime:
+    """Everything one controller shard owns: namespaced persistent store,
+    queues, election path, controller replicas and physical workers."""
+
+    index: int
+    store: TropicStore
+    input_queue: DistributedQueue
+    phy_queue: DistributedQueue
+    election_path: str
+    controllers: list[Controller] = field(default_factory=list)
+    workers: list[Worker] = field(default_factory=list)
 
 
 class TransactionHandle:
@@ -63,7 +94,7 @@ class TransactionHandle:
         self.txid = txid
 
     def refresh(self) -> Transaction | None:
-        return self.platform.store.load_transaction(self.txid)
+        return self.platform.load_transaction(self.txid)
 
     @property
     def state(self) -> TransactionState | None:
@@ -85,16 +116,19 @@ class TransactionHandle:
 class _ControllerRunner(threading.Thread):
     """Service thread hosting one controller replica."""
 
-    def __init__(self, platform: "TropicPlatform", controller: Controller):
+    def __init__(
+        self, platform: "TropicPlatform", controller: Controller, election_path: str
+    ):
         super().__init__(name=f"tropic-{controller.name}", daemon=True)
         self.platform = platform
         self.controller = controller
+        self.shard = controller.shard_id
         self.stop_event = threading.Event()
         self.election_client = CoordinationClient(
             platform.ensemble, session_timeout=platform.config.session_timeout
         )
         self.election = LeaderElection(
-            self.election_client, ELECTION_PATH, controller.name
+            self.election_client, election_path, controller.name
         )
         self.is_leader = False
         self.became_leader_at: float | None = None
@@ -199,6 +233,8 @@ class TropicPlatform:
         ensemble: CoordinationEnsemble | None = None,
         clock: Clock | None = None,
         threaded: bool = False,
+        shard_assignments: dict[str, int] | None = None,
+        local_shards: list[int] | None = None,
     ):
         self.schema = schema
         self.procedures = procedures
@@ -208,6 +244,18 @@ class TropicPlatform:
         self.initial_model = initial_model
         self.clock = clock or RealClock()
         self.threaded = threaded
+        self.shard_assignments = dict(shard_assignments or {})
+        if local_shards is None:
+            self._local_shards = list(range(self.config.num_shards))
+        else:
+            self._local_shards = sorted(set(int(s) for s in local_shards))
+            for shard in self._local_shards:
+                if not 0 <= shard < self.config.num_shards:
+                    raise ConfigurationError(
+                        f"local shard {shard} outside 0..{self.config.num_shards - 1}"
+                    )
+            if not self._local_shards:
+                raise ConfigurationError("local_shards must name at least one shard")
 
         self.ensemble = ensemble or CoordinationEnsemble(
             num_servers=3,
@@ -216,6 +264,10 @@ class TropicPlatform:
             op_latency=self.config.coordination_latency,
         )
         self.client: CoordinationClient | None = None
+        self.shard_router: ShardRouter | None = None
+        self.shards: dict[int, ShardRuntime] = {}
+        # Shard-0-local aliases kept for single-shard callers (the paper's
+        # deployment shape); populated by start().
         self.store: TropicStore | None = None
         self.input_queue: DistributedQueue | None = None
         self.phy_queue: DistributedQueue | None = None
@@ -224,11 +276,60 @@ class TropicPlatform:
         self.signals: SignalBoard | None = None
         self.completed_transactions: list[Transaction] = []
         self._completed_index: dict[str, Transaction] = {}
+        self._txn_shards: dict[str, int] = {}
         self._controller_runners: list[_ControllerRunner] = []
         self._worker_runners: list[_WorkerRunner] = []
         self._maintenance: _MaintenanceRunner | None = None
         self._started = False
         self._completion_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Shard namespaces
+    # ------------------------------------------------------------------
+
+    def _store_prefix(self, shard: int) -> str:
+        if self.config.num_shards == 1:
+            return STORE_PREFIX
+        return f"{STORE_PREFIX}/shard-{shard}"
+
+    def _input_queue_path(self, shard: int) -> str:
+        if self.config.num_shards == 1:
+            return INPUT_QUEUE_PATH
+        return f"/tropic/queues/shard-{shard}/inputQ"
+
+    def _phy_queue_path(self, shard: int) -> str:
+        if self.config.num_shards == 1:
+            return PHY_QUEUE_PATH
+        return f"/tropic/queues/shard-{shard}/phyQ"
+
+    def _election_path(self, shard: int) -> str:
+        if self.config.num_shards == 1:
+            return ELECTION_PATH
+        return f"{ELECTION_PATH}/shard-{shard}"
+
+    def _load_or_persist_shard_map(self) -> ShardMap:
+        """Resolve the authoritative shard map.
+
+        The first process to start persists its map in the global
+        coordination namespace; every later process (restarts, other
+        shard hosts) adopts the persisted one, which keeps routing stable
+        across restarts regardless of local configuration drift.
+        """
+        shard_kv = KVStore(self.client, SHARD_MAP_PREFIX)
+        persisted = shard_kv.get("map")
+        if persisted is None:
+            shard_map = ShardMap(self.config.num_shards, self.shard_assignments)
+            if self.config.num_shards > 1:
+                shard_kv.put("map", shard_map.to_dict())
+            return shard_map
+        shard_map = ShardMap.from_dict(persisted)
+        if shard_map.num_shards != self.config.num_shards:
+            raise ConfigurationError(
+                f"persisted shard map has {shard_map.num_shards} shards but "
+                f"config.num_shards={self.config.num_shards}; resharding "
+                f"requires an explicit migration, not a restart"
+            )
+        return shard_map
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -238,50 +339,90 @@ class TropicPlatform:
         """Bring up the store, queues, controllers and workers."""
         if self._started:
             return self
+        config = self.config
         self.client = CoordinationClient(self.ensemble, session_timeout=_LONG_SESSION)
-        self.store = TropicStore(KVStore(self.client, STORE_PREFIX))
-        self.input_queue = DistributedQueue(self.client, INPUT_QUEUE_PATH, self.clock)
-        self.phy_queue = DistributedQueue(self.client, PHY_QUEUE_PATH, self.clock)
-        self.signals = SignalBoard(self.store)
+        self.shard_router = ShardRouter(
+            self._load_or_persist_shard_map(), config.cross_shard_policy
+        )
 
-        # Bootstrap the data-model checkpoint on first start.
-        checkpoint, _ = self.store.load_checkpoint()
-        if checkpoint is None:
-            model = self.initial_model if self.initial_model is not None else DataModel()
-            self.store.save_checkpoint(model, 0)
-
-        num_controllers = self.config.num_controllers if self.threaded else 1
-        for index in range(num_controllers):
-            controller = Controller(
-                name=f"controller-{index}-{random_id('c')[-4:]}",
-                config=self.config,
-                store=self.store,
-                input_queue=self.input_queue,
-                phy_queue=self.phy_queue,
-                schema=self.schema,
-                procedures=self.procedures,
-                clock=self.clock,
-                on_complete=self._on_complete,
+        sharded = config.num_shards > 1
+        num_controllers = config.num_controllers if self.threaded else 1
+        for shard in self._local_shards:
+            store = TropicStore(
+                KVStore(self.client, self._store_prefix(shard)),
+                shard_id=shard if sharded else None,
+                num_shards=config.num_shards if sharded else None,
             )
-            self.controllers.append(controller)
-
-        for index in range(self.config.num_workers):
-            worker = Worker(
-                name=f"worker-{index}",
-                store=self.store,
-                phy_queue=self.phy_queue,
-                input_queue=self.input_queue,
-                registry=self.registry,
-                config=self.config,
-                clock=self.clock,
+            runtime = ShardRuntime(
+                index=shard,
+                store=store,
+                input_queue=DistributedQueue(
+                    self.client, self._input_queue_path(shard), self.clock
+                ),
+                phy_queue=DistributedQueue(
+                    self.client, self._phy_queue_path(shard), self.clock
+                ),
+                election_path=self._election_path(shard),
             )
-            self.workers.append(worker)
+
+            # Bootstrap the shard's data-model checkpoint on first start.
+            # Every shard checkpoints the full initial model: a shard is
+            # authoritative for its own subtrees only, but keeping the full
+            # tree lets subtree-local constraint checks and reads work
+            # without cross-shard calls (foreign subtrees are never
+            # mutated locally, so they are simply a bootstrap-frozen view).
+            checkpoint, _ = store.load_checkpoint()
+            if checkpoint is None:
+                model = (
+                    self.initial_model if self.initial_model is not None else DataModel()
+                )
+                store.save_checkpoint(model, 0)
+
+            for index in range(num_controllers):
+                prefix = f"controller-{shard}-{index}" if sharded else f"controller-{index}"
+                runtime.controllers.append(
+                    Controller(
+                        name=f"{prefix}-{random_id('c')[-4:]}",
+                        config=config,
+                        store=store,
+                        input_queue=runtime.input_queue,
+                        phy_queue=runtime.phy_queue,
+                        schema=self.schema,
+                        procedures=self.procedures,
+                        clock=self.clock,
+                        on_complete=self._on_complete,
+                        shard_id=shard,
+                    )
+                )
+            for index in range(config.num_workers):
+                name = f"worker-{shard}-{index}" if sharded else f"worker-{index}"
+                runtime.workers.append(
+                    Worker(
+                        name=name,
+                        store=store,
+                        phy_queue=runtime.phy_queue,
+                        input_queue=runtime.input_queue,
+                        registry=self.registry,
+                        config=config,
+                        clock=self.clock,
+                    )
+                )
+            self.shards[shard] = runtime
+
+        first = self.shards[self._local_shards[0]]
+        self.store = first.store
+        self.input_queue = first.input_queue
+        self.phy_queue = first.phy_queue
+        self.signals = SignalBoard(first.store)
+        self.controllers = [c for rt in self.shards.values() for c in rt.controllers]
+        self.workers = [w for rt in self.shards.values() for w in rt.workers]
 
         if self.threaded:
-            for controller in self.controllers:
-                runner = _ControllerRunner(self, controller)
-                self._controller_runners.append(runner)
-                runner.start()
+            for runtime in self.shards.values():
+                for controller in runtime.controllers:
+                    runner = _ControllerRunner(self, controller, runtime.election_path)
+                    self._controller_runners.append(runner)
+                    runner.start()
             for worker in self.workers:
                 runner = _WorkerRunner(self, worker)
                 self._worker_runners.append(runner)
@@ -290,8 +431,9 @@ class TropicPlatform:
                 self._maintenance = _MaintenanceRunner(self)
                 self._maintenance.start()
         else:
-            # Inline runtime: one controller, recovered eagerly.
-            self.controllers[0].recover()
+            # Inline runtime: one controller per shard, recovered eagerly.
+            for runtime in self.shards.values():
+                runtime.controllers[0].recover()
 
         self._started = True
         return self
@@ -322,6 +464,52 @@ class TropicPlatform:
         self.stop()
 
     # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+
+    @property
+    def local_shards(self) -> list[int]:
+        return list(self._local_shards)
+
+    def _resolve_shard(self, procedure: str, args: dict[str, Any] | None) -> int:
+        """Owning shard for one submission (client-side routing)."""
+        if self.config.num_shards == 1:
+            return 0
+        return self.shard_router.resolve(procedure, args)
+
+    def _runtime(self, shard: int) -> ShardRuntime:
+        runtime = self.shards.get(shard)
+        if runtime is None:
+            raise ShardNotLocalError(
+                f"shard {shard} is not hosted by this process "
+                f"(local shards: {self._local_shards})",
+                shard=shard,
+            )
+        return runtime
+
+    def shard_of_txn(self, txid: str) -> int | None:
+        """Shard a transaction was routed to (local submissions only have
+        it cached; otherwise the local shard stores are searched)."""
+        shard = self._txn_shards.get(txid)
+        if shard is not None:
+            return shard
+        for shard, runtime in self.shards.items():
+            if runtime.store.load_transaction(txid) is not None:
+                return shard
+        return None
+
+    def load_transaction(self, txid: str) -> Transaction | None:
+        """Load a transaction document from its owning shard's store."""
+        shard = self._txn_shards.get(txid)
+        if shard is not None and shard in self.shards:
+            return self.shards[shard].store.load_transaction(txid)
+        for runtime in self.shards.values():
+            txn = runtime.store.load_transaction(txid)
+            if txn is not None:
+                return txn
+        return None
+
+    # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
 
@@ -335,22 +523,24 @@ class TropicPlatform:
     ) -> Transaction | TransactionHandle:
         """Submit a transactional orchestration (Step 1 of Figure 2).
 
-        With ``wait=True`` (default) the call blocks until the transaction
-        reaches a terminal state and returns the final
-        :class:`~repro.core.txn.Transaction`; otherwise it returns a
-        :class:`TransactionHandle` immediately.
+        The transaction is routed to the shard owning its argument paths
+        and enqueued on that shard's inputQ.  With ``wait=True`` (default)
+        the call blocks until the transaction reaches a terminal state and
+        returns the final :class:`~repro.core.txn.Transaction`; otherwise
+        it returns a :class:`TransactionHandle` immediately.
         """
         self._require_started()
         if not self.procedures.has(procedure):
             raise ConfigurationError(f"unknown stored procedure {procedure!r}")
+        shard = self._resolve_shard(procedure, args)
+        runtime = self._runtime(shard)
         txn = Transaction(procedure=procedure, args=dict(args or {}), client=client)
         txn.mark(TransactionState.INITIALIZED, self.clock.now())
-        self.store.save_transaction(txn)
-        self.input_queue.put(request_message(txn.txid))
+        runtime.store.save_transaction(txn)
+        runtime.input_queue.put(request_message(txn.txid))
+        self._txn_shards[txn.txid] = shard
         handle = TransactionHandle(self, txn.txid)
         if not wait:
-            if not self.threaded:
-                return handle
             return handle
         if not self.threaded:
             self.run_until_idle()
@@ -359,10 +549,34 @@ class TropicPlatform:
     def submit_many(
         self, requests: list[tuple[str, dict[str, Any]]], wait: bool = True, timeout: float | None = 60.0
     ) -> list[Transaction | TransactionHandle]:
-        """Submit a batch of transactions, then optionally wait for all."""
-        handles = [self.submit(proc, args, wait=False) for proc, args in requests]
+        """Submit a batch of transactions with submit-side batching.
+
+        Per shard, the INITIALIZED transaction documents of the whole batch
+        are group-committed in one store write and the request messages are
+        enqueued in one queue write — two coordination round-trips per
+        shard per batch instead of two per transaction.
+        """
+        self._require_started()
+        handles: list[TransactionHandle] = []
+        per_shard: dict[int, list[Transaction]] = {}
+        for procedure, args in requests:
+            if not self.procedures.has(procedure):
+                raise ConfigurationError(f"unknown stored procedure {procedure!r}")
+            shard = self._resolve_shard(procedure, args)
+            self._runtime(shard)  # fail fast before anything is persisted
+            txn = Transaction(procedure=procedure, args=dict(args or {}))
+            txn.mark(TransactionState.INITIALIZED, self.clock.now())
+            per_shard.setdefault(shard, []).append(txn)
+            self._txn_shards[txn.txid] = shard
+            handles.append(TransactionHandle(self, txn.txid))
+        for shard, txns in per_shard.items():
+            runtime = self._runtime(shard)
+            with runtime.store.batch():
+                for txn in txns:
+                    runtime.store.save_transaction(txn)
+            runtime.input_queue.put_many([request_message(t.txid) for t in txns])
         if not wait:
-            return handles
+            return list(handles)
         if not self.threaded:
             self.run_until_idle()
         return [handle.wait(timeout) for handle in handles]
@@ -372,13 +586,13 @@ class TropicPlatform:
         self._require_started()
         deadline = None if timeout is None else self.clock.now() + timeout
         while True:
-            txn = self._completed_lookup(txid) or self.store.load_transaction(txid)
+            txn = self._completed_lookup(txid) or self.load_transaction(txid)
             if txn is not None and txn.is_terminal:
                 return txn
             if not self.threaded:
                 # Inline runtime: drive execution ourselves.
                 progressed = self.run_until_idle()
-                txn = self._completed_lookup(txid) or self.store.load_transaction(txid)
+                txn = self._completed_lookup(txid) or self.load_transaction(txid)
                 if txn is not None and txn.is_terminal:
                     return txn
                 if not progressed:
@@ -396,7 +610,8 @@ class TropicPlatform:
     # ------------------------------------------------------------------
 
     def run_until_idle(self, max_rounds: int = 100_000) -> int:
-        """Step controller and workers until every queue is drained.
+        """Step every local shard's controller and workers until all queues
+        are drained.
 
         Only meaningful for the inline runtime; returns the number of
         productive rounds.
@@ -404,14 +619,19 @@ class TropicPlatform:
         self._require_started()
         if self.threaded:
             return 0
-        controller = self.controllers[0]
         rounds = 0
         for _ in range(max_rounds):
-            progressed = controller.step()
-            for worker in self.workers:
-                if worker.step():
+            progressed = False
+            for runtime in self.shards.values():
+                if runtime.controllers[0].step():
                     progressed = True
-            if not progressed and self.input_queue.is_empty() and self.phy_queue.is_empty():
+                for worker in runtime.workers:
+                    if worker.step():
+                        progressed = True
+            if not progressed and all(
+                rt.input_queue.is_empty() and rt.phy_queue.is_empty()
+                for rt in self.shards.values()
+            ):
                 break
             if progressed:
                 rounds += 1
@@ -421,75 +641,136 @@ class TropicPlatform:
     # Reconciliation and signals (§4)
     # ------------------------------------------------------------------
 
-    def reconciler(self) -> Reconciler:
+    def reconciler(self, shard: int | None = None) -> Reconciler:
         self._require_started()
         if self.registry is None:
             raise ConfigurationError("reconciliation requires a device registry")
-        return Reconciler(self.leader(), self.registry)
+        return Reconciler(self.leader(shard), self.registry)
+
+    def _shard_for_repair(self, path: str) -> int | None:
+        if self.config.num_shards == 1:
+            return None
+        if is_global_path(path):
+            raise ConfigurationError(
+                f"path {path!r} is above the sharding granularity; run repair/"
+                f"reload per owned subtree (e.g. per host) in a sharded deployment"
+            )
+        return self.shard_router.shard_of(path)
 
     def repair(self, path: str = "/") -> RepairReport:
-        return self.reconciler().repair(path)
+        """Drive the physical layer back to the logical state under ``path``.
+
+        Sharded deployments fan a global repair (``"/"`` or a top-level
+        subtree) out over every registered device owned by a locally
+        hosted shard, each repaired against its owner's model — a shard's
+        copy of *foreign* subtrees is bootstrap-frozen and must never be
+        used as repair authority.  This keeps the periodic repair daemon
+        working unchanged when ``num_shards > 1``.
+        """
+        if self.config.num_shards > 1 and is_global_path(path):
+            return self._repair_global(path)
+        return self.reconciler(self._shard_for_repair(path)).repair(path)
+
+    def _repair_global(self, path: str) -> RepairReport:
+        self._require_started()
+        if self.registry is None:
+            raise ConfigurationError("reconciliation requires a device registry")
+        scope = path.rstrip("/")
+        merged = RepairReport()
+        for device_path in self.registry.device_paths():
+            device_str = str(device_path)
+            if scope and not device_str.startswith(scope + "/"):
+                continue
+            owner = self.shard_router.shard_of(device_str)
+            if owner not in self.shards:
+                continue  # foreign shard: its own host process repairs it
+            report = self.reconciler(owner).repair(device_str)
+            merged.inspected += report.inspected
+            merged.actions_executed.extend(report.actions_executed)
+            merged.action_errors.extend(report.action_errors)
+            merged.unrepairable.extend(report.unrepairable)
+        return merged
 
     def reload(self, path: str) -> ReloadReport:
-        return self.reconciler().reload(path)
+        return self.reconciler(self._shard_for_repair(path)).reload(path)
+
+    def _controller_for_txn(self, txid: str) -> Controller:
+        shard = self.shard_of_txn(txid)
+        return self.leader(shard)
 
     def send_term(self, txid: str) -> None:
-        self.leader().send_term(txid)
+        self._controller_for_txn(txid).send_term(txid)
 
     def send_kill(self, txid: str) -> None:
-        self.leader().send_kill(txid)
+        self._controller_for_txn(txid).send_kill(txid)
 
     def terminate_stalled(self, txn_timeout: float) -> list[str]:
         """TERM every outstanding transaction older than ``txn_timeout``."""
-        leader = self.leader()
         now = self.clock.now()
         terminated = []
-        for txid, txn in list(leader.outstanding.items()):
-            started = txn.timestamps.get(TransactionState.STARTED.value)
-            if started is not None and now - started > txn_timeout:
-                leader.send_term(txid)
-                terminated.append(txid)
+        for shard in self._local_shards:
+            leader = self.leader(shard)
+            for txid, txn in list(leader.outstanding.items()):
+                started = txn.timestamps.get(TransactionState.STARTED.value)
+                if started is not None and now - started > txn_timeout:
+                    leader.send_term(txid)
+                    terminated.append(txid)
         return terminated
 
     # ------------------------------------------------------------------
     # High availability controls (§6.4)
     # ------------------------------------------------------------------
 
-    def leader(self) -> Controller:
-        """The controller currently acting as leader."""
+    def leader(self, shard: int | None = None) -> Controller:
+        """The controller currently acting as leader of ``shard`` (default:
+        the first locally hosted shard)."""
         self._require_started()
+        if shard is None:
+            shard = self._local_shards[0]
+        runtime = self._runtime(shard)
         if not self.threaded:
-            return self.controllers[0]
+            return runtime.controllers[0]
         for runner in self._controller_runners:
-            if runner.is_alive() and runner.is_leader:
+            if runner.shard == shard and runner.is_alive() and runner.is_leader:
                 return runner.controller
         # No acknowledged leader yet (e.g. mid-failover); prefer a replica
         # that has already restored state, then any live replica.
         for runner in self._controller_runners:
-            if runner.is_alive() and runner.controller.recovered:
+            if runner.shard == shard and runner.is_alive() and runner.controller.recovered:
                 return runner.controller
         for runner in self._controller_runners:
-            if runner.is_alive():
+            if runner.shard == shard and runner.is_alive():
                 return runner.controller
-        raise ConfigurationError("no live controller replica")
+        raise ConfigurationError(f"no live controller replica for shard {shard}")
 
-    def leader_runner(self) -> "_ControllerRunner | None":
+    def leader_for_path(self, path: str) -> Controller:
+        """Leader of the shard owning ``path``."""
+        if self.config.num_shards == 1:
+            return self.leader()
+        return self.leader(self.shard_router.shard_of(path))
+
+    def leader_runner(self, shard: int | None = None) -> "_ControllerRunner | None":
         for runner in self._controller_runners:
+            if shard is not None and runner.shard != shard:
+                continue
             if runner.is_alive() and runner.is_leader:
                 return runner
         return None
 
-    def kill_leader(self) -> str | None:
-        """Crash the current lead controller (thread stop + session expiry).
+    def kill_leader(self, shard: int | None = None) -> str | None:
+        """Crash the lead controller of ``shard`` (thread stop + session
+        expiry); default: the first locally hosted shard.
 
         Returns the name of the killed controller.  Followers detect the
         failure through session expiry and elect a new leader which resumes
-        in-flight transactions from the persistent store.
+        the shard's in-flight transactions from its persistent store.
         """
         self._require_started()
         if not self.threaded:
             raise ConfigurationError("kill_leader requires the threaded runtime")
-        runner = self.leader_runner()
+        if shard is None:
+            shard = self._local_shards[0]
+        runner = self.leader_runner(shard)
         if runner is None:
             return None
         runner.stop()
@@ -497,8 +778,12 @@ class TropicPlatform:
         self.ensemble.expire_session(runner.election_client.session_id)
         return runner.controller.name
 
-    def live_controller_names(self) -> list[str]:
-        return [r.controller.name for r in self._controller_runners if r.is_alive()]
+    def live_controller_names(self, shard: int | None = None) -> list[str]:
+        return [
+            r.controller.name
+            for r in self._controller_runners
+            if r.is_alive() and (shard is None or r.shard == shard)
+        ]
 
     # ------------------------------------------------------------------
     # Metrics
@@ -529,13 +814,66 @@ class TropicPlatform:
         ]
 
     def controller_stats(self) -> dict[str, int]:
-        return self.leader().snapshot_stats()
+        """Controller counters, summed over all locally hosted shards."""
+        stats: dict[str, int] = {}
+        for shard in self._local_shards:
+            for key, value in self.leader(shard).snapshot_stats().items():
+                stats[key] = stats.get(key, 0) + value
+        return stats
 
     def controller_busy_seconds(self) -> float:
         return sum(controller.busy_seconds() for controller in self.controllers)
 
+    def model_view(self) -> DataModel:
+        """A read view of the logical data model.
+
+        Single shard: the leader's live model (zero copies).  Sharded: a
+        merged snapshot assembling every locally hosted shard's *owned*
+        second-level subtrees into one tree.  Units owned by shards this
+        process does not host retain their bootstrap contents — in a
+        multi-process deployment, fleet-wide reads belong on a process that
+        hosts (or proxies) all shards.
+
+        Each sharded call clones the first shard's full tree plus the
+        owned units, so the cost is O(model size); read-heavy callers
+        should fetch one view per operation (as TCloud does) or cache at
+        their own layer rather than calling this in inner loops.
+        """
+        self._require_started()
+        if self.config.num_shards == 1:
+            return self.leader().model
+        first_shard = self._local_shards[0]
+        view = self.leader(first_shard).model.clone()
+        owners = {shard: self.leader(shard).model for shard in self._local_shards}
+        # Refresh (or drop) units in the base copy that another local shard owns.
+        for top_name in list(view.root.children):
+            for child_name in list(view.root.children[top_name].children):
+                path = f"/{top_name}/{child_name}"
+                owner = self.shard_router.shard_of(path)
+                if owner == first_shard:
+                    continue
+                owner_model = owners.get(owner)
+                if owner_model is None:
+                    continue
+                if owner_model.exists(path):
+                    view.replace_subtree(path, owner_model.get(path).clone())
+                else:
+                    view.delete(path, recursive=True)
+        # Add units the owner created after bootstrap (absent from the base).
+        for shard, model in owners.items():
+            if shard == first_shard:
+                continue
+            for top_name, top in model.root.children.items():
+                if top_name not in view.root.children:
+                    continue
+                for child_name in top.children:
+                    path = f"/{top_name}/{child_name}"
+                    if self.shard_router.shard_of(path) == shard and not view.exists(path):
+                        view.replace_subtree(path, model.get(path).clone())
+        return view
+
     def resource_count(self) -> int:
-        return self.leader().model.count()
+        return self.model_view().count()
 
     # ------------------------------------------------------------------
 
@@ -545,4 +883,7 @@ class TropicPlatform:
 
     def __repr__(self) -> str:
         mode = "threaded" if self.threaded else "inline"
-        return f"<TropicPlatform {mode} controllers={len(self.controllers)} workers={len(self.workers)}>"
+        return (
+            f"<TropicPlatform {mode} shards={self.config.num_shards} "
+            f"controllers={len(self.controllers)} workers={len(self.workers)}>"
+        )

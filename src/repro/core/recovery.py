@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.common.clock import Clock, RealClock
 from repro.common.config import TropicConfig
-from repro.common.errors import UnknownPathError
+from repro.common.errors import RecoveryError, UnknownPathError
 from repro.core.locks import LockManager
 from repro.core.persistence import TropicStore
 from repro.core.procedures import ProcedureRegistry
@@ -31,6 +31,27 @@ from repro.core.simulation import LogicalExecutor
 from repro.core.txn import Transaction, TransactionState
 from repro.datamodel.schema import ModelSchema
 from repro.datamodel.tree import DataModel
+
+
+def _check_shard_stamp(store: TropicStore) -> None:
+    """Refuse to recover from a checkpoint written under another shard
+    layout (see :class:`~repro.core.persistence.TropicStore`)."""
+    if store.shard_id is None:
+        return
+    meta = store.kv.get(store.CHECKPOINT_META)
+    stamp = (meta or {}).get("shard")
+    if not stamp:
+        return  # pre-sharding checkpoint (or single-shard legacy layout)
+    if (int(stamp.get("shard_id", -1)), int(stamp.get("num_shards", -1))) != (
+        store.shard_id,
+        store.num_shards,
+    ):
+        raise RecoveryError(
+            f"checkpoint was written by shard {stamp.get('shard_id')} of "
+            f"{stamp.get('num_shards')} but this controller is shard "
+            f"{store.shard_id} of {store.num_shards}; refusing to recover "
+            f"across a shard-layout change"
+        )
 
 
 @dataclass
@@ -52,9 +73,17 @@ def recover_state(
     config: TropicConfig,
     clock: Clock | None = None,
 ) -> RecoveredState:
-    """Rebuild the leader's soft state from the coordination store."""
+    """Rebuild the leader's soft state from the coordination store.
+
+    In a sharded deployment each shard recovers from its own namespaced
+    store, so this replays only the failed shard's transaction log and
+    checkpoint documents.  A checkpoint stamped for a different shard
+    layout is refused: re-routing subtrees between lock domains behind a
+    recovering leader's back would break isolation silently.
+    """
     clock = clock or RealClock()
 
+    _check_shard_stamp(store)
     checkpoint_model, checkpoint_seq = store.load_checkpoint()
     model = checkpoint_model if checkpoint_model is not None else DataModel()
     executor = LogicalExecutor(model, schema, procedures)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.common.errors import ProcedureError, ReproError
+from repro.common.errors import CrossShardTransaction, ProcedureError, ReproError
 from repro.core.txn import Transaction, TransactionState
 from repro.gateway.audit import AuditLog
 from repro.gateway.tenants import (
@@ -147,6 +147,13 @@ class ApiGateway:
             response = ApiResponse(ok=False, action=action, code="NotFound", error=str(exc))
             self.audit.record(tenant.name, action, params, outcome="denied", error=str(exc))
             return response
+        except CrossShardTransaction as exc:
+            # Sharded deployments under the 'reject' policy refuse
+            # orchestrations spanning shards; clients see a dedicated code
+            # so they can split the request per shard and retry.
+            response = ApiResponse(ok=False, action=action, code="CrossShard", error=str(exc))
+            self.audit.record(tenant.name, action, params, outcome="denied", error=str(exc))
+            return response
         except ReproError as exc:
             response = ApiResponse(ok=False, action=action, code="InternalError",
                                    error=str(exc))
@@ -255,19 +262,24 @@ class ApiGateway:
                     f"instance {short_name!r} already exists for tenant {tenant.name!r}"
                 )
 
+        # One batched submission: the INITIALIZED documents group-commit in
+        # a single store write per owning shard and the requests enqueue in
+        # one queue write (submit-side batching).
+        specs = [
+            {"vm_name": tenant.qualify(short_name), "image_template": template, "mem_mb": mem}
+            for short_name in requested
+        ]
+        txns = self.cloud.spawn_vms(specs)
         instances = []
         txids = []
         all_ok = True
-        for index in range(count):
-            suffix = name if count == 1 else f"{name}-{index}"
-            vm_name = tenant.qualify(suffix)
-            txn = self.cloud.spawn_vm(vm_name, image_template=template, mem_mb=mem)
+        for spec, txn in zip(specs, txns):
             txids.append(txn.txid)
             committed = txn.state is TransactionState.COMMITTED
             all_ok = all_ok and committed
             instances.append(
                 {
-                    "instance": tenant.unqualify(vm_name),
+                    "instance": tenant.unqualify(spec["vm_name"]),
                     "state": "running" if committed else "failed",
                     "txid": txn.txid,
                     "error": txn.error,

@@ -9,6 +9,7 @@ from repro.common.clock import Clock
 from repro.common.config import TropicConfig
 from repro.common.errors import ProcedureError
 from repro.core.platform import TransactionHandle, TropicPlatform
+from repro.core.sharding import colocated_assignments
 from repro.core.txn import Transaction
 from repro.coordination.ensemble import CoordinationEnsemble
 from repro.tcloud.entities import build_schema
@@ -99,6 +100,59 @@ class TCloud:
             timeout=timeout,
         )
 
+    def spawn_vms(
+        self,
+        specs: list[dict[str, Any]],
+        wait: bool = True,
+        timeout: float | None = 60.0,
+    ) -> list[Transaction | TransactionHandle]:
+        """Spawn several VMs with submit-side batching.
+
+        Each spec takes the same keys as :meth:`spawn_vm` (``vm_name`` is
+        required; placement fields are resolved per spec when omitted).
+        All transactions are persisted in one group commit per owning
+        shard and enqueued in one queue write, instead of two coordination
+        round-trips per VM.
+        """
+        model = self._placement_model()
+        if any("vm_host" not in spec or "storage_host" not in spec for spec in specs):
+            # The whole batch is placed before anything commits, so the
+            # live model never reflects earlier picks.  Reserve each pick
+            # in a private clone instead, or every spec would land on the
+            # same "least loaded" host and trip the memory constraint.
+            model = model.clone()
+        requests: list[tuple[str, dict[str, Any]]] = []
+        for index, spec in enumerate(specs):
+            template = spec.get("image_template", "template-small")
+            mem_mb = int(spec.get("mem_mb", 1024))
+            size = self.inventory.templates.get(template, 8.0)
+            vm_host = spec.get("vm_host")
+            if vm_host is None:
+                vm_host = self.placement.pick_vm_host(model, mem_mb, spec.get("hypervisor"))
+                model.create(
+                    f"{vm_host}/reserved-{index}", "vm",
+                    {"mem_mb": mem_mb, "state": "running"},
+                )
+            storage_host = spec.get("storage_host")
+            if storage_host is None:
+                storage_host = self.placement.pick_storage_host(model, size, template)
+                model.create(
+                    f"{storage_host}/reserved-{index}", "image", {"size_gb": size}
+                )
+            requests.append(
+                (
+                    "spawnVM",
+                    {
+                        "vm_name": spec["vm_name"],
+                        "image_template": template,
+                        "storage_host": storage_host,
+                        "vm_host": vm_host,
+                        "mem_mb": mem_mb,
+                    },
+                )
+            )
+        return self.platform.submit_many(requests, wait=wait, timeout=timeout)
+
     def start_vm(self, vm_name: str, wait: bool = True, timeout: float | None = 30.0):
         record = self._locate(vm_name)
         return self.platform.submit(
@@ -131,7 +185,7 @@ class TCloud:
         """Migrate a VM to ``dst_host`` (or to an automatically chosen host)."""
         record = self._locate(vm_name)
         if dst_host is None:
-            model = self.platform.leader().model
+            model = self.platform.model_view()
             hypervisor = model.get(record.host).get("hypervisor")
             candidates = [
                 path
@@ -242,7 +296,7 @@ class TCloud:
         )
 
     def list_volumes(self) -> list[VolumeRecord]:
-        model = self.platform.leader().model
+        model = self.platform.model_view()
         records = []
         for path in model.find(entity_type="volume"):
             node = model.get(path)
@@ -297,7 +351,7 @@ class TCloud:
 
     def list_firewall_rules(self, router: str | None = None) -> list[int]:
         router = router or self.inventory.routers[0]
-        model = self.platform.leader().model
+        model = self.platform.model_view()
         node = model.get(router)
         return sorted(
             child.get("rule_id")
@@ -471,7 +525,7 @@ class TCloud:
         Used for planned maintenance: each migration is an independent
         transaction, so a single failure aborts only that VM's move.
         """
-        model = self.platform.leader().model
+        model = self.platform.model_view()
         host = model.get(vm_host)
         vm_names = sorted(
             name for name, child in host.children.items() if child.entity_type == "vm"
@@ -500,7 +554,7 @@ class TCloud:
         """Remove an (empty) compute host from management via reload."""
         if self.inventory.registry is None:
             raise ProcedureError("decommissioning requires a device registry (not logical-only)")
-        model = self.platform.leader().model
+        model = self.platform.model_view()
         if model.exists(path):
             host = model.get(path)
             vms = [name for name, child in host.children.items() if child.entity_type == "vm"]
@@ -519,7 +573,7 @@ class TCloud:
     # ------------------------------------------------------------------
 
     def list_vms(self) -> list[VMRecord]:
-        model = self.platform.leader().model
+        model = self.platform.model_view()
         records = []
         for path in model.find(entity_type="vm"):
             node = model.get(path)
@@ -545,7 +599,7 @@ class TCloud:
 
     def host_utilisation(self) -> dict[str, dict[str, Any]]:
         """Per compute host: memory capacity, committed memory, VM count."""
-        model = self.platform.leader().model
+        model = self.platform.model_view()
         result: dict[str, dict[str, Any]] = {}
         for path in model.find(entity_type="vmHost"):
             host = model.get(path)
@@ -569,7 +623,7 @@ class TCloud:
         can keep submitting — correctness is still guaranteed by the
         constraint checks performed at logical execution time.
         """
-        leader_model = self.platform.leader().model
+        leader_model = self.platform.model_view()
         if leader_model.count() > 1:
             return leader_model
         return self.inventory.model
@@ -588,12 +642,27 @@ class TCloud:
 
     def _storage_host_of(self, record: VMRecord) -> str | None:
         """Find the storage host holding the VM's disk image."""
-        model = self.platform.leader().model
+        model = self.platform.model_view()
         image = record.image or disk_image_name(record.name)
         for path in model.find(entity_type="storageHost"):
             if model.get(path).child(image) is not None:
                 return str(path)
         return None
+
+
+def tcloud_shard_assignments(inventory: TCloudInventory, num_shards: int) -> dict[str, int]:
+    """Subtree-to-shard assignments co-locating each storage host with the
+    compute hosts whose disk images it serves.
+
+    ``TCloudInventory.storage_host_for`` pairs each compute host with one
+    storage host (4 compute : 1 storage blocks), so grouping by storage
+    host keeps every ``spawnVM``/``destroyVM``/``snapshotVM`` single-shard.
+    Routers (and any future top subtrees) fall back to the stable hash.
+    """
+    by_storage: dict[str, list[str]] = {s: [s] for s in inventory.storage_hosts}
+    for index, vm_host in enumerate(inventory.vm_hosts):
+        by_storage[inventory.storage_host_for(index)].append(vm_host)
+    return colocated_assignments(by_storage.values(), num_shards)
 
 
 def build_tcloud(
@@ -609,10 +678,16 @@ def build_tcloud(
     ensemble: CoordinationEnsemble | None = None,
     placement_strategy: str = "least_loaded",
     device_call_latency: float = 0.0,
+    local_shards: list[int] | None = None,
 ) -> TCloud:
     """Assemble a complete TCloud deployment (schema, procedures, fleet,
     platform).  The returned service is not started; use it as a context
-    manager or call ``cloud.platform.start()``."""
+    manager or call ``cloud.platform.start()``.
+
+    With ``config.num_shards > 1`` the controller is sharded by subtree;
+    storage hosts are co-located with the compute hosts they serve (see
+    :func:`tcloud_shard_assignments`), and ``local_shards`` restricts which
+    shards this process hosts (scale-out: one shard per process)."""
     config = config or TropicConfig()
     if logical_only:
         config = config.with_overrides(logical_only=True)
@@ -625,6 +700,11 @@ def build_tcloud(
         with_devices=not logical_only,
         device_call_latency=device_call_latency,
     )
+    assignments = (
+        tcloud_shard_assignments(inventory, config.num_shards)
+        if config.num_shards > 1
+        else None
+    )
     platform = TropicPlatform(
         schema=build_schema(),
         procedures=build_procedures(),
@@ -634,5 +714,7 @@ def build_tcloud(
         clock=clock,
         ensemble=ensemble,
         threaded=threaded,
+        shard_assignments=assignments,
+        local_shards=local_shards,
     )
     return TCloud(platform, inventory, PlacementEngine(placement_strategy))

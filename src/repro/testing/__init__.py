@@ -1,0 +1,35 @@
+"""Deterministic test infrastructure for the TROPIC reproduction.
+
+This package ships with the library (rather than hiding in ``tests/``) so
+integration tests, property tests and downstream experiments can all build
+multi-shard clusters and inject controller crashes at named failure points
+without hand-rolling controller/ensemble wiring.
+"""
+
+from repro.testing.cluster import ShardedCluster
+from repro.testing.faults import (
+    FAILURE_POINTS,
+    MID_CHECKPOINT,
+    POST_COMMIT_PRE_ACK,
+    PRE_CHECKPOINT,
+    PRE_COMMIT,
+    CrashPoint,
+    FaultInjector,
+    FaultyKVStore,
+    FaultyQueue,
+    FaultyTropicStore,
+)
+
+__all__ = [
+    "ShardedCluster",
+    "CrashPoint",
+    "FaultInjector",
+    "FaultyKVStore",
+    "FaultyQueue",
+    "FaultyTropicStore",
+    "FAILURE_POINTS",
+    "PRE_COMMIT",
+    "POST_COMMIT_PRE_ACK",
+    "PRE_CHECKPOINT",
+    "MID_CHECKPOINT",
+]

@@ -1,0 +1,168 @@
+"""Deterministic controller fault injection.
+
+The paper claims the controller may fail "at any possible failure point"
+without losing submitted transactions (§2.3).  This module makes that claim
+testable *deterministically*: store/queue wrappers raise :class:`CrashPoint`
+at named failure points, armed by occurrence index, so a test can crash a
+controller at exactly the k-th group commit (or checkpoint, or ack) of a
+workload and hand the persistent state to a successor.
+
+The named points are the crash boundaries of the controller main loop:
+
+* ``pre-commit`` — before a group commit applies; every buffered store
+  write of the loop iteration is lost, and the consumed inputQ messages
+  were never acknowledged.
+* ``post-commit-pre-ack`` — the group commit is durable and completion
+  notifications were delivered, but the inputQ batch is not yet
+  acknowledged; the successor re-receives every message and must handle
+  each idempotently.
+* ``pre-checkpoint`` — before any checkpoint document is written.
+* ``mid-checkpoint`` — the checkpoint committed (atomically, as one
+  ``multi``) but the applied log was not yet truncated and the dirty
+  flags not yet persisted as cleared in controller memory.
+
+Crashes *inside* a ``multi`` are not modelled: ZooKeeper applies a multi
+atomically through its transaction log, so the real system never observes
+a torn group commit.
+"""
+
+from __future__ import annotations
+
+from repro.coordination.kvstore import KVStore, WriteBatch
+from repro.coordination.queue import DistributedQueue
+from repro.core.persistence import TropicStore
+
+PRE_COMMIT = "pre-commit"
+POST_COMMIT_PRE_ACK = "post-commit-pre-ack"
+PRE_CHECKPOINT = "pre-checkpoint"
+MID_CHECKPOINT = "mid-checkpoint"
+
+#: Every named failure point, in main-loop order.
+FAILURE_POINTS = (PRE_COMMIT, POST_COMMIT_PRE_ACK, PRE_CHECKPOINT, MID_CHECKPOINT)
+
+
+class CrashPoint(Exception):
+    """An injected controller crash.
+
+    Deliberately *not* a :class:`~repro.common.errors.ReproError`: service
+    loops retry those, whereas a crash must surface to the test harness so
+    it can abandon the instance (the process died).
+    """
+
+    def __init__(self, point: str, occurrence: int):
+        super().__init__(f"injected crash at {point} (occurrence {occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
+class FaultInjector:
+    """Counts hits of each failure point and raises when an armed one is
+    reached.  Occurrence counting makes runs reproducible: arming
+    ``(point, k)`` always crashes at the same place of the same workload."""
+
+    def __init__(self) -> None:
+        self._armed: dict[str, int] = {}
+        self._hits: dict[str, int] = {}
+        self.fired: list[CrashPoint] = []
+        #: Set when a crash fires.  Faulty wrappers become *inert* once
+        #: dead: a dying controller unwinds through batch context managers
+        #: whose exits would otherwise commit the very writes the crash was
+        #: supposed to lose (a dead process writes nothing).
+        self.dead = False
+
+    def arm(self, point: str, occurrence: int = 0) -> "FaultInjector":
+        if point not in FAILURE_POINTS:
+            raise ValueError(f"unknown failure point {point!r}; choose from {FAILURE_POINTS}")
+        self._armed[point] = occurrence
+        self.dead = False
+        return self
+
+    def disarm(self, point: str) -> None:
+        self._armed.pop(point, None)
+
+    def hits(self, point: str) -> int:
+        return self._hits.get(point, 0)
+
+    def hit(self, point: str) -> None:
+        """Record one pass through ``point``; crash if armed for it."""
+        count = self._hits.get(point, 0)
+        self._hits[point] = count + 1
+        target = self._armed.get(point)
+        if target is not None and count == target:
+            del self._armed[point]
+            crash = CrashPoint(point, count)
+            self.fired.append(crash)
+            self.dead = True
+            raise crash
+
+
+class FaultyKVStore(KVStore):
+    """KV store whose group commits pass through ``pre-commit``.
+
+    The hit happens *before* the buffered operations are applied, so a
+    crash here loses the whole batch — exactly a process death before the
+    ``multi`` reaches the coordination service.
+    """
+
+    def __init__(self, client, prefix: str, injector: FaultInjector):
+        super().__init__(client, prefix)
+        self.injector = injector
+
+    def flush(self) -> int:
+        if self.injector.dead:
+            # The process is dead: its buffered group commit is lost, not
+            # applied by the unwinding batch context manager.
+            if self._batch is not None and not self._batch.is_empty():
+                self._batch = WriteBatch()
+            return 0
+        batch = self._batch
+        if batch is not None and not batch.is_empty():
+            self.injector.hit(PRE_COMMIT)
+        return super().flush()
+
+    def put_serialized(self, key: str, data: str) -> None:
+        if self.injector.dead:
+            return
+        super().put_serialized(key, data)
+
+    def delete(self, key: str, recursive: bool = False) -> None:
+        if self.injector.dead:
+            return
+        super().delete(key, recursive)
+
+
+class FaultyTropicStore(TropicStore):
+    """Persistence facade wrapping checkpoints with the checkpoint points."""
+
+    def __init__(self, kv: KVStore, injector: FaultInjector, **kwargs):
+        super().__init__(kv, **kwargs)
+        self.injector = injector
+
+    def save_checkpoint_incremental(self, model, applied_seq: int) -> int:
+        self.injector.hit(PRE_CHECKPOINT)
+        written = super().save_checkpoint_incremental(model, applied_seq)
+        # The checkpoint multi committed; the controller has not yet
+        # truncated the applied log nor updated its counters.
+        self.injector.hit(MID_CHECKPOINT)
+        return written
+
+
+class FaultyQueue(DistributedQueue):
+    """inputQ wrapper crashing between group commit and acknowledgment."""
+
+    def __init__(self, client, path: str, injector: FaultInjector, clock=None):
+        super().__init__(client, path, clock)
+        self.injector = injector
+
+    def ack_many(self, names: list[str]) -> int:
+        if self.injector.dead:
+            return 0
+        if names:
+            self.injector.hit(POST_COMMIT_PRE_ACK)
+        return super().ack_many(names)
+
+    def ack(self, name: str) -> bool:
+        if self.injector.dead:
+            return False
+        self.injector.hit(POST_COMMIT_PRE_ACK)
+        return super().ack(name)

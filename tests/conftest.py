@@ -23,6 +23,7 @@ from repro.tcloud.entities import build_schema  # noqa: E402
 from repro.tcloud.inventory import build_inventory  # noqa: E402
 from repro.tcloud.procedures import build_procedures  # noqa: E402
 from repro.tcloud.service import build_tcloud  # noqa: E402
+from repro.testing import FaultInjector, ShardedCluster  # noqa: E402
 
 
 @pytest.fixture
@@ -93,6 +94,27 @@ def threaded_config():
         session_timeout=0.3,
         queue_poll_interval=0.002,
     )
+
+
+@pytest.fixture
+def make_cluster():
+    """Factory for deterministic N-shard controller clusters.
+
+    Integration tests use this instead of hand-rolling ensemble + store +
+    queue + controller wiring; see :class:`repro.testing.ShardedCluster`
+    for crash/replace controls and fault injection.
+    """
+
+    def _make(num_shards: int = 1, **kwargs) -> ShardedCluster:
+        return ShardedCluster(num_shards=num_shards, **kwargs)
+
+    return _make
+
+
+@pytest.fixture
+def fault_injector():
+    """A fresh deterministic fault injector (arm points, count hits)."""
+    return FaultInjector()
 
 
 def spawn_txn(vm_name: str = "vm1", vm_host: str = "/vmRoot/vmHost0",

@@ -1,125 +1,49 @@
-"""Controller failure-point injection (§2.3).
+"""Controller failure-point injection (§2.3), single-shard and sharded.
 
 The paper claims that "whenever the lead controller fails at any possible
 failure point, the new leader ... is able to restore the state of the
-controller at failure time".  These tests crash the controller after every
-prefix of its processing steps — by simply abandoning the instance and
-handing the persistent store to a brand-new controller — and check that the
-submitted transactions are neither lost nor applied twice, in either layer.
+controller at failure time".  Two complementary harnesses prove it here:
+
+* **round-based crashes** — abandon the controller after every prefix of
+  its processing rounds and finish with a fresh replica (the seed's
+  original test, now built on :class:`repro.testing.ShardedCluster`), and
+* a **deterministic fault-injection matrix** — crash a *shard* controller
+  at each named failure point (pre-commit, post-commit/pre-ack,
+  pre-checkpoint, mid-checkpoint) by occurrence index, fail the shard over
+  to a clean replica, and assert the recovered data model is identical to
+  a fault-free control run with no acknowledged transaction lost.
 """
 
 import pytest
 
 from repro.common.config import TropicConfig
-from repro.coordination.client import CoordinationClient
-from repro.coordination.ensemble import CoordinationEnsemble
-from repro.coordination.kvstore import KVStore
-from repro.coordination.queue import DistributedQueue
-from repro.core.controller import Controller
-from repro.core.persistence import TropicStore
-from repro.core.reconcile import Reconciler
 from repro.core.txn import Transaction, TransactionState
-from repro.core.worker import Worker
-from repro.core.events import request_message
-from repro.tcloud.entities import build_schema
-from repro.tcloud.inventory import build_inventory
-from repro.tcloud.procedures import build_procedures
+from repro.testing import FAILURE_POINTS, FaultInjector, ShardedCluster
 
 
-class Environment:
-    """Store, queues, devices, and factories for controllers/workers."""
-
-    def __init__(self, num_hosts: int = 4, host_mem_mb: int = 8192):
-        self.ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=60.0)
-        self.client = CoordinationClient(self.ensemble)
-        self.store = TropicStore(KVStore(self.client))
-        self.input_queue = DistributedQueue(self.client, "/queues/inputQ")
-        self.phy_queue = DistributedQueue(self.client, "/queues/phyQ")
-        self.inventory = build_inventory(num_vm_hosts=num_hosts, num_storage_hosts=2,
-                                         host_mem_mb=host_mem_mb, with_devices=True)
-        self.store.save_checkpoint(self.inventory.model, 0)
-        self.config = TropicConfig()
-        self.schema = build_schema()
-        self.procedures = build_procedures()
-        self._generation = 0
-
-    def new_controller(self) -> Controller:
-        """A fresh controller replica (the 'newly elected leader')."""
-        self._generation += 1
-        return Controller(
-            name=f"ctrl-{self._generation}",
-            config=self.config,
-            store=self.store,
-            input_queue=self.input_queue,
-            phy_queue=self.phy_queue,
-            schema=self.schema,
-            procedures=self.procedures,
-        )
-
-    def new_worker(self) -> Worker:
-        return Worker("worker-0", self.store, self.phy_queue, self.input_queue,
-                      self.inventory.registry, config=self.config)
-
-    def submit_spawn(self, vm_name: str, vm_host: str = "/vmRoot/vmHost0") -> Transaction:
-        txn = Transaction(
-            procedure="spawnVM",
-            args={
-                "vm_name": vm_name,
-                "image_template": "template-small",
-                "storage_host": "/storageRoot/storageHost0",
-                "vm_host": vm_host,
-                "mem_mb": 512,
-            },
-        )
-        txn.mark(TransactionState.INITIALIZED, 0.0)
-        self.store.save_transaction(txn)
-        self.input_queue.put(request_message(txn.txid))
-        return txn
-
-    def drain(self, controller: Controller, worker: Worker, max_rounds: int = 10_000) -> None:
-        """Run controller and worker to quiescence."""
-        for _ in range(max_rounds):
-            progressed = controller.step()
-            if worker.step():
-                progressed = True
-            if (not progressed and self.input_queue.is_empty()
-                    and self.phy_queue.is_empty()):
-                return
-        raise AssertionError("environment did not quiesce")
-
-    def reconciler(self, controller: Controller) -> Reconciler:
-        return Reconciler(controller, self.inventory.registry)
-
-
-def run_with_crash_after(env: Environment, txns: list[Transaction],
-                         crash_after_rounds: int) -> Controller:
-    """Drive a first controller for a bounded number of rounds, then abandon
-    it (the crash) and finish the workload with a fresh replica."""
-    first = env.new_controller()
-    worker = env.new_worker()
+def run_with_crash_after(cluster: ShardedCluster, crash_after_rounds: int) -> None:
+    """Drive the (single-shard) cluster for a bounded number of rounds,
+    then abandon the controller (the crash) and finish with a fresh one."""
     for _ in range(crash_after_rounds):
-        progressed = first.step()
-        if worker.step():
-            progressed = True
-        if not progressed and env.input_queue.is_empty() and env.phy_queue.is_empty():
+        progressed = cluster.step_all()
+        if not progressed and cluster.queues_empty():
             break
     # Crash: the first controller's memory is simply discarded.
-    successor = env.new_controller()
-    env.drain(successor, worker)
-    return successor
+    cluster.replace_controller(0)
+    cluster.drain()
 
 
 class TestCrashAtEveryPoint:
     @pytest.mark.parametrize("crash_after_rounds", list(range(0, 10)))
-    def test_no_transaction_lost_or_double_applied(self, crash_after_rounds):
-        env = Environment()
-        txns = [env.submit_spawn(f"vm{i}", vm_host=f"/vmRoot/vmHost{i % 4}")
-                for i in range(3)]
-        successor = run_with_crash_after(env, txns, crash_after_rounds)
+    def test_no_transaction_lost_or_double_applied(self, make_cluster, crash_after_rounds):
+        cluster = make_cluster()
+        txns = [cluster.submit_spawn(f"vm{i}", host_index=i % 4) for i in range(3)]
+        run_with_crash_after(cluster, crash_after_rounds)
+        successor = cluster.controllers[0]
 
         # Every submitted transaction reached COMMITTED exactly once.
         for txn in txns:
-            final = env.store.load_transaction(txn.txid)
+            final = cluster.load(txn)
             assert final.state is TransactionState.COMMITTED, (
                 f"{txn.txid} ended as {final.state} after a crash at "
                 f"round {crash_after_rounds}")
@@ -130,70 +54,170 @@ class TestCrashAtEveryPoint:
             path = f"/vmRoot/vmHost{index % 4}/vm{index}"
             assert successor.model.exists(path)
             assert successor.model.get(path)["state"] == "running"
-            device = env.inventory.registry.device_at(f"/vmRoot/vmHost{index % 4}")
+            device = cluster.inventory.registry.device_at(f"/vmRoot/vmHost{index % 4}")
             assert device.vm_state(f"vm{index}") == "running"
-        assert env.reconciler(successor).detect().is_empty
+        assert cluster.reconciler().detect().is_empty
 
         # No locks leak across the failover.
         assert successor.lock_manager.active_transactions() == set()
 
     @pytest.mark.parametrize("crash_after_rounds", [1, 2, 3])
-    def test_constraint_aborts_survive_failover(self, crash_after_rounds):
+    def test_constraint_aborts_survive_failover(self, make_cluster, crash_after_rounds):
         """A transaction that must abort (memory constraint) still aborts —
         and only aborts — when the controller fails around its execution."""
-        env = Environment(host_mem_mb=1024)
-        good = env.submit_spawn("fits", vm_host="/vmRoot/vmHost0")
-        bad = Transaction(
-            procedure="spawnVM",
-            args={"vm_name": "too-big", "image_template": "template-small",
-                  "storage_host": "/storageRoot/storageHost0",
-                  "vm_host": "/vmRoot/vmHost0", "mem_mb": 4096},
-        )
-        bad.mark(TransactionState.INITIALIZED, 0.0)
-        env.store.save_transaction(bad)
-        env.input_queue.put(request_message(bad.txid))
+        cluster = make_cluster(host_mem_mb=1024)
+        good = cluster.submit_spawn("fits", host_index=0)
+        bad = cluster.submit_spawn("too-big", host_index=0, mem_mb=4096)
 
-        successor = run_with_crash_after(env, [good, bad], crash_after_rounds)
-        assert env.store.load_transaction(good.txid).state is TransactionState.COMMITTED
-        assert env.store.load_transaction(bad.txid).state is TransactionState.ABORTED
-        host = env.inventory.registry.device_at("/vmRoot/vmHost0")
+        run_with_crash_after(cluster, crash_after_rounds)
+        assert cluster.state_of(good) is TransactionState.COMMITTED
+        assert cluster.state_of(bad) is TransactionState.ABORTED
+        host = cluster.inventory.registry.device_at("/vmRoot/vmHost0")
         assert host.vm_state("fits") == "running"
         assert host.vm_state("too-big") is None
-        assert env.reconciler(successor).detect().is_empty
+        assert cluster.reconciler().detect().is_empty
 
 
 class TestCrashWhileInPhysicalLayer:
-    def test_result_arriving_after_failover_is_cleaned_up(self):
+    def test_result_arriving_after_failover_is_cleaned_up(self, make_cluster):
         """The worker finishes a transaction while no controller is alive;
         the next leader must pick up the result and commit exactly once."""
-        env = Environment()
-        txn = env.submit_spawn("orphan")
-        first = env.new_controller()
+        cluster = make_cluster()
+        txn = cluster.submit_spawn("orphan")
         # Accept, simulate, lock and enqueue to phyQ ... then die.
-        first.run_until_idle()
-        assert env.store.load_transaction(txn.txid).state is TransactionState.STARTED
+        first = cluster.controllers[0]
+        while first.step():
+            pass
+        assert cluster.state_of(txn) is TransactionState.STARTED
 
-        worker = env.new_worker()
-        assert worker.step()  # physical execution happens with no leader alive
+        assert cluster.workers[0].step()  # physical execution, no leader alive
 
-        successor = env.new_controller()
-        env.drain(successor, worker)
-        assert env.store.load_transaction(txn.txid).state is TransactionState.COMMITTED
+        cluster.replace_controller(0)
+        cluster.drain()
+        successor = cluster.controllers[0]
+        assert cluster.state_of(txn) is TransactionState.COMMITTED
         assert successor.model.get("/vmRoot/vmHost0/orphan")["state"] == "running"
         assert successor.lock_manager.active_transactions() == set()
-        assert env.reconciler(successor).detect().is_empty
+        assert cluster.reconciler().detect().is_empty
 
-    def test_repeated_failovers_between_every_transaction(self):
+    def test_repeated_failovers_between_every_transaction(self, make_cluster):
         """A new leader for every transaction: state is rebuilt from the
         store each time and the fleet stays consistent throughout."""
-        env = Environment()
-        worker = env.new_worker()
+        cluster = make_cluster()
         for index in range(5):
-            txn = env.submit_spawn(f"gen{index}", vm_host=f"/vmRoot/vmHost{index % 4}")
-            leader = env.new_controller()  # previous leader is gone
-            env.drain(leader, worker)
-            assert env.store.load_transaction(txn.txid).state is TransactionState.COMMITTED
-        final = env.new_controller()
+            txn = cluster.submit_spawn(f"gen{index}", host_index=index % 4)
+            cluster.replace_controller(0)  # previous leader is gone
+            cluster.drain()
+            assert cluster.state_of(txn) is TransactionState.COMMITTED
+        final = cluster.replace_controller(0)
         final.recover()
         assert final.model.count("vm") == 5
-        assert env.reconciler(final).detect().is_empty
+        assert cluster.reconciler().detect().is_empty
+
+
+# ----------------------------------------------------------------------
+# Deterministic shard fault matrix (PR 2 tentpole proof)
+# ----------------------------------------------------------------------
+
+#: Aggressive checkpointing so the checkpoint failure points are reachable
+#: within a short deterministic workload.
+_MATRIX_CONFIG = TropicConfig(checkpoint_every=1)
+_NUM_SHARDS = 2
+_FAULTY_SHARD = 0
+_WORKLOAD = 6  # spawns spread across both shards' hosts
+
+
+def _run_workload(cluster: ShardedCluster, failover: bool) -> list[Transaction]:
+    txns = [cluster.submit_spawn(f"vm{i}", host_index=i % 4) for i in range(_WORKLOAD)]
+    cluster.drain(failover=failover)
+    return txns
+
+
+def _control_run() -> tuple[list[dict], set[str], list[Transaction]]:
+    """Fault-free reference: per-shard model dicts + committed txn names."""
+    cluster = ShardedCluster(
+        num_shards=_NUM_SHARDS, config=_MATRIX_CONFIG, with_devices=True
+    )
+    txns = _run_workload(cluster, failover=False)
+    models = [cluster.model(s).to_dict() for s in cluster.shard_ids]
+    committed = {
+        t.args["vm_name"]
+        for t in txns
+        if cluster.state_of(t) is TransactionState.COMMITTED
+    }
+    return models, committed, txns
+
+
+class TestShardFaultMatrix:
+    """Crash shard 0's controller at every named failure point and assert
+    the replacement recovers an identical data model and loses no
+    acknowledged transaction."""
+
+    @pytest.fixture(scope="class")
+    def control(self):
+        return _control_run()
+
+    @pytest.mark.parametrize("occurrence", [0, 1, 2, 3])
+    @pytest.mark.parametrize("point", FAILURE_POINTS)
+    def test_shard_failover_recovers_identical_model(self, control, point, occurrence):
+        control_models, control_committed, _ = control
+        injector = FaultInjector().arm(point, occurrence)
+        cluster = ShardedCluster(
+            num_shards=_NUM_SHARDS,
+            config=_MATRIX_CONFIG,
+            with_devices=True,
+            injector=injector,
+            faulty_shards=(_FAULTY_SHARD,),
+        )
+        txns = _run_workload(cluster, failover=True)
+
+        # The data model of every shard is identical to the fault-free run.
+        for shard in cluster.shard_ids:
+            assert cluster.model(shard).to_dict() == control_models[shard], (
+                f"shard {shard} diverged after crash at {point}#{occurrence}"
+            )
+
+        # No submitted transaction is lost and outcomes match the control.
+        for txn in txns:
+            assert cluster.state_of(txn) is TransactionState.COMMITTED
+            assert txn.args["vm_name"] in control_committed
+
+        # No acknowledged transaction is lost: everything the client was
+        # notified about (including notifications delivered *before* the
+        # crash, e.g. at post-commit-pre-ack) is still committed, exactly
+        # once, in the recovered store and on the devices.
+        acked_commits = [t for t in cluster.acked
+                         if t.state is TransactionState.COMMITTED]
+        seen: set[str] = set()
+        for txn in acked_commits:
+            assert cluster.state_of(txn) is TransactionState.COMMITTED
+            vm = txn.args["vm_name"]
+            assert vm not in seen, f"{vm} acknowledged twice as committed"
+            seen.add(vm)
+            host = txn.args["vm_host"]
+            device = cluster.inventory.registry.device_at(host)
+            assert device.vm_state(vm) == "running"
+
+        # Cross-layer agreement over each shard's owned subtrees and no
+        # leaked locks on either shard.
+        for shard in cluster.shard_ids:
+            assert cluster.detect_is_clean(shard)
+            assert cluster.controllers[shard].lock_manager.active_transactions() == set()
+
+        # The sibling shard must be completely unaffected by the fault.
+        assert all(crash.point == point for crash in injector.fired)
+
+    def test_matrix_actually_fires_every_point(self):
+        """Guard against the matrix silently testing nothing: at occurrence
+        0 every named point must be reachable in this workload."""
+        for point in FAILURE_POINTS:
+            injector = FaultInjector().arm(point, 0)
+            cluster = ShardedCluster(
+                num_shards=_NUM_SHARDS,
+                config=_MATRIX_CONFIG,
+                with_devices=True,
+                injector=injector,
+                faulty_shards=(_FAULTY_SHARD,),
+            )
+            _run_workload(cluster, failover=True)
+            assert [crash.point for crash in injector.fired] == [point]

@@ -1,4 +1,5 @@
-"""Integration tests for the threaded runtime and controller failover (§6.4)."""
+"""Integration tests for the threaded runtime and controller failover (§6.4),
+including per-shard failover of the sharded controller (PR 2)."""
 
 import time
 
@@ -6,6 +7,19 @@ import pytest
 
 from repro.core.txn import TransactionState
 from repro.tcloud.service import build_tcloud
+
+
+def _spawn_on(cloud, vm_name, host_index, wait=True, timeout=30.0, mem_mb=512):
+    """Spawn pinned to a compute host and its paired storage host (always
+    single-shard under the TCloud co-location scheme)."""
+    return cloud.spawn_vm(
+        vm_name,
+        mem_mb=mem_mb,
+        vm_host=cloud.inventory.vm_hosts[host_index],
+        storage_host=cloud.inventory.storage_host_for(host_index),
+        wait=wait,
+        timeout=timeout,
+    )
 
 
 @pytest.fixture
@@ -89,6 +103,79 @@ class TestFailover:
         assert txn1.state is TransactionState.COMMITTED
         assert txn2.state is TransactionState.COMMITTED
         assert len(platform.live_controller_names()) == 1
+
+
+@pytest.fixture
+def sharded_cloud(threaded_config):
+    """A 2-shard threaded deployment: per-shard elections, queues, stores."""
+    config = threaded_config.with_overrides(num_shards=2, num_controllers=2)
+    cloud = build_tcloud(num_vm_hosts=8, num_storage_hosts=2, host_mem_mb=8192,
+                         config=config, threaded=True)
+    cloud.platform.start()
+    deadline = time.time() + 5.0
+    while time.time() < deadline and any(
+        cloud.platform.leader_runner(shard) is None for shard in (0, 1)
+    ):
+        time.sleep(0.02)
+    yield cloud
+    cloud.platform.stop()
+
+
+class TestShardedFailover:
+    def test_each_shard_elects_its_own_leader(self, sharded_cloud):
+        platform = sharded_cloud.platform
+        for shard in (0, 1):
+            runner = platform.leader_runner(shard)
+            assert runner is not None
+            assert runner.shard == shard
+
+    def test_shard_failover_does_not_disturb_the_other_shard(self, sharded_cloud):
+        platform = sharded_cloud.platform
+        # Work on both shards, then kill shard 0's leader mid-stream.
+        # Hosts 0-3 pair with storageHost0 (shard 0); hosts 4-7 with
+        # storageHost1 (shard 1).
+        before = [_spawn_on(sharded_cloud, f"pre{i}", host_index=i, wait=False)
+                  for i in range(8)]
+        killed = platform.kill_leader(shard=0)
+        assert killed is not None
+        after = [_spawn_on(sharded_cloud, f"post{i}", host_index=i, wait=False)
+                 for i in range(8)]
+        results = [handle.wait(timeout=60.0) for handle in before + after]
+        assert all(txn.is_terminal for txn in results)
+        committed = sum(txn.state is TransactionState.COMMITTED for txn in results)
+        assert committed == len(results), [t.error for t in results]
+        # Shard 0 failed over to its follower; shard 1 kept its replicas.
+        assert len(platform.live_controller_names(shard=0)) == 1
+        assert len(platform.live_controller_names(shard=1)) == 2
+        # Both shards still serve new work after the failover.
+        assert _spawn_on(sharded_cloud, "tail0", 0, timeout=30.0).state \
+            is TransactionState.COMMITTED
+        assert _spawn_on(sharded_cloud, "tail1", 4, timeout=30.0).state \
+            is TransactionState.COMMITTED
+
+    def test_sharded_recovery_replays_only_the_shards_own_log(self, sharded_cloud):
+        platform = sharded_cloud.platform
+        for index in range(4):
+            _spawn_on(sharded_cloud, f"seed{index}", host_index=index, timeout=30.0)
+        _spawn_on(sharded_cloud, "other", host_index=4, timeout=30.0)
+        platform.kill_leader(shard=0)
+        deadline = time.time() + 10.0
+        runner = None
+        while time.time() < deadline:
+            runner = platform.leader_runner(shard=0)
+            if runner is not None and runner.controller.recovered:
+                break
+            time.sleep(0.02)
+        assert runner is not None and runner.controller.recovered
+        leader = runner.controller
+        # The new shard-0 leader recovered shard 0's transactions only.
+        recovered_txids = set(leader.store.transaction_ids())
+        for txid in recovered_txids:
+            txn = leader.store.load_transaction(txid)
+            assert platform.shard_router.shard_of(txn.args["vm_host"]) == 0
+        # Its model still serves shard-0 placements.
+        assert _spawn_on(sharded_cloud, "after", 1, timeout=30.0).state \
+            is TransactionState.COMMITTED
 
 
 class TestCoordinationFaults:

@@ -64,6 +64,72 @@ class TestDistributedQueue:
         queue = DistributedQueue(client, "/queues/timeout")
         assert queue.get(timeout=0.05, poll_interval=0.01) is None
 
+    def test_idle_get_issues_zero_polling_round_trips(self, ensemble, client):
+        """A blocked consumer parks on a child watch: while the queue stays
+        empty it performs no coordination reads at all (the ROADMAP's
+        'watch-driven queue consumers' item)."""
+        import threading
+        import time
+
+        queue = DistributedQueue(client, "/queues/idlewatch")
+        results = []
+        consumer = threading.Thread(
+            target=lambda: results.append(queue.get(timeout=10.0)), daemon=True
+        )
+        consumer.start()
+        time.sleep(0.1)  # let the consumer register its watch and park
+        reads_at_idle = ensemble.read_round_trips
+        ops_at_idle = ensemble.op_count
+        time.sleep(0.25)  # a 2 ms busy-poll would issue ~125 listings here
+        assert ensemble.read_round_trips == reads_at_idle
+        assert ensemble.op_count == ops_at_idle
+        # The watch wakes the consumer promptly once an item arrives.
+        queue.put({"n": 42})
+        consumer.join(timeout=5.0)
+        assert not consumer.is_alive()
+        assert results == [{"n": 42}]
+
+    def test_get_times_out_when_a_virtual_clock_advances(self, client):
+        """The watch-driven park loop re-reads the platform clock, so a
+        consumer on a simulated clock still observes its deadline once
+        another thread advances time (the VirtualClock contract: time only
+        moves when someone advances it)."""
+        import threading
+        import time
+
+        from repro.common.clock import VirtualClock
+
+        clock = VirtualClock()
+        queue = DistributedQueue(client, "/queues/virtual", clock=clock)
+        results = []
+        consumer = threading.Thread(
+            target=lambda: results.append(queue.get(timeout=5.0, poll_interval=0.01)),
+            daemon=True,
+        )
+        consumer.start()
+        time.sleep(0.05)  # consumer is parked on its watch
+        clock.advance(10.0)  # push simulated time past the deadline
+        consumer.join(timeout=5.0)
+        assert not consumer.is_alive()
+        assert results == [None]
+
+    def test_get_wakes_for_item_enqueued_while_parked(self, client):
+        import threading
+        import time
+
+        queue = DistributedQueue(client, "/queues/wake")
+        results = []
+        consumer = threading.Thread(
+            target=lambda: results.append(queue.get(timeout=10.0)), daemon=True
+        )
+        consumer.start()
+        time.sleep(0.05)
+        start = time.time()
+        queue.put({"n": 1})
+        consumer.join(timeout=5.0)
+        assert results == [{"n": 1}]
+        assert time.time() - start < 1.0
+
     def test_peek_does_not_remove(self, client):
         queue = DistributedQueue(client, "/queues/peek")
         queue.put({"n": 1})

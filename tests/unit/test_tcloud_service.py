@@ -112,6 +112,34 @@ class TestTCloudService:
         assert txn.state is TransactionState.COMMITTED
         assert inline_cloud.find_vm("pinned").host == "/vmRoot/vmHost2"
 
+    def test_spawn_vms_batch_spreads_auto_placement(self):
+        """Batched spawns are all placed before anything commits, so the
+        placement pass must reserve each pick (regression: every spec used
+        to land on the same least-loaded host and trip the memory
+        constraint)."""
+        from repro.tcloud.service import build_tcloud
+
+        cloud = build_tcloud(num_vm_hosts=4, num_storage_hosts=2, host_mem_mb=2048)
+        with cloud.platform:
+            txns = cloud.spawn_vms(
+                [{"vm_name": f"batch{i}", "mem_mb": 1024} for i in range(6)]
+            )
+            assert all(t.state is TransactionState.COMMITTED for t in txns), \
+                [t.error for t in txns]
+            hosts = {cloud.find_vm(f"batch{i}").host for i in range(6)}
+            assert len(hosts) >= 3  # spread, not piled onto one host
+
+    def test_spawn_vms_batch_respects_pinned_hosts(self, inline_cloud):
+        txns = inline_cloud.spawn_vms(
+            [
+                {"vm_name": "pin0", "vm_host": "/vmRoot/vmHost0", "mem_mb": 256},
+                {"vm_name": "pin3", "vm_host": "/vmRoot/vmHost3", "mem_mb": 256},
+            ]
+        )
+        assert all(t.state is TransactionState.COMMITTED for t in txns)
+        assert inline_cloud.find_vm("pin0").host == "/vmRoot/vmHost0"
+        assert inline_cloud.find_vm("pin3").host == "/vmRoot/vmHost3"
+
     def test_spawn_duplicate_name_aborts(self, inline_cloud):
         inline_cloud.spawn_vm("dup", vm_host="/vmRoot/vmHost0")
         txn = inline_cloud.spawn_vm("dup", vm_host="/vmRoot/vmHost0")
