@@ -14,7 +14,8 @@ test-unit:
 test-integration:
 	$(PYTHONPATH_PREFIX) python -m pytest tests/integration tests/property -q
 
-## Full benchmark suite; writes BENCH_pr2.json (incl. 2/4-shard runs).
+## Full benchmark suite; writes BENCH_pr3.json (incl. 2/4-shard runs and
+## the cross-shard 2PC mix).
 bench:
 	bash scripts/run_benchmarks.sh
 

@@ -174,6 +174,104 @@ def run(
         return result
 
 
+def run_cross_shard_mix(
+    num_hosts: int,
+    txn_batch: int,
+    checkpoint_every: int,
+    num_shards: int,
+    mix: float,
+) -> dict:
+    """Throughput of a workload where a fraction ``mix`` of the spawns
+    span two shards (VM on one shard, disk image on another) under
+    ``cross_shard_policy='2pc'``.
+
+    Unlike the share-nothing sharded measurement, this runs one deployment
+    hosting *all* shards (cross-shard transactions need every participant
+    reachable), so the number reflects the cost of the 2PC protocol —
+    prepare/vote/decision round-trips plus the fleet prepare ticket that
+    serialises cross-shard prepares — not scale-out capacity.
+    """
+    config = TropicConfig(
+        logical_only=True,
+        checkpoint_every=checkpoint_every,
+        num_shards=num_shards,
+        cross_shard_policy="2pc",
+    )
+    cloud = build_tcloud(
+        num_vm_hosts=num_hosts,
+        num_storage_hosts=max(num_hosts // 4, 1),
+        host_mem_mb=65536,
+        config=config,
+        logical_only=True,
+    )
+    with cloud.platform:
+        router = cloud.platform.shard_router
+        storage_by_shard: dict[int, list[str]] = {}
+        for host in cloud.inventory.storage_hosts:
+            storage_by_shard.setdefault(router.shard_of(host), []).append(host)
+        cross_every = max(int(round(1.0 / mix)), 1) if mix > 0 else 0
+        requests = []
+        cross_submitted = 0
+        for index in range(txn_batch):
+            host_index = index % num_hosts
+            vm_host = cloud.inventory.vm_hosts[host_index]
+            storage_host = cloud.inventory.storage_host_for(host_index)
+            if cross_every and index % cross_every == 0:
+                home = router.shard_of(vm_host)
+                foreign = [
+                    hosts for shard, hosts in storage_by_shard.items() if shard != home
+                ]
+                if foreign:
+                    storage_host = foreign[0][cross_submitted % len(foreign[0])]
+                    cross_submitted += 1
+            requests.append(
+                (
+                    "spawnVM",
+                    {
+                        "vm_name": f"mix-vm-{index}",
+                        "image_template": "template-small",
+                        "storage_host": storage_host,
+                        "vm_host": vm_host,
+                        "mem_mb": 512,
+                    },
+                )
+            )
+        counter = WriteCounter(cloud.platform.ensemble)
+        start = time.perf_counter()
+        handles = cloud.platform.submit_many(requests, wait=False)
+        cloud.platform.run_until_idle()
+        results = [handle.wait(timeout=240.0) for handle in handles]
+        elapsed = time.perf_counter() - start
+        committed = sum(txn.state.value == "committed" for txn in results)
+        cross_results = [txn for txn in results if txn.is_cross_shard]
+        cross_committed = sum(
+            txn.state.value == "committed" for txn in cross_results
+        )
+        return {
+            "shards": num_shards,
+            "hosts": num_hosts,
+            "txns": txn_batch,
+            "cross_shard_policy": "2pc",
+            "cross_shard_mix_requested": mix,
+            "cross_shard_submitted": cross_submitted,
+            "cross_shard_committed": cross_committed,
+            "committed": committed,
+            "elapsed_s": round(elapsed, 4),
+            "throughput_txn_s": round(committed / elapsed, 2),
+            "store_write_round_trips": counter.round_trips,
+            "writes_per_commit": round(counter.round_trips / max(committed, 1), 2),
+            "checkpoint_every": checkpoint_every,
+            "method": (
+                "One deployment hosting all shards; a fraction of spawns "
+                "pairs a VM host with a storage host owned by another "
+                "shard, exercising 2PC end to end (prepare records, "
+                "decision log, participant application).  Cross-shard "
+                "prepares are serialised fleet-wide by the 2PC ticket, so "
+                "the mix fraction directly prices the protocol."
+            ),
+        }
+
+
 def run_sharded(num_hosts: int, txn_batch: int, checkpoint_every: int, num_shards: int) -> dict:
     """The LARGE-fleet workload partitioned over ``num_shards`` share-nothing
     shard deployments; reports per-shard and aggregate txn/s."""
@@ -222,6 +320,10 @@ def main() -> None:
     parser.add_argument("--shards", type=int, default=1,
                         help="partition the workload over N share-nothing "
                              "controller shards (per-shard + aggregate txn/s)")
+    parser.add_argument("--cross-shard-mix", type=float, default=None,
+                        help="measure a single deployment hosting --shards "
+                             "shards where this fraction of the spawns spans "
+                             "two shards under cross_shard_policy='2pc'")
     parser.add_argument("--repeat", type=int, default=1,
                         help="run the workload N times and report the run with "
                              "the median throughput (wall-clock noise on shared "
@@ -229,6 +331,20 @@ def main() -> None:
     parser.add_argument("--json", type=str, default=None, help="write result JSON to this path")
     args = parser.parse_args()
 
+    if args.cross_shard_mix is not None:
+        shards = max(args.shards, 2)
+        runs = [run_cross_shard_mix(args.hosts, args.txns, args.checkpoint_every,
+                                    shards, args.cross_shard_mix)
+                for _ in range(max(args.repeat, 1))]
+        runs.sort(key=lambda r: r["throughput_txn_s"])
+        result = dict(runs[len(runs) // 2])
+        if len(runs) > 1:
+            result["throughput_runs"] = [r["throughput_txn_s"] for r in runs]
+        print(json.dumps(result, indent=2, sort_keys=True))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(result, fh, indent=2, sort_keys=True)
+        return
     if args.shards > 1:
         runs = [run_sharded(args.hosts, args.txns, args.checkpoint_every, args.shards)
                 for _ in range(max(args.repeat, 1))]

@@ -42,6 +42,10 @@ def main() -> None:
                         help="path to a sharded measure_writepath JSON (repeatable)")
     parser.add_argument("--pr1", default=None,
                         help="BENCH_pr1.json for the single-controller reference")
+    parser.add_argument("--pr2", default=None,
+                        help="BENCH_pr2.json for the sharded single-shard reference")
+    parser.add_argument("--cross-shard", default=None,
+                        help="cross-shard 2PC mix measure_writepath JSON (PR 3)")
     parser.add_argument("--pr", type=int, default=1)
     parser.add_argument("--out", required=True)
     args = parser.parse_args()
@@ -62,15 +66,25 @@ def main() -> None:
         ),
     }
 
-    result = {
-        "pr": args.pr,
-        "subsystem": (
+    if args.pr >= 3:
+        subsystem = (
+            "cross-shard two-phase commit (coordinator/participant shard "
+            "leaders, prepare records, global decision log) + dispatch-loss "
+            "window fix (dispatch epochs, worker claim records)"
+        )
+    elif args.pr == 2:
+        subsystem = (
             "subtree-sharded controller scale-out + submit-side batching + "
             "watch-driven queue consumers"
-            if args.pr >= 2
-            else "controller write path (group commit, incremental "
-                 "checkpoints, path interning, batched scheduling)"
-        ),
+        )
+    else:
+        subsystem = (
+            "controller write path (group commit, incremental "
+            "checkpoints, path interning, batched scheduling)"
+        )
+    result = {
+        "pr": args.pr,
+        "subsystem": subsystem,
         "seed_baseline": baseline,
         "large_fleet": large,
         "ratios": ratios,
@@ -88,6 +102,16 @@ def main() -> None:
         ratios["single_shard_vs_pr1"] = round(
             large["throughput_txn_s"] / pr1_tput, 2
         )
+    if args.pr2:
+        pr2 = _load(args.pr2)
+        pr2_tput = pr2["large_fleet"]["throughput_txn_s"]
+        result["pr2_reference"] = {
+            "throughput_txn_s": pr2_tput,
+            "writes_per_commit": pr2["large_fleet"]["writes_per_commit"],
+        }
+        ratios["single_shard_vs_pr2"] = round(
+            large["throughput_txn_s"] / pr2_tput, 2
+        )
     if args.sharded:
         sharded = [_load(path) for path in args.sharded]
         sharded.sort(key=lambda r: r["shards"])
@@ -102,6 +126,12 @@ def main() -> None:
                 ratios[f"sharded{run['shards']}_scaling_vs_single_shard"] = round(
                     run["aggregate_throughput_txn_s"] / single, 2
                 )
+    if args.cross_shard:
+        cross = _load(args.cross_shard)
+        result["cross_shard_mix"] = cross
+        ratios["cross_shard_mix_vs_single_shard"] = round(
+            cross["throughput_txn_s"] / large["throughput_txn_s"], 2
+        )
 
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)

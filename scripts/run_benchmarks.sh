@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Run the PR 2 write-path + sharding benchmark suite and write BENCH_pr2.json.
+# Run the PR 3 write-path + sharding + cross-shard benchmark suite and
+# write BENCH_pr3.json.
 #
 # Covers:
 #   * bench_writepath.py        — micro-benchmarks (group commit, delta docs,
@@ -8,18 +9,20 @@
 #   * bench_sec62_safety_overhead — logical-layer constraint-checking cost
 #   * scripts/measure_writepath — LARGE-fleet end-to-end measurement at 1, 2
 #                                 and 4 controller shards (per-shard and
-#                                 aggregate txn/s)
+#                                 aggregate txn/s), plus the PR 3 cross-shard
+#                                 mix (a fraction of spawns spans two shards
+#                                 under cross_shard_policy='2pc')
 #
-# The results are merged with benchmarks/BASELINE_seed.json (seed commit) and
-# BENCH_pr1.json (single-controller PR 1 numbers) so the JSON carries the
-# speedup and scaling ratios.
+# The results are merged with benchmarks/BASELINE_seed.json (seed commit),
+# BENCH_pr1.json and BENCH_pr2.json so the JSON carries the speedup and
+# scaling ratios.
 #
-# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr2.json)
+# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr3.json)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_pr2.json}"
+OUT="${1:-BENCH_pr3.json}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -51,6 +54,16 @@ for SHARDS in ${TROPIC_BENCH_SHARD_COUNTS:-2 4}; do
     SHARDED_ARGS+=(--sharded "$WORK/sharded_${SHARDS}.json")
 done
 
+echo "== cross-shard 2PC mix measurement =="
+python scripts/measure_writepath.py \
+    --hosts "${TROPIC_BENCH_SCALE_LARGE:-800}" \
+    --txns "${TROPIC_BENCH_LARGE_TXNS:-600}" \
+    --checkpoint-every 100000 \
+    --shards 2 \
+    --cross-shard-mix "${TROPIC_BENCH_CROSS_MIX:-0.1}" \
+    --repeat "${TROPIC_BENCH_REPEAT:-5}" \
+    --json "$WORK/cross_shard.json"
+
 echo "== pytest benchmarks (sec 6.1 scalability, sec 6.2 safety overhead) =="
 TROPIC_BENCH_JSON_OUT="$WORK/fragments.jsonl" \
     python -m pytest benchmarks/bench_sec61_scalability.py \
@@ -64,7 +77,9 @@ python scripts/merge_bench.py \
     --fragments "$WORK/fragments.jsonl" \
     --baseline benchmarks/BASELINE_seed.json \
     --pr1 BENCH_pr1.json \
-    --pr 2 \
+    --pr2 BENCH_pr2.json \
+    --cross-shard "$WORK/cross_shard.json" \
+    --pr 3 \
     "${SHARDED_ARGS[@]}" \
     --out "$OUT"
 

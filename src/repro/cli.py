@@ -46,8 +46,8 @@ def _build_cloud(args: argparse.Namespace, threaded: bool = False,
         queue_poll_interval=0.002,
         num_shards=getattr(args, "shards", 1),
         # Demo workloads include cross-subtree orchestrations (migrate,
-        # tenant provisioning); pin them to one shard instead of rejecting.
-        cross_shard_policy=getattr(args, "cross_shard", "pin"),
+        # tenant provisioning); run them under 2PC instead of rejecting.
+        cross_shard_policy=getattr(args, "cross_shard", "2pc"),
     )
     return build_tcloud(
         num_vm_hosts=args.hosts,
@@ -216,12 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of controller shards the data-model tree "
                              "is partitioned over (1 = the paper's single "
                              "controller)")
-    parser.add_argument("--cross-shard", choices=("reject", "pin"), default="pin",
+    parser.add_argument("--cross-shard", choices=("reject", "pin", "2pc"),
+                        default="2pc",
                         help="policy for transactions spanning shards: reject "
-                             "at submit time, or pin to the lowest involved "
-                             "shard (default for the demos; pinned effects on "
-                             "foreign subtrees are visible only through the "
-                             "pinned shard)")
+                             "at submit time, run two-phase commit across the "
+                             "shard leaders (2pc, default for the demos), or "
+                             "pin to the lowest involved shard (deprecated; "
+                             "pinned effects on foreign subtrees are visible "
+                             "only through the pinned shard)")
 
     sub = parser.add_subparsers(dest="command", required=True)
 

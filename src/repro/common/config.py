@@ -47,9 +47,12 @@ class TropicConfig:
         paper's single-controller deployment exactly.
     cross_shard_policy:
         What to do with a transaction whose paths span several shards:
-        ``"reject"`` (refuse at submit time, preserving full isolation) or
-        ``"pin"`` (run it on the lowest involved shard; isolation degrades
-        to per-shard).  See :mod:`repro.core.sharding`.
+        ``"reject"`` (refuse at submit time, preserving full isolation),
+        ``"pin"`` (deprecated: run it on the lowest involved shard;
+        isolation degrades to per-shard) or ``"2pc"`` (two-phase commit
+        across the shard leaders, coordinated by the lowest involved
+        shard).  See :mod:`repro.core.sharding` and
+        :mod:`repro.core.twopc`.
     checkpoint_every:
         Number of applied transactions between data-model checkpoints
         written to persistent storage.
@@ -102,7 +105,7 @@ class TropicConfig:
             raise ValueError(f"unknown scheduler_policy {self.scheduler_policy!r}")
         if self.num_shards < 1:
             raise ValueError("num_shards must be >= 1")
-        if self.cross_shard_policy not in ("reject", "pin"):
+        if self.cross_shard_policy not in ("reject", "pin", "2pc"):
             raise ValueError(f"unknown cross_shard_policy {self.cross_shard_policy!r}")
         if self.session_timeout <= self.heartbeat_interval:
             raise ValueError("session_timeout must exceed heartbeat_interval")

@@ -154,6 +154,25 @@ class CrossShardTransaction(ReproError):
         self.shards = list(shards or [])
 
 
+class ShardUnavailable(ReproError):
+    """A read needed shards this process does not host.
+
+    ``TropicPlatform.model_view`` raises this in strict mode instead of
+    silently merging only the locally hosted shards into a *partial* fleet
+    view (the multi-process footgun: every shard a process does not host
+    would be reported at its bootstrap-frozen contents).
+
+    Attributes
+    ----------
+    shards:
+        Sorted indices of the shards missing from this process.
+    """
+
+    def __init__(self, message: str, shards: list[int] | None = None):
+        super().__init__(message)
+        self.shards = list(shards or [])
+
+
 class ShardNotLocalError(ConfigurationError):
     """A request was routed to a shard this process does not host (the
     deployment runs with ``local_shards`` restricted, e.g. one shard per

@@ -332,6 +332,10 @@ class CoordinationEnsemble:
         Each op is a tuple:
 
         * ``("upsert", path, data)`` — set, creating node and ancestors,
+        * ``("create", path, data)`` — plain create under an existing
+          parent; raises :class:`NodeExistsError` if the node exists (the
+          atomic claim primitive behind the workers' exactly-once dispatch
+          consumption),
         * ``("create_seq", path_prefix, data)`` — sequential create under
           an existing parent (queue recipe),
         * ``("delete", path, None)`` — recursive delete-if-exists.
@@ -349,7 +353,7 @@ class CoordinationEnsemble:
         events: list[tuple[Watcher, WatchEvent]] = []
         results: list[str | None] = []
         for op in ops:
-            if op[0] not in ("upsert", "create_seq", "delete"):
+            if op[0] not in ("upsert", "create", "create_seq", "delete"):
                 raise ValueError(f"unknown multi op kind {op[0]!r}")
         try:
             with self._lock:
@@ -365,6 +369,8 @@ class CoordinationEnsemble:
                     if kind == "upsert":
                         self._apply_upsert(path, data or "", events)
                         results.append(None)
+                    elif kind == "create":
+                        results.append(self._apply_create(path, data or "", events))
                     elif kind == "create_seq":
                         results.append(self._apply_create_seq(path, data or "", events))
                     else:
@@ -502,6 +508,22 @@ class CoordinationEnsemble:
                 server.apply_create(current, data if is_leaf else "", None, self._zxid)
             self._queue_watch(self._data_watches, current, "created", events)
             self._queue_watch(self._child_watches, parent_path(current), "child", events)
+
+    def _apply_create(
+        self, path: str, data: str, events: list[tuple[Watcher, WatchEvent]]
+    ) -> str:
+        reference = self._reference_server()
+        parent = parent_path(path)
+        if not reference.exists(parent):
+            raise NoNodeError(f"parent {parent} does not exist")
+        if reference.exists(path):
+            raise NodeExistsError(f"znode {path} already exists")
+        self._zxid += 1
+        for server in self.up_servers():
+            server.apply_create(path, data, None, self._zxid)
+        self._queue_watch(self._data_watches, path, "created", events)
+        self._queue_watch(self._child_watches, parent, "child", events)
+        return path
 
     def _apply_create_seq(
         self, path_prefix: str, data: str, events: list[tuple[Watcher, WatchEvent]]

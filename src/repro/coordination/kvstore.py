@@ -112,6 +112,11 @@ class KVStore:
         key = key.strip("/")
         return f"{self.prefix}/{key}" if key else self.prefix
 
+    def full_key(self, key: str) -> str:
+        """Absolute coordination path of ``key`` (for callers composing
+        raw client operations, e.g. the workers' claim-and-ack multi)."""
+        return self._full(key)
+
     # -- document operations ----------------------------------------------
 
     def put(self, key: str, value: Any) -> None:

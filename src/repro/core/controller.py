@@ -18,27 +18,61 @@ import threading
 from typing import Any, Callable
 
 from repro.common.clock import Clock, RealClock, Stopwatch
+from repro.common.errors import ReproError, UnknownPathError
 from repro.common.config import TropicConfig
-from repro.common.errors import UnknownPathError
 from repro.coordination.queue import DistributedQueue
 from repro.core.constraints import ConstraintEngine
 from repro.core.events import (
+    DECISION_ABORT,
+    DECISION_COMMIT,
+    DECISION_RELEASE,
+    KIND_DECISION,
+    KIND_EXECUTE,
+    KIND_PREPARE,
     KIND_REQUEST,
     KIND_RESULT,
+    KIND_VOTE,
     OUTCOME_ABORTED,
     OUTCOME_COMMITTED,
+    VOTE_NO,
+    VOTE_YES,
+    decision_message,
     execute_message,
+    prepare_message,
+    vote_message,
 )
 from repro.core.locks import LockManager
 from repro.core.persistence import TropicStore
 from repro.core.procedures import ProcedureRegistry
 from repro.core.recovery import recover_state
 from repro.core.scheduler import FIFO, TodoQueue
+from repro.core.sharding import ShardRouter
 from repro.core.signals import KILL, SignalBoard, TERM
 from repro.core.simulation import LogicalExecutor
-from repro.core.txn import Transaction, TransactionState
+from repro.core.twopc import (
+    TwoPCLog,
+    shards_touched,
+    split_log,
+    split_rwset,
+)
+from repro.core.txn import ExecutionLog, ReadWriteSet, Transaction, TransactionState
 from repro.datamodel.schema import ModelSchema
 from repro.datamodel.tree import DataModel
+
+#: Named crash edges of the controller main loop beyond the generic store/
+#: queue boundaries (see repro.testing.faults): the dispatch-loss window
+#: between the group-commit flush and the phyQ put_many, and the four
+#: protocol edges of cross-shard two-phase commit.  A ``fault_hook`` (test
+#: harness only) receives these names and may raise to model a process
+#: death at that exact edge.
+PRE_DISPATCH = "post-flush-pre-dispatch"
+TWOPC_PRE_PREPARE = "2pc-pre-prepare"
+TWOPC_POST_PREPARE = "2pc-post-prepare"
+TWOPC_PRE_DECISION = "2pc-pre-decision"
+TWOPC_POST_DECISION = "2pc-post-decision"
+
+#: Vote-no reason that triggers a coordinator retry instead of an abort.
+_REASON_CONFLICT = "lock-conflict"
 
 
 class Controller:
@@ -56,6 +90,10 @@ class Controller:
         clock: Clock | None = None,
         on_complete: Callable[[Transaction], None] | None = None,
         shard_id: int = 0,
+        router: ShardRouter | None = None,
+        peer_queues: dict[int, DistributedQueue] | None = None,
+        twopc: TwoPCLog | None = None,
+        fault_hook: Callable[[str], None] | None = None,
     ):
         self.name = name
         #: Index of the data-model shard this replica serves.  All of the
@@ -71,6 +109,16 @@ class Controller:
         self.procedures = procedures
         self.clock = clock or RealClock()
         self.on_complete = on_complete
+        #: Cross-shard two-phase commit wiring (sharded deployments only):
+        #: the shard router (authoritative participant resolution from the
+        #: simulated read/write set), the peer shards' inputQs for
+        #: prepare/vote/decision traffic, and the global decision log.
+        self.router = router
+        self.peer_queues = dict(peer_queues or {})
+        self.twopc = twopc
+        #: Test-harness hook receiving named crash edges (see PRE_DISPATCH
+        #: and the TWOPC_* constants); may raise to model a process death.
+        self.fault_hook = fault_hook
 
         self.model = DataModel()
         self.constraint_engine = ConstraintEngine(schema)
@@ -83,9 +131,17 @@ class Controller:
         self.busy = Stopwatch(self.clock)
         self.recovered = False
         self.applied_since_checkpoint = 0
+        #: Leadership generation stamp for dispatch markers and execute
+        #: messages; bumped (durably) at every takeover.
+        self.dispatch_epoch = 0
         #: phyQ dispatches deferred until the pending group commit makes
         #: the corresponding STARTED states durable.
         self._dispatch_buffer: list[str] = []
+        #: 2PC protocol messages (prepare/vote/decision) deferred until the
+        #: states they presuppose are durable — a participant must never
+        #: see a prepare whose PREPARING record could still be lost, and a
+        #: vote must never precede its durable prepare record.
+        self._outbound: list[tuple[int, dict[str, Any]]] = []
         #: completion notifications deferred until the terminal states are
         #: durable (see _notify).
         self._notify_buffer: list[Transaction] = []
@@ -110,6 +166,12 @@ class Controller:
             "checkpoints": 0,
             "input_batches": 0,
             "messages_handled": 0,
+            "redispatched": 0,
+            "cross_shard_prepares": 0,
+            "cross_shard_prepared": 0,
+            "cross_shard_committed": 0,
+            "cross_shard_aborted": 0,
+            "cross_shard_collapsed": 0,
         }
 
     # ------------------------------------------------------------------
@@ -137,13 +199,22 @@ class Controller:
         self.applied_since_checkpoint = len(state.replayed_committed)
         self._dispatch_buffer = []
         self._notify_buffer = []
+        self._outbound = []
         # Another leader may have rewritten transaction documents since
         # this replica last persisted them.
         self.store.reset_fragment_cache()
         # The rebuilt model is conservatively all-dirty, so the first
         # checkpoint after a failover is a full one.
         self.model.mark_all_dirty()
+        # Every dispatch of this leadership carries a fresh epoch.
+        self.dispatch_epoch = self.store.bump_dispatch_epoch()
         self.recovered = True
+        # Resolve cross-shard transactions caught mid-protocol, then
+        # re-dispatch STARTED transactions whose execute message was lost
+        # in the flush->put_many crash window.
+        if self.twopc is not None:
+            self._recover_two_phase(state)
+        self._redispatch_lost()
 
     def demote(self) -> None:
         """Drop leader-only soft state when losing leadership."""
@@ -153,8 +224,126 @@ class Controller:
         self.todo = TodoQueue(self.config.scheduler_policy)
         self._dispatch_buffer = []
         self._notify_buffer = []
+        self._outbound = []
         self._signals_present = None
         self.store.reset_fragment_cache()
+
+    # ------------------------------------------------------------------
+    # Failover resolution (2PC outcomes, lost dispatches)
+    # ------------------------------------------------------------------
+
+    def _recover_two_phase(self, state: "Any") -> None:
+        """Resolve cross-shard transactions the failed leader left
+        mid-protocol.  All writes here are direct (no batch is open): each
+        is individually required to be durable before the next step.
+        """
+        now = self.clock.now()
+        # Coordinators that died during the prepare phase: presumed abort.
+        # The decision record is written first so participants holding
+        # prepare records resolve immediately instead of waiting.
+        for txn in state.preparing:
+            self.twopc.decide(
+                txn.txid, DECISION_ABORT, self.shard_id, txn.participants
+            )
+            txn.error = "presumed abort: coordinator failed during prepare"
+            txn.mark(TransactionState.ABORTED, now)
+            self.store.save_transaction(txn)
+            self.twopc.release_ticket(txn.txid)
+            self._send_decisions(txn, DECISION_ABORT, direct=True)
+            self.stats["cross_shard_aborted"] += 1
+            self._notify(txn)
+        # Prepared participants: the decision log is the oracle.  With no
+        # decision yet, re-send the (possibly lost) yes vote and keep the
+        # prepare record + locks; _resolve_prepared polls the log until
+        # the coordinator (or its successor) decides.
+        for txn in state.prepared:
+            decision = self.twopc.decision(txn.txid)
+            if decision == DECISION_COMMIT:
+                self._commit_participant(txn)
+            elif decision == DECISION_ABORT:
+                self._abort_participant(txn)
+            elif txn.coordinator is not None:
+                self._send_peer(
+                    txn.coordinator,
+                    vote_message(txn.txid, self.shard_id, VOTE_YES, txn.defer_count),
+                )
+        # Coordinators that died between logging a commit decision and
+        # completing their own cleanup: finish the commit (the physical
+        # outcome is already decided; effects were re-applied as in-flight
+        # state by recover_state).
+        for txid, txn in list(self.outstanding.items()):
+            if not (txn.is_cross_shard and txn.coordinator == self.shard_id):
+                continue
+            if txn.state is not TransactionState.STARTED:
+                continue
+            decision = self.twopc.decision(txid)
+            if decision == DECISION_COMMIT:
+                self._finish_cross_shard_commit(txn, check_applied=True)
+            elif decision == DECISION_ABORT:
+                # An abort decision with the document still STARTED can
+                # only come from an earlier explicit abort whose document
+                # write was lost; converge on the decision.
+                self.executor.rollback(txn)
+                self._mark_dirty_writes(txn)
+                txn.error = txn.error or "cross-shard abort"
+                txn.mark(TransactionState.ABORTED, now)
+                self.store.save_transaction(txn)
+                self.store.clear_claim(txid)
+                self.lock_manager.release_all(txid)
+                self.twopc.release_ticket(txid)
+                self._send_decisions(txn, DECISION_ABORT, direct=True)
+                self.outstanding.pop(txid, None)
+                self.stats["cross_shard_aborted"] += 1
+                self._notify(txn)
+        self._release_stale_ticket()
+
+    def _release_stale_ticket(self) -> None:
+        """Free the global prepare ticket if it is held by a transaction of
+        this shard that is no longer in (or advancing towards) the prepare
+        phase — e.g. the failed leader acquired it and died before the
+        PREPARING state became durable."""
+        holder = self.twopc.ticket_holder()
+        if holder is None:
+            return
+        txn = self.outstanding.get(holder)
+        if txn is not None and txn.coordinator == self.shard_id:
+            return  # still active on this shard (STARTED awaiting outcome)
+        doc = self.store.load_transaction(holder)
+        if doc is None:
+            return  # another shard's transaction; its leader owns the ticket
+        if doc.is_terminal or doc.state in (
+            TransactionState.INITIALIZED,
+            TransactionState.ACCEPTED,
+            TransactionState.DEFERRED,
+        ):
+            self.twopc.release_ticket(holder)
+
+    def _redispatch_lost(self) -> None:
+        """Close the dispatch-loss window: re-enqueue execute messages for
+        STARTED transactions that have neither a pending phyQ item nor a
+        worker claim record.  The previous leader committed their STARTED
+        state (and dispatch marker) but died before the phyQ ``put_many``.
+        Safe against double execution: a worker that already claimed the
+        transaction left a claim record, and the claim create-if-absent
+        makes any residual duplicate message inert."""
+        pending: set[str] = set()
+        for _, item in self.phy_queue.take_many(1_000_000):
+            if item.get("kind") == KIND_EXECUTE:
+                pending.add(item["txid"])
+        lost = [
+            txid
+            for txid, txn in self.outstanding.items()
+            if txn.state is TransactionState.STARTED
+            and txid not in pending
+            and self.store.load_claim(txid) is None  # no worker owns it
+        ]
+        if not lost:
+            return
+        self.store.stamp_dispatch_epoch(self.dispatch_epoch)
+        self.phy_queue.put_many(
+            [execute_message(txid, self.dispatch_epoch) for txid in lost]
+        )
+        self.stats["redispatched"] += len(lost)
 
     # ------------------------------------------------------------------
     # Main loop step
@@ -195,12 +384,16 @@ class Controller:
                         did_work = True
                         self.stats["input_batches"] += 1
                         self.stats["messages_handled"] += len(taken)
+                    if self._resolve_prepared():
+                        did_work = True
                     if self.schedule():
                         did_work = True
                 # The batch has committed: terminal states are durable, so
-                # the buffered notifications may reach clients and the
-                # consumed messages may be acknowledged.
+                # the buffered notifications may reach clients, protocol
+                # messages may go to peer shards, and the consumed messages
+                # may be acknowledged.
                 self._flush_notifications()
+                self._flush_outbound()
                 self.input_queue.ack_many([name for name, _ in taken])
             except Exception:
                 # A failed step may have lost buffered store writes while
@@ -230,6 +423,12 @@ class Controller:
             self._accept(item)
         elif kind == KIND_RESULT:
             self._cleanup(item)
+        elif kind == KIND_PREPARE:
+            self._handle_prepare(item)
+        elif kind == KIND_VOTE:
+            self._handle_vote(item)
+        elif kind == KIND_DECISION:
+            self._handle_decision(item)
 
     def _accept(self, item: dict[str, Any]) -> None:
         """Step 2: accept a client request into todoQ."""
@@ -254,11 +453,17 @@ class Controller:
             txn = self.store.load_transaction(txid)
         if txn is None or txn.is_terminal:
             return  # duplicate result (idempotent cleanup)
+        if txn.is_cross_shard and txn.coordinator == self.shard_id:
+            self._cleanup_cross_shard(txn, item)
+            return
         outcome = item.get("outcome")
         if outcome == OUTCOME_COMMITTED:
             self.store.record_applied(txid)
             txn.mark(TransactionState.COMMITTED, self.clock.now())
             self.store.save_transaction(txn, dirty_fields=())
+            # The worker's claim record is garbage-collected wholesale at
+            # the next quiesce-point checkpoint (clear_claims), keeping
+            # this per-commit path free of cleanup deletes.
             self._mark_dirty_writes(txn)
             self.stats["committed"] += 1
             self.applied_since_checkpoint += 1
@@ -368,15 +573,85 @@ class Controller:
 
     def _flush_dispatches(self) -> None:
         """Group-commit pending state changes, then hand the buffered
-        runnable transactions to the physical workers in one queue write."""
-        if not self._dispatch_buffer:
+        runnable transactions to the physical workers in one queue write
+        and the buffered 2PC messages to their peer shards."""
+        if not self._dispatch_buffer and not self._outbound:
             return
+        if self._dispatch_buffer:
+            # Stamp the group commit with the dispatch epoch (coalesces to
+            # one sub-op per flush regardless of batch size).
+            self.store.stamp_dispatch_epoch(self.dispatch_epoch)
         self.store.flush()
+        if self._dispatch_buffer:
+            # The dispatch-loss window: STARTED states (and their dispatch
+            # markers) are durable, the execute messages are not yet in
+            # phyQ.  Recovery closes it via _redispatch_lost.
+            self._fault(PRE_DISPATCH)
         # The flush made all prior state changes durable, so buffered
         # completion notifications can be delivered alongside.
         self._flush_notifications()
         batch, self._dispatch_buffer = self._dispatch_buffer, []
-        self.phy_queue.put_many([execute_message(txid) for txid in batch])
+        if batch:
+            self.phy_queue.put_many(
+                [execute_message(txid, self.dispatch_epoch) for txid in batch]
+            )
+        self._flush_outbound()
+
+    def _flush_outbound(self) -> None:
+        """Deliver buffered 2PC messages to peer shard inputQs.  Callers
+        guarantee the states those messages presuppose are durable.  The
+        named crash edges fire once per message kind present: a crash here
+        models a leader dying after its commit but before the fan-out."""
+        if not self._outbound:
+            return
+        batch, self._outbound = self._outbound, []
+        fired: set[str] = set()
+        edges = {
+            KIND_PREPARE: TWOPC_PRE_PREPARE,
+            KIND_VOTE: TWOPC_POST_PREPARE,
+            KIND_DECISION: TWOPC_POST_DECISION,
+        }
+        for shard, message in batch:
+            edge = edges.get(message.get("kind"))
+            if edge is not None and edge not in fired:
+                fired.add(edge)
+                self._fault(edge)
+            self._peer_queue(shard).put(message)
+
+    def _peer_queue(self, shard: int) -> DistributedQueue:
+        if shard == self.shard_id:
+            return self.input_queue
+        queue = self.peer_queues.get(shard)
+        if queue is None:
+            raise ReproError(
+                f"controller {self.name} (shard {self.shard_id}) has no "
+                f"route to shard {shard}'s inputQ; cross-shard 2PC requires "
+                f"peer queue wiring"
+            )
+        return queue
+
+    def _send_peer(self, shard: int, message: dict[str, Any]) -> None:
+        """Send one protocol message immediately (recovery paths, where no
+        batch is open and the presupposed state is already durable)."""
+        self._peer_queue(shard).put(message)
+
+    def _send_decisions(
+        self, txn: Transaction, decision: str, direct: bool = False
+    ) -> None:
+        """Fan a decision out to every participant except this shard."""
+        for shard in txn.participants:
+            if shard == self.shard_id:
+                continue
+            message = decision_message(txn.txid, decision, txn.defer_count)
+            if direct:
+                self._send_peer(shard, message)
+            else:
+                self._outbound.append((shard, message))
+
+    def _fault(self, point: str) -> None:
+        hook = self.fault_hook
+        if hook is not None:
+            hook(point)
 
     def _try_run(self, txn: Transaction) -> str:
         """Simulate, check constraints and locks, and dispatch one transaction.
@@ -391,6 +666,9 @@ class Controller:
             self.stats["killed"] += 1
             self._notify(txn)
             return "aborted"
+
+        if txn.is_cross_shard and txn.coordinator == self.shard_id:
+            return self._try_run_cross_shard(txn)
 
         outcome = self.executor.simulate(txn)
         if not outcome.ok:
@@ -408,22 +686,449 @@ class Controller:
         conflict = self.lock_manager.try_acquire(txn.txid, txn.rwset)
         if conflict is not None:
             # 3B: resource conflict — undo the simulation and defer.
-            self.executor.rollback(txn)
-            self._mark_dirty_writes(txn)
-            txn.defer_count += 1
-            txn.mark(TransactionState.DEFERRED, self.clock.now())
-            self.store.save_transaction(txn, dirty_fields=("log", "rwset", "result"))
-            self.stats["deferred"] += 1
-            return "deferred"
+            return self._defer(txn)
 
         # 3C: runnable — keep the simulated changes, dispatch to phyQ
         # (buffered until the STARTED state is group-committed).
+        self._mark_started(txn, dirty_fields=("log", "rwset", "result"))
+        return "started"
+
+    def _defer(self, txn: Transaction, *extra_dirty: str) -> str:
+        """Undo the simulation and put the transaction back for a retry
+        (3B): shared by the local conflict path and every cross-shard
+        defer (ticket busy, local conflict, participant conflict)."""
+        self.executor.rollback(txn)
+        self._mark_dirty_writes(txn)
+        txn.defer_count += 1
+        txn.mark(TransactionState.DEFERRED, self.clock.now())
+        self.store.save_transaction(
+            txn, dirty_fields=("log", "rwset", "result", *extra_dirty)
+        )
+        self.stats["deferred"] += 1
+        return "deferred"
+
+    def _mark_started(self, txn: Transaction, dirty_fields: tuple = ()) -> None:
+        """Persist the STARTED state (with its dispatch marker riding the
+        same group commit) and buffer the phyQ dispatch."""
         txn.mark(TransactionState.STARTED, self.clock.now())
-        self.store.save_transaction(txn, dirty_fields=("log", "rwset", "result"))
+        self.store.save_transaction(txn, dirty_fields=dirty_fields)
         self._mark_dirty_writes(txn)
         self.outstanding[txn.txid] = txn
         self._dispatch_buffer.append(txn.txid)
+
+    # ------------------------------------------------------------------
+    # Cross-shard two-phase commit (see repro.core.twopc)
+    # ------------------------------------------------------------------
+
+    def _try_run_cross_shard(self, txn: Transaction) -> str:
+        """Coordinator side of phase 1: simulate, determine the true
+        participant set, acquire the fleet ticket and local locks, persist
+        the PREPARING state and fan prepare requests out to participants.
+
+        When the simulation's read/write set collapses onto this shard the
+        transaction silently downgrades to the ordinary single-shard 3C
+        dispatch (the ``pin`` fast path).
+        """
+        if self.twopc is None or self.router is None:
+            txn.error = (
+                "cross-shard transaction reached a controller without 2PC "
+                "wiring (router/peer queues/decision log)"
+            )
+            txn.mark(TransactionState.ABORTED, self.clock.now())
+            self.store.save_transaction(txn)
+            self.stats["aborted_logical"] += 1
+            self._notify(txn)
+            return "aborted"
+
+        outcome = self.executor.simulate(txn)
+        if not outcome.ok:
+            # 3A equivalent: abort before any participant is contacted.
+            self._mark_dirty_writes(txn)
+            txn.error = outcome.error
+            txn.mark(TransactionState.ABORTED, self.clock.now())
+            self.store.save_transaction(txn, dirty_fields=("log", "rwset", "result"))
+            self.twopc.release_ticket(txn.txid)
+            self.stats["aborted_logical"] += 1
+            self._notify(txn)
+            return "aborted"
+
+        # The simulated read/write set is the authoritative participant
+        # set (procedures may touch paths absent from their arguments).
+        shards = shards_touched(self.router.map, txn.log, txn.rwset, self.shard_id)
+        if shards <= {self.shard_id}:
+            # All participants collapsed onto this shard: fast path.
+            txn.participants = []
+            self.twopc.release_ticket(txn.txid)
+            conflict = self.lock_manager.try_acquire(txn.txid, txn.rwset)
+            if conflict is not None:
+                return self._defer(txn, "participants")
+            self.stats["cross_shard_collapsed"] += 1
+            self._mark_started(
+                txn, dirty_fields=("log", "rwset", "result", "participants")
+            )
+            return "started"
+        txn.participants = sorted(shards)
+
+        # One cross-shard transaction prepares fleet-wide at a time; the
+        # ticket is kept across local deferrals (no other 2PC transaction
+        # can hold locks anywhere while we do, so every conflict is with a
+        # dispatched local transaction that will complete).
+        if not self.twopc.acquire_ticket(txn.txid):
+            return self._defer(txn)
+
+        conflict = self.lock_manager.try_acquire(txn.txid, txn.rwset)
+        if conflict is not None:
+            return self._defer(txn)
+
+        # Durable PREPARING record (rides the step's group commit); the
+        # prepare fan-out is buffered until that commit lands.
+        txn.votes = {str(self.shard_id): VOTE_YES}
+        txn.mark(TransactionState.PREPARING, self.clock.now())
+        self.store.save_transaction(
+            txn,
+            dirty_fields=("log", "rwset", "result", "coordinator", "participants"),
+        )
+        self._mark_dirty_writes(txn)
+        self.outstanding[txn.txid] = txn
+        for shard in txn.participants:
+            if shard == self.shard_id:
+                continue
+            self._outbound.append(
+                (
+                    shard,
+                    prepare_message(
+                        txn.txid,
+                        self.shard_id,
+                        txn.participants,
+                        txn.defer_count,
+                        txn.procedure,
+                        split_log(self.router.map, txn.log, shard, self.shard_id),
+                        split_rwset(self.router.map, txn.rwset, shard, self.shard_id),
+                    ),
+                )
+            )
+        self.stats["cross_shard_prepares"] += 1
         return "started"
+
+    def _handle_prepare(self, item: dict[str, Any]) -> None:
+        """Participant side of phase 1: validate the log slice against this
+        shard's authoritative subtrees, lock, persist the prepare record,
+        and (after the group commit) vote."""
+        txid = item["txid"]
+        coordinator = int(item["coordinator"])
+        attempt = int(item.get("attempt", 0))
+        existing = self.store.load_transaction(txid)
+        if existing is not None:
+            if existing.state is TransactionState.PREPARED:
+                if existing.defer_count == attempt:
+                    # Duplicate delivery (or coordinator re-sent after its
+                    # own failover): repeat the vote idempotently.
+                    self._outbound.append(
+                        (coordinator, vote_message(txid, self.shard_id, VOTE_YES, attempt))
+                    )
+                    return
+                if existing.defer_count < attempt:
+                    # A newer attempt supersedes a stale prepare whose
+                    # release message was lost; drop it and fall through
+                    # to prepare afresh.
+                    self._release_participant(existing)
+                else:
+                    return  # stale attempt; the coordinator moved on
+            elif existing.is_terminal:
+                vote = (
+                    VOTE_YES
+                    if existing.state is TransactionState.COMMITTED
+                    else VOTE_NO
+                )
+                self._outbound.append(
+                    (coordinator, vote_message(txid, self.shard_id, vote, attempt))
+                )
+                return
+            else:
+                return  # unexpected local state; let recovery reconcile
+
+        txn = Transaction(
+            procedure=item.get("procedure", ""),
+            args={},
+            txid=txid,
+            coordinator=coordinator,
+            participants=[int(s) for s in item.get("participants") or []],
+        )
+        txn.defer_count = attempt
+        txn.log = ExecutionLog.from_dict(item.get("log") or [])
+        txn.rwset = ReadWriteSet.from_dict(item.get("rwset") or {})
+
+        conflict = self.lock_manager.try_acquire(txid, txn.rwset)
+        if conflict is not None:
+            self._outbound.append(
+                (
+                    coordinator,
+                    vote_message(
+                        txid, self.shard_id, VOTE_NO, attempt, reason=_REASON_CONFLICT
+                    ),
+                )
+            )
+            return
+        error = self._apply_participant_log(txn)
+        if error is not None:
+            self.lock_manager.release_all(txid)
+            self._outbound.append(
+                (coordinator, vote_message(txid, self.shard_id, VOTE_NO, attempt, reason=error))
+            )
+            return
+
+        txn.mark(TransactionState.PREPARED, self.clock.now())
+        self.store.save_transaction(txn)
+        self._mark_dirty_writes(txn)
+        self.outstanding[txid] = txn
+        self._outbound.append(
+            (coordinator, vote_message(txid, self.shard_id, VOTE_YES, attempt))
+        )
+        self.stats["cross_shard_prepared"] += 1
+
+    def _apply_participant_log(self, txn: Transaction) -> str | None:
+        """Apply a prepare slice to this shard's authoritative model and
+        re-check the constraints its writes can influence.  Returns an
+        error string (with the partial application undone) or ``None``.
+
+        This is the participant-side validation that makes coordinator
+        simulation against possibly-stale foreign copies safe: the owner
+        of a subtree is the final authority on whether an action sequence
+        is applicable and constraint-clean there."""
+        applied: list[Any] = []
+        try:
+            for record in txn.log:
+                node = self.model.get(record.path)
+                action_def = self.schema.get(node.entity_type).get_action(record.action)
+                action_def.simulate(self.model, node, *record.args)
+                applied.append(record)
+        except ReproError as exc:
+            self.executor.undo_log(ExecutionLog(list(applied)))
+            self._mark_dirty_writes(txn)
+            return f"{type(exc).__name__}: {exc}"
+        for path in sorted(txn.rwset.writes):
+            violations = self.constraint_engine.check_after_write(self.model, path)
+            if violations:
+                self.executor.undo_log(ExecutionLog(list(applied)))
+                self._mark_dirty_writes(txn)
+                return f"constraint violation on participant: {violations[0]}"
+        return None
+
+    def _handle_vote(self, item: dict[str, Any]) -> None:
+        """Coordinator side of the vote tally."""
+        txid = item["txid"]
+        voter = int(item["shard"])
+        attempt = int(item.get("attempt", 0))
+        txn = self.outstanding.get(txid)
+        if txn is None:
+            txn = self.store.load_transaction(txid)
+        if txn is None:
+            return
+        if txn.state is TransactionState.PREPARING and txn.defer_count == attempt:
+            if item.get("vote") != VOTE_YES:
+                if item.get("reason") == _REASON_CONFLICT:
+                    self._retry_cross_shard(txn)
+                else:
+                    self._abort_cross_shard(
+                        txn, f"participant {voter} voted no: {item.get('reason')}"
+                    )
+                return
+            txn.votes[str(voter)] = VOTE_YES
+            if all(str(shard) in txn.votes for shard in txn.participants):
+                # Phase 1 complete on every shard: dispatch the full log
+                # to this shard's physical workers; the commit decision
+                # follows the physical outcome (Figure 2, step 5).
+                self._mark_started(txn)
+            else:
+                self.store.save_transaction(txn, dirty_fields=())
+        elif txn.state in (TransactionState.ACCEPTED, TransactionState.DEFERRED):
+            # A stale yes-vote for an attempt we already walked away from:
+            # the participant must drop its prepare record before we retry.
+            self._outbound.append(
+                (voter, decision_message(txid, DECISION_RELEASE, attempt))
+            )
+        elif txn.is_terminal:
+            decision = (
+                DECISION_COMMIT
+                if txn.state is TransactionState.COMMITTED
+                else DECISION_ABORT
+            )
+            self._outbound.append((voter, decision_message(txid, decision, attempt)))
+        # PREPARING with a different attempt, or STARTED: stale duplicate.
+
+    def _retry_cross_shard(self, txn: Transaction) -> None:
+        """A participant's locks were busy: release every shard's prepare
+        state for this attempt and retry from todoQ.  The fleet ticket is
+        kept — the blocking transactions are dispatched local ones that
+        will complete (no other 2PC transaction can be holding locks)."""
+        self._send_release(txn)
+        self.lock_manager.release_all(txn.txid)
+        txn.votes = {}
+        self._defer(txn)
+        self.outstanding.pop(txn.txid, None)
+        self.todo.push_front(txn)
+
+    def _send_release(self, txn: Transaction) -> None:
+        for shard in txn.participants:
+            if shard != self.shard_id:
+                self._outbound.append(
+                    (shard, decision_message(txn.txid, DECISION_RELEASE, txn.defer_count))
+                )
+
+    def _abort_cross_shard(self, txn: Transaction, error: str, failed: bool = False) -> None:
+        """Coordinator-side abort after prepares may be out: log the abort
+        decision (durable, immediate — expedites presumed abort), undo the
+        local simulation and fan the decision out."""
+        self.twopc.decide(txn.txid, DECISION_ABORT, self.shard_id, txn.participants)
+        self.executor.rollback(txn)
+        self._mark_dirty_writes(txn)
+        txn.error = error
+        txn.mark(
+            TransactionState.FAILED if failed else TransactionState.ABORTED,
+            self.clock.now(),
+        )
+        self.store.save_transaction(txn)
+        self.store.clear_claim(txn.txid)
+        self.lock_manager.release_all(txn.txid)
+        self.signals.clear(txn.txid)
+        self.twopc.release_ticket(txn.txid)
+        self._send_decisions(txn, DECISION_ABORT)
+        self.outstanding.pop(txn.txid, None)
+        self.stats["cross_shard_aborted"] += 1
+        self._notify(txn)
+
+    def _cleanup_cross_shard(self, txn: Transaction, item: dict[str, Any]) -> None:
+        """Step 5 for a cross-shard coordinator: the physical outcome *is*
+        the 2PC decision.  A commit is durably logged in the global
+        decision namespace before any fan-out (and before the client can
+        observe the terminal state)."""
+        if item.get("outcome") == OUTCOME_COMMITTED:
+            self._fault(TWOPC_PRE_DECISION)
+            self.twopc.decide(
+                txn.txid, DECISION_COMMIT, self.shard_id, txn.participants
+            )
+            self._finish_cross_shard_commit(txn)
+        else:
+            if item.get("outcome") == OUTCOME_ABORTED:
+                self._abort_cross_shard(txn, item.get("error") or "physical abort")
+            else:
+                self._fence(item.get("failed_path"))
+                self._abort_cross_shard(
+                    txn, item.get("error") or "physical failure", failed=True
+                )
+                self.stats["failed"] += 1
+
+    def _finish_cross_shard_commit(
+        self, txn: Transaction, check_applied: bool = False
+    ) -> None:
+        """Commit bookkeeping on the coordinator once the decision record
+        is durable.  Also used by failover recovery when the decision was
+        logged but the previous leader died before this bookkeeping —
+        only that rare path pays for the applied-log membership check
+        (the hot path knows the txid cannot be in the applied log yet)."""
+        if not check_applied or txn.txid not in self.store.applied_txids():
+            self.store.record_applied(txn.txid)
+        txn.mark(TransactionState.COMMITTED, self.clock.now())
+        self.store.save_transaction(txn, dirty_fields=())
+        self.store.clear_claim(txn.txid)
+        self._mark_dirty_writes(txn)
+        self.lock_manager.release_all(txn.txid)
+        self.signals.clear(txn.txid)
+        self.twopc.release_ticket(txn.txid)
+        self._send_decisions(txn, DECISION_COMMIT)
+        self.outstanding.pop(txn.txid, None)
+        self.stats["committed"] += 1
+        self.stats["cross_shard_committed"] += 1
+        self.applied_since_checkpoint += 1
+        self._notify(txn)
+        if self.applied_since_checkpoint >= self.config.checkpoint_every:
+            self.checkpoint()
+
+    # -- participant decision handling ---------------------------------
+
+    def _handle_decision(self, item: dict[str, Any]) -> None:
+        txid = item["txid"]
+        decision = item.get("decision")
+        attempt = int(item.get("attempt", 0))
+        txn = self.outstanding.get(txid)
+        if txn is None:
+            txn = self.store.load_transaction(txid)
+        if txn is None or txn.is_terminal:
+            return
+        if txn.state is not TransactionState.PREPARED:
+            return
+        if decision == DECISION_RELEASE:
+            if txn.defer_count <= attempt:
+                self._release_participant(txn)
+        elif decision == DECISION_COMMIT:
+            self._commit_participant(txn)
+        elif decision == DECISION_ABORT:
+            self._abort_participant(txn)
+
+    def _resolve_prepared(self) -> bool:
+        """Poll the global decision log for prepared participant
+        transactions (only while any exist).  This is the liveness
+        backstop when the decision message itself was lost to a
+        coordinator crash: the decision record is the source of truth."""
+        if self.twopc is None:
+            return False
+        prepared = [
+            txn
+            for txn in self.outstanding.values()
+            if txn.state is TransactionState.PREPARED
+            and txn.coordinator != self.shard_id
+        ]
+        progressed = False
+        for txn in prepared:
+            decision = self.twopc.decision(txn.txid)
+            if decision == DECISION_COMMIT:
+                self._commit_participant(txn)
+                progressed = True
+            elif decision == DECISION_ABORT:
+                self._abort_participant(txn)
+                progressed = True
+        return progressed
+
+    def _commit_participant(self, txn: Transaction) -> None:
+        """Apply the commit decision to a prepared participant: the slice
+        effects are already in the model; record them in the applied log
+        (recovery replays them) and release the locks.  No client
+        notification — the client observes the coordinator's document.
+
+        No applied-log membership check is needed: every caller guards on
+        state PREPARED, and a PREPARED document already in the applied log
+        is converted to COMMITTED by recover_state before it can get here.
+        """
+        self.store.record_applied(txn.txid)
+        txn.mark(TransactionState.COMMITTED, self.clock.now())
+        self.store.save_transaction(txn, dirty_fields=())
+        self._mark_dirty_writes(txn)
+        self.lock_manager.release_all(txn.txid)
+        self.outstanding.pop(txn.txid, None)
+        self.stats["cross_shard_committed"] += 1
+        self.applied_since_checkpoint += 1
+        if self.applied_since_checkpoint >= self.config.checkpoint_every:
+            self.checkpoint()
+
+    def _abort_participant(self, txn: Transaction) -> None:
+        self.executor.undo_log(txn.log)
+        self._mark_dirty_writes(txn)
+        txn.error = txn.error or "cross-shard abort"
+        txn.mark(TransactionState.ABORTED, self.clock.now())
+        self.store.save_transaction(txn, dirty_fields=())
+        self.lock_manager.release_all(txn.txid)
+        self.outstanding.pop(txn.txid, None)
+        self.stats["cross_shard_aborted"] += 1
+
+    def _release_participant(self, txn: Transaction) -> None:
+        """Drop a prepare record whose attempt the coordinator abandoned:
+        undo the slice, release the locks, delete the document (the retry
+        re-prepares from scratch)."""
+        self.executor.undo_log(txn.log)
+        self._mark_dirty_writes(txn)
+        self.lock_manager.release_all(txn.txid)
+        self.outstanding.pop(txn.txid, None)
+        self.store.delete_transaction(txn.txid)
 
     # ------------------------------------------------------------------
     # Signals (§4)
@@ -451,6 +1156,25 @@ class Controller:
             if self._signals_present is not None:
                 self._signals_present.add(txid)
             txn = self.outstanding.pop(txid, None)
+            if txn is not None and txn.is_cross_shard:
+                if txn.coordinator != self.shard_id:
+                    # Participant prepare records are resolved only by the
+                    # coordinator's decision; a local KILL cannot release
+                    # the promised locks without breaking 2PC atomicity.
+                    self.outstanding[txid] = txn
+                    return
+                with self.busy:
+                    was_started = txn.state is TransactionState.STARTED
+                    self._abort_cross_shard(txn, "killed")
+                    if was_started:
+                        # Physical execution may be in flight: fence the
+                        # touched subtrees for repair, as the local KILL
+                        # path does.
+                        for path in sorted(txn.rwset.writes):
+                            self._fence(path)
+                    self.stats["killed"] += 1
+                self._flush_outbound()
+                return
             if txn is None:
                 queued = self.todo.remove(txid)
                 txn = queued or self.store.load_transaction(txid)
@@ -459,6 +1183,10 @@ class Controller:
                 txn.error = "killed"
                 txn.mark(TransactionState.ABORTED, self.clock.now())
                 self.store.save_transaction(txn)
+                if txn.is_cross_shard and self.twopc is not None:
+                    # A deferred coordinator may still hold the fleet
+                    # prepare ticket across retries.
+                    self.twopc.release_ticket(txid)
                 self.stats["killed"] += 1
                 self._notify(txn)
                 return
@@ -467,6 +1195,7 @@ class Controller:
                 txn.error = "killed"
                 txn.mark(TransactionState.ABORTED, self.clock.now())
                 self.store.save_transaction(txn)
+                self.store.clear_claim(txid)
                 for path in sorted(txn.rwset.writes):
                     self._fence(path)
                 self.lock_manager.release_all(txid)
@@ -497,6 +1226,9 @@ class Controller:
             seq = self.store.applied_seq()
             self.store.save_checkpoint_incremental(self.model, seq)
             self.store.truncate_applied(seq)
+            # Quiesce point: no transaction is in flight, so every worker
+            # claim record is dead weight — reclaim them all at once.
+            self.store.clear_claims()
             self.applied_since_checkpoint = 0
             self.stats["checkpoints"] += 1
             return True

@@ -1,14 +1,21 @@
 """Message formats flowing through inputQ and phyQ (Figure 1/2).
 
 Messages are plain JSON dictionaries so they can live in the coordination
-queues.  Three kinds exist:
+queues.  Six kinds exist:
 
 * ``request`` — a client submitted a transaction (already persisted in the
   store in ``initialized`` state); the controller accepts it.
 * ``execute`` — the controller hands a runnable transaction to the
-  physical workers via phyQ.
+  physical workers via phyQ.  Carries the leader's *dispatch epoch* so a
+  worker's claim record names the leadership generation that dispatched it.
 * ``result`` — a worker reports the physical outcome (committed, aborted
   or failed) back to the controller via inputQ.
+* ``prepare`` / ``vote`` / ``decision`` — the cross-shard two-phase-commit
+  protocol between shard leaders (see :mod:`repro.core.twopc`): the
+  coordinator asks each participant to validate and persist its slice of
+  the execution log, participants answer with a vote, and the coordinator
+  fans out the final decision (or a ``release`` when a conflicted attempt
+  will be retried).
 """
 
 from __future__ import annotations
@@ -18,18 +25,72 @@ from typing import Any
 KIND_REQUEST = "request"
 KIND_EXECUTE = "execute"
 KIND_RESULT = "result"
+KIND_PREPARE = "prepare"
+KIND_VOTE = "vote"
+KIND_DECISION = "decision"
 
 OUTCOME_COMMITTED = "committed"
 OUTCOME_ABORTED = "aborted"
 OUTCOME_FAILED = "failed"
+
+VOTE_YES = "yes"
+VOTE_NO = "no"
+
+DECISION_COMMIT = "commit"
+DECISION_ABORT = "abort"
+#: Not a 2PC outcome: tells a prepared participant to drop this *attempt*
+#: (undo, release locks, delete the prepare record) because the coordinator
+#: will retry after a lock conflict.
+DECISION_RELEASE = "release"
 
 
 def request_message(txid: str) -> dict[str, Any]:
     return {"kind": KIND_REQUEST, "txid": txid}
 
 
-def execute_message(txid: str) -> dict[str, Any]:
-    return {"kind": KIND_EXECUTE, "txid": txid}
+def execute_message(txid: str, epoch: int = 0) -> dict[str, Any]:
+    return {"kind": KIND_EXECUTE, "txid": txid, "epoch": epoch}
+
+
+def prepare_message(
+    txid: str,
+    coordinator: int,
+    participants: list[int],
+    attempt: int,
+    procedure: str,
+    log: list[dict[str, Any]],
+    rwset: dict[str, Any],
+) -> dict[str, Any]:
+    """Coordinator -> participant: validate + persist this log slice."""
+    return {
+        "kind": KIND_PREPARE,
+        "txid": txid,
+        "coordinator": coordinator,
+        "participants": list(participants),
+        "attempt": attempt,
+        "procedure": procedure,
+        "log": log,
+        "rwset": rwset,
+    }
+
+
+def vote_message(
+    txid: str, shard: int, vote: str, attempt: int, reason: str | None = None
+) -> dict[str, Any]:
+    """Participant -> coordinator: the prepare outcome for one attempt."""
+    return {
+        "kind": KIND_VOTE,
+        "txid": txid,
+        "shard": shard,
+        "vote": vote,
+        "attempt": attempt,
+        "reason": reason,
+    }
+
+
+def decision_message(txid: str, decision: str, attempt: int = 0) -> dict[str, Any]:
+    """Coordinator -> participant: commit, abort, or release-for-retry."""
+    return {"kind": KIND_DECISION, "txid": txid, "decision": decision, "attempt": attempt}
 
 
 def result_message(

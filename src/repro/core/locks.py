@@ -174,6 +174,22 @@ class LockManager:
                 self._by_txn[txid].add(path)
                 self.acquisitions += 1
 
+    def reacquire(self, txid: str, rwset: ReadWriteSet) -> dict[ResourcePath, LockMode]:
+        """Unconditionally re-grant the locks implied by ``rwset``.
+
+        Failover recovery uses this to retain locks across restarts for
+        transactions that were already *granted* them by the failed leader:
+        STARTED transactions executing in the physical layer and PREPARED
+        two-phase-commit participants (whose prepare vote promised the
+        coordinator the locks stay held until a decision arrives).  The
+        grants cannot conflict if the previous leader scheduled correctly;
+        acquiring unconditionally keeps recovery total even if they do.
+        """
+        requests = self.requests_for(rwset)
+        with self._mutex:
+            self.acquire(txid, requests)
+        return requests
+
     def try_acquire(self, txid: str, rwset: ReadWriteSet) -> LockConflictInfo | None:
         """Convenience: expand, check and acquire in one step."""
         requests = self.requests_for(rwset)

@@ -47,14 +47,24 @@ from repro.datamodel.snapshot import (
 from repro.datamodel.tree import DataModel
 
 #: Document fields that are cheap to encode and may change on any state
-#: transition; they are re-serialised on every save.
-_CHEAP_FIELDS = ("state", "error", "defer_count", "timestamps")
+#: transition; they are re-serialised on every save.  ``votes`` is the 2PC
+#: coordinator's tally (cross-shard documents only).
+_CHEAP_FIELDS = ("state", "error", "defer_count", "timestamps", "votes")
 #: Expensive fields re-serialised only when explicitly marked dirty (or on
 #: first save): the execution log, read/write set and result are produced
-#: by simulation; args/procedure/client/txid never change after creation.
-_EXPENSIVE_FIELDS = ("args", "client", "log", "procedure", "result", "rwset", "txid")
+#: by simulation; args/procedure/client/txid/coordinator/participants
+#: never change after creation.
+_EXPENSIVE_FIELDS = (
+    "args", "client", "coordinator", "log", "participants", "procedure",
+    "result", "rwset", "txid",
+)
 #: Serialisation order must match ``json.dumps(..., sort_keys=True)``.
 _FIELD_ORDER = tuple(sorted(_CHEAP_FIELDS + _EXPENSIVE_FIELDS))
+#: Single-shard documents omit the three 2PC fields entirely (they decode
+#: to their defaults), keeping the per-commit write path byte-identical to
+#: the pre-2PC format.
+_TWOPC_FIELDS = ("coordinator", "participants", "votes")
+_LOCAL_FIELD_ORDER = tuple(f for f in _FIELD_ORDER if f not in _TWOPC_FIELDS)
 
 #: Marker requesting a full re-serialisation of a transaction document.
 ALL_FIELDS = _FIELD_ORDER
@@ -200,7 +210,12 @@ class TropicStore:
             dirty_fields = ALL_FIELDS
         refresh = set(_CHEAP_FIELDS)
         refresh.update(dirty_fields)
-        for field in _FIELD_ORDER:
+        fields = (
+            _FIELD_ORDER
+            if (txn.participants or txn.votes or txn.coordinator is not None)
+            else _LOCAL_FIELD_ORDER
+        )
+        for field in fields:
             if field in refresh or field not in fragments:
                 # Trivial scalar fields skip the JSON encoder entirely.
                 if field == "state":
@@ -209,13 +224,19 @@ class TropicStore:
                     fragments[field] = str(txn.defer_count)
                 elif field == "error" and txn.error is None:
                     fragments[field] = "null"
+                elif field == "votes" and not txn.votes:
+                    fragments[field] = "{}"
+                elif field == "coordinator" and txn.coordinator is None:
+                    fragments[field] = "null"
+                elif field == "participants" and not txn.participants:
+                    fragments[field] = "[]"
                 else:
                     fragments[field] = dumps(_field_value(txn, field))
                 self.fields_reserialized += 1
             else:
                 self.fields_reused += 1
         doc = "{" + ",".join(
-            f'"{field}":{fragments[field]}' for field in _FIELD_ORDER
+            f'"{field}":{fragments[field]}' for field in fields
         ) + "}"
         if fragments.get("__doc__") == doc:
             self.txn_writes_skipped += 1
@@ -269,6 +290,86 @@ class TropicStore:
         for txn in self.load_all_transactions():
             counts[txn.state.value] += 1
         return counts
+
+    # ------------------------------------------------------------------
+    # Dispatch markers + worker claim records (dispatch-loss window fix)
+    # ------------------------------------------------------------------
+    #
+    # A leader crash *between* the group commit that makes a STARTED state
+    # durable and the phyQ ``put_many`` that carries its execute message
+    # used to strand the transaction: the successor saw it STARTED with no
+    # message and no result, and could not re-dispatch safely (a worker
+    # might already have claimed-and-deleted the item).  Two records close
+    # the window:
+    #
+    # * a *dispatch marker* (``dispatch/<txid>``) stamped with the leader's
+    #   dispatch epoch rides the same group commit as the STARTED state, and
+    # * a worker persists a *claim record* (``claims/<txid>``) atomically
+    #   with the phyQ item delete (one ``multi``) before executing.
+    #
+    # Recovery then re-dispatches exactly the STARTED transactions that
+    # have neither a pending execute message nor a claim record; the claim
+    # create-if-absent also makes duplicate dispatches execute-once.
+    #
+    # Cost discipline: the stamp is one coalesced sub-op per *group commit*
+    # (not per transaction), the claim rides the worker's existing item
+    # delete in one ``multi``, and the claim cleanup is one batched delete
+    # per finished transaction — write round-trips per commit are unchanged.
+
+    DISPATCH_STAMP_KEY = "dispatch/epoch"
+    CLAIM_PREFIX = "claims"
+
+    def dispatch_epoch(self) -> int:
+        """The current leadership dispatch epoch (0 before any leader)."""
+        return int(self.kv.get("meta/dispatch_epoch", 0))
+
+    def bump_dispatch_epoch(self) -> int:
+        """Advance the dispatch epoch (one write; called once per leader
+        takeover, outside any batch)."""
+        epoch = self.dispatch_epoch() + 1
+        self.kv.put("meta/dispatch_epoch", epoch)
+        return epoch
+
+    def stamp_dispatch_epoch(self, epoch: int) -> None:
+        """Stamp the group commit about to flush with the dispatch epoch
+        (callers issue this inside the batch carrying STARTED documents;
+        the write coalesces to one sub-op per flush)."""
+        self.kv.put(self.DISPATCH_STAMP_KEY, {"epoch": epoch})
+
+    def last_dispatch_stamp(self) -> dict[str, Any] | None:
+        return self.kv.get(self.DISPATCH_STAMP_KEY)
+
+    def claim_key(self, txid: str) -> str:
+        """Absolute coordination path of the claim record for ``txid``."""
+        return self.kv.full_key(f"{self.CLAIM_PREFIX}/{txid}")
+
+    def ensure_claim_root(self) -> None:
+        """Create the claims parent so atomic claim creates cannot fail on
+        a missing parent (one-time, at worker startup)."""
+        self.kv.client.ensure_path(self.kv.full_key(self.CLAIM_PREFIX))
+
+    def load_claim(self, txid: str) -> dict[str, Any] | None:
+        return self.kv.get(f"{self.CLAIM_PREFIX}/{txid}")
+
+    def clear_claim(self, txid: str) -> None:
+        """Drop one claim record eagerly (used by KILL, whose transaction
+        may never reach a quiesce-point checkpoint)."""
+        self.kv.delete(f"{self.CLAIM_PREFIX}/{txid}")
+
+    def clear_claims(self) -> int:
+        """Garbage-collect every claim record (the claims *root* survives,
+        so worker claim creates never lose their parent).
+
+        Safe only at a quiesce point (no STARTED transaction outstanding):
+        a terminal transaction's claim is dead weight, and in-flight
+        transactions — whose claims recovery must see — do not exist at a
+        quiesce point.  Riding the checkpoint keeps the per-commit write
+        path free of claim-cleanup deletes."""
+        removed = 0
+        for key in self.kv.keys(self.CLAIM_PREFIX):
+            self.kv.delete(f"{self.CLAIM_PREFIX}/{key}")
+            removed += 1
+        return removed
 
     # ------------------------------------------------------------------
     # Checkpoint + applied log (write-ahead structure for recovery)

@@ -38,6 +38,7 @@ from repro.common.errors import (
     ConfigurationError,
     ReproError,
     ShardNotLocalError,
+    ShardUnavailable,
     TransactionFailed,
 )
 from repro.common.idgen import random_id
@@ -51,8 +52,9 @@ from repro.core.events import request_message
 from repro.core.persistence import TropicStore
 from repro.core.procedures import ProcedureRegistry
 from repro.core.reconcile import Reconciler, ReloadReport, RepairReport
-from repro.core.sharding import ShardMap, ShardRouter, is_global_path
+from repro.core.sharding import ShardMap, ShardRouter, is_global_path, unit_key
 from repro.core.signals import SignalBoard
+from repro.core.twopc import TWOPC_PREFIX, TwoPCLog
 from repro.core.txn import Transaction, TransactionState
 from repro.core.worker import Worker
 from repro.datamodel.schema import ModelSchema
@@ -265,7 +267,15 @@ class TropicPlatform:
         )
         self.client: CoordinationClient | None = None
         self.shard_router: ShardRouter | None = None
+        self.twopc: TwoPCLog | None = None
         self.shards: dict[int, ShardRuntime] = {}
+        #: inputQ of every shard (local or not): submit routing and the
+        #: cross-shard 2PC protocol both need to reach foreign shards.
+        self._all_input_queues: dict[int, DistributedQueue] = {}
+        #: Units written by pinned cross-shard transactions, keyed to the
+        #: shard that executed them — the owner's copy is bootstrap-frozen,
+        #: so the merged read view must prefer the pinned shard's copy.
+        self._pinned_foreign_units: dict[str, int] = {}
         # Shard-0-local aliases kept for single-shard callers (the paper's
         # deployment shape); populated by start().
         self.store: TropicStore | None = None
@@ -346,6 +356,16 @@ class TropicPlatform:
         )
 
         sharded = config.num_shards > 1
+        if sharded:
+            # Global (unsharded) namespaces: every shard's inputQ (for
+            # routing and 2PC peer traffic) and the 2PC decision log.
+            self._all_input_queues = {
+                shard: DistributedQueue(
+                    self.client, self._input_queue_path(shard), self.clock
+                )
+                for shard in range(config.num_shards)
+            }
+            self.twopc = TwoPCLog(KVStore(self.client, TWOPC_PREFIX))
         num_controllers = config.num_controllers if self.threaded else 1
         for shard in self._local_shards:
             store = TropicStore(
@@ -356,7 +376,8 @@ class TropicPlatform:
             runtime = ShardRuntime(
                 index=shard,
                 store=store,
-                input_queue=DistributedQueue(
+                input_queue=self._all_input_queues.get(shard)
+                or DistributedQueue(
                     self.client, self._input_queue_path(shard), self.clock
                 ),
                 phy_queue=DistributedQueue(
@@ -392,6 +413,9 @@ class TropicPlatform:
                         clock=self.clock,
                         on_complete=self._on_complete,
                         shard_id=shard,
+                        router=self.shard_router if sharded else None,
+                        peer_queues=self._all_input_queues if sharded else None,
+                        twopc=self.twopc,
                     )
                 )
             for index in range(config.num_workers):
@@ -477,6 +501,22 @@ class TropicPlatform:
             return 0
         return self.shard_router.resolve(procedure, args)
 
+    def _route_transaction(
+        self, procedure: str, args: dict[str, Any] | None, txn: Transaction
+    ) -> int:
+        """Route one submission, stamping the 2PC coordinator and the
+        provisional participant set into the transaction document when the
+        argument paths span shards under ``cross_shard_policy='2pc'``.
+        (The coordinator recomputes the authoritative set from the
+        simulated read/write set at prepare time.)"""
+        if self.config.num_shards == 1:
+            return 0
+        decision = self.shard_router.plan(procedure, args)
+        if decision.cross_shard and self.shard_router.policy == "2pc":
+            txn.coordinator = decision.shard
+            txn.participants = sorted(decision.shards)
+        return decision.shard
+
     def _runtime(self, shard: int) -> ShardRuntime:
         runtime = self.shards.get(shard)
         if runtime is None:
@@ -532,9 +572,9 @@ class TropicPlatform:
         self._require_started()
         if not self.procedures.has(procedure):
             raise ConfigurationError(f"unknown stored procedure {procedure!r}")
-        shard = self._resolve_shard(procedure, args)
-        runtime = self._runtime(shard)
         txn = Transaction(procedure=procedure, args=dict(args or {}), client=client)
+        shard = self._route_transaction(procedure, args, txn)
+        runtime = self._runtime(shard)
         txn.mark(TransactionState.INITIALIZED, self.clock.now())
         runtime.store.save_transaction(txn)
         runtime.input_queue.put(request_message(txn.txid))
@@ -562,9 +602,9 @@ class TropicPlatform:
         for procedure, args in requests:
             if not self.procedures.has(procedure):
                 raise ConfigurationError(f"unknown stored procedure {procedure!r}")
-            shard = self._resolve_shard(procedure, args)
-            self._runtime(shard)  # fail fast before anything is persisted
             txn = Transaction(procedure=procedure, args=dict(args or {}))
+            shard = self._route_transaction(procedure, args, txn)
+            self._runtime(shard)  # fail fast before anything is persisted
             txn.mark(TransactionState.INITIALIZED, self.clock.now())
             per_shard.setdefault(shard, []).append(txn)
             self._txn_shards[txn.txid] = shard
@@ -793,6 +833,28 @@ class TropicPlatform:
         with self._completion_lock:
             self.completed_transactions.append(txn)
             self._completed_index[txn.txid] = txn
+            if (
+                self.config.num_shards > 1
+                and self.config.cross_shard_policy == "pin"
+                and txn.state is TransactionState.COMMITTED
+            ):
+                self._record_pinned_writes(txn)
+
+    def _record_pinned_writes(self, txn: Transaction) -> None:
+        """Track the units a pinned transaction wrote outside its own
+        shard.  The owners' copies of those units are bootstrap-frozen, so
+        the merged read view must prefer the pinned shard's copy — the
+        documented pin visibility hazard, surfaced instead of silently
+        reading stale owner state.  (In-process only; separate processes
+        cannot see it, which is why pin is deprecated in favour of 2pc.)"""
+        shard = self._txn_shards.get(txn.txid)
+        if shard is None:
+            return
+        for path in txn.rwset.writes:
+            if is_global_path(path):
+                continue
+            if self.shard_router.shard_of(path) != shard:
+                self._pinned_foreign_units[unit_key(path)] = shard
 
     def _completed_lookup(self, txid: str) -> Transaction | None:
         """Terminal transaction from the in-process observer index, sparing
@@ -824,15 +886,24 @@ class TropicPlatform:
     def controller_busy_seconds(self) -> float:
         return sum(controller.busy_seconds() for controller in self.controllers)
 
-    def model_view(self) -> DataModel:
+    def model_view(self, strict: bool | None = None) -> DataModel:
         """A read view of the logical data model.
 
         Single shard: the leader's live model (zero copies).  Sharded: a
         merged snapshot assembling every locally hosted shard's *owned*
-        second-level subtrees into one tree.  Units owned by shards this
-        process does not host retain their bootstrap contents — in a
-        multi-process deployment, fleet-wide reads belong on a process that
-        hosts (or proxies) all shards.
+        second-level subtrees into one tree.
+
+        ``strict`` (the default) raises :class:`ShardUnavailable` when this
+        process does not host every shard: silently merging only the local
+        shards would report every foreign unit at its bootstrap-frozen
+        contents — a stale *partial* fleet view that multi-process gateway
+        reads used to serve without warning.  Pass ``strict=False`` to
+        accept the partial view knowingly (a read proxy over per-shard
+        leaders is the planned multi-process answer; see ROADMAP).
+
+        Units written by pinned cross-shard transactions (deprecated
+        ``cross_shard_policy='pin'``) are taken from the *pinned* shard's
+        model rather than the owner's, whose copy never saw those writes.
 
         Each sharded call clones the first shard's full tree plus the
         owned units, so the cost is O(model size); read-heavy callers
@@ -842,14 +913,34 @@ class TropicPlatform:
         self._require_started()
         if self.config.num_shards == 1:
             return self.leader().model
+        missing = [
+            shard
+            for shard in range(self.config.num_shards)
+            if shard not in self.shards
+        ]
+        if missing and strict is not False:
+            raise ShardUnavailable(
+                f"model_view needs shards {missing} which this process does "
+                f"not host (local shards: {self._local_shards}); read from a "
+                f"process hosting all shards, or pass strict=False to accept "
+                f"a partial view with bootstrap-frozen foreign subtrees",
+                shards=missing,
+            )
         first_shard = self._local_shards[0]
         view = self.leader(first_shard).model.clone()
         owners = {shard: self.leader(shard).model for shard in self._local_shards}
+        with self._completion_lock:
+            pinned_units = dict(self._pinned_foreign_units)
         # Refresh (or drop) units in the base copy that another local shard owns.
         for top_name in list(view.root.children):
             for child_name in list(view.root.children[top_name].children):
                 path = f"/{top_name}/{child_name}"
                 owner = self.shard_router.shard_of(path)
+                pinned = pinned_units.get(path)
+                if pinned is not None and pinned in owners:
+                    # Pin visibility hazard: the executing shard, not the
+                    # owner, has the authoritative copy of this unit.
+                    owner = pinned
                 if owner == first_shard:
                     continue
                 owner_model = owners.get(owner)

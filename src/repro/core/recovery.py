@@ -8,8 +8,16 @@ store:
 2. replay the execution logs of transactions committed since that
    checkpoint (the *applied log*), in commit order,
 3. re-apply the logical effects and re-acquire the locks of in-flight
-   (started) transactions, and
+   (started) transactions and of *prepared* two-phase-commit participants
+   (prepared-lock retention: a participant that voted yes must hold its
+   locks across restarts until the coordinator's decision arrives), and
 4. put accepted/deferred transactions back into todoQ.
+
+Cross-shard transactions found mid-protocol are *classified* here and
+resolved by the controller after restoration (it owns the queues and the
+global decision log): ``preparing`` coordinators are presumed aborted,
+``prepared`` participants consult the decision log, and ``started``
+coordinators whose decision record exists have their commit finished.
 
 Every step is idempotent: the procedure only reads persistent state and the
 resulting in-memory state is the same no matter how many times it runs, so
@@ -64,6 +72,13 @@ class RecoveredState:
     outstanding: dict[str, Transaction]
     replayed_committed: list[str] = field(default_factory=list)
     completed_started: list[str] = field(default_factory=list)
+    #: Cross-shard coordinators that failed mid-prepare (presumed abort:
+    #: their simulated effects were never checkpointed or applied-logged,
+    #: so there is nothing to undo — the controller writes the abort).
+    preparing: list[Transaction] = field(default_factory=list)
+    #: Prepared 2PC participants: effects re-applied, locks re-acquired,
+    #: outcome to be resolved against the global decision log.
+    prepared: list[Transaction] = field(default_factory=list)
 
 
 def recover_state(
@@ -104,12 +119,21 @@ def recover_state(
     todo = TodoQueue(config.scheduler_policy)
     outstanding: dict[str, Transaction] = {}
     completed_started: list[str] = []
+    preparing: list[Transaction] = []
+    prepared: list[Transaction] = []
 
     transactions = sorted(store.load_all_transactions(), key=lambda t: t.txid)
     for txn in transactions:
         if txn.state in (TransactionState.ACCEPTED, TransactionState.DEFERRED):
             todo.push_back(txn)
-        elif txn.state is TransactionState.STARTED:
+        elif txn.state is TransactionState.PREPARING:
+            # Cross-shard coordinator that died before logging a decision:
+            # presumed abort.  Its simulated effects lived only in the dead
+            # leader's memory (checkpoints quiesce around outstanding
+            # transactions), so no undo is needed here; the controller
+            # records the abort and informs the participants.
+            preparing.append(txn)
+        elif txn.state in (TransactionState.STARTED, TransactionState.PREPARED):
             if txn.txid in applied_txids:
                 # The previous leader recorded the commit in the applied log
                 # but crashed before updating the transaction document.
@@ -119,12 +143,13 @@ def recover_state(
                 completed_started.append(txn.txid)
                 continue
             executor.apply_log(txn.log)
-            conflict = lock_manager.try_acquire(txn.txid, txn.rwset)
-            if conflict is not None:
-                # Cannot happen if the previous leader scheduled correctly,
-                # but acquire unconditionally to be safe.
-                lock_manager.acquire(txn.txid, lock_manager.requests_for(txn.rwset))
+            # Prepared-lock retention: grants the failed leader already
+            # made (to dispatched transactions and to 2PC participants
+            # that voted yes) survive the failover.
+            lock_manager.reacquire(txn.txid, txn.rwset)
             outstanding[txn.txid] = txn
+            if txn.state is TransactionState.PREPARED:
+                prepared.append(txn)
 
     # Restore inconsistency fencing (§4).
     for path in store.load_inconsistent_paths():
@@ -140,4 +165,6 @@ def recover_state(
         outstanding=outstanding,
         replayed_committed=replayed,
         completed_started=completed_started,
+        preparing=preparing,
+        prepared=prepared,
     )

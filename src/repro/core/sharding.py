@@ -32,25 +32,29 @@ one shard — are handled by policy (see ``TropicConfig.cross_shard_policy``):
   :class:`~repro.common.errors.CrossShardTransaction`.  This preserves the
   paper's safety story unchanged — every accepted transaction is serialised
   by exactly one shard's lock domain.
-* ``"pin"``: deterministically pin the transaction to the lowest involved
-  shard.  Atomicity and recovery still hold (one shard executes, logs and
-  recovers it), but two guarantees degrade: (1) *isolation* becomes
-  per-shard — the pinned shard's locks do not exclude transactions on the
-  other involved shards — and (2) *read visibility* of the foreign-subtree
-  effects is limited to the pinned shard: each shard's copy of subtrees it
-  does not own is bootstrap-frozen, so the owning shard (and any merged
-  read view, which trusts owners) never observes what the pinned shard
-  wrote there.  Use only when cross-shard conflicts are impossible or
-  tolerable and reads go through the pinned shard (demos, single-writer
-  workloads).
-
-The upgrade path to true cross-shard transactions (two-phase commit across
-shard leaders, with the shard map as the lock-domain directory) is sketched
-in ROADMAP.md.
+* ``"pin"`` (deprecated): deterministically pin the transaction to the
+  lowest involved shard.  Atomicity and recovery still hold (one shard
+  executes, logs and recovers it), but two guarantees degrade:
+  (1) *isolation* becomes per-shard — the pinned shard's locks do not
+  exclude transactions on the other involved shards — and (2) *read
+  visibility* of the foreign-subtree effects is limited to the pinned
+  shard: each shard's copy of subtrees it does not own is bootstrap-frozen,
+  so the owning shard never observes what the pinned shard wrote there
+  (the in-process merged read view patches this over by preferring the
+  pinned shard's copy for units it wrote, but separate processes cannot).
+  Deprecated in favour of ``"2pc"``; kept for demos and single-writer
+  workloads.
+* ``"2pc"``: run true two-phase commit across the shard leaders.  The
+  lowest involved shard coordinates; every involved shard validates,
+  locks and durably prepares its slice of the execution log before the
+  coordinator logs the commit decision.  Atomicity, isolation and owner
+  read visibility all hold at cross-shard scope; see
+  :mod:`repro.core.twopc` for the protocol and its recovery rules.
 """
 
 from __future__ import annotations
 
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
@@ -59,7 +63,7 @@ from repro.common.errors import ConfigurationError, CrossShardTransaction
 from repro.datamodel.path import ResourcePath
 
 #: Policies for transactions whose paths span more than one shard.
-CROSS_SHARD_POLICIES = ("reject", "pin")
+CROSS_SHARD_POLICIES = ("reject", "pin", "2pc")
 
 
 def stable_shard(key: str, num_shards: int) -> int:
@@ -210,6 +214,16 @@ class ShardRouter:
             raise ConfigurationError(
                 f"unknown cross_shard_policy {policy!r}; choose from {CROSS_SHARD_POLICIES}"
             )
+        if policy == "pin" and shard_map.num_shards > 1:
+            warnings.warn(
+                "cross_shard_policy='pin' executes cross-shard transactions "
+                "with per-shard isolation only, and their effects on foreign "
+                "subtrees are visible solely through the pinned shard; "
+                "switch to cross_shard_policy='2pc' for atomic, isolated "
+                "cross-shard transactions",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.map = shard_map
         self.policy = policy
 
@@ -254,20 +268,29 @@ class ShardRouter:
     def route_args(self, args: dict[str, Any] | None) -> RouteDecision:
         return self.route_paths(extract_paths(args or {}))
 
-    def resolve(self, procedure: str, args: dict[str, Any] | None) -> int:
-        """Owning shard for a submission, applying the cross-shard policy."""
+    def plan(self, procedure: str, args: dict[str, Any] | None) -> RouteDecision:
+        """Full routing decision for a submission, applying the policy.
+
+        For cross-shard submissions: ``pin`` and ``2pc`` both place the
+        transaction on the lowest involved shard (``decision.shard``, the
+        2PC *coordinator*); ``reject`` raises.  The caller distinguishes
+        the policies — under ``2pc`` the platform stamps the coordinator
+        and the provisional participant set into the transaction document.
+        """
         decision = self.route_args(args)
-        if not decision.cross_shard:
-            return decision.shard
-        if self.policy == "pin":
-            return decision.shard
+        if not decision.cross_shard or self.policy in ("pin", "2pc"):
+            return decision
         raise CrossShardTransaction(
             f"transaction {procedure!r} spans shards {sorted(decision.shards)} "
             f"(paths {list(decision.paths)}); cross-shard transactions are "
             f"rejected under the 'reject' policy — split the orchestration "
-            f"per shard or submit with cross_shard_policy='pin'",
+            f"per shard or submit with cross_shard_policy='2pc'",
             shards=sorted(decision.shards),
         )
+
+    def resolve(self, procedure: str, args: dict[str, Any] | None) -> int:
+        """Owning (or coordinating) shard for a submission."""
+        return self.plan(procedure, args).shard
 
     def __repr__(self) -> str:
         return f"<ShardRouter shards={self.num_shards} policy={self.policy}>"

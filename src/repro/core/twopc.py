@@ -1,0 +1,201 @@
+"""Cross-shard two-phase commit across shard leaders (presumed abort).
+
+PR 2 sharded the controller but punted on transactions spanning shards:
+``reject`` refuses them and ``pin`` runs them on one shard with degraded
+isolation and read visibility.  This module supplies the missing pieces of
+a real cross-shard protocol (``cross_shard_policy="2pc"``):
+
+* **Roles.**  The submitting router picks the lowest involved shard as the
+  *coordinator*; every other involved shard is a *participant*.  The
+  coordinator simulates the whole stored procedure against its model,
+  splits the resulting execution log and read/write set by owning shard
+  (:func:`split_log` / :func:`split_rwset`), and drives the protocol over
+  the shard inputQs (``prepare`` / ``vote`` / ``decision`` messages).
+* **Prepare records.**  A participant validates its slice against its
+  *authoritative* copy of the subtrees it owns (re-applying the log
+  actions and re-checking constraints), acquires locks in its own lock
+  domain, and persists the slice as a normal per-shard transaction
+  document in state ``prepared`` — the transaction document already
+  carries everything a 2PC prepare record needs (log, rwset, coordinator,
+  participants, attempt).  Only then does it vote yes.
+* **Decision log.**  Commit/abort decisions live in the *global* (unsharded)
+  coordination namespace (:data:`TWOPC_PREFIX`), the same place as the
+  shard map: the coordination service is the one component every shard can
+  always reach, so a participant recovering from a crash resolves its
+  prepared transactions by reading the decision record — no peer RPC
+  needed.  The coordinator durably writes the decision *before* fanning it
+  out (and before acknowledging the client).
+* **Presumed abort.**  The coordinator logs no "begin" record.  A
+  coordinator that fails over while a transaction is still ``preparing``
+  aborts it on recovery (writing an abort decision so participants resolve
+  quickly); a participant finding no decision record keeps its prepare
+  record (and its locks) until one appears.
+* **Serialisation ticket.**  Concurrent cross-shard transactions with
+  reversed coordinator/participant roles could livelock (each attempt
+  voted down by the other's locks, deterministically, forever).  A single
+  fleet-wide *ticket* znode admits one transaction into the prepare phase
+  at a time; single-shard traffic never touches it.  Cross-shard
+  transactions are expected to be rare (TCloud co-locates subtrees that
+  transact together), so the ticket bounds tail latency, not throughput.
+
+``pin`` remains the fast path: when every path the simulation touched
+collapses onto the coordinator's own shard, the transaction silently
+downgrades to the ordinary single-shard 3C dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.common.errors import NodeExistsError
+from repro.common.jsonutil import dumps
+from repro.coordination.kvstore import KVStore
+from repro.core.sharding import is_global_path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sharding import ShardMap
+    from repro.core.txn import ExecutionLog, ReadWriteSet
+
+#: Global (unsharded) coordination namespace holding decision records and
+#: the prepare-phase ticket.
+TWOPC_PREFIX = "/tropic/2pc"
+
+DECISION_COMMIT = "commit"
+DECISION_ABORT = "abort"
+
+
+class TwoPCLog:
+    """Decision records + prepare ticket in the global coordination tree.
+
+    All writes are immediate (never batched): a decision record is the
+    durable commit point of the whole protocol, and the ticket is a mutual
+    exclusion primitive — neither may sit in a leader's group-commit buffer.
+    """
+
+    DECISION_PREFIX = "decisions"
+    TICKET_KEY = "ticket"
+
+    def __init__(self, kv: KVStore):
+        self.kv = kv
+
+    # -- decision records ------------------------------------------------
+
+    def decide(
+        self,
+        txid: str,
+        decision: str,
+        coordinator: int,
+        participants: Iterable[int] = (),
+    ) -> dict[str, Any]:
+        """Durably record the outcome of ``txid``.  Idempotent: a decision,
+        once written, never changes (recovery may re-write the same value)."""
+        record = {
+            "txid": txid,
+            "decision": decision,
+            "coordinator": int(coordinator),
+            "participants": sorted(int(s) for s in participants),
+        }
+        self.kv.put(f"{self.DECISION_PREFIX}/{txid}", record)
+        return record
+
+    def decision(self, txid: str) -> str | None:
+        """The recorded decision for ``txid`` (``None`` = presumed open;
+        presumed *abort* only once the coordinator is known to have failed
+        before logging — which its successor converts into an explicit
+        abort record on recovery)."""
+        record = self.kv.get(f"{self.DECISION_PREFIX}/{txid}")
+        return None if record is None else record.get("decision")
+
+    def decision_record(self, txid: str) -> dict[str, Any] | None:
+        return self.kv.get(f"{self.DECISION_PREFIX}/{txid}")
+
+    def clear_decision(self, txid: str) -> None:
+        """Garbage-collect a decision record (safe once every participant
+        has resolved; see ROADMAP for the retention policy follow-up)."""
+        self.kv.delete(f"{self.DECISION_PREFIX}/{txid}")
+
+    # -- prepare ticket ---------------------------------------------------
+
+    def acquire_ticket(self, txid: str) -> bool:
+        """Admit ``txid`` into the prepare phase; one holder fleet-wide.
+        Re-acquiring the ticket one already holds succeeds.
+
+        Acquisition is an atomic znode create: two shard leaders racing
+        for the ticket cannot both win (a get-then-put would let them)."""
+        try:
+            self.kv.client.create(self.kv.full_key(self.TICKET_KEY), dumps(txid))
+            return True
+        except NodeExistsError:
+            return self.kv.get(self.TICKET_KEY) == txid
+
+    def ticket_holder(self) -> str | None:
+        return self.kv.get(self.TICKET_KEY)
+
+    def release_ticket(self, txid: str) -> bool:
+        """Release the ticket if (and only if) ``txid`` holds it."""
+        if self.kv.get(self.TICKET_KEY) == txid:
+            self.kv.delete(self.TICKET_KEY)
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# Splitting a simulated transaction by owning shard
+# ----------------------------------------------------------------------
+
+def owner_of(shard_map: "ShardMap", path: str, coordinator: int) -> int:
+    """Owning shard of one log/rwset path; paths above the sharding
+    granularity fall to the coordinator (it locks them everywhere via the
+    per-shard intention locks anyway)."""
+    if is_global_path(path):
+        return coordinator
+    return shard_map.shard_of(path)
+
+
+def shards_touched(
+    shard_map: "ShardMap", log: "ExecutionLog", rwset: "ReadWriteSet", coordinator: int
+) -> set[int]:
+    """Every shard owning a path the simulation actually touched.
+
+    This is the authoritative participant set: stored procedures may write
+    paths that never appear in their arguments (auto-placement), so the
+    submit-time routing decision is only provisional.
+    """
+    shards = {coordinator}
+    for record in log:
+        shards.add(owner_of(shard_map, record.path, coordinator))
+    for path in rwset.writes | rwset.reads | rwset.constraint_reads:
+        shards.add(owner_of(shard_map, path, coordinator))
+    return shards
+
+
+def split_log(
+    shard_map: "ShardMap", log: "ExecutionLog", shard: int, coordinator: int
+) -> list[dict[str, Any]]:
+    """The slice of ``log`` (serialised) acting on paths ``shard`` owns,
+    original order and sequence numbers preserved."""
+    return [
+        record.to_dict()
+        for record in log
+        if owner_of(shard_map, record.path, coordinator) == shard
+    ]
+
+
+def split_rwset(
+    shard_map: "ShardMap", rwset: "ReadWriteSet", shard: int, coordinator: int
+) -> dict[str, list[str]]:
+    """The slice of ``rwset`` (serialised) that ``shard`` must lock.
+
+    Global paths (at or above the sharding granularity) are included in
+    every participant's slice — their intention locks anchor the
+    participant's lock tree exactly as they do on the coordinator.
+    """
+
+    def keep(path: str) -> bool:
+        return is_global_path(path) or shard_map.shard_of(path) == shard
+
+    return {
+        "reads": sorted(p for p in rwset.reads if keep(p)),
+        "writes": sorted(p for p in rwset.writes if keep(p)),
+        "constraint_reads": sorted(p for p in rwset.constraint_reads if keep(p)),
+    }

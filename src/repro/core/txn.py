@@ -23,6 +23,11 @@ class TransactionState(str, enum.Enum):
     INITIALIZED = "initialized"
     ACCEPTED = "accepted"
     DEFERRED = "deferred"
+    #: Cross-shard coordinator: locks held, prepare requests outstanding.
+    PREPARING = "preparing"
+    #: Cross-shard participant: log slice applied, locks held, vote cast —
+    #: the durable *prepare record* of two-phase commit.
+    PREPARED = "prepared"
     STARTED = "started"
     COMMITTED = "committed"
     ABORTED = "aborted"
@@ -41,6 +46,8 @@ class TransactionState(str, enum.Enum):
 ACTIVE_STATES = (
     TransactionState.ACCEPTED,
     TransactionState.DEFERRED,
+    TransactionState.PREPARING,
+    TransactionState.PREPARED,
     TransactionState.STARTED,
 )
 
@@ -202,6 +209,13 @@ class Transaction:
     client: str = ""
     defer_count: int = 0
     timestamps: dict[str, float] = field(default_factory=dict)
+    #: Cross-shard transactions only: the shard coordinating two-phase
+    #: commit, every shard whose subtrees the transaction touches (the
+    #: coordinator included), and the coordinator's vote tally for the
+    #: current attempt (``defer_count`` doubles as the attempt number).
+    coordinator: int | None = None
+    participants: list[int] = field(default_factory=list)
+    votes: dict[str, str] = field(default_factory=dict)
 
     # -- state transitions ------------------------------------------------
 
@@ -213,6 +227,12 @@ class Transaction:
     @property
     def is_terminal(self) -> bool:
         return self.state.is_terminal
+
+    @property
+    def is_cross_shard(self) -> bool:
+        """True when this transaction spans more than one controller shard
+        (and therefore runs under the two-phase-commit protocol)."""
+        return len(self.participants) > 1
 
     def latency(self) -> float | None:
         """Submission-to-terminal-state latency, if both timestamps are known."""
@@ -228,7 +248,7 @@ class Transaction:
     # -- serialisation ------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "txid": self.txid,
             "procedure": self.procedure,
             "args": deep_copy(self.args),
@@ -241,6 +261,13 @@ class Transaction:
             "defer_count": self.defer_count,
             "timestamps": dict(self.timestamps),
         }
+        if self.participants or self.votes or self.coordinator is not None:
+            # Cross-shard transactions only; single-shard documents stay
+            # byte-identical to the pre-2PC format (from_dict defaults).
+            data["coordinator"] = self.coordinator
+            data["participants"] = list(self.participants)
+            data["votes"] = dict(self.votes)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Transaction":
@@ -256,6 +283,9 @@ class Transaction:
             client=data.get("client", ""),
             defer_count=int(data.get("defer_count", 0)),
             timestamps=dict(data.get("timestamps") or {}),
+            coordinator=data.get("coordinator"),
+            participants=[int(s) for s in data.get("participants") or []],
+            votes=dict(data.get("votes") or {}),
         )
         return txn
 

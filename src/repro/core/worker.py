@@ -4,12 +4,23 @@ Workers sit between the controllers and the physical devices.  Each worker
 dequeues runnable transactions from phyQ, replays their execution logs via
 :class:`~repro.core.physical.PhysicalExecutor`, and reports the outcome
 (committed / aborted / failed) back to the controller through inputQ.
+
+Consumption is *claim-based*: before executing an item the worker persists
+a claim record and deletes the phyQ item in one atomic ``multi`` (the claim
+is a create-if-absent, so exactly one worker wins even under duplicate
+dispatches or races).  The claim record is what lets a recovering leader
+close the dispatch-loss window safely — a STARTED transaction with neither
+a phyQ item nor a claim record provably lost its execute message and can
+be re-dispatched without risking double execution.
 """
 
 from __future__ import annotations
 
 from repro.common.clock import Clock, RealClock
 from repro.common.config import TropicConfig
+from repro.common.errors import NodeExistsError, NoNodeError
+from repro.common.idgen import random_id
+from repro.common.jsonutil import dumps
 from repro.coordination.queue import DistributedQueue
 from repro.core.events import KIND_EXECUTE, result_message
 from repro.core.persistence import TropicStore
@@ -40,35 +51,112 @@ class Worker:
         self.signals = SignalBoard(store)
         self.executor = PhysicalExecutor(registry, self.config, self.clock, self.signals)
         self.transactions_processed = 0
+        self.duplicate_dispatches_skipped = 0
+        #: Distinguishes this worker incarnation's claims from those of a
+        #: crashed predecessor with the same name (see _claim_fallback).
+        self._nonce = random_id("wk")
+        self.store.ensure_claim_root()
 
     # ------------------------------------------------------------------
+
+    def _claim_ops(self, name: str, txid: str, epoch: int) -> list[tuple]:
+        """The ordered op pair claiming one item: claim durable *before*
+        the phyQ item disappears, so no crash point leaves a consumed item
+        without a claim record."""
+        claim = dumps({"worker": self.name, "epoch": epoch, "nonce": self._nonce})
+        return [
+            ("create", self.store.claim_key(txid), claim),
+            ("delete", f"{self.phy_queue.path}/{name}", None),
+        ]
+
+    def _claim_and_ack_many(self, items: list[tuple[str, str, int]]) -> list[str]:
+        """Atomically claim a batch of transactions, removing their phyQ
+        items; returns the txids this worker won.
+
+        Fast path: one ``multi`` of ``[create claim, delete item]`` pairs
+        for the whole batch — one coordination round-trip (the common case:
+        no duplicate dispatches, no racing peer).  A claim create fails if
+        the transaction is already claimed; the multi applies in order and
+        stops at the failure, so the slow path re-checks every item
+        individually, using the incarnation nonce to recognise claims this
+        very multi already applied.
+        """
+        if not items:
+            return []
+        client = self.store.kv.client
+        ops = []
+        for entry in items:
+            ops.extend(self._claim_ops(*entry))
+        try:
+            client.multi(ops)
+            return [txid for _, txid, _ in items]
+        except (NodeExistsError, NoNodeError):
+            return self._claim_fallback(items)
+
+    def _claim_fallback(self, items: list[tuple[str, str, int]]) -> list[str]:
+        """Per-item claims after a failed batched multi (which applied an
+        unknown prefix of its ops)."""
+        client = self.store.kv.client
+        won: list[str] = []
+        for name, txid, epoch in items:
+            claim = self.store.load_claim(txid)
+            if claim is not None:
+                if claim.get("nonce") == self._nonce and claim.get("epoch") == epoch:
+                    # Our own claim from the partial multi; its item delete
+                    # may not have applied — ack is idempotent.
+                    self.phy_queue.ack(name)
+                    won.append(txid)
+                else:
+                    # Duplicate dispatch: someone else owns the claim.
+                    self.phy_queue.ack(name)
+                    self.duplicate_dispatches_skipped += 1
+                continue
+            try:
+                client.multi(self._claim_ops(name, txid, epoch))
+                won.append(txid)
+            except NodeExistsError:
+                self.phy_queue.ack(name)
+                self.duplicate_dispatches_skipped += 1
+            except NoNodeError:
+                # The claims root is missing (fresh namespace): restore it
+                # and leave the item for the next step's retry.
+                self.store.ensure_claim_root()
+        return won
 
     def step(self) -> bool:
         """Drain a batch of phyQ items; returns True if work was done.
 
-        The result messages of the whole batch ride back to the controller
-        in a single inputQ group write.
+        The whole batch is claimed-and-acked in one coordination round-trip
+        and the result messages ride back to the controller in a single
+        inputQ group write.
         """
-        items = self.phy_queue.poll_many(self.config.worker_batch_size)
-        if not items:
+        taken = self.phy_queue.take_many(self.config.worker_batch_size)
+        if not taken:
             return False
-        results = []
-        for item in items:
+        to_claim: list[tuple[str, str, int]] = []
+        transactions = {}
+        for name, item in taken:
             if item.get("kind") != KIND_EXECUTE:
+                self.phy_queue.ack(name)
                 continue  # unknown message kinds are dropped
             txid = item["txid"]
             txn = self.store.load_transaction(txid)
             if txn is None:
+                self.phy_queue.ack(name)
                 continue
+            transactions[txid] = txn
+            to_claim.append((name, txid, int(item.get("epoch", 0))))
+        won = self._claim_and_ack_many(to_claim)
+        results = []
+        for txid in won:
             # Checked fresh per item (not snapshotted per batch): a KILL
             # posted while earlier batch items executed must still stop
-            # this one before it touches the devices.
+            # this one before it touches the devices.  The claim stays (the
+            # controller aborts KILLed transactions in the logical layer
+            # only and clears the claim with the document, §4).
             if self.signals.get(txid) == KILL:
-                # The controller aborts KILLed transactions in the logical
-                # layer only; the physical layer does not touch the
-                # devices (§4).
                 continue
-            outcome = self.executor.execute(txn)
+            outcome = self.executor.execute(transactions[txid])
             self.transactions_processed += 1
             results.append(
                 result_message(

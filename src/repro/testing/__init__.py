@@ -8,11 +8,18 @@ without hand-rolling controller/ensemble wiring.
 
 from repro.testing.cluster import ShardedCluster
 from repro.testing.faults import (
+    ALL_FAILURE_POINTS,
     FAILURE_POINTS,
     MID_CHECKPOINT,
     POST_COMMIT_PRE_ACK,
     PRE_CHECKPOINT,
     PRE_COMMIT,
+    PRE_DISPATCH,
+    TWOPC_FAILURE_POINTS,
+    TWOPC_POST_DECISION,
+    TWOPC_POST_PREPARE,
+    TWOPC_PRE_DECISION,
+    TWOPC_PRE_PREPARE,
     CrashPoint,
     FaultInjector,
     FaultyKVStore,
@@ -27,9 +34,16 @@ __all__ = [
     "FaultyKVStore",
     "FaultyQueue",
     "FaultyTropicStore",
+    "ALL_FAILURE_POINTS",
     "FAILURE_POINTS",
+    "TWOPC_FAILURE_POINTS",
     "PRE_COMMIT",
     "POST_COMMIT_PRE_ACK",
     "PRE_CHECKPOINT",
     "MID_CHECKPOINT",
+    "PRE_DISPATCH",
+    "TWOPC_PRE_PREPARE",
+    "TWOPC_POST_PREPARE",
+    "TWOPC_PRE_DECISION",
+    "TWOPC_POST_DECISION",
 ]

@@ -27,6 +27,7 @@ from repro.core.events import request_message
 from repro.core.persistence import TropicStore
 from repro.core.reconcile import Reconciler
 from repro.core.sharding import ShardMap, ShardRouter
+from repro.core.twopc import TWOPC_PREFIX, TwoPCLog
 from repro.core.txn import Transaction, TransactionState
 from repro.core.worker import Worker
 from repro.testing.faults import (
@@ -80,6 +81,8 @@ class ShardedCluster:
         self.router = ShardRouter(ShardMap(num_shards, assignments), cross_shard_policy)
         self.injector = injector or FaultInjector()
         self.faulty_shards = set(faulty_shards)
+        #: Global 2PC decision log + prepare ticket (shared by all shards).
+        self.twopc = TwoPCLog(KVStore(self.client, TWOPC_PREFIX))
 
         #: Reference (never-faulty) store per shard, used by workers and by
         #: test assertions.
@@ -94,16 +97,19 @@ class ShardedCluster:
         self.submitted: list[Transaction] = []
         self._generation = 0
 
+        # Two passes: every shard's queues must exist before any controller
+        # is wired (controllers snapshot the peer-queue map for 2PC).
         for shard in self.shard_ids:
             store = self._plain_store(shard)
             self.stores[shard] = store
             self.input_queues[shard] = DistributedQueue(self.client, self._input_path(shard))
             self.phy_queues[shard] = DistributedQueue(self.client, self._phy_path(shard))
             store.save_checkpoint(self.inventory.model, 0)
+        for shard in self.shard_ids:
             self.controllers[shard] = self.new_controller(shard)
             self.workers[shard] = Worker(
                 f"worker-{shard}",
-                store,
+                self.stores[shard],
                 self.phy_queues[shard],
                 self.input_queues[shard],
                 self.inventory.registry,
@@ -166,6 +172,10 @@ class ShardedCluster:
             procedures=self.procedures,
             on_complete=self._on_complete,
             shard_id=shard,
+            router=self.router if self.num_shards > 1 else None,
+            peer_queues=self.input_queues if self.num_shards > 1 else None,
+            twopc=self.twopc if self.num_shards > 1 else None,
+            fault_hook=self.injector.hit if faulty else None,
         )
 
     def replace_controller(self, shard: int) -> Controller:
@@ -181,13 +191,42 @@ class ShardedCluster:
     # ------------------------------------------------------------------
 
     def submit(self, procedure: str, args: dict[str, Any]) -> Transaction:
-        shard = self.router.resolve(procedure, args)
+        decision = self.router.plan(procedure, args)
+        shard = decision.shard
         txn = Transaction(procedure=procedure, args=dict(args))
+        if decision.cross_shard and self.router.policy == "2pc":
+            txn.coordinator = shard
+            txn.participants = sorted(decision.shards)
         txn.mark(TransactionState.INITIALIZED, 0.0)
         self.stores[shard].save_transaction(txn)
         self.input_queues[shard].put(request_message(txn.txid))
         self.submitted.append(txn)
         return txn
+
+    def submit_cross_spawn(self, vm_name: str, vm_host_index: int = 0,
+                           mem_mb: int = 512) -> Transaction:
+        """Submit a spawnVM that provably spans two shards: the VM goes to
+        ``vm_host_index``'s compute host while its disk image goes to a
+        storage host owned by a *different* shard."""
+        vm_host = self.inventory.vm_hosts[vm_host_index % len(self.inventory.vm_hosts)]
+        home = self.router.shard_of(vm_host)
+        foreign = [
+            host for host in self.inventory.storage_hosts
+            if self.router.shard_of(host) != home
+        ]
+        if not foreign:
+            raise AssertionError("no storage host on a foreign shard; "
+                                 "use more shards or hosts")
+        return self.submit(
+            "spawnVM",
+            {
+                "vm_name": vm_name,
+                "image_template": "template-small",
+                "storage_host": foreign[0],
+                "vm_host": vm_host,
+                "mem_mb": mem_mb,
+            },
+        )
 
     def submit_spawn(
         self,
@@ -268,12 +307,19 @@ class ShardedCluster:
         return self.controllers[shard].model
 
     def load(self, txn: "Transaction | str") -> Transaction | None:
+        """Load a transaction document, preferring the coordinator's copy
+        for cross-shard transactions (participants hold prepare-record
+        slices under the same txid in their own stores)."""
         txid = txn.txid if isinstance(txn, Transaction) else txn
-        for store in self.stores.values():
+        fallback = None
+        for shard, store in self.stores.items():
             loaded = store.load_transaction(txid)
-            if loaded is not None:
+            if loaded is None:
+                continue
+            if not loaded.is_cross_shard or loaded.coordinator == shard:
                 return loaded
-        return None
+            fallback = fallback or loaded
+        return fallback
 
     def state_of(self, txn: "Transaction | str") -> TransactionState | None:
         loaded = self.load(txn)

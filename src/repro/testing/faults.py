@@ -20,6 +20,23 @@ The named points are the crash boundaries of the controller main loop:
 * ``mid-checkpoint`` — the checkpoint committed (atomically, as one
   ``multi``) but the applied log was not yet truncated and the dirty
   flags not yet persisted as cleared in controller memory.
+* ``post-flush-pre-dispatch`` — the group commit (STARTED states plus
+  their dispatch markers) is durable but the execute messages never
+  reached phyQ: the dispatch-loss window, closed by claim-record-aware
+  re-dispatch on recovery.
+
+Cross-shard two-phase commit adds four protocol edges (reported through
+the controller's ``fault_hook``, since they are protocol positions rather
+than store/queue boundaries):
+
+* ``2pc-pre-prepare`` — coordinator: PREPARING durable, prepare requests
+  never sent (successor presumed-aborts).
+* ``2pc-post-prepare`` — participant: prepare record durable, vote never
+  sent (successor re-votes).
+* ``2pc-pre-decision`` — coordinator: physical outcome known, decision
+  record not yet durable (the unacked result message re-drives cleanup).
+* ``2pc-post-decision`` — coordinator: commit decision durable, fan-out
+  lost (participants resolve via the global decision log).
 
 Crashes *inside* a ``multi`` are not modelled: ZooKeeper applies a multi
 atomically through its transaction log, so the real system never observes
@@ -30,6 +47,13 @@ from __future__ import annotations
 
 from repro.coordination.kvstore import KVStore, WriteBatch
 from repro.coordination.queue import DistributedQueue
+from repro.core.controller import (
+    PRE_DISPATCH,
+    TWOPC_POST_DECISION,
+    TWOPC_POST_PREPARE,
+    TWOPC_PRE_DECISION,
+    TWOPC_PRE_PREPARE,
+)
 from repro.core.persistence import TropicStore
 
 PRE_COMMIT = "pre-commit"
@@ -37,8 +61,25 @@ POST_COMMIT_PRE_ACK = "post-commit-pre-ack"
 PRE_CHECKPOINT = "pre-checkpoint"
 MID_CHECKPOINT = "mid-checkpoint"
 
-#: Every named failure point, in main-loop order.
-FAILURE_POINTS = (PRE_COMMIT, POST_COMMIT_PRE_ACK, PRE_CHECKPOINT, MID_CHECKPOINT)
+#: Named failure points reachable by any workload, in main-loop order.
+FAILURE_POINTS = (
+    PRE_COMMIT,
+    POST_COMMIT_PRE_ACK,
+    PRE_CHECKPOINT,
+    MID_CHECKPOINT,
+    PRE_DISPATCH,
+)
+
+#: Protocol edges of cross-shard two-phase commit (reachable only by
+#: workloads containing cross-shard transactions under policy ``2pc``).
+TWOPC_FAILURE_POINTS = (
+    TWOPC_PRE_PREPARE,
+    TWOPC_POST_PREPARE,
+    TWOPC_PRE_DECISION,
+    TWOPC_POST_DECISION,
+)
+
+ALL_FAILURE_POINTS = FAILURE_POINTS + TWOPC_FAILURE_POINTS
 
 
 class CrashPoint(Exception):
@@ -71,8 +112,10 @@ class FaultInjector:
         self.dead = False
 
     def arm(self, point: str, occurrence: int = 0) -> "FaultInjector":
-        if point not in FAILURE_POINTS:
-            raise ValueError(f"unknown failure point {point!r}; choose from {FAILURE_POINTS}")
+        if point not in ALL_FAILURE_POINTS:
+            raise ValueError(
+                f"unknown failure point {point!r}; choose from {ALL_FAILURE_POINTS}"
+            )
         self._armed[point] = occurrence
         self.dead = False
         return self

@@ -187,3 +187,92 @@ class TestCoordinationFaults:
         platform.ensemble.restart_server(2)
         txn = threaded_cloud.spawn_vm("after-restart", timeout=30.0)
         assert txn.state is TransactionState.COMMITTED
+
+
+@pytest.fixture
+def twopc_cloud(threaded_config):
+    """A 2-shard threaded deployment running cross-shard 2PC."""
+    config = threaded_config.with_overrides(
+        num_shards=2, num_controllers=2, cross_shard_policy="2pc"
+    )
+    cloud = build_tcloud(num_vm_hosts=8, num_storage_hosts=2, host_mem_mb=8192,
+                         config=config, threaded=True)
+    cloud.platform.start()
+    deadline = time.time() + 5.0
+    while time.time() < deadline and any(
+        cloud.platform.leader_runner(shard) is None for shard in (0, 1)
+    ):
+        time.sleep(0.02)
+    yield cloud
+    cloud.platform.stop()
+
+
+def _cross_spawn(cloud, vm_name, host_index=0, wait=True, timeout=60.0):
+    """Spawn whose VM and disk image live on hosts owned by different
+    shards (cross-shard by construction)."""
+    platform = cloud.platform
+    vm_host = cloud.inventory.vm_hosts[host_index]
+    home = platform.shard_router.shard_of(vm_host)
+    foreign = next(h for h in cloud.inventory.storage_hosts
+                   if platform.shard_router.shard_of(h) != home)
+    return cloud.spawn_vm(vm_name, mem_mb=512, vm_host=vm_host,
+                          storage_host=foreign, wait=wait, timeout=timeout)
+
+
+class TestTwoPCFailover:
+    """Coordinator-shard failover mid-protocol (threaded runtime)."""
+
+    def test_cross_shard_commit_on_threaded_runtime(self, twopc_cloud):
+        txn = _cross_spawn(twopc_cloud, "xvm")
+        assert txn.state is TransactionState.COMMITTED
+        assert txn.is_cross_shard
+        # Both owner shards observe their halves of the transaction.
+        platform = twopc_cloud.platform
+        storage = txn.args["storage_host"]
+        owner = platform.shard_router.shard_of(storage)
+        deadline = time.time() + 10.0
+        while time.time() < deadline:
+            if platform.leader(owner).model.exists(f"{storage}/xvm-disk"):
+                break
+            time.sleep(0.02)
+        assert platform.leader(owner).model.exists(f"{storage}/xvm-disk")
+        assert platform.model_view().exists(f"{txn.args['vm_host']}/xvm")
+
+    def test_coordinator_failover_mid_protocol(self, twopc_cloud):
+        """Kill the coordinator shard's leader while cross-shard
+        transactions are in flight: every transaction must reach a
+        terminal state, and committed ones must be atomic across shards."""
+        platform = twopc_cloud.platform
+        handles = []
+        # Mix of single-shard and cross-shard work in flight.
+        for index in range(4):
+            handles.append(_spawn_on(twopc_cloud, f"s{index}", host_index=index,
+                                     wait=False))
+        cross = [_cross_spawn(twopc_cloud, f"x{index}", host_index=index,
+                              wait=False) for index in range(3)]
+        # The coordinator of every cross-shard txn is the lowest involved
+        # shard; killing shard 0's leader hits it mid-protocol.
+        assert platform.kill_leader(shard=0) is not None
+        results = [h.wait(timeout=60.0) for h in handles + cross]
+        assert all(txn.is_terminal for txn in results)
+        for txn in results[len(handles):]:
+            vm_name = txn.args["vm_name"]
+            vm_host, storage = txn.args["vm_host"], txn.args["storage_host"]
+            vm_owner = platform.shard_router.shard_of(vm_host)
+            st_owner = platform.shard_router.shard_of(storage)
+            deadline = time.time() + 10.0
+            while time.time() < deadline:
+                vm_there = platform.leader(vm_owner).model.exists(f"{vm_host}/{vm_name}")
+                img_there = platform.leader(st_owner).model.exists(
+                    f"{storage}/{vm_name}-disk")
+                if vm_there == img_there:
+                    break
+                time.sleep(0.02)
+            assert vm_there == img_there, f"{txn.txid} half-applied after failover"
+            if txn.state is TransactionState.COMMITTED:
+                assert vm_there
+        # The fleet keeps serving both shard-local and cross-shard work.
+        assert _spawn_on(twopc_cloud, "tail", 1, timeout=30.0).state \
+            is TransactionState.COMMITTED
+        assert _cross_spawn(twopc_cloud, "xtail", 1, timeout=60.0).state \
+            in (TransactionState.COMMITTED, TransactionState.ABORTED)

@@ -1,0 +1,118 @@
+"""Property tests for cross-shard two-phase commit (PR 3).
+
+Hypothesis drives *sequences* of controller crashes — any failure point,
+targeting the coordinator or the participant shard, repeated — through a
+mixed single-/cross-shard workload and asserts the protocol invariant:
+every cross-shard transaction ends fully committed on both shards or fully
+absent from both, never half-applied, and no acknowledged outcome is ever
+lost.
+
+Exactly one shard is fault-wired at a time (the injector's dead-process
+semantics are per-crash, not per-shard); when a plan entry fires, the
+felled shard fails over to a clean replica and the next entry re-wires its
+target shard.  Entries whose point is unreachable in the remaining
+workload simply never fire — the invariants must hold either way.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import TropicConfig
+from repro.core.txn import TransactionState
+from repro.testing import (
+    ALL_FAILURE_POINTS,
+    CrashPoint,
+    FaultInjector,
+    ShardedCluster,
+)
+
+#: A crash plan entry: (failure point, shard whose controller is faulty).
+_crash = st.tuples(st.sampled_from(ALL_FAILURE_POINTS), st.sampled_from([0, 1]))
+
+
+def _run_with_crash_plan(plan):
+    injector = FaultInjector()
+    cluster = ShardedCluster(
+        num_shards=2,
+        cross_shard_policy="2pc",
+        config=TropicConfig(checkpoint_every=1),
+        injector=injector,
+        faulty_shards=(plan[0][1],) if plan else (),
+    )
+    if plan:
+        point = plan[0][0]
+        injector.arm(point, injector.hits(point))
+
+    local = [cluster.submit_spawn(f"l{i}", host_index=i % 4) for i in range(2)]
+    cross = [cluster.submit_cross_spawn(f"x{i}", vm_host_index=i) for i in range(2)]
+
+    consumed = 0
+    for _ in range(5_000):
+        progressed = False
+        for shard in cluster.shard_ids:
+            try:
+                if cluster.controllers[shard].step():
+                    progressed = True
+            except CrashPoint:
+                consumed += 1
+                cluster.controllers[shard] = cluster.new_controller(
+                    shard, faulty=False
+                )
+                if consumed < len(plan):
+                    point, target = plan[consumed]
+                    # Re-wire the next target (a fresh replica picks up the
+                    # fault hooks; arming also revives the dead injector).
+                    cluster.controllers[target] = cluster.new_controller(
+                        target, faulty=True
+                    )
+                    injector.arm(point, injector.hits(point))
+                progressed = True
+            if cluster.workers[shard].step():
+                progressed = True
+        if not progressed and cluster.queues_empty():
+            break
+    else:
+        raise AssertionError("cluster did not quiesce under the crash plan")
+    return cluster, local, cross
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(st.lists(_crash, min_size=0, max_size=3))
+def test_any_crash_interleaving_is_atomic(plan):
+    cluster, local, cross = _run_with_crash_plan(plan)
+
+    # Single-shard transactions always survive controller crashes.
+    for txn in local:
+        assert cluster.state_of(txn) is TransactionState.COMMITTED
+
+    # Cross-shard atomicity: both shards or neither, matching the outcome.
+    for txn in cross:
+        state = cluster.state_of(txn)
+        vm_host, storage_host = txn.args["vm_host"], txn.args["storage_host"]
+        vm_name = txn.args["vm_name"]
+        vm_there = cluster.model(cluster.router.shard_of(vm_host)).exists(
+            f"{vm_host}/{vm_name}"
+        )
+        image_there = cluster.model(cluster.router.shard_of(storage_host)).exists(
+            f"{storage_host}/{vm_name}-disk"
+        )
+        assert vm_there == image_there, f"{txn.txid} half-applied"
+        if state is TransactionState.COMMITTED:
+            assert vm_there
+        else:
+            assert state in (TransactionState.ABORTED, TransactionState.FAILED)
+            assert not vm_there
+
+    # Acknowledged outcomes are stable across every crash in the plan.
+    for acked in cluster.acked:
+        assert cluster.state_of(acked) is acked.state
+
+    # Nothing leaks: locks, outstanding maps, or the fleet ticket.
+    assert cluster.twopc.ticket_holder() is None
+    for shard in cluster.shard_ids:
+        assert cluster.controllers[shard].lock_manager.active_transactions() == set()
+        assert cluster.controllers[shard].outstanding == {}

@@ -1,0 +1,204 @@
+"""Unit tests for the cross-shard 2PC building blocks (PR 3): routing
+policy, message formats, transaction fields, the decision log + prepare
+ticket, log/rwset splitting, the strict read view and the pin visibility
+marking."""
+
+import warnings
+
+import pytest
+
+from repro.common.config import TropicConfig
+from repro.common.errors import ConfigurationError, ShardUnavailable
+from repro.coordination.client import CoordinationClient
+from repro.coordination.ensemble import CoordinationEnsemble
+from repro.coordination.kvstore import KVStore
+from repro.core.sharding import ShardMap, ShardRouter
+from repro.core.twopc import TwoPCLog, shards_touched, split_log, split_rwset
+from repro.core.txn import (
+    ExecutionLog,
+    ReadWriteSet,
+    Transaction,
+    TransactionState,
+)
+from repro.tcloud.service import build_tcloud
+
+
+def _kv():
+    ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=3600.0)
+    return KVStore(CoordinationClient(ensemble), "/tropic/2pc")
+
+
+def _map():
+    return ShardMap(2, {"/vmRoot/vmHost0": 0, "/storageRoot/storageHost0": 1})
+
+
+class TestRouterPolicy:
+    def test_2pc_is_a_known_policy(self):
+        router = ShardRouter(_map(), "2pc")
+        assert router.policy == "2pc"
+        TropicConfig(num_shards=2, cross_shard_policy="2pc").validate()
+
+    def test_2pc_plan_returns_cross_shard_decision(self):
+        router = ShardRouter(_map(), "2pc")
+        decision = router.plan(
+            "spawnVM",
+            {"vm_host": "/vmRoot/vmHost0", "storage_host": "/storageRoot/storageHost0"},
+        )
+        assert decision.cross_shard
+        assert decision.shard == min(decision.shards)
+        assert decision.shards == frozenset({0, 1})
+
+    def test_pin_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="2pc"):
+            ShardRouter(_map(), "pin")
+
+    def test_2pc_and_reject_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ShardRouter(_map(), "2pc")
+            ShardRouter(_map(), "reject")
+
+    def test_single_shard_pin_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ShardRouter(ShardMap(1), "pin")
+
+
+class TestTransactionFields:
+    def test_cross_shard_fields_roundtrip(self):
+        txn = Transaction(procedure="spawnVM", args={"x": 1})
+        txn.coordinator = 0
+        txn.participants = [0, 1]
+        txn.votes = {"0": "yes", "1": "yes"}
+        txn.mark(TransactionState.PREPARING, 1.0)
+        restored = Transaction.from_dict(txn.to_dict())
+        assert restored.coordinator == 0
+        assert restored.participants == [0, 1]
+        assert restored.votes == {"0": "yes", "1": "yes"}
+        assert restored.state is TransactionState.PREPARING
+        assert restored.is_cross_shard
+
+    def test_single_shard_transaction_is_not_cross_shard(self):
+        txn = Transaction(procedure="spawnVM")
+        assert not txn.is_cross_shard
+        restored = Transaction.from_dict(txn.to_dict())
+        assert restored.participants == [] and restored.coordinator is None
+
+    def test_prepare_states_are_active_not_terminal(self):
+        for state in (TransactionState.PREPARING, TransactionState.PREPARED):
+            assert not state.is_terminal
+
+
+class TestTwoPCLog:
+    def test_decision_roundtrip(self):
+        log = TwoPCLog(_kv())
+        assert log.decision("t1") is None
+        record = log.decide("t1", "commit", coordinator=0, participants=[0, 1])
+        assert record["participants"] == [0, 1]
+        assert log.decision("t1") == "commit"
+        assert log.decision_record("t1")["coordinator"] == 0
+        log.clear_decision("t1")
+        assert log.decision("t1") is None
+
+    def test_ticket_mutual_exclusion(self):
+        log = TwoPCLog(_kv())
+        assert log.acquire_ticket("a")
+        assert log.acquire_ticket("a")  # re-entrant for the holder
+        assert not log.acquire_ticket("b")
+        assert log.ticket_holder() == "a"
+        assert not log.release_ticket("b")
+        assert log.release_ticket("a")
+        assert log.acquire_ticket("b")
+
+
+class TestSplitting:
+    def _sample(self):
+        log = ExecutionLog()
+        log.append("/vmRoot/vmHost0", "createVM", ["vm1"], "removeVM", ["vm1"])
+        log.append("/storageRoot/storageHost0", "cloneImage", ["t", "d"],
+                   "removeImage", ["d"])
+        log.append("/vmRoot/vmHost0/vm1", "startVM", [], "stopVM", [])
+        rwset = ReadWriteSet(
+            reads={"/storageRoot/storageHost0"},
+            writes={"/vmRoot/vmHost0/vm1", "/storageRoot/storageHost0"},
+            constraint_reads={"/vmRoot/vmHost0"},
+        )
+        return log, rwset
+
+    def test_shards_touched_uses_simulated_paths(self):
+        log, rwset = self._sample()
+        assert shards_touched(_map(), log, rwset, coordinator=0) == {0, 1}
+
+    def test_split_log_preserves_order_and_ownership(self):
+        log, _ = self._sample()
+        mine = split_log(_map(), log, shard=1, coordinator=0)
+        assert [r["path"] for r in mine] == ["/storageRoot/storageHost0"]
+        theirs = split_log(_map(), log, shard=0, coordinator=0)
+        assert [r["seq"] for r in theirs] == [1, 3]
+
+    def test_split_rwset_keeps_global_paths_everywhere(self):
+        _, rwset = self._sample()
+        rwset.record_constraint_read("/vmRoot")  # above sharding granularity
+        for shard in (0, 1):
+            part = split_rwset(_map(), rwset, shard, coordinator=0)
+            assert "/vmRoot" in part["constraint_reads"]
+        part1 = split_rwset(_map(), rwset, 1, coordinator=0)
+        assert part1["writes"] == ["/storageRoot/storageHost0"]
+
+
+class TestStrictModelView:
+    def _partial_cloud(self):
+        config = TropicConfig(num_shards=2, logical_only=True)
+        return build_tcloud(num_vm_hosts=8, num_storage_hosts=2, config=config,
+                            logical_only=True, local_shards=[0])
+
+    def test_partial_hosting_raises_shard_unavailable(self):
+        cloud = self._partial_cloud()
+        with cloud.platform as platform:
+            with pytest.raises(ShardUnavailable) as excinfo:
+                platform.model_view()
+            assert excinfo.value.shards == [1]
+
+    def test_strict_false_accepts_the_partial_view(self):
+        cloud = self._partial_cloud()
+        with cloud.platform as platform:
+            view = platform.model_view(strict=False)
+            assert view.exists("/vmRoot")
+
+    def test_full_hosting_never_raises(self):
+        config = TropicConfig(num_shards=2, logical_only=True)
+        cloud = build_tcloud(num_vm_hosts=8, num_storage_hosts=2, config=config,
+                             logical_only=True)
+        with cloud.platform as platform:
+            assert platform.model_view().exists("/vmRoot")
+
+
+class TestPinVisibilityMarking:
+    def test_merged_view_prefers_the_pinned_shards_copy(self):
+        """Under the deprecated pin policy, the owner's copy of a unit a
+        pinned transaction wrote is bootstrap-frozen; the merged view must
+        surface the pinned shard's copy instead of the stale owner copy."""
+        config = TropicConfig(num_shards=2, logical_only=True,
+                              cross_shard_policy="pin")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            cloud = build_tcloud(num_vm_hosts=8, num_storage_hosts=2,
+                                 config=config, logical_only=True)
+            with cloud.platform as platform:
+                vm_host = cloud.inventory.vm_hosts[4]     # shard 1 ...
+                storage = cloud.inventory.storage_host_for(0)  # ... shard 0
+                txn = platform.submit("spawnVM", {
+                    "vm_name": "pinned", "image_template": "template-small",
+                    "storage_host": storage, "vm_host": vm_host, "mem_mb": 256,
+                })
+                assert txn.state is TransactionState.COMMITTED
+                # Pin runs on the lowest involved shard (0, the storage
+                # owner); the VM write on vm_host is the foreign one.
+                pinned_shard = platform.shard_of_txn(txn.txid)
+                vm_owner = platform.shard_router.shard_of(vm_host)
+                assert pinned_shard != vm_owner
+                # The owner's model never saw the write ...
+                assert not platform.leader(vm_owner).model.exists(
+                    f"{vm_host}/pinned")
+                # ... but the merged view surfaces the pinned shard's copy.
+                assert platform.model_view().exists(f"{vm_host}/pinned")
