@@ -2,7 +2,7 @@
 
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-unit test-integration bench bench-micro
+.PHONY: test test-unit test-integration bench bench-micro docs-check
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -14,11 +14,15 @@ test-unit:
 test-integration:
 	$(PYTHONPATH_PREFIX) python -m pytest tests/integration tests/property -q
 
-## Full benchmark suite; writes BENCH_pr3.json (incl. 2/4-shard runs and
-## the cross-shard 2PC mix).
+## Full benchmark suite; writes BENCH_pr4.json (incl. 2/4-shard runs, the
+## cross-shard 2PC mix and the replica read-path section).
 bench:
 	bash scripts/run_benchmarks.sh
 
 ## Write-path micro-benchmark guards only.
 bench-micro:
 	$(PYTHONPATH_PREFIX) python -m pytest benchmarks/bench_writepath.py -q
+
+## Documentation health: intra-repo links + module docstring coverage.
+docs-check:
+	python scripts/check_docs.py

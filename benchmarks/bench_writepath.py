@@ -9,8 +9,12 @@ Covers the write-path optimisations in isolation:
 * ``WriteBatch`` group commit vs one round-trip per put,
 * ``ResourcePath.parse`` interning,
 * submit-side batching (``submit_many``: two coordination round-trips per
-  shard per batch, PR 2), and
-* watch-driven queue consumers (zero store round-trips while idle, PR 2).
+  shard per batch, PR 2),
+* watch-driven queue consumers (zero store round-trips while idle, PR 2),
+  and
+* read replicas (PR 4): strictly read-only against the store — a tailing
+  replica adds zero write round-trips to the commit path — and free while
+  idle (watch-parked, zero coordination operations per read).
 
 Runs under pytest (``make bench-micro``) or standalone to emit JSON:
 ``python benchmarks/bench_writepath.py --json out.json``.
@@ -227,6 +231,60 @@ def run_path_interning(iterations: int = 5000) -> dict:
     }
 
 
+def run_replica_read_cost(txns: int = 40) -> dict:
+    """Write round-trips of a spawn workload with a replica tailing the
+    shard vs the replica's own coordination footprint: tailing must be
+    pure reads (zero writes) and idle reads must be free entirely."""
+    from repro.common.config import TropicConfig
+    from repro.core.platform import shard_store_prefix
+    from repro.core.replica import ReadReplica
+    from repro.tcloud.service import build_tcloud
+
+    config = TropicConfig(logical_only=True, checkpoint_every=1_000_000)
+    cloud = build_tcloud(num_vm_hosts=8, num_storage_hosts=2, host_mem_mb=65536,
+                         config=config, logical_only=True)
+    with cloud.platform:
+        ensemble = cloud.platform.ensemble
+        replica = ReadReplica(
+            TropicStore(KVStore(cloud.platform.client, shard_store_prefix(0, 1))),
+            cloud.platform.schema, cloud.platform.procedures,
+        )
+        replica.model()  # bootstrap + arm watches
+        writes_before = ensemble.write_round_trips
+        requests = [
+            ("spawnVM", {
+                "vm_name": f"rb-{i}", "image_template": "template-small",
+                "storage_host": cloud.inventory.storage_host_for(i % 8),
+                "vm_host": cloud.inventory.vm_hosts[i % 8], "mem_mb": 256,
+            })
+            for i in range(txns)
+        ]
+        handles = cloud.platform.submit_many(requests, wait=False)
+        cloud.platform.run_until_idle()
+        committed = sum(
+            handle.wait(timeout=60.0).state is TransactionState.COMMITTED
+            for handle in handles
+        )
+        workload_writes = ensemble.write_round_trips - writes_before
+        # The replica catches up on the whole workload: reads only.
+        writes_before = ensemble.write_round_trips
+        replica.refresh()
+        replica_writes = ensemble.write_round_trips - writes_before
+        caught_up = replica.applied_txn == cloud.platform.store.applied_seq()
+        ops_before = ensemble.op_count
+        for _ in range(100):
+            replica.model()
+        idle_ops = ensemble.op_count - ops_before
+    return {
+        "txns": txns,
+        "committed": committed,
+        "workload_write_round_trips": workload_writes,
+        "replica_catchup_write_round_trips": replica_writes,
+        "replica_idle_read_ops": idle_ops,
+        "replica_caught_up": caught_up,
+    }
+
+
 # ----------------------------------------------------------------------
 # pytest wrappers (guards)
 # ----------------------------------------------------------------------
@@ -271,6 +329,17 @@ def test_idle_queue_consumer_issues_zero_round_trips():
     assert result["woke_with_item"], result
 
 
+def test_replica_is_read_only_and_idle_free():
+    """The PR 4 'assert, don't add' guard: a tailing replica issues zero
+    store *writes* (commit markers were already durable for recovery's
+    sake) and zero coordination ops of any kind while idle."""
+    result = run_replica_read_cost()
+    assert result["committed"] == result["txns"], result
+    assert result["replica_catchup_write_round_trips"] == 0, result
+    assert result["replica_idle_read_ops"] == 0, result
+    assert result["replica_caught_up"], result
+
+
 # ----------------------------------------------------------------------
 # standalone runner
 # ----------------------------------------------------------------------
@@ -288,6 +357,7 @@ def main() -> None:
         "path_interning": run_path_interning(),
         "submit_batching": run_submit_batching(),
         "idle_queue_watch": run_idle_queue_watch(),
+        "replica_read_cost": run_replica_read_cost(),
     }
     print(json.dumps(results, indent=2, sort_keys=True))
     if args.json:

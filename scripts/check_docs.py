@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Documentation health check (CI `docs` job; `make docs-check`).
+
+Two classes of rot this catches:
+
+1. **Broken intra-repo links.**  Every relative markdown link in
+   `docs/*.md`, `README.md` and `ROADMAP.md` must point at a file that
+   exists; links into markdown files with a `#fragment` must name a
+   heading that actually renders to that anchor (GitHub slug rules).
+   The same anchor check covers the ``docs/<file>.md#anchor`` references
+   inside module docstrings, so code and book cannot drift apart.
+2. **Undocumented public modules.**  Every module under `src/repro/`
+   (except empty `__init__.py` re-export stubs) must carry a module
+   docstring.
+
+Pure stdlib; exits non-zero with a report of every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(Path(REPO, "docs").glob("*.md")) + [
+    REPO / "README.md",
+    REPO / "ROADMAP.md",
+]
+SRC_ROOT = REPO / "src" / "repro"
+
+#: ``[text](target)`` — good enough for the plain markdown used here
+#: (no reference-style links, no angle brackets).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: ``docs/<name>.md#anchor`` references inside Python docstrings.
+_DOC_ANCHOR = re.compile(r"docs/([\w.-]+\.md)#([\w-]+)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub renders for a heading: strip markdown emphasis
+    and punctuation, lower-case, spaces to hyphens."""
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(markdown_path: Path) -> set[str]:
+    anchors: set[str] = set()
+    in_code_fence = False
+    for line in markdown_path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2)))
+    return anchors
+
+
+def check_markdown_links() -> list[str]:
+    errors: list[str] = []
+    for doc in DOC_FILES:
+        in_code_fence = False
+        for lineno, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for target in _LINK.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                    continue  # absolute URL (http:, mailto:, ...)
+                where = f"{doc.relative_to(REPO)}:{lineno}"
+                path_part, _, fragment = target.partition("#")
+                if not path_part:  # same-file fragment
+                    resolved = doc
+                else:
+                    resolved = (doc.parent / path_part).resolve()
+                    if not resolved.exists():
+                        errors.append(f"{where}: broken link {target!r} "
+                                      f"(no such file {path_part!r})")
+                        continue
+                if fragment and resolved.suffix == ".md":
+                    if fragment not in anchors_of(resolved):
+                        errors.append(f"{where}: broken anchor {target!r} "
+                                      f"(no heading slugs to #{fragment})")
+    return errors
+
+
+def check_docstring_anchors() -> list[str]:
+    """``docs/x.md#anchor`` references in module docstrings must resolve."""
+    errors: list[str] = []
+    for module in sorted(SRC_ROOT.rglob("*.py")):
+        doc = ast.get_docstring(ast.parse(module.read_text(encoding="utf-8")))
+        if not doc:
+            continue
+        for name, fragment in _DOC_ANCHOR.findall(doc):
+            target = REPO / "docs" / name
+            where = str(module.relative_to(REPO))
+            if not target.exists():
+                errors.append(f"{where}: docstring references missing docs/{name}")
+            elif fragment not in anchors_of(target):
+                errors.append(f"{where}: docstring references docs/{name}#{fragment} "
+                              f"but no heading slugs to it")
+    return errors
+
+
+def check_module_docstrings() -> list[str]:
+    errors: list[str] = []
+    for module in sorted(SRC_ROOT.rglob("*.py")):
+        source = module.read_text(encoding="utf-8")
+        if module.name == "__init__.py" and not source.strip():
+            continue  # empty package marker
+        if ast.get_docstring(ast.parse(source)) is None:
+            errors.append(f"{module.relative_to(REPO)}: missing module docstring")
+    return errors
+
+
+def main() -> int:
+    errors = (
+        check_markdown_links()
+        + check_docstring_anchors()
+        + check_module_docstrings()
+    )
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    docs = len(DOC_FILES)
+    modules = len(list(SRC_ROOT.rglob("*.py")))
+    print(f"check_docs: OK ({docs} markdown files, {modules} modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Measure the read-replica subsystem: staleness, catch-up, read throughput.
+
+Four measurements, all on the logical-only fleet (see
+docs/operations.md#benchmarks):
+
+* **bootstrap / catch-up** — time for a cold replica to rebuild a shard's
+  model (checkpoint + applied-log replay) and the steady-state rate at
+  which it applies committed transactions it fell behind on;
+* **staleness under load** — the workload is committed in rounds with the
+  replica refreshing between rounds: reports the watermark lag seen at
+  each refresh (how stale a lazy reader gets) and the refresh latency
+  (how fast it catches back up);
+* **read throughput** — model reads per second served by a caught-up
+  replica, plus the fleet-view rate of a partial-hosting process
+  composing one leader with replicas of the other shards;
+* **idle cost** — coordination operations issued by repeated reads of an
+  unchanged fleet (the watch-parked guarantee: must be 0).
+
+Usage:
+    PYTHONPATH=src python scripts/measure_replica.py [--hosts N] [--txns N]
+        [--shards N] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.common.config import TropicConfig  # noqa: E402
+from repro.coordination.ensemble import CoordinationEnsemble  # noqa: E402
+from repro.coordination.kvstore import KVStore  # noqa: E402
+from repro.core.persistence import TropicStore  # noqa: E402
+from repro.core.platform import shard_store_prefix  # noqa: E402
+from repro.core.replica import ReadReplica  # noqa: E402
+from repro.tcloud.service import build_tcloud  # noqa: E402
+
+
+def _spawn_requests(cloud, count, tag):
+    inventory = cloud.inventory
+    num_hosts = len(inventory.vm_hosts)
+    return [
+        (
+            "spawnVM",
+            {
+                "vm_name": f"{tag}-{i}",
+                "image_template": "template-small",
+                "storage_host": inventory.storage_host_for(i % num_hosts),
+                "vm_host": inventory.vm_hosts[i % num_hosts],
+                "mem_mb": 256,
+            },
+        )
+        for i in range(count)
+    ]
+
+
+def _replica_for(cloud, shard=0):
+    prefix = shard_store_prefix(shard, cloud.platform.config.num_shards)
+    store = TropicStore(KVStore(cloud.platform.client, prefix))
+    return ReadReplica(
+        store, cloud.platform.schema, cloud.platform.procedures, shard_id=shard
+    )
+
+
+def run_single_shard(num_hosts: int, txns: int, rounds: int) -> dict:
+    """Bootstrap, staleness-under-load and read-throughput measurement on
+    one shard (checkpoints suppressed so the applied log carries the whole
+    workload and catch-up cost is visible, not amortised away)."""
+    config = TropicConfig(logical_only=True, checkpoint_every=1_000_000)
+    cloud = build_tcloud(
+        num_vm_hosts=num_hosts,
+        num_storage_hosts=max(num_hosts // 4, 1),
+        host_mem_mb=65536,
+        config=config,
+        logical_only=True,
+    )
+    with cloud.platform:
+        per_round = max(txns // rounds, 1)
+        # -- staleness under load: commit a round, then refresh ----------
+        lags, refresh_seconds = [], []
+        submitted = 0
+        live = _replica_for(cloud)
+        live.model()  # arm watches on the empty log
+        for r in range(rounds):
+            handles = cloud.platform.submit_many(
+                _spawn_requests(cloud, per_round, f"r{r}"), wait=False
+            )
+            submitted += len(handles)
+            cloud.platform.run_until_idle()
+            for handle in handles:
+                handle.wait(timeout=120.0)
+            lags.append(live.lag())
+            started = time.perf_counter()
+            live.refresh()
+            refresh_seconds.append(time.perf_counter() - started)
+        # applied_txn counts actual commits (the applied log holds nothing
+        # else), so aborted spawns cannot inflate the reported workload.
+        committed = live.applied_txn
+        # -- cold bootstrap over the full log ----------------------------
+        cold = _replica_for(cloud)
+        started = time.perf_counter()
+        cold.model()
+        bootstrap_s = time.perf_counter() - started
+        # -- read throughput + idle cost ---------------------------------
+        reads = 2000
+        ops_before = cloud.platform.ensemble.op_count
+        started = time.perf_counter()
+        for _ in range(reads):
+            live.model()
+        read_elapsed = time.perf_counter() - started
+        idle_ops = cloud.platform.ensemble.op_count - ops_before
+        return {
+            "hosts": num_hosts,
+            "submitted": submitted,
+            "committed": committed,
+            "rounds": rounds,
+            "staleness_txns_before_refresh": lags,
+            "mean_staleness_txns": round(sum(lags) / len(lags), 2),
+            "refresh_catchup_txn_s": round(
+                committed / max(sum(refresh_seconds), 1e-9), 2
+            ),
+            "cold_bootstrap_s": round(bootstrap_s, 4),
+            "cold_bootstrap_txn_s": round(committed / max(bootstrap_s, 1e-9), 2),
+            "replica_reads_per_s": round(reads / max(read_elapsed, 1e-9), 2),
+            "idle_read_coordination_ops": idle_ops,
+            "watermark_equals_leader_log": cold.applied_txn
+            == cloud.platform.store.applied_seq(),
+        }
+
+
+def run_fleet_view(num_hosts: int, txns: int, num_shards: int) -> dict:
+    """Fleet-view reads from a process hosting only shard 0: two platforms
+    share one ensemble (owner process hosts shards 1..N-1), the observer
+    serves model_view(consistency='replica') over leaders + replicas."""
+    ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=3600.0)
+    config = TropicConfig(
+        logical_only=True, checkpoint_every=1_000_000, num_shards=num_shards
+    )
+
+    def build(local_shards):
+        return build_tcloud(
+            num_vm_hosts=num_hosts,
+            num_storage_hosts=max(num_hosts // 4, 1),
+            host_mem_mb=65536,
+            config=config,
+            logical_only=True,
+            ensemble=ensemble,
+            local_shards=local_shards,
+        )
+
+    owner = build(list(range(1, num_shards)))
+    observer = build([0])
+    with owner.platform, observer.platform:
+        router = observer.platform.shard_router
+        requests = {True: [], False: []}  # keyed by "observer owns it"
+        for proc, args in _spawn_requests(observer, txns, "fv"):
+            shard = router.shard_of(args["vm_host"])
+            requests[shard == 0].append((proc, args))
+        committed = 0
+        for cloud, reqs in ((observer, requests[True]), (owner, requests[False])):
+            if not reqs:
+                continue
+            handles = cloud.platform.submit_many(reqs, wait=False)
+            cloud.platform.run_until_idle()
+            committed += sum(
+                handle.wait(timeout=120.0).state.value == "committed"
+                for handle in handles
+            )
+        # First view pays replica bootstraps; then measure steady state.
+        started = time.perf_counter()
+        first = observer.platform.fleet_view()
+        first_view_s = time.perf_counter() - started
+        views = 50
+        ops_before = ensemble.op_count
+        started = time.perf_counter()
+        for _ in range(views):
+            observer.platform.fleet_view()
+        elapsed = time.perf_counter() - started
+        return {
+            "shards": num_shards,
+            "hosts": num_hosts,
+            "submitted": txns,
+            "committed": committed,
+            "observer_hosts_shards": [0],
+            "first_fleet_view_s": round(first_view_s, 4),
+            "fleet_views_per_s": round(views / max(elapsed, 1e-9), 2),
+            "idle_view_coordination_ops": ensemble.op_count - ops_before,
+            "replica_watermarks": {
+                str(s): w.applied_txn
+                for s, w in first.watermarks.items()
+                if w.source == "replica"
+            },
+            "vms_in_view": first.model.count("vm"),
+            "method": (
+                "Two platforms share one coordination ensemble: the owner "
+                "process hosts shards 1..N-1, the observer hosts shard 0 "
+                "only and serves model_view(consistency='replica') by "
+                "composing its leader with watch-tailing replicas of the "
+                "others.  Fleet-view cost is dominated by the O(model) "
+                "merge clone; replica upkeep is zero on an idle fleet."
+            ),
+        }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int,
+                        default=int(os.environ.get("TROPIC_BENCH_REPLICA_HOSTS", 200)))
+    parser.add_argument("--txns", type=int,
+                        default=int(os.environ.get("TROPIC_BENCH_REPLICA_TXNS", 200)))
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--shards", type=int, default=4,
+                        help="fleet-view measurement: shard count (observer "
+                             "hosts shard 0 only)")
+    parser.add_argument("--json", type=str, default=None)
+    args = parser.parse_args()
+
+    result = {
+        "single_shard": run_single_shard(args.hosts, args.txns, args.rounds),
+        "fleet_view": run_fleet_view(args.hosts, args.txns, args.shards),
+    }
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 
 
 def _load(path: str):
@@ -44,9 +45,20 @@ def main() -> None:
                         help="BENCH_pr1.json for the single-controller reference")
     parser.add_argument("--pr2", default=None,
                         help="BENCH_pr2.json for the sharded single-shard reference")
+    parser.add_argument("--pr3", default=None,
+                        help="BENCH_pr3.json for the 2PC-era single-shard reference")
     parser.add_argument("--cross-shard", default=None,
                         help="cross-shard 2PC mix measure_writepath JSON (PR 3)")
+    parser.add_argument("--replica", default=None,
+                        help="measure_replica JSON (PR 4: staleness, catch-up, "
+                             "read throughput, partial-hosting fleet view)")
     parser.add_argument("--pr", type=int, default=1)
+    parser.add_argument("--min-ratio", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="fail (exit 1) unless ratios[NAME] >= VALUE; "
+                             "repeatable — this is how acceptance gates "
+                             "(e.g. single_shard_vs_pr3=0.9) are enforced "
+                             "rather than merely recorded")
     parser.add_argument("--out", required=True)
     args = parser.parse_args()
 
@@ -66,7 +78,13 @@ def main() -> None:
         ),
     }
 
-    if args.pr >= 3:
+    if args.pr >= 4:
+        subsystem = (
+            "per-shard read replicas + ReadProxy (fleet-wide reads from any "
+            "process, watch-driven committed-log tailing, watermark-stamped "
+            "consistency levels) + 2PC decision-record GC + prepare deadline"
+        )
+    elif args.pr == 3:
         subsystem = (
             "cross-shard two-phase commit (coordinator/participant shard "
             "leaders, prepare records, global decision log) + dispatch-loss "
@@ -126,16 +144,49 @@ def main() -> None:
                 ratios[f"sharded{run['shards']}_scaling_vs_single_shard"] = round(
                     run["aggregate_throughput_txn_s"] / single, 2
                 )
+    if args.pr3:
+        pr3 = _load(args.pr3)
+        pr3_tput = pr3["large_fleet"]["throughput_txn_s"]
+        result["pr3_reference"] = {
+            "throughput_txn_s": pr3_tput,
+            "writes_per_commit": pr3["large_fleet"]["writes_per_commit"],
+        }
+        # The PR 4 acceptance gate: the replica subsystem is read-only, so
+        # single-shard write throughput must stay within 0.9x of PR 3.
+        ratios["single_shard_vs_pr3"] = round(
+            large["throughput_txn_s"] / pr3_tput, 2
+        )
     if args.cross_shard:
         cross = _load(args.cross_shard)
         result["cross_shard_mix"] = cross
         ratios["cross_shard_mix_vs_single_shard"] = round(
             cross["throughput_txn_s"] / large["throughput_txn_s"], 2
         )
+    if args.replica:
+        result["replica"] = _load(args.replica)
 
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
     print(json.dumps(ratios, indent=2, sort_keys=True))
+
+    failures = []
+    for gate in args.min_ratio:
+        name, _, threshold = gate.partition("=")
+        try:
+            minimum = float(threshold)
+        except ValueError:
+            failures.append(f"gate {gate!r}: malformed, expected NAME=VALUE")
+            continue
+        if name not in ratios:
+            failures.append(f"gate {gate!r}: no such ratio (have {sorted(ratios)})")
+        elif ratios[name] < minimum:
+            failures.append(
+                f"gate {gate!r} FAILED: ratios[{name!r}] = {ratios[name]}"
+            )
+    if failures:
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

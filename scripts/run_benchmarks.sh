@@ -1,28 +1,34 @@
 #!/usr/bin/env bash
-# Run the PR 3 write-path + sharding + cross-shard benchmark suite and
-# write BENCH_pr3.json.
+# Run the PR 4 write-path + sharding + cross-shard + replica benchmark
+# suite and write BENCH_pr4.json.
 #
 # Covers:
 #   * bench_writepath.py        — micro-benchmarks (group commit, delta docs,
-#                                 interning, submit batching, idle queue watch)
+#                                 interning, submit batching, idle queue
+#                                 watch, read-only/idle-free replica)
 #   * bench_sec61_scalability   — throughput + store writes/commit vs fleet size
 #   * bench_sec62_safety_overhead — logical-layer constraint-checking cost
 #   * scripts/measure_writepath — LARGE-fleet end-to-end measurement at 1, 2
 #                                 and 4 controller shards (per-shard and
-#                                 aggregate txn/s), plus the PR 3 cross-shard
-#                                 mix (a fraction of spawns spans two shards
+#                                 aggregate txn/s), plus the cross-shard mix
+#                                 (a fraction of spawns spans two shards
 #                                 under cross_shard_policy='2pc')
+#   * scripts/measure_replica   — replica staleness, catch-up rate, read
+#                                 throughput and the partial-hosting fleet
+#                                 view (PR 4; see docs/operations.md)
 #
-# The results are merged with benchmarks/BASELINE_seed.json (seed commit),
-# BENCH_pr1.json and BENCH_pr2.json so the JSON carries the speedup and
-# scaling ratios.
+# The results are merged with benchmarks/BASELINE_seed.json (seed commit)
+# and BENCH_pr1/2/3.json so the JSON carries the speedup and scaling
+# ratios — including the PR 4 acceptance gate (single-shard write
+# throughput >= 0.9x of BENCH_pr3.json: the replica subsystem must not
+# touch the write path).
 #
-# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr3.json)
+# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr4.json)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_pr3.json}"
+OUT="${1:-BENCH_pr4.json}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -54,6 +60,12 @@ for SHARDS in ${TROPIC_BENCH_SHARD_COUNTS:-2 4}; do
     SHARDED_ARGS+=(--sharded "$WORK/sharded_${SHARDS}.json")
 done
 
+echo "== replica staleness / read-throughput measurement =="
+python scripts/measure_replica.py \
+    --hosts "${TROPIC_BENCH_REPLICA_HOSTS:-200}" \
+    --txns "${TROPIC_BENCH_REPLICA_TXNS:-200}" \
+    --json "$WORK/replica.json"
+
 echo "== cross-shard 2PC mix measurement =="
 python scripts/measure_writepath.py \
     --hosts "${TROPIC_BENCH_SCALE_LARGE:-800}" \
@@ -78,8 +90,11 @@ python scripts/merge_bench.py \
     --baseline benchmarks/BASELINE_seed.json \
     --pr1 BENCH_pr1.json \
     --pr2 BENCH_pr2.json \
+    --pr3 BENCH_pr3.json \
     --cross-shard "$WORK/cross_shard.json" \
-    --pr 3 \
+    --replica "$WORK/replica.json" \
+    --min-ratio single_shard_vs_pr3=0.9 \
+    --pr 4 \
     "${SHARDED_ARGS[@]}" \
     --out "$OUT"
 

@@ -48,6 +48,7 @@ def _build_cloud(args: argparse.Namespace, threaded: bool = False,
         # Demo workloads include cross-subtree orchestrations (migrate,
         # tenant provisioning); run them under 2PC instead of rejecting.
         cross_shard_policy=getattr(args, "cross_shard", "2pc"),
+        read_mode=getattr(args, "read_mode", "replica"),
     )
     return build_tcloud(
         num_vm_hosts=args.hosts,
@@ -224,6 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "pin to the lowest involved shard (deprecated; "
                              "pinned effects on foreign subtrees are visible "
                              "only through the pinned shard)")
+    parser.add_argument("--read-mode", choices=("replica", "leader"),
+                        default="replica",
+                        help="default consistency of fleet reads for shards "
+                             "this process does not host: serve them from "
+                             "per-shard read replicas tailing the owners' "
+                             "committed logs (replica, bounded-stale), or "
+                             "refuse partial hosting (leader)")
 
     sub = parser.add_subparsers(dest="command", required=True)
 

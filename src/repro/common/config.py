@@ -45,6 +45,20 @@ class TropicConfig:
         over.  Each shard runs its own leader election, inputQ/phyQ, lock
         domain and checkpoint namespace; ``1`` (default) reproduces the
         paper's single-controller deployment exactly.
+    read_mode:
+        Default consistency of :meth:`TropicPlatform.model_view` for
+        shards this process does not host: ``"replica"`` (default) serves
+        them from per-shard read replicas tailing the owners' committed
+        logs (bounded-stale, watermark-stamped), ``"leader"`` refuses with
+        :class:`~repro.common.errors.ShardUnavailable` (reads only from
+        in-process shard leaders).  See :mod:`repro.core.replica`.
+    prepare_timeout:
+        Deadline in seconds for the prepare phase of a cross-shard
+        two-phase commit.  A coordinator still ``PREPARING`` past the
+        deadline (e.g. a participant shard is down and not failing over)
+        presumed-aborts the transaction and releases the fleet prepare
+        ticket.  ``0`` (default) disables the deadline: a stuck prepare is
+        then resolved only by the participant shard's failover.
     cross_shard_policy:
         What to do with a transaction whose paths span several shards:
         ``"reject"`` (refuse at submit time, preserving full isolation),
@@ -85,6 +99,8 @@ class TropicConfig:
     scheduler_policy: str = "fifo"
     num_shards: int = 1
     cross_shard_policy: str = "reject"
+    read_mode: str = "replica"
+    prepare_timeout: float = 0.0
     checkpoint_every: int = 64
     input_batch_size: int = 64
     worker_batch_size: int = 16
@@ -107,6 +123,10 @@ class TropicConfig:
             raise ValueError("num_shards must be >= 1")
         if self.cross_shard_policy not in ("reject", "pin", "2pc"):
             raise ValueError(f"unknown cross_shard_policy {self.cross_shard_policy!r}")
+        if self.read_mode not in ("replica", "leader"):
+            raise ValueError(f"unknown read_mode {self.read_mode!r}")
+        if self.prepare_timeout < 0:
+            raise ValueError("prepare_timeout must be >= 0 (0 disables)")
         if self.session_timeout <= self.heartbeat_interval:
             raise ValueError("session_timeout must exceed heartbeat_interval")
         if self.checkpoint_every < 1:

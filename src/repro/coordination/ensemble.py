@@ -13,6 +13,10 @@ the ensemble does not see a heartbeat within the session timeout the session
 expires, its ephemeral znodes are removed and watches fire.  This is the
 failure-detection mechanism that drives controller failover; the paper notes
 (§6.4) that recovery time is dominated by exactly this detection interval.
+
+The role of the coordination service in the platform — and every namespace
+the system persists into it — is documented in
+``docs/architecture.md#coordination-namespaces``.
 """
 
 from __future__ import annotations

@@ -14,6 +14,12 @@ Two write-path optimisations live here:
   group commit — the controller wraps each main-loop iteration in a batch,
   so all state transitions persisted during that iteration cost one
   coordination write round-trip.
+
+Watches (:meth:`KVStore.watch` / :meth:`KVStore.watch_children`) are the
+read-side counterpart: signal observers, idle queue consumers and the
+read replicas all park on one-shot watches instead of polling.  See
+``docs/architecture.md#the-write-path`` and
+``docs/architecture.md#the-read-path-replicas-and-the-readproxy``.
 """
 
 from __future__ import annotations
@@ -158,6 +164,32 @@ class KVStore:
     def unwatch(self, key: str, watcher: Any) -> bool:
         """Deregister an unfired watch placed by :meth:`watch`."""
         return self.client.remove_data_watch(self._full(key), watcher)
+
+    def watch_children(self, key: str, watcher: Any) -> list[str] | None:
+        """Register a one-shot child watch on ``key`` and return its current
+        child keys; the watcher fires on the next create/delete under it.
+
+        When ``key`` itself does not exist yet (e.g. a shard's applied-log
+        prefix before the first commit), a data watch on the key is
+        registered instead — it fires when the key is created — and ``None``
+        is returned.  This is the tailing idiom the read replicas use to
+        observe a shard's committed-transaction log without polling.
+
+        Lost-wakeup safety: if the key is created *between* the failed
+        listing and the ``exists`` probe, the probe sees it and the loop
+        retries the listing — otherwise the registered data watch would
+        never fire for child creations and the watcher would sleep through
+        every subsequent write.
+        """
+        path = self._full(key)
+        while True:
+            try:
+                return self.client.get_children(path, watcher)
+            except NoNodeError:
+                if self.client.exists(path, watcher) is None:
+                    return None
+                # Created concurrently; loop to register a real child watch
+                # (the extra data watch just fires one spurious event).
 
     def exists(self, key: str) -> bool:
         if self._batch is not None:

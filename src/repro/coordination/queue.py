@@ -5,7 +5,11 @@ queues hosted in the coordination service (Figure 1).  The queue is the
 standard sequential-znode recipe: ``put`` creates a sequential child under
 the queue path; consumers take the lowest-sequence child and delete it.
 Deletion is atomic, so two workers polling the same queue never both obtain
-the same item.
+the same item.  Idle consumers park on a child watch (zero coordination
+operations until a producer wakes them); the take/ack split carries the
+at-least-once redelivery contract leader failover depends on.  Queue
+topology per shard is documented in
+``docs/architecture.md#coordination-namespaces``.
 """
 
 from __future__ import annotations

@@ -10,6 +10,11 @@ The controller keeps only soft state in memory; everything needed to resume
 after a leader failure is persisted in the coordination store *before* the
 triggering inputQ item is acknowledged, which makes message handling
 idempotent across failovers (§2.3).
+
+The write path (group commit → dispatch epoch → worker claims) and the
+cross-shard protocol driven from here are documented in
+``docs/architecture.md#the-write-path`` and
+``docs/architecture.md#cross-shard-transactions-two-phase-commit``.
 """
 
 from __future__ import annotations
@@ -172,6 +177,8 @@ class Controller:
             "cross_shard_committed": 0,
             "cross_shard_aborted": 0,
             "cross_shard_collapsed": 0,
+            "prepare_timeouts": 0,
+            "twopc_decisions_gced": 0,
         }
 
     # ------------------------------------------------------------------
@@ -385,6 +392,8 @@ class Controller:
                         self.stats["input_batches"] += 1
                         self.stats["messages_handled"] += len(taken)
                     if self._resolve_prepared():
+                        did_work = True
+                    if self._expire_preparing():
                         did_work = True
                     if self.schedule():
                         did_work = True
@@ -1089,6 +1098,39 @@ class Controller:
                 progressed = True
         return progressed
 
+    def _expire_preparing(self) -> bool:
+        """Prepare-phase deadline: a coordinator stuck in PREPARING past
+        ``config.prepare_timeout`` presumed-aborts and releases the fleet
+        prepare ticket.  This covers the one stall the TERM watchdog and
+        shard failover do not: a participant shard that is down *and* not
+        failing over (no replica to elect) can neither vote nor resolve,
+        and without a deadline the coordinator would hold the ticket —
+        blocking every cross-shard prepare fleet-wide — forever.  Safe at
+        any time before a decision is logged (presumed abort is exactly
+        the protocol's answer to an undecided prepare); a late yes-vote or
+        prepare record is resolved by the abort decision record."""
+        timeout = self.config.prepare_timeout
+        if self.twopc is None or timeout <= 0:
+            return False
+        now = self.clock.now()
+        expired = [
+            txn
+            for txn in self.outstanding.values()
+            if txn.state is TransactionState.PREPARING
+            and txn.coordinator == self.shard_id
+            and now - txn.timestamps.get(TransactionState.PREPARING.value, now)
+            > timeout
+        ]
+        for txn in expired:
+            self._abort_cross_shard(
+                txn,
+                f"presumed abort: prepare phase exceeded "
+                f"prepare_timeout={timeout}s (participants "
+                f"{txn.participants}, votes from {sorted(txn.votes)})",
+            )
+            self.stats["prepare_timeouts"] += 1
+        return bool(expired)
+
     def _commit_participant(self, txn: Transaction) -> None:
         """Apply the commit decision to a prepared participant: the slice
         effects are already in the model; record them in the applied log
@@ -1229,6 +1271,18 @@ class Controller:
             # Quiesce point: no transaction is in flight, so every worker
             # claim record is dead weight — reclaim them all at once.
             self.store.clear_claims()
+            if self.twopc is not None:
+                # Publish this shard's checkpoint horizon (it provably holds
+                # no unresolved cross-shard state right now) and mark/sweep
+                # the decision records this shard coordinated.  Piggybacked
+                # here, like the claim GC, so the per-commit write path
+                # carries no retention bookkeeping.
+                epoch = int(self.store.get_meta("checkpoint_epoch", 0)) + 1
+                self.store.put_meta("checkpoint_epoch", epoch)
+                self.twopc.publish_horizon(self.shard_id, epoch)
+                self.stats["twopc_decisions_gced"] += self.twopc.gc_decisions(
+                    self.shard_id
+                )
             self.applied_since_checkpoint = 0
             self.stats["checkpoints"] += 1
             return True

@@ -27,6 +27,11 @@ cost) is addressed on three fronts:
   model, a checkpoint persists a ``checkpoint/meta`` document plus one
   ``checkpoint/sub/<name>`` document per *top-level subtree*, and only the
   subtrees dirtied since the previous checkpoint are rewritten.
+
+The checkpoint + applied-log layout is the replayable record both leader
+failover (:mod:`repro.core.recovery`) and the read replicas
+(:mod:`repro.core.replica`) rebuild models from; see
+``docs/architecture.md#persistence-layout``.
 """
 
 from __future__ import annotations
@@ -488,6 +493,35 @@ class TropicStore:
     def applied_seq(self) -> int:
         return int(self.kv.get("applied_seq", 0))
 
+    def applied_entries(self, after_seq: int = 0) -> list[tuple[int, str]]:
+        """``(seq, txid)`` pairs of the applied log after ``after_seq``, in
+        commit order.  Shared by failover recovery and by read replicas
+        tailing this shard's committed-transaction stream: sequence numbers
+        are dense (one per commit), so a reader holding watermark ``W``
+        that observes a first entry ``> W + 1`` knows a checkpoint
+        truncated past it and must re-bootstrap from the checkpoint.
+
+        Entry keys embed the sequence number (``e-<seq:010d>``), so a
+        tailing reader pays one listing plus one document read *per new
+        entry* — not per retained entry — keeping frequent replica
+        refreshes proportional to the tail they catch up on."""
+        entries: list[tuple[int, str]] = []
+        for key in self.kv.keys(self.APPLIED_PREFIX):
+            try:
+                key_seq = int(key.rsplit("-", 1)[-1])
+            except ValueError:
+                key_seq = None  # unrecognised key shape: read it to decide
+            if key_seq is not None and key_seq <= after_seq:
+                continue
+            value = self.kv.get(f"{self.APPLIED_PREFIX}/{key}")
+            if value is None:
+                continue
+            seq = int(value["seq"])
+            if seq > after_seq:
+                entries.append((seq, value["txid"]))
+        entries.sort()
+        return entries
+
     def record_applied(self, txid: str) -> int:
         """Append ``txid`` to the applied log; returns its sequence number."""
         seq = self.applied_seq() + 1
@@ -497,13 +531,7 @@ class TropicStore:
 
     def applied_since(self, seq: int) -> list[str]:
         """Transaction ids applied after sequence number ``seq``, in order."""
-        entries: list[tuple[int, str]] = []
-        for _, value in self.kv.items(self.APPLIED_PREFIX):
-            if value is None:
-                continue
-            if int(value["seq"]) > seq:
-                entries.append((int(value["seq"]), value["txid"]))
-        return [txid for _, txid in sorted(entries)]
+        return [txid for _, txid in self.applied_entries(seq)]
 
     def applied_txids(self) -> set[str]:
         return {

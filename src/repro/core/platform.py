@@ -24,6 +24,15 @@ submissions are routed client-side to the owning shard's inputQ.  Shards
 share nothing, so a process may host only a subset of them
 (``local_shards``) — the scale-out deployment runs one shard (plus its
 replicas) per process or machine.
+
+``local_shards`` gates *writes* only: :meth:`TropicPlatform.model_view`
+serves fleet-wide reads from any process by composing the locally hosted
+shard leaders with per-shard read replicas of the others
+(:class:`ReadProxy` over :mod:`repro.core.replica`), selectable per call
+via ``consistency="replica" | "leader" | "partial"``.
+
+Documented in ``docs/architecture.md`` (write path, sharding, 2PC, read
+path) and ``docs/operations.md`` (deployment shapes, failover drills).
 """
 
 from __future__ import annotations
@@ -52,6 +61,7 @@ from repro.core.events import request_message
 from repro.core.persistence import TropicStore
 from repro.core.procedures import ProcedureRegistry
 from repro.core.reconcile import Reconciler, ReloadReport, RepairReport
+from repro.core.replica import ReadReplica
 from repro.core.sharding import ShardMap, ShardRouter, is_global_path, unit_key
 from repro.core.signals import SignalBoard
 from repro.core.twopc import TWOPC_PREFIX, TwoPCLog
@@ -74,6 +84,19 @@ STORE_PREFIX = "/tropic/store"
 SHARD_MAP_PREFIX = "/tropic/shards"
 
 
+def shard_store_prefix(shard: int, num_shards: int) -> str:
+    """Coordination-store prefix of ``shard``'s persistence namespace.
+
+    The single source of truth for the layout rule (single-shard
+    deployments keep the legacy unprefixed path byte-for-byte); external
+    readers — replica constructors in benchmarks and scripts — must use
+    this instead of re-deriving the rule.
+    """
+    if num_shards == 1:
+        return STORE_PREFIX
+    return f"{STORE_PREFIX}/shard-{shard}"
+
+
 @dataclass
 class ShardRuntime:
     """Everything one controller shard owns: namespaced persistent store,
@@ -86,6 +109,86 @@ class ShardRuntime:
     election_path: str
     controllers: list[Controller] = field(default_factory=list)
     workers: list[Worker] = field(default_factory=list)
+
+
+#: Consistency levels of :meth:`TropicPlatform.model_view`.  ``"replica"``
+#: serves non-hosted shards from read replicas (bounded-stale,
+#: watermark-stamped); ``"leader"`` reads only in-process shard leaders and
+#: refuses partial hosting; ``"partial"`` knowingly merges only the local
+#: shards (foreign subtrees bootstrap-frozen) — the old ``strict=False``.
+CONSISTENCY_REPLICA = "replica"
+CONSISTENCY_LEADER = "leader"
+CONSISTENCY_PARTIAL = "partial"
+_CONSISTENCY_LEVELS = (CONSISTENCY_REPLICA, CONSISTENCY_LEADER, CONSISTENCY_PARTIAL)
+
+
+@dataclass(frozen=True)
+class ShardWatermark:
+    """Provenance of one shard's subtrees in a fleet view.
+
+    ``source`` is ``"leader"`` for an in-process authoritative shard
+    (``applied_txn`` is ``None``: the view is the live model, not a
+    log position) or ``"replica"`` for a tailed copy, whose
+    ``applied_txn`` is the monotonic applied-log sequence number the
+    copy reflects (see :class:`~repro.core.replica.ReadReplica`).
+    """
+
+    shard: int
+    source: str
+    applied_txn: int | None = None
+
+
+@dataclass
+class FleetView:
+    """A merged read view of the whole data-model tree plus, per shard,
+    where that shard's subtrees came from and how fresh they are."""
+
+    model: DataModel
+    watermarks: dict[int, ShardWatermark]
+    consistency: str
+
+    def replica_shards(self) -> list[int]:
+        return sorted(
+            s for s, w in self.watermarks.items() if w.source == CONSISTENCY_REPLICA
+        )
+
+
+class ReadProxy:
+    """Composes local authoritative shards with read replicas of the
+    shards this process does not host, so fleet-wide reads work from any
+    process (the leaders keep exclusive ownership of the write path).
+
+    Replicas are created lazily — a process that never asks for a fleet
+    view pays nothing — and each replica's catch-up is watch-driven, so a
+    quiescent fleet costs zero coordination operations per read.
+    """
+
+    def __init__(self, platform: "TropicPlatform"):
+        self._platform = platform
+        self._replicas: dict[int, ReadReplica] = {}
+        self._lock = threading.Lock()
+
+    def replica(self, shard: int) -> ReadReplica:
+        """The (lazily created) read replica tailing ``shard``'s store."""
+        with self._lock:
+            replica = self._replicas.get(shard)
+            if replica is None:
+                platform = self._platform
+                sharded = platform.config.num_shards > 1
+                store = TropicStore(
+                    KVStore(platform.client, platform._store_prefix(shard)),
+                    shard_id=shard if sharded else None,
+                    num_shards=platform.config.num_shards if sharded else None,
+                )
+                replica = ReadReplica(
+                    store, platform.schema, platform.procedures, shard_id=shard
+                )
+                self._replicas[shard] = replica
+            return replica
+
+    def replicas(self) -> dict[int, ReadReplica]:
+        with self._lock:
+            return dict(self._replicas)
 
 
 class TransactionHandle:
@@ -268,6 +371,7 @@ class TropicPlatform:
         self.client: CoordinationClient | None = None
         self.shard_router: ShardRouter | None = None
         self.twopc: TwoPCLog | None = None
+        self.read_proxy: ReadProxy | None = None
         self.shards: dict[int, ShardRuntime] = {}
         #: inputQ of every shard (local or not): submit routing and the
         #: cross-shard 2PC protocol both need to reach foreign shards.
@@ -298,9 +402,7 @@ class TropicPlatform:
     # ------------------------------------------------------------------
 
     def _store_prefix(self, shard: int) -> str:
-        if self.config.num_shards == 1:
-            return STORE_PREFIX
-        return f"{STORE_PREFIX}/shard-{shard}"
+        return shard_store_prefix(shard, self.config.num_shards)
 
     def _input_queue_path(self, shard: int) -> str:
         if self.config.num_shards == 1:
@@ -366,6 +468,7 @@ class TropicPlatform:
                 for shard in range(config.num_shards)
             }
             self.twopc = TwoPCLog(KVStore(self.client, TWOPC_PREFIX))
+        self.read_proxy = ReadProxy(self)
         num_controllers = config.num_controllers if self.threaded else 1
         for shard in self._local_shards:
             store = TropicStore(
@@ -886,20 +989,47 @@ class TropicPlatform:
     def controller_busy_seconds(self) -> float:
         return sum(controller.busy_seconds() for controller in self.controllers)
 
-    def model_view(self, strict: bool | None = None) -> DataModel:
-        """A read view of the logical data model.
+    def _resolve_consistency(
+        self, strict: bool | None, consistency: str | None
+    ) -> str:
+        """Map the (legacy) ``strict`` flag and the explicit ``consistency``
+        argument onto one of the consistency levels; ``config.read_mode``
+        supplies the default."""
+        if consistency is not None:
+            if consistency not in _CONSISTENCY_LEVELS:
+                raise ConfigurationError(
+                    f"unknown consistency {consistency!r}; "
+                    f"choose from {_CONSISTENCY_LEVELS}"
+                )
+            return consistency
+        if strict is True:
+            return CONSISTENCY_LEADER
+        if strict is False:
+            return CONSISTENCY_PARTIAL
+        return self.config.read_mode
+
+    def model_view(
+        self, strict: bool | None = None, consistency: str | None = None
+    ) -> DataModel:
+        """A read view of the logical data model (see :meth:`fleet_view`).
 
         Single shard: the leader's live model (zero copies).  Sharded: a
-        merged snapshot assembling every locally hosted shard's *owned*
-        second-level subtrees into one tree.
+        merged snapshot assembling every shard's *owned* second-level
+        subtrees into one tree, where each shard's subtrees come from the
+        in-process leader when the shard is locally hosted and — under the
+        default ``consistency="replica"`` — from a read replica tailing
+        the owner's committed log otherwise, so fleet reads work from any
+        process (``local_shards`` no longer gates reads).
 
-        ``strict`` (the default) raises :class:`ShardUnavailable` when this
-        process does not host every shard: silently merging only the local
-        shards would report every foreign unit at its bootstrap-frozen
-        contents — a stale *partial* fleet view that multi-process gateway
-        reads used to serve without warning.  Pass ``strict=False`` to
-        accept the partial view knowingly (a read proxy over per-shard
-        leaders is the planned multi-process answer; see ROADMAP).
+        ``consistency="leader"`` (or the legacy ``strict=True``) keeps the
+        strict behaviour: :class:`ShardUnavailable` is raised when this
+        process does not host every shard.  ``strict=False`` (or
+        ``consistency="partial"``) knowingly accepts the old partial merge
+        with bootstrap-frozen foreign subtrees.
+
+        Use :meth:`fleet_view` for the same view plus per-shard watermarks
+        (which shards came from replicas, and at which applied-log
+        position).
 
         Units written by pinned cross-shard transactions (deprecated
         ``cross_shard_policy='pin'``) are taken from the *pinned* shard's
@@ -910,48 +1040,98 @@ class TropicPlatform:
         should fetch one view per operation (as TCloud does) or cache at
         their own layer rather than calling this in inner loops.
         """
+        return self.fleet_view(strict=strict, consistency=consistency).model
+
+    def fleet_view(
+        self, strict: bool | None = None, consistency: str | None = None
+    ) -> FleetView:
+        """The merged fleet read view plus per-shard provenance.
+
+        Returns a :class:`FleetView` whose ``watermarks`` name, for every
+        shard, whether its subtrees came from the in-process leader
+        (authoritative, live) or from a :class:`~repro.core.replica.
+        ReadReplica` (bounded-stale), and — for replicas — the monotonic
+        ``applied_txn`` watermark the copy reflects.
+        """
         self._require_started()
+        mode = self._resolve_consistency(strict, consistency)
         if self.config.num_shards == 1:
-            return self.leader().model
+            return FleetView(
+                model=self.leader().model,
+                watermarks={0: ShardWatermark(0, CONSISTENCY_LEADER)},
+                consistency=mode,
+            )
         missing = [
             shard
             for shard in range(self.config.num_shards)
             if shard not in self.shards
         ]
-        if missing and strict is not False:
+        if missing and mode == CONSISTENCY_LEADER:
             raise ShardUnavailable(
-                f"model_view needs shards {missing} which this process does "
-                f"not host (local shards: {self._local_shards}); read from a "
-                f"process hosting all shards, or pass strict=False to accept "
-                f"a partial view with bootstrap-frozen foreign subtrees",
+                f"model_view(consistency='leader') needs shards {missing} "
+                f"which this process does not host (local shards: "
+                f"{self._local_shards}); read from a process hosting all "
+                f"shards, or use consistency='replica' to serve them from "
+                f"read replicas of the owners' committed logs",
                 shards=missing,
             )
+        sources: dict[int, DataModel] = {}
+        watermarks: dict[int, ShardWatermark] = {}
+        for shard in self._local_shards:
+            sources[shard] = self.leader(shard).model
+            watermarks[shard] = ShardWatermark(shard, CONSISTENCY_LEADER)
+        # Non-hosted shards are disclosed in the watermarks in *every*
+        # mode: a partial view's bootstrap-frozen shards must be visible
+        # to staleness audits, not silently absent.
+        for shard in missing:
+            watermarks[shard] = ShardWatermark(shard, CONSISTENCY_PARTIAL)
+        if mode == CONSISTENCY_REPLICA:
+            for shard in missing:
+                replica = self.read_proxy.replica(shard)
+                replica.refresh()
+                if not replica.has_checkpoint:
+                    # The shard's store was never bootstrapped by any owner
+                    # process: the replica's empty model is a placeholder,
+                    # not "this shard owns nothing".  Keep this process's
+                    # bootstrap-frozen copy of the shard's units (partial
+                    # semantics, disclosed in the watermark) rather than
+                    # deleting them from the view.
+                    watermarks[shard] = ShardWatermark(shard, CONSISTENCY_PARTIAL)
+                    continue
+                # A locked clone, not the live model: another thread's
+                # concurrent refresh mutates the replica model in place,
+                # and merging from it could capture a half-applied
+                # transaction (or break mid-clone).  The clone also keeps
+                # the watermark consistent with the tree it stamps.
+                sources[shard], applied_txn = replica.snapshot()
+                watermarks[shard] = ShardWatermark(
+                    shard, CONSISTENCY_REPLICA, applied_txn
+                )
         first_shard = self._local_shards[0]
-        view = self.leader(first_shard).model.clone()
-        owners = {shard: self.leader(shard).model for shard in self._local_shards}
+        view = sources[first_shard].clone()
         with self._completion_lock:
             pinned_units = dict(self._pinned_foreign_units)
-        # Refresh (or drop) units in the base copy that another local shard owns.
+        # Refresh (or drop) units in the base copy that another shard owns.
         for top_name in list(view.root.children):
             for child_name in list(view.root.children[top_name].children):
                 path = f"/{top_name}/{child_name}"
                 owner = self.shard_router.shard_of(path)
                 pinned = pinned_units.get(path)
-                if pinned is not None and pinned in owners:
+                if pinned is not None and pinned in sources:
                     # Pin visibility hazard: the executing shard, not the
                     # owner, has the authoritative copy of this unit.
                     owner = pinned
                 if owner == first_shard:
                     continue
-                owner_model = owners.get(owner)
+                owner_model = sources.get(owner)
                 if owner_model is None:
-                    continue
+                    continue  # partial mode: foreign copy stays bootstrap-frozen
                 if owner_model.exists(path):
                     view.replace_subtree(path, owner_model.get(path).clone())
                 else:
                     view.delete(path, recursive=True)
         # Add units the owner created after bootstrap (absent from the base).
-        for shard, model in owners.items():
+        for shard, model in sources.items():
             if shard == first_shard:
                 continue
             for top_name, top in model.root.children.items():
@@ -961,7 +1141,7 @@ class TropicPlatform:
                     path = f"/{top_name}/{child_name}"
                     if self.shard_router.shard_of(path) == shard and not view.exists(path):
                         view.replace_subtree(path, model.get(path).clone())
-        return view
+        return FleetView(model=view, watermarks=watermarks, consistency=mode)
 
     def resource_count(self) -> int:
         return self.model_view().count()

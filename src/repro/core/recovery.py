@@ -22,6 +22,11 @@ coordinators whose decision record exists have their commit finished.
 Every step is idempotent: the procedure only reads persistent state and the
 resulting in-memory state is the same no matter how many times it runs, so
 a leader can fail at any point without losing submitted transactions.
+
+The same checkpoint/log readers back the per-shard read replicas
+(:mod:`repro.core.replica`); failover semantics are documented in
+``docs/architecture.md#failover-and-recovery`` and the operational
+expectations in ``docs/operations.md#failover-expectations``.
 """
 
 from __future__ import annotations
@@ -60,6 +65,36 @@ def _check_shard_stamp(store: TropicStore) -> None:
             f"{store.shard_id} of {store.num_shards}; refusing to recover "
             f"across a shard-layout change"
         )
+
+
+def replay_committed(
+    store: TropicStore, executor: LogicalExecutor, from_seq: int
+) -> tuple[set[str], list[str], int]:
+    """Apply the execution logs of transactions committed after ``from_seq``
+    (per the applied log), in commit order.
+
+    This is the one replayable reader of the committed-transaction stream:
+    leader failover (below) and per-shard read replicas
+    (:class:`repro.core.replica.ReadReplica`) both rebuild a model as
+    *checkpoint + this replay*, so their views can never diverge by
+    construction.  Returns ``(seen_txids, replayed_txids, last_seq)``:
+    ``seen_txids`` is every txid the applied log names (even if its
+    document is unreadable), ``replayed_txids`` those whose logs were
+    applied, and ``last_seq`` the highest sequence number observed
+    (``from_seq`` when the log holds nothing newer).
+    """
+    seen: set[str] = set()
+    replayed: list[str] = []
+    last_seq = from_seq
+    for seq, txid in store.applied_entries(from_seq):
+        seen.add(txid)
+        last_seq = seq
+        txn = store.load_transaction(txid)
+        if txn is None:
+            continue
+        executor.apply_log(txn.log)
+        replayed.append(txid)
+    return seen, replayed, last_seq
 
 
 @dataclass
@@ -103,16 +138,9 @@ def recover_state(
     model = checkpoint_model if checkpoint_model is not None else DataModel()
     executor = LogicalExecutor(model, schema, procedures)
 
-    # Step 2: replay committed transactions since the checkpoint, in order.
-    replayed: list[str] = []
-    applied_txids = set()
-    for txid in store.applied_since(checkpoint_seq):
-        applied_txids.add(txid)
-        txn = store.load_transaction(txid)
-        if txn is None:
-            continue
-        executor.apply_log(txn.log)
-        replayed.append(txid)
+    # Step 2: replay committed transactions since the checkpoint, in order
+    # (the same reader the read replicas tail; see replay_committed).
+    applied_txids, replayed, _ = replay_committed(store, executor, checkpoint_seq)
 
     # Steps 3-4: rebuild in-flight state.
     lock_manager = LockManager()

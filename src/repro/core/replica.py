@@ -1,0 +1,250 @@
+"""Per-shard read replicas: fleet-wide reads without hosting every shard.
+
+See ``docs/architecture.md#the-read-path-replicas-and-the-readproxy`` for
+the design and the staleness/consistency matrix.
+
+Sharding (PR 2) made each controller shard authoritative for its own
+subtrees, and the read-path hardening of PR 3 made
+``TropicPlatform.model_view`` *refuse* (:class:`~repro.common.errors.
+ShardUnavailable`) in any process that does not host every shard — a
+partial merge would silently report foreign subtrees at their
+bootstrap-frozen contents.  This module is the constructive answer: a
+:class:`ReadReplica` tails one shard's store namespace and maintains a
+local copy of that shard's committed model, so any process can serve fleet
+reads while the shard leaders keep exclusive ownership of the write path.
+
+The replica rebuilds the model exactly the way leader failover does —
+*checkpoint + committed-log replay* — by reusing the same readers
+(:meth:`~repro.core.persistence.TropicStore.load_checkpoint` and
+:func:`~repro.core.recovery.replay_committed`), so a replica view and a
+recovered leader can never disagree by construction.  Catch-up is
+watch-driven, not polled:
+
+* a **child watch** on the shard's applied-log prefix fires when the
+  leader's group commit appends new committed transactions, and
+* a **data watch** on ``checkpoint/meta`` fires when a quiesce-point
+  checkpoint rewrites (and truncates) the log.
+
+While neither watch has fired, :meth:`ReadReplica.refresh` returns without
+issuing a single coordination operation — an idle replica is free, exactly
+like the idle watch-parked queue consumers.
+
+Consistency contract: the replica applies **only committed transactions**,
+in commit order, and exposes a monotonic ``applied_txn`` watermark (the
+applied-log sequence number its model reflects).  It never sees simulated
+in-flight effects (those live only in the leader's memory), never goes
+backwards (checkpoints always cover at least every applied entry they
+truncate), and is *bounded-stale*: the leader's group commit makes the
+applied entry durable before the client is acknowledged, so a replica
+that refreshes after an acknowledged commit observes it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.core.persistence import TropicStore
+from repro.core.procedures import ProcedureRegistry
+from repro.core.recovery import replay_committed
+from repro.core.simulation import LogicalExecutor
+from repro.datamodel.schema import ModelSchema
+from repro.datamodel.tree import DataModel
+
+
+class ReadReplica:
+    """A read-only tail of one shard's committed transaction stream.
+
+    The replica holds a private :class:`~repro.datamodel.tree.DataModel`
+    rebuilt from the shard's persistent store; it never writes to the
+    store and never shares node objects with a controller.  Callers must
+    treat the returned model as read-only (clone before mutating).
+    """
+
+    def __init__(
+        self,
+        store: TropicStore,
+        schema: ModelSchema,
+        procedures: ProcedureRegistry,
+        shard_id: int = 0,
+    ):
+        self.store = store
+        self.schema = schema
+        self.procedures = procedures
+        self.shard_id = shard_id
+        self._model: DataModel | None = None
+        self._executor: LogicalExecutor | None = None
+        self._applied_txn = 0
+        self._has_checkpoint = False
+        #: Set by the coordination watches; a refresh with the flag clear
+        #: (and watches armed) is a guaranteed no-op and issues zero
+        #: coordination operations.
+        self._pending = threading.Event()
+        #: Per-target armed flags: one-shot watches are re-registered only
+        #: after they fire, so a long-tailing replica holds at most one
+        #: live registration per target instead of accumulating one per
+        #: refresh (ensemble watch lists are append-only until they fire).
+        self._applied_watch_armed = False
+        self._meta_watch_armed = False
+        self._lock = threading.RLock()
+        self.stats: dict[str, int] = {
+            "bootstraps": 0,
+            "catchup_batches": 0,
+            "txns_applied": 0,
+            "refreshes_skipped": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Watch plumbing
+    # ------------------------------------------------------------------
+
+    def _on_applied_event(self, _event: Any) -> None:
+        self._applied_watch_armed = False
+        self._pending.set()
+
+    def _on_meta_event(self, _event: Any) -> None:
+        self._meta_watch_armed = False
+        self._pending.set()
+
+    def _arm_watches(self) -> None:
+        """Register one-shot watches on the applied-log prefix (new commits)
+        and the checkpoint meta document (checkpoint/truncation).  Called at
+        the start of every real refresh, *before* the state is read, so a
+        write landing between the read and the next refresh is never lost —
+        it fires the fresh watch and marks the replica pending.  A watch
+        that has not fired is still live and is not re-registered."""
+        kv = self.store.kv
+        if not self._applied_watch_armed:
+            self._applied_watch_armed = True
+            kv.watch_children(TropicStore.APPLIED_PREFIX, self._on_applied_event)
+        if not self._meta_watch_armed:
+            self._meta_watch_armed = True
+            kv.watch(TropicStore.CHECKPOINT_META, self._on_meta_event)
+
+    # ------------------------------------------------------------------
+    # Catch-up
+    # ------------------------------------------------------------------
+
+    @property
+    def applied_txn(self) -> int:
+        """Monotonic watermark: the applied-log sequence number (number of
+        committed transactions since the epoch of this shard) the current
+        model reflects."""
+        return self._applied_txn
+
+    @property
+    def has_checkpoint(self) -> bool:
+        """Whether the tailed namespace has ever been bootstrapped by an
+        owner process.  ``False`` means the replica's model is an empty
+        placeholder, *not* an authoritative "this shard owns nothing" —
+        consumers (the ReadProxy merge) must fall back to their own
+        bootstrap-frozen copy instead of trusting it."""
+        return self._has_checkpoint
+
+    def lag(self) -> int:
+        """Commits the leader has applied that this replica has not yet
+        (one coordination read; used by the staleness benchmark)."""
+        return max(self.store.applied_seq() - self._applied_txn, 0)
+
+    def refresh(self, force: bool = False) -> bool:
+        """Catch up with the shard's committed-transaction stream.
+
+        Returns ``True`` if the model advanced (or was [re]bootstrapped).
+        When the watches are armed and have not fired, this is a free
+        no-op — zero coordination operations — unless ``force`` is set.
+        """
+        with self._lock:
+            if self._model is not None and not force and not self._pending.is_set():
+                self.stats["refreshes_skipped"] += 1
+                return False
+            self._pending.clear()
+            self._arm_watches()
+            if self._model is None or not self._has_checkpoint:
+                # No checkpoint seen yet: the namespace may have just been
+                # bootstrapped by its owner (the checkpoint/meta watch is
+                # what woke us), so rebuild rather than tail a log that
+                # cannot exist before the first checkpoint does.
+                self._bootstrap_locked()
+                return True
+            return self._catch_up_locked()
+
+    def _bootstrap_locked(self) -> None:
+        """(Re)build the model the way a recovering leader does: latest
+        checkpoint (meta + per-unit documents) plus committed-log replay."""
+        model, checkpoint_seq = self.store.load_checkpoint()
+        self._has_checkpoint = model is not None
+        model = model if model is not None else DataModel()
+        executor = LogicalExecutor(model, self.schema, self.procedures)
+        _, replayed, last_seq = replay_committed(self.store, executor, checkpoint_seq)
+        self._model = model
+        self._executor = executor
+        # A checkpoint always covers at least every entry it truncated, so
+        # a re-bootstrap can only move the watermark forward; max() guards
+        # the monotonicity contract even against a torn meta read.
+        self._applied_txn = max(self._applied_txn, last_seq)
+        self.stats["bootstraps"] += 1
+        self.stats["txns_applied"] += len(replayed)
+
+    def _catch_up_locked(self) -> bool:
+        entries = self.store.applied_entries(self._applied_txn)
+        if not entries:
+            if self.store.applied_seq() > self._applied_txn:
+                # The log advanced past us and a checkpoint truncated the
+                # entries we were missing; the checkpoint has their effects.
+                self._bootstrap_locked()
+                return True
+            return False
+        if entries[0][0] > self._applied_txn + 1:
+            # Gap: a quiesce-point checkpoint truncated entries we never
+            # applied.  Re-bootstrap (the checkpoint covers the gap).
+            self._bootstrap_locked()
+            return True
+        applied = 0
+        for seq, txid in entries:
+            txn = self.store.load_transaction(txid)
+            if txn is None:
+                # Applied entry without a readable document (e.g. raced a
+                # wholesale cleanup): fall back to the checkpoint path.
+                self._bootstrap_locked()
+                return True
+            self._executor.apply_log(txn.log)
+            self._applied_txn = seq
+            applied += 1
+        self.stats["catchup_batches"] += 1
+        self.stats["txns_applied"] += applied
+        return applied > 0
+
+    # ------------------------------------------------------------------
+    # Read surface
+    # ------------------------------------------------------------------
+
+    def model(self, refresh: bool = True) -> DataModel:
+        """The replica's *live* model (read-only; clone before mutating).
+
+        With ``refresh=True`` (default) the replica first catches up on any
+        watch-signalled changes; when nothing changed this costs zero
+        coordination operations.
+
+        Threading contract: the returned tree is mutated **in place** by
+        later refreshes, so it is only safe to read from the thread that
+        drives this replica's refreshes.  A reader that retains the tree
+        across refreshes, or runs concurrently with another refresher
+        (e.g. the platform's ``fleet_view``), must use :meth:`snapshot`,
+        which clones under the replica lock.
+        """
+        if refresh or self._model is None:
+            self.refresh()
+        return self._model
+
+    def snapshot(self) -> tuple[DataModel, int]:
+        """A private clone of the model plus its watermark, for callers
+        that will mutate or retain the view across refreshes."""
+        with self._lock:
+            model = self.model()
+            return model.clone(), self._applied_txn
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReadReplica shard={self.shard_id} applied_txn={self._applied_txn} "
+            f"bootstrapped={self._model is not None}>"
+        )

@@ -50,6 +50,9 @@ one shard — are handled by policy (see ``TropicConfig.cross_shard_policy``):
   coordinator logs the commit decision.  Atomicity, isolation and owner
   read visibility all hold at cross-shard scope; see
   :mod:`repro.core.twopc` for the protocol and its recovery rules.
+
+Sharding granularity, the shard-map format and the routing rules are
+documented in ``docs/architecture.md#sharding-the-controller``.
 """
 
 from __future__ import annotations

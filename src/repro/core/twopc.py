@@ -41,6 +41,10 @@ a real cross-shard protocol (``cross_shard_policy="2pc"``):
 ``pin`` remains the fast path: when every path the simulation touched
 collapses onto the coordinator's own shard, the transaction silently
 downgrades to the ordinary single-shard 3C dispatch.
+
+The protocol, its presumed-abort recovery table and the decision-record
+GC are documented in
+``docs/architecture.md#cross-shard-transactions-two-phase-commit``.
 """
 
 from __future__ import annotations
@@ -110,9 +114,79 @@ class TwoPCLog:
         return self.kv.get(f"{self.DECISION_PREFIX}/{txid}")
 
     def clear_decision(self, txid: str) -> None:
-        """Garbage-collect a decision record (safe once every participant
-        has resolved; see ROADMAP for the retention policy follow-up)."""
+        """Drop one decision record (the GC below is the systematic path)."""
         self.kv.delete(f"{self.DECISION_PREFIX}/{txid}")
+
+    # -- decision-record garbage collection -------------------------------
+    #
+    # Decision records are only ever *needed* by a shard recovering with an
+    # unresolved (``prepared`` participant / ``started`` coordinator)
+    # document for that txid.  A shard's quiesce-point checkpoint implies it
+    # holds no unresolved cross-shard state at all (checkpoints require an
+    # empty outstanding set), so a decision is dead once **every
+    # participating shard has completed a checkpoint after the decision
+    # existed**.  Each shard publishes a monotonically increasing *horizon
+    # epoch* at every quiesce-point checkpoint; the coordinator then runs a
+    # two-phase mark-and-sweep piggybacked on its own checkpoints (the same
+    # cost discipline as the worker-claim GC — nothing rides the per-commit
+    # write path):
+    #
+    # * **mark**: stamp the record with every participant's current horizon
+    #   epoch (a participant with no published horizon is stamped -1);
+    # * **sweep** (a later checkpoint): delete the record once every
+    #   participant's current horizon *exceeds* its stamped epoch — i.e.
+    #   each has completed a full quiesce checkpoint after the mark.
+    #
+    # Liveness after GC is preserved without the record: a participant that
+    # prepares against an already-resolved transaction (a stale queued
+    # prepare) gets its answer from the coordinator's terminal document via
+    # the vote/decision message exchange, and recovering participants
+    # re-send their vote.  See docs/architecture.md#decision-record-gc.
+
+    HORIZON_PREFIX = "horizons"
+
+    def publish_horizon(self, shard: int, epoch: int) -> None:
+        """Advertise that ``shard`` completed quiesce-point checkpoint number
+        ``epoch`` (monotonic per shard; re-publishing an epoch after a crash
+        only delays GC, never expedites it)."""
+        self.kv.put(f"{self.HORIZON_PREFIX}/shard-{int(shard)}", int(epoch))
+
+    def horizons(self) -> dict[int, int]:
+        """Every shard's latest published checkpoint horizon epoch."""
+        out: dict[int, int] = {}
+        for key, value in self.kv.items(self.HORIZON_PREFIX):
+            if value is None:
+                continue
+            out[int(key.rsplit("-", 1)[-1])] = int(value)
+        return out
+
+    def gc_decisions(self, shard: int) -> int:
+        """Mark-and-sweep the decision records coordinated by ``shard``
+        (each shard garbage-collects its own transactions' outcomes).
+        Returns the number of records deleted.  Callers invoke this from a
+        quiesce-point checkpoint only."""
+        horizons = self.horizons()
+        removed = 0
+        for txid in self.kv.keys(self.DECISION_PREFIX):
+            record = self.kv.get(f"{self.DECISION_PREFIX}/{txid}")
+            if not record or int(record.get("coordinator", -1)) != int(shard):
+                continue
+            participants = [int(p) for p in record.get("participants") or []]
+            mark = record.get("gc_horizons")
+            if mark is None:
+                record["gc_horizons"] = {
+                    str(p): int(horizons.get(p, -1)) for p in participants
+                }
+                self.kv.put(f"{self.DECISION_PREFIX}/{txid}", record)
+                continue
+            swept = all(
+                horizons.get(p, -(1 << 30)) > int(mark.get(str(p), 1 << 30))
+                for p in participants
+            )
+            if swept:
+                self.kv.delete(f"{self.DECISION_PREFIX}/{txid}")
+                removed += 1
+        return removed
 
     # -- prepare ticket ---------------------------------------------------
 

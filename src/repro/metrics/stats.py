@@ -25,7 +25,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     if low == high:
         return float(ordered[int(rank)])
     fraction = rank - low
-    return float(ordered[low] * (1 - fraction) + ordered[high] * fraction)
+    interpolated = ordered[low] * (1 - fraction) + ordered[high] * fraction
+    # Float rounding can push the interpolation outside its bracketing
+    # order statistics (e.g. subnormal inputs, where x*(1-f) + x*f can
+    # round below x); clamp to keep the percentile bounded by them.
+    return float(min(max(interpolated, ordered[low]), ordered[high]))
 
 
 def cdf_points(values: Iterable[float]) -> list[tuple[float, float]]:

@@ -1,0 +1,224 @@
+"""Fleet-wide reads through the read-replica subsystem (PR 4 tentpole).
+
+These tests simulate the multi-process deployment the subsystem exists
+for: several :class:`~repro.core.platform.TropicPlatform` instances share
+one coordination ensemble, each hosting a subset of the shards (one
+"process" per platform).  A process hosting only shard 0 of a 4-shard
+fleet serves ``model_view(consistency="replica")`` equal to the union of
+the shard leaders' models at a quiesce point — the constructive
+replacement for the PR 3 ``ShardUnavailable`` refusal — while strict
+``consistency="leader"`` still refuses partial hosting.
+
+The crashing-leader tests reuse the deterministic fault harness
+(:mod:`repro.testing`) to assert the replica watermark is monotonic and
+converges through failovers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import TropicConfig
+from repro.common.errors import ShardUnavailable
+from repro.coordination.ensemble import CoordinationEnsemble
+from repro.coordination.kvstore import KVStore
+from repro.core.persistence import TropicStore
+from repro.core.replica import ReadReplica
+from repro.core.txn import TransactionState
+from repro.datamodel.snapshot import diff_models
+from repro.testing import (
+    POST_COMMIT_PRE_ACK,
+    PRE_COMMIT,
+    FaultInjector,
+    ShardedCluster,
+)
+from repro.tcloud.service import build_tcloud
+
+NUM_SHARDS = 4
+
+
+def _fleet(local_shards_per_process):
+    """Build one platform ("process") per local-shard list, all sharing a
+    single coordination ensemble — the multi-process deployment shape."""
+    ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=3600.0)
+    config = TropicConfig(num_shards=NUM_SHARDS, logical_only=True)
+    clouds = []
+    for local in local_shards_per_process:
+        cloud = build_tcloud(
+            num_vm_hosts=8,
+            num_storage_hosts=4,
+            config=config,
+            logical_only=True,
+            ensemble=ensemble,
+            local_shards=local,
+        )
+        cloud.platform.start()
+        clouds.append(cloud)
+    return clouds
+
+
+def _spawn_everywhere(clouds, count_per_host=1):
+    """Spawn VMs on every compute host, routed through the process hosting
+    the owning shard; returns the number of committed spawns."""
+    inventory = clouds[0].inventory
+    router = clouds[0].platform.shard_router
+    committed = 0
+    for repeat in range(count_per_host):
+        for index, host in enumerate(inventory.vm_hosts):
+            shard = router.shard_of(host)
+            cloud = next(
+                c for c in clouds if shard in c.platform.local_shards
+            )
+            txn = cloud.platform.submit(
+                "spawnVM",
+                {
+                    "vm_name": f"vm-{repeat}-{index}",
+                    "image_template": "template-small",
+                    "storage_host": inventory.storage_host_for(index),
+                    "vm_host": host,
+                    "mem_mb": 256,
+                },
+            )
+            assert txn.state is TransactionState.COMMITTED
+            committed += 1
+    return committed
+
+
+def _leader_of(clouds, shard):
+    cloud = next(c for c in clouds if shard in c.platform.local_shards)
+    return cloud.platform.leader(shard)
+
+
+class TestMultiProcessFleetView:
+    def test_shard0_process_serves_the_union_of_leader_models(self):
+        """The acceptance scenario: a process hosting only shard 0 of a
+        4-shard fleet returns a replica-backed fleet view equal, unit by
+        unit, to the owning leaders' models at a quiesce point."""
+        clouds = _fleet([[0], [1, 2, 3]])
+        observer = clouds[0]  # hosts shard 0 only
+        committed = _spawn_everywhere(clouds)
+        fleet = observer.platform.fleet_view(consistency="replica")
+
+        assert fleet.consistency == "replica"
+        assert fleet.replica_shards() == [1, 2, 3]
+        assert fleet.model.count("vm") == committed
+        # Every second-level unit matches its owning leader's copy exactly.
+        router = observer.platform.shard_router
+        for top_name, top in fleet.model.root.children.items():
+            for child_name in top.children:
+                path = f"/{top_name}/{child_name}"
+                leader = _leader_of(clouds, router.shard_of(path))
+                assert leader.model.exists(path)
+                assert diff_models(fleet.model, leader.model, path).is_empty
+        # ... and no owned unit is missing from the view.
+        for shard in range(NUM_SHARDS):
+            leader = _leader_of(clouds, shard)
+            for top_name, top in leader.model.root.children.items():
+                for child_name in top.children:
+                    path = f"/{top_name}/{child_name}"
+                    if router.shard_of(path) == shard:
+                        assert fleet.model.exists(path)
+
+    def test_replica_watermarks_match_owner_applied_seq_at_quiesce(self):
+        clouds = _fleet([[0], [1, 2, 3]])
+        observer, owner = clouds
+        _spawn_everywhere(clouds)
+        fleet = observer.platform.fleet_view()
+        assert fleet.watermarks[0].source == "leader"
+        for shard in (1, 2, 3):
+            mark = fleet.watermarks[shard]
+            assert mark.source == "replica"
+            assert mark.applied_txn == owner.platform.shards[shard].store.applied_seq()
+
+    def test_leader_consistency_still_refuses_partial_hosting(self):
+        clouds = _fleet([[0], [1, 2, 3]])
+        observer = clouds[0]
+        with pytest.raises(ShardUnavailable) as excinfo:
+            observer.platform.model_view(consistency="leader")
+        assert excinfo.value.shards == [1, 2, 3]
+        # The full-hosting merge of both processes' leaders is unaffected:
+        # each process still reads its own shards strictly.
+        for cloud in clouds:
+            for shard in cloud.platform.local_shards:
+                assert cloud.platform.leader(shard).model.exists("/vmRoot")
+
+    def test_cold_start_observer_catches_up_after_owners_appear(self):
+        """An observer that starts (and reads) before the owning processes
+        have committed anything serves their subtrees once they exist —
+        the checkpoint/applied watches fire and the replicas catch up."""
+        clouds = _fleet([[0], [1, 2, 3]])
+        observer = clouds[0]
+        early = observer.platform.fleet_view()
+        assert early.model.count("vm") == 0
+        committed = _spawn_everywhere(clouds)
+        late = observer.platform.fleet_view()
+        assert late.model.count("vm") == committed
+        for shard in (1, 2, 3):
+            assert late.watermarks[shard].applied_txn >= 1
+
+    def test_service_layer_reads_work_from_the_partial_process(self):
+        """TCloud's read helpers go through model_view(): the shard-0
+        process can answer fleet inventory questions it used to refuse."""
+        clouds = _fleet([[0], [1, 2, 3]])
+        observer = clouds[0]
+        committed = _spawn_everywhere(clouds)
+        assert observer.vm_count() == committed
+        assert observer.platform.resource_count() == clouds[1].platform.resource_count()
+
+
+class TestWatermarkUnderFailover:
+    def _replica_for(self, cluster, shard=0):
+        store = TropicStore(KVStore(cluster.client, f"/tropic/store/shard-{shard}"))
+        return ReadReplica(store, cluster.schema, cluster.procedures, shard_id=shard)
+
+    @pytest.mark.parametrize("point", [PRE_COMMIT, POST_COMMIT_PRE_ACK])
+    def test_watermark_is_monotonic_across_leader_crashes(self, point):
+        """The replica tails a shard whose leader crashes mid-stream (fault
+        harness crash + clean-successor failover): the watermark never
+        regresses, and at quiesce the replica equals the recovered leader."""
+        injector = FaultInjector().arm(point, 1)
+        cluster = ShardedCluster(
+            num_shards=1,
+            config=TropicConfig(checkpoint_every=3),
+            injector=injector,
+            faulty_shards=(0,),
+        )
+        replica = self._replica_for(cluster)
+        for i in range(6):
+            cluster.submit_spawn(f"vm{i}", host_index=i % 4)
+        marks = [replica.applied_txn]
+        for _ in range(10_000):
+            progressed = cluster.step_all(failover=True)
+            replica.refresh()
+            marks.append(replica.applied_txn)
+            if not progressed and cluster.queues_empty():
+                break
+        assert injector.fired, "the armed crash point never fired"
+        assert all(a <= b for a, b in zip(marks, marks[1:])), marks
+        assert replica.model().to_dict() == cluster.model(0).to_dict()
+        assert replica.applied_txn == cluster.stores[0].applied_seq()
+        for i in range(6):
+            assert cluster.state_of(
+                cluster.submitted[i]
+            ) is TransactionState.COMMITTED
+
+    def test_replica_survives_checkpointing_leader_and_failover(self):
+        """Checkpoints truncate the log under the replica while the leader
+        is replaced; the replica re-bootstraps as needed and converges."""
+        cluster = ShardedCluster(
+            num_shards=1, config=TropicConfig(checkpoint_every=2)
+        )
+        replica = self._replica_for(cluster)
+        replica.model()
+        for i in range(3):
+            cluster.submit_spawn(f"a{i}", host_index=i)
+        cluster.drain()
+        replica.refresh()
+        watermark = replica.applied_txn
+        cluster.replace_controller(0)
+        for i in range(3):
+            cluster.submit_spawn(f"b{i}", host_index=i)
+        cluster.drain()
+        replica.refresh()
+        assert replica.applied_txn >= watermark
+        assert replica.model().to_dict() == cluster.model(0).to_dict()

@@ -265,3 +265,137 @@ class TestDispatchLossWindow:
         assert worker.duplicate_dispatches_skipped == 1
         device = cluster.inventory.registry.device_at(txn.args["vm_host"])
         assert device.vm_state("dup") == "running"
+
+
+class TestDecisionRecordGC:
+    """Decision-record retention (the former ROADMAP open item): records in
+    ``/tropic/2pc/decisions`` are mark-and-swept once every participating
+    shard has completed a quiesce-point checkpoint after the decision —
+    piggybacked on the checkpoint like the worker-claim GC, so nothing
+    rides the per-commit write path."""
+
+    def _checkpoint_all(self, cluster):
+        for shard in cluster.shard_ids:
+            assert cluster.controllers[shard].checkpoint()
+
+    def test_resolved_decision_is_swept_after_two_checkpoint_rounds(self):
+        cluster = _cluster()
+        txn = cluster.submit_cross_spawn("gc-me")
+        cluster.drain()
+        assert cluster.state_of(txn) is TransactionState.COMMITTED
+        # Mark (coordinator's checkpoint) + horizon publication round, then
+        # a sweep round once every participant's horizon moved past it.
+        self._checkpoint_all(cluster)
+        self._checkpoint_all(cluster)
+        assert cluster.twopc.decision(txn.txid) is None
+        horizons = cluster.twopc.horizons()
+        assert set(horizons) == set(cluster.shard_ids)
+
+    def test_gcd_decision_is_never_needed_by_recovery(self):
+        """After the decision is swept, both shards fail over and recover
+        to the same committed state: resolved transactions (terminal
+        documents everywhere) never consult the decision log."""
+        cluster = _cluster()
+        txn = cluster.submit_cross_spawn("gc-recover")
+        cluster.drain()
+        self._checkpoint_all(cluster)
+        self._checkpoint_all(cluster)
+        assert cluster.twopc.decision(txn.txid) is None
+        before = {s: cluster.model(s).to_dict() for s in cluster.shard_ids}
+        for shard in cluster.shard_ids:
+            cluster.replace_controller(shard)
+        cluster.drain()
+        for shard in cluster.shard_ids:
+            assert cluster.model(shard).to_dict() == before[shard]
+            doc = cluster.stores[shard].load_transaction(txn.txid)
+            assert doc is not None and doc.state is TransactionState.COMMITTED
+        assert_cross_shard_atomic(cluster, txn)
+        assert_clean(cluster)
+
+    def test_unresolved_participant_blocks_the_sweep(self):
+        """A participant that has not checkpointed past the mark keeps the
+        record alive — the retention invariant that makes the GC safe."""
+        # No automatic checkpoints: only the explicit ones below publish
+        # horizons, so the participant's silence is actually observable.
+        cluster = ShardedCluster(
+            num_shards=2,
+            cross_shard_policy="2pc",
+            config=TropicConfig(checkpoint_every=100_000),
+        )
+        txn = cluster.submit_cross_spawn("kept")
+        cluster.drain()
+        participant = next(s for s in txn.participants if s != txn.coordinator)
+        coordinator = cluster.controllers[txn.coordinator]
+        # Only the coordinator checkpoints: mark happens, sweep must not.
+        assert coordinator.checkpoint()
+        assert coordinator.checkpoint()
+        assert cluster.twopc.decision(txn.txid) == "commit"
+        # Once the participant checkpoints twice (past the mark), the
+        # coordinator's next checkpoint sweeps.
+        assert cluster.controllers[participant].checkpoint()
+        assert coordinator.checkpoint()
+        assert cluster.twopc.decision(txn.txid) is None
+
+
+class TestPrepareDeadline:
+    """Prepare-phase deadline (the former ROADMAP open item): a coordinator
+    stuck in PREPARING past ``config.prepare_timeout`` — e.g. a participant
+    shard down with no replica to fail over to — presumed-aborts and
+    releases the fleet prepare ticket."""
+
+    _DEADLINE_CONFIG = TropicConfig(checkpoint_every=1, prepare_timeout=0.02)
+
+    def _stuck_coordinator(self, injector=None, faulty_shards=()):
+        cluster = ShardedCluster(
+            num_shards=2,
+            cross_shard_policy="2pc",
+            config=self._DEADLINE_CONFIG,
+            injector=injector,
+            faulty_shards=faulty_shards,
+        )
+        txn = cluster.submit_cross_spawn("stuck")
+        coordinator = cluster.controllers[txn.coordinator]
+        # Step ONLY the coordinator: the prepare fans out, but the silent
+        # participant shard never votes.
+        while coordinator.step():
+            pass
+        doc = cluster.stores[txn.coordinator].load_transaction(txn.txid)
+        assert doc.state is TransactionState.PREPARING
+        assert cluster.twopc.ticket_holder() == txn.txid
+        return cluster, txn, coordinator
+
+    def test_stuck_coordinator_presumed_aborts_and_frees_the_ticket(self):
+        import time
+
+        cluster, txn, coordinator = self._stuck_coordinator()
+        time.sleep(0.03)  # past prepare_timeout
+        assert coordinator.step()
+        assert cluster.state_of(txn) is TransactionState.ABORTED
+        assert cluster.twopc.decision(txn.txid) == "abort"
+        assert cluster.twopc.ticket_holder() is None
+        assert coordinator.stats["prepare_timeouts"] == 1
+        # The participant comes back: its queued (stale) prepare resolves
+        # against the abort decision and the fleet converges clean.
+        cluster.drain()
+        assert_cross_shard_atomic(cluster, txn)
+        assert_clean(cluster)
+
+    def test_coordinator_crash_during_timeout_abort_recovers(self):
+        """Fault-matrix point for the deadline: the coordinator dies at the
+        2pc-post-decision edge of the timeout abort (decision durable, fan-
+        out lost); the successor and the returning participant still
+        converge on the abort."""
+        import time
+
+        injector = FaultInjector().arm("2pc-post-decision", 0)
+        cluster, txn, coordinator = self._stuck_coordinator(
+            injector=injector, faulty_shards=(0,)
+        )
+        assert txn.coordinator == 0
+        time.sleep(0.03)
+        cluster.drain(failover=True)
+        assert [crash.point for crash in injector.fired] == ["2pc-post-decision"]
+        assert cluster.twopc.decision(txn.txid) == "abort"
+        assert cluster.state_of(txn) is TransactionState.ABORTED
+        assert_cross_shard_atomic(cluster, txn)
+        assert_clean(cluster)

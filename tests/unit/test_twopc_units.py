@@ -108,6 +108,56 @@ class TestTwoPCLog:
         assert log.ticket_holder() == "a"
         assert not log.release_ticket("b")
         assert log.release_ticket("a")
+
+
+class TestDecisionGC:
+    def test_horizons_roundtrip(self):
+        log = TwoPCLog(_kv())
+        assert log.horizons() == {}
+        log.publish_horizon(0, 3)
+        log.publish_horizon(1, 1)
+        assert log.horizons() == {0: 3, 1: 1}
+
+    def test_mark_then_sweep_requires_every_participant_to_advance(self):
+        log = TwoPCLog(_kv())
+        log.decide("t1", "commit", coordinator=0, participants=[0, 1])
+        log.publish_horizon(0, 1)
+        log.publish_horizon(1, 1)
+        # First pass marks (records current horizons), deletes nothing.
+        assert log.gc_decisions(0) == 0
+        assert log.decision_record("t1")["gc_horizons"] == {"0": 1, "1": 1}
+        # Only the coordinator advanced: still not collectable.
+        log.publish_horizon(0, 2)
+        assert log.gc_decisions(0) == 0
+        assert log.decision("t1") == "commit"
+        # Every participant checkpointed past the mark: swept.
+        log.publish_horizon(1, 2)
+        assert log.gc_decisions(0) == 1
+        assert log.decision("t1") is None
+
+    def test_gc_only_touches_own_coordinated_decisions(self):
+        log = TwoPCLog(_kv())
+        log.decide("mine", "abort", coordinator=0, participants=[0, 1])
+        log.decide("theirs", "commit", coordinator=1, participants=[0, 1])
+        log.publish_horizon(0, 5)
+        log.publish_horizon(1, 5)
+        log.gc_decisions(0)
+        log.publish_horizon(0, 6)
+        log.publish_horizon(1, 6)
+        assert log.gc_decisions(0) == 1
+        assert log.decision("mine") is None
+        assert log.decision("theirs") == "commit"
+
+    def test_participant_without_published_horizon_blocks_gc(self):
+        log = TwoPCLog(_kv())
+        log.decide("t1", "commit", coordinator=0, participants=[0, 2])
+        log.publish_horizon(0, 1)
+        log.gc_decisions(0)  # mark: shard 2 stamped at -1 (never published)
+        log.publish_horizon(0, 2)
+        assert log.gc_decisions(0) == 0  # shard 2 still silent
+        log.publish_horizon(2, 1)
+        assert log.gc_decisions(0) == 1
+        assert log.decision("t1") is None
         assert log.acquire_ticket("b")
 
 
@@ -146,24 +196,81 @@ class TestSplitting:
         assert part1["writes"] == ["/storageRoot/storageHost0"]
 
 
-class TestStrictModelView:
-    def _partial_cloud(self):
-        config = TropicConfig(num_shards=2, logical_only=True)
+class TestModelViewConsistency:
+    def _partial_cloud(self, **overrides):
+        config = TropicConfig(num_shards=2, logical_only=True, **overrides)
         return build_tcloud(num_vm_hosts=8, num_storage_hosts=2, config=config,
                             logical_only=True, local_shards=[0])
 
-    def test_partial_hosting_raises_shard_unavailable(self):
+    def test_leader_mode_raises_on_partial_hosting(self):
         cloud = self._partial_cloud()
         with cloud.platform as platform:
             with pytest.raises(ShardUnavailable) as excinfo:
-                platform.model_view()
+                platform.model_view(consistency="leader")
             assert excinfo.value.shards == [1]
+            with pytest.raises(ShardUnavailable):
+                platform.model_view(strict=True)
+
+    def test_read_mode_leader_makes_strictness_the_default(self):
+        cloud = self._partial_cloud(read_mode="leader")
+        with cloud.platform as platform:
+            with pytest.raises(ShardUnavailable):
+                platform.model_view()
+
+    def test_default_serves_foreign_shards_from_replicas(self):
+        """The PR 3 refusal is replaced by the constructive answer: the
+        default view composes local leaders with read replicas of the
+        non-hosted shards, stamped with their watermarks.  Here no process
+        ever hosts shard 1, so its namespace holds no checkpoint: the view
+        must fall back to the bootstrap-frozen copy (disclosed as
+        ``partial`` in the watermark) — never delete shard 1's units as if
+        the shard owned nothing."""
+        cloud = self._partial_cloud()
+        with cloud.platform as platform:
+            fleet = platform.fleet_view()
+            assert fleet.consistency == "replica"
+            assert fleet.watermarks[0].source == "leader"
+            assert fleet.watermarks[1].source == "partial"
+            # Every compute host is still visible, including shard 1's.
+            for host in cloud.inventory.vm_hosts:
+                assert fleet.model.exists(host)
+            assert platform.model_view().exists("/vmRoot")
+
+    def test_foreign_shard_becomes_replica_backed_once_bootstrapped(self):
+        """The moment an owner process bootstraps shard 1's store, the same
+        observer's next view switches that shard from the frozen fallback
+        to a watermark-stamped replica."""
+        ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=3600.0)
+        config = TropicConfig(num_shards=2, logical_only=True)
+        observer = build_tcloud(num_vm_hosts=8, num_storage_hosts=2, config=config,
+                                logical_only=True, local_shards=[0],
+                                ensemble=ensemble)
+        with observer.platform as platform:
+            assert platform.fleet_view().watermarks[1].source == "partial"
+            owner = build_tcloud(num_vm_hosts=8, num_storage_hosts=2, config=config,
+                                 logical_only=True, local_shards=[1],
+                                 ensemble=ensemble)
+            with owner.platform:
+                fleet = platform.fleet_view()
+                assert fleet.watermarks[1].source == "replica"
+                assert fleet.replica_shards() == [1]
 
     def test_strict_false_accepts_the_partial_view(self):
         cloud = self._partial_cloud()
         with cloud.platform as platform:
             view = platform.model_view(strict=False)
             assert view.exists("/vmRoot")
+            fleet = platform.fleet_view(strict=False)
+            assert fleet.consistency == "partial"
+            # The frozen shard is disclosed, not silently absent.
+            assert fleet.watermarks[1].source == "partial"
+            assert fleet.watermarks[1].applied_txn is None
+
+    def test_unknown_consistency_is_refused(self):
+        cloud = self._partial_cloud()
+        with cloud.platform as platform:
+            with pytest.raises(ConfigurationError):
+                platform.model_view(consistency="snapshot")
 
     def test_full_hosting_never_raises(self):
         config = TropicConfig(num_shards=2, logical_only=True)
@@ -171,6 +278,7 @@ class TestStrictModelView:
                              logical_only=True)
         with cloud.platform as platform:
             assert platform.model_view().exists("/vmRoot")
+            assert platform.model_view(consistency="leader").exists("/vmRoot")
 
 
 class TestPinVisibilityMarking:
