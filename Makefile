@@ -14,8 +14,9 @@ test-unit:
 test-integration:
 	$(PYTHONPATH_PREFIX) python -m pytest tests/integration tests/property -q
 
-## Full benchmark suite; writes BENCH_pr4.json (incl. 2/4-shard runs, the
-## cross-shard 2PC mix and the replica read-path section).
+## Full benchmark suite; writes BENCH_pr5.json (incl. 2/4-shard runs, the
+## cross-shard 2PC mix and the read-path section: replica staleness,
+## fleet views, O(1) snapshot scaling, subscribe latency).
 bench:
 	bash scripts/run_benchmarks.sh
 

@@ -47,6 +47,9 @@ def main() -> None:
                         help="BENCH_pr2.json for the sharded single-shard reference")
     parser.add_argument("--pr3", default=None,
                         help="BENCH_pr3.json for the 2PC-era single-shard reference")
+    parser.add_argument("--pr4", default=None,
+                        help="BENCH_pr4.json for the replica-era single-shard "
+                             "and fleet-view references (PR 5 gates)")
     parser.add_argument("--cross-shard", default=None,
                         help="cross-shard 2PC mix measure_writepath JSON (PR 3)")
     parser.add_argument("--replica", default=None,
@@ -78,7 +81,15 @@ def main() -> None:
         ),
     }
 
-    if args.pr >= 4:
+    if args.pr >= 5:
+        subsystem = (
+            "O(1) copy-on-write model snapshots (structural-sharing forks, "
+            "path-copying writers) + cached fleet-view merge from shared "
+            "grafts + per-subtree delta subscriptions on read replicas + "
+            "per-coordinator 2PC decision keys with retired-shard sweep + "
+            "simulation-time foreign-write detection"
+        )
+    elif args.pr == 4:
         subsystem = (
             "per-shard read replicas + ReadProxy (fleet-wide reads from any "
             "process, watch-driven committed-log tailing, watermark-stamped "
@@ -156,6 +167,21 @@ def main() -> None:
         ratios["single_shard_vs_pr3"] = round(
             large["throughput_txn_s"] / pr3_tput, 2
         )
+    if args.pr4:
+        pr4 = _load(args.pr4)
+        pr4_tput = pr4["large_fleet"]["throughput_txn_s"]
+        result["pr4_reference"] = {
+            "throughput_txn_s": pr4_tput,
+            "writes_per_commit": pr4["large_fleet"]["writes_per_commit"],
+            "fleet_views_per_s": pr4.get("replica", {})
+            .get("fleet_view", {})
+            .get("fleet_views_per_s"),
+        }
+        # The PR 5 write-path gate: snapshots/subscriptions are read-side,
+        # so single-shard write throughput must stay within 0.9x of PR 4.
+        ratios["single_shard_vs_pr4"] = round(
+            large["throughput_txn_s"] / pr4_tput, 2
+        )
     if args.cross_shard:
         cross = _load(args.cross_shard)
         result["cross_shard_mix"] = cross
@@ -163,7 +189,21 @@ def main() -> None:
             cross["throughput_txn_s"] / large["throughput_txn_s"], 2
         )
     if args.replica:
-        result["replica"] = _load(args.replica)
+        replica = _load(args.replica)
+        result["replica"] = replica
+        views = replica.get("fleet_view", {}).get("fleet_views_per_s")
+        pr4_views = (result.get("pr4_reference") or {}).get("fleet_views_per_s")
+        if views and pr4_views:
+            # The PR 5 read-path gate: >= 20x the PR 4 locked-clone rate.
+            ratios["fleet_view_vs_pr4"] = round(views / pr4_views, 2)
+        scaling = replica.get("snapshot_scaling")
+        if scaling:
+            # O(1) evidence as a gateable ratio: smallest-model fork cost
+            # over largest-model fork cost (~1.0 when size-independent;
+            # a deep copy would push it toward 1/size_ratio).
+            ratios["snapshot_size_independence"] = round(
+                1.0 / max(scaling["cow_cost_ratio_largest_vs_smallest"], 1e-9), 2
+            )
 
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Run the PR 4 write-path + sharding + cross-shard + replica benchmark
-# suite and write BENCH_pr4.json.
+# Run the PR 5 write-path + sharding + cross-shard + read-path benchmark
+# suite and write BENCH_pr5.json.
 #
 # Covers:
 #   * bench_writepath.py        — micro-benchmarks (group commit, delta docs,
 #                                 interning, submit batching, idle queue
-#                                 watch, read-only/idle-free replica)
+#                                 watch, read-only/idle-free replica, O(1)
+#                                 CoW snapshot guard, subscription cost)
 #   * bench_sec61_scalability   — throughput + store writes/commit vs fleet size
 #   * bench_sec62_safety_overhead — logical-layer constraint-checking cost
 #   * scripts/measure_writepath — LARGE-fleet end-to-end measurement at 1, 2
@@ -14,21 +15,23 @@
 #                                 (a fraction of spawns spans two shards
 #                                 under cross_shard_policy='2pc')
 #   * scripts/measure_replica   — replica staleness, catch-up rate, read
-#                                 throughput and the partial-hosting fleet
-#                                 view (PR 4; see docs/operations.md)
+#                                 throughput, the partial-hosting fleet view,
+#                                 snapshot O(1) scaling and subscribe latency
+#                                 (PR 5; see docs/operations.md)
 #
 # The results are merged with benchmarks/BASELINE_seed.json (seed commit)
-# and BENCH_pr1/2/3.json so the JSON carries the speedup and scaling
-# ratios — including the PR 4 acceptance gate (single-shard write
-# throughput >= 0.9x of BENCH_pr3.json: the replica subsystem must not
-# touch the write path).
+# and BENCH_pr1/2/3/4.json so the JSON carries the speedup and scaling
+# ratios — including the PR 5 acceptance gates (single-shard write
+# throughput >= 0.9x of BENCH_pr4.json: the read-path rebuild must not
+# touch the write path; partial-hosting fleet views >= 20x BENCH_pr4's
+# locked-clone rate; CoW snapshot cost independent of model size).
 #
-# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr4.json)
+# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr5.json)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_pr4.json}"
+OUT="${1:-BENCH_pr5.json}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -91,10 +94,13 @@ python scripts/merge_bench.py \
     --pr1 BENCH_pr1.json \
     --pr2 BENCH_pr2.json \
     --pr3 BENCH_pr3.json \
+    --pr4 BENCH_pr4.json \
     --cross-shard "$WORK/cross_shard.json" \
     --replica "$WORK/replica.json" \
-    --min-ratio single_shard_vs_pr3=0.9 \
-    --pr 4 \
+    --min-ratio single_shard_vs_pr4=0.9 \
+    --min-ratio fleet_view_vs_pr4=20 \
+    --min-ratio snapshot_size_independence=0.2 \
+    --pr 5 \
     "${SHARDED_ARGS[@]}" \
     --out "$OUT"
 

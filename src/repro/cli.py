@@ -12,7 +12,10 @@ mechanisms from the command line:
 * ``failover``     — kill the lead controller mid-workload and report the
   recovery time (§6.4);
 * ``repair-drill`` — power-cycle a host out of band and repair it (§4);
-* ``inventory``    — print the fleet and per-host utilisation.
+* ``inventory``    — print the fleet and per-host utilisation;
+* ``2pc-gc``       — decision-record retention drill, including the
+  administrative sweep for a permanently retired coordinator shard
+  (``--retired-shard N``).
 
 Every command prints its transactions' outcomes; nothing persists between
 invocations (the coordination service and devices are simulated in
@@ -183,6 +186,73 @@ def cmd_repair_drill(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_twopc_gc(args: argparse.Namespace) -> int:
+    """Demonstrate 2PC decision-record GC and the administrative sweep for
+    a permanently decommissioned (retired) coordinator shard.
+
+    Builds a sharded deployment, commits cross-shard transactions so the
+    global decision log retains records keyed by coordinator shard
+    (``/tropic/2pc/decisions/<shard>/<txid>``), then — with
+    ``--retired-shard N`` — runs :meth:`TwoPCLog.retire_shard`: the retired
+    shard's records are swept and its horizon is replaced by a retirement
+    sentinel so the surviving coordinators' mark-and-sweep stops waiting
+    for its checkpoints.
+    """
+    if args.shards < 2:
+        args.shards = 2
+    cloud = _build_cloud(args, logical_only=True)
+    platform = cloud.platform
+    with platform:
+        twopc = platform.twopc
+        # Pair each VM host with a storage host owned by another shard so
+        # every spawn runs the full cross-shard two-phase protocol.
+        router = platform.shard_router
+        inventory = cloud.inventory
+        spawned = 0
+        for index, vm_host in enumerate(inventory.vm_hosts):
+            partner = next(
+                (s for s in inventory.storage_hosts
+                 if router.shard_of(s) != router.shard_of(vm_host)),
+                None,
+            )
+            if partner is None:
+                continue
+            txn = cloud.spawn_vm(
+                f"gc-demo-{index}", vm_host=vm_host, storage_host=partner, mem_mb=256
+            )
+            if txn.state is TransactionState.COMMITTED:
+                spawned += 1
+            if spawned >= args.operations:
+                break
+        kv = twopc.kv
+        def retained():
+            counts: dict[str, int] = {}
+            for child in kv.keys(twopc.DECISION_PREFIX):
+                if child.startswith(twopc.SHARD_DIR_PREFIX):
+                    counts[child] = len(kv.keys(f"{twopc.DECISION_PREFIX}/{child}"))
+                else:
+                    counts.setdefault("flat (legacy)", 0)
+                    counts["flat (legacy)"] += 1
+            return counts
+        print(f"cross-shard transactions committed: {spawned}")
+        rows = [(dir_, count) for dir_, count in sorted(retained().items())]
+        print(ascii_table(("decision directory", "records"), rows,
+                          title="retained decision records"))
+        if args.retired_shard is None:
+            print("\n(no --retired-shard given; records are garbage-collected "
+                  "by their coordinators' quiesce-point checkpoints)")
+            return 0
+        result = twopc.retire_shard(args.retired_shard)
+        print(f"\nretired shard {args.retired_shard}: "
+              f"{result['records_removed']} record(s) swept, horizon replaced "
+              f"by a retirement sentinel")
+        rows = [(dir_, count) for dir_, count in sorted(retained().items())]
+        print(ascii_table(("decision directory", "records"), rows,
+                          title="retained decision records after sweep"))
+        print(f"horizons now: {twopc.horizons()}")
+    return 0
+
+
 def cmd_inventory(args: argparse.Namespace) -> int:
     """Print the fleet layout and per-host utilisation."""
     cloud = _build_cloud(args)
@@ -261,6 +331,19 @@ def build_parser() -> argparse.ArgumentParser:
     inventory.add_argument("--operations", type=int, default=6,
                            help="VMs to seed before reporting utilisation")
 
+    twopc_gc = sub.add_parser(
+        "2pc-gc",
+        help="2PC decision-record retention drill, incl. the administrative "
+             "sweep for a permanently decommissioned coordinator shard",
+    )
+    twopc_gc.add_argument("--retired-shard", type=int, default=None,
+                          help="permanently decommissioned shard whose "
+                               "decision records should be swept and whose "
+                               "horizon should be retired")
+    twopc_gc.add_argument("--operations", type=int, default=4,
+                          help="cross-shard transactions to commit before "
+                               "inspecting the decision log")
+
     return parser
 
 
@@ -272,6 +355,7 @@ _COMMANDS = {
     "failover": cmd_failover,
     "repair-drill": cmd_repair_drill,
     "inventory": cmd_inventory,
+    "2pc-gc": cmd_twopc_gc,
 }
 
 

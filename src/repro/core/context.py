@@ -114,7 +114,10 @@ class OrchestrationContext:
         """
         rpath = ResourcePath.parse(path)
         self.model.check_not_fenced(rpath)
-        node = self.model.get(rpath)
+        # Claim exclusive (copy-on-write) ownership of the target subtree:
+        # simulation functions mutate the node and its descendants through
+        # the Node API directly, which is only safe on an owned subtree.
+        node = self.model.get_for_write(rpath)
         action_def = self.schema.get(node.entity_type).get_action(action)
         undo_args = action_def.undo_arguments(node, list(args))
 

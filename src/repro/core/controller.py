@@ -20,6 +20,7 @@ cross-shard protocol driven from here are documented in
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Any, Callable
 
 from repro.common.clock import Clock, RealClock, Stopwatch
@@ -177,6 +178,9 @@ class Controller:
             "cross_shard_committed": 0,
             "cross_shard_aborted": 0,
             "cross_shard_collapsed": 0,
+            "cross_shard_upgrades": 0,
+            "foreign_write_rejects": 0,
+            "foreign_write_pins": 0,
             "prepare_timeouts": 0,
             "twopc_decisions_gced": 0,
         }
@@ -245,6 +249,10 @@ class Controller:
         is individually required to be durable before the next step.
         """
         now = self.clock.now()
+        # Re-key any decision records this shard coordinated that are
+        # still under the legacy flat layout (pre per-coordinator keys),
+        # so the GC sweeps below only ever list this shard's directory.
+        self.twopc.migrate_flat_decisions(self.shard_id)
         # Coordinators that died during the prepare phase: presumed abort.
         # The decision record is written first so participants holding
         # prepare records resolve immediately instead of waiting.
@@ -264,7 +272,7 @@ class Controller:
         # prepare record + locks; _resolve_prepared polls the log until
         # the coordinator (or its successor) decides.
         for txn in state.prepared:
-            decision = self.twopc.decision(txn.txid)
+            decision = self.twopc.decision(txn.txid, txn.coordinator)
             if decision == DECISION_COMMIT:
                 self._commit_participant(txn)
             elif decision == DECISION_ABORT:
@@ -283,7 +291,7 @@ class Controller:
                 continue
             if txn.state is not TransactionState.STARTED:
                 continue
-            decision = self.twopc.decision(txid)
+            decision = self.twopc.decision(txid, self.shard_id)
             if decision == DECISION_COMMIT:
                 self._finish_cross_shard_commit(txn, check_applied=True)
             elif decision == DECISION_ABORT:
@@ -692,6 +700,10 @@ class Controller:
             self._notify(txn)
             return "aborted"
 
+        disposition = self._check_foreign_writes(txn)
+        if disposition is not None:
+            return disposition
+
         conflict = self.lock_manager.try_acquire(txn.txid, txn.rwset)
         if conflict is not None:
             # 3B: resource conflict — undo the simulation and defer.
@@ -701,6 +713,73 @@ class Controller:
         # (buffered until the STARTED state is group-committed).
         self._mark_started(txn, dirty_fields=("log", "rwset", "result"))
         return "started"
+
+    def _check_foreign_writes(self, txn: Transaction) -> str | None:
+        """Guard a single-shard-routed transaction whose *simulation*
+        touched paths other shards own.
+
+        Routing is argument-path based, but stored procedures may write
+        paths absent from their arguments (auto-placement): the submission
+        looked single-shard while the simulated read/write set spans
+        shards.  Applying such a simulation locally would silently land
+        the foreign writes on this shard's bootstrap-frozen copies.
+        Policy-dependent handling:
+
+        * ``2pc`` — upgrade in place: stamp this shard as coordinator and
+          re-enter the scheduler, so the next pass runs the full two-phase
+          protocol with participants computed from the simulated rwset;
+        * ``reject`` — abort with an explicit error (the policy promised
+          no cross-shard effects; corrupting frozen copies breaks it);
+        * ``pin`` (deprecated) — warn and proceed, recording the hazard in
+          the stats, mirroring pin's documented degraded visibility.
+
+        Returns a disposition string when it consumed the transaction,
+        ``None`` to continue the ordinary single-shard dispatch.
+        """
+        if self.router is None:
+            return None
+        foreign = shards_touched(
+            self.router.map, txn.log, txn.rwset, self.shard_id
+        ) - {self.shard_id}
+        if not foreign:
+            return None
+        policy = self.router.policy
+        if policy == "2pc" and self.twopc is not None:
+            txn.coordinator = self.shard_id
+            txn.participants = sorted(foreign | {self.shard_id})
+            self.stats["cross_shard_upgrades"] += 1
+            # The scheduler re-queues deferred transactions; the next pass
+            # sees the coordinator stamp and runs _try_run_cross_shard.
+            return self._defer(txn, "coordinator", "participants")
+        if policy == "reject":
+            self.executor.rollback(txn)
+            self._mark_dirty_writes(txn)
+            txn.error = (
+                f"cross-shard writes under cross_shard_policy='reject': the "
+                f"simulation of {txn.procedure!r} touched paths owned by "
+                f"shards {sorted(foreign)} that its arguments never named; "
+                f"applying it on shard {self.shard_id} would corrupt "
+                f"bootstrap-frozen foreign copies silently"
+            )
+            txn.mark(TransactionState.ABORTED, self.clock.now())
+            self.store.save_transaction(txn, dirty_fields=("log", "rwset", "result"))
+            self.stats["aborted_logical"] += 1
+            self.stats["foreign_write_rejects"] += 1
+            self._notify(txn)
+            return "aborted"
+        # pin (deprecated): the effects stay on this shard and are merged
+        # into read views via the pinned-unit preference; surface the
+        # hazard instead of staying silent.
+        self.stats["foreign_write_pins"] += 1
+        warnings.warn(
+            f"transaction {txn.txid} ({txn.procedure}) simulated writes on "
+            f"shards {sorted(foreign)} under the deprecated 'pin' policy: "
+            f"the owners' copies stay bootstrap-frozen and the effects are "
+            f"visible only through this shard's model",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
 
     def _defer(self, txn: Transaction, *extra_dirty: str) -> str:
         """Undo the simulation and put the transaction back for a retry
@@ -907,7 +986,7 @@ class Controller:
         applied: list[Any] = []
         try:
             for record in txn.log:
-                node = self.model.get(record.path)
+                node = self.model.get_for_write(record.path)
                 action_def = self.schema.get(node.entity_type).get_action(record.action)
                 action_def.simulate(self.model, node, *record.args)
                 applied.append(record)
@@ -1089,7 +1168,7 @@ class Controller:
         ]
         progressed = False
         for txn in prepared:
-            decision = self.twopc.decision(txn.txid)
+            decision = self.twopc.decision(txn.txid, txn.coordinator)
             if decision == DECISION_COMMIT:
                 self._commit_participant(txn)
                 progressed = True
@@ -1290,6 +1369,16 @@ class Controller:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def fork_model(self) -> DataModel:
+        """An O(1) copy-on-write snapshot of the live model, serialised
+        with the step loop: forking swaps the model's ownership epoch, so
+        doing it mid-action would let the writer keep mutating nodes the
+        fork believes frozen.  Under the op mutex the fork lands between
+        steps — it still contains the simulated effects of dispatched
+        (STARTED) transactions, exactly like the leader's own reads."""
+        with self._op_mutex:
+            return self.model.clone()
 
     def busy_seconds(self) -> float:
         return self.busy.busy_seconds

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.common.clock import Clock, RealClock
 from repro.common.config import TropicConfig
@@ -61,7 +61,7 @@ from repro.core.events import request_message
 from repro.core.persistence import TropicStore
 from repro.core.procedures import ProcedureRegistry
 from repro.core.reconcile import Reconciler, ReloadReport, RepairReport
-from repro.core.replica import ReadReplica
+from repro.core.replica import ReadReplica, Subscription, SubtreeDelta
 from repro.core.sharding import ShardMap, ShardRouter, is_global_path, unit_key
 from repro.core.signals import SignalBoard
 from repro.core.twopc import TWOPC_PREFIX, TwoPCLog
@@ -189,6 +189,43 @@ class ReadProxy:
     def replicas(self) -> dict[int, ReadReplica]:
         with self._lock:
             return dict(self._replicas)
+
+    def subscribe(
+        self,
+        path: str,
+        callback: "Callable[[list[SubtreeDelta]], None] | None" = None,
+    ) -> Subscription:
+        """Subscribe to the committed delta stream of the subtree at
+        ``path``, regardless of which process hosts its owning shard.
+
+        The subscription rides the owning shard's read replica (created
+        lazily; for locally hosted shards the replica tails the local
+        store), so it costs zero coordination operations while the shard
+        is idle.  Gateway caches initialise from the replica's
+        :meth:`~repro.core.replica.ReadReplica.snapshot` and then apply
+        deltas — see ``docs/architecture.md#subtree-subscriptions``.
+        """
+        platform = self._platform
+        shard = 0
+        if platform.config.num_shards > 1:
+            if is_global_path(path):
+                raise ConfigurationError(
+                    f"path {path!r} is above the sharding granularity; "
+                    f"subscribe per subtree (e.g. per host) in a sharded "
+                    f"deployment"
+                )
+            shard = platform.shard_router.shard_of(path)
+        return self.replica(shard).subscribe(path, callback)
+
+    def pump(self) -> int:
+        """Refresh every instantiated replica (free while the coordination
+        watches are parked); returns how many replicas advanced.  Drives
+        subscription delivery for callers that do not read fleet views."""
+        advanced = 0
+        for replica in self.replicas().values():
+            if replica.refresh():
+                advanced += 1
+        return advanced
 
 
 class TransactionHandle:
@@ -396,6 +433,10 @@ class TropicPlatform:
         self._maintenance: _MaintenanceRunner | None = None
         self._started = False
         self._completion_lock = threading.Lock()
+        #: Merged-fleet-view cache, one entry per consistency mode:
+        #: ``mode -> (source change-stamp key, merged CoW model)``.  Hits
+        #: are served as O(1) forks of the cached tree; see fleet_view.
+        self._view_cache: dict[str, tuple[Any, DataModel]] = {}
 
     # ------------------------------------------------------------------
     # Shard namespaces
@@ -1035,10 +1076,11 @@ class TropicPlatform:
         ``cross_shard_policy='pin'``) are taken from the *pinned* shard's
         model rather than the owner's, whose copy never saw those writes.
 
-        Each sharded call clones the first shard's full tree plus the
-        owned units, so the cost is O(model size); read-heavy callers
-        should fetch one view per operation (as TCloud does) or cache at
-        their own layer rather than calling this in inner loops.
+        Sharded views are assembled from O(1) copy-on-write forks of the
+        shard models with shared-subtree grafts, and the merged tree is
+        cached keyed on every source's version/watermark — an unchanged
+        fleet serves each call with one O(1) fork, so this is safe to call
+        in read inner loops.
         """
         return self.fleet_view(strict=strict, consistency=consistency).model
 
@@ -1075,16 +1117,20 @@ class TropicPlatform:
                 f"read replicas of the owners' committed logs",
                 shards=missing,
             )
-        sources: dict[int, DataModel] = {}
         watermarks: dict[int, ShardWatermark] = {}
+        local_leaders: dict[int, Controller] = {}
+        local_models: dict[int, DataModel] = {}
         for shard in self._local_shards:
-            sources[shard] = self.leader(shard).model
+            leader = self.leader(shard)
+            local_leaders[shard] = leader
+            local_models[shard] = leader.model
             watermarks[shard] = ShardWatermark(shard, CONSISTENCY_LEADER)
         # Non-hosted shards are disclosed in the watermarks in *every*
         # mode: a partial view's bootstrap-frozen shards must be visible
         # to staleness audits, not silently absent.
         for shard in missing:
             watermarks[shard] = ShardWatermark(shard, CONSISTENCY_PARTIAL)
+        replicas: dict[int, ReadReplica] = {}
         if mode == CONSISTENCY_REPLICA:
             for shard in missing:
                 replica = self.read_proxy.replica(shard)
@@ -1098,20 +1144,55 @@ class TropicPlatform:
                     # deleting them from the view.
                     watermarks[shard] = ShardWatermark(shard, CONSISTENCY_PARTIAL)
                     continue
-                # A locked clone, not the live model: another thread's
-                # concurrent refresh mutates the replica model in place,
-                # and merging from it could capture a half-applied
-                # transaction (or break mid-clone).  The clone also keeps
-                # the watermark consistent with the tree it stamps.
-                sources[shard], applied_txn = replica.snapshot()
+                replicas[shard] = replica
                 watermarks[shard] = ShardWatermark(
-                    shard, CONSISTENCY_REPLICA, applied_txn
+                    shard, CONSISTENCY_REPLICA, replica.applied_txn
                 )
-        first_shard = self._local_shards[0]
-        view = sources[first_shard].clone()
         with self._completion_lock:
             pinned_units = dict(self._pinned_foreign_units)
-        # Refresh (or drop) units in the base copy that another shard owns.
+        # The merged tree is cached keyed on every source's change stamp:
+        # model objects compare by identity, so a leader's version counter
+        # (bumped by each mutation entry point) and a replica's watermark
+        # pin the exact states the cached merge was built from.  An
+        # unchanged fleet serves each view with one O(1) fork of the
+        # cached tree; any advance rebuilds the merge (itself only
+        # O(units) pointer grafts over copy-on-write forks, never a deep
+        # copy of the model).
+        cache_key = (
+            tuple((s, m, m.version) for s, m in sorted(local_models.items())),
+            tuple(
+                (s, r.applied_txn, r.has_checkpoint)
+                for s, r in sorted(replicas.items())
+            ),
+            tuple(sorted(pinned_units.items())),
+        )
+        cached = self._view_cache.get(mode)
+        if cached is not None and cached[0] == cache_key:
+            merged = cached[1]
+            return FleetView(
+                model=merged.clone(), watermarks=watermarks, consistency=mode
+            )
+        # Fork under each leader's op mutex: the fork swaps the live
+        # model's ownership epoch, which must not race an in-flight step's
+        # ownership checks (the fork still shows dispatched transactions'
+        # simulated effects, like the leader's own reads always have).
+        sources: dict[int, DataModel] = {
+            shard: leader.fork_model() for shard, leader in local_leaders.items()
+        }
+        for shard, replica in replicas.items():
+            # A locked snapshot, not the live model: another thread's
+            # concurrent refresh mutates the replica model in place, and
+            # merging from it could capture a half-applied transaction.
+            # The snapshot is an O(1) copy-on-write fork under the lock,
+            # consistent with the watermark that stamps it.
+            sources[shard], applied_txn = replica.snapshot()
+            watermarks[shard] = ShardWatermark(
+                shard, CONSISTENCY_REPLICA, applied_txn
+            )
+        first_shard = self._local_shards[0]
+        view = sources[first_shard].clone()
+        # Refresh (or drop) units in the base fork that another shard owns.
+        # Grafts share the owner fork's subtrees: no unit is deep-copied.
         for top_name in list(view.root.children):
             for child_name in list(view.root.children[top_name].children):
                 path = f"/{top_name}/{child_name}"
@@ -1127,7 +1208,7 @@ class TropicPlatform:
                 if owner_model is None:
                     continue  # partial mode: foreign copy stays bootstrap-frozen
                 if owner_model.exists(path):
-                    view.replace_subtree(path, owner_model.get(path).clone())
+                    view.replace_subtree(path, owner_model.get(path))
                 else:
                     view.delete(path, recursive=True)
         # Add units the owner created after bootstrap (absent from the base).
@@ -1140,8 +1221,11 @@ class TropicPlatform:
                 for child_name in top.children:
                     path = f"/{top_name}/{child_name}"
                     if self.shard_router.shard_of(path) == shard and not view.exists(path):
-                        view.replace_subtree(path, model.get(path).clone())
-        return FleetView(model=view, watermarks=watermarks, consistency=mode)
+                        view.replace_subtree(path, model.get(path))
+        self._view_cache[mode] = (cache_key, view)
+        return FleetView(
+            model=view.clone(), watermarks=watermarks, consistency=mode
+        )
 
     def resource_count(self) -> int:
         return self.model_view().count()

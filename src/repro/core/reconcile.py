@@ -149,7 +149,9 @@ class Reconciler:
             return ReloadReport(path=str(rpath), applied=True)
 
         subtree = physical.get(rpath).clone()
-        candidate = self.controller.model.clone()
+        # CoW fork under the controller's op mutex (reload may run on the
+        # maintenance thread while the step loop is mid-action).
+        candidate = self.controller.fork_model()
         candidate.replace_subtree(rpath, subtree)
         violations = self.controller.constraint_engine.check_subtree(candidate, rpath)
         if violations:

@@ -37,19 +37,127 @@ backwards (checkpoints always cover at least every applied entry they
 truncate), and is *bounded-stale*: the leader's group commit makes the
 applied entry durable before the client is acknowledged, so a replica
 that refreshes after an acknowledged commit observes it.
+
+Two read surfaces sit on top (PR 5):
+
+* :meth:`ReadReplica.snapshot` — an **O(1) copy-on-write fork** of the
+  model (structural sharing; refreshes path-copy what they change), and
+* :meth:`ReadReplica.subscribe` — a **per-subtree delta stream** derived
+  from the applied execution-log entries the replica already tails, so
+  gateway-style caches stop re-materialising whole models (see
+  ``docs/architecture.md#subtree-subscriptions``).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.core.persistence import TropicStore
 from repro.core.procedures import ProcedureRegistry
 from repro.core.recovery import replay_committed
 from repro.core.simulation import LogicalExecutor
+from repro.datamodel.path import ResourcePath
 from repro.datamodel.schema import ModelSchema
 from repro.datamodel.tree import DataModel
+
+#: Subscription event kinds.  ``delta`` events carry one applied
+#: execution-log record touching the subscribed subtree; a ``resync``
+#: event tells the subscriber the replica re-bootstrapped from a
+#: checkpoint (the intervening per-record deltas were truncated away), so
+#: any derived cache must be rebuilt from :meth:`ReadReplica.snapshot`.
+EVENT_DELTA = "delta"
+EVENT_RESYNC = "resync"
+
+
+@dataclass(frozen=True)
+class SubtreeDelta:
+    """One subscription event of a per-subtree delta stream.
+
+    Delta events replicate the committed execution-log records verbatim
+    (path, action, args — exactly what the shard leader simulated and the
+    replica just re-applied), stamped with the applied-log sequence number
+    and txid they came from, so a gateway cache can apply them to its own
+    materialised view without re-reading the model.
+    """
+
+    kind: str
+    seq: int
+    txid: str | None = None
+    path: str | None = None
+    action: str | None = None
+    args: tuple = ()
+
+
+class Subscription:
+    """A per-subtree delta stream fed by a :class:`ReadReplica`.
+
+    Events are queued in commit order; drain them with :meth:`poll` (or
+    receive them synchronously via the ``callback`` passed to
+    ``subscribe``, invoked under the replica lock after each refresh that
+    produced events).  ``last_seq`` is the applied-log watermark of the
+    newest event delivered — on a ``resync`` event it is the watermark the
+    re-bootstrapped model reflects.
+    """
+
+    def __init__(
+        self,
+        replica: "ReadReplica",
+        path: str,
+        callback: Callable[[list[SubtreeDelta]], None] | None = None,
+    ):
+        self.replica = replica
+        self.path = str(ResourcePath.parse(path))
+        self.callback = callback
+        self.last_seq = 0
+        self._events: deque[SubtreeDelta] = deque()
+        self._closed = False
+
+    def matches(self, path: str) -> bool:
+        """Whether an execution-log record at ``path`` falls inside the
+        subscribed subtree."""
+        if self.path == "/":
+            return True
+        return path == self.path or path.startswith(self.path + "/")
+
+    def _deliver(self, events: list[SubtreeDelta]) -> None:
+        self._events.extend(events)
+        self.last_seq = events[-1].seq
+        if self.callback is not None:
+            self.callback(events)
+
+    def poll(self, refresh: bool = True) -> list[SubtreeDelta]:
+        """Drain queued events, optionally refreshing the replica first
+        (the refresh is free while the coordination watches are parked).
+
+        The drain pops one event at a time (deque.popleft is atomic), so
+        an event delivered concurrently by another thread's refresh is
+        either returned by this poll or left for the next one — never
+        silently discarded.
+        """
+        if refresh and not self._closed:
+            self.replica.refresh()
+        events: list[SubtreeDelta] = []
+        try:
+            while True:
+                events.append(self._events.popleft())
+        except IndexError:
+            return events
+
+    def pending(self) -> int:
+        return len(self._events)
+
+    def close(self) -> None:
+        self._closed = True
+        self.replica.unsubscribe(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Subscription {self.path} shard={self.replica.shard_id} "
+            f"last_seq={self.last_seq} pending={len(self._events)}>"
+        )
 
 
 class ReadReplica:
@@ -87,11 +195,15 @@ class ReadReplica:
         self._applied_watch_armed = False
         self._meta_watch_armed = False
         self._lock = threading.RLock()
+        #: Per-subtree delta subscriptions fed by the catch-up path.
+        self._subs: list[Subscription] = []
         self.stats: dict[str, int] = {
             "bootstraps": 0,
             "catchup_batches": 0,
             "txns_applied": 0,
             "refreshes_skipped": 0,
+            "deltas_delivered": 0,
+            "resyncs_delivered": 0,
         }
 
     # ------------------------------------------------------------------
@@ -184,6 +296,14 @@ class ReadReplica:
         self._applied_txn = max(self._applied_txn, last_seq)
         self.stats["bootstraps"] += 1
         self.stats["txns_applied"] += len(replayed)
+        # Subscribers cannot receive the per-record deltas a checkpoint
+        # truncated away; tell them to rebuild from a snapshot instead of
+        # silently skipping commits.  Iterate a snapshot of the list: a
+        # delivery callback may subscribe/unsubscribe reentrantly.
+        for sub in list(self._subs):
+            if sub.last_seq < self._applied_txn:
+                sub._deliver([SubtreeDelta(EVENT_RESYNC, self._applied_txn)])
+                self.stats["resyncs_delivered"] += 1
 
     def _catch_up_locked(self) -> bool:
         entries = self.store.applied_entries(self._applied_txn)
@@ -200,6 +320,12 @@ class ReadReplica:
             self._bootstrap_locked()
             return True
         applied = 0
+        # Keyed by subscription *object*, and delivered to that object: a
+        # delivery callback may subscribe/unsubscribe reentrantly, so
+        # positional indexing into self._subs could misroute a subtree's
+        # deltas to another subscriber.
+        subs = list(self._subs)
+        deltas: dict[int, list[SubtreeDelta]] = {}
         for seq, txid in entries:
             txn = self.store.load_transaction(txid)
             if txn is None:
@@ -210,6 +336,24 @@ class ReadReplica:
             self._executor.apply_log(txn.log)
             self._applied_txn = seq
             applied += 1
+            # Derive per-subtree deltas from the execution log just
+            # applied — the same records the model mutation came from, so
+            # a subscriber's materialised view can never diverge from the
+            # replica's.
+            for index, sub in enumerate(subs):
+                events = [
+                    SubtreeDelta(
+                        EVENT_DELTA, seq, txid, record.path,
+                        record.action, tuple(record.args),
+                    )
+                    for record in txn.log
+                    if sub.matches(record.path)
+                ]
+                if events:
+                    deltas.setdefault(index, []).extend(events)
+        for index, events in deltas.items():
+            subs[index]._deliver(events)
+            self.stats["deltas_delivered"] += len(events)
         self.stats["catchup_batches"] += 1
         self.stats["txns_applied"] += applied
         return applied > 0
@@ -237,11 +381,53 @@ class ReadReplica:
         return self._model
 
     def snapshot(self) -> tuple[DataModel, int]:
-        """A private clone of the model plus its watermark, for callers
-        that will mutate or retain the view across refreshes."""
+        """An O(1) copy-on-write snapshot of the model plus its watermark,
+        for callers that retain the view across refreshes (or mutate it).
+
+        The fork shares every node with the live model; later refreshes
+        path-copy the subtrees they touch, so the snapshot stays frozen at
+        its watermark while costing a pointer swap under the lock — this
+        is what makes ``fleet_view`` composition O(changed units) rather
+        than O(model)."""
         with self._lock:
             model = self.model()
             return model.clone(), self._applied_txn
+
+    # ------------------------------------------------------------------
+    # Per-subtree delta subscriptions
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        path: str,
+        callback: Callable[[list[SubtreeDelta]], None] | None = None,
+    ) -> Subscription:
+        """Subscribe to the committed delta stream of the subtree at
+        ``path`` (``"/"`` for the whole shard).
+
+        Events are derived from the applied execution-log entries the
+        replica already tails, so a subscription adds **zero** coordination
+        operations beyond the replica's own catch-up.  The subscription
+        starts at the replica's current watermark: the subscriber should
+        initialise its cache from :meth:`snapshot` and then apply deltas
+        (rebuilding on ``resync`` events, which replace the deltas a
+        quiesce-point checkpoint truncated away).
+        """
+        with self._lock:
+            self.refresh()  # establish the start watermark and arm watches
+            sub = Subscription(self, path, callback)
+            sub.last_seq = self._applied_txn
+            self._subs.append(sub)
+            return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            if sub in self._subs:
+                self._subs.remove(sub)
+
+    def subscriptions(self) -> list[Subscription]:
+        with self._lock:
+            return list(self._subs)
 
     def __repr__(self) -> str:
         return (

@@ -107,7 +107,7 @@ class LogicalExecutor:
             if record.undo_action is None:
                 continue
             try:
-                node = self.model.get(record.path)
+                node = self.model.get_for_write(record.path)
                 action_def = self.schema.get(node.entity_type).get_action(record.undo_action)
                 action_def.simulate(self.model, node, *record.undo_args)
                 undone += 1
@@ -126,7 +126,7 @@ class LogicalExecutor:
         """
         applied = 0
         for record in log:
-            node = self.model.get(record.path)
+            node = self.model.get_for_write(record.path)
             action_def = self.schema.get(node.entity_type).get_action(record.action)
             action_def.simulate(self.model, node, *record.args)
             applied += 1

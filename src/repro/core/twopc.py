@@ -74,15 +74,32 @@ class TwoPCLog:
     All writes are immediate (never batched): a decision record is the
     durable commit point of the whole protocol, and the ticket is a mutual
     exclusion primitive — neither may sit in a leader's group-commit buffer.
+
+    Decision records are keyed **by coordinator shard**
+    (``decisions/shard-<N>/<txid>``), so each shard's GC sweep lists only
+    its own records instead of reading every retained record fleet-wide.
+    Records written by older builds under the flat ``decisions/<txid>``
+    layout are still *read* transparently and are migrated into the
+    sharded layout by their coordinator at recovery
+    (:meth:`migrate_flat_decisions`).
     """
 
     DECISION_PREFIX = "decisions"
     TICKET_KEY = "ticket"
+    #: Child-name prefix distinguishing per-coordinator directories from
+    #: legacy flat txid keys under :data:`DECISION_PREFIX`.
+    SHARD_DIR_PREFIX = "shard-"
 
     def __init__(self, kv: KVStore):
         self.kv = kv
 
     # -- decision records ------------------------------------------------
+
+    def _shard_dir(self, shard: int) -> str:
+        return f"{self.DECISION_PREFIX}/{self.SHARD_DIR_PREFIX}{int(shard)}"
+
+    def _decision_key(self, txid: str, coordinator: int) -> str:
+        return f"{self._shard_dir(coordinator)}/{txid}"
 
     def decide(
         self,
@@ -99,23 +116,73 @@ class TwoPCLog:
             "coordinator": int(coordinator),
             "participants": sorted(int(s) for s in participants),
         }
-        self.kv.put(f"{self.DECISION_PREFIX}/{txid}", record)
+        self.kv.put(self._decision_key(txid, coordinator), record)
         return record
 
-    def decision(self, txid: str) -> str | None:
+    def decision(self, txid: str, coordinator: int | None = None) -> str | None:
         """The recorded decision for ``txid`` (``None`` = presumed open;
         presumed *abort* only once the coordinator is known to have failed
         before logging — which its successor converts into an explicit
-        abort record on recovery)."""
-        record = self.kv.get(f"{self.DECISION_PREFIX}/{txid}")
+        abort record on recovery).
+
+        Callers that know the coordinator (participants and recovering
+        leaders always do — it is stamped in the transaction document)
+        should pass it: the lookup is then two point reads at most (the
+        sharded key, plus the legacy flat key for pre-migration records)
+        instead of a fleet-wide scan.
+        """
+        record = self.decision_record(txid, coordinator)
         return None if record is None else record.get("decision")
 
-    def decision_record(self, txid: str) -> dict[str, Any] | None:
-        return self.kv.get(f"{self.DECISION_PREFIX}/{txid}")
+    def decision_record(
+        self, txid: str, coordinator: int | None = None
+    ) -> dict[str, Any] | None:
+        if coordinator is not None:
+            record = self.kv.get(self._decision_key(txid, coordinator))
+            if record is not None:
+                return record
+            return self.kv.get(f"{self.DECISION_PREFIX}/{txid}")
+        # Coordinator unknown (introspection/tests): flat key first, then
+        # every shard directory.
+        record = self.kv.get(f"{self.DECISION_PREFIX}/{txid}")
+        if record is not None:
+            return record
+        for child in self.kv.keys(self.DECISION_PREFIX):
+            if not child.startswith(self.SHARD_DIR_PREFIX):
+                continue
+            record = self.kv.get(f"{self.DECISION_PREFIX}/{child}/{txid}")
+            if record is not None:
+                return record
+        return None
 
-    def clear_decision(self, txid: str) -> None:
+    def clear_decision(self, txid: str, coordinator: int | None = None) -> None:
         """Drop one decision record (the GC below is the systematic path)."""
+        record = self.decision_record(txid, coordinator)
+        if record is None:
+            return
         self.kv.delete(f"{self.DECISION_PREFIX}/{txid}")
+        self.kv.delete(self._decision_key(txid, int(record.get("coordinator", -1))))
+
+    def migrate_flat_decisions(self, shard: int) -> int:
+        """Re-key this shard's legacy flat decision records into the
+        per-coordinator layout.  Called once per leader takeover (recovery):
+        each shard migrates the records *it* coordinated, so after every
+        shard has recovered once the flat namespace is empty and GC sweeps
+        never scan foreign records again.  Returns records migrated."""
+        migrated = 0
+        for child in self.kv.keys(self.DECISION_PREFIX):
+            if child.startswith(self.SHARD_DIR_PREFIX):
+                continue
+            record = self.kv.get(f"{self.DECISION_PREFIX}/{child}")
+            if not record or int(record.get("coordinator", -1)) != int(shard):
+                continue
+            # Write the sharded copy before dropping the flat key: a crash
+            # between the two leaves a duplicate, which reads resolve and a
+            # later migration pass cleans up — never a lost decision.
+            self.kv.put(self._decision_key(record["txid"], shard), record)
+            self.kv.delete(f"{self.DECISION_PREFIX}/{child}")
+            migrated += 1
+        return migrated
 
     # -- decision-record garbage collection -------------------------------
     #
@@ -144,6 +211,10 @@ class TwoPCLog:
     # re-send their vote.  See docs/architecture.md#decision-record-gc.
 
     HORIZON_PREFIX = "horizons"
+    #: Horizon value published for a permanently decommissioned shard: it
+    #: compares greater than every real epoch, so coordinators' sweeps
+    #: never wait on a participant that will never checkpoint again.
+    RETIRED_HORIZON = 1 << 62
 
     def publish_horizon(self, shard: int, epoch: int) -> None:
         """Advertise that ``shard`` completed quiesce-point checkpoint number
@@ -152,24 +223,36 @@ class TwoPCLog:
         self.kv.put(f"{self.HORIZON_PREFIX}/shard-{int(shard)}", int(epoch))
 
     def horizons(self) -> dict[int, int]:
-        """Every shard's latest published checkpoint horizon epoch."""
+        """Every shard's latest published checkpoint horizon epoch.
+        Retired shards report :data:`RETIRED_HORIZON` (always past any
+        mark)."""
         out: dict[int, int] = {}
         for key, value in self.kv.items(self.HORIZON_PREFIX):
             if value is None:
                 continue
-            out[int(key.rsplit("-", 1)[-1])] = int(value)
+            shard = int(key.rsplit("-", 1)[-1])
+            if isinstance(value, dict) and value.get("retired"):
+                out[shard] = self.RETIRED_HORIZON
+            else:
+                out[shard] = int(value)
         return out
 
     def gc_decisions(self, shard: int) -> int:
         """Mark-and-sweep the decision records coordinated by ``shard``
         (each shard garbage-collects its own transactions' outcomes).
         Returns the number of records deleted.  Callers invoke this from a
-        quiesce-point checkpoint only."""
+        quiesce-point checkpoint only.
+
+        With records keyed by coordinator, the sweep lists only this
+        shard's own directory — its cost is proportional to the decisions
+        *this shard* retains, not to every retained record fleet-wide.
+        """
         horizons = self.horizons()
+        shard_dir = self._shard_dir(shard)
         removed = 0
-        for txid in self.kv.keys(self.DECISION_PREFIX):
-            record = self.kv.get(f"{self.DECISION_PREFIX}/{txid}")
-            if not record or int(record.get("coordinator", -1)) != int(shard):
+        for txid in self.kv.keys(shard_dir):
+            record = self.kv.get(f"{shard_dir}/{txid}")
+            if not record:
                 continue
             participants = [int(p) for p in record.get("participants") or []]
             mark = record.get("gc_horizons")
@@ -177,16 +260,61 @@ class TwoPCLog:
                 record["gc_horizons"] = {
                     str(p): int(horizons.get(p, -1)) for p in participants
                 }
-                self.kv.put(f"{self.DECISION_PREFIX}/{txid}", record)
+                self.kv.put(f"{shard_dir}/{txid}", record)
                 continue
+            # A retired participant is always past any mark — including a
+            # mark that itself stored the retirement sentinel (the record
+            # was first marked after the retirement), where the strict
+            # ``>`` alone would retain the record forever.
             swept = all(
                 horizons.get(p, -(1 << 30)) > int(mark.get(str(p), 1 << 30))
+                or horizons.get(p, -(1 << 30)) >= self.RETIRED_HORIZON
                 for p in participants
             )
             if swept:
-                self.kv.delete(f"{self.DECISION_PREFIX}/{txid}")
+                self.kv.delete(f"{shard_dir}/{txid}")
                 removed += 1
         return removed
+
+    # -- administrative shard retirement ----------------------------------
+
+    def retire_shard(self, shard: int) -> dict[str, int]:
+        """Administrative sweep for a permanently decommissioned shard
+        (``cli ... 2pc-gc --retired-shard N``).
+
+        Normal GC needs the *coordinator* alive to mark and sweep its own
+        records, and needs every *participant* to keep publishing horizons
+        — a retired shard satisfies neither, so without this sweep its
+        records (and any record naming it as participant) are retained
+        forever.  Retirement:
+
+        * deletes every decision record the retired shard coordinated
+          (sharded directory and any pre-migration flat keys) — the only
+          reader of a decision is a participant recovering with an
+          unresolved prepare for it, and a *permanently* decommissioned
+          coordinator's peers were required to resolve or be retired
+          before decommissioning (see docs/operations.md), and
+        * publishes a retired-horizon sentinel so other coordinators'
+          mark-and-sweep stops waiting for the shard's checkpoints.
+
+        Idempotent; returns ``{"records_removed": n, "horizon_retired": 1}``.
+        """
+        removed = 0
+        shard_dir = self._shard_dir(shard)
+        for txid in list(self.kv.keys(shard_dir)):
+            self.kv.delete(f"{shard_dir}/{txid}")
+            removed += 1
+        for child in list(self.kv.keys(self.DECISION_PREFIX)):
+            if child.startswith(self.SHARD_DIR_PREFIX):
+                continue
+            record = self.kv.get(f"{self.DECISION_PREFIX}/{child}")
+            if record and int(record.get("coordinator", -1)) == int(shard):
+                self.kv.delete(f"{self.DECISION_PREFIX}/{child}")
+                removed += 1
+        self.kv.put(
+            f"{self.HORIZON_PREFIX}/shard-{int(shard)}", {"retired": True}
+        )
+        return {"records_removed": removed, "horizon_retired": 1}
 
     # -- prepare ticket ---------------------------------------------------
 

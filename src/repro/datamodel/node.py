@@ -17,9 +17,18 @@ class Node:
     the *inconsistent* flag used by reconciliation (§4): when a cross-layer
     inconsistency is detected on a node, the node and its descendants are
     fenced off from further transactions until repaired or reloaded.
+
+    ``epoch`` is the copy-on-write version stamp (see
+    :class:`~repro.datamodel.tree.DataModel`): a node may be mutated in
+    place only by the model whose ownership set contains its epoch; every
+    other tree sharing it structurally must copy it first.  The stamp is an
+    in-memory sharing artifact and is never serialised, so checkpoints and
+    ``to_dict`` output are byte-identical to the pre-CoW format.
     """
 
-    __slots__ = ("name", "entity_type", "attrs", "children", "parent", "inconsistent")
+    __slots__ = (
+        "name", "entity_type", "attrs", "children", "parent", "inconsistent", "epoch"
+    )
 
     def __init__(
         self,
@@ -34,6 +43,13 @@ class Node:
         self.children: dict[str, Node] = {}
         self.parent = parent
         self.inconsistent = False
+        #: 0 = unstamped: exclusive to the model that built the tree until
+        #: that model is forked, shared afterwards (a 0-epoch node created
+        #: after a fork is conservatively treated as shared and copied on
+        #: first write, which is always safe).  A model stamps ``+epoch``
+        #: on nodes whose *whole subtree* it owns (claims, creations) and
+        #: ``-epoch`` on spine copies, whose children may still be shared.
+        self.epoch = 0
 
     # -- structure ----------------------------------------------------
 
@@ -113,6 +129,55 @@ class Node:
     def clone(self) -> "Node":
         """Deep copy of the subtree (parent link of the copy is ``None``)."""
         return Node.from_dict(self.to_dict())
+
+    # -- copy-on-write copies ------------------------------------------
+
+    def copy_node(self, epoch: int) -> "Node":
+        """Spine copy for path-copying writers: a new node stamped with
+        ``epoch`` whose attrs are private but whose *children are shared*
+        with the original (the parent link is left for the caller to set).
+
+        The copy's children keep their parent pointers into the original
+        spine; that is safe because a spine copy never changes names, so
+        the name chain — all :meth:`path` ever reads — is identical.
+        """
+        node = Node.__new__(Node)
+        node.name = self.name
+        node.entity_type = self.entity_type
+        node.attrs = deep_copy(self.attrs)
+        node.children = dict(self.children)
+        node.parent = None
+        node.inconsistent = self.inconsistent
+        node.epoch = epoch
+        return node
+
+    def copy_subtree(self, epoch: int) -> "Node":
+        """Structural deep copy of the whole subtree, every copy stamped
+        with ``epoch`` — used by writers claiming exclusive ownership of a
+        mutation target whose descendants may be mutated directly through
+        the Node API (action simulation functions)."""
+        node = self.copy_node(epoch)
+        for name, child in self.children.items():
+            copied = child.copy_subtree(epoch)
+            copied.parent = node
+            node.children[name] = copied
+        return node
+
+    def promote_subtree(self, epoch: int) -> None:
+        """Upgrade a spine-owned node (stamped ``-epoch``: mutable, but
+        with possibly-shared children) to full subtree ownership, copying
+        exactly the descendants that are still shared.  Children already
+        stamped ``+epoch`` were claimed or created whole and are skipped."""
+        self.epoch = epoch
+        for name, child in list(self.children.items()):
+            if child.epoch == epoch:
+                continue
+            if child.epoch == -epoch:
+                child.promote_subtree(epoch)
+                continue
+            copied = child.copy_subtree(epoch)
+            copied.parent = self
+            self.children[name] = copied
 
     def __repr__(self) -> str:
         return f"<Node {self.path} type={self.entity_type} attrs={self.attrs}>"

@@ -1,7 +1,15 @@
-"""The data model tree used by both the logical and physical layers."""
+"""The data model tree used by both the logical and physical layers.
+
+Snapshots are copy-on-write (PR 5): :meth:`DataModel.clone` is an O(1)
+*fork* — both trees share every node structurally, and each side
+path-copies only the spine from the root to a mutated node (plus the
+mutation target's subtree, claimed on first touch) before writing.  See
+``docs/architecture.md#copy-on-write-snapshots`` for the ownership rules.
+"""
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Iterator
 
 from repro.common.errors import DataModelError, InconsistencyError, UnknownPathError
@@ -9,6 +17,11 @@ from repro.datamodel.node import Node
 from repro.datamodel.path import ROOT_PATH, ResourcePath
 
 PathLike = "str | ResourcePath"
+
+#: Global copy-on-write epoch source.  Epochs are unique across every
+#: DataModel in the process, so a node stamped by one model's lineage can
+#: never be mistaken for another's.
+_EPOCHS = itertools.count(1)
 
 
 class DataModel:
@@ -19,10 +32,35 @@ class DataModel:
     reconciliation.  The class is deliberately a plain in-memory structure:
     durability is provided by the persistence layer (checkpoints and
     execution logs in the coordination store), not by the tree itself.
+
+    **Copy-on-write ownership.**  Every model carries an ownership set of
+    epoch stamps; a node may be mutated in place only if ``node.epoch`` is
+    in the set.  :meth:`clone` forks the tree in O(1): the fork shares the
+    root, and *both* models move to fresh ownership sets, so every
+    pre-fork node becomes frozen for both sides.  Writers go through
+    :meth:`get_for_write` (or the DataModel mutators), which path-copies
+    shared spine nodes and claims the mutation target's subtree with a
+    structural copy on first touch.  Direct ``Node``-API mutation is safe
+    only inside a subtree returned by :meth:`get_for_write` — that is the
+    contract the action-simulation funnel (``OrchestrationContext.do``,
+    log replay/undo) upholds.
     """
 
     def __init__(self, root: Node | None = None):
         self.root = root or Node("", "root")
+        #: Copy-on-write identity.  Nodes stamped ``+_epoch`` are
+        #: *subtree-owned* (the whole subtree is exclusively this model's:
+        #: claims via :meth:`get_for_write`, creations); nodes stamped
+        #: ``-_epoch`` are *spine-owned* (the node itself is a private
+        #: copy, its children may still be shared).  While ``_zero_owned``
+        #: holds (no fork has ever happened), unstamped (epoch 0) nodes
+        #: are subtree-owned too — a freshly built tree is unshared, so
+        #: the write path pays nothing until the first snapshot.
+        self._epoch = next(_EPOCHS)
+        self._zero_owned = True
+        #: Monotonic mutation counter (cheap change detection for read
+        #: caches, e.g. the platform's merged fleet view).
+        self._version = 0
         # -- per-subtree dirty tracking (incremental checkpoints) --------
         # Checkpoints are stored as one document per *second-level* node
         # (e.g. one per vmHost), so dirt is tracked at that granularity:
@@ -35,6 +73,89 @@ class DataModel:
         self._dirty_tops: set[str] = set()
         self._all_dirty = True
 
+    # -- copy-on-write ownership ------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutation entry point."""
+        return self._version
+
+    def owns(self, node: Node) -> bool:
+        """Whether ``node`` may be mutated in place by this model (its
+        *children* may still be shared; see :meth:`owns_subtree`)."""
+        return self.owns_subtree(node) or node.epoch == -self._epoch
+
+    def owns_subtree(self, node: Node) -> bool:
+        """Whether the whole subtree under ``node`` is exclusively this
+        model's (safe for direct Node-API mutation of descendants)."""
+        return node.epoch == self._epoch or (self._zero_owned and node.epoch == 0)
+
+    def _own_spine(self, rpath: ResourcePath, demote: bool = False) -> Node:
+        """Return the node at ``rpath`` with every node from the root down
+        to it exclusively owned via shallow (children-sharing) copies.
+        The returned node's attrs may be mutated and its children dict
+        restructured in place; its child *objects* may still be shared.
+
+        ``demote=True`` downgrades every spine node to spine ownership
+        (``-epoch``): used when a *shared* subtree is about to be grafted
+        below, which invalidates any ancestor's subtree-ownership claim.
+        """
+        node = self.root
+        if not self.owns(node):
+            node = node.copy_node(-self._epoch)
+            self.root = node
+        elif demote and node.epoch != -self._epoch:
+            node.epoch = -self._epoch
+        for part in rpath.parts:
+            child = node.child(part)
+            if child is None:
+                raise UnknownPathError(f"no node at {rpath} (missing {part!r})")
+            if not self.owns(child):
+                child = child.copy_node(-self._epoch)
+                child.parent = node
+                node.children[part] = child
+            elif demote and child.epoch != -self._epoch:
+                child.epoch = -self._epoch
+            node = child
+        return node
+
+    def get_for_write(self, path: PathLike) -> Node:
+        """Return the node at ``path`` with its *entire subtree* exclusively
+        owned, path-copying the spine and claiming the subtree with a
+        structural copy if it is shared with a snapshot or fork.
+
+        This is the mutation funnel for code that writes through the Node
+        API directly (action simulation functions, execution-log replay):
+        inside the returned subtree, in-place mutation is safe.  Cost is
+        O(path depth) once the subtree is owned; the one-time claim is
+        O(subtree) — a second-level checkpoint unit in practice, never the
+        whole model.
+        """
+        rpath = ResourcePath.parse(path)
+        # The caller is about to mutate this subtree directly, so its
+        # checkpoint unit has diverged; marking here (not just via the
+        # transaction write set) keeps incremental checkpoints correct for
+        # every funnelled write.  mark_dirty also bumps the version.
+        self.mark_dirty(rpath)
+        if rpath.is_root():
+            # Root-targeted writers (none exist today) get a shallow-owned
+            # root; claiming the whole tree would defeat O(1) snapshots.
+            return self._own_spine(rpath)
+        parent = self._own_spine(rpath.parent)
+        child = parent.child(rpath.name)
+        if child is None:
+            raise UnknownPathError(f"no node at {rpath} (missing {rpath.name!r})")
+        if not self.owns_subtree(child):
+            if child.epoch == -self._epoch:
+                # A spine copy of ours: mutable already, only its shared
+                # descendants need copying.
+                child.promote_subtree(self._epoch)
+            else:
+                child = child.copy_subtree(self._epoch)
+                child.parent = parent
+                parent.children[rpath.name] = child
+        return child
+
     # -- dirty tracking ---------------------------------------------------
 
     def mark_dirty(self, path: PathLike) -> None:
@@ -42,6 +163,7 @@ class DataModel:
         from the last checkpoint.  Mutations at the root mark everything;
         mutations on a top-level node mark its whole subtree."""
         rpath = ResourcePath.parse(path)
+        self._version += 1
         parts = rpath.parts
         if not parts:
             self._all_dirty = True
@@ -51,6 +173,7 @@ class DataModel:
             self._dirty_pairs.add((parts[0], parts[1]))
 
     def mark_all_dirty(self) -> None:
+        self._version += 1
         self._all_dirty = True
 
     def dirty_state(self) -> tuple[bool, set[str], set[tuple[str, str]]]:
@@ -108,10 +231,11 @@ class DataModel:
         rpath = ResourcePath.parse(path)
         if rpath.is_root():
             raise DataModelError("cannot create the root node")
-        parent = self.get(rpath.parent)
-        if parent.child(rpath.name) is not None:
+        if self.get(rpath.parent).child(rpath.name) is not None:
             raise DataModelError(f"node already exists at {rpath}")
+        parent = self._own_spine(rpath.parent)
         node = Node(rpath.name, entity_type, attrs)
+        node.epoch = self._epoch
         parent.add_child(node)
         self.mark_dirty(rpath)
         return node
@@ -140,30 +264,56 @@ class DataModel:
         node = self.get(rpath)
         if node.children and not recursive:
             raise DataModelError(f"node {rpath} has children; use recursive=True")
-        parent = self.get(rpath.parent)
+        parent = self._own_spine(rpath.parent)
         self.mark_dirty(rpath)
-        return parent.remove_child(rpath.name)
+        child = parent.children.pop(rpath.name)
+        # A child shared with a snapshot keeps its parent pointer: the
+        # snapshot still reaches it top-down and its name chain (which is
+        # all ``Node.path`` reads) is unchanged.  An exclusively owned
+        # child is detached exactly as before.
+        if self.owns(child):
+            child.parent = None
+        return child
 
     def set_attrs(self, path: PathLike, **attrs: Any) -> Node:
-        node = self.get(path)
+        node = self._own_spine(ResourcePath.parse(path))
         node.attrs.update(attrs)
         self.mark_dirty(path)
         return node
 
     def replace_subtree(self, path: PathLike, subtree: Node) -> Node:
-        """Replace the node at ``path`` with ``subtree`` (used by *reload*)."""
+        """Replace the node at ``path`` with ``subtree`` (used by *reload*,
+        and by the merged fleet view to graft shared snapshot subtrees).
+
+        A subtree this model does not own is grafted *without* mutating it
+        when its name already matches (structural sharing: the donor tree
+        keeps it untouched); a shared subtree under a different name is
+        spine-copied first so the rename cannot corrupt the donor.
+        """
         rpath = ResourcePath.parse(path)
+        shared_graft = not self.owns_subtree(subtree)
         if rpath.is_root():
+            if shared_graft and subtree.name != "":
+                subtree = subtree.copy_node(-self._epoch)
+            if self.owns(subtree):
+                subtree.parent = None
+                subtree.name = ""
             self.root = subtree
-            subtree.parent = None
-            subtree.name = ""
             self.mark_all_dirty()
             return subtree
-        parent = self.get(rpath.parent)
-        if rpath.name in parent.children:
-            parent.remove_child(rpath.name)
-        subtree.name = rpath.name
-        parent.add_child(subtree)
+        # Grafting a subtree we do not own in full invalidates every
+        # ancestor's subtree-ownership claim — demote the spine so a later
+        # get_for_write on an ancestor still copies the shared parts.
+        parent = self._own_spine(rpath.parent, demote=shared_graft)
+        existing = parent.children.pop(rpath.name, None)
+        if existing is not None and self.owns(existing):
+            existing.parent = None
+        if shared_graft and not self.owns(subtree) and subtree.name != rpath.name:
+            subtree = subtree.copy_node(-self._epoch)
+        if self.owns(subtree):
+            subtree.name = rpath.name
+            subtree.parent = parent
+        parent.children[rpath.name] = subtree
         self.mark_dirty(rpath)
         return subtree
 
@@ -208,11 +358,11 @@ class DataModel:
 
     def mark_inconsistent(self, path: PathLike) -> None:
         """Fence off a subtree after a cross-layer inconsistency is detected."""
-        self.get(path).inconsistent = True
+        self._own_spine(ResourcePath.parse(path)).inconsistent = True
         self.mark_dirty(path)
 
     def clear_inconsistent(self, path: PathLike) -> None:
-        self.get(path).inconsistent = False
+        self._own_spine(ResourcePath.parse(path)).inconsistent = False
         self.mark_dirty(path)
 
     def is_fenced(self, path: PathLike) -> bool:
@@ -249,6 +399,23 @@ class DataModel:
         return cls(Node.from_dict(data))
 
     def clone(self) -> "DataModel":
+        """O(1) copy-on-write fork sharing every node with this model.
+
+        Both trees move to fresh ownership epochs, so all pre-fork nodes
+        are frozen for *both* sides; each side path-copies what it mutates
+        (see the class docstring).  The fork is independently mutable and
+        starts conservatively all-dirty, exactly like the deep clone it
+        replaces; :meth:`deep_clone` remains for callers that need
+        physically disjoint trees.
+        """
+        fork = DataModel(self.root)
+        fork._zero_owned = False
+        self._epoch = next(_EPOCHS)
+        self._zero_owned = False
+        return fork
+
+    def deep_clone(self) -> "DataModel":
+        """Full structural deep copy (the pre-CoW ``clone`` semantics)."""
         return DataModel(self.root.clone())
 
     def __len__(self) -> int:

@@ -26,9 +26,12 @@ from repro.testing.faults import (
     FaultyQueue,
     FaultyTropicStore,
 )
+from repro.testing.models import SNAPSHOT_BENCH_SIZES, build_host_fleet_model
 
 __all__ = [
     "ShardedCluster",
+    "SNAPSHOT_BENCH_SIZES",
+    "build_host_fleet_model",
     "CrashPoint",
     "FaultInjector",
     "FaultyKVStore",

@@ -1,0 +1,122 @@
+"""Simulation-time foreign-write detection (PR 5 satellite).
+
+Routing is argument-path based, so a stored procedure whose *simulation*
+writes paths on shards absent from its arguments used to land those writes
+silently on the executing shard's bootstrap-frozen foreign copies under
+``cross_shard_policy="reject"``/``"pin"``.  The controller now detects the
+divergence from the simulated read/write set: ``reject`` aborts loudly,
+``pin`` warns (its documented visibility hazard), and ``2pc`` upgrades the
+transaction into a real cross-shard two-phase commit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.txn import TransactionState
+from repro.testing import ShardedCluster
+
+IMAGE = "sneaky-image"
+
+
+def _register_sneaky(cluster: ShardedCluster) -> None:
+    """A procedure that writes a host never named in its arguments (the
+    auto-placement pattern): routing sees a single-shard submission."""
+
+    def sneaky_import(ctx, vm_host: str, hidden_target: str):
+        ctx.do(vm_host, "importImage", IMAGE)
+        ctx.do(f"/vmRoot/{hidden_target}", "importImage", IMAGE)
+        return "ok"
+
+    if not cluster.procedures.has("sneakyImport"):
+        cluster.procedures.register("sneakyImport", sneaky_import)
+
+
+def _split_hosts(cluster: ShardedCluster) -> tuple[str, str]:
+    """(a shard-0 host, a host owned by another shard)."""
+    by_shard: dict[int, list[str]] = {}
+    for host in cluster.inventory.vm_hosts:
+        by_shard.setdefault(cluster.router.shard_of(host), []).append(host)
+    assert len(by_shard) > 1, "fleet must span both shards"
+    local = by_shard[0][0]
+    foreign = next(hosts[0] for shard, hosts in by_shard.items() if shard != 0)
+    return local, foreign
+
+
+class TestRejectPolicy:
+    def test_foreign_sim_write_aborts_instead_of_corrupting(self):
+        cluster = ShardedCluster(num_shards=2, cross_shard_policy="reject")
+        _register_sneaky(cluster)
+        local, foreign = _split_hosts(cluster)
+        txn = cluster.submit(
+            "sneakyImport",
+            {"vm_host": local, "hidden_target": foreign.rsplit("/", 1)[-1]},
+        )
+        cluster.drain()
+        final = cluster.load(txn)
+        assert final.state is TransactionState.ABORTED
+        assert "cross-shard writes" in (final.error or "")
+        executing = cluster.shard_of(local)
+        assert cluster.controllers[executing].stats["foreign_write_rejects"] == 1
+        # Neither copy of the foreign host saw the write, and the local
+        # simulation was rolled back.
+        for shard in cluster.shard_ids:
+            model = cluster.model(shard)
+            assert IMAGE not in model.get(foreign).get("imported_images", [])
+            assert IMAGE not in model.get(local).get("imported_images", [])
+
+    def test_single_shard_simulation_is_unaffected(self):
+        cluster = ShardedCluster(num_shards=2, cross_shard_policy="reject")
+        _register_sneaky(cluster)
+        local, _ = _split_hosts(cluster)
+        txn = cluster.submit(
+            "sneakyImport",
+            {"vm_host": local, "hidden_target": local.rsplit("/", 1)[-1]},
+        )
+        cluster.drain()
+        assert cluster.load(txn).state is TransactionState.COMMITTED
+
+
+class TestPinPolicy:
+    def test_foreign_sim_write_warns_and_records_the_hazard(self):
+        with pytest.warns(DeprecationWarning):
+            cluster = ShardedCluster(num_shards=2, cross_shard_policy="pin")
+        _register_sneaky(cluster)
+        local, foreign = _split_hosts(cluster)
+        txn = cluster.submit(
+            "sneakyImport",
+            {"vm_host": local, "hidden_target": foreign.rsplit("/", 1)[-1]},
+        )
+        with pytest.warns(RuntimeWarning, match="bootstrap-frozen"):
+            cluster.drain()
+        final = cluster.load(txn)
+        assert final.state is TransactionState.COMMITTED
+        executing = cluster.shard_of(local)
+        assert cluster.controllers[executing].stats["foreign_write_pins"] >= 1
+        # Pin's documented hazard, now surfaced instead of silent: the
+        # executing shard's copy has the write, the owner's copy does not.
+        owner = cluster.router.shard_of(foreign)
+        assert IMAGE in cluster.model(executing).get(foreign).get("imported_images", [])
+        assert IMAGE not in cluster.model(owner).get(foreign).get("imported_images", [])
+
+
+class TestTwoPCUpgrade:
+    def test_foreign_sim_write_upgrades_to_cross_shard_commit(self):
+        cluster = ShardedCluster(num_shards=2, cross_shard_policy="2pc")
+        _register_sneaky(cluster)
+        local, foreign = _split_hosts(cluster)
+        txn = cluster.submit(
+            "sneakyImport",
+            {"vm_host": local, "hidden_target": foreign.rsplit("/", 1)[-1]},
+        )
+        cluster.drain()
+        final = cluster.load(txn)
+        assert final.state is TransactionState.COMMITTED
+        executing = cluster.shard_of(local)
+        stats = cluster.controllers[executing].stats
+        assert stats["cross_shard_upgrades"] >= 1
+        assert stats["cross_shard_committed"] >= 1
+        # Atomic and visible on the *owners'* authoritative models.
+        owner = cluster.router.shard_of(foreign)
+        assert IMAGE in cluster.model(owner).get(foreign).get("imported_images", [])
+        assert IMAGE in cluster.model(executing).get(local).get("imported_images", [])

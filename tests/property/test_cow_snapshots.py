@@ -1,0 +1,206 @@
+"""Property tests for copy-on-write snapshots (PR 5).
+
+Two invariants the CoW rebuild must never break:
+
+* **snapshot immutability** — a snapshot (fork) taken before an arbitrary
+  mutation sequence is byte-identical after it: no mutation may leak
+  through the structural sharing, whichever side mutates; and
+* **recovery equality** — a checkpoint written from a CoW-forked model
+  reassembles to exactly the model the seed deep-copy path produced, so
+  leader failover and replica bootstrap are unaffected by sharing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DataModelError, UnknownPathError
+from repro.coordination.client import CoordinationClient
+from repro.coordination.ensemble import CoordinationEnsemble
+from repro.coordination.kvstore import KVStore
+from repro.core.persistence import TropicStore
+from repro.datamodel.node import Node
+from repro.datamodel.tree import DataModel
+
+HOSTS = 3
+VMS = 2
+
+
+def build_model() -> DataModel:
+    model = DataModel()
+    model.create("/vmRoot", "vmRoot")
+    model.create("/storageRoot", "storageRoot")
+    for h in range(HOSTS):
+        model.create(f"/vmRoot/host{h}", "vmHost", {"mem_mb": 4096, "images": []})
+        for v in range(VMS):
+            model.create(f"/vmRoot/host{h}/vm{v}", "vm", {"state": "stopped"})
+        model.create(f"/storageRoot/store{h}", "storageHost", {"capacity_gb": 100.0})
+    return model
+
+
+def dumps(model: DataModel) -> str:
+    return json.dumps(model.to_dict(), sort_keys=True)
+
+
+# -- mutation strategy -------------------------------------------------------
+#
+# Each operation is a tuple interpreted by apply_op; paths are drawn from
+# the unit population above (existing or not — invalid operations are
+# allowed to fail, what matters is that they never corrupt a snapshot).
+
+host_idx = st.integers(0, HOSTS)  # one past the end: may miss
+vm_idx = st.integers(0, VMS)
+attr_val = st.one_of(st.integers(-100, 100), st.booleans(),
+                     st.text("ab", max_size=3))
+
+op_strategy = st.one_of(
+    st.tuples(st.just("set_attrs"), host_idx, vm_idx, attr_val),
+    st.tuples(st.just("create_vm"), host_idx, st.integers(0, 9)),
+    st.tuples(st.just("delete_vm"), host_idx, vm_idx),
+    st.tuples(st.just("delete_host"), host_idx),
+    st.tuples(st.just("create_host"), st.integers(0, 9)),
+    st.tuples(st.just("fence"), host_idx),
+    st.tuples(st.just("direct_write"), host_idx, vm_idx, attr_val),
+    st.tuples(st.just("replace"), host_idx),
+)
+
+
+def apply_op(model: DataModel, op: tuple) -> None:
+    kind = op[0]
+    try:
+        if kind == "set_attrs":
+            model.set_attrs(f"/vmRoot/host{op[1]}/vm{op[2]}", extra=op[3])
+        elif kind == "create_vm":
+            model.create(f"/vmRoot/host{op[1]}/vm{op[2]}", "vm", {"state": "new"})
+        elif kind == "delete_vm":
+            model.delete(f"/vmRoot/host{op[1]}/vm{op[2]}")
+        elif kind == "delete_host":
+            model.delete(f"/vmRoot/host{op[1]}", recursive=True)
+        elif kind == "create_host":
+            model.create(f"/vmRoot/host{op[1]}", "vmHost", {"mem_mb": 1})
+        elif kind == "fence":
+            model.mark_inconsistent(f"/vmRoot/host{op[1]}")
+        elif kind == "direct_write":
+            # The action-simulation idiom: claim the subtree, then mutate
+            # through the Node API (descendants included).
+            host = model.get_for_write(f"/vmRoot/host{op[1]}")
+            vm = host.child(f"vm{op[2]}")
+            if vm is not None:
+                vm["state"] = op[3]
+            else:
+                host.add_child(Node(f"vm{op[2]}", "vm", {"state": op[3]}))
+        elif kind == "replace":
+            model.replace_subtree(
+                f"/vmRoot/host{op[1]}",
+                Node(f"host{op[1]}", "vmHost", {"mem_mb": 7}),
+            )
+    except (DataModelError, UnknownPathError):
+        pass  # invalid op against the current tree shape: fine
+
+
+class TestSnapshotImmutability:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(op_strategy, min_size=1, max_size=20))
+    def test_snapshot_is_byte_identical_after_mutations(self, ops):
+        model = build_model()
+        snapshot = model.clone()
+        frozen = dumps(snapshot)
+        for op in ops:
+            apply_op(model, op)
+        assert dumps(snapshot) == frozen
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(op_strategy, min_size=1, max_size=20))
+    def test_original_is_byte_identical_after_fork_mutations(self, ops):
+        model = build_model()
+        frozen = dumps(model)
+        fork = model.clone()
+        for op in ops:
+            apply_op(fork, op)
+        assert dumps(model) == frozen
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(op_strategy, min_size=1, max_size=12),
+           st.lists(op_strategy, min_size=1, max_size=12))
+    def test_interleaved_snapshots_pin_their_states(self, first, second):
+        """Snapshots taken at different points each freeze their state."""
+        model = build_model()
+        snap_a = model.clone()
+        frozen_a = dumps(snap_a)
+        for op in first:
+            apply_op(model, op)
+        snap_b = model.clone()
+        frozen_b = dumps(snap_b)
+        for op in second:
+            apply_op(model, op)
+        assert dumps(snap_a) == frozen_a
+        assert dumps(snap_b) == frozen_b
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(op_strategy, min_size=1, max_size=15))
+    def test_fork_equals_deep_clone_after_mutations(self, ops):
+        """Applying the same ops to a CoW fork and to a deep clone must
+        produce identical trees — sharing is an optimisation, never a
+        semantic."""
+        model = build_model()
+        fork = model.clone()
+        deep = model.deep_clone()
+        for op in ops:
+            apply_op(fork, op)
+            apply_op(deep, op)
+        assert dumps(fork) == dumps(deep)
+
+
+class TestRecoveryEquality:
+    def _store(self) -> TropicStore:
+        ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=3600.0)
+        return TropicStore(KVStore(CoordinationClient(ensemble), "/tropic/store"))
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(op_strategy, min_size=1, max_size=15))
+    def test_checkpoint_from_cow_fork_equals_deep_copy_path(self, ops):
+        """Checkpoints written from a CoW-shared model reassemble to the
+        same model the seed deep-copy path produces."""
+        model = build_model()
+        for op in ops:
+            apply_op(model, op)
+        # Hold live snapshots across the serialisation, as fleet views do.
+        snapshot = model.clone()
+
+        cow_store = self._store()
+        cow_store.save_checkpoint(model, applied_seq=0)
+        restored_cow, _ = cow_store.load_checkpoint()
+
+        deep_store = self._store()
+        deep_store.save_checkpoint(model.deep_clone(), applied_seq=0)
+        restored_deep, _ = deep_store.load_checkpoint()
+
+        assert dumps(restored_cow) == dumps(restored_deep) == dumps(model)
+        assert dumps(snapshot) == dumps(model)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(op_strategy, min_size=1, max_size=12))
+    def test_incremental_checkpoint_under_forks_matches_full(self, ops):
+        """Dirty-unit incremental checkpoints stay correct when snapshots
+        are forked between mutations (forks must not eat dirty marks)."""
+        store = self._store()
+        model = build_model()
+        store.save_checkpoint(model, applied_seq=0)
+        model.clear_dirty()
+        snapshots = []
+        for index, op in enumerate(ops):
+            apply_op(model, op)
+            if index % 3 == 0:
+                snapshots.append(model.clone())
+        store.save_checkpoint_incremental(model, applied_seq=1)
+        restored, _ = store.load_checkpoint()
+        assert dumps(restored) == dumps(model)

@@ -45,6 +45,19 @@ class TestCommands:
         assert "fleet utilisation" in out
         assert "/vmRoot/vmHost0" in out
 
+    def test_twopc_gc_reports_retained_records(self, capsys):
+        assert main(["--hosts", "8", "--shards", "2", "2pc-gc"]) == 0
+        out = capsys.readouterr().out
+        assert "retained decision records" in out
+        assert "shard-0" in out
+
+    def test_twopc_gc_retired_shard_sweeps(self, capsys):
+        assert main(["--hosts", "8", "--shards", "2", "2pc-gc",
+                     "--retired-shard", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "retired shard 0" in out
+        assert "record(s) swept" in out
+
     def test_repair_drill_reconverges(self, capsys):
         assert main(["repair-drill"]) == 0
         out = capsys.readouterr().out

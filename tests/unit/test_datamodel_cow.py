@@ -1,0 +1,226 @@
+"""Unit tests for copy-on-write data-model snapshots (PR 5 tentpole).
+
+``DataModel.clone()`` is an O(1) structural fork: both trees share every
+node, writers path-copy the spine to a mutated node and claim the mutation
+target's subtree on first touch (``get_for_write``).  These tests pin the
+ownership rules, the sharing invariants, and the byte-identity of frozen
+snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import DataModelError, UnknownPathError
+from repro.datamodel.node import Node
+from repro.datamodel.tree import DataModel
+
+
+def build_model(hosts: int = 3, vms_per_host: int = 2) -> DataModel:
+    model = DataModel()
+    model.create("/vmRoot", "vmRoot")
+    model.create("/storageRoot", "storageRoot")
+    for h in range(hosts):
+        model.create(f"/vmRoot/host{h}", "vmHost", {"mem_mb": 4096, "imported_images": []})
+        for v in range(vms_per_host):
+            model.create(
+                f"/vmRoot/host{h}/vm{v}", "vm", {"state": "stopped", "mem_mb": 256}
+            )
+    return model
+
+
+def dumps(model: DataModel) -> str:
+    return json.dumps(model.to_dict(), sort_keys=True)
+
+
+class TestFork:
+    def test_fork_shares_structure(self):
+        model = build_model()
+        fork = model.clone()
+        # O(1): the fork points at the very same nodes until someone writes.
+        assert fork.root is model.root
+        assert fork.get("/vmRoot/host0") is model.get("/vmRoot/host0")
+
+    def test_fork_serialises_identically(self):
+        model = build_model()
+        fork = model.clone()
+        assert dumps(fork) == dumps(model)
+
+    def test_mutating_original_leaves_fork_frozen(self):
+        model = build_model()
+        fork = model.clone()
+        frozen = dumps(fork)
+        model.set_attrs("/vmRoot/host0", mem_mb=1)
+        model.create("/vmRoot/host9", "vmHost", {"mem_mb": 1})
+        model.delete("/vmRoot/host1/vm0")
+        assert dumps(fork) == frozen
+        assert model.get("/vmRoot/host0")["mem_mb"] == 1
+
+    def test_mutating_fork_leaves_original_frozen(self):
+        model = build_model()
+        frozen = dumps(model)
+        fork = model.clone()
+        fork.set_attrs("/vmRoot/host0", mem_mb=1)
+        fork.delete("/vmRoot/host2", recursive=True)
+        assert dumps(model) == frozen
+        assert not fork.exists("/vmRoot/host2")
+
+    def test_chained_forks_are_independent(self):
+        model = build_model()
+        forks = []
+        for i in range(4):
+            model.set_attrs("/vmRoot/host0", generation=i)
+            forks.append((i, model.clone()))
+        model.set_attrs("/vmRoot/host0", generation=99)
+        for i, fork in forks:
+            assert fork.get("/vmRoot/host0")["generation"] == i
+
+    def test_fork_starts_all_dirty(self):
+        model = build_model()
+        model.clear_dirty()
+        fork = model.clone()
+        all_dirty, _, _ = fork.dirty_state()
+        assert all_dirty  # first checkpoint of a fork must be full
+
+    def test_fork_preserves_original_dirty_state(self):
+        model = build_model()
+        model.clear_dirty()
+        model.set_attrs("/vmRoot/host1/vm0", state="running")
+        model.clone()
+        all_dirty, _, pairs = model.dirty_state()
+        assert not all_dirty
+        assert ("vmRoot", "host1") in pairs
+
+    def test_deep_clone_shares_nothing(self):
+        model = build_model()
+        deep = model.deep_clone()
+        assert deep.root is not model.root
+        assert deep.get("/vmRoot/host0") is not model.get("/vmRoot/host0")
+        assert dumps(deep) == dumps(model)
+
+
+class TestGetForWrite:
+    def test_unforked_model_writes_in_place(self):
+        model = build_model()
+        node = model.get("/vmRoot/host0")
+        assert model.get_for_write("/vmRoot/host0") is node
+
+    def test_claims_shared_subtree_once(self):
+        model = build_model()
+        fork = model.clone()
+        shared = fork.get("/vmRoot/host0")
+        claimed = model.get_for_write("/vmRoot/host0")
+        assert claimed is not shared
+        # Second write is in place: the subtree is owned now.
+        assert model.get_for_write("/vmRoot/host0") is claimed
+        # The fork still reaches the original node.
+        assert fork.get("/vmRoot/host0") is shared
+
+    def test_direct_node_mutation_after_claim_is_isolated(self):
+        model = build_model()
+        fork = model.clone()
+        frozen = dumps(fork)
+        host = model.get_for_write("/vmRoot/host0")
+        # The action-simulation idiom: direct Node-API mutation of the
+        # claimed subtree, including descendants.
+        host["mem_mb"] = 1
+        host.children["vm0"]["state"] = "running"
+        host.add_child(Node("vm9", "vm", {"state": "stopped"}))
+        host.remove_child("vm1")
+        assert dumps(fork) == frozen
+        assert model.get("/vmRoot/host0/vm0")["state"] == "running"
+        assert model.exists("/vmRoot/host0/vm9")
+        assert not model.exists("/vmRoot/host0/vm1")
+
+    def test_unknown_path_raises(self):
+        model = build_model()
+        with pytest.raises(UnknownPathError):
+            model.get_for_write("/vmRoot/ghost")
+
+    def test_version_counter_advances(self):
+        model = build_model()
+        before = model.version
+        model.get_for_write("/vmRoot/host0")
+        model.set_attrs("/vmRoot/host0", mem_mb=2)
+        assert model.version > before
+
+
+class TestPathIntegrity:
+    def test_paths_correct_in_both_trees_after_copy(self):
+        model = build_model()
+        fork = model.clone()
+        model.set_attrs("/vmRoot/host0/vm0", state="running")
+        # Spine was path-copied in the live tree; shared descendants keep
+        # parent pointers into the old spine — names are identical, so the
+        # reconstructed paths must agree in both trees.
+        for tree in (model, fork):
+            for path, node in tree.walk():
+                assert str(node.path) == str(path)
+
+    def test_deleted_shared_child_keeps_snapshot_path(self):
+        model = build_model()
+        fork = model.clone()
+        model.delete("/vmRoot/host1", recursive=True)
+        node = fork.get("/vmRoot/host1/vm0")
+        assert str(node.path) == "/vmRoot/host1/vm0"
+
+    def test_fenced_flag_is_per_tree(self):
+        model = build_model()
+        fork = model.clone()
+        model.mark_inconsistent("/vmRoot/host0")
+        assert model.is_fenced("/vmRoot/host0/vm0")
+        assert not fork.is_fenced("/vmRoot/host0/vm0")
+        model.clear_inconsistent("/vmRoot/host0")
+        assert not model.is_fenced("/vmRoot/host0")
+
+
+class TestSharedGrafts:
+    def test_replace_subtree_with_shared_donor_does_not_mutate_donor(self):
+        donor = build_model()
+        donor_fork = donor.clone()
+        view = build_model().clone()
+        unit = donor_fork.get("/vmRoot/host1")
+        donor_parent = unit.parent
+        view.replace_subtree("/vmRoot/host1", unit)
+        # The graft shares the node: the donor keeps its parent pointer and
+        # its serialisation; the view serves the donor's content.
+        assert unit.parent is donor_parent
+        assert dumps(donor_fork) == dumps(donor)
+        assert view.get("/vmRoot/host1") is unit
+
+    def test_mutating_view_after_graft_leaves_donor_frozen(self):
+        donor = build_model().clone()
+        frozen = dumps(donor)
+        view = build_model().clone()
+        view.replace_subtree("/vmRoot/host1", donor.get("/vmRoot/host1"))
+        view.set_attrs("/vmRoot/host1/vm0", state="running")
+        assert dumps(donor) == frozen
+        assert view.get("/vmRoot/host1/vm0")["state"] == "running"
+
+    def test_shared_graft_under_different_name_copies_head(self):
+        donor = build_model().clone()
+        view = build_model().clone()
+        head = donor.get("/vmRoot/host1")
+        view.replace_subtree("/vmRoot/renamed", view_head := head)
+        assert view.get("/vmRoot/renamed").name == "renamed"
+        # The donor's node kept its own name: the rename landed on a copy.
+        assert view_head.name == "host1"
+
+
+class TestApiCompatibility:
+    def test_create_duplicate_still_raises(self):
+        model = build_model().clone()
+        with pytest.raises(DataModelError):
+            model.create("/vmRoot/host0", "vmHost")
+
+    def test_delete_with_children_still_guarded(self):
+        model = build_model().clone()
+        with pytest.raises(DataModelError):
+            model.delete("/vmRoot/host0")
+
+    def test_owned_delete_detaches_parent(self):
+        model = build_model()
+        child = model.delete("/vmRoot/host0/vm0")
+        assert child.parent is None

@@ -1,0 +1,137 @@
+"""Platform read path on CoW snapshots (PR 5): fleet-view forks, the
+merged-view cache, and platform-level subscriptions via the ReadProxy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import TropicConfig
+from repro.common.errors import ConfigurationError
+from repro.coordination.ensemble import CoordinationEnsemble
+from repro.tcloud.service import build_tcloud
+
+
+def _sharded_pair(num_shards: int = 2, hosts: int = 8):
+    """(owner platform hosting shards 1..N-1, observer hosting shard 0)."""
+    ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=3600.0)
+    config = TropicConfig(
+        logical_only=True, checkpoint_every=100_000, num_shards=num_shards
+    )
+
+    def build(local_shards):
+        return build_tcloud(
+            num_vm_hosts=hosts,
+            num_storage_hosts=max(hosts // 4, 1),
+            config=config,
+            logical_only=True,
+            ensemble=ensemble,
+            local_shards=local_shards,
+        )
+
+    return build(list(range(1, num_shards))), build([0])
+
+
+def _spawn_on(cloud, host: str, name: str):
+    inventory = cloud.inventory
+    index = inventory.vm_hosts.index(host)
+    return cloud.platform.submit(
+        "spawnVM",
+        {
+            "vm_name": name,
+            "image_template": "template-small",
+            "storage_host": inventory.storage_host_for(index),
+            "vm_host": host,
+            "mem_mb": 256,
+        },
+    )
+
+
+def _host_owned_by(cloud, shard: int) -> str:
+    router = cloud.platform.shard_router
+    return next(h for h in cloud.inventory.vm_hosts if router.shard_of(h) == shard)
+
+
+class TestFleetViewForks:
+    def test_each_view_is_an_independent_fork(self):
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            view = observer.platform.model_view()
+            victim = next(iter(view.find(entity_type="vmHost")))
+            view.set_attrs(victim, mem_mb=1)  # caller scribbles on its view
+            clean = observer.platform.model_view()
+            assert clean.get(victim)["mem_mb"] != 1
+
+    def test_cache_invalidated_by_foreign_commits(self):
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            foreign_host = _host_owned_by(observer, 1)
+            before = observer.platform.fleet_view()
+            assert not before.model.exists(f"{foreign_host}/fresh")
+            txn = _spawn_on(owner, foreign_host, "fresh")
+            assert txn.state.value == "committed"
+            after = observer.platform.fleet_view()
+            assert after.model.exists(f"{foreign_host}/fresh")
+            assert after.watermarks[1].applied_txn > (
+                before.watermarks[1].applied_txn or 0
+            )
+
+    def test_cache_invalidated_by_local_commits(self):
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            local_host = _host_owned_by(observer, 0)
+            observer.platform.fleet_view()  # prime the cache
+            _spawn_on(observer, local_host, "local")
+            view = observer.platform.fleet_view()
+            assert view.model.exists(f"{local_host}/local")
+
+    def test_unchanged_fleet_serves_views_without_coordination_ops(self):
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            _spawn_on(owner, _host_owned_by(observer, 1), "warm")
+            observer.platform.fleet_view()
+            ops_before = observer.platform.ensemble.op_count
+            for _ in range(25):
+                observer.platform.fleet_view()
+            assert observer.platform.ensemble.op_count == ops_before
+
+
+class TestReadProxySubscribe:
+    def test_subscribe_to_foreign_shard_delivers_deltas(self):
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            foreign_host = _host_owned_by(observer, 1)
+            sub = observer.platform.read_proxy.subscribe(foreign_host)
+            _spawn_on(owner, foreign_host, "subbed")
+            events = sub.poll()
+            assert events
+            assert all(event.path.startswith(foreign_host) for event in events)
+            assert "createVM" in {event.action for event in events}
+
+    def test_subscribe_to_local_shard_works(self):
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            local_host = _host_owned_by(observer, 0)
+            sub = observer.platform.read_proxy.subscribe(local_host)
+            _spawn_on(observer, local_host, "localsub")
+            assert any(
+                event.action == "createVM" for event in sub.poll()
+            )
+
+    def test_global_path_subscription_refused_when_sharded(self):
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            with pytest.raises(ConfigurationError, match="sharding granularity"):
+                observer.platform.read_proxy.subscribe("/")
+
+    def test_single_shard_subscription(self):
+        cloud = build_tcloud(
+            num_vm_hosts=4, num_storage_hosts=2,
+            config=TropicConfig(logical_only=True, checkpoint_every=100_000),
+            logical_only=True,
+        )
+        with cloud.platform:
+            host = cloud.inventory.vm_hosts[0]
+            sub = cloud.platform.read_proxy.subscribe(host)
+            _spawn_on(cloud, host, "solo")
+            assert any(event.action == "createVM" for event in sub.poll())
+            assert cloud.platform.read_proxy.pump() == 0  # already caught up

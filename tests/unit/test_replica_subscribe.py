@@ -1,0 +1,144 @@
+"""Unit tests for per-subtree delta subscriptions on read replicas (PR 5).
+
+``ReadReplica.subscribe(path)`` delivers the committed execution-log
+records touching one subtree, derived from the applied-log entries the
+replica already tails — zero extra coordination operations — with
+``resync`` events whenever a checkpoint truncated deltas away.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import TropicConfig
+from repro.coordination.kvstore import KVStore
+from repro.core.persistence import TropicStore
+from repro.core.replica import EVENT_DELTA, EVENT_RESYNC, ReadReplica
+from repro.testing import ShardedCluster
+
+
+def _replica_for(cluster: ShardedCluster, shard: int = 0) -> ReadReplica:
+    store = TropicStore(KVStore(cluster.client, f"/tropic/store/shard-{shard}"))
+    return ReadReplica(store, cluster.schema, cluster.procedures, shard_id=shard)
+
+
+def _cluster(**kwargs) -> ShardedCluster:
+    return ShardedCluster(
+        num_shards=1, config=TropicConfig(checkpoint_every=100_000), **kwargs
+    )
+
+
+HOST0 = "/vmRoot/vmHost0"
+HOST1 = "/vmRoot/vmHost1"
+
+
+class TestSubscribe:
+    def test_deltas_cover_only_the_subscribed_subtree(self):
+        cluster = _cluster()
+        replica = _replica_for(cluster)
+        sub = replica.subscribe(HOST0)
+        cluster.submit_spawn("inside", host_index=0)
+        cluster.submit_spawn("outside", host_index=1)
+        cluster.drain()
+        events = sub.poll()
+        assert events, "commits under the subscribed subtree must be delivered"
+        assert all(event.kind == EVENT_DELTA for event in events)
+        assert all(event.path.startswith(HOST0) for event in events)
+        # A spawn's log touches the VM host (importImage/createVM/startVM).
+        assert {"createVM", "startVM"} <= {event.action for event in events}
+        assert all(event.txid for event in events)
+
+    def test_root_subscription_sees_everything(self):
+        cluster = _cluster()
+        sub = _replica_for(cluster).subscribe("/")
+        cluster.submit_spawn("a", host_index=0)
+        cluster.submit_spawn("b", host_index=1)
+        cluster.drain()
+        paths = {event.path for event in sub.poll()}
+        assert any(path.startswith(HOST0) for path in paths)
+        assert any(path.startswith(HOST1) for path in paths)
+
+    def test_deltas_arrive_in_commit_order_with_watermarks(self):
+        cluster = _cluster()
+        sub = _replica_for(cluster).subscribe(HOST0)
+        for index in range(3):
+            cluster.submit_spawn(f"vm{index}", host_index=0)
+            cluster.drain()
+        events = sub.poll()
+        seqs = [event.seq for event in events]
+        assert seqs == sorted(seqs)
+        assert sub.last_seq == seqs[-1]
+
+    def test_subscription_starts_at_current_watermark(self):
+        """Commits before subscribe() are not replayed as deltas — the
+        subscriber initialises from snapshot() instead."""
+        cluster = _cluster()
+        cluster.submit_spawn("early", host_index=0)
+        cluster.drain()
+        replica = _replica_for(cluster)
+        sub = replica.subscribe(HOST0)
+        assert sub.poll() == []
+        model, watermark = replica.snapshot()
+        assert watermark == sub.last_seq
+        assert model.exists(f"{HOST0}/early")
+
+    def test_callback_delivery(self):
+        cluster = _cluster()
+        received: list = []
+        sub = _replica_for(cluster).subscribe(HOST0, callback=received.extend)
+        cluster.submit_spawn("cb", host_index=0)
+        cluster.drain()
+        sub.poll()
+        assert received and all(event.kind == EVENT_DELTA for event in received)
+
+    def test_idle_poll_is_free(self):
+        cluster = _cluster()
+        sub = _replica_for(cluster).subscribe(HOST0)
+        cluster.submit_spawn("warm", host_index=0)
+        cluster.drain()
+        sub.poll()
+        ops_before = cluster.ensemble.op_count
+        for _ in range(50):
+            assert sub.poll() == []
+        assert cluster.ensemble.op_count == ops_before
+
+    def test_resync_after_checkpoint_truncation(self):
+        """A replica that re-bootstraps over a truncation gap cannot
+        reconstruct the missed per-record deltas; the subscriber gets a
+        resync event carrying the new watermark instead."""
+        cluster = _cluster()
+        replica = _replica_for(cluster)
+        sub = replica.subscribe(HOST0)
+        cluster.submit_spawn("one", host_index=0)
+        cluster.drain()
+        # Checkpoint truncates the applied log while the replica lags.
+        assert cluster.controllers[0].checkpoint()
+        cluster.submit_spawn("two", host_index=0)
+        cluster.drain()
+        assert cluster.controllers[0].checkpoint()
+        events = sub.poll()
+        kinds = [event.kind for event in events]
+        assert EVENT_RESYNC in kinds
+        resync = [event for event in events if event.kind == EVENT_RESYNC][-1]
+        assert resync.seq == replica.applied_txn
+        # The snapshot after resync reflects everything.
+        model, _ = replica.snapshot()
+        assert model.exists(f"{HOST0}/one") and model.exists(f"{HOST0}/two")
+
+    def test_unsubscribe_stops_delivery(self):
+        cluster = _cluster()
+        replica = _replica_for(cluster)
+        sub = replica.subscribe(HOST0)
+        sub.close()
+        cluster.submit_spawn("late", host_index=0)
+        cluster.drain()
+        replica.refresh()
+        assert sub.pending() == 0
+        assert replica.subscriptions() == []
+
+    def test_delivery_stats(self):
+        cluster = _cluster()
+        replica = _replica_for(cluster)
+        replica.subscribe(HOST0)
+        cluster.submit_spawn("s", host_index=0)
+        cluster.drain()
+        replica.refresh()
+        assert replica.stats["deltas_delivered"] > 0

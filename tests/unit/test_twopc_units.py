@@ -161,6 +161,127 @@ class TestDecisionGC:
         assert log.acquire_ticket("b")
 
 
+class TestShardedDecisionKeys:
+    """PR 5: decision records are keyed by coordinator shard so each
+    shard's GC sweep reads only its own records; legacy flat keys are
+    accepted on reads and migrated at recovery."""
+
+    def test_decide_writes_under_the_coordinator_directory(self):
+        kv = _kv()
+        log = TwoPCLog(kv)
+        log.decide("t1", "commit", coordinator=3, participants=[1, 3])
+        assert kv.get("decisions/shard-3/t1")["decision"] == "commit"
+        assert kv.get("decisions/t1") is None
+
+    def test_lookup_with_known_coordinator_is_a_point_read(self):
+        log = TwoPCLog(_kv())
+        log.decide("t1", "abort", coordinator=2)
+        assert log.decision("t1", coordinator=2) == "abort"
+        assert log.decision("missing", coordinator=2) is None
+
+    def test_legacy_flat_records_are_accepted(self):
+        kv = _kv()
+        log = TwoPCLog(kv)
+        kv.put("decisions/old", {"txid": "old", "decision": "commit",
+                                 "coordinator": 1, "participants": [0, 1]})
+        assert log.decision("old") == "commit"
+        assert log.decision("old", coordinator=1) == "commit"
+
+    def test_migration_rekeys_only_own_records(self):
+        kv = _kv()
+        log = TwoPCLog(kv)
+        kv.put("decisions/mine", {"txid": "mine", "decision": "commit",
+                                  "coordinator": 0, "participants": [0, 1]})
+        kv.put("decisions/theirs", {"txid": "theirs", "decision": "abort",
+                                    "coordinator": 1, "participants": [0, 1]})
+        assert log.migrate_flat_decisions(0) == 1
+        assert kv.get("decisions/mine") is None
+        assert kv.get("decisions/shard-0/mine")["decision"] == "commit"
+        # The other shard's record waits for its own coordinator's recovery.
+        assert kv.get("decisions/theirs")["decision"] == "abort"
+        assert log.migrate_flat_decisions(1) == 1
+        assert kv.get("decisions/theirs") is None
+        assert log.decision("theirs", coordinator=1) == "abort"
+
+    def test_gc_sweeps_migrated_records(self):
+        kv = _kv()
+        log = TwoPCLog(kv)
+        kv.put("decisions/old", {"txid": "old", "decision": "commit",
+                                 "coordinator": 0, "participants": [0, 1]})
+        log.migrate_flat_decisions(0)
+        log.publish_horizon(0, 1)
+        log.publish_horizon(1, 1)
+        log.gc_decisions(0)  # mark
+        log.publish_horizon(0, 2)
+        log.publish_horizon(1, 2)
+        assert log.gc_decisions(0) == 1
+        assert log.decision("old") is None
+
+    def test_clear_decision_handles_both_layouts(self):
+        kv = _kv()
+        log = TwoPCLog(kv)
+        log.decide("new", "commit", coordinator=0)
+        kv.put("decisions/old", {"txid": "old", "decision": "abort",
+                                 "coordinator": 0})
+        log.clear_decision("new")
+        log.clear_decision("old")
+        assert log.decision("new") is None and log.decision("old") is None
+
+
+class TestRetiredShardSweep:
+    """PR 5: administrative sweep for a permanently decommissioned
+    coordinator shard (``cli 2pc-gc --retired-shard N``)."""
+
+    def test_retire_sweeps_coordinated_records_in_both_layouts(self):
+        kv = _kv()
+        log = TwoPCLog(kv)
+        log.decide("a", "commit", coordinator=1, participants=[0, 1])
+        log.decide("b", "abort", coordinator=1, participants=[1, 2])
+        kv.put("decisions/legacy", {"txid": "legacy", "decision": "commit",
+                                    "coordinator": 1})
+        log.decide("other", "commit", coordinator=0, participants=[0, 1])
+        result = log.retire_shard(1)
+        assert result["records_removed"] == 3
+        assert log.decision("a") is None
+        assert log.decision("legacy") is None
+        assert log.decision("other") == "commit"  # other coordinators keep theirs
+
+    def test_retired_horizon_unblocks_other_coordinators_sweeps(self):
+        """A record naming the retired shard as *participant* must still
+        be collectable: the retirement sentinel compares past any mark."""
+        log = TwoPCLog(_kv())
+        log.decide("t1", "commit", coordinator=0, participants=[0, 1])
+        log.publish_horizon(0, 1)
+        log.publish_horizon(1, 1)
+        log.gc_decisions(0)  # mark at {0: 1, 1: 1}
+        log.publish_horizon(0, 2)
+        assert log.gc_decisions(0) == 0  # shard 1 silent: not collectable
+        log.retire_shard(1)  # shard 1 decommissioned forever
+        assert log.horizons()[1] == TwoPCLog.RETIRED_HORIZON
+        assert log.gc_decisions(0) == 1
+        assert log.decision("t1") is None
+
+    def test_record_marked_after_retirement_is_still_swept(self):
+        """A record whose first GC mark happens *after* the participant
+        was retired stores the sentinel as its mark; the sweep must treat
+        a retired participant as past any mark (a strict ``>`` against
+        the sentinel itself would retain the record forever)."""
+        log = TwoPCLog(_kv())
+        log.decide("t1", "commit", coordinator=0, participants=[0, 1])
+        log.retire_shard(1)  # retired before the coordinator ever marked
+        log.publish_horizon(0, 1)
+        log.gc_decisions(0)  # mark stamps shard 1 at the sentinel
+        log.publish_horizon(0, 2)
+        assert log.gc_decisions(0) == 1
+        assert log.decision("t1") is None
+
+    def test_retire_is_idempotent(self):
+        log = TwoPCLog(_kv())
+        log.decide("a", "commit", coordinator=2)
+        assert log.retire_shard(2)["records_removed"] == 1
+        assert log.retire_shard(2)["records_removed"] == 0
+
+
 class TestSplitting:
     def _sample(self):
         log = ExecutionLog()
