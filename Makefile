@@ -2,7 +2,7 @@
 
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-unit test-integration bench bench-micro docs-check
+.PHONY: test test-unit test-integration bench bench-micro chaos docs-check
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -23,6 +23,12 @@ bench:
 ## Write-path micro-benchmark guards only.
 bench-micro:
 	$(PYTHONPATH_PREFIX) python -m pytest benchmarks/bench_writepath.py -q
+
+## Seeded chaos soak: crash points + ensemble faults + leader kills over
+## a concurrent tokened workload; asserts zero acked loss, zero
+## duplicate application and recovered-model equality per scenario.
+chaos:
+	$(PYTHONPATH_PREFIX) python scripts/run_chaos.py --seeds 0-23
 
 ## Documentation health: intra-repo links + module docstring coverage.
 docs-check:

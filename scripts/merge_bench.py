@@ -50,6 +50,9 @@ def main() -> None:
     parser.add_argument("--pr4", default=None,
                         help="BENCH_pr4.json for the replica-era single-shard "
                              "and fleet-view references (PR 5 gates)")
+    parser.add_argument("--pr5", default=None,
+                        help="BENCH_pr5.json for the snapshot-era single-shard "
+                             "reference (PR 6 gate)")
     parser.add_argument("--cross-shard", default=None,
                         help="cross-shard 2PC mix measure_writepath JSON (PR 3)")
     parser.add_argument("--replica", default=None,
@@ -181,6 +184,19 @@ def main() -> None:
         # so single-shard write throughput must stay within 0.9x of PR 4.
         ratios["single_shard_vs_pr4"] = round(
             large["throughput_txn_s"] / pr4_tput, 2
+        )
+    if args.pr5:
+        pr5 = _load(args.pr5)
+        pr5_tput = pr5["large_fleet"]["throughput_txn_s"]
+        result["pr5_reference"] = {
+            "throughput_txn_s": pr5_tput,
+            "writes_per_commit": pr5["large_fleet"]["writes_per_commit"],
+        }
+        # The PR 6 gate: fault tolerance (token index, typed errors,
+        # session recovery) must not tax the happy write path — stay
+        # within 0.9x of the PR 5 single-shard throughput.
+        ratios["single_shard_vs_pr5"] = round(
+            large["throughput_txn_s"] / pr5_tput, 2
         )
     if args.cross_shard:
         cross = _load(args.cross_shard)

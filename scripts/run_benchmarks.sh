@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Run the PR 5 write-path + sharding + cross-shard + read-path benchmark
-# suite and write BENCH_pr5.json.
+# Run the PR 6 write-path + sharding + cross-shard + read-path benchmark
+# suite and write BENCH_pr6.json.
 #
 # Covers:
 #   * bench_writepath.py        — micro-benchmarks (group commit, delta docs,
@@ -20,18 +20,19 @@
 #                                 (PR 5; see docs/operations.md)
 #
 # The results are merged with benchmarks/BASELINE_seed.json (seed commit)
-# and BENCH_pr1/2/3/4.json so the JSON carries the speedup and scaling
-# ratios — including the PR 5 acceptance gates (single-shard write
-# throughput >= 0.9x of BENCH_pr4.json: the read-path rebuild must not
-# touch the write path; partial-hosting fleet views >= 20x BENCH_pr4's
-# locked-clone rate; CoW snapshot cost independent of model size).
+# and BENCH_pr1/2/3/4/5.json so the JSON carries the speedup and scaling
+# ratios — including the PR 6 acceptance gate (single-shard write
+# throughput >= 0.9x of BENCH_pr5.json: the fault-tolerance machinery —
+# token index writes, typed error mapping, session-recovery hooks — must
+# not tax the happy write path), plus the still-enforced PR 5 read-path
+# gates (fleet views >= 20x PR 4, O(1) snapshot cost).
 #
-# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr5.json)
+# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr6.json)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_pr5.json}"
+OUT="${1:-BENCH_pr6.json}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -95,12 +96,13 @@ python scripts/merge_bench.py \
     --pr2 BENCH_pr2.json \
     --pr3 BENCH_pr3.json \
     --pr4 BENCH_pr4.json \
+    --pr5 BENCH_pr5.json \
     --cross-shard "$WORK/cross_shard.json" \
     --replica "$WORK/replica.json" \
-    --min-ratio single_shard_vs_pr4=0.9 \
+    --min-ratio single_shard_vs_pr5=0.9 \
     --min-ratio fleet_view_vs_pr4=20 \
     --min-ratio snapshot_size_independence=0.2 \
-    --pr 5 \
+    --pr 6 \
     "${SHARDED_ARGS[@]}" \
     --out "$OUT"
 

@@ -12,6 +12,8 @@ mechanisms from the command line:
 * ``failover``     — kill the lead controller mid-workload and report the
   recovery time (§6.4);
 * ``repair-drill`` — power-cycle a host out of band and repair it (§4);
+* ``chaos``        — run seeded chaos scenarios (crashes + ensemble
+  faults + retries) and check the end-to-end invariants;
 * ``inventory``    — print the fleet and per-host utilisation;
 * ``2pc-gc``       — decision-record retention drill, including the
   administrative sweep for a permanently retired coordinator shard
@@ -30,7 +32,7 @@ from typing import Sequence
 
 from repro.common.config import TropicConfig
 from repro.core.txn import TransactionState
-from repro.metrics.report import ascii_table
+from repro.metrics.report import ascii_table, format_resilience
 from repro.metrics.stats import percentile
 from repro.tcloud.service import TCloud, build_tcloud
 from repro.workloads.ec2 import EC2TraceParams, ec2_spawn_trace
@@ -166,6 +168,7 @@ def cmd_failover(args: argparse.Namespace) -> int:
         print(f"time from kill to all in-flight transactions finished: "
               f"{recovered_at - killed_at:.2f}s")
         print(f"new leader: {cloud.platform.leader().name}")
+        print(format_resilience(cloud.platform.resilience_stats()))
     return 0 if not lost else 1
 
 
@@ -184,6 +187,22 @@ def cmd_repair_drill(args: argparse.Namespace) -> int:
         print(f"repair clean: {report.clean}")
         print(f"layers back in sync: {cloud.platform.reconciler().detect().is_empty}")
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the seeded chaos scenarios and check end-to-end invariants."""
+    from repro.testing.chaos import run_soak
+
+    seeds = list(range(args.seeds))
+    reports = run_soak(seeds, num_ops=args.operations)
+    for report in reports:
+        print(report.summary())
+    passed = sum(1 for r in reports if r.ok)
+    print(f"chaos: {passed}/{len(reports)} scenarios passed "
+          f"({sum(len(r.crashes) for r in reports)} crashes, "
+          f"{sum(len(r.ensemble_faults) for r in reports)} ensemble faults, "
+          f"{sum(r.client_retries for r in reports)} client retries)")
+    return 0 if passed == len(reports) else 1
 
 
 def cmd_twopc_gc(args: argparse.Namespace) -> int:
@@ -327,6 +346,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("repair-drill", help="out-of-band change + repair drill (§4)")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos scenarios: crashes + ensemble faults + "
+             "tokened client retries, with invariant checks",
+    )
+    chaos.add_argument("--seeds", type=int, default=8,
+                       help="number of seeded scenarios to run (seeds 0..N-1)")
+    chaos.add_argument("--operations", type=int, default=10,
+                       help="operations per scenario")
+
     inventory = sub.add_parser("inventory", help="show fleet and utilisation")
     inventory.add_argument("--operations", type=int, default=6,
                            help="VMs to seed before reporting utilisation")
@@ -354,6 +383,7 @@ _COMMANDS = {
     "replay-hosting": cmd_replay_hosting,
     "failover": cmd_failover,
     "repair-drill": cmd_repair_drill,
+    "chaos": cmd_chaos,
     "inventory": cmd_inventory,
     "2pc-gc": cmd_twopc_gc,
 }

@@ -80,6 +80,25 @@ class TransactionFailed(ReproError):
         self.txid = txid
 
 
+class TxnTimeout(ReproError, TimeoutError):
+    """A submitted transaction did not reach a terminal state within its
+    deadline (``config.txn_timeout`` or the caller's wait timeout).
+
+    The outcome is *ambiguous*: the transaction may still commit after the
+    caller gave up (e.g. the leader is mid-failover).  A blind resubmit may
+    therefore double-apply; the retry policy only re-drives a ``TxnTimeout``
+    when the submission carried an idempotency token (see
+    ``repro.common.retry.classify``).
+
+    Also subclasses the builtin :class:`TimeoutError` so callers that
+    predate the typed error (``except TimeoutError``) keep working.
+    """
+
+    def __init__(self, message: str, txid: str = ""):
+        super().__init__(message)
+        self.txid = txid
+
+
 class CoordinationError(ReproError):
     """The coordination (ZooKeeper-like) service could not serve a request."""
 

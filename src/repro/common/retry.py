@@ -1,0 +1,203 @@
+"""Client-side retry policy with typed error classification.
+
+The paper's availability story (§2.3) makes the *server* side safe: an
+acked transaction survives controller failure.  This module makes the
+*client* side safe to pair with it.  Errors fall into three classes:
+
+* **transient** — the request provably did not take effect (quorum loss,
+  session expiry before the submit was accepted, a shard leader that is
+  mid-failover).  Safe to retry as-is.
+* **ambiguous** — the request *may* have taken effect (a wait deadline
+  expired, the connection died after the submit was enqueued).  Safe to
+  retry **only** when the submission carries an idempotency token, because
+  the controller's token→txid ack index then deduplicates the re-drive
+  (see ``docs/architecture.md#resilience``).
+* **permanent** — retrying cannot help (constraint violation, procedure
+  error, misconfiguration, an explicit abort).
+
+:class:`RetryPolicy` layers jittered exponential backoff and a deadline
+budget on top of the classification; :func:`call_with_retries` is the
+driver loop used by clients and the chaos harness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.clock import Clock, RealClock
+from repro.common.errors import (
+    ConfigurationError,
+    ConstraintViolation,
+    CrossShardTransaction,
+    NoNodeError,
+    NodeExistsError,
+    NotLeaderError,
+    ProcedureError,
+    QuorumLostError,
+    SessionExpiredError,
+    ShardNotLocalError,
+    TransactionAborted,
+    TransactionFailed,
+    TxnTimeout,
+)
+
+#: Classification labels returned by :func:`classify`.
+TRANSIENT = "transient"
+AMBIGUOUS = "ambiguous"
+PERMANENT = "permanent"
+
+#: Errors where the request provably did not take effect.
+_TRANSIENT_TYPES = (
+    QuorumLostError,
+    SessionExpiredError,
+    NotLeaderError,
+    ConnectionError,
+)
+
+#: Errors where the request may have taken effect (retry needs a token).
+#: ``TxnTimeout`` subclasses ``TimeoutError``, so listing the builtin
+#: covers both the typed error and legacy bare-``TimeoutError`` waits.
+_AMBIGUOUS_TYPES = (TimeoutError,)
+
+#: Errors where a retry cannot change the outcome.
+_PERMANENT_TYPES = (
+    ConstraintViolation,
+    ProcedureError,
+    TransactionAborted,
+    TransactionFailed,
+    ConfigurationError,
+    ShardNotLocalError,
+    CrossShardTransaction,
+    NoNodeError,
+    NodeExistsError,
+    TypeError,
+    ValueError,
+)
+
+
+def classify(error: BaseException) -> str:
+    """Classify an exception as transient, ambiguous or permanent.
+
+    Order matters: ``TxnTimeout`` is both a ``ReproError`` and a
+    ``TimeoutError`` and must land in the ambiguous bucket; permanent
+    types are checked first because several (e.g. ``ShardNotLocalError``)
+    subclass broader classes that would otherwise read as retryable.
+    """
+    if isinstance(error, _PERMANENT_TYPES):
+        return PERMANENT
+    if isinstance(error, _AMBIGUOUS_TYPES):
+        return AMBIGUOUS
+    if isinstance(error, _TRANSIENT_TYPES):
+        return TRANSIENT
+    return PERMANENT
+
+
+def is_retryable(error: BaseException, *, idempotent: bool = False) -> bool:
+    """Whether a retry is safe: transient errors always are; ambiguous
+    ones only when the caller can re-drive idempotently (token attached)."""
+    kind = classify(error)
+    if kind == TRANSIENT:
+        return True
+    if kind == AMBIGUOUS:
+        return idempotent
+    return False
+
+
+@dataclass
+class RetryPolicy:
+    """Jittered exponential backoff under a total deadline budget.
+
+    ``seed`` fixes the jitter sequence so chaos scenarios and property
+    tests replay identically.  ``deadline`` bounds the *total* time spent
+    across all attempts (sleeping counts); attempts stop when either the
+    budget or ``max_attempts`` is exhausted.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.01
+    max_delay: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline: float | None = None
+    seed: int | None = None
+    clock: Clock = field(default_factory=RealClock)
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based), jittered."""
+        raw = min(self.max_delay, self.base_delay * (self.multiplier ** (attempt - 1)))
+        if self.jitter <= 0:
+            return raw
+        # Decorrelated-ish jitter: uniform in [raw*(1-jitter), raw].
+        return raw * (1.0 - self.jitter * self._rng.random())
+
+    def attempts(self) -> "_AttemptBudget":
+        return _AttemptBudget(self)
+
+
+class _AttemptBudget:
+    """Iteration state for one retried operation."""
+
+    def __init__(self, policy: RetryPolicy):
+        self.policy = policy
+        self.attempt = 0
+        self.started_at = policy.clock.now()
+        self.errors: list[BaseException] = []
+
+    def elapsed(self) -> float:
+        return self.policy.clock.now() - self.started_at
+
+    def exhausted(self) -> bool:
+        if self.attempt >= self.policy.max_attempts:
+            return True
+        if self.policy.deadline is not None and self.elapsed() >= self.policy.deadline:
+            return True
+        return False
+
+    def record_failure(self, error: BaseException) -> None:
+        self.errors.append(error)
+
+    def sleep_before_retry(self) -> float:
+        delay = self.policy.backoff(self.attempt)
+        if self.policy.deadline is not None:
+            remaining = self.policy.deadline - self.elapsed()
+            delay = max(0.0, min(delay, remaining))
+        if delay > 0:
+            self.policy.clock.sleep(delay)
+        return delay
+
+
+def call_with_retries(
+    operation: Callable[[int], Any],
+    policy: RetryPolicy | None = None,
+    *,
+    idempotent: bool = False,
+    on_retry: Callable[[BaseException, int], None] | None = None,
+) -> Any:
+    """Run ``operation(attempt)`` until it succeeds or retries run out.
+
+    ``operation`` receives the 1-based attempt number (so a caller can mint
+    its idempotency token on attempt 1 and reuse it afterwards).  A
+    non-retryable error (permanent, or ambiguous without ``idempotent``)
+    propagates immediately; an exhausted budget re-raises the last error.
+    """
+    policy = policy or RetryPolicy()
+    budget = policy.attempts()
+    while True:
+        budget.attempt += 1
+        try:
+            return operation(budget.attempt)
+        except Exception as error:  # noqa: BLE001 - classification decides
+            budget.record_failure(error)
+            if not is_retryable(error, idempotent=idempotent):
+                raise
+            if budget.exhausted():
+                raise
+            if on_retry is not None:
+                on_retry(error, budget.attempt)
+            budget.sleep_before_retry()

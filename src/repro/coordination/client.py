@@ -16,6 +16,7 @@ class CoordinationClient:
 
     def __init__(self, ensemble: CoordinationEnsemble, session_timeout: float | None = None):
         self.ensemble = ensemble
+        self._session_timeout = session_timeout
         self._session: Session = ensemble.create_session(session_timeout)
 
     # -- session --------------------------------------------------------
@@ -34,8 +35,15 @@ class CoordinationClient:
         return self.ensemble.session_is_live(self.session_id)
 
     def reconnect(self, session_timeout: float | None = None) -> None:
-        """Open a fresh session (after expiry of the previous one)."""
-        self._session = self.ensemble.create_session(session_timeout)
+        """Open a fresh session (after expiry of the previous one).
+
+        Without an explicit ``session_timeout`` the new session keeps the
+        timeout this client was constructed with — a long-session client
+        must not silently downgrade to the ensemble default on recovery.
+        """
+        if session_timeout is not None:
+            self._session_timeout = session_timeout
+        self._session = self.ensemble.create_session(self._session_timeout)
 
     # -- znode API --------------------------------------------------------
 

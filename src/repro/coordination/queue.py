@@ -18,7 +18,7 @@ import threading
 from typing import Any
 
 from repro.common.clock import Clock, RealClock
-from repro.common.errors import NoNodeError
+from repro.common.errors import NoNodeError, SessionExpiredError
 from repro.common.jsonutil import dumps, loads
 from repro.coordination.client import CoordinationClient
 
@@ -27,13 +27,46 @@ _NOTHING = object()
 
 
 class DistributedQueue:
-    """FIFO queue of JSON-serialisable items backed by the coordination store."""
+    """FIFO queue of JSON-serialisable items backed by the coordination store.
 
-    def __init__(self, client: CoordinationClient, path: str, clock: Clock | None = None):
+    With ``reconnect_on_expiry=True`` the blocking consumer (:meth:`get`)
+    survives coordination-session expiry: the child watch registered under
+    the dead session is gone, so the consumer reconnects the client and
+    re-enters the listing loop, which both re-reads any children it may
+    have missed and re-arms a fresh watch.  The wakeup contract is
+    therefore **at-least-once**: a consumer may be woken (or re-list) with
+    nothing to claim after a recovery, but a ``put`` that happened while
+    the session was dead is never missed.  ``counters`` (optional, any
+    object with ``session_expiries``/``watch_rearms`` attributes, e.g.
+    :class:`~repro.metrics.collectors.ResilienceCounters`) records the
+    recoveries.
+    """
+
+    def __init__(
+        self,
+        client: CoordinationClient,
+        path: str,
+        clock: Clock | None = None,
+        counters: Any | None = None,
+        reconnect_on_expiry: bool = False,
+    ):
         self.client = client
         self.path = path.rstrip("/")
         self.clock = clock or RealClock()
+        self.counters = counters
+        self.reconnect_on_expiry = reconnect_on_expiry
         self.client.ensure_path(self.path)
+
+    def _recover_session(self) -> bool:
+        """Re-establish an expired session (opt-in); returns whether the
+        caller should retry the failed operation."""
+        if not self.reconnect_on_expiry:
+            return False
+        if not self.client.is_live():
+            self.client.reconnect()
+            if self.counters is not None:
+                self.counters.session_expiries += 1
+        return True
 
     # -- producers -------------------------------------------------------
 
@@ -111,14 +144,26 @@ class DistributedQueue:
         deadline = None if timeout is None else self.clock.now() + timeout
         while True:
             wakeup = threading.Event()
-            children = sorted(
-                self.client.get_children(self.path, lambda event: wakeup.set())
-            )
-            if children:
-                claimed = self._claim_one(children)
-                if claimed is not _NOTHING:
-                    return claimed
-                continue  # raced by other consumers; re-list immediately
+            try:
+                children = sorted(
+                    self.client.get_children(self.path, lambda event: wakeup.set())
+                )
+                if children:
+                    claimed = self._claim_one(children)
+                    if claimed is not _NOTHING:
+                        return claimed
+                    continue  # raced by other consumers; re-list immediately
+            except SessionExpiredError:
+                # The watch (if registered) died with the session; recover
+                # and re-list rather than strand the consumer.  A deadline
+                # set by the caller still applies across the recovery.
+                if not self._recover_session():
+                    raise
+                if deadline is not None and self.clock.now() >= deadline:
+                    return None
+                if self.counters is not None:
+                    self.counters.watch_rearms += 1
+                continue
             # Idle: wait for the child watch (no store round-trips).  The
             # deadline is re-read on the platform clock every slice, so a
             # simulated clock advanced by another thread still times the

@@ -183,6 +183,7 @@ class Controller:
             "foreign_write_pins": 0,
             "prepare_timeouts": 0,
             "twopc_decisions_gced": 0,
+            "token_acks": 0,
         }
 
     # ------------------------------------------------------------------
@@ -219,13 +220,20 @@ class Controller:
         self.model.mark_all_dirty()
         # Every dispatch of this leadership carries a fresh epoch.
         self.dispatch_epoch = self.store.bump_dispatch_epoch()
-        self.recovered = True
         # Resolve cross-shard transactions caught mid-protocol, then
         # re-dispatch STARTED transactions whose execute message was lost
         # in the flush->put_many crash window.
         if self.twopc is not None:
             self._recover_two_phase(state)
         self._redispatch_lost()
+        # Only now is recovery complete.  The flag must be set *last*: a
+        # transient coordination fault anywhere above leaves it False, so
+        # the next step re-runs the whole (idempotent) procedure.  Were it
+        # set earlier, a leader interrupted before the presumed-abort
+        # decisions of _recover_two_phase were durable would resume normal
+        # message handling and could commit a PREPARING coordinator it
+        # never simulated — acknowledging effects its model does not hold.
+        self.recovered = True
 
     def demote(self) -> None:
         """Drop leader-only soft state when losing leadership."""
@@ -540,7 +548,17 @@ class Controller:
         durable, so the notification is buffered and delivered only after
         the batch flushes — a client must never observe an outcome the
         store could still lose to a crash.
+
+        This is also the single point where every client-visible terminal
+        outcome passes, so the idempotency-token ack entry is written here:
+        the ``tokens/<token>`` put joins the same group commit as the
+        terminal document (or is a direct write on recovery paths, where
+        the terminal state is already durable), making the ack index
+        exactly as durable as the ack itself.
         """
+        if txn.is_terminal and txn.idempotency_token is not None:
+            self.store.record_token(txn.idempotency_token, txn.txid, txn.state.value)
+            self.stats["token_acks"] += 1
         if self.store.kv.in_batch():
             self._notify_buffer.append(txn)
             return

@@ -39,6 +39,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from typing import Any, Iterable
+from urllib.parse import quote
 
 from repro.common.jsonutil import dumps
 from repro.coordination.kvstore import KVStore
@@ -70,6 +71,14 @@ _FIELD_ORDER = tuple(sorted(_CHEAP_FIELDS + _EXPENSIVE_FIELDS))
 #: the pre-2PC format.
 _TWOPC_FIELDS = ("coordinator", "participants", "votes")
 _LOCAL_FIELD_ORDER = tuple(f for f in _FIELD_ORDER if f not in _TWOPC_FIELDS)
+
+#: Idempotency token: present only on tokened submissions, so token-less
+#: documents stay byte-identical to the pre-resilience format (same
+#: conditional-field discipline as the 2PC trio above).  Immutable after
+#: creation, hence serialised once and reused like an expensive field.
+_TOKEN_FIELD = "idempotency_token"
+_FIELD_ORDER_TOKEN = tuple(sorted(_FIELD_ORDER + (_TOKEN_FIELD,)))
+_LOCAL_FIELD_ORDER_TOKEN = tuple(sorted(_LOCAL_FIELD_ORDER + (_TOKEN_FIELD,)))
 
 #: Marker requesting a full re-serialisation of a transaction document.
 ALL_FIELDS = _FIELD_ORDER
@@ -215,11 +224,11 @@ class TropicStore:
             dirty_fields = ALL_FIELDS
         refresh = set(_CHEAP_FIELDS)
         refresh.update(dirty_fields)
-        fields = (
-            _FIELD_ORDER
-            if (txn.participants or txn.votes or txn.coordinator is not None)
-            else _LOCAL_FIELD_ORDER
-        )
+        cross_shard = txn.participants or txn.votes or txn.coordinator is not None
+        if txn.idempotency_token is not None:
+            fields = _FIELD_ORDER_TOKEN if cross_shard else _LOCAL_FIELD_ORDER_TOKEN
+        else:
+            fields = _FIELD_ORDER if cross_shard else _LOCAL_FIELD_ORDER
         for field in fields:
             if field in refresh or field not in fragments:
                 # Trivial scalar fields skip the JSON encoder entirely.
@@ -295,6 +304,49 @@ class TropicStore:
         for txn in self.load_all_transactions():
             counts[txn.state.value] += 1
         return counts
+
+    # ------------------------------------------------------------------
+    # Idempotency-token ack index
+    # ------------------------------------------------------------------
+    #
+    # ``tokens/<token> → {token, txid, state}`` records the terminal
+    # outcome of every *tokened* submission.  The entry rides the same
+    # group commit as the COMMITTED (or ABORTED/FAILED) state transition,
+    # so it is exactly as durable as the ack itself: a client that lost
+    # the ack to a crash-between-commit-and-ack re-submits under the same
+    # token and the platform answers from this index instead of
+    # double-applying.  Token-less submissions never touch the index —
+    # the hot path is unchanged.  Recovery re-derives missing entries
+    # from the terminal transaction documents (the doc carries the token),
+    # covering a crash after the commit multi but before a later terminal
+    # rewrite.
+
+    TOKEN_PREFIX = "tokens"
+
+    @staticmethod
+    def token_key(token: str) -> str:
+        """Store key for a token (percent-escaped: tokens are free-form
+        client strings and must not smuggle path separators)."""
+        return quote(token, safe="")
+
+    def record_token(self, token: str, txid: str, state: str) -> None:
+        """Persist one token→txid ack entry (rides the enclosing batch)."""
+        self.kv.put(
+            f"{self.TOKEN_PREFIX}/{self.token_key(token)}",
+            {"token": token, "txid": txid, "state": state},
+        )
+
+    def lookup_token(self, token: str) -> dict[str, Any] | None:
+        """The ack entry for ``token`` (``{token, txid, state}``), if any."""
+        return self.kv.get(f"{self.TOKEN_PREFIX}/{self.token_key(token)}")
+
+    def token_entries(self) -> dict[str, dict[str, Any]]:
+        """All ack entries, keyed by token."""
+        return {
+            value["token"]: value
+            for _, value in self.kv.items(self.TOKEN_PREFIX)
+            if value is not None
+        }
 
     # ------------------------------------------------------------------
     # Dispatch markers + worker claim records (dispatch-loss window fix)

@@ -45,10 +45,13 @@ from repro.common.clock import Clock, RealClock
 from repro.common.config import TropicConfig
 from repro.common.errors import (
     ConfigurationError,
+    QuorumLostError,
     ReproError,
+    SessionExpiredError,
     ShardNotLocalError,
     ShardUnavailable,
     TransactionFailed,
+    TxnTimeout,
 )
 from repro.common.idgen import random_id
 from repro.coordination.client import CoordinationClient
@@ -70,6 +73,7 @@ from repro.core.worker import Worker
 from repro.datamodel.schema import ModelSchema
 from repro.datamodel.tree import DataModel
 from repro.drivers.registry import DeviceRegistry
+from repro.metrics.collectors import ResilienceCounters
 
 #: Session timeout used for clients whose failure need not be detected
 #: (the platform's own client and the workers').  Controller election
@@ -141,11 +145,23 @@ class ShardWatermark:
 @dataclass
 class FleetView:
     """A merged read view of the whole data-model tree plus, per shard,
-    where that shard's subtrees came from and how fresh they are."""
+    where that shard's subtrees came from and how fresh they are.
+
+    ``degraded_shards`` discloses graceful read degradation: locally
+    *hosted* shards whose leader was unreachable, served from their read
+    replica (bounded-stale) or — when no replica state exists — from the
+    partial bootstrap-frozen copy instead of failing the whole read.  The
+    per-shard watermark shows which fallback was used and how fresh it is.
+    """
 
     model: DataModel
     watermarks: dict[int, ShardWatermark]
     consistency: str
+    degraded_shards: list[int] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_shards)
 
     def replica_shards(self) -> list[int]:
         return sorted(
@@ -181,7 +197,11 @@ class ReadProxy:
                     num_shards=platform.config.num_shards if sharded else None,
                 )
                 replica = ReadReplica(
-                    store, platform.schema, platform.procedures, shard_id=shard
+                    store,
+                    platform.schema,
+                    platform.procedures,
+                    shard_id=shard,
+                    counters=platform.resilience,
                 )
                 self._replicas[shard] = replica
             return replica
@@ -296,12 +316,44 @@ class _ControllerRunner(threading.Thread):
                 did_work = self.controller.step() if leading else False
                 if not did_work:
                     clock.sleep(config.queue_poll_interval)
+            except SessionExpiredError:
+                # An expired session never heals by waiting: re-establish
+                # it (and re-enter the election) instead of looping on the
+                # same dead session forever.
+                self._recover_session()
+                last_heartbeat = clock.now()
             except ReproError:
-                # Coordination hiccups (lost quorum, expired session) are
-                # retried on the next loop iteration.
+                # Other coordination hiccups (lost quorum, leadership
+                # races) are retried on the next loop iteration.
                 clock.sleep(config.queue_poll_interval)
             except Exception:  # noqa: BLE001 - keep the replica alive
                 clock.sleep(config.queue_poll_interval)
+
+    def _recover_session(self) -> None:
+        """Recover from coordination-session expiry (either session).
+
+        The platform's shared client is healed first (one reconnect fixes
+        every store/queue built on it).  If this runner's *election*
+        session expired, its ephemeral member znode is gone — the replica
+        must step down (a leader whose session expired has lost its
+        leadership the moment the znode vanished), reconnect under
+        ``config.session_timeout`` and re-volunteer; it re-enters the
+        election as a fresh follower.
+        """
+        platform = self.platform
+        config = platform.config
+        platform._heal_sessions()
+        try:
+            if not self.election_client.is_live():
+                if self.is_leader:
+                    self.controller.demote()
+                    self.is_leader = False
+                self.election_client.reconnect(config.session_timeout)
+                self.election.rejoin()
+                platform.resilience.session_expiries += 1
+        except ReproError:
+            pass  # ensemble still unhealthy; retried on the next iteration
+        platform.clock.sleep(config.queue_poll_interval)
 
     def stop(self) -> None:
         self.stop_event.set()
@@ -323,6 +375,10 @@ class _WorkerRunner(threading.Thread):
             try:
                 if not self.worker.step():
                     clock.sleep(config.queue_poll_interval)
+            except SessionExpiredError:
+                # Workers share the platform client; heal it and retry.
+                self.platform._heal_sessions()
+                clock.sleep(config.queue_poll_interval)
             except ReproError:
                 clock.sleep(config.queue_poll_interval)
             except Exception:  # noqa: BLE001 - keep the worker alive
@@ -352,6 +408,8 @@ class _MaintenanceRunner(threading.Thread):
                     last_repair = now
                 if config.txn_timeout > 0:
                     self.platform.terminate_stalled(config.txn_timeout)
+            except SessionExpiredError:
+                self.platform._heal_sessions()
             except ReproError:
                 pass
             except Exception:  # noqa: BLE001
@@ -433,6 +491,10 @@ class TropicPlatform:
         self._maintenance: _MaintenanceRunner | None = None
         self._started = False
         self._completion_lock = threading.Lock()
+        #: Fault-tolerance event counters shared with the queues, read
+        #: replicas and service runners (see metrics.collectors).
+        self.resilience = ResilienceCounters()
+        self._heal_lock = threading.Lock()
         #: Merged-fleet-view cache, one entry per consistency mode:
         #: ``mode -> (source change-stamp key, merged CoW model)``.  Hits
         #: are served as O(1) forks of the cached tree; see fleet_view.
@@ -504,7 +566,11 @@ class TropicPlatform:
             # routing and 2PC peer traffic) and the 2PC decision log.
             self._all_input_queues = {
                 shard: DistributedQueue(
-                    self.client, self._input_queue_path(shard), self.clock
+                    self.client,
+                    self._input_queue_path(shard),
+                    self.clock,
+                    counters=self.resilience,
+                    reconnect_on_expiry=True,
                 )
                 for shard in range(config.num_shards)
             }
@@ -522,10 +588,18 @@ class TropicPlatform:
                 store=store,
                 input_queue=self._all_input_queues.get(shard)
                 or DistributedQueue(
-                    self.client, self._input_queue_path(shard), self.clock
+                    self.client,
+                    self._input_queue_path(shard),
+                    self.clock,
+                    counters=self.resilience,
+                    reconnect_on_expiry=True,
                 ),
                 phy_queue=DistributedQueue(
-                    self.client, self._phy_queue_path(shard), self.clock
+                    self.client,
+                    self._phy_queue_path(shard),
+                    self.clock,
+                    counters=self.resilience,
+                    reconnect_on_expiry=True,
                 ),
                 election_path=self._election_path(shard),
             )
@@ -704,6 +778,7 @@ class TropicPlatform:
         wait: bool = True,
         timeout: float | None = 30.0,
         client: str = "",
+        idempotency_token: str | None = None,
     ) -> Transaction | TransactionHandle:
         """Submit a transactional orchestration (Step 1 of Figure 2).
 
@@ -712,15 +787,44 @@ class TropicPlatform:
         the call blocks until the transaction reaches a terminal state and
         returns the final :class:`~repro.core.txn.Transaction`; otherwise
         it returns a :class:`TransactionHandle` immediately.
+
+        ``idempotency_token`` makes the submission safe to re-drive after
+        an *ambiguous* failure (timeout, connection loss after the enqueue,
+        a crash between commit and acknowledgement): the token is persisted
+        in the transaction document — the token→txid entry rides the same
+        store write — so a retried ``submit`` with the same token resumes
+        the original transaction (re-enqueueing its request if the first
+        attempt died before the inputQ put) instead of double-applying.
+        Pair with :func:`repro.common.retry.call_with_retries`, which only
+        re-drives ambiguous failures when a token is attached.
         """
         self._require_started()
         if not self.procedures.has(procedure):
             raise ConfigurationError(f"unknown stored procedure {procedure!r}")
-        txn = Transaction(procedure=procedure, args=dict(args or {}), client=client)
+        txn = Transaction(
+            procedure=procedure,
+            args=dict(args or {}),
+            client=client,
+            idempotency_token=idempotency_token,
+        )
         shard = self._route_transaction(procedure, args, txn)
         runtime = self._runtime(shard)
+        if idempotency_token is not None:
+            entry = runtime.store.lookup_token(idempotency_token)
+            if entry is not None:
+                return self._resume_tokened(runtime, shard, entry, wait, timeout)
         txn.mark(TransactionState.INITIALIZED, self.clock.now())
-        runtime.store.save_transaction(txn)
+        if idempotency_token is not None:
+            # One group commit: the document and the token→txid submission
+            # record become durable together, so a crash can never leave a
+            # document a retry cannot find by its token.
+            with runtime.store.batch():
+                runtime.store.save_transaction(txn)
+                runtime.store.record_token(
+                    idempotency_token, txn.txid, txn.state.value
+                )
+        else:
+            runtime.store.save_transaction(txn)
         runtime.input_queue.put(request_message(txn.txid))
         self._txn_shards[txn.txid] = shard
         handle = TransactionHandle(self, txn.txid)
@@ -730,8 +834,41 @@ class TropicPlatform:
             self.run_until_idle()
         return handle.wait(timeout)
 
+    def _resume_tokened(
+        self,
+        runtime: ShardRuntime,
+        shard: int,
+        entry: dict[str, Any],
+        wait: bool,
+        timeout: float | None,
+    ) -> Transaction | TransactionHandle:
+        """Resume the transaction a previously seen idempotency token maps
+        to (exactly-once re-drive: no new transaction is created).
+
+        If the original document is still non-terminal its request message
+        is re-enqueued — the first attempt may have crashed between the
+        document save and the inputQ put, and duplicate requests are safe
+        because the controller accepts only INITIALIZED documents.
+        """
+        txid = entry["txid"]
+        self.resilience.token_dedup_hits += 1
+        self._txn_shards.setdefault(txid, shard)
+        txn = runtime.store.load_transaction(txid)
+        if txn is not None and not txn.is_terminal:
+            runtime.input_queue.put(request_message(txid))
+        handle = TransactionHandle(self, txid)
+        if not wait:
+            return handle
+        if not self.threaded:
+            self.run_until_idle()
+        return handle.wait(timeout)
+
     def submit_many(
-        self, requests: list[tuple[str, dict[str, Any]]], wait: bool = True, timeout: float | None = 60.0
+        self,
+        requests: list[tuple[str, dict[str, Any]]],
+        wait: bool = True,
+        timeout: float | None = 60.0,
+        idempotency_tokens: list[str | None] | None = None,
     ) -> list[Transaction | TransactionHandle]:
         """Submit a batch of transactions with submit-side batching.
 
@@ -739,16 +876,43 @@ class TropicPlatform:
         are group-committed in one store write and the request messages are
         enqueued in one queue write — two coordination round-trips per
         shard per batch instead of two per transaction.
+
+        ``idempotency_tokens`` (optional, one entry per request, ``None``
+        entries allowed) gives individual requests the same exactly-once
+        re-drive semantics as a tokened :meth:`submit`: already-seen tokens
+        resume their original transaction, fresh tokens ride the batch
+        group commit together with their documents.
+
+        The batch shares one wait deadline (``timeout`` from call entry),
+        and every waited transaction is additionally bounded by
+        ``config.txn_timeout`` — the same per-transaction stall deadline
+        :meth:`submit` enforces — raising the typed (ambiguous, therefore
+        retry-with-token-only) :class:`~repro.common.errors.TxnTimeout`.
         """
         self._require_started()
+        if idempotency_tokens is not None and len(idempotency_tokens) != len(requests):
+            raise ConfigurationError(
+                f"idempotency_tokens must match requests 1:1 "
+                f"({len(idempotency_tokens)} tokens for {len(requests)} requests)"
+            )
         handles: list[TransactionHandle] = []
         per_shard: dict[int, list[Transaction]] = {}
-        for procedure, args in requests:
+        for index, (procedure, args) in enumerate(requests):
             if not self.procedures.has(procedure):
                 raise ConfigurationError(f"unknown stored procedure {procedure!r}")
-            txn = Transaction(procedure=procedure, args=dict(args or {}))
+            token = idempotency_tokens[index] if idempotency_tokens else None
+            txn = Transaction(
+                procedure=procedure, args=dict(args or {}), idempotency_token=token
+            )
             shard = self._route_transaction(procedure, args, txn)
-            self._runtime(shard)  # fail fast before anything is persisted
+            runtime = self._runtime(shard)  # fail fast before persisting
+            if token is not None:
+                entry = runtime.store.lookup_token(token)
+                if entry is not None:
+                    handles.append(
+                        self._resume_tokened(runtime, shard, entry, False, None)
+                    )
+                    continue
             txn.mark(TransactionState.INITIALIZED, self.clock.now())
             per_shard.setdefault(shard, []).append(txn)
             self._txn_shards[txn.txid] = shard
@@ -758,17 +922,44 @@ class TropicPlatform:
             with runtime.store.batch():
                 for txn in txns:
                     runtime.store.save_transaction(txn)
+                    if txn.idempotency_token is not None:
+                        runtime.store.record_token(
+                            txn.idempotency_token, txn.txid, txn.state.value
+                        )
             runtime.input_queue.put_many([request_message(t.txid) for t in txns])
         if not wait:
             return list(handles)
         if not self.threaded:
             self.run_until_idle()
-        return [handle.wait(timeout) for handle in handles]
+        deadline = None if timeout is None else self.clock.now() + timeout
+        results: list[Transaction | TransactionHandle] = []
+        for handle in handles:
+            remaining = (
+                None if deadline is None else max(deadline - self.clock.now(), 0.0)
+            )
+            results.append(handle.wait(remaining))
+        return results
 
     def wait_for(self, txid: str, timeout: float | None = 30.0) -> Transaction:
-        """Block until ``txid`` reaches a terminal state (polling the store)."""
+        """Block until ``txid`` reaches a terminal state (polling the store).
+
+        The wait is bounded by the smaller of ``timeout`` and
+        ``config.txn_timeout`` (when set), so every wait surface honours
+        the configured per-transaction stall deadline uniformly.  On
+        expiry raises :class:`~repro.common.errors.TxnTimeout` — typed,
+        classified *ambiguous* (the transaction may still commit after the
+        caller gave up), and a subclass of the builtin ``TimeoutError``
+        for callers that predate the typed error.
+        """
         self._require_started()
-        deadline = None if timeout is None else self.clock.now() + timeout
+        effective = timeout
+        if self.config.txn_timeout > 0:
+            effective = (
+                self.config.txn_timeout
+                if timeout is None
+                else min(timeout, self.config.txn_timeout)
+            )
+        deadline = None if effective is None else self.clock.now() + effective
         while True:
             txn = self._completed_lookup(txid) or self.load_transaction(txid)
             if txn is not None and txn.is_terminal:
@@ -786,7 +977,10 @@ class TropicPlatform:
                     )
                 continue
             if deadline is not None and self.clock.now() >= deadline:
-                raise TimeoutError(f"transaction {txid} did not finish within {timeout}s")
+                raise TxnTimeout(
+                    f"transaction {txid} did not finish within {effective}s",
+                    txid=txid,
+                )
             self.clock.sleep(self.config.queue_poll_interval)
 
     # ------------------------------------------------------------------
@@ -1030,6 +1224,11 @@ class TropicPlatform:
     def controller_busy_seconds(self) -> float:
         return sum(controller.busy_seconds() for controller in self.controllers)
 
+    def resilience_stats(self) -> dict[str, int]:
+        """Fault-tolerance counters (retries, token dedups, session
+        expiries, watch re-arms, degraded reads) for reports and the CLI."""
+        return self.resilience.as_dict()
+
     def _resolve_consistency(
         self, strict: bool | None, consistency: str | None
     ) -> str:
@@ -1098,11 +1297,19 @@ class TropicPlatform:
         self._require_started()
         mode = self._resolve_consistency(strict, consistency)
         if self.config.num_shards == 1:
-            return FleetView(
-                model=self.leader().model,
-                watermarks={0: ShardWatermark(0, CONSISTENCY_LEADER)},
-                consistency=mode,
-            )
+            try:
+                return FleetView(
+                    model=self.leader().model,
+                    watermarks={0: ShardWatermark(0, CONSISTENCY_LEADER)},
+                    consistency=mode,
+                )
+            except (ConfigurationError, SessionExpiredError, QuorumLostError):
+                # Leader unreachable (all replicas down, or coordination
+                # lost).  consistency='leader' callers asked for
+                # authoritative-or-fail; everyone else degrades gracefully.
+                if mode == CONSISTENCY_LEADER:
+                    raise
+                return self._degraded_single_shard_view(mode)
         missing = [
             shard
             for shard in range(self.config.num_shards)
@@ -1120,11 +1327,26 @@ class TropicPlatform:
         watermarks: dict[int, ShardWatermark] = {}
         local_leaders: dict[int, Controller] = {}
         local_models: dict[int, DataModel] = {}
+        degraded: list[int] = []
         for shard in self._local_shards:
-            leader = self.leader(shard)
+            try:
+                leader = self.leader(shard)
+            except (ConfigurationError, SessionExpiredError, QuorumLostError):
+                # Hosted shard with no reachable leader: degrade this one
+                # shard to its read replica (under consistency='replica')
+                # or to the partial bootstrap-frozen copy, instead of
+                # failing the whole fleet read.
+                if mode == CONSISTENCY_LEADER:
+                    raise
+                degraded.append(shard)
+                watermarks[shard] = ShardWatermark(shard, CONSISTENCY_PARTIAL)
+                continue
             local_leaders[shard] = leader
             local_models[shard] = leader.model
             watermarks[shard] = ShardWatermark(shard, CONSISTENCY_LEADER)
+        if degraded:
+            self._heal_sessions()
+            self.resilience.degraded_reads += 1
         # Non-hosted shards are disclosed in the watermarks in *every*
         # mode: a partial view's bootstrap-frozen shards must be visible
         # to staleness audits, not silently absent.
@@ -1132,9 +1354,14 @@ class TropicPlatform:
             watermarks[shard] = ShardWatermark(shard, CONSISTENCY_PARTIAL)
         replicas: dict[int, ReadReplica] = {}
         if mode == CONSISTENCY_REPLICA:
-            for shard in missing:
+            for shard in sorted(set(missing) | set(degraded)):
                 replica = self.read_proxy.replica(shard)
-                replica.refresh()
+                try:
+                    replica.refresh()
+                except ReproError:
+                    # Coordination unreachable: serve the replica's last
+                    # materialised state below, if it ever bootstrapped.
+                    pass
                 if not replica.has_checkpoint:
                     # The shard's store was never bootstrapped by any owner
                     # process: the replica's empty model is a placeholder,
@@ -1170,7 +1397,10 @@ class TropicPlatform:
         if cached is not None and cached[0] == cache_key:
             merged = cached[1]
             return FleetView(
-                model=merged.clone(), watermarks=watermarks, consistency=mode
+                model=merged.clone(),
+                watermarks=watermarks,
+                consistency=mode,
+                degraded_shards=sorted(degraded),
             )
         # Fork under each leader's op mutex: the fork swaps the live
         # model's ownership epoch, which must not race an in-flight step's
@@ -1179,17 +1409,36 @@ class TropicPlatform:
         sources: dict[int, DataModel] = {
             shard: leader.fork_model() for shard, leader in local_leaders.items()
         }
-        for shard, replica in replicas.items():
+        snapshot_failed = False
+        for shard, replica in list(replicas.items()):
             # A locked snapshot, not the live model: another thread's
             # concurrent refresh mutates the replica model in place, and
             # merging from it could capture a half-applied transaction.
             # The snapshot is an O(1) copy-on-write fork under the lock,
             # consistent with the watermark that stamps it.
-            sources[shard], applied_txn = replica.snapshot()
+            try:
+                sources[shard], applied_txn = replica.snapshot()
+            except ReproError:
+                # The snapshot's own catch-up hit dead coordination; this
+                # shard falls back to partial for this view only.
+                del replicas[shard]
+                watermarks[shard] = ShardWatermark(shard, CONSISTENCY_PARTIAL)
+                snapshot_failed = True
+                continue
             watermarks[shard] = ShardWatermark(
                 shard, CONSISTENCY_REPLICA, applied_txn
             )
-        first_shard = self._local_shards[0]
+        if not sources:
+            raise ShardUnavailable(
+                "no shard source reachable for a fleet view (no live leader "
+                "and no bootstrapped read replica)",
+                shards=sorted(set(missing) | set(degraded)),
+            )
+        # Base the merge on the first *authoritative* local source; when
+        # every local shard is degraded, any replica source can serve as
+        # the base (replicas also hold the full bootstrap tree).
+        authoritative = [s for s in self._local_shards if s in sources]
+        first_shard = authoritative[0] if authoritative else min(sources)
         view = sources[first_shard].clone()
         # Refresh (or drop) units in the base fork that another shard owns.
         # Grafts share the owner fork's subtrees: no unit is deep-copied.
@@ -1222,15 +1471,79 @@ class TropicPlatform:
                     path = f"/{top_name}/{child_name}"
                     if self.shard_router.shard_of(path) == shard and not view.exists(path):
                         view.replace_subtree(path, model.get(path))
-        self._view_cache[mode] = (cache_key, view)
+        if not snapshot_failed:
+            # A view missing a replica that failed to snapshot must not be
+            # cached under a key that claims the replica's state.
+            self._view_cache[mode] = (cache_key, view)
         return FleetView(
-            model=view.clone(), watermarks=watermarks, consistency=mode
+            model=view.clone(),
+            watermarks=watermarks,
+            consistency=mode,
+            degraded_shards=sorted(degraded),
+        )
+
+    def _degraded_single_shard_view(self, mode: str) -> FleetView:
+        """Leader→replica→partial fallback for the single-shard deployment.
+
+        Serves the read replica's bounded-stale model when it has one, and
+        the bootstrap model (knowingly partial) as the last resort; the
+        degradation is disclosed via the watermark source and
+        ``FleetView.degraded_shards``.  Also heals the shared coordination
+        session so subsequent reads (and the controller runners) can
+        recover instead of staying degraded forever.
+        """
+        self._heal_sessions()
+        self.resilience.degraded_reads += 1
+        replica = self.read_proxy.replica(0)
+        snapshot: tuple[DataModel, int] | None = None
+        try:
+            replica.refresh()
+            if replica.has_checkpoint:
+                snapshot = replica.snapshot()
+        except ReproError:
+            pass  # coordination still down: fall through to partial
+        if snapshot is not None:
+            model, applied_txn = snapshot
+            return FleetView(
+                model=model,
+                watermarks={0: ShardWatermark(0, CONSISTENCY_REPLICA, applied_txn)},
+                consistency=mode,
+                degraded_shards=[0],
+            )
+        model = (
+            self.initial_model.clone()
+            if self.initial_model is not None
+            else DataModel()
+        )
+        return FleetView(
+            model=model,
+            watermarks={0: ShardWatermark(0, CONSISTENCY_PARTIAL)},
+            consistency=mode,
+            degraded_shards=[0],
         )
 
     def resource_count(self) -> int:
         return self.model_view().count()
 
     # ------------------------------------------------------------------
+
+    def _heal_sessions(self) -> None:
+        """Re-establish the platform's shared coordination session after an
+        expiry.  Every store, queue and lazily built read replica rides the
+        one shared client, so a single reconnect heals them all; the
+        double-checked lock keeps concurrent healers (controller + worker
+        runners noticing the expiry together) from stacking orphan
+        sessions.  Watches registered under the dead session are gone —
+        their owners (queue consumers, replicas) re-arm on their next
+        operation, which is why the wakeup contract is at-least-once.
+        """
+        client = self.client
+        if client is None or client.is_live():
+            return
+        with self._heal_lock:
+            if not client.is_live():
+                client.reconnect()
+                self.resilience.session_expiries += 1
 
     def _require_started(self) -> None:
         if not self._started:

@@ -151,8 +151,12 @@ def recover_state(
     prepared: list[Transaction] = []
 
     transactions = sorted(store.load_all_transactions(), key=lambda t: t.txid)
+    tokened_terminal: list[Transaction] = []
     for txn in transactions:
-        if txn.state in (TransactionState.ACCEPTED, TransactionState.DEFERRED):
+        if txn.is_terminal:
+            if txn.idempotency_token is not None:
+                tokened_terminal.append(txn)
+        elif txn.state in (TransactionState.ACCEPTED, TransactionState.DEFERRED):
             todo.push_back(txn)
         elif txn.state is TransactionState.PREPARING:
             # Cross-shard coordinator that died before logging a decision:
@@ -169,6 +173,8 @@ def recover_state(
                 txn.mark(TransactionState.COMMITTED, clock.now())
                 store.save_transaction(txn)
                 completed_started.append(txn.txid)
+                if txn.idempotency_token is not None:
+                    tokened_terminal.append(txn)
                 continue
             executor.apply_log(txn.log)
             # Prepared-lock retention: grants the failed leader already
@@ -178,6 +184,18 @@ def recover_state(
             outstanding[txn.txid] = txn
             if txn.state is TransactionState.PREPARED:
                 prepared.append(txn)
+
+    # Rebuild the idempotency-token ack index: an entry normally rides the
+    # same group commit as the terminal document, so the only gap is the
+    # crash-between-commit-and-ack window where the applied log names a
+    # txid whose document was still STARTED/PREPARED (converted above) —
+    # plus any entry lost alongside a terminal rewrite.  Reconciling from
+    # the terminal documents (which carry the token) is idempotent.
+    if tokened_terminal:
+        known = store.token_entries()
+        for txn in tokened_terminal:
+            if txn.idempotency_token not in known:
+                store.record_token(txn.idempotency_token, txn.txid, txn.state.value)
 
     # Restore inconsistency fencing (§4).
     for path in store.load_inconsistent_paths():

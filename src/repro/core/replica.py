@@ -175,11 +175,15 @@ class ReadReplica:
         schema: ModelSchema,
         procedures: ProcedureRegistry,
         shard_id: int = 0,
+        counters: Any | None = None,
     ):
         self.store = store
         self.schema = schema
         self.procedures = procedures
         self.shard_id = shard_id
+        #: Optional resilience counters (``watch_rearms`` is bumped per
+        #: re-registration after the initial arming).
+        self.counters = counters
         self._model: DataModel | None = None
         self._executor: LogicalExecutor | None = None
         self._applied_txn = 0
@@ -224,14 +228,38 @@ class ReadReplica:
         the start of every real refresh, *before* the state is read, so a
         write landing between the read and the next refresh is never lost —
         it fires the fresh watch and marks the replica pending.  A watch
-        that has not fired is still live and is not re-registered."""
+        that has not fired is still live and is not re-registered.
+
+        Each armed flag is set *before* its registration call (the watch
+        may fire from another thread the instant it is registered, and that
+        firing clears the flag — setting it afterwards would overwrite the
+        clear and strand the replica) but rolled back if the registration
+        itself fails (e.g. the session expired mid-call): a stale-true flag
+        with no live watch would make every later refresh skip
+        re-registration and the replica would never wake again."""
         kv = self.store.kv
         if not self._applied_watch_armed:
             self._applied_watch_armed = True
-            kv.watch_children(TropicStore.APPLIED_PREFIX, self._on_applied_event)
+            try:
+                kv.watch_children(TropicStore.APPLIED_PREFIX, self._on_applied_event)
+            except Exception:
+                self._applied_watch_armed = False
+                raise
+            self._count_rearm()
         if not self._meta_watch_armed:
             self._meta_watch_armed = True
-            kv.watch(TropicStore.CHECKPOINT_META, self._on_meta_event)
+            try:
+                kv.watch(TropicStore.CHECKPOINT_META, self._on_meta_event)
+            except Exception:
+                self._meta_watch_armed = False
+                raise
+            self._count_rearm()
+
+    def _count_rearm(self) -> None:
+        if self.counters is not None and self.stats["bootstraps"] > 0:
+            # Only re-registrations count: the first arming of a fresh
+            # replica is bootstrap, not recovery.
+            self.counters.watch_rearms += 1
 
     # ------------------------------------------------------------------
     # Catch-up

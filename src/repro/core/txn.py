@@ -216,6 +216,12 @@ class Transaction:
     coordinator: int | None = None
     participants: list[int] = field(default_factory=list)
     votes: dict[str, str] = field(default_factory=dict)
+    #: Client-supplied idempotency token.  Persisted with the document so
+    #: the controller's token→txid ack index survives failover and a
+    #: retried submission after an ambiguous failure deduplicates instead
+    #: of double-applying.  ``None`` (the default) keeps token-less
+    #: documents byte-identical to the pre-resilience format.
+    idempotency_token: str | None = None
 
     # -- state transitions ------------------------------------------------
 
@@ -267,6 +273,10 @@ class Transaction:
             data["coordinator"] = self.coordinator
             data["participants"] = list(self.participants)
             data["votes"] = dict(self.votes)
+        if self.idempotency_token is not None:
+            # Same conditional pattern: only tokened submissions carry the
+            # extra field (from_dict defaults it away).
+            data["idempotency_token"] = self.idempotency_token
         return data
 
     @classmethod
@@ -286,6 +296,7 @@ class Transaction:
             coordinator=data.get("coordinator"),
             participants=[int(s) for s in data.get("participants") or []],
             votes=dict(data.get("votes") or {}),
+            idempotency_token=data.get("idempotency_token"),
         )
         return txn
 

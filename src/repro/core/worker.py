@@ -26,6 +26,7 @@ from repro.core.events import KIND_EXECUTE, result_message
 from repro.core.persistence import TropicStore
 from repro.core.physical import PhysicalExecutor
 from repro.core.signals import KILL, SignalBoard
+from repro.core.txn import Transaction
 from repro.drivers.registry import DeviceRegistry
 
 
@@ -55,6 +56,17 @@ class Worker:
         #: Distinguishes this worker incarnation's claims from those of a
         #: crashed predecessor with the same name (see _claim_fallback).
         self._nonce = random_id("wk")
+        #: Claimed transactions not yet executed-and-resulted.  A claim is
+        #: durable and its phyQ item is gone, so if a transient fault
+        #: (session expiry, connection loss) interrupts the step after the
+        #: claim multi, this worker is the *only* component that can still
+        #: finish the transaction — the redispatch path deliberately skips
+        #: claimed txids.  Retained across steps and retried.
+        self._claimed: dict[str, Transaction] = {}
+        #: Result messages not yet delivered to inputQ.  ``put_many`` is a
+        #: single atomic multi: if it raises, nothing was enqueued and the
+        #: whole batch is retried on the next step.
+        self._outbox: list[dict] = []
         self.store.ensure_claim_root()
 
     # ------------------------------------------------------------------
@@ -129,10 +141,18 @@ class Worker:
         The whole batch is claimed-and-acked in one coordination round-trip
         and the result messages ride back to the controller in a single
         inputQ group write.
+
+        Crash-consistent against transient coordination faults: work the
+        step was interrupted in (claimed-but-unexecuted transactions,
+        undelivered results) is retained on the instance and finished
+        first on the next step.  An exception from this method therefore
+        never strands a claimed transaction — the service loop heals the
+        session and re-steps.
         """
+        recovered = self._finish_interrupted()
         taken = self.phy_queue.take_many(self.config.worker_batch_size)
         if not taken:
-            return False
+            return recovered
         to_claim: list[tuple[str, str, int]] = []
         transactions = {}
         for name, item in taken:
@@ -147,18 +167,39 @@ class Worker:
             transactions[txid] = txn
             to_claim.append((name, txid, int(item.get("epoch", 0))))
         won = self._claim_and_ack_many(to_claim)
-        results = []
+        # The claims are durable and the phyQ items are gone: from here on
+        # only this worker can finish these transactions, so track them
+        # until their results are safely in inputQ.
         for txid in won:
+            self._claimed[txid] = transactions[txid]
+        self._execute_claimed()
+        self._flush_outbox()
+        return True
+
+    def _finish_interrupted(self) -> bool:
+        """Finish work a previous (faulted) step left behind: deliver
+        undelivered results, then execute claimed-but-unexecuted
+        transactions."""
+        flushed = self._flush_outbox()
+        executed = self._execute_claimed()
+        if executed:
+            self._flush_outbox()
+        return flushed or executed
+
+    def _execute_claimed(self) -> bool:
+        did_work = False
+        for txid in list(self._claimed):
             # Checked fresh per item (not snapshotted per batch): a KILL
             # posted while earlier batch items executed must still stop
             # this one before it touches the devices.  The claim stays (the
             # controller aborts KILLed transactions in the logical layer
             # only and clears the claim with the document, §4).
             if self.signals.get(txid) == KILL:
+                del self._claimed[txid]
                 continue
-            outcome = self.executor.execute(transactions[txid])
+            outcome = self.executor.execute(self._claimed[txid])
             self.transactions_processed += 1
-            results.append(
+            self._outbox.append(
                 result_message(
                     txid,
                     outcome.outcome,
@@ -167,7 +208,15 @@ class Worker:
                     worker=self.name,
                 )
             )
-        self.input_queue.put_many(results)
+            del self._claimed[txid]
+            did_work = True
+        return did_work
+
+    def _flush_outbox(self) -> bool:
+        if not self._outbox:
+            return False
+        self.input_queue.put_many(self._outbox)
+        self._outbox = []
         return True
 
     def run_pending(self, max_items: int | None = None) -> int:

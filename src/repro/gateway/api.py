@@ -22,7 +22,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.common.errors import CrossShardTransaction, ProcedureError, ReproError
+from repro.common.errors import (
+    CrossShardTransaction,
+    ProcedureError,
+    QuorumLostError,
+    ReproError,
+    SessionExpiredError,
+    ShardUnavailable,
+    TxnTimeout,
+)
 from repro.core.txn import Transaction, TransactionState
 from repro.gateway.audit import AuditLog
 from repro.gateway.tenants import (
@@ -74,6 +82,13 @@ class ApiResponse:
     data: Any = None
     error: str | None = None
     txids: list[str] = field(default_factory=list)
+    #: Typed retry contract: ``retryable=True`` marks a transient platform
+    #: fault (leader failover, quorum loss, a timed-out wait) that the
+    #: client may re-drive after ``retry_after_s`` seconds.  A ``Timeout``
+    #: code is *ambiguous* — the transaction may still commit — so it must
+    #: only be retried with the same idempotency token.
+    retryable: bool = False
+    retry_after_s: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -83,6 +98,8 @@ class ApiResponse:
             "data": self.data,
             "error": self.error,
             "txids": list(self.txids),
+            "retryable": self.retryable,
+            "retry_after_s": self.retry_after_s,
         }
 
 
@@ -154,6 +171,24 @@ class ApiGateway:
             response = ApiResponse(ok=False, action=action, code="CrossShard", error=str(exc))
             self.audit.record(tenant.name, action, params, outcome="denied", error=str(exc))
             return response
+        except (
+            SessionExpiredError,
+            QuorumLostError,
+            TxnTimeout,
+            ShardUnavailable,
+            ConnectionError,
+        ) as exc:
+            # Transient (or, for Timeout, ambiguous) platform faults:
+            # surface a typed retryable response with a backoff hint
+            # instead of a raw InternalError, so well-behaved clients back
+            # off and re-drive while a failover completes.
+            code = "Timeout" if isinstance(exc, TxnTimeout) else "Unavailable"
+            response = ApiResponse(
+                ok=False, action=action, code=code, error=str(exc),
+                retryable=True, retry_after_s=self._retry_after(),
+            )
+            self.audit.record(tenant.name, action, params, outcome="error", error=str(exc))
+            return response
         except ReproError as exc:
             response = ApiResponse(ok=False, action=action, code="InternalError",
                                    error=str(exc))
@@ -165,6 +200,11 @@ class ApiGateway:
                           txid=response.txids[0] if response.txids else None,
                           error=response.error)
         return response
+
+    def _retry_after(self) -> float:
+        """Backoff hint for retryable responses: a leader failover needs
+        roughly one session timeout to be detected plus recovery."""
+        return max(self.cloud.platform.config.session_timeout, 0.05)
 
     def _authorise(self, tenant: Tenant, action: str) -> None:
         if action in USER_ACTIONS:

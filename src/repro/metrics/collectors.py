@@ -134,6 +134,51 @@ class StoreIOSnapshot:
         }
 
 
+@dataclass
+class ResilienceCounters:
+    """Fault-tolerance event counters (PR 6).
+
+    One shared instance is threaded through the platform, queues, read
+    replicas and the chaos harness; components bump plain attributes
+    (single ``+=`` per event, GIL-atomic enough for counters) so the hot
+    path never pays for locking.  Surfaced by ``metrics.report`` and the
+    CLI ``stats`` command next to the controller counters.
+    """
+
+    #: Client-side resubmissions driven by a :class:`~repro.common.retry.
+    #: RetryPolicy` (transient errors, or ambiguous ones under a token).
+    retries: int = 0
+    #: Tokened submissions answered from the token→txid ack index instead
+    #: of creating a new transaction (the exactly-once dedup path).
+    token_dedup_hits: int = 0
+    #: Coordination sessions found expired and re-established.
+    session_expiries: int = 0
+    #: One-shot watches re-registered after a session loss (queue
+    #: consumers and read replicas re-arming themselves).
+    watch_rearms: int = 0
+    #: Fleet views served from a replica (or partial) fallback because a
+    #: shard leader was unreachable.
+    degraded_reads: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "retries": self.retries,
+            "token_dedup_hits": self.token_dedup_hits,
+            "session_expiries": self.session_expiries,
+            "watch_rearms": self.watch_rearms,
+            "degraded_reads": self.degraded_reads,
+        }
+
+    def merge(self, other: "ResilienceCounters") -> "ResilienceCounters":
+        return ResilienceCounters(
+            retries=self.retries + other.retries,
+            token_dedup_hits=self.token_dedup_hits + other.token_dedup_hits,
+            session_expiries=self.session_expiries + other.session_expiries,
+            watch_rearms=self.watch_rearms + other.watch_rearms,
+            degraded_reads=self.degraded_reads + other.degraded_reads,
+        )
+
+
 class MemoryEstimator:
     """Estimates the memory footprint of a logical data model.
 

@@ -65,3 +65,24 @@ def format_cdf(
 
 def format_percent(value: float) -> str:
     return f"{value * 100:.1f}%"
+
+
+#: Human-readable labels for the ResilienceCounters fields, in display
+#: order (see repro.metrics.collectors.ResilienceCounters.as_dict).
+_RESILIENCE_LABELS = (
+    ("retries", "client retries"),
+    ("token_dedup_hits", "token dedup hits (exactly-once re-drives)"),
+    ("session_expiries", "coordination sessions re-established"),
+    ("watch_rearms", "watches re-armed after session loss"),
+    ("degraded_reads", "reads served degraded (replica/partial)"),
+)
+
+
+def format_resilience(counters: dict[str, int], title: str = "resilience") -> str:
+    """Render the fault-tolerance counters (``Platform.resilience_stats``)
+    as a table, using stable labels so operators can grep run logs."""
+    rows = [(label, counters.get(key, 0)) for key, label in _RESILIENCE_LABELS]
+    for key in sorted(counters):
+        if key not in {k for k, _ in _RESILIENCE_LABELS}:
+            rows.append((key, counters[key]))
+    return ascii_table(("event", "count"), rows, title=title)

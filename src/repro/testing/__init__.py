@@ -6,9 +6,15 @@ multi-shard clusters and inject controller crashes at named failure points
 without hand-rolling controller/ensemble wiring.
 """
 
+from repro.testing.chaos import ChaosReport, ChaosScenario, run_chaos, run_soak
 from repro.testing.cluster import ShardedCluster
 from repro.testing.faults import (
     ALL_FAILURE_POINTS,
+    CONNECTION_LOSS,
+    ENSEMBLE_FAULT_KINDS,
+    EXPIRE_SESSION,
+    LATENCY_SPIKE,
+    PARTITION,
     FAILURE_POINTS,
     MID_CHECKPOINT,
     POST_COMMIT_PRE_ACK,
@@ -22,6 +28,7 @@ from repro.testing.faults import (
     TWOPC_PRE_PREPARE,
     CrashPoint,
     FaultInjector,
+    FaultyEnsemble,
     FaultyKVStore,
     FaultyQueue,
     FaultyTropicStore,
@@ -29,11 +36,16 @@ from repro.testing.faults import (
 from repro.testing.models import SNAPSHOT_BENCH_SIZES, build_host_fleet_model
 
 __all__ = [
+    "ChaosReport",
+    "ChaosScenario",
+    "run_chaos",
+    "run_soak",
     "ShardedCluster",
     "SNAPSHOT_BENCH_SIZES",
     "build_host_fleet_model",
     "CrashPoint",
     "FaultInjector",
+    "FaultyEnsemble",
     "FaultyKVStore",
     "FaultyQueue",
     "FaultyTropicStore",
@@ -49,4 +61,9 @@ __all__ = [
     "TWOPC_POST_PREPARE",
     "TWOPC_PRE_DECISION",
     "TWOPC_POST_DECISION",
+    "ENSEMBLE_FAULT_KINDS",
+    "EXPIRE_SESSION",
+    "CONNECTION_LOSS",
+    "LATENCY_SPIKE",
+    "PARTITION",
 ]

@@ -56,9 +56,15 @@ class ShardedCluster:
         with_devices: bool = True,
         injector: FaultInjector | None = None,
         faulty_shards: tuple[int, ...] = (),
+        ensemble: CoordinationEnsemble | None = None,
     ):
         self.num_shards = num_shards
-        self.ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=3600.0)
+        #: Injectable so chaos scenarios can substitute a
+        #: :class:`~repro.testing.faults.FaultyEnsemble` with a scheduled
+        #: ensemble-fault plan.
+        self.ensemble = ensemble or CoordinationEnsemble(
+            num_servers=3, default_session_timeout=3600.0
+        )
         self.client = CoordinationClient(self.ensemble)
         self.config = (config or TropicConfig()).with_overrides(
             num_shards=num_shards, cross_shard_policy=cross_shard_policy

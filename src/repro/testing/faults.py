@@ -1,4 +1,4 @@
-"""Deterministic controller fault injection.
+"""Deterministic controller and ensemble fault injection.
 
 The paper claims the controller may fail "at any possible failure point"
 without losing submitted transactions (§2.3).  This module makes that claim
@@ -41,10 +41,23 @@ than store/queue boundaries):
 Crashes *inside* a ``multi`` are not modelled: ZooKeeper applies a multi
 atomically through its transaction log, so the real system never observes
 a torn group commit.
+
+Beyond controller crashes, :class:`FaultyEnsemble` injects *ensemble-side*
+faults scheduled by coordination-operation count (deterministic for a
+deterministic workload): session expiry of whichever session issues the
+k-th operation, one-shot connection loss, op-latency spikes, and quorum
+partitions (a majority of servers crashed for a span of operations, then
+restarted).  These exercise the recovery paths — session re-establishment,
+watch re-arming, election re-entry, replica re-bootstrap — rather than the
+crash-replay paths.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any
+
+from repro.coordination.ensemble import CoordinationEnsemble
 from repro.coordination.kvstore import KVStore, WriteBatch
 from repro.coordination.queue import DistributedQueue
 from repro.core.controller import (
@@ -209,3 +222,160 @@ class FaultyQueue(DistributedQueue):
             return False
         self.injector.hit(POST_COMMIT_PRE_ACK)
         return super().ack(name)
+
+
+# ----------------------------------------------------------------------
+# Ensemble-side faults
+# ----------------------------------------------------------------------
+
+#: Ensemble fault kinds schedulable on a :class:`FaultyEnsemble`.
+EXPIRE_SESSION = "expire-session"
+CONNECTION_LOSS = "connection-loss"
+LATENCY_SPIKE = "latency-spike"
+PARTITION = "partition"
+
+ENSEMBLE_FAULT_KINDS = (
+    EXPIRE_SESSION,
+    CONNECTION_LOSS,
+    LATENCY_SPIKE,
+    PARTITION,
+)
+
+
+@dataclass
+class _ScheduledFault:
+    at_op: int
+    kind: str
+    duration: int = 0
+    value: float = 0.0
+
+
+class EnsembleFaultSchedule:
+    """Schedules ensemble faults by global coordination-operation count.
+
+    Operation counting (every read/write prepare bumps the counter) makes
+    the schedule deterministic for a deterministic workload: the fault
+    always fires at the same protocol position.  Victims are *implicit* —
+    an ``expire-session`` fault expires whichever session issues the
+    trigger operation, which is exactly how real expiries land: on the
+    component that happens to be talking to the ensemble.
+    """
+
+    def __init__(self, ensemble: "FaultyEnsemble"):
+        self.ensemble = ensemble
+        self.op_count = 0
+        self._events: list[_ScheduledFault] = []
+        #: ``(op_count, kind)`` of every fault fired, for assertions.
+        self.fired: list[tuple[int, str]] = []
+        self._latency_until: int | None = None
+        self._base_latency = 0.0
+        self._partition_until: int | None = None
+        self._partitioned: list[int] = []
+
+    # -- scheduling ----------------------------------------------------
+
+    def expire_session_at(self, op: int) -> "EnsembleFaultSchedule":
+        """Expire the session issuing the ``op``-th operation (it raises
+        ``SessionExpiredError`` and must reconnect/re-arm/re-elect)."""
+        self._events.append(_ScheduledFault(op, EXPIRE_SESSION))
+        return self
+
+    def connection_loss_at(self, op: int) -> "EnsembleFaultSchedule":
+        """Fail the ``op``-th operation with ``ConnectionError`` (transient:
+        the operation provably did not take effect)."""
+        self._events.append(_ScheduledFault(op, CONNECTION_LOSS))
+        return self
+
+    def latency_spike_at(
+        self, op: int, latency: float, duration: int
+    ) -> "EnsembleFaultSchedule":
+        """Charge ``latency`` seconds per operation for ``duration`` ops."""
+        self._events.append(_ScheduledFault(op, LATENCY_SPIKE, duration, latency))
+        return self
+
+    def partition_at(self, op: int, duration: int) -> "EnsembleFaultSchedule":
+        """Crash a majority of servers at the ``op``-th operation (quorum
+        loss: every operation raises ``QuorumLostError``) and restart them
+        ``duration`` operation *attempts* later."""
+        self._events.append(_ScheduledFault(op, PARTITION, duration))
+        return self
+
+    def pending(self) -> int:
+        return len(self._events)
+
+    def cancel_pending(self) -> None:
+        """Drop unfired events and undo any still-active degradation
+        (latency spike, partition) so post-run verification reads see a
+        healthy ensemble.  Fired history is kept."""
+        self._events.clear()
+        if self._latency_until is not None:
+            self.ensemble.op_latency = self._base_latency
+            self._latency_until = None
+        if self._partition_until is not None:
+            for index in self._partitioned:
+                self.ensemble.restart_server(index)
+            self._partitioned = []
+            self._partition_until = None
+
+    # -- the hook ------------------------------------------------------
+
+    def before_op(self, session_id: str) -> None:
+        self.op_count += 1
+        now = self.op_count
+        ensemble = self.ensemble
+        if self._latency_until is not None and now >= self._latency_until:
+            ensemble.op_latency = self._base_latency
+            self._latency_until = None
+        if self._partition_until is not None and now >= self._partition_until:
+            for index in self._partitioned:
+                ensemble.restart_server(index)
+            self._partitioned = []
+            self._partition_until = None
+        due = [event for event in self._events if event.at_op <= now]
+        for event in due:
+            self._events.remove(event)
+            self.fired.append((now, event.kind))
+            if event.kind == EXPIRE_SESSION:
+                # The triggering operation proceeds into the session check
+                # and raises SessionExpiredError there.
+                ensemble.expire_session(session_id)
+            elif event.kind == CONNECTION_LOSS:
+                raise ConnectionError(
+                    f"injected connection loss at coordination op {now}"
+                )
+            elif event.kind == LATENCY_SPIKE:
+                if self._latency_until is None:
+                    self._base_latency = ensemble.op_latency
+                ensemble.op_latency = event.value
+                self._latency_until = now + max(event.duration, 1)
+            elif event.kind == PARTITION:
+                # Crash servers (healthy-last order) until quorum is lost;
+                # the triggering op then raises QuorumLostError.  Counting
+                # continues on every *attempt*, so retrying clients drive
+                # the partition to heal.
+                for index in range(len(ensemble.servers)):
+                    if ensemble.has_quorum():
+                        ensemble.crash_server(index)
+                        self._partitioned.append(index)
+                self._partition_until = now + max(event.duration, 1)
+
+
+class FaultyEnsemble(CoordinationEnsemble):
+    """Coordination ensemble with an operation-scheduled fault plan.
+
+    Drop-in replacement for :class:`~repro.coordination.ensemble.
+    CoordinationEnsemble` (pass it as the platform's ``ensemble``); faults
+    are scheduled on :attr:`fault_schedule` before or during the workload.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.fault_schedule = EnsembleFaultSchedule(self)
+
+    def _prepare_read(self, session_id: str):
+        self.fault_schedule.before_op(session_id)
+        return super()._prepare_read(session_id)
+
+    def _prepare_write(self, session_id: str, payload_bytes: int = 0):
+        self.fault_schedule.before_op(session_id)
+        return super()._prepare_write(session_id, payload_bytes)

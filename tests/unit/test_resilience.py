@@ -1,0 +1,322 @@
+"""Cross-component resilience units (PR 6).
+
+One file for the small fault-survival contracts the chaos soak composes:
+tokened submission dedup on the platform API, the uniform txn_timeout,
+queue-consumer session recovery, worker claimed-work retention, replica
+watch re-arm rollback, graceful read degradation, and the typed
+retryable gateway responses.
+"""
+
+import pytest
+
+from repro.common.config import TropicConfig
+from repro.common.errors import ConfigurationError, SessionExpiredError, TxnTimeout
+from repro.coordination.client import CoordinationClient
+from repro.coordination.ensemble import CoordinationEnsemble
+from repro.coordination.kvstore import KVStore
+from repro.coordination.queue import DistributedQueue
+from repro.core.persistence import TropicStore
+from repro.core.replica import ReadReplica
+from repro.core.txn import TransactionState
+from repro.metrics.collectors import ResilienceCounters
+from repro.testing import ShardedCluster
+
+from tests.unit.test_core_platform import make_platform, spawn_args
+
+
+class TestTokenedSubmit:
+    def test_same_token_resolves_to_same_transaction(self):
+        platform, _ = make_platform()
+        with platform:
+            first = platform.submit(
+                "spawnVM", spawn_args("vm1"), idempotency_token="tok-1"
+            )
+            again = platform.submit(
+                "spawnVM", spawn_args("vm1"), idempotency_token="tok-1"
+            )
+            assert first.txid == again.txid
+            assert first.state is TransactionState.COMMITTED
+            assert platform.resilience_stats()["token_dedup_hits"] == 1
+            # Applied exactly once despite two submits.
+            assert platform.model_view().exists("/vmRoot/vmHost0/vm1")
+            store = platform.leader().store
+            applied = [txid for _, txid in store.applied_entries(0)]
+            assert applied.count(first.txid) == 1
+
+    def test_distinct_tokens_create_distinct_transactions(self):
+        platform, _ = make_platform()
+        with platform:
+            one = platform.submit("spawnVM", spawn_args("a"), idempotency_token="t1")
+            two = platform.submit("spawnVM", spawn_args("b"), idempotency_token="t2")
+            assert one.txid != two.txid
+
+    def test_redrive_after_crash_between_commit_and_ack(self):
+        """The ambiguous window: the transaction went terminal but the
+        client never saw the ack — and the crash also cost the leader its
+        token index entry.  Recovery rebuilds the index from the terminal
+        documents (which carry the token), so the re-drive still resolves
+        to the original transaction instead of double-applying."""
+        platform, _ = make_platform()
+        with platform:
+            leader = platform.leader()
+            txn = platform.submit("spawnVM", spawn_args("vm1"), idempotency_token="t")
+            assert txn.state is TransactionState.COMMITTED
+            store = leader.store
+            store.kv.delete(f"{TropicStore.TOKEN_PREFIX}/{TropicStore.token_key('t')}")
+            assert store.lookup_token("t") is None
+            # Failover: the successor's recovery reconciles the index from
+            # the tokened terminal documents before serving clients again.
+            leader.demote()
+            leader.recover()
+            entry = store.lookup_token("t")
+            assert entry is not None and entry["txid"] == txn.txid
+            again = platform.submit("spawnVM", spawn_args("vm1"), idempotency_token="t")
+            assert again.txid == txn.txid
+            assert again.state is TransactionState.COMMITTED
+            applied = [txid for _, txid in store.applied_entries(0)]
+            assert applied.count(txn.txid) == 1
+
+    def test_submit_many_tokens_dedup_individually(self):
+        platform, _ = make_platform()
+        with platform:
+            first = platform.submit_many(
+                [("spawnVM", spawn_args("a")), ("spawnVM", spawn_args("b"))],
+                idempotency_tokens=["t1", None],
+            )
+            second = platform.submit_many(
+                [("spawnVM", spawn_args("a")), ("spawnVM", spawn_args("c"))],
+                idempotency_tokens=["t1", None],
+            )
+            assert second[0].txid == first[0].txid  # deduped by token
+            assert second[1].txid != first[1].txid  # untokened: new txn
+
+    def test_submit_many_token_count_mismatch_rejected(self):
+        platform, _ = make_platform()
+        with platform:
+            with pytest.raises(ConfigurationError):
+                platform.submit_many(
+                    [("spawnVM", spawn_args("a"))], idempotency_tokens=["t", "x"]
+                )
+
+
+class TestTxnTimeout:
+    def test_wait_for_honours_config_txn_timeout(self):
+        """config.txn_timeout caps every wait, typed as the ambiguous
+        (retry-with-token-only) TxnTimeout."""
+        platform, _ = make_platform(txn_timeout=0.05, queue_poll_interval=0.01)
+        with platform:
+            # Force the polling wait path (the inline runtime would
+            # otherwise self-drive and report a lost transaction instead
+            # of timing out).
+            platform.threaded = True
+            try:
+                with pytest.raises(TxnTimeout) as excinfo:
+                    platform.wait_for("txn-does-not-exist", timeout=10.0)
+            finally:
+                platform.threaded = False
+            assert excinfo.value.txid == "txn-does-not-exist"
+            # Typed error stays a TimeoutError for legacy callers.
+            assert isinstance(excinfo.value, TimeoutError)
+
+
+class TestQueueSessionRecovery:
+    def setup_method(self):
+        self.ensemble = CoordinationEnsemble(
+            num_servers=3, default_session_timeout=3600.0
+        )
+        self.counters = ResilienceCounters()
+
+    def test_get_survives_session_expiry(self):
+        consumer = DistributedQueue(
+            CoordinationClient(self.ensemble),
+            "/q",
+            counters=self.counters,
+            reconnect_on_expiry=True,
+        )
+        producer = DistributedQueue(CoordinationClient(self.ensemble), "/q")
+        producer.put({"n": 1})
+        # Kill the consumer's session (its child watch dies with it); the
+        # next get() must reconnect and still deliver the item.
+        self.ensemble.expire_session(consumer.client.session_id)
+        assert consumer.get(timeout=1.0) == {"n": 1}
+        assert self.counters.session_expiries == 1
+        assert self.counters.watch_rearms == 1
+
+    def test_put_during_dead_session_is_not_missed(self):
+        """At-least-once wakeup: an item enqueued while the consumer's
+        session was dead is seen by the recovered consumer's re-list."""
+        consumer = DistributedQueue(
+            CoordinationClient(self.ensemble), "/q", reconnect_on_expiry=True
+        )
+        producer = DistributedQueue(CoordinationClient(self.ensemble), "/q")
+        self.ensemble.expire_session(consumer.client.session_id)
+        producer.put({"n": 2})
+        assert consumer.get(timeout=1.0) == {"n": 2}
+
+    def test_expiry_without_opt_in_still_raises(self):
+        consumer = DistributedQueue(CoordinationClient(self.ensemble), "/q")
+        self.ensemble.expire_session(consumer.client.session_id)
+        with pytest.raises(SessionExpiredError):
+            consumer.get(timeout=1.0)
+
+
+class TestWorkerRetention:
+    def test_results_survive_a_failed_inputq_put(self):
+        """A worker whose result put_many fails transiently retains the
+        outbox and delivers on the next step — the claim is durable and
+        redispatch skips claimed txids, so nobody else can finish it."""
+        cluster = ShardedCluster(num_shards=1)
+        txn = cluster.submit_spawn("vm1")
+        cluster.controllers[0].step()  # accept + dispatch
+        worker = cluster.workers[0]
+        original_put_many = worker.input_queue.put_many
+
+        def failing_put_many(items):
+            raise ConnectionError("coordination blip")
+
+        worker.input_queue.put_many = failing_put_many
+        with pytest.raises(ConnectionError):
+            worker.step()
+        assert worker._outbox, "executed result must be retained"
+        assert cluster.stores[0].load_claim(txn.txid) is not None
+        # Heal and re-step: the retained result is delivered first.
+        worker.input_queue.put_many = original_put_many
+        assert worker.step() is True
+        assert worker._outbox == []
+        cluster.drain()
+        assert cluster.state_of(txn) is TransactionState.COMMITTED
+
+    def test_claimed_work_executes_after_interrupted_step(self):
+        """A transient fault after the claim multi but before execution:
+        the claimed transaction is retained and finished next step."""
+        cluster = ShardedCluster(num_shards=1)
+        txn = cluster.submit_spawn("vm1")
+        cluster.controllers[0].step()
+        worker = cluster.workers[0]
+        original_execute = worker.executor.execute
+        calls = {"n": 0}
+
+        def failing_execute(t):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise SessionExpiredError("session lost mid-execute-batch")
+            return original_execute(t)
+
+        worker.executor.execute = failing_execute
+        with pytest.raises(SessionExpiredError):
+            worker.step()
+        assert txn.txid in worker._claimed
+        assert worker.step() is True
+        assert txn.txid not in worker._claimed
+        cluster.drain()
+        assert cluster.state_of(txn) is TransactionState.COMMITTED
+
+
+class TestReplicaWatchRearm:
+    def test_failed_arming_rolls_back_the_armed_flag(self):
+        """If watch registration dies with the session, the armed flag
+        must roll back — a stale-true flag would skip re-registration
+        forever and the replica would never wake again."""
+        cluster = ShardedCluster(num_shards=1)
+        cluster.submit_spawn("vm1")
+        cluster.drain()
+        counters = ResilienceCounters()
+        store = TropicStore(KVStore(cluster.client, "/tropic/store/shard-0"))
+        replica = ReadReplica(
+            store, cluster.schema, cluster.procedures, shard_id=0, counters=counters
+        )
+        assert replica.model().exists("/vmRoot/vmHost0/vm1")
+        # Break watch registration once (as a mid-arm session expiry would).
+        kv = replica.store.kv
+        original_watch_children = kv.watch_children
+
+        def failing_watch_children(path, callback):
+            raise SessionExpiredError("expired mid-arm")
+
+        replica._applied_watch_armed = False
+        kv.watch_children = failing_watch_children
+        with pytest.raises(SessionExpiredError):
+            replica.refresh(force=True)
+        assert replica._applied_watch_armed is False  # rolled back
+        kv.watch_children = original_watch_children
+        replica.refresh(force=True)
+        assert replica._applied_watch_armed is True
+        # The re-registration after bootstrap was counted as a re-arm.
+        assert counters.watch_rearms >= 1
+
+
+class TestDegradedReads:
+    def test_single_shard_fleet_view_degrades_on_leader_loss(self):
+        """Leader unreachable: the default consistency falls back to a
+        disclosed non-leader source instead of failing the read, and the
+        strict mode still fails loudly."""
+        platform, _ = make_platform()
+        with platform:
+            platform.submit("spawnVM", spawn_args("vm1"))
+            view = platform.fleet_view()
+            assert view.watermarks[0].source == "leader"
+
+            original_leader = platform.leader
+
+            def unreachable(shard=None):
+                raise SessionExpiredError("leader session expired")
+
+            platform.leader = unreachable
+            try:
+                degraded = platform.fleet_view()
+                assert degraded.watermarks[0].source != "leader"
+                # The degraded view still serves the committed data.
+                assert degraded.model.exists("/vmRoot/vmHost0/vm1")
+                assert platform.resilience_stats()["degraded_reads"] >= 1
+                # consistency='leader' asked for authoritative-or-fail.
+                with pytest.raises(SessionExpiredError):
+                    platform.fleet_view(consistency="leader")
+            finally:
+                platform.leader = original_leader
+
+
+class TestGatewayRetryable:
+    def _raise(self, error):
+        def handler(tenant, **params):
+            raise error
+
+        return handler
+
+    def test_timeout_surfaces_as_ambiguous_retryable(self, gateway_fixture):
+        gateway = gateway_fixture
+        gateway._handlers["RunInstances"] = self._raise(TxnTimeout("slow", txid="t1"))
+        response = gateway.handle(
+            "acme-key", "RunInstances", name="web", instance_type="t.small"
+        )
+        assert response.ok is False
+        assert response.code == "Timeout"
+        assert response.retryable is True
+        assert response.retry_after_s > 0
+        assert response.to_dict()["retryable"] is True
+
+    def test_transient_platform_faults_surface_as_unavailable(self, gateway_fixture):
+        gateway = gateway_fixture
+        gateway._handlers["RunInstances"] = self._raise(
+            SessionExpiredError("leader session lost")
+        )
+        response = gateway.handle(
+            "acme-key", "RunInstances", name="web", instance_type="t.small"
+        )
+        assert response.ok is False
+        assert response.code == "Unavailable"
+        assert response.retryable is True
+
+    def test_denials_stay_non_retryable(self, gateway_fixture):
+        response = gateway_fixture.handle("acme-key", "MigrateInstance", name="web")
+        assert response.ok is False
+        assert response.retryable is False
+        assert response.retry_after_s is None
+
+
+@pytest.fixture
+def gateway_fixture(inline_cloud):
+    from repro.gateway import ApiGateway, TenantDirectory
+
+    tenants = TenantDirectory()
+    tenants.register("acme", "acme-key")
+    return ApiGateway(inline_cloud, tenants)

@@ -1,0 +1,167 @@
+"""Unit tests for the client retry policy (repro.common.retry)."""
+
+import pytest
+
+from repro.common.clock import Clock
+from repro.common.errors import (
+    ConstraintViolation,
+    NotLeaderError,
+    ProcedureError,
+    QuorumLostError,
+    SessionExpiredError,
+    ShardNotLocalError,
+    TransactionAborted,
+    TxnTimeout,
+)
+from repro.common.retry import (
+    AMBIGUOUS,
+    PERMANENT,
+    TRANSIENT,
+    RetryPolicy,
+    call_with_retries,
+    classify,
+    is_retryable,
+)
+
+
+class _AutoClock(Clock):
+    """Single-threaded test clock: sleep() advances time immediately."""
+
+    def __init__(self):
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self._now += max(seconds, 0.0)
+
+
+class TestClassification:
+    def test_transient_errors(self):
+        for error in (
+            SessionExpiredError("x"),
+            QuorumLostError("x"),
+            NotLeaderError("x"),
+            ConnectionError("x"),
+        ):
+            assert classify(error) == TRANSIENT
+            assert is_retryable(error)
+            assert is_retryable(error, idempotent=True)
+
+    def test_ambiguous_errors_retry_only_with_token(self):
+        for error in (TxnTimeout("x"), TimeoutError("x")):
+            assert classify(error) == AMBIGUOUS
+            assert not is_retryable(error)
+            assert is_retryable(error, idempotent=True)
+
+    def test_permanent_errors_never_retry(self):
+        for error in (
+            ConstraintViolation("x"),
+            ProcedureError("x"),
+            TransactionAborted("x"),
+            ShardNotLocalError("x"),
+            ValueError("x"),
+            KeyError("x"),  # unknown types default to permanent
+        ):
+            assert classify(error) == PERMANENT
+            assert not is_retryable(error, idempotent=True)
+
+    def test_txn_timeout_is_a_timeout_error(self):
+        # Typed error stays compatible with callers catching the builtin.
+        assert isinstance(TxnTimeout("x"), TimeoutError)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.4, multiplier=2.0, jitter=0.0)
+        assert [policy.backoff(n) for n in (1, 2, 3, 4)] == [0.1, 0.2, 0.4, 0.4]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        one = RetryPolicy(base_delay=0.1, jitter=0.5, seed=42)
+        two = RetryPolicy(base_delay=0.1, jitter=0.5, seed=42)
+        delays = [one.backoff(1) for _ in range(5)]
+        assert delays == [two.backoff(1) for _ in range(5)]
+        assert all(0.05 <= d <= 0.1 for d in delays)
+
+    def test_deadline_bounds_total_time(self):
+        clock = _AutoClock()
+        policy = RetryPolicy(
+            max_attempts=100, base_delay=1.0, jitter=0.0, deadline=2.5, clock=clock
+        )
+        calls = []
+
+        def always_fails(attempt):
+            calls.append(attempt)
+            raise SessionExpiredError("down")
+
+        with pytest.raises(SessionExpiredError):
+            call_with_retries(always_fails, policy)
+        # Sleeps at t=0,1 run full 1s; the third is clamped to the 0.5s
+        # remaining, so attempt 4 lands exactly on the deadline and the
+        # budget is exhausted — far short of max_attempts=100.
+        assert len(calls) == 4
+
+
+class TestCallWithRetries:
+    def test_succeeds_after_transient_failures(self):
+        clock = _AutoClock()
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01, clock=clock, seed=1)
+        attempts = []
+
+        def flaky(attempt):
+            attempts.append(attempt)
+            if attempt < 3:
+                raise QuorumLostError("blip")
+            return "done"
+
+        assert call_with_retries(flaky, policy) == "done"
+        assert attempts == [1, 2, 3]
+
+    def test_permanent_error_propagates_immediately(self):
+        calls = []
+
+        def broken(attempt):
+            calls.append(attempt)
+            raise ConstraintViolation("no")
+
+        with pytest.raises(ConstraintViolation):
+            call_with_retries(broken, RetryPolicy(clock=_AutoClock()))
+        assert calls == [1]
+
+    def test_ambiguous_requires_idempotent_flag(self):
+        clock = _AutoClock()
+
+        def times_out(attempt):
+            if attempt == 1:
+                raise TxnTimeout("slow")
+            return attempt
+
+        with pytest.raises(TxnTimeout):
+            call_with_retries(times_out, RetryPolicy(clock=clock))
+        assert call_with_retries(times_out, RetryPolicy(clock=clock), idempotent=True) == 2
+
+    def test_on_retry_callback_sees_each_failure(self):
+        clock = _AutoClock()
+        seen = []
+
+        def flaky(attempt):
+            if attempt < 3:
+                raise NotLeaderError("electing")
+            return "ok"
+
+        call_with_retries(
+            flaky,
+            RetryPolicy(clock=clock, seed=7),
+            on_retry=lambda error, attempt: seen.append((type(error).__name__, attempt)),
+        )
+        assert seen == [("NotLeaderError", 1), ("NotLeaderError", 2)]
+
+    def test_exhausted_budget_reraises_last_error(self):
+        clock = _AutoClock()
+
+        def always(attempt):
+            raise SessionExpiredError(f"attempt {attempt}")
+
+        with pytest.raises(SessionExpiredError, match="attempt 3"):
+            call_with_retries(always, RetryPolicy(max_attempts=3, clock=clock))
