@@ -20,6 +20,9 @@ docs/operations.md#benchmarks):
 * **subscribe latency** (PR 5) — per-subtree delta streams: deltas
   delivered per committed transaction and the poll latency from commit to
   delivery;
+* **fenced fleet views** (PR 7) — fenced vs unfenced replica-consistency
+  fleet-view throughput while cross-shard 2PC commits keep opening
+  atomicity barriers on the observer's replicas;
 * **idle cost** — coordination operations issued by repeated reads of an
   unchanged fleet (the watch-parked guarantee: must be 0).
 
@@ -262,6 +265,131 @@ def run_snapshot_scaling(sizes=None, iterations: int = 3000) -> dict:
     }
 
 
+def run_fenced_fleet_view(num_hosts: int, txns: int, rounds: int = 8) -> dict:
+    """Fenced vs unfenced fleet-view throughput under a cross-shard mix
+    (PR 7).
+
+    Writer process hosts shards 0 and 1, the observer hosts shard 2 only,
+    so *both* participants of every 0<->1 cross-shard spawn are
+    replica-served at the observer — the shape the decision-log-aware
+    read fence exists for.  Each round commits a mixed batch (cross-shard
+    + single-shard spawns), opening fresh atomicity barriers on the
+    observer's replicas, then times a block of ``fence=False`` views and
+    a block of default (fenced) views; the fenced block pays the fence
+    pass that confirms and closes the round's barriers."""
+    ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=3600.0)
+    config = TropicConfig(
+        logical_only=True,
+        checkpoint_every=1_000_000,
+        num_shards=3,
+        cross_shard_policy="2pc",
+    )
+
+    def build(local_shards):
+        return build_tcloud(
+            num_vm_hosts=max(num_hosts - num_hosts % 3, 9),
+            num_storage_hosts=max(num_hosts // 3, 3),
+            host_mem_mb=65536,
+            config=config,
+            logical_only=True,
+            ensemble=ensemble,
+            local_shards=local_shards,
+        )
+
+    writer = build([0, 1])
+    observer = build([2])
+    with writer.platform, observer.platform:
+        router = writer.platform.shard_router
+        inventory = writer.inventory
+        cross_pairs, single_pairs = [], []
+        for vm_host in inventory.vm_hosts:
+            a = router.shard_of(vm_host)
+            if a == 2:
+                continue
+            for storage_host in inventory.storage_hosts:
+                b = router.shard_of(storage_host)
+                if b == 2:
+                    continue
+                pairs = single_pairs if b == a else cross_pairs
+                if pairs is cross_pairs and any(p[0] == vm_host for p in pairs):
+                    continue
+                pairs.append((vm_host, storage_host))
+        if not single_pairs:
+            single_pairs = cross_pairs
+        per_round = max(txns // rounds, 2)
+        views_per_block = 25
+        committed = 0
+        unfenced_s = fenced_s = 0.0
+        for r in range(rounds):
+            requests = []
+            for i in range(per_round):
+                pairs = cross_pairs if i % 2 == 0 and cross_pairs else single_pairs
+                vm_host, storage_host = pairs[(r * per_round + i) % len(pairs)]
+                requests.append(
+                    (
+                        "spawnVM",
+                        {
+                            "vm_name": f"fence-r{r}-{i}",
+                            "image_template": "template-small",
+                            "storage_host": storage_host,
+                            "vm_host": vm_host,
+                            "mem_mb": 64,
+                        },
+                    )
+                )
+            handles = writer.platform.submit_many(requests, wait=False)
+            writer.platform.run_until_idle()
+            committed += sum(
+                handle.wait(timeout=120.0).state.value == "committed"
+                for handle in handles
+            )
+            # Untimed warm-up absorbs the round's replica catch-up so both
+            # blocks time view assembly, not log replay; the fenced block
+            # still pays the round's first fence pass.
+            observer.platform.fleet_view(consistency="replica", fence=False)
+            started = time.perf_counter()
+            for _ in range(views_per_block):
+                observer.platform.fleet_view(consistency="replica", fence=False)
+            unfenced_s += time.perf_counter() - started
+            started = time.perf_counter()
+            for _ in range(views_per_block):
+                observer.platform.fleet_view(consistency="replica")
+            fenced_s += time.perf_counter() - started
+        replicas = observer.platform.read_proxy.replicas()
+        stats = {
+            "barriers_opened": sum(
+                r.stats["barriers_opened"] for r in replicas.values()
+            ),
+            "early_applies": sum(
+                r.stats["early_applies"] for r in replicas.values()
+            ),
+            "view_cache_patches": observer.platform._view_cache_patches,
+        }
+        views = rounds * views_per_block
+        unfenced_rate = round(views / max(unfenced_s, 1e-9), 2)
+        fenced_rate = round(views / max(fenced_s, 1e-9), 2)
+        return {
+            "shards": 3,
+            "rounds": rounds,
+            "committed": committed,
+            "views_per_block": views_per_block,
+            "unfenced_views_per_s": unfenced_rate,
+            "fenced_views_per_s": fenced_rate,
+            "fenced_vs_unfenced": round(fenced_rate / max(unfenced_rate, 1e-9), 3),
+            "fence_stats": stats,
+            "method": (
+                "Per round: commit a mixed cross-shard/single-shard batch "
+                "(fresh atomicity barriers on the observer's replicas of "
+                "both participants), then time 25 fence=False views and "
+                "25 default fenced views.  The fenced block includes the "
+                "fence pass that verifies each round's cross-shard "
+                "commits against the decision log and closes their "
+                "barriers; once quiescent the fence adds no coordination "
+                "reads, so the steady-state ratio approaches 1."
+            ),
+        }
+
+
 def run_subscribe(num_hosts: int, txns: int, rounds: int = 10) -> dict:
     """Per-subtree delta subscriptions: deltas delivered per commit and
     the poll latency from committed workload to delivered events."""
@@ -351,6 +479,9 @@ def main() -> None:
         "fleet_view": run_fleet_view(args.hosts, args.txns, args.shards),
         "snapshot_scaling": run_snapshot_scaling(),
         "subscribe": run_subscribe(min(args.hosts, 50), min(args.txns, 100)),
+        "fenced_fleet_view": run_fenced_fleet_view(
+            min(args.hosts, 60), min(args.txns, 64)
+        ),
     }
     print(json.dumps(result, indent=2, sort_keys=True))
     if args.json:

@@ -53,6 +53,9 @@ def main() -> None:
     parser.add_argument("--pr5", default=None,
                         help="BENCH_pr5.json for the snapshot-era single-shard "
                              "reference (PR 6 gate)")
+    parser.add_argument("--pr6", default=None,
+                        help="BENCH_pr6.json for the fault-tolerance-era "
+                             "single-shard reference (PR 7 gate)")
     parser.add_argument("--cross-shard", default=None,
                         help="cross-shard 2PC mix measure_writepath JSON (PR 3)")
     parser.add_argument("--replica", default=None,
@@ -84,7 +87,16 @@ def main() -> None:
         ),
     }
 
-    if args.pr >= 5:
+    if args.pr >= 7:
+        subsystem = (
+            "cross-shard-atomic replica reads: decision-log-aware read "
+            "fence (advance past durable 2PC decisions or atomically "
+            "exclude the in-flight transaction) + causally stitched "
+            "multi-shard delta streams (barrier-held prefixes) + "
+            "per-subtree fleet-view cache patching keyed by per-shard "
+            "source kind"
+        )
+    elif args.pr >= 5:
         subsystem = (
             "O(1) copy-on-write model snapshots (structural-sharing forks, "
             "path-copying writers) + cached fleet-view merge from shared "
@@ -198,6 +210,19 @@ def main() -> None:
         ratios["single_shard_vs_pr5"] = round(
             large["throughput_txn_s"] / pr5_tput, 2
         )
+    if args.pr6:
+        pr6 = _load(args.pr6)
+        pr6_tput = pr6["large_fleet"]["throughput_txn_s"]
+        result["pr6_reference"] = {
+            "throughput_txn_s": pr6_tput,
+            "writes_per_commit": pr6["large_fleet"]["writes_per_commit"],
+        }
+        # The PR 7 gate: the read fence and stitched streams live entirely
+        # on the read side — single-shard write throughput must stay
+        # within 0.9x of PR 6.
+        ratios["single_shard_vs_pr6"] = round(
+            large["throughput_txn_s"] / pr6_tput, 2
+        )
     if args.cross_shard:
         cross = _load(args.cross_shard)
         result["cross_shard_mix"] = cross
@@ -219,6 +244,16 @@ def main() -> None:
             # a deep copy would push it toward 1/size_ratio).
             ratios["snapshot_size_independence"] = round(
                 1.0 / max(scaling["cow_cost_ratio_largest_vs_smallest"], 1e-9), 2
+            )
+        fenced = replica.get("fenced_fleet_view")
+        if fenced:
+            # The PR 7 read-path gate: the decision-log fence may not cost
+            # more than half the unfenced replica-view throughput under a
+            # sustained cross-shard commit mix.
+            ratios["fenced_fleet_view_vs_unfenced"] = round(
+                fenced["fenced_views_per_s"]
+                / max(fenced["unfenced_views_per_s"], 1e-9),
+                2,
             )
 
     with open(args.out, "w", encoding="utf-8") as fh:

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Run the PR 6 write-path + sharding + cross-shard + read-path benchmark
-# suite and write BENCH_pr6.json.
+# Run the PR 7 write-path + sharding + cross-shard + read-path benchmark
+# suite and write BENCH_pr7.json.
 #
 # Covers:
 #   * bench_writepath.py        — micro-benchmarks (group commit, delta docs,
@@ -16,23 +16,26 @@
 #                                 under cross_shard_policy='2pc')
 #   * scripts/measure_replica   — replica staleness, catch-up rate, read
 #                                 throughput, the partial-hosting fleet view,
-#                                 snapshot O(1) scaling and subscribe latency
-#                                 (PR 5; see docs/operations.md)
+#                                 snapshot O(1) scaling, subscribe latency
+#                                 and the fenced-vs-unfenced fleet-view rate
+#                                 under a cross-shard 2PC mix (PR 7; see
+#                                 docs/operations.md)
 #
 # The results are merged with benchmarks/BASELINE_seed.json (seed commit)
-# and BENCH_pr1/2/3/4/5.json so the JSON carries the speedup and scaling
-# ratios — including the PR 6 acceptance gate (single-shard write
-# throughput >= 0.9x of BENCH_pr5.json: the fault-tolerance machinery —
-# token index writes, typed error mapping, session-recovery hooks — must
-# not tax the happy write path), plus the still-enforced PR 5 read-path
-# gates (fleet views >= 20x PR 4, O(1) snapshot cost).
+# and BENCH_pr1..6.json so the JSON carries the speedup and scaling
+# ratios — including the PR 7 acceptance gates (single-shard write
+# throughput >= 0.9x of BENCH_pr6.json: the read fence and stitched
+# streams are read-side only; fenced replica fleet views >= 0.5x the
+# unfenced rate under a sustained cross-shard commit mix), plus the
+# still-enforced PR 5 read-path gates (fleet views >= 20x PR 4, O(1)
+# snapshot cost).
 #
-# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr6.json)
+# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr7.json)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_pr6.json}"
+OUT="${1:-BENCH_pr7.json}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -97,12 +100,14 @@ python scripts/merge_bench.py \
     --pr3 BENCH_pr3.json \
     --pr4 BENCH_pr4.json \
     --pr5 BENCH_pr5.json \
+    --pr6 BENCH_pr6.json \
     --cross-shard "$WORK/cross_shard.json" \
     --replica "$WORK/replica.json" \
-    --min-ratio single_shard_vs_pr5=0.9 \
+    --min-ratio single_shard_vs_pr6=0.9 \
     --min-ratio fleet_view_vs_pr4=20 \
     --min-ratio snapshot_size_independence=0.2 \
-    --pr 6 \
+    --min-ratio fenced_fleet_view_vs_unfenced=0.5 \
+    --pr 7 \
     "${SHARDED_ARGS[@]}" \
     --out "$OUT"
 

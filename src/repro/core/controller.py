@@ -1133,7 +1133,9 @@ class Controller:
         only that rare path pays for the applied-log membership check
         (the hot path knows the txid cannot be in the applied log yet)."""
         if not check_applied or txn.txid not in self.store.applied_txids():
-            self.store.record_applied(txn.txid)
+            self.store.record_applied(
+                txn.txid, participants=txn.participants, coordinator=txn.coordinator
+            )
         txn.mark(TransactionState.COMMITTED, self.clock.now())
         self.store.save_transaction(txn, dirty_fields=())
         self.store.clear_claim(txn.txid)
@@ -1238,7 +1240,9 @@ class Controller:
         state PREPARED, and a PREPARED document already in the applied log
         is converted to COMMITTED by recover_state before it can get here.
         """
-        self.store.record_applied(txn.txid)
+        self.store.record_applied(
+            txn.txid, participants=txn.participants, coordinator=txn.coordinator
+        )
         txn.mark(TransactionState.COMMITTED, self.clock.now())
         self.store.save_transaction(txn, dirty_fields=())
         self._mark_dirty_writes(txn)

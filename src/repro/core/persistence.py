@@ -557,7 +557,20 @@ class TropicStore:
         tailing reader pays one listing plus one document read *per new
         entry* — not per retained entry — keeping frequent replica
         refreshes proportional to the tail they catch up on."""
-        entries: list[tuple[int, str]] = []
+        return [
+            (int(record["seq"]), record["txid"])
+            for record in self.applied_records(after_seq)
+        ]
+
+    def applied_records(self, after_seq: int = 0) -> list[dict[str, Any]]:
+        """Full applied-log records after ``after_seq``, in commit order.
+
+        Cross-shard commits carry ``participants`` (sorted shard ids) and
+        ``coordinator`` stamped at :meth:`record_applied` time, so a reader
+        can recognise a 2PC commit from the entry alone — even after the
+        transaction document itself has been garbage-collected — which is
+        what the decision-log-aware read fence keys on."""
+        records: list[dict[str, Any]] = []
         for key in self.kv.keys(self.APPLIED_PREFIX):
             try:
                 key_seq = int(key.rsplit("-", 1)[-1])
@@ -568,16 +581,30 @@ class TropicStore:
             value = self.kv.get(f"{self.APPLIED_PREFIX}/{key}")
             if value is None:
                 continue
-            seq = int(value["seq"])
-            if seq > after_seq:
-                entries.append((seq, value["txid"]))
-        entries.sort()
-        return entries
+            if int(value["seq"]) > after_seq:
+                records.append(value)
+        records.sort(key=lambda record: int(record["seq"]))
+        return records
 
-    def record_applied(self, txid: str) -> int:
-        """Append ``txid`` to the applied log; returns its sequence number."""
+    def record_applied(
+        self,
+        txid: str,
+        participants: list[int] | None = None,
+        coordinator: int | None = None,
+    ) -> int:
+        """Append ``txid`` to the applied log; returns its sequence number.
+
+        For cross-shard commits the caller passes the participant set and
+        coordinator so the entry self-describes as one half of a 2PC
+        commit (see :meth:`applied_records`); single-shard commits write
+        the minimal record."""
         seq = self.applied_seq() + 1
-        self.kv.put(f"{self.APPLIED_PREFIX}/e-{seq:010d}", {"seq": seq, "txid": txid})
+        entry: dict[str, Any] = {"seq": seq, "txid": txid}
+        if participants is not None and len(participants) > 1:
+            entry["participants"] = sorted(int(p) for p in participants)
+            if coordinator is not None:
+                entry["coordinator"] = int(coordinator)
+        self.kv.put(f"{self.APPLIED_PREFIX}/e-{seq:010d}", entry)
         self.kv.put("applied_seq", seq)
         return seq
 

@@ -38,6 +38,7 @@ path) and ``docs/operations.md`` (deployment shapes, failover drills).
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -64,12 +65,20 @@ from repro.core.events import request_message
 from repro.core.persistence import TropicStore
 from repro.core.procedures import ProcedureRegistry
 from repro.core.reconcile import Reconciler, ReloadReport, RepairReport
-from repro.core.replica import ReadReplica, Subscription, SubtreeDelta
+from repro.core.readfence import fence_replica_sources
+from repro.core.replica import (
+    EVENT_BARRIER,
+    EVENT_RESYNC,
+    ReadReplica,
+    Subscription,
+    SubtreeDelta,
+)
 from repro.core.sharding import ShardMap, ShardRouter, is_global_path, unit_key
 from repro.core.signals import SignalBoard
 from repro.core.twopc import TWOPC_PREFIX, TwoPCLog
 from repro.core.txn import Transaction, TransactionState
 from repro.core.worker import Worker
+from repro.datamodel.path import ResourcePath
 from repro.datamodel.schema import ModelSchema
 from repro.datamodel.tree import DataModel
 from repro.drivers.registry import DeviceRegistry
@@ -169,6 +178,35 @@ class FleetView:
         )
 
 
+@dataclass
+class _ViewCacheEntry:
+    """One cached merged fleet view plus the provenance needed to patch
+    it incrementally.
+
+    ``key`` pins the exact per-shard *source states* the merge was built
+    from — including each source's kind (leader/replica/partial), so a
+    view computed while a shard was degraded can never be served after it
+    heals (or vice versa).  When only replica watermarks advanced, the
+    per-shard ``ticks`` let fleet_view ask each replica exactly which
+    checkpoint units changed and re-graft those alone instead of
+    rebuilding the whole merged tree.
+    """
+
+    key: tuple
+    view: DataModel
+    #: ``(shard, kind)`` for every shard — the source *shape* of the view.
+    kinds: tuple
+    #: Leader sources by shard: the model object (identity) and version.
+    leader_sources: dict[int, tuple[DataModel, int]]
+    #: Replica sources by shard: ``(applied_txn, early_seq)``.
+    replica_stamps: dict[int, tuple[int, int]]
+    #: Replica change-log cursors by shard (``ReadReplica.change_tick``).
+    ticks: dict[int, int]
+    #: The shard whose fork the merge is based on.
+    first_shard: int
+    pinned: tuple
+
+
 class ReadProxy:
     """Composes local authoritative shards with read replicas of the
     shards this process does not host, so fleet-wide reads work from any
@@ -237,6 +275,23 @@ class ReadProxy:
             shard = platform.shard_router.shard_of(path)
         return self.replica(shard).subscribe(path, callback)
 
+    def subscribe_many(self, paths: "list[str]") -> "StitchedSubscription":
+        """Subscribe to several subtrees — possibly owned by different
+        shards — as **one causally stitched stream**.
+
+        Per-shard delta streams are independently timed, so a naive
+        consumer of two subscriptions could observe one shard's half of a
+        cross-shard 2PC commit long before the other shard's half — the
+        subscription-side analogue of a torn fleet view.  The stitched
+        stream holds each shard's events at the commit's barrier marker
+        until every other subscribed participant's half is available, so
+        a consumer that applies events in the order :meth:`
+        StitchedSubscription.poll` returns them never materialises
+        exactly one slice of a cross-shard transaction (see
+        ``docs/architecture.md#stitched-streams``).
+        """
+        return StitchedSubscription(self, paths)
+
     def pump(self) -> int:
         """Refresh every instantiated replica (free while the coordination
         watches are parked); returns how many replicas advanced.  Drives
@@ -246,6 +301,132 @@ class ReadProxy:
             if replica.refresh():
                 advanced += 1
         return advanced
+
+
+class StitchedSubscription:
+    """Causally stitched multi-shard delta stream (see
+    :meth:`ReadProxy.subscribe_many`).
+
+    One barrier-aware whole-shard subscription per involved shard feeds a
+    per-shard pending queue; :meth:`poll` releases each queue's prefix in
+    commit order, stopping at any cross-shard commit barrier whose other
+    subscribed participants have not yet produced their half.  Holds are
+    per shard — an unrelated shard's stream is never delayed — and
+    resolve as soon as the lagging half is *available* (its barrier event
+    was ingested, or its replica provably applied the commit — which also
+    covers halves that arrived via a fence early-application or were
+    absorbed into a checkpoint before their barrier could be streamed).
+
+    Events are returned as ``(shard, event)`` pairs.  On a ``resync``
+    event the shard's pending tail is dropped (the truncated stream
+    cannot be patched) and the consumer must rebuild that shard's
+    derived state from a snapshot — use a *fenced* fleet view so the
+    rebuild itself cannot tear.
+    """
+
+    #: Bounded memory of barrier sightings (txid -> shards seen).
+    BARRIER_MEMORY = 4096
+
+    def __init__(self, proxy: ReadProxy, paths: "list[str]"):
+        if not paths:
+            raise ConfigurationError("subscribe_many needs at least one path")
+        platform = proxy._platform
+        self._paths_by_shard: dict[int, list[str]] = {}
+        for path in paths:
+            shard = 0
+            if platform.config.num_shards > 1:
+                if is_global_path(path):
+                    raise ConfigurationError(
+                        f"path {path!r} is above the sharding granularity; "
+                        f"subscribe per subtree (e.g. per host) in a "
+                        f"sharded deployment"
+                    )
+                shard = platform.shard_router.shard_of(path)
+            parsed = str(ResourcePath.parse(path))
+            self._paths_by_shard.setdefault(shard, []).append(parsed)
+        #: Whole-shard streams: one ordered event source per shard keeps
+        #: the commit order intact; path filtering happens at release.
+        self._subs: dict[int, Subscription] = {
+            shard: proxy.replica(shard).subscribe("/", include_barriers=True)
+            for shard in sorted(self._paths_by_shard)
+        }
+        self._pending: dict[int, deque] = {
+            shard: deque() for shard in self._subs
+        }
+        self._barriers_seen: OrderedDict[str, set[int]] = OrderedDict()
+        self._closed = False
+
+    def _matches(self, shard: int, path: "str | None") -> bool:
+        if path is None:
+            return False
+        for wanted in self._paths_by_shard[shard]:
+            if wanted == "/" or path == wanted or path.startswith(wanted + "/"):
+                return True
+        return False
+
+    def _half_available(self, shard: int, txid: str) -> bool:
+        """Whether ``shard``'s half of cross-shard commit ``txid`` is
+        available to this consumer: its barrier was ingested, or its
+        replica's model provably includes the commit."""
+        if shard in self._barriers_seen.get(txid, ()):
+            return True
+        sub = self._subs.get(shard)
+        return sub is not None and sub.replica.has_applied(txid)
+
+    def poll(self, refresh: bool = True) -> "list[tuple[int, SubtreeDelta]]":
+        """Drain the stitched stream: ``(shard, event)`` pairs in a
+        cross-shard-atomic order (never exactly one participant's half of
+        a 2PC commit)."""
+        for shard, sub in self._subs.items():
+            for event in sub.poll(refresh=refresh):
+                if event.kind == EVENT_RESYNC:
+                    # The stream was truncated by a checkpoint; pending
+                    # events predate state the snapshot already covers.
+                    self._pending[shard].clear()
+                self._pending[shard].append(event)
+                if event.kind == EVENT_BARRIER and event.txid is not None:
+                    self._barriers_seen.setdefault(event.txid, set()).add(shard)
+                    self._barriers_seen.move_to_end(event.txid)
+        out: list[tuple[int, SubtreeDelta]] = []
+        for shard in self._subs:
+            pending = self._pending[shard]
+            while pending:
+                event = pending[0]
+                if event.kind == EVENT_BARRIER:
+                    held = any(
+                        participant != shard
+                        and participant in self._subs
+                        and not self._half_available(participant, event.txid)
+                        for participant in event.participants
+                    )
+                    if held:
+                        break  # hold this shard's stream at the barrier
+                    pending.popleft()
+                    out.append((shard, event))
+                    continue
+                pending.popleft()
+                if event.kind == EVENT_RESYNC or self._matches(shard, event.path):
+                    out.append((shard, event))
+        while len(self._barriers_seen) > self.BARRIER_MEMORY:
+            self._barriers_seen.popitem(last=False)
+        return out
+
+    def pending(self) -> int:
+        return sum(len(queue) for queue in self._pending.values())
+
+    def shards(self) -> "list[int]":
+        return sorted(self._subs)
+
+    def close(self) -> None:
+        self._closed = True
+        for sub in self._subs.values():
+            sub.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<StitchedSubscription shards={self.shards()} "
+            f"pending={self.pending()}>"
+        )
 
 
 class TransactionHandle:
@@ -495,10 +676,15 @@ class TropicPlatform:
         #: replicas and service runners (see metrics.collectors).
         self.resilience = ResilienceCounters()
         self._heal_lock = threading.Lock()
-        #: Merged-fleet-view cache, one entry per consistency mode:
-        #: ``mode -> (source change-stamp key, merged CoW model)``.  Hits
-        #: are served as O(1) forks of the cached tree; see fleet_view.
-        self._view_cache: dict[str, tuple[Any, DataModel]] = {}
+        #: Merged-fleet-view cache, one entry per consistency mode.  Hits
+        #: are served as O(1) forks of the cached tree; a stamp mismatch
+        #: confined to replica watermark advances is repaired by
+        #: re-grafting only the checkpoint units the owning shards
+        #: actually changed (per-subtree invalidation); see fleet_view.
+        self._view_cache: dict[str, _ViewCacheEntry] = {}
+        #: Views served by patching the cached merge (per-subtree
+        #: invalidation) instead of a full rebuild; observability/tests.
+        self._view_cache_patches = 0
 
     # ------------------------------------------------------------------
     # Shard namespaces
@@ -1249,7 +1435,10 @@ class TropicPlatform:
         return self.config.read_mode
 
     def model_view(
-        self, strict: bool | None = None, consistency: str | None = None
+        self,
+        strict: bool | None = None,
+        consistency: str | None = None,
+        fence: bool = True,
     ) -> DataModel:
         """A read view of the logical data model (see :meth:`fleet_view`).
 
@@ -1281,10 +1470,125 @@ class TropicPlatform:
         fleet serves each call with one O(1) fork, so this is safe to call
         in read inner loops.
         """
-        return self.fleet_view(strict=strict, consistency=consistency).model
+        return self.fleet_view(
+            strict=strict, consistency=consistency, fence=fence
+        ).model
+
+    def _view_cache_key(
+        self,
+        local_models: dict[int, DataModel],
+        replicas: dict[int, ReadReplica],
+        pinned_units: dict[str, int],
+    ) -> tuple[tuple, tuple]:
+        """The fleet-view cache key plus the per-shard source-kind shape.
+
+        Every shard 0..N-1 contributes an explicit ``(shard, kind, ...)``
+        element — leader (model identity + version), replica
+        (``applied_txn``, ``early_seq``, checkpoint presence) or partial —
+        so source *transitions* (degraded shard healing, replica
+        bootstrap appearing, fence early-applications) always miss the
+        cache even when the surviving stamps coincide."""
+        parts: list[tuple] = []
+        kinds: list[tuple[int, str]] = []
+        for shard in range(self.config.num_shards):
+            if shard in local_models:
+                model = local_models[shard]
+                parts.append((shard, "leader", model, model.version))
+                kinds.append((shard, "leader"))
+            elif shard in replicas:
+                replica = replicas[shard]
+                parts.append(
+                    (
+                        shard,
+                        "replica",
+                        replica.applied_txn,
+                        replica.early_seq,
+                        replica.has_checkpoint,
+                    )
+                )
+                kinds.append((shard, "replica"))
+            else:
+                parts.append((shard, "partial"))
+                kinds.append((shard, "partial"))
+        key = (tuple(parts), tuple(sorted(pinned_units.items())))
+        return key, tuple(kinds)
+
+    def _patch_cached_view(
+        self,
+        cached: "_ViewCacheEntry | None",
+        kinds: tuple,
+        first_shard: int,
+        sources: dict[int, DataModel],
+        local_models: dict[int, DataModel],
+        replicas: dict[int, ReadReplica],
+        replica_stamps: dict[int, tuple[int, int]],
+        pinned_units: dict[str, int],
+    ) -> DataModel | None:
+        """Repair the cached merged view by re-grafting only the
+        checkpoint units whose owning shard advanced, or return ``None``
+        when only a full rebuild is sound (source shape changed, a
+        replica re-bootstrapped or its change log was evicted, the base
+        shard itself moved, pins are active, or a leader failed over)."""
+        if cached is None or cached.kinds != kinds or cached.first_shard != first_shard:
+            return None
+        pinned = tuple(sorted(pinned_units.items()))
+        if cached.pinned != pinned or pinned:
+            return None
+        dirty: dict[int, set[str] | None] = {}
+        for shard, model in local_models.items():
+            old = cached.leader_sources.get(shard)
+            if old is None or old[0] is not model:
+                return None
+            if old[1] != model.version:
+                if shard == first_shard:
+                    # The base fork itself changed; patching would keep
+                    # serving the stale base tree.
+                    return None
+                dirty[shard] = None  # unknown units: re-graft all it owns
+        for shard, replica in replicas.items():
+            old_stamp = cached.replica_stamps.get(shard)
+            new_stamp = replica_stamps.get(shard)
+            if old_stamp is None or new_stamp is None:
+                return None
+            if old_stamp != new_stamp:
+                if shard == first_shard:
+                    return None
+                units = replica.units_changed_since(cached.ticks.get(shard, -1))
+                if units is None:
+                    return None
+                dirty[shard] = units
+        if not dirty:
+            return None
+        router = self.shard_router
+        view = cached.view.clone()
+        for shard, units in sorted(dirty.items()):
+            owner_model = sources[shard]
+            if units is None:
+                units = set()
+                for tree in (view, owner_model):
+                    for top_name, top in tree.root.children.items():
+                        for child_name in top.children:
+                            path = f"/{top_name}/{child_name}"
+                            if router.shard_of(path) == shard:
+                                units.add(path)
+            for path in sorted(units):
+                if router.shard_of(path) != shard:
+                    # A shard logged a change outside its own units (pin
+                    # era residue): the ownership model this patch relies
+                    # on does not hold — rebuild.
+                    return None
+                if owner_model.exists(path):
+                    view.replace_subtree(path, owner_model.get(path))
+                elif view.exists(path):
+                    view.delete(path, recursive=True)
+        self._view_cache_patches += 1
+        return view
 
     def fleet_view(
-        self, strict: bool | None = None, consistency: str | None = None
+        self,
+        strict: bool | None = None,
+        consistency: str | None = None,
+        fence: bool = True,
     ) -> FleetView:
         """The merged fleet read view plus per-shard provenance.
 
@@ -1293,6 +1597,14 @@ class TropicPlatform:
         (authoritative, live) or from a :class:`~repro.core.replica.
         ReadReplica` (bounded-stale), and — for replicas — the monotonic
         ``applied_txn`` watermark the copy reflects.
+
+        Replica-sourced views are **atomic across shards** with respect
+        to cross-shard 2PC commits: before merging, the decision-log-aware
+        read fence (:mod:`repro.core.readfence`) aligns the replica
+        watermarks past any commit decision spanning them, so the view
+        never contains exactly one participant's slice of a cross-shard
+        transaction.  ``fence=False`` skips the alignment (benchmarks,
+        and callers that prefer raw per-shard staleness over atomicity).
         """
         self._require_started()
         mode = self._resolve_consistency(strict, consistency)
@@ -1375,29 +1687,59 @@ class TropicPlatform:
                 watermarks[shard] = ShardWatermark(
                     shard, CONSISTENCY_REPLICA, replica.applied_txn
                 )
+        # Decision-log-aware read fence: align the replica sources past
+        # any cross-shard 2PC commit spanning them, so the merge below
+        # cannot contain half of one.  Free when quiescent (no open
+        # barriers -> no coordination reads).
+        fence_rewinds: dict[int, tuple[DataModel, int]] = {}
+        fence_bypass_cache = False
+        if fence and replicas:
+            fenced = fence_replica_sources(
+                replicas, set(local_leaders), self.twopc
+            )
+            for shard in fenced.degraded:
+                # Neither advanceable nor rewindable: disclosed partial
+                # staleness for this view beats a silent torn read.
+                replicas.pop(shard, None)
+                watermarks[shard] = ShardWatermark(shard, CONSISTENCY_PARTIAL)
+            if fenced.rewinds or fenced.degraded:
+                # Rewinds are view-local forks and degradations depend on
+                # decision-log reachability — neither is captured by the
+                # source stamps, so such a view must not be cached (nor
+                # served from the cache).
+                fence_rewinds = fenced.rewinds
+                fence_bypass_cache = True
+            for shard, replica in replicas.items():
+                if shard not in fence_rewinds:
+                    watermarks[shard] = ShardWatermark(
+                        shard, CONSISTENCY_REPLICA, replica.applied_txn
+                    )
         with self._completion_lock:
             pinned_units = dict(self._pinned_foreign_units)
-        # The merged tree is cached keyed on every source's change stamp:
-        # model objects compare by identity, so a leader's version counter
-        # (bumped by each mutation entry point) and a replica's watermark
-        # pin the exact states the cached merge was built from.  An
-        # unchanged fleet serves each view with one O(1) fork of the
-        # cached tree; any advance rebuilds the merge (itself only
-        # O(units) pointer grafts over copy-on-write forks, never a deep
-        # copy of the model).
-        cache_key = (
-            tuple((s, m, m.version) for s, m in sorted(local_models.items())),
-            tuple(
-                (s, r.applied_txn, r.has_checkpoint)
-                for s, r in sorted(replicas.items())
-            ),
-            tuple(sorted(pinned_units.items())),
+        # The merged tree is cached keyed on every shard's source *kind
+        # and* change stamp: model objects compare by identity, so a
+        # leader's version counter (bumped by each mutation entry point)
+        # and a replica's watermark pair (applied_txn, early_seq — early
+        # fence applications change the model without moving applied_txn)
+        # pin the exact states the cached merge was built from, while the
+        # explicit kind keeps a view computed under degraded/partial
+        # sourcing from ever being served for a healed shard (or vice
+        # versa).  An unchanged fleet serves each view with one O(1) fork
+        # of the cached tree; a change confined to replica advances
+        # re-grafts only the checkpoint units their owners touched; any
+        # other change rebuilds the merge (itself only O(units) pointer
+        # grafts over copy-on-write forks, never a deep copy).
+        cache_key, kinds = self._view_cache_key(
+            local_models, replicas, pinned_units
         )
         cached = self._view_cache.get(mode)
-        if cached is not None and cached[0] == cache_key:
-            merged = cached[1]
+        if (
+            not fence_bypass_cache
+            and cached is not None
+            and cached.key == cache_key
+        ):
             return FleetView(
-                model=merged.clone(),
+                model=cached.view.clone(),
                 watermarks=watermarks,
                 consistency=mode,
                 degraded_shards=sorted(degraded),
@@ -1409,8 +1751,20 @@ class TropicPlatform:
         sources: dict[int, DataModel] = {
             shard: leader.fork_model() for shard, leader in local_leaders.items()
         }
+        replica_ticks: dict[int, int] = {}
+        replica_stamps: dict[int, tuple[int, int]] = {}
         snapshot_failed = False
         for shard, replica in list(replicas.items()):
+            if shard in fence_rewinds:
+                # The fence cut this shard back to a pre-commit fork to
+                # atomically exclude an unconfirmable cross-shard commit;
+                # serve that fork instead of the replica's live state.
+                rewound_model, rewound_applied = fence_rewinds[shard]
+                sources[shard] = rewound_model.clone()
+                watermarks[shard] = ShardWatermark(
+                    shard, CONSISTENCY_REPLICA, rewound_applied
+                )
+                continue
             # A locked snapshot, not the live model: another thread's
             # concurrent refresh mutates the replica model in place, and
             # merging from it could capture a half-applied transaction.
@@ -1425,6 +1779,8 @@ class TropicPlatform:
                 watermarks[shard] = ShardWatermark(shard, CONSISTENCY_PARTIAL)
                 snapshot_failed = True
                 continue
+            replica_ticks[shard] = replica.change_tick
+            replica_stamps[shard] = (applied_txn, replica.early_seq)
             watermarks[shard] = ShardWatermark(
                 shard, CONSISTENCY_REPLICA, applied_txn
             )
@@ -1439,42 +1795,71 @@ class TropicPlatform:
         # the base (replicas also hold the full bootstrap tree).
         authoritative = [s for s in self._local_shards if s in sources]
         first_shard = authoritative[0] if authoritative else min(sources)
-        view = sources[first_shard].clone()
-        # Refresh (or drop) units in the base fork that another shard owns.
-        # Grafts share the owner fork's subtrees: no unit is deep-copied.
-        for top_name in list(view.root.children):
-            for child_name in list(view.root.children[top_name].children):
-                path = f"/{top_name}/{child_name}"
-                owner = self.shard_router.shard_of(path)
-                pinned = pinned_units.get(path)
-                if pinned is not None and pinned in sources:
-                    # Pin visibility hazard: the executing shard, not the
-                    # owner, has the authoritative copy of this unit.
-                    owner = pinned
-                if owner == first_shard:
-                    continue
-                owner_model = sources.get(owner)
-                if owner_model is None:
-                    continue  # partial mode: foreign copy stays bootstrap-frozen
-                if owner_model.exists(path):
-                    view.replace_subtree(path, owner_model.get(path))
-                else:
-                    view.delete(path, recursive=True)
-        # Add units the owner created after bootstrap (absent from the base).
-        for shard, model in sources.items():
-            if shard == first_shard:
-                continue
-            for top_name, top in model.root.children.items():
-                if top_name not in view.root.children:
-                    continue
-                for child_name in top.children:
+        view = None
+        if not fence_bypass_cache and not snapshot_failed:
+            view = self._patch_cached_view(
+                cached,
+                kinds,
+                first_shard,
+                sources,
+                local_models,
+                replicas,
+                replica_stamps,
+                pinned_units,
+            )
+        if view is None:
+            view = sources[first_shard].clone()
+            # Refresh (or drop) units in the base fork that another shard
+            # owns.  Grafts share the owner fork's subtrees: no unit is
+            # deep-copied.
+            for top_name in list(view.root.children):
+                for child_name in list(view.root.children[top_name].children):
                     path = f"/{top_name}/{child_name}"
-                    if self.shard_router.shard_of(path) == shard and not view.exists(path):
-                        view.replace_subtree(path, model.get(path))
-        if not snapshot_failed:
+                    owner = self.shard_router.shard_of(path)
+                    pinned = pinned_units.get(path)
+                    if pinned is not None and pinned in sources:
+                        # Pin visibility hazard: the executing shard, not
+                        # the owner, has the authoritative copy of this
+                        # unit.
+                        owner = pinned
+                    if owner == first_shard:
+                        continue
+                    owner_model = sources.get(owner)
+                    if owner_model is None:
+                        continue  # partial: foreign copy stays bootstrap-frozen
+                    if owner_model.exists(path):
+                        view.replace_subtree(path, owner_model.get(path))
+                    else:
+                        view.delete(path, recursive=True)
+            # Add units the owner created after bootstrap (absent from the
+            # base).
+            for shard, model in sources.items():
+                if shard == first_shard:
+                    continue
+                for top_name, top in model.root.children.items():
+                    if top_name not in view.root.children:
+                        continue
+                    for child_name in top.children:
+                        path = f"/{top_name}/{child_name}"
+                        if self.shard_router.shard_of(path) == shard and not view.exists(path):
+                            view.replace_subtree(path, model.get(path))
+        if not snapshot_failed and not fence_bypass_cache:
             # A view missing a replica that failed to snapshot must not be
-            # cached under a key that claims the replica's state.
-            self._view_cache[mode] = (cache_key, view)
+            # cached under a key that claims the replica's state; a fenced
+            # rewind/degrade is view-local and equally uncacheable.
+            self._view_cache[mode] = _ViewCacheEntry(
+                key=cache_key,
+                view=view,
+                kinds=kinds,
+                leader_sources={
+                    shard: (model, model.version)
+                    for shard, model in local_models.items()
+                },
+                replica_stamps=replica_stamps,
+                ticks=replica_ticks,
+                first_shard=first_shard,
+                pinned=tuple(sorted(pinned_units.items())),
+            )
         return FleetView(
             model=view.clone(),
             watermarks=watermarks,

@@ -1,0 +1,227 @@
+"""The decision-log-aware read fence: cross-shard-atomic replica reads.
+
+A fleet view merges per-shard sources at independent watermarks, so
+between a 2PC coordinator's commit and a participant's processing of the
+decision, a replica-consistency view could contain exactly one
+participant's slice of a cross-shard transaction — a *torn* read that
+breaks the atomicity the write path's two-phase commit guarantees.
+
+This module closes that window.  Every :class:`~repro.core.replica.
+ReadReplica` opens an :class:`~repro.core.replica.Barrier` when it
+applies a cross-shard commit (the applied-log entries are stamped with
+the participant set; see :meth:`~repro.core.persistence.TropicStore.
+record_applied`).  Before a merge, :func:`fence_replica_sources` walks
+the open barriers and, for each commit not yet confirmed on every fenced
+participant, either
+
+* **advances** the lagging replica — a forced catch-up, then
+  :meth:`~repro.core.replica.ReadReplica.early_apply` of the prepared
+  slice once the durable commit decision is verified in the
+  :class:`~repro.core.twopc.TwoPCLog` (this is safe precisely because a
+  barrier can only exist *after* the coordinator made the commit
+  decision durable: decision record first, applied entry second), or
+* **rewinds** — when the decision log is unreachable, the advanced
+  shards' views are cut back to their pre-commit barrier forks so the
+  whole transaction is atomically excluded; the cut cascades (excluding
+  one commit excludes every later cross-shard commit on that shard, and
+  *their* other halves elsewhere) until it reaches a fixed point, or
+* **degrades** the shard to partial-consistency for this view, when
+  neither is possible (no document, no barrier) — disclosed staleness
+  instead of silent tearing.
+
+Leader-hosted shards are authoritative and never lag behind a durable
+decision's effects on their own slice (a participant leader carries the
+slice from PREPARE time), so they auto-confirm.  Shards served at
+partial consistency are outside the fence's atomicity domain — their
+copies are bootstrap-frozen and disclosed as such in the watermarks.
+
+The fence is cheap when quiescent: with no open barriers it performs no
+coordination reads at all, so single-shard workloads pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.replica import Barrier, ReadReplica
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.twopc import TwoPCLog
+    from repro.datamodel.tree import DataModel
+
+
+@dataclass
+class FenceResult:
+    """Outcome of one fence pass over a set of replica sources."""
+
+    #: Commits whose prepared slice was applied early on a lagging shard.
+    advanced: int = 0
+    #: Commits checked against the fence (confirmed or acted on).
+    checked: int = 0
+    #: Per-shard view-local rewinds: ``shard -> (model, applied_txn)``;
+    #: the caller must serve these forks *instead of* the replicas' live
+    #: snapshots (and must not cache the resulting view — the rewind is
+    #: not a state the replica will report again).
+    rewinds: dict[int, tuple["DataModel", int]] = field(default_factory=dict)
+    #: Shards that could be neither advanced nor rewound; the caller must
+    #: degrade them to partial consistency for this view.
+    degraded: list[int] = field(default_factory=list)
+
+
+def fence_replica_sources(
+    replicas: dict[int, ReadReplica],
+    leader_shards: set[int],
+    twopc: "TwoPCLog | None",
+    max_passes: int = 8,
+) -> FenceResult:
+    """Align replica sources so no cross-shard commit is half-visible.
+
+    ``replicas`` are the shards about to be merged from read replicas;
+    ``leader_shards`` the shards merged from in-process leaders (always
+    authoritative).  Confirmed barriers are closed; lagging shards are
+    advanced via the decision log; failing that, advanced shards are
+    rewound or degraded (see the module docstring for the full policy).
+    """
+    result = FenceResult()
+    if not replicas:
+        return result
+    fenced = set(replicas) | set(leader_shards)
+    unresolvable: set[str] = set()
+    for _ in range(max_passes):
+        # Snapshot the frontier: every cross-shard commit some replica has
+        # applied but the fence has not yet confirmed fleet-visible.
+        candidates: dict[str, Barrier] = {}
+        for replica in replicas.values():
+            for barrier in replica.open_barriers():
+                if barrier.txid not in unresolvable:
+                    candidates.setdefault(barrier.txid, barrier)
+        if not candidates:
+            break
+        progressed = False
+        for txid, barrier in candidates.items():
+            result.checked += 1
+            # A participant outside the fenced sources (partial shard) is
+            # bootstrap-frozen and disclosed; it cannot be aligned and
+            # does not block confirmation of the shards that can be.
+            laggards = [
+                shard
+                for shard in barrier.participants
+                if shard in replicas and not replicas[shard].has_applied(txid)
+            ]
+            if not laggards:
+                for shard in barrier.participants:
+                    if shard in replicas:
+                        replicas[shard].close_barrier(txid)
+                progressed = True
+                continue
+            committed = (
+                twopc.commit_participants(txid, barrier.coordinator)
+                if twopc is not None
+                else None
+            )
+            if committed is None:
+                # No durable commit decision readable — yet some shard
+                # applied the commit, so the decision *was* made and this
+                # log is unreachable or GC'd.  Atomically exclude the
+                # transaction instead of advancing on faith.
+                _exclude(replicas, leader_shards, barrier, laggards, result)
+                unresolvable.add(txid)
+                progressed = True
+                continue
+            for shard in laggards:
+                replica = replicas[shard]
+                replica.refresh(force=True)
+                if replica.has_applied(txid):
+                    progressed = True
+                    continue
+                outcome = replica.early_apply(txid)
+                if outcome == "applied":
+                    result.advanced += 1
+                    progressed = True
+                elif outcome == "already":
+                    progressed = True
+                else:
+                    _exclude(replicas, leader_shards, barrier, laggards, result)
+                    unresolvable.add(txid)
+                    progressed = True
+                    break
+        if not progressed:
+            break
+    return result
+
+
+def _exclude(
+    replicas: dict[int, ReadReplica],
+    leader_shards: set[int],
+    barrier: Barrier,
+    laggards: list[int],
+    result: FenceResult,
+) -> None:
+    """Resolve an unadvanceable commit: rewind the shards that have it,
+    unless a leader-served participant already shows it — a leader cannot
+    be rewound, so excluding the commit elsewhere would tear the view the
+    other way; the lagging shards degrade to partial instead."""
+    if any(shard in leader_shards for shard in barrier.participants):
+        for shard in laggards:
+            if shard not in result.degraded:
+                result.degraded.append(shard)
+        return
+    _rewind_or_degrade(replicas, {barrier.txid}, result)
+
+
+def _rewind_or_degrade(
+    replicas: dict[int, ReadReplica],
+    exclude: set[str],
+    result: FenceResult,
+) -> None:
+    """Atomically exclude the commits in ``exclude`` from the view.
+
+    Every shard that applied one of them is cut back to the pre-commit
+    fork of its *earliest* excluded barrier.  Cutting a shard also drops
+    every cross-shard commit it applied after that point, whose other
+    halves must then be excluded on their shards too — iterate to the
+    fixed point (terminates: cuts only move earlier and the exclude set
+    only grows, both bounded).  A shard that applied an excluded commit
+    but has no barrier for it (evicted, or it is leader-served) cannot be
+    cut and is degraded to partial for this view.
+    """
+    cuts: dict[int, Barrier] = {}
+    degraded: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for shard, replica in replicas.items():
+            if shard in degraded:
+                continue
+            barriers = replica.open_barriers()
+            target = next((b for b in barriers if b.txid in exclude), None)
+            if target is None:
+                if any(replica.has_applied(txid) for txid in exclude):
+                    # Applied but not rewindable: the barrier is gone.
+                    degraded.add(shard)
+                    changed = True
+                continue
+            if not target.rewindable:
+                # A bootstrap-tail barrier has no pre-commit fork to
+                # rewind to; disclosed partiality beats silent tearing.
+                degraded.add(shard)
+                changed = True
+                continue
+            current = cuts.get(shard)
+            if current is not None and current.tick <= target.tick:
+                continue
+            cuts[shard] = target
+            changed = True
+            # Everything at or after the cut is excluded with it.
+            for barrier in barriers:
+                if barrier.tick >= target.tick and barrier.txid not in exclude:
+                    exclude.add(barrier.txid)
+    for shard in degraded:
+        cuts.pop(shard, None)
+        if shard not in result.degraded:
+            result.degraded.append(shard)
+    for shard, barrier in cuts.items():
+        existing = result.rewinds.get(shard)
+        if existing is None or barrier.pre_applied < existing[1]:
+            result.rewinds[shard] = (barrier.pre_model, barrier.pre_applied)

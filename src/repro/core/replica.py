@@ -51,14 +51,15 @@ Two read surfaces sit on top (PR 5):
 from __future__ import annotations
 
 import threading
-from collections import deque
-from dataclasses import dataclass
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.persistence import TropicStore
 from repro.core.procedures import ProcedureRegistry
 from repro.core.recovery import replay_committed
 from repro.core.simulation import LogicalExecutor
+from repro.core.txn import TransactionState
 from repro.datamodel.path import ResourcePath
 from repro.datamodel.schema import ModelSchema
 from repro.datamodel.tree import DataModel
@@ -68,8 +69,14 @@ from repro.datamodel.tree import DataModel
 #: event tells the subscriber the replica re-bootstrapped from a
 #: checkpoint (the intervening per-record deltas were truncated away), so
 #: any derived cache must be rebuilt from :meth:`ReadReplica.snapshot`.
+#: ``barrier`` events (opt-in, ``include_barriers=True``) precede the
+#: deltas of a cross-shard 2PC commit and carry its participant set, so a
+#: consumer stitching several shards' streams can hold one shard's half
+#: of the commit until the other shards' halves arrive (see
+#: :class:`repro.core.platform.StitchedSubscription`).
 EVENT_DELTA = "delta"
 EVENT_RESYNC = "resync"
+EVENT_BARRIER = "barrier"
 
 
 @dataclass(frozen=True)
@@ -89,6 +96,42 @@ class SubtreeDelta:
     path: str | None = None
     action: str | None = None
     args: tuple = ()
+    #: Sorted shard ids of a cross-shard commit; only ``barrier`` events
+    #: carry a non-empty tuple.
+    participants: tuple = ()
+
+
+@dataclass
+class Barrier:
+    """An open atomicity barrier: a cross-shard 2PC commit this replica
+    has applied whose other participants have not yet been confirmed
+    visible by the read fence.
+
+    ``pre_model`` is an O(1) copy-on-write fork of the replica's model
+    taken *before* the commit was applied, so the fence can serve a view
+    that atomically excludes the whole transaction when a lagging
+    participant cannot be advanced (decision log unreachable).  Barriers
+    are bounded (:data:`ReadReplica.BARRIER_WINDOW`); an evicted barrier
+    simply removes the rewind option — the fence then advances the
+    laggard or degrades the shard to partial.
+    """
+
+    txid: str
+    participants: tuple
+    coordinator: int | None
+    pre_model: DataModel
+    pre_applied: int
+    pre_early: int
+    tick: int
+    #: Applied-log sequence of the commit; ``None`` while only
+    #: early-applied (the entry has not appeared in this shard's log yet).
+    seq: int | None = None
+    #: Whether ``pre_model`` really precedes the commit.  Barriers opened
+    #: while replaying a bootstrap tail hold the *post*-replay model (the
+    #: pre-commit state is unreconstructable there) and only exist to let
+    #: the fence advance lagging participants; the rewind path must treat
+    #: them as unusable and degrade instead.
+    rewindable: bool = True
 
 
 class Subscription:
@@ -102,17 +145,30 @@ class Subscription:
     re-bootstrapped model reflects.
     """
 
+    #: Bounded memory of delivered ``(seq, txid)`` pairs, used to drop
+    #: duplicate redeliveries across a resync boundary (a re-bootstrap
+    #: whose checkpoint truncation lands exactly on the watermark can
+    #: otherwise replay the newest already-delivered commit).
+    DEDUPE_WINDOW = 1024
+
     def __init__(
         self,
         replica: "ReadReplica",
         path: str,
         callback: Callable[[list[SubtreeDelta]], None] | None = None,
+        include_barriers: bool = False,
     ):
         self.replica = replica
         self.path = str(ResourcePath.parse(path))
         self.callback = callback
+        #: Whether cross-shard commit ``barrier`` events are delivered
+        #: (before the commit's deltas, and regardless of whether any of
+        #: its records fall inside the subscribed subtree — a stitching
+        #: consumer needs the marker even for the half it cannot see).
+        self.include_barriers = include_barriers
         self.last_seq = 0
         self._events: deque[SubtreeDelta] = deque()
+        self._delivered: OrderedDict[tuple[int, str | None], None] = OrderedDict()
         self._closed = False
 
     def matches(self, path: str) -> bool:
@@ -123,10 +179,30 @@ class Subscription:
         return path == self.path or path.startswith(self.path + "/")
 
     def _deliver(self, events: list[SubtreeDelta]) -> None:
-        self._events.extend(events)
-        self.last_seq = events[-1].seq
+        # Dedupe by (seq, txid): the replica delivers each commit's events
+        # in one batch, so a (seq, txid) already marked delivered means the
+        # whole commit was — drop the redelivery rather than double-apply
+        # it in the subscriber's materialised view.  Resync events always
+        # pass (they reset the subscriber, never mutate it incrementally),
+        # and the memory survives resyncs on purpose: the hazard is
+        # precisely a commit redelivered across the resync boundary.
+        fresh = [
+            event
+            for event in events
+            if event.kind == EVENT_RESYNC
+            or (event.seq, event.txid) not in self._delivered
+        ]
+        for event in fresh:
+            if event.kind != EVENT_RESYNC:
+                self._delivered[(event.seq, event.txid)] = None
+        while len(self._delivered) > self.DEDUPE_WINDOW:
+            self._delivered.popitem(last=False)
+        if not fresh:
+            return
+        self._events.extend(fresh)
+        self.last_seq = max(self.last_seq, max(event.seq for event in fresh))
         if self.callback is not None:
-            self.callback(events)
+            self.callback(fresh)
 
     def poll(self, refresh: bool = True) -> list[SubtreeDelta]:
         """Drain queued events, optionally refreshing the replica first
@@ -169,6 +245,15 @@ class ReadReplica:
     treat the returned model as read-only (clone before mutating).
     """
 
+    #: Most open barriers retained (each holds an O(1) CoW pre-commit fork).
+    BARRIER_WINDOW = 64
+    #: Most recent commit txids remembered for the fence's visibility check.
+    RECENT_TXIDS = 1024
+    #: Most (tick, unit) change-log entries retained for cache invalidation.
+    UNIT_LOG_WINDOW = 4096
+    #: Unit-log marker for a record outside any depth-2 checkpoint unit.
+    UNIT_WILDCARD = "*"
+
     def __init__(
         self,
         store: TropicStore,
@@ -201,6 +286,27 @@ class ReadReplica:
         self._lock = threading.RLock()
         #: Per-subtree delta subscriptions fed by the catch-up path.
         self._subs: list[Subscription] = []
+        #: Open cross-shard atomicity barriers, keyed by txid, in opening
+        #: order (the read fence consumes these; see :class:`Barrier`).
+        self._barriers: OrderedDict[str, Barrier] = OrderedDict()
+        #: Bounded txid -> applied-log seq memory of recent commits; the
+        #: fence's "has this replica seen txn T" check.
+        self._recent_txids: OrderedDict[str, int] = OrderedDict()
+        #: Cross-shard commits applied *early* (prepared slice applied on
+        #: proof of a durable commit decision) whose own applied-log entry
+        #: has not been processed yet.
+        self._early_applied: set[str] = set()
+        #: Bumped per early application: the model can change without the
+        #: ``applied_txn`` watermark moving, and cache keys must see that.
+        self._early_seq = 0
+        #: Monotonic change counter plus a bounded (tick, unit) log of
+        #: checkpoint units touched by applied records, for per-subtree
+        #: view-cache invalidation.  Entries at tick <= the floor are
+        #: unknown (bootstrap or eviction); ``UNIT_WILDCARD`` marks a
+        #: record outside any depth-2 unit (top-level churn).
+        self._change_tick = 0
+        self._unit_floor = 0
+        self._unit_log: deque[tuple[int, str]] = deque()
         self.stats: dict[str, int] = {
             "bootstraps": 0,
             "catchup_batches": 0,
@@ -208,6 +314,8 @@ class ReadReplica:
             "refreshes_skipped": 0,
             "deltas_delivered": 0,
             "resyncs_delivered": 0,
+            "barriers_opened": 0,
+            "early_applies": 0,
         }
 
     # ------------------------------------------------------------------
@@ -315,13 +423,50 @@ class ReadReplica:
         self._has_checkpoint = model is not None
         model = model if model is not None else DataModel()
         executor = LogicalExecutor(model, self.schema, self.procedures)
-        _, replayed, last_seq = replay_committed(self.store, executor, checkpoint_seq)
+        seen, replayed, last_seq = replay_committed(self.store, executor, checkpoint_seq)
         self._model = model
         self._executor = executor
+        for txid in seen:
+            self._remember_txid(txid, last_seq)
         # A checkpoint always covers at least every entry it truncated, so
         # a re-bootstrap can only move the watermark forward; max() guards
         # the monotonicity contract even against a torn meta read.
         self._applied_txn = max(self._applied_txn, last_seq)
+        # Barriers hold pre-commit forks of the *previous* model; they
+        # cannot rewind the rebuilt one.  The unit change-log is equally
+        # void: raise its floor so cache consumers do a full rebuild.
+        self._barriers.clear()
+        self._change_tick += 1
+        self._unit_floor = self._change_tick
+        self._unit_log.clear()
+        # Cross-shard commits in the replayed tail still need barriers —
+        # their other participants may lag, and the fence can only align
+        # what it can see.  The pre-commit state is unreconstructable
+        # after a wholesale replay, so these barriers advance laggards
+        # but cannot back a rewind.
+        for record in self.store.applied_records(checkpoint_seq):
+            participants = tuple(int(p) for p in record.get("participants", ()))
+            if len(participants) > 1:
+                self._open_barrier_locked(
+                    record["txid"],
+                    participants,
+                    record.get("coordinator"),
+                    seq=int(record["seq"]),
+                    rewindable=False,
+                )
+        # Early-applied commits whose document is still PREPARED are not in
+        # the applied log, hence not covered by checkpoint + replay: carry
+        # them over the rebuild (monotonic reads — a fenced view must not
+        # lose a commit it already served).  COMMITTED documents wrote
+        # their applied entry in the same group-commit batch, so the
+        # rebuild covered them; drop the flag.
+        for txid in sorted(self._early_applied):
+            doc = self.store.load_transaction(txid)
+            if doc is not None and doc.state is TransactionState.PREPARED:
+                self._executor.apply_log(doc.log)
+                self._early_seq += 1
+            else:
+                self._early_applied.discard(txid)
         self.stats["bootstraps"] += 1
         self.stats["txns_applied"] += len(replayed)
         # Subscribers cannot receive the per-record deltas a checkpoint
@@ -334,15 +479,15 @@ class ReadReplica:
                 self.stats["resyncs_delivered"] += 1
 
     def _catch_up_locked(self) -> bool:
-        entries = self.store.applied_entries(self._applied_txn)
-        if not entries:
+        records = self.store.applied_records(self._applied_txn)
+        if not records:
             if self.store.applied_seq() > self._applied_txn:
                 # The log advanced past us and a checkpoint truncated the
                 # entries we were missing; the checkpoint has their effects.
                 self._bootstrap_locked()
                 return True
             return False
-        if entries[0][0] > self._applied_txn + 1:
+        if int(records[0]["seq"]) > self._applied_txn + 1:
             # Gap: a quiesce-point checkpoint truncated entries we never
             # applied.  Re-bootstrap (the checkpoint covers the gap).
             self._bootstrap_locked()
@@ -354,29 +499,63 @@ class ReadReplica:
         # deltas to another subscriber.
         subs = list(self._subs)
         deltas: dict[int, list[SubtreeDelta]] = {}
-        for seq, txid in entries:
+        for record in records:
+            seq, txid = int(record["seq"]), record["txid"]
             txn = self.store.load_transaction(txid)
             if txn is None:
                 # Applied entry without a readable document (e.g. raced a
                 # wholesale cleanup): fall back to the checkpoint path.
                 self._bootstrap_locked()
                 return True
-            self._executor.apply_log(txn.log)
+            participants = tuple(
+                int(p) for p in record.get("participants", txn.participants or ())
+            )
+            cross_shard = len(participants) > 1
+            if txid in self._early_applied:
+                # The read fence already applied this commit's prepared
+                # slice; re-applying the log would double-apply it.  Only
+                # the watermark moves — the model is already there — and
+                # its barrier (opened by the early apply) learns its seq.
+                self._early_applied.discard(txid)
+                barrier = self._barriers.get(txid)
+                if barrier is not None:
+                    barrier.seq = seq
+            else:
+                if cross_shard:
+                    self._open_barrier_locked(
+                        txid,
+                        participants,
+                        record.get("coordinator", txn.coordinator),
+                        seq=seq,
+                    )
+                self._executor.apply_log(txn.log)
+                self._log_units_locked(txn.log)
             self._applied_txn = seq
+            self._remember_txid(txid, seq)
             applied += 1
             # Derive per-subtree deltas from the execution log just
             # applied — the same records the model mutation came from, so
             # a subscriber's materialised view can never diverge from the
-            # replica's.
+            # replica's.  A cross-shard commit's deltas are preceded by a
+            # barrier event (for barrier-aware subscribers only, and
+            # regardless of subtree match), so multi-shard stream
+            # consumers can stitch the halves of the commit together.
             for index, sub in enumerate(subs):
-                events = [
-                    SubtreeDelta(
-                        EVENT_DELTA, seq, txid, record.path,
-                        record.action, tuple(record.args),
+                events = []
+                if cross_shard and sub.include_barriers:
+                    events.append(
+                        SubtreeDelta(
+                            EVENT_BARRIER, seq, txid, participants=participants
+                        )
                     )
-                    for record in txn.log
-                    if sub.matches(record.path)
-                ]
+                events.extend(
+                    SubtreeDelta(
+                        EVENT_DELTA, seq, txid, record_entry.path,
+                        record_entry.action, tuple(record_entry.args),
+                    )
+                    for record_entry in txn.log
+                    if sub.matches(record_entry.path)
+                )
                 if events:
                     deltas.setdefault(index, []).extend(events)
         for index, events in deltas.items():
@@ -385,6 +564,153 @@ class ReadReplica:
         self.stats["catchup_batches"] += 1
         self.stats["txns_applied"] += applied
         return applied > 0
+
+    # ------------------------------------------------------------------
+    # Cross-shard atomicity surface (the read fence)
+    # ------------------------------------------------------------------
+
+    def _remember_txid(self, txid: str, seq: int) -> None:
+        self._recent_txids[txid] = seq
+        self._recent_txids.move_to_end(txid)
+        while len(self._recent_txids) > self.RECENT_TXIDS:
+            self._recent_txids.popitem(last=False)
+
+    def _open_barrier_locked(
+        self,
+        txid: str,
+        participants: tuple,
+        coordinator: int | None,
+        seq: int | None,
+        rewindable: bool = True,
+    ) -> None:
+        if txid in self._barriers:
+            return
+        self._change_tick += 1
+        self._barriers[txid] = Barrier(
+            txid=txid,
+            participants=tuple(sorted(int(p) for p in participants)),
+            coordinator=None if coordinator is None else int(coordinator),
+            pre_model=self._model.clone(),
+            pre_applied=self._applied_txn,
+            pre_early=self._early_seq,
+            tick=self._change_tick,
+            seq=seq,
+            rewindable=rewindable,
+        )
+        self.stats["barriers_opened"] += 1
+        while len(self._barriers) > self.BARRIER_WINDOW:
+            self._barriers.popitem(last=False)
+
+    def _log_units_locked(self, log: Any) -> None:
+        self._change_tick += 1
+        tick = self._change_tick
+        for record in log:
+            parts = str(record.path).strip("/").split("/")
+            unit = (
+                f"/{parts[0]}/{parts[1]}" if len(parts) >= 2 else self.UNIT_WILDCARD
+            )
+            self._unit_log.append((tick, unit))
+        while len(self._unit_log) > self.UNIT_LOG_WINDOW:
+            evicted_tick, _ = self._unit_log.popleft()
+            self._unit_floor = max(self._unit_floor, evicted_tick)
+
+    def has_applied(self, txid: str) -> bool:
+        """Whether this replica's model includes commit ``txid``, judged
+        from its bounded recent-commit memory (the fence only asks about
+        commits at the replication frontier — its candidates come from
+        open barriers, which are recent by construction)."""
+        with self._lock:
+            return txid in self._recent_txids or txid in self._early_applied
+
+    def early_apply(self, txid: str) -> str:
+        """Advance this replica past a cross-shard commit *before* its
+        applied-log entry is processed, on the caller's proof of a durable
+        commit decision (:meth:`repro.core.twopc.TwoPCLog.
+        commit_participants`).
+
+        Applies the prepared slice from this shard's own transaction
+        document — the same records the leader will commit — under an
+        atomicity barrier.  Returns ``"applied"`` (slice applied early),
+        ``"already"`` (the model covers it), or ``"unavailable"`` (no
+        usable document; the caller must rewind or degrade instead).
+        """
+        with self._lock:
+            if txid in self._early_applied or txid in self._recent_txids:
+                return "already"
+            if self._model is None:
+                self.refresh(force=True)
+                if txid in self._early_applied or txid in self._recent_txids:
+                    return "already"
+            txn = self.store.load_transaction(txid)
+            if txn is None:
+                # Document gone: either never reached this shard (cannot
+                # apply) or applied long ago and wholesale-cleaned (the
+                # model covers it).  The applied log arbitrates.
+                if txid in self.store.applied_txids():
+                    return "already"
+                return "unavailable"
+            if txn.state is not TransactionState.PREPARED:
+                if txn.state is TransactionState.COMMITTED:
+                    # The commit's applied entry is durable (written in the
+                    # same group-commit batch as the COMMITTED document);
+                    # a forced catch-up picks it up the normal way.
+                    self.refresh(force=True)
+                    return "already"
+                return "unavailable"
+            participants = tuple(sorted(int(p) for p in txn.participants or ()))
+            self._open_barrier_locked(txid, participants, txn.coordinator, seq=None)
+            self._executor.apply_log(txn.log)
+            self._log_units_locked(txn.log)
+            self._early_applied.add(txid)
+            self._early_seq += 1
+            self.stats["early_applies"] += 1
+            return "applied"
+
+    @property
+    def early_seq(self) -> int:
+        """Monotonic count of early applications (see :meth:`early_apply`);
+        a model-change stamp component alongside ``applied_txn``."""
+        return self._early_seq
+
+    def open_barriers(self) -> list[Barrier]:
+        """Open atomicity barriers in opening order (oldest first)."""
+        with self._lock:
+            return list(self._barriers.values())
+
+    def close_barrier(self, txid: str) -> None:
+        """Drop the barrier for ``txid`` (the fence confirmed the commit
+        visible on every fenced participant), releasing its pre-commit
+        fork."""
+        with self._lock:
+            self._barriers.pop(txid, None)
+
+    # ------------------------------------------------------------------
+    # Per-subtree change tracking (view-cache invalidation)
+    # ------------------------------------------------------------------
+
+    @property
+    def change_tick(self) -> int:
+        """Monotonic model-change counter; pair it with
+        :meth:`units_changed_since` for incremental cache maintenance."""
+        return self._change_tick
+
+    def units_changed_since(self, tick: int) -> set[str] | None:
+        """Depth-2 checkpoint units (``/{top}/{child}``) touched since
+        ``tick``, or ``None`` when the answer is unknown — the replica
+        re-bootstrapped, the change log was evicted past ``tick``, or a
+        record landed outside any unit — in which case the caller must
+        rebuild rather than patch."""
+        with self._lock:
+            if tick < self._unit_floor:
+                return None
+            units: set[str] = set()
+            for entry_tick, unit in self._unit_log:
+                if entry_tick <= tick:
+                    continue
+                if unit == self.UNIT_WILDCARD:
+                    return None
+                units.add(unit)
+            return units
 
     # ------------------------------------------------------------------
     # Read surface
@@ -429,6 +755,7 @@ class ReadReplica:
         self,
         path: str,
         callback: Callable[[list[SubtreeDelta]], None] | None = None,
+        include_barriers: bool = False,
     ) -> Subscription:
         """Subscribe to the committed delta stream of the subtree at
         ``path`` (``"/"`` for the whole shard).
@@ -443,7 +770,7 @@ class ReadReplica:
         """
         with self._lock:
             self.refresh()  # establish the start watermark and arm watches
-            sub = Subscription(self, path, callback)
+            sub = Subscription(self, path, callback, include_barriers=include_barriers)
             sub.last_seq = self._applied_txn
             self._subs.append(sub)
             return sub

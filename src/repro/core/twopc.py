@@ -155,6 +155,22 @@ class TwoPCLog:
                 return record
         return None
 
+    def commit_participants(
+        self, txid: str, coordinator: int | None = None
+    ) -> tuple[int, ...] | None:
+        """The sorted participant set of ``txid`` *iff* a durable commit
+        decision exists; ``None`` otherwise (open, aborted, or GC'd).
+
+        This is the read API the decision-log-aware read fence uses: a
+        non-``None`` return is proof the transaction committed on every
+        participant's timeline, so a reader may apply the prepared slice
+        on a lagging shard (or must withhold the advanced shard's slice)
+        to keep cross-shard reads atomic."""
+        record = self.decision_record(txid, coordinator)
+        if record is None or record.get("decision") != DECISION_COMMIT:
+            return None
+        return tuple(sorted(int(s) for s in record.get("participants", ())))
+
     def clear_decision(self, txid: str, coordinator: int | None = None) -> None:
         """Drop one decision record (the GC below is the systematic path)."""
         record = self.decision_record(txid, coordinator)

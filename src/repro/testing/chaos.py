@@ -22,6 +22,12 @@ that define "fault tolerant" for this system:
    (:meth:`~repro.testing.cluster.ShardedCluster.detect_is_clean`).
 4. **Recovered-model equality** — a brand-new replica recovering purely
    from the coordination store reproduces each shard's model exactly.
+5. **Cross-shard read atomicity** (PR 7) — persistent read replicas
+   tailing both shards, periodically fenced mid-drain through the
+   decision-log-aware read fence (:mod:`repro.core.readfence`), never
+   show exactly one participant's half of a cross-shard 2PC spawn —
+   both the VM and its disk image, or neither, at every fenced check
+   even while crashes, session expiries and partitions are in flight.
 
 Everything is derived from a single integer seed via ``random.Random``,
 so a failing scenario is replayable bit-for-bit:
@@ -36,7 +42,11 @@ from typing import Any
 
 from repro.common.config import TropicConfig
 from repro.common.errors import QuorumLostError, SessionExpiredError
+from repro.coordination.kvstore import KVStore
 from repro.core.events import request_message
+from repro.core.persistence import TropicStore
+from repro.core.readfence import fence_replica_sources
+from repro.core.replica import ReadReplica
 from repro.core.txn import Transaction, TransactionState
 from repro.testing.cluster import ShardedCluster
 from repro.testing.faults import (
@@ -78,6 +88,8 @@ class ChaosReport:
     leader_kills: int = 0
     committed: int = 0
     aborted: int = 0
+    fence_checks: int = 0
+    fence_advances: int = 0
     crashes: list[str] = field(default_factory=list)
     ensemble_faults: list[str] = field(default_factory=list)
     failures: list[str] = field(default_factory=list)
@@ -93,7 +105,7 @@ class ChaosReport:
             f"dups={self.duplicate_submits} retries={self.client_retries:<3d} "
             f"crashes={len(self.crashes)} faults={len(self.ensemble_faults)} "
             f"kills={self.leader_kills} committed={self.committed} "
-            f"aborted={self.aborted}"
+            f"aborted={self.aborted} fenced={self.fence_checks}"
         )
         for failure in self.failures:
             line += f"\n       - {failure}"
@@ -161,6 +173,9 @@ class ChaosScenario:
         self._kill_queue: list[tuple[int, int]] = []
         #: token -> txids actually persisted for it (must end up size 1).
         self.token_txids: dict[str, set[str]] = {}
+        #: Persistent per-shard read replicas for the mid-drain fenced
+        #: read-atomicity checks (created lazily on the first check).
+        self._fence_replicas: dict[int, ReadReplica] = {}
 
     # ------------------------------------------------------------------
     # Execution
@@ -373,6 +388,10 @@ class ChaosScenario:
         self, cluster: ShardedCluster, report: ChaosReport, max_rounds: int = 20_000
     ) -> None:
         for round_no in range(max_rounds):
+            if round_no % 50 == 0:
+                # Concurrent-reader invariant: a fenced replica read taken
+                # mid-chaos must be cross-shard atomic (PR 7).
+                self._fence_check(cluster, report)
             if self._kill_queue and round_no >= self._kill_queue[0][0]:
                 # A leader kill can itself collide with an active fault
                 # (replacement bootstraps through the ensemble); defer it
@@ -398,6 +417,64 @@ class ChaosScenario:
     # ------------------------------------------------------------------
     # Invariants
     # ------------------------------------------------------------------
+
+    def _fence_check(self, cluster: ShardedCluster, report: ChaosReport) -> None:
+        """Invariant 5: fence the persistent replica pair and assert every
+        cross-shard spawn is both-or-neither visible in the fenced models.
+
+        Shards the fence degraded (barrier evicted or non-rewindable with
+        an unreachable decision) are outside the atomicity domain by
+        contract — disclosed partial staleness — and are skipped; rewound
+        shards are checked against their rewound forks, exactly as a
+        fenced ``fleet_view`` would serve them.  Coordination faults in
+        flight abort the check (a reader would retry); they never fail
+        the scenario."""
+        try:
+            replicas = self._fence_replicas
+            for shard in cluster.shard_ids:
+                if shard not in replicas:
+                    store = TropicStore(
+                        KVStore(cluster.client, f"/tropic/store/shard-{shard}"),
+                        shard_id=shard,
+                        num_shards=cluster.num_shards,
+                    )
+                    replicas[shard] = ReadReplica(
+                        store, cluster.schema, cluster.procedures, shard_id=shard
+                    )
+            for replica in replicas.values():
+                replica.refresh(force=True)
+            fenced = fence_replica_sources(replicas, set(), cluster.twopc)
+        except TRANSIENT_ERRORS:
+            report.transient_steps += 1
+            self._heal(cluster)
+            return
+        report.fence_checks += 1
+        report.fence_advances += fenced.advanced
+        models = {}
+        for shard, replica in replicas.items():
+            if shard in fenced.degraded:
+                continue
+            if shard in fenced.rewinds:
+                models[shard] = fenced.rewinds[shard][0]
+            else:
+                models[shard] = replica.model(refresh=False)
+        for index, (name, kind, _host) in enumerate(self.ops):
+            if kind != "cross":
+                continue
+            args = self._build_args(cluster, self.ops[index])
+            vm_shard = cluster.router.shard_of(args["vm_host"])
+            img_shard = cluster.router.shard_of(args["storage_host"])
+            if vm_shard not in models or img_shard not in models:
+                continue
+            vm_there = models[vm_shard].exists(f"{args['vm_host']}/{name}")
+            image_there = models[img_shard].exists(
+                f"{args['storage_host']}/{name}-disk"
+            )
+            if vm_there != image_there:
+                report.failures.append(
+                    f"fenced replica read tore {name}: "
+                    f"vm={vm_there} image={image_there}"
+                )
 
     def _check_invariants(self, cluster: ShardedCluster, report: ChaosReport) -> None:
         fail = report.failures.append

@@ -1,0 +1,195 @@
+"""Property tests for cross-shard-atomic replica reads (PR 7).
+
+Hypothesis drives arbitrary interleavings of controller and worker steps
+through a cross-shard 2PC commit while (a) fenced replica reads and
+(b) a stitched multi-shard delta stream are consumed concurrently, and
+asserts the read-side atomicity invariant at *every* intermediate state:
+no fenced set of replica models, and no released stream prefix, ever
+contains exactly one participant's half of the transaction.
+
+A third property pins the subscription dedupe contract: a (seq, txid)
+event group is applied to a subscriber exactly once no matter how the
+producer redelivers it (the resume-after-resync hazard).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import TropicConfig
+from repro.coordination.kvstore import KVStore
+from repro.core.persistence import TropicStore
+from repro.core.platform import StitchedSubscription
+from repro.core.readfence import fence_replica_sources
+from repro.core.replica import (
+    EVENT_DELTA,
+    ReadReplica,
+    Subscription,
+    SubtreeDelta,
+)
+from repro.core.txn import TransactionState
+from repro.testing import ShardedCluster
+
+#: One interleaving step: (component, shard).
+_step = st.tuples(st.sampled_from(["controller", "worker"]), st.sampled_from([0, 1]))
+
+_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _cluster() -> ShardedCluster:
+    return ShardedCluster(
+        num_shards=2,
+        cross_shard_policy="2pc",
+        config=TropicConfig(checkpoint_every=100_000),
+    )
+
+
+def _replicas(cluster: ShardedCluster) -> dict[int, ReadReplica]:
+    out = {}
+    for shard in cluster.shard_ids:
+        store = TropicStore(
+            KVStore(cluster.client, f"/tropic/store/shard-{shard}"),
+            shard_id=shard,
+            num_shards=cluster.num_shards,
+        )
+        out[shard] = ReadReplica(
+            store, cluster.schema, cluster.procedures, shard_id=shard
+        )
+        out[shard].refresh()
+    return out
+
+
+def _apply_step(cluster: ShardedCluster, step: tuple[str, int]) -> None:
+    component, shard = step
+    if component == "controller":
+        cluster.controllers[shard].step()
+    else:
+        cluster.workers[shard].step()
+
+
+def _fenced_models(cluster, replicas):
+    """Refresh + fence, then return the per-shard models a fenced fleet
+    view would merge (rewound forks where the fence cut, degraded shards
+    omitted — they are outside the atomicity domain by contract)."""
+    for replica in replicas.values():
+        replica.refresh(force=True)
+    result = fence_replica_sources(replicas, set(), cluster.twopc)
+    models = {}
+    for shard, replica in replicas.items():
+        if shard in result.degraded:
+            continue
+        if shard in result.rewinds:
+            models[shard] = result.rewinds[shard][0]
+        else:
+            models[shard] = replica.model(refresh=False)
+    return models
+
+
+def _halves(cluster, txn):
+    vm_host, storage_host = txn.args["vm_host"], txn.args["storage_host"]
+    name = txn.args["vm_name"]
+    return (
+        (cluster.router.shard_of(vm_host), f"{vm_host}/{name}"),
+        (cluster.router.shard_of(storage_host), f"{storage_host}/{name}-disk"),
+    )
+
+
+@settings(**_SETTINGS)
+@given(st.lists(_step, min_size=0, max_size=40))
+def test_fenced_replica_reads_are_atomic_at_every_interleaving(plan):
+    cluster = _cluster()
+    replicas = _replicas(cluster)  # live-tailing: rewindable barriers
+    txn = cluster.submit_cross_spawn("xprop")
+    (vm_shard, vm_path), (img_shard, image_path) = _halves(cluster, txn)
+    for step in plan:
+        _apply_step(cluster, step)
+        models = _fenced_models(cluster, replicas)
+        if vm_shard in models and img_shard in models:
+            vm_there = models[vm_shard].exists(vm_path)
+            image_there = models[img_shard].exists(image_path)
+            assert vm_there == image_there, (
+                f"torn after {step}: vm={vm_there} image={image_there}"
+            )
+    cluster.drain()
+    models = _fenced_models(cluster, replicas)
+    committed = cluster.state_of(txn) is TransactionState.COMMITTED
+    assert models[vm_shard].exists(vm_path) is committed
+    assert models[img_shard].exists(image_path) is committed
+
+
+class _StubProxy:
+    """The two StitchedSubscription dependencies (routing + replicas)
+    over a raw ShardedCluster, without a full platform."""
+
+    def __init__(self, cluster: ShardedCluster, replicas: dict[int, ReadReplica]):
+        self._platform = SimpleNamespace(
+            config=SimpleNamespace(num_shards=cluster.num_shards),
+            shard_router=cluster.router,
+        )
+        self._replicas = replicas
+
+    def replica(self, shard: int) -> ReadReplica:
+        return self._replicas[shard]
+
+
+@settings(**_SETTINGS)
+@given(st.lists(_step, min_size=0, max_size=40))
+def test_stitched_stream_never_releases_exactly_one_half(plan):
+    cluster = _cluster()
+    replicas = _replicas(cluster)
+    txn = cluster.submit_cross_spawn("xstream")
+    (vm_shard, _), (img_shard, _) = _halves(cluster, txn)
+    stitched = StitchedSubscription(
+        _StubProxy(cluster, replicas),
+        [txn.args["vm_host"], txn.args["storage_host"]],
+    )
+    participants = {vm_shard, img_shard}
+    seen: set[int] = set()
+    for step in plan:
+        _apply_step(cluster, step)
+        for shard, event in stitched.poll():
+            if event.kind == EVENT_DELTA and event.txid == txn.txid:
+                seen.add(shard)
+        assert seen in (set(), participants), (
+            f"stitched consumer holds half from {sorted(seen)} after {step}"
+        )
+    cluster.drain()
+    for shard, event in stitched.poll():
+        if event.kind == EVENT_DELTA and event.txid == txn.txid:
+            seen.add(shard)
+    if cluster.state_of(txn) is TransactionState.COMMITTED:
+        assert seen == participants
+    else:
+        assert seen == set()
+
+
+@settings(**_SETTINGS)
+@given(st.lists(st.integers(min_value=0, max_value=10), max_size=30))
+def test_subscription_delivers_each_commit_group_exactly_once(commit_ids):
+    """Redeliver (seq, txid) groups in any pattern: each group reaches the
+    subscriber exactly once, whole, in first-delivery order."""
+    sub = Subscription(replica=None, path="/")
+    for commit in commit_ids:
+        sub._deliver(
+            [
+                SubtreeDelta(
+                    EVENT_DELTA, commit + 1, f"t{commit}", f"/vmRoot/h{i}", "createVM"
+                )
+                for i in range(2)
+            ]
+        )
+    events = sub.poll(refresh=False)
+    groups = [event.txid for event in events[::2]]
+    first_order = list(dict.fromkeys(f"t{c}" for c in commit_ids))
+    assert groups == first_order
+    # Whole groups, contiguous: pairs share txid.
+    for first, second in zip(events[::2], events[1::2]):
+        assert first.txid == second.txid
+    assert len(events) == 2 * len(first_order)

@@ -135,3 +135,127 @@ class TestReadProxySubscribe:
             _spawn_on(cloud, host, "solo")
             assert any(event.action == "createVM" for event in sub.poll())
             assert cloud.platform.read_proxy.pump() == 0  # already caught up
+
+
+class TestViewCacheSourceKeys:
+    """PR 7 regression guard: the fleet-view cache key names every shard's
+    *source kind* (leader/replica/partial) alongside its change stamp, so
+    a view computed under one sourcing can never be served under another
+    even when the surviving stamps coincide."""
+
+    def test_key_spells_out_every_shards_source_kind(self):
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            platform = observer.platform
+            leader_model = platform.leader(0).model
+            key, kinds = platform._view_cache_key({0: leader_model}, {}, {})
+            assert kinds == ((0, "leader"), (1, "partial"))
+            parts, pinned = key
+            assert parts[0][:2] == (0, "leader")
+            assert parts[0][2] is leader_model  # identity, not equality
+            assert parts[1] == (1, "partial")
+            assert pinned == ()
+            replica = platform.read_proxy.replica(1)
+            replica.refresh()
+            key2, kinds2 = platform._view_cache_key(
+                {0: leader_model}, {1: replica}, {}
+            )
+            assert kinds2 == ((0, "leader"), (1, "replica"))
+            assert key2[0][1] == (
+                1, "replica", replica.applied_txn, replica.early_seq,
+                replica.has_checkpoint,
+            )
+
+    def test_replica_stamp_includes_early_seq(self):
+        """A fence early-application changes the replica model without
+        moving ``applied_txn``; the key must still change or a stale
+        cached merge would be served over the advanced model."""
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            platform = observer.platform
+            replica = platform.read_proxy.replica(1)
+            replica.refresh()
+            local = {0: platform.leader(0).model}
+            before, _ = platform._view_cache_key(local, {1: replica}, {})
+            replica._early_seq += 1  # what early_apply() does to the stamp
+            after, _ = platform._view_cache_key(local, {1: replica}, {})
+            assert before != after
+
+    def test_partial_to_replica_transition_serves_fresh_content(self):
+        """Behavioral: a view cached while a foreign shard was partial
+        (owner not yet started, so no checkpoint to tail) must not be
+        served once the shard becomes replica-backed."""
+        ensemble = CoordinationEnsemble(num_servers=3, default_session_timeout=3600.0)
+        config = TropicConfig(
+            logical_only=True, checkpoint_every=100_000, num_shards=2
+        )
+
+        def build(local_shards):
+            return build_tcloud(
+                num_vm_hosts=8, num_storage_hosts=2, config=config,
+                logical_only=True, ensemble=ensemble, local_shards=local_shards,
+            )
+
+        observer = build([0])
+        with observer.platform:
+            early = observer.platform.fleet_view()
+            assert early.watermarks[1].source == "partial"
+            owner = build([1])
+            with owner.platform:
+                foreign_host = _host_owned_by(observer, 1)
+                _spawn_on(owner, foreign_host, "healed")
+                late = observer.platform.fleet_view()
+                assert late.watermarks[1].source == "replica"
+                assert late.model.exists(f"{foreign_host}/healed")
+
+
+class TestPerSubtreeViewCache:
+    """PR 7: a foreign commit re-grafts only the checkpoint units its
+    shard touched instead of rebuilding the whole merged tree."""
+
+    def test_foreign_commit_patches_only_the_changed_units(self):
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            host_a = _host_owned_by(observer, 1)
+            host_b = next(
+                h for h in observer.inventory.vm_hosts
+                if observer.platform.shard_router.shard_of(h) == 1 and h != host_a
+            )
+            _spawn_on(owner, host_a, "seed")
+            observer.platform.fleet_view()  # prime the cache
+            patches = observer.platform._view_cache_patches
+            _spawn_on(owner, host_b, "patched")
+            view = observer.platform.fleet_view()
+            assert view.model.exists(f"{host_b}/patched")
+            assert view.model.exists(f"{host_a}/seed")  # untouched unit kept
+            assert observer.platform._view_cache_patches == patches + 1
+            # An unchanged fleet serves the patched entry straight back.
+            again = observer.platform.fleet_view()
+            assert observer.platform._view_cache_patches == patches + 1
+            assert again.model.exists(f"{host_b}/patched")
+
+    def test_patched_view_equals_a_full_rebuild(self):
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            host = _host_owned_by(observer, 1)
+            _spawn_on(owner, host, "first")
+            observer.platform.fleet_view()
+            _spawn_on(owner, host, "second")
+            patched = observer.platform.fleet_view().model
+            assert observer.platform._view_cache_patches >= 1
+            observer.platform._view_cache.clear()
+            rebuilt = observer.platform.fleet_view().model
+            assert patched.to_dict() == rebuilt.to_dict()
+
+    def test_local_commit_on_the_base_shard_rebuilds(self):
+        """The observer's own shard is the merge base; its changes cannot
+        be patched in (the base fork itself moved) and must rebuild."""
+        owner, observer = _sharded_pair()
+        with owner.platform, observer.platform:
+            local_host = _host_owned_by(observer, 0)
+            observer.platform.fleet_view()
+            patches = observer.platform._view_cache_patches
+            _spawn_on(observer, local_host, "basewrite")
+            view = observer.platform.fleet_view()
+            assert view.model.exists(f"{local_host}/basewrite")
+            assert observer.platform._view_cache_patches == patches

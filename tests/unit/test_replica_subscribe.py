@@ -11,7 +11,14 @@ from __future__ import annotations
 from repro.common.config import TropicConfig
 from repro.coordination.kvstore import KVStore
 from repro.core.persistence import TropicStore
-from repro.core.replica import EVENT_DELTA, EVENT_RESYNC, ReadReplica
+from repro.core.replica import (
+    EVENT_BARRIER,
+    EVENT_DELTA,
+    EVENT_RESYNC,
+    ReadReplica,
+    Subscription,
+    SubtreeDelta,
+)
 from repro.testing import ShardedCluster
 
 
@@ -142,3 +149,170 @@ class TestSubscribe:
         cluster.drain()
         replica.refresh()
         assert replica.stats["deltas_delivered"] > 0
+
+
+def _cross_cluster(**kwargs) -> ShardedCluster:
+    return ShardedCluster(
+        num_shards=2,
+        cross_shard_policy="2pc",
+        config=TropicConfig(checkpoint_every=100_000),
+        **kwargs,
+    )
+
+
+def _sharded_replica(cluster: ShardedCluster, shard: int) -> ReadReplica:
+    store = TropicStore(
+        KVStore(cluster.client, f"/tropic/store/shard-{shard}"),
+        shard_id=shard,
+        num_shards=cluster.num_shards,
+    )
+    return ReadReplica(store, cluster.schema, cluster.procedures, shard_id=shard)
+
+
+class TestBarrierEvents:
+    """Cross-shard commit markers for stream stitching (PR 7): opt-in
+    ``barrier`` events carrying the participant set, delivered before the
+    commit's deltas so multi-shard consumers can align the halves."""
+
+    def test_barrier_precedes_the_commits_deltas(self):
+        cluster = _cross_cluster()
+        txn = cluster.submit_cross_spawn("xbar")
+        vm_shard = cluster.router.shard_of(txn.args["vm_host"])
+        replica = _sharded_replica(cluster, vm_shard)
+        sub = replica.subscribe("/", include_barriers=True)
+        cluster.drain()
+        events = sub.poll()
+        kinds = [event.kind for event in events]
+        assert EVENT_BARRIER in kinds
+        barrier = next(e for e in events if e.kind == EVENT_BARRIER)
+        assert barrier.txid == txn.txid
+        assert barrier.participants == tuple(sorted(txn.participants))
+        first_delta = next(
+            i for i, e in enumerate(events)
+            if e.kind == EVENT_DELTA and e.txid == txn.txid
+        )
+        assert events.index(barrier) < first_delta
+
+    def test_barriers_are_opt_in(self):
+        """A plain subscription's event stream stays barrier-free, so
+        pre-PR 7 consumers keep seeing only deltas and resyncs."""
+        cluster = _cross_cluster()
+        txn = cluster.submit_cross_spawn("xplain")
+        vm_shard = cluster.router.shard_of(txn.args["vm_host"])
+        sub = _sharded_replica(cluster, vm_shard).subscribe("/")
+        cluster.drain()
+        events = sub.poll()
+        assert events
+        assert all(event.kind != EVENT_BARRIER for event in events)
+
+    def test_barrier_delivered_even_outside_the_subscribed_subtree(self):
+        """A stitching consumer needs the marker even when this shard's
+        slice of the commit falls outside its subscribed paths."""
+        cluster = _cross_cluster()
+        txn = cluster.submit_cross_spawn("xoff")
+        vm_shard = cluster.router.shard_of(txn.args["vm_host"])
+        replica = _sharded_replica(cluster, vm_shard)
+        # Subscribe to a host subtree the cross-shard spawn never touches.
+        untouched = next(
+            host
+            for host in cluster.inventory.vm_hosts
+            if cluster.router.shard_of(host) == vm_shard
+            and host != txn.args["vm_host"]
+        )
+        sub = replica.subscribe(untouched, include_barriers=True)
+        cluster.drain()
+        events = sub.poll()
+        assert [e.kind for e in events] == [EVENT_BARRIER]
+        assert events[0].txid == txn.txid
+
+    def test_single_shard_commits_open_no_barriers(self):
+        cluster = _cross_cluster()
+        shard = cluster.router.shard_of(cluster.inventory.vm_hosts[0])
+        replica = _sharded_replica(cluster, shard)
+        sub = replica.subscribe("/", include_barriers=True)
+        cluster.submit_spawn("solo", host_index=0)  # single-shard by construction
+        cluster.drain()
+        events = sub.poll()
+        assert events
+        assert all(event.kind == EVENT_DELTA for event in events)
+        assert replica.open_barriers() == []
+
+
+class TestDedupe:
+    """(seq, txid) redelivery suppression: a commit's event batch must be
+    applied to a subscriber exactly once, including across the resync
+    boundary where a re-bootstrap can replay the newest delivered commit."""
+
+    def _sub(self, cluster) -> Subscription:
+        return _replica_for(cluster).subscribe("/")
+
+    @staticmethod
+    def _batch(seq: int, txid: str, n: int = 2) -> list[SubtreeDelta]:
+        return [
+            SubtreeDelta(EVENT_DELTA, seq, txid, f"{HOST0}/vm{i}", "createVM")
+            for i in range(n)
+        ]
+
+    def test_redelivered_commit_batch_is_dropped(self):
+        sub = self._sub(_cluster())
+        batch = self._batch(7, "tx-a")
+        sub._deliver(batch)
+        assert sub.poll(refresh=False) == batch
+        sub._deliver(batch)
+        assert sub.poll(refresh=False) == []
+
+    def test_same_batch_events_sharing_seq_and_txid_all_arrive(self):
+        """A commit's records share one (seq, txid); dedupe keys whole
+        batches, never individual records of the same commit."""
+        sub = self._sub(_cluster())
+        batch = self._batch(3, "tx-multi", n=4)
+        sub._deliver(batch)
+        assert len(sub.poll(refresh=False)) == 4
+
+    def test_dedupe_survives_the_resync_boundary(self):
+        """The regression: deltas delivered, then a checkpoint-driven
+        resync, then the same commit redelivered by the re-bootstrapped
+        tail — the duplicate must be dropped, not double-applied."""
+        sub = self._sub(_cluster())
+        batch = self._batch(5, "tx-resync")
+        sub._deliver(batch)
+        sub._deliver([SubtreeDelta(EVENT_RESYNC, 5)])
+        sub._deliver(batch)
+        events = sub.poll(refresh=False)
+        assert [e.kind for e in events] == [EVENT_DELTA] * len(batch) + [EVENT_RESYNC]
+
+    def test_resync_events_always_pass(self):
+        """Resyncs reset the subscriber rather than mutate it; repeating
+        one is idempotent for the consumer and must never be swallowed."""
+        sub = self._sub(_cluster())
+        sub._deliver([SubtreeDelta(EVENT_RESYNC, 2)])
+        sub._deliver([SubtreeDelta(EVENT_RESYNC, 2)])
+        assert len(sub.poll(refresh=False)) == 2
+
+    def test_dedupe_memory_is_bounded(self):
+        sub = self._sub(_cluster())
+        for seq in range(Subscription.DEDUPE_WINDOW + 10):
+            sub._deliver(self._batch(seq + 1, f"tx-{seq}", n=1))
+        assert len(sub._delivered) == Subscription.DEDUPE_WINDOW
+        sub.poll(refresh=False)
+        # The evicted (oldest) entry is forgotten: its redelivery passes.
+        sub._deliver(self._batch(1, "tx-0", n=1))
+        assert len(sub.poll(refresh=False)) == 1
+
+    def test_end_to_end_stream_has_no_duplicates_across_checkpoints(self):
+        """Live stream under aggressive checkpointing (truncations force
+        re-bootstraps): no commit's deltas are ever delivered twice — each
+        VM's createVM record appears at most once in the whole stream."""
+        cluster = ShardedCluster(num_shards=1, config=TropicConfig(checkpoint_every=2))
+        replica = _replica_for(cluster)
+        sub = replica.subscribe("/")
+        created: list[tuple[int, str]] = []
+        for i in range(6):
+            cluster.submit_spawn(f"vm{i}", host_index=i % 4)
+            cluster.drain()
+            created.extend(
+                (event.seq, event.txid)
+                for event in sub.poll()
+                if event.kind == EVENT_DELTA and event.action == "createVM"
+            )
+        assert len(created) == len(set(created)), created
