@@ -2,7 +2,8 @@
 
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-unit test-integration bench bench-micro chaos docs-check
+.PHONY: test test-unit test-integration bench bench-micro chaos docs-check \
+	analyze analyze-baseline lint
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -33,3 +34,22 @@ chaos:
 ## Documentation health: intra-repo links + module docstring coverage.
 docs-check:
 	python scripts/check_docs.py
+
+## Concurrency & protocol invariant analyzer (docs/development.md):
+## lock-order graph, blocking-under-lock, CoW/KV write funnels, txn-state
+## machine, retry taxonomy. Fails on any drift from analysis/baseline.json.
+analyze:
+	$(PYTHONPATH_PREFIX) python -m repro.analysis
+
+## Regenerate the baseline after triaging findings (justify every entry).
+analyze-baseline:
+	$(PYTHONPATH_PREFIX) python -m repro.analysis --write-baseline
+
+## Ruff (configured in pyproject.toml). The dev container does not ship
+## ruff, so this skips with a notice when it is absent; CI enforces it.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks scripts; \
+	else \
+		echo "lint: ruff not installed; skipping (CI enforces it)"; \
+	fi

@@ -14,7 +14,6 @@ checking the paper's claim that the I/O share dominates once a real
 coordination service is in the loop.
 """
 
-import pytest
 
 from repro.common.config import TropicConfig
 from repro.metrics.report import ascii_table

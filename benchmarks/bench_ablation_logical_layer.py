@@ -13,7 +13,6 @@ directly against the devices and relies on the device's own admission
 checks.
 """
 
-import pytest
 
 from repro.core.constraints import ConstraintEngine
 from repro.core.physical import PhysicalExecutor

@@ -11,7 +11,6 @@ operations (migration to an incompatible hypervisor, memory overcommit)
 before any physical action is attempted.
 """
 
-import pytest
 
 from repro.core.constraints import ConstraintEngine
 from repro.core.simulation import LogicalExecutor

@@ -12,11 +12,10 @@ that every affected transaction aborts cleanly (atomicity) rather than
 leaving partial state behind.
 """
 
-import pytest
 
 from repro.core.constraints import ConstraintEngine
 from repro.core.simulation import LogicalExecutor
-from repro.core.txn import Transaction, TransactionState
+from repro.core.txn import Transaction
 from repro.metrics.report import ascii_table
 from repro.tcloud.entities import build_schema
 from repro.tcloud.inventory import build_inventory

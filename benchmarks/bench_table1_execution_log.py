@@ -6,7 +6,6 @@ logical layer — and benchmarks the cost of producing it (logical simulation
 plus constraint checking), which the paper reports as sub-10 ms.
 """
 
-import pytest
 
 from repro.core.constraints import ConstraintEngine
 from repro.core.simulation import LogicalExecutor

@@ -1,0 +1,87 @@
+"""Finding baseline: keyed acceptance list diffed on every run.
+
+The baseline (``analysis/baseline.json``) holds the findings the repo
+has explicitly accepted, each with a written justification.  The
+analyzer exits non-zero on *drift in either direction*: a finding not
+in the baseline (new violation) or a baseline entry no longer produced
+(stale entry — the code was fixed, so the entry must be deleted).  The
+file is serialised deterministically so the self-check test can assert
+byte-for-byte reproducibility.  Preferred steady state: an **empty**
+baseline, with the rare by-design finding waived inline next to the
+code it describes (``# repro: allow(<rule>) -- <why>``); see
+``docs/development.md#baselines-and-waivers``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The checked-in set of accepted findings, keyed by finding key."""
+
+    entries: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls(entries=dict(data.get("findings", {})))
+
+    def serialize(self) -> str:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(self.serialize(), encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries: dict[str, dict[str, str]] = {}
+        for finding in findings:
+            if finding.waived:
+                continue  # waived inline; the baseline only holds the rest
+            entries[finding.key] = {
+                "message": finding.message,
+                "justification": "",
+            }
+        return cls(entries=entries)
+
+
+@dataclass
+class BaselineDiff:
+    """Findings not in the baseline, and baseline entries not reproduced."""
+
+    new: list[Finding]
+    stale: list[str]
+    missing_justification: list[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale and not self.missing_justification
+
+
+def diff_against_baseline(
+    findings: list[Finding], baseline: Baseline
+) -> BaselineDiff:
+    produced = {f.key for f in findings if not f.waived}
+    new = [f for f in findings if not f.waived and f.key not in baseline.entries]
+    stale = sorted(key for key in baseline.entries if key not in produced)
+    missing = sorted(
+        key
+        for key, entry in baseline.entries.items()
+        if key in produced and not entry.get("justification", "").strip()
+    )
+    return BaselineDiff(new=new, stale=stale, missing_justification=missing)

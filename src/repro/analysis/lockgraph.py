@@ -1,0 +1,377 @@
+"""Static lock-order graph: acquisition extraction, propagation, cycles.
+
+In-process locks are identified at construction (``self._lock =
+threading.RLock()`` — also seen through the runtime recorder's
+``traced(...)`` wrapper) and named ``ClassName.attr``, matching the
+names the runtime lock-order recorder emits, so the trace recorded from
+a real run (``REPRO_LOCK_ORDER=record``) can be checked as a subgraph
+of this static graph.
+
+Edges mean *may hold A while acquiring B*:
+
+* lexically — a ``with self._b:`` nested inside ``with self._a:``, and
+* interprocedurally — a call made while ``A`` is held reaches (through
+  the resolved call graph, to a bounded depth) a function that acquires
+  ``B``.
+
+A cycle in the graph is a potential deadlock (rule
+``lock-order-cycle``); a nested acquisition of the *same*
+non-reentrant ``threading.Lock`` is certain self-deadlock (rule
+``lock-self-deadlock``).  See
+``docs/development.md#the-invariant-catalog``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.core import (
+    AnalysisIndex,
+    CallSite,
+    Finding,
+    FunctionInfo,
+    _attr_chain,
+)
+
+RULE_CYCLE = "lock-order-cycle"
+RULE_SELF_DEADLOCK = "lock-self-deadlock"
+RULE_NAME_MISMATCH = "lock-name-mismatch"
+
+
+@dataclass
+class Acquisition:
+    """One ``with <lock>:`` site inside a function."""
+
+    lock: str  # "ClassName.attr"
+    kind: str  # "Lock" | "RLock" | ...
+    function: FunctionInfo
+    lineno: int
+    #: locks already held lexically at this site (innermost last)
+    held: tuple[str, ...]
+    #: the with-body statements guarded by this acquisition
+    body: list[ast.stmt] = field(default_factory=list)
+
+
+@dataclass
+class LockEdge:
+    """Evidence that ``src`` may be held while acquiring ``dst``."""
+
+    src: str
+    dst: str
+    function: FunctionInfo
+    lineno: int
+    via: str  # "" for lexical nesting, else the call path, e.g. "a -> b"
+
+
+class LockGraph:
+    """The static lock-order graph over ``ClassName.attr`` lock names."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, str] = {}  # lock name -> kind
+        self.edges: dict[tuple[str, str], list[LockEdge]] = {}
+        self.acquisitions: list[Acquisition] = []
+
+    def add_edge(self, edge: LockEdge) -> None:
+        self.edges.setdefault((edge.src, edge.dst), []).append(edge)
+
+    def successors(self, lock: str) -> set[str]:
+        return {dst for (src, dst) in self.edges if src == lock}
+
+    def edge_pairs(self) -> set[tuple[str, str]]:
+        return set(self.edges)
+
+    def cycles(self) -> list[tuple[str, ...]]:
+        """Elementary cycles (as canonically rotated node tuples), found
+        per strongly connected component; self-loops are reported as
+        1-tuples.  The graph is small (tens of locks), so a simple
+        DFS-based enumeration is plenty."""
+        adjacency: dict[str, set[str]] = {}
+        for src, dst in self.edges:
+            adjacency.setdefault(src, set()).add(dst)
+        cycles: set[tuple[str, ...]] = set()
+        for start in sorted(adjacency):
+            stack = [(start, (start,))]
+            while stack:
+                node, path = stack.pop()
+                for succ in sorted(adjacency.get(node, ())):
+                    if succ == start:
+                        cycles.add(_canonical(path))
+                    elif succ not in path and len(path) < 8:
+                        stack.append((succ, path + (succ,)))
+        return sorted(cycles)
+
+
+def _canonical(path: tuple[str, ...]) -> tuple[str, ...]:
+    pivot = path.index(min(path))
+    return path[pivot:] + path[:pivot]
+
+
+def _with_lock_names(
+    stmt: ast.With, function: FunctionInfo, index: AnalysisIndex
+) -> list[tuple[str, str]]:
+    """``(lock_name, kind)`` for each ``with`` item that is a known
+    in-process lock of the enclosing class (``self.attr`` or
+    ``self.attr.attr2`` through attribute-type facts)."""
+    owner = index.class_of(function)
+    results: list[tuple[str, str]] = []
+    for item in stmt.items:
+        expr = item.context_expr
+        if not isinstance(expr, ast.Attribute):
+            continue
+        chain: list[str] = []
+        node: ast.expr = expr
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name) or node.id != "self":
+            continue
+        chain.reverse()  # attrs from self outward
+        holder = owner
+        for attr in chain[:-1]:
+            if holder is None:
+                break
+            type_name = holder.attr_types.get(attr)
+            holder = index.classes.get(type_name) if type_name else None
+        if holder is None:
+            continue
+        kind = holder.lock_attrs.get(chain[-1])
+        if kind is None:
+            continue
+        results.append((f"{holder.name}.{chain[-1]}", kind))
+    return results
+
+
+def _collect_acquisitions(
+    function: FunctionInfo, index: AnalysisIndex
+) -> list[Acquisition]:
+    acquisitions: list[Acquisition] = []
+
+    def walk(stmts: list[ast.stmt], held: tuple[str, ...]) -> None:
+        for stmt in stmts:
+            inner_held = held
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for lock, kind in _with_lock_names(stmt, function, index):
+                    acquisitions.append(
+                        Acquisition(
+                            lock=lock,
+                            kind=kind,
+                            function=function,
+                            lineno=stmt.lineno,
+                            held=inner_held,
+                            body=stmt.body,
+                        )
+                    )
+                    inner_held = inner_held + (lock,)
+            for child_body in _child_bodies(stmt):
+                walk(child_body, inner_held)
+
+    walk(list(function.node.body), ())
+    return acquisitions
+
+
+def _child_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    """Statement bodies nested directly inside ``stmt`` (skipping nested
+    function definitions, which execute later under their own context)."""
+    bodies: list[list[ast.stmt]] = []
+    for field_name in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field_name, None)
+        if isinstance(value, list) and not isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bodies.append(value)
+    if isinstance(stmt, ast.Try):
+        for handler in stmt.handlers:
+            bodies.append(handler.body)
+    return bodies
+
+
+def _calls_in(stmts: list[ast.stmt]) -> list[CallSite]:
+    """Call chains appearing in ``stmts`` (lexically, skipping nested defs)."""
+    sites: list[CallSite] = []
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain:
+                    sites.append(CallSite(chain=chain, lineno=node.lineno, node=node))
+    return sites
+
+
+#: Interprocedural propagation depth bound: deep enough to cross the
+#: facade layers in this codebase (platform -> controller -> store ->
+#: kvstore -> client), shallow enough to stay fast and reviewable.
+MAX_CALL_DEPTH = 6
+
+
+class LockAnalysis:
+    """Lock acquisitions, the derived order graph and its findings."""
+
+    def __init__(self, index: AnalysisIndex):
+        self.index = index
+        self.graph = LockGraph()
+        self._direct: dict[int, list[Acquisition]] = {}
+        self._closure: dict[int, dict[str, tuple[str, ...]]] = {}
+        self._build()
+
+    # -- construction ---------------------------------------------------
+
+    def _build(self) -> None:
+        for cls in self.index.classes.values():
+            for attr, kind in cls.lock_attrs.items():
+                self.graph.nodes[f"{cls.name}.{attr}"] = kind
+        for function in self.index.iter_functions():
+            acquisitions = _collect_acquisitions(function, self.index)
+            self._direct[id(function)] = acquisitions
+            self.graph.acquisitions.extend(acquisitions)
+        self._compute_closure()
+        self._add_edges()
+
+    def _locks_acquired_by(self, function: FunctionInfo) -> dict[str, tuple[str, ...]]:
+        """Locks ``function`` may (transitively) acquire, mapped to an
+        example call path (function qualnames) reaching the acquisition."""
+        cached = self._closure.get(id(function))
+        if cached is not None:
+            return cached
+        self._closure[id(function)] = {}  # cycle guard: in-progress
+        result: dict[str, tuple[str, ...]] = {}
+        for acq in self._direct.get(id(function), ()):
+            result.setdefault(acq.lock, (function.qualname,))
+        for call in function.calls:
+            for callee in self.index.resolve_call(function, call):
+                for lock, path in self._locks_acquired_by(callee).items():
+                    if len(path) >= MAX_CALL_DEPTH:
+                        continue
+                    result.setdefault(lock, (function.qualname,) + path)
+        self._closure[id(function)] = result
+        return result
+
+    def _compute_closure(self) -> None:
+        # Fixpoint: recompute until stable (recursion through cycles may
+        # under-fill on the first pass because of the in-progress guard).
+        for _ in range(3):
+            before = {
+                fid: dict(locks) for fid, locks in self._closure.items()
+            }
+            self._closure.clear()
+            for function in self.index.iter_functions():
+                self._locks_acquired_by(function)
+            if self._closure.keys() == before.keys() and all(
+                self._closure[fid].keys() == before[fid].keys()
+                for fid in self._closure
+            ):
+                break
+
+    def _add_edges(self) -> None:
+        for acq in self.graph.acquisitions:
+            # Lexical nesting edges.
+            for held in acq.held:
+                if held != acq.lock:
+                    self.graph.add_edge(
+                        LockEdge(
+                            src=held,
+                            dst=acq.lock,
+                            function=acq.function,
+                            lineno=acq.lineno,
+                            via="",
+                        )
+                    )
+            # Interprocedural edges: calls made while acq.lock is held.
+            for call in _calls_in(acq.body):
+                for callee in self.index.resolve_call(acq.function, call):
+                    for lock, path in self._locks_acquired_by(callee).items():
+                        if lock == acq.lock:
+                            continue
+                        self.graph.add_edge(
+                            LockEdge(
+                                src=acq.lock,
+                                dst=lock,
+                                function=acq.function,
+                                lineno=call.lineno,
+                                via=" -> ".join(path),
+                            )
+                        )
+
+    # -- findings -------------------------------------------------------
+
+    def findings(self) -> list[Finding]:
+        findings: list[Finding] = []
+        for cycle in self.graph.cycles():
+            edges = self._cycle_evidence(cycle)
+            where = edges[0] if edges else None
+            findings.append(
+                Finding(
+                    rule=RULE_CYCLE,
+                    module=where.function.module.name if where else "repro",
+                    qualname=where.function.qualname if where else "<graph>",
+                    lineno=where.lineno if where else 0,
+                    message=(
+                        "potential deadlock: lock-order cycle "
+                        + " -> ".join(cycle + (cycle[0],))
+                        + "; evidence: "
+                        + "; ".join(
+                            f"{e.src}->{e.dst} at {e.function.full_qualname}:{e.lineno}"
+                            + (f" via {e.via}" if e.via else "")
+                            for e in edges[:4]
+                        )
+                    ),
+                    detail="->".join(cycle),
+                )
+            )
+        for acq in self.graph.acquisitions:
+            if acq.lock in acq.held and self.graph.nodes.get(acq.lock) == "Lock":
+                findings.append(
+                    Finding(
+                        rule=RULE_SELF_DEADLOCK,
+                        module=acq.function.module.name,
+                        qualname=acq.function.qualname,
+                        lineno=acq.lineno,
+                        message=(
+                            f"non-reentrant threading.Lock {acq.lock} acquired "
+                            f"while already held in the same function"
+                        ),
+                        detail=acq.lock,
+                    )
+                )
+        findings.extend(self._traced_name_findings())
+        return findings
+
+    def _traced_name_findings(self) -> list[Finding]:
+        """Every ``traced(<lock>, name)`` literal must equal the
+        ``ClassName.attr`` id the static graph derives, or the runtime
+        trace could never be compared with the static graph."""
+        findings: list[Finding] = []
+        for cls in self.index.classes.values():
+            for attr, literal in cls.traced_names.items():
+                expected = f"{cls.name}.{attr}"
+                if literal != expected:
+                    init = cls.methods.get("__init__")
+                    findings.append(
+                        Finding(
+                            rule=RULE_NAME_MISMATCH,
+                            module=cls.module.name,
+                            qualname=f"{cls.name}.__init__",
+                            lineno=init.node.lineno if init else cls.node.lineno,
+                            message=(
+                                f"traced() name {literal!r} does not match the "
+                                f"static lock id {expected!r}"
+                            ),
+                            detail=expected,
+                        )
+                    )
+        return findings
+
+    def _cycle_evidence(self, cycle: tuple[str, ...]) -> list[LockEdge]:
+        evidence: list[LockEdge] = []
+        for i, src in enumerate(cycle):
+            dst = cycle[(i + 1) % len(cycle)]
+            edges = self.graph.edges.get((src, dst))
+            if edges:
+                evidence.append(edges[0])
+        return evidence
+
+
+def build_lock_graph(index: AnalysisIndex) -> LockGraph:
+    return LockAnalysis(index).graph

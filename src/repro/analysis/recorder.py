@@ -1,0 +1,198 @@
+"""Runtime lock-order recorder (`REPRO_LOCK_ORDER=record`).
+
+The static lock-order graph is an approximation; this recorder is its
+ground truth.  Runtime modules construct their in-process locks through
+:func:`traced`, which is an exact no-op (the lock is returned untouched)
+unless recording is enabled — via the ``REPRO_LOCK_ORDER=record``
+environment variable or programmatically with
+``lock_order_recorder.enable()`` *before* the locks are constructed.
+
+When enabled, each traced lock is wrapped in a proxy that maintains a
+per-thread stack of held lock names and records an ordered edge
+``(held, acquired)`` for every acquisition made while another traced
+lock is held.  The trace is dumped to ``REPRO_LOCK_ORDER_FILE``
+(default ``lock_order_trace.json``) at interpreter exit, and the CI
+``static-analysis`` job replays the fault-matrix smoke under the
+recorder and asserts the trace is a **subgraph** of the static graph
+(``python -m repro.analysis --check-trace``): an edge observed at
+runtime but absent statically means the analyzer's call-graph
+approximation has a hole worth closing.  See
+``docs/development.md#the-runtime-lock-order-recorder``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+ENV_VAR = "REPRO_LOCK_ORDER"
+ENV_FILE = "REPRO_LOCK_ORDER_FILE"
+DEFAULT_TRACE_FILE = "lock_order_trace.json"
+
+
+class LockOrderRecorder:
+    """Collects ordered (held, acquired) edges across all traced locks."""
+
+    def __init__(self) -> None:
+        self._enabled = os.environ.get(ENV_VAR, "") == "record"
+        # The recorder's own mutex is intentionally a plain lock created
+        # directly (never traced): it must not appear in its own trace.
+        self._mutex = threading.Lock()
+        self._held = threading.local()
+        self._edges: dict[tuple[str, str], int] = {}
+        self._acquired: dict[str, int] = {}
+        self._dump_registered = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        """Turn recording on for locks constructed *after* this call."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+            self._acquired.clear()
+
+    # -- recording ------------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def record_acquired(self, name: str) -> None:
+        stack = self._stack()
+        with self._mutex:
+            self._acquired[name] = self._acquired.get(name, 0) + 1
+            for held in stack:
+                if held != name:
+                    edge = (held, name)
+                    self._edges[edge] = self._edges.get(edge, 0) + 1
+        stack.append(name)
+
+    def record_released(self, name: str) -> None:
+        stack = self._stack()
+        # Remove the most recent occurrence; out-of-order releases (rare,
+        # explicit acquire/release pairs) must not corrupt the stack.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                break
+
+    # -- results --------------------------------------------------------
+
+    def edges(self) -> dict[tuple[str, str], int]:
+        with self._mutex:
+            return dict(self._edges)
+
+    def acquired(self) -> dict[str, int]:
+        with self._mutex:
+            return dict(self._acquired)
+
+    def dump(self, path: Path | str | None = None) -> Path:
+        """Write (merging with any existing trace at the target) the
+        recorded edges as JSON; returns the path written."""
+        target = Path(path or os.environ.get(ENV_FILE, DEFAULT_TRACE_FILE))
+        edges = {f"{src} -> {dst}": count for (src, dst), count in self.edges().items()}
+        acquired = self.acquired()
+        if target.exists():
+            try:
+                previous = json.loads(target.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                previous = {}
+            for key, count in previous.get("edges", {}).items():
+                edges[key] = edges.get(key, 0) + int(count)
+            for key, count in previous.get("acquired", {}).items():
+                acquired[key] = acquired.get(key, 0) + int(count)
+        target.write_text(
+            json.dumps(
+                {"edges": dict(sorted(edges.items())),
+                 "acquired": dict(sorted(acquired.items()))},
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    def _register_dump(self) -> None:
+        if not self._dump_registered:
+            self._dump_registered = True
+            atexit.register(self.dump)
+
+
+#: Process-wide singleton used by every traced lock.
+lock_order_recorder = LockOrderRecorder()
+
+
+def load_trace_edges(path: Path | str) -> list[tuple[str, str]]:
+    """Parse a dumped trace file back into (src, dst) edge pairs."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    edges: list[tuple[str, str]] = []
+    for key in data.get("edges", {}):
+        src, _, dst = key.partition(" -> ")
+        edges.append((src.strip(), dst.strip()))
+    return edges
+
+
+class _TracedLock:
+    """Context-manager proxy recording acquisition order for one lock."""
+
+    __slots__ = ("_lock", "_name")
+
+    def __init__(self, lock: Any, name: str):
+        self._lock = lock
+        self._name = name
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        acquired = self._lock.acquire(*args, **kwargs)
+        if acquired:
+            lock_order_recorder.record_acquired(self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        lock_order_recorder.record_released(self._name)
+
+    def __enter__(self) -> "_TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def __getattr__(self, item: str) -> Any:
+        return getattr(self._lock, item)
+
+    def __repr__(self) -> str:
+        return f"<traced {self._name} {self._lock!r}>"
+
+
+def traced(lock: Any, name: str) -> Any:
+    """Wrap ``lock`` for order recording when the recorder is enabled;
+    otherwise return ``lock`` unchanged (zero overhead on the hot path).
+
+    ``name`` must be the ``ClassName.attr`` id the static analyzer
+    derives for the construction site — the analyzer's
+    ``lock-name-mismatch`` rule enforces it.
+    """
+    if not lock_order_recorder.enabled():
+        return lock
+    # Only env-driven recording dumps at exit; programmatic enable()
+    # (test fixtures) reads edges in-process and must not leave files.
+    if os.environ.get(ENV_VAR, "") == "record":
+        lock_order_recorder._register_dump()
+    return _TracedLock(lock, name)

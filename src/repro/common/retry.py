@@ -40,7 +40,6 @@ from repro.common.errors import (
     ShardNotLocalError,
     TransactionAborted,
     TransactionFailed,
-    TxnTimeout,
 )
 
 #: Classification labels returned by :func:`classify`.

@@ -25,6 +25,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.analysis.recorder import traced
 from repro.common.clock import Clock, RealClock
 from repro.common.errors import (
     BadVersionError,
@@ -80,7 +81,7 @@ class CoordinationEnsemble:
         self._sessions: dict[str, Session] = {}
         self._data_watches: dict[str, list[Watcher]] = {}
         self._child_watches: dict[str, list[Watcher]] = {}
-        self._lock = threading.RLock()
+        self._lock = traced(threading.RLock(), "CoordinationEnsemble._lock")
         self._op_count = 0
         self._read_round_trips = 0
         self._write_round_trips = 0

@@ -23,6 +23,7 @@ import threading
 import warnings
 from typing import Any, Callable
 
+from repro.analysis.recorder import traced
 from repro.common.clock import Clock, RealClock, Stopwatch
 from repro.common.errors import ReproError, UnknownPathError
 from repro.common.config import TropicConfig
@@ -160,7 +161,7 @@ class Controller:
         #: the batch flushes (e.g. a kill's ABORTED document clobbered by
         #: the buffered STARTED document); the mutex restores the seed's
         #: sequential ordering.
-        self._op_mutex = threading.RLock()
+        self._op_mutex = traced(threading.RLock(), "Controller._op_mutex")
         self.stats: dict[str, int] = {
             "accepted": 0,
             "committed": 0,
@@ -389,6 +390,7 @@ class Controller:
         if not self.recovered:
             self.recover()
         did_work = False
+        # repro: allow(blocking-under-lock) -- the op mutex IS the step loop's serialisation point: holding it across the batch's coordination ops restores the seed's sequential per-shard ordering that group commit would otherwise race
         with self.busy, self._op_mutex:
             try:
                 taken = self.input_queue.take_many(self.config.input_batch_size)
@@ -1279,6 +1281,7 @@ class Controller:
 
     def send_term(self, txid: str) -> None:
         """Gracefully abort a stalled transaction (worker rolls back undo-wise)."""
+        # repro: allow(blocking-under-lock) -- signal sends must be serialised with the step loop so a TERM never lands between a worker claim and its first write
         with self._op_mutex:
             self.signals.send(txid, TERM)
             if self._signals_present is not None:
@@ -1294,6 +1297,7 @@ class Controller:
         write with a pending group commit could let the buffered STARTED
         document land last.
         """
+        # repro: allow(blocking-under-lock) -- kill + fence + abort must be one atomic unit w.r.t. the step loop; releasing the mutex between them would let a commit interleave with the fence
         with self._op_mutex:
             self.signals.send(txid, KILL)
             if self._signals_present is not None:
@@ -1363,6 +1367,7 @@ class Controller:
         are retained, so the state is captured by the next quiesce-point
         checkpoint.  Serialised with the step loop (callers include the
         reconciler's reload, which runs on other threads)."""
+        # repro: allow(blocking-under-lock) -- a checkpoint must capture a quiescent model; the op mutex is what guarantees no transaction applies mid-snapshot
         with self._op_mutex:
             if self.outstanding:
                 return False

@@ -20,6 +20,7 @@ import threading
 from collections import defaultdict
 from dataclasses import dataclass
 
+from repro.analysis.recorder import traced
 from repro.core.txn import ReadWriteSet
 from repro.datamodel.path import ResourcePath
 
@@ -91,7 +92,7 @@ class LockManager:
         # when hundreds of outstanding transactions hold intention locks on
         # a hot ancestor (e.g. the root).
         self._mode_counts: dict[ResourcePath, dict[LockMode, int]] = defaultdict(dict)
-        self._mutex = threading.RLock()
+        self._mutex = traced(threading.RLock(), "LockManager._mutex")
         self.acquisitions = 0
         self.conflicts_detected = 0
 

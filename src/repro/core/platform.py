@@ -42,6 +42,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.analysis.recorder import traced
 from repro.common.clock import Clock, RealClock
 from repro.common.config import TropicConfig
 from repro.common.errors import (
@@ -220,29 +221,35 @@ class ReadProxy:
     def __init__(self, platform: "TropicPlatform"):
         self._platform = platform
         self._replicas: dict[int, ReadReplica] = {}
-        self._lock = threading.Lock()
+        self._lock = traced(threading.Lock(), "ReadProxy._lock")
 
     def replica(self, shard: int) -> ReadReplica:
         """The (lazily created) read replica tailing ``shard``'s store."""
         with self._lock:
             replica = self._replicas.get(shard)
-            if replica is None:
-                platform = self._platform
-                sharded = platform.config.num_shards > 1
-                store = TropicStore(
-                    KVStore(platform.client, platform._store_prefix(shard)),
-                    shard_id=shard if sharded else None,
-                    num_shards=platform.config.num_shards if sharded else None,
-                )
-                replica = ReadReplica(
-                    store,
-                    platform.schema,
-                    platform.procedures,
-                    shard_id=shard,
-                    counters=platform.resilience,
-                )
-                self._replicas[shard] = replica
+        if replica is not None:
             return replica
+        # Construct outside the lock: KVStore's constructor issues an
+        # ensure_path coordination round-trip, and holding _lock across
+        # it would stall every reader behind one slow quorum.  Losing the
+        # construction race only costs a duplicate (idempotent) probe;
+        # setdefault keeps exactly one replica per shard.
+        platform = self._platform
+        sharded = platform.config.num_shards > 1
+        store = TropicStore(
+            KVStore(platform.client, platform._store_prefix(shard)),
+            shard_id=shard if sharded else None,
+            num_shards=platform.config.num_shards if sharded else None,
+        )
+        fresh = ReadReplica(
+            store,
+            platform.schema,
+            platform.procedures,
+            shard_id=shard,
+            counters=platform.resilience,
+        )
+        with self._lock:
+            return self._replicas.setdefault(shard, fresh)
 
     def replicas(self) -> dict[int, ReadReplica]:
         with self._lock:
@@ -503,11 +510,13 @@ class _ControllerRunner(threading.Thread):
                 # same dead session forever.
                 self._recover_session()
                 last_heartbeat = clock.now()
-            except ReproError:
+            except ReproError as exc:
                 # Other coordination hiccups (lost quorum, leadership
                 # races) are retried on the next loop iteration.
+                self.platform.resilience.record_failure(exc)
                 clock.sleep(config.queue_poll_interval)
-            except Exception:  # noqa: BLE001 - keep the replica alive
+            except Exception as exc:  # noqa: BLE001 - keep the replica alive
+                self.platform.resilience.record_failure(exc)
                 clock.sleep(config.queue_poll_interval)
 
     def _recover_session(self) -> None:
@@ -560,9 +569,11 @@ class _WorkerRunner(threading.Thread):
                 # Workers share the platform client; heal it and retry.
                 self.platform._heal_sessions()
                 clock.sleep(config.queue_poll_interval)
-            except ReproError:
+            except ReproError as exc:
+                self.platform.resilience.record_failure(exc)
                 clock.sleep(config.queue_poll_interval)
-            except Exception:  # noqa: BLE001 - keep the worker alive
+            except Exception as exc:  # noqa: BLE001 - keep the worker alive
+                self.platform.resilience.record_failure(exc)
                 clock.sleep(config.queue_poll_interval)
 
     def stop(self) -> None:
@@ -591,10 +602,10 @@ class _MaintenanceRunner(threading.Thread):
                     self.platform.terminate_stalled(config.txn_timeout)
             except SessionExpiredError:
                 self.platform._heal_sessions()
-            except ReproError:
-                pass
-            except Exception:  # noqa: BLE001
-                pass
+            except ReproError as exc:
+                self.platform.resilience.record_failure(exc)
+            except Exception as exc:  # noqa: BLE001
+                self.platform.resilience.record_failure(exc)
             clock.sleep(max(config.queue_poll_interval, 0.01))
 
     def stop(self) -> None:
@@ -671,11 +682,11 @@ class TropicPlatform:
         self._worker_runners: list[_WorkerRunner] = []
         self._maintenance: _MaintenanceRunner | None = None
         self._started = False
-        self._completion_lock = threading.Lock()
+        self._completion_lock = traced(threading.Lock(), "TropicPlatform._completion_lock")
         #: Fault-tolerance event counters shared with the queues, read
         #: replicas and service runners (see metrics.collectors).
         self.resilience = ResilienceCounters()
-        self._heal_lock = threading.Lock()
+        self._heal_lock = traced(threading.Lock(), "TropicPlatform._heal_lock")
         #: Merged-fleet-view cache, one entry per consistency mode.  Hits
         #: are served as O(1) forks of the cached tree; a stamp mismatch
         #: confined to replica watermark advances is repaired by
@@ -1925,6 +1936,7 @@ class TropicPlatform:
         client = self.client
         if client is None or client.is_live():
             return
+        # repro: allow(blocking-under-lock) -- double-checked heal: every healer must block behind the one in-flight reconnect, or each would bump the session epoch and invalidate the others' work
         with self._heal_lock:
             if not client.is_live():
                 client.reconnect()

@@ -52,9 +52,10 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.analysis.recorder import traced
 from repro.core.persistence import TropicStore
 from repro.core.procedures import ProcedureRegistry
 from repro.core.recovery import replay_committed
@@ -283,7 +284,7 @@ class ReadReplica:
         #: refresh (ensemble watch lists are append-only until they fire).
         self._applied_watch_armed = False
         self._meta_watch_armed = False
-        self._lock = threading.RLock()
+        self._lock = traced(threading.RLock(), "ReadReplica._lock")
         #: Per-subtree delta subscriptions fed by the catch-up path.
         self._subs: list[Subscription] = []
         #: Open cross-shard atomicity barriers, keyed by txid, in opening
@@ -401,6 +402,7 @@ class ReadReplica:
         When the watches are armed and have not fired, this is a free
         no-op — zero coordination operations — unless ``force`` is set.
         """
+        # repro: allow(blocking-under-lock) -- refresh serialises model mutation against snapshot forks; bootstrap/catch-up reads must happen under it or a concurrent snapshot() could fork a half-applied model
         with self._lock:
             if self._model is not None and not force and not self._pending.is_set():
                 self.stats["refreshes_skipped"] += 1
@@ -634,6 +636,7 @@ class ReadReplica:
         ``"already"`` (the model covers it), or ``"unavailable"`` (no
         usable document; the caller must rewind or degrade instead).
         """
+        # repro: allow(blocking-under-lock) -- early-apply reads the txn document and applies it as one unit; dropping the lock between the applied-index read and the apply would tear the read-fence barrier
         with self._lock:
             if txid in self._early_applied or txid in self._recent_txids:
                 return "already"
@@ -743,6 +746,7 @@ class ReadReplica:
         its watermark while costing a pointer swap under the lock — this
         is what makes ``fleet_view`` composition O(changed units) rather
         than O(model)."""
+        # repro: allow(blocking-under-lock) -- the clone and its watermark must be read under the same lock hold as the (possibly refreshing) model, or the pair could disagree
         with self._lock:
             model = self.model()
             return model.clone(), self._applied_txn
@@ -768,6 +772,7 @@ class ReadReplica:
         (rebuilding on ``resync`` events, which replace the deltas a
         quiesce-point checkpoint truncated away).
         """
+        # repro: allow(blocking-under-lock) -- subscription registration must be atomic with the watermark-establishing refresh, or the first deltas could be lost between them
         with self._lock:
             self.refresh()  # establish the start watermark and arm watches
             sub = Subscription(self, path, callback, include_barriers=include_barriers)

@@ -20,6 +20,7 @@ import threading
 from collections import deque
 from typing import Iterator
 
+from repro.analysis.recorder import traced
 from repro.common.errors import ConfigurationError
 from repro.core.txn import Transaction
 
@@ -55,7 +56,7 @@ class TodoQueue:
         # send_kill (and the maintenance daemon) touch the queue from
         # other threads, and _compact rebuilds the deque: all structural
         # access is serialised.
-        self._mutex = threading.RLock()
+        self._mutex = traced(threading.RLock(), "TodoQueue._mutex")
 
     # -- queue operations ----------------------------------------------------
 

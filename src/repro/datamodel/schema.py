@@ -14,7 +14,7 @@ entity in the data model:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.common.errors import ConfigurationError, ConstraintViolation, DataModelError

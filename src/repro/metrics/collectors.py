@@ -6,6 +6,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.common import retry
 from repro.common.clock import Clock, RealClock
 from repro.datamodel.tree import DataModel
 
@@ -159,6 +160,25 @@ class ResilienceCounters:
     #: Fleet views served from a replica (or partial) fallback because a
     #: shard leader was unreachable.
     degraded_reads: int = 0
+    #: Errors absorbed by supervisor loops (service threads that must
+    #: stay alive), bucketed by the retry taxonomy: the loop survives the
+    #: error, but the taxonomy is *recorded*, never silently dropped.
+    transient_absorbed: int = 0
+    ambiguous_absorbed: int = 0
+    permanent_absorbed: int = 0
+
+    def record_failure(self, error: BaseException) -> str:
+        """Classify and count an error absorbed by a keep-alive loop;
+        returns the taxonomy class (``transient``/``ambiguous``/
+        ``permanent``)."""
+        kind = retry.classify(error)
+        if kind == retry.TRANSIENT:
+            self.transient_absorbed += 1
+        elif kind == retry.AMBIGUOUS:
+            self.ambiguous_absorbed += 1
+        else:
+            self.permanent_absorbed += 1
+        return kind
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -167,6 +187,9 @@ class ResilienceCounters:
             "session_expiries": self.session_expiries,
             "watch_rearms": self.watch_rearms,
             "degraded_reads": self.degraded_reads,
+            "transient_absorbed": self.transient_absorbed,
+            "ambiguous_absorbed": self.ambiguous_absorbed,
+            "permanent_absorbed": self.permanent_absorbed,
         }
 
     def merge(self, other: "ResilienceCounters") -> "ResilienceCounters":
@@ -176,6 +199,9 @@ class ResilienceCounters:
             session_expiries=self.session_expiries + other.session_expiries,
             watch_rearms=self.watch_rearms + other.watch_rearms,
             degraded_reads=self.degraded_reads + other.degraded_reads,
+            transient_absorbed=self.transient_absorbed + other.transient_absorbed,
+            ambiguous_absorbed=self.ambiguous_absorbed + other.ambiguous_absorbed,
+            permanent_absorbed=self.permanent_absorbed + other.permanent_absorbed,
         )
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.txn import TransactionState
 from repro.tcloud.entities import build_schema
 from repro.tcloud.service import build_tcloud
 from repro.workloads.hosting import HostingTraceParams, hosting_trace

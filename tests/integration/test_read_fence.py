@@ -18,7 +18,6 @@ reproduces the historical tear as a regression sentinel.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.common.config import TropicConfig
 from repro.coordination.ensemble import CoordinationEnsemble

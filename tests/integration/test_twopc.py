@@ -23,7 +23,6 @@ from repro.core.txn import TransactionState
 from repro.testing import (
     ALL_FAILURE_POINTS,
     PRE_DISPATCH,
-    TWOPC_FAILURE_POINTS,
     FaultInjector,
     ShardedCluster,
 )

@@ -1,0 +1,166 @@
+"""Baseline mechanics, waiver enforcement, and the repo-tree self-check:
+the checked-in tree must be clean, its baseline byte-for-byte
+reproducible, its lock graph acyclic, and every rule documented."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import rules
+from repro.analysis.baseline import Baseline, diff_against_baseline
+from repro.analysis.checkers import RULE_WAIVER, run_checkers
+from repro.analysis.core import Finding, Waiver, index_from_sources, load_index
+from repro.analysis.lockgraph import build_lock_graph
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "analysis" / "baseline.json"
+
+
+def finding(rule="blocking-under-lock", module="repro.fix.m", qual="C.f", detail="C._l"):
+    return Finding(
+        rule=rule, module=module, qualname=qual, lineno=10,
+        message="fixture finding", detail=detail,
+    )
+
+
+class TestBaselineMechanics:
+    def test_keys_are_stable_across_line_moves(self):
+        a = finding()
+        b = finding()
+        b.lineno = 99
+        assert a.key == b.key
+
+    def test_new_finding_is_drift(self):
+        diff = diff_against_baseline([finding()], Baseline())
+        assert not diff.clean
+        assert [f.key for f in diff.new] == [finding().key]
+
+    def test_stale_entry_is_drift(self):
+        baseline = Baseline(entries={"gone::m::q::d": {"justification": "old"}})
+        diff = diff_against_baseline([], baseline)
+        assert not diff.clean
+        assert diff.stale == ["gone::m::q::d"]
+
+    def test_baselined_finding_with_justification_is_clean(self):
+        f = finding()
+        baseline = Baseline(entries={f.key: {"justification": "known, tracked"}})
+        assert diff_against_baseline([f], baseline).clean
+
+    def test_baselined_finding_without_justification_is_drift(self):
+        f = finding()
+        baseline = Baseline(entries={f.key: {"justification": ""}})
+        diff = diff_against_baseline([f], baseline)
+        assert diff.missing_justification == [f.key]
+
+    def test_waived_findings_never_enter_the_baseline(self):
+        f = finding()
+        f.waiver = Waiver(rules=(f.rule,), justification="x", lineno=1)
+        baseline = Baseline.from_findings([f])
+        assert baseline.entries == {}
+
+    def test_serialization_round_trips(self, tmp_path):
+        baseline = Baseline(entries={"k::m::q::d": {"justification": "why"}})
+        path = tmp_path / "b.json"
+        baseline.save(path)
+        assert Baseline.load(path).entries == baseline.entries
+        assert baseline.serialize() == path.read_text(encoding="utf-8")
+
+
+WAIVER_NO_WHY = '''
+import threading
+
+class Proxy:
+    def __init__(self, client):
+        self.client = client
+        self._lock = threading.Lock()
+
+    def fetch(self):
+        with self._lock:  # repro: allow(blocking-under-lock)
+            return self.client.get_data("/a")
+'''
+
+
+class TestWaiverEnforcement:
+    def test_waiver_without_justification_is_itself_a_finding(self):
+        findings = run_checkers(
+            index_from_sources({"repro.fix.w": WAIVER_NO_WHY}), only=["blocking"]
+        )
+        rules_seen = sorted(f.rule for f in findings)
+        assert rules_seen == ["blocking-under-lock", RULE_WAIVER]
+        waived = [f for f in findings if f.rule == "blocking-under-lock"]
+        assert waived[0].waived  # suppressed ...
+        nojust = [f for f in findings if f.rule == RULE_WAIVER]
+        assert not nojust[0].waived  # ... but the missing justification is not
+
+
+@pytest.fixture(scope="module")
+def repo_index():
+    return load_index(REPO_ROOT / "src" / "repro")
+
+
+class TestRepoTreeSelfCheck:
+    def test_repo_is_clean_against_checked_in_baseline(self, repo_index):
+        findings = run_checkers(repo_index)
+        diff = diff_against_baseline(findings, Baseline.load(BASELINE_PATH))
+        assert diff.clean, (
+            "analysis drift:"
+            + "".join(f"\n  NEW {f.key}" for f in diff.new)
+            + "".join(f"\n  STALE {key}" for key in diff.stale)
+            + "".join(f"\n  NOJUST {key}" for key in diff.missing_justification)
+        )
+
+    def test_every_waiver_carries_a_justification(self, repo_index):
+        findings = run_checkers(repo_index)
+        for f in findings:
+            if f.waived:
+                assert f.waiver.justification.strip(), (
+                    f"waiver without justification at {f.location()}"
+                )
+
+    def test_checked_in_baseline_is_byte_for_byte_regenerable(self, repo_index):
+        findings = run_checkers(repo_index)
+        regenerated = Baseline.from_findings(findings)
+        # Carry over checked-in justifications for keys that still exist,
+        # exactly like --write-baseline followed by a human edit.
+        checked_in = Baseline.load(BASELINE_PATH)
+        for key, entry in checked_in.entries.items():
+            if key in regenerated.entries:
+                regenerated.entries[key] = entry
+        assert regenerated.serialize() == BASELINE_PATH.read_text(encoding="utf-8")
+
+    def test_static_lock_graph_has_no_unwaived_cycles(self, repo_index):
+        graph = build_lock_graph(repo_index)
+        assert graph.cycles() == [], f"lock-order cycles: {graph.cycles()}"
+
+    def test_baseline_json_is_sorted_and_versioned(self):
+        data = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        assert data["version"] == 1
+        keys = list(data["findings"])
+        assert keys == sorted(keys)
+
+
+class TestRuleCatalog:
+    def test_every_rule_id_is_documented(self):
+        catalog = (REPO_ROOT / "docs" / "development.md").read_text(encoding="utf-8")
+        for rule_id in rules.ALL_RULES:
+            assert f"`{rule_id}`" in catalog, (
+                f"rule {rule_id} missing from docs/development.md"
+            )
+
+    def test_checker_rule_constants_are_all_registered(self):
+        from repro.analysis import checkers, lockgraph
+
+        emitted = {
+            checkers.RULE_BLOCKING,
+            checkers.RULE_COW,
+            checkers.RULE_KV,
+            checkers.RULE_STATE_ASSIGN,
+            checkers.RULE_STATE_EDGE,
+            checkers.RULE_SWALLOW,
+            checkers.RULE_WAIVER,
+            lockgraph.RULE_CYCLE,
+            lockgraph.RULE_SELF_DEADLOCK,
+            lockgraph.RULE_NAME_MISMATCH,
+        }
+        assert emitted == set(rules.ALL_RULES)

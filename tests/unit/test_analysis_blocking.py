@@ -1,0 +1,158 @@
+"""Unit tests for the blocking-under-lock checker (repro.analysis.checkers)."""
+
+from repro.analysis.checkers import RULE_BLOCKING, check_blocking_under_lock
+from repro.analysis.core import index_from_sources as make_index
+
+RPC_UNDER_LOCK = '''
+import threading
+
+class Proxy:
+    def __init__(self, client):
+        self.client = client
+        self._lock = threading.Lock()
+
+    def fetch(self):
+        with self._lock:
+            return self.client.get_data("/a")
+'''
+
+RPC_OUTSIDE_LOCK = '''
+import threading
+
+class Proxy:
+    def __init__(self, client):
+        self.client = client
+        self._lock = threading.Lock()
+
+    def fetch(self):
+        with self._lock:
+            cached = dict(self._cache)
+        return self.client.get_data("/a")
+'''
+
+SLEEP_UNDER_LOCK = '''
+import threading
+import time
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def nap(self):
+        with self._lock:
+            time.sleep(1)
+'''
+
+CONDITION_WAIT = '''
+import threading
+
+class Box:
+    def __init__(self):
+        self._cond = threading.Condition()
+
+    def park(self):
+        with self._cond:
+            self._cond.wait(1.0)
+'''
+
+TRANSITIVE_RPC = '''
+import threading
+
+class Store:
+    def __init__(self, client):
+        self.kv = client
+
+    def persist(self, doc):
+        self.kv.put("/doc", doc)
+
+class Holder:
+    def __init__(self, store: Store):
+        self.backing = store
+        self._lock = threading.RLock()
+
+    def save(self, doc):
+        with self._lock:
+            self.backing.persist(doc)
+'''
+
+COORDINATION_INTERNAL = '''
+import threading
+
+class CoordinationEnsemble:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def up_servers(self):
+        return 3
+
+    def get_data(self, path):
+        with self._lock:
+            return self.up_servers()
+'''
+
+WAIVED = '''
+import threading
+
+class Proxy:
+    def __init__(self, client):
+        self.client = client
+        self._lock = threading.Lock()
+
+    def fetch(self):
+        # repro: allow(blocking-under-lock) -- single-caller path, hold is intentional
+        with self._lock:
+            return self.client.get_data("/a")
+'''
+
+
+def blocking(source: str):
+    return check_blocking_under_lock(make_index({"repro.fix.blocking": source}))
+
+
+class TestBlockingUnderLock:
+    def test_rpc_under_lock_is_flagged(self):
+        findings = blocking(RPC_UNDER_LOCK)
+        assert [f.rule for f in findings] == [RULE_BLOCKING]
+        assert findings[0].detail == "Proxy._lock"
+        assert "get_data" in findings[0].message
+
+    def test_rpc_after_lock_release_is_silent(self):
+        assert blocking(RPC_OUTSIDE_LOCK) == []
+
+    def test_sleep_under_lock_is_flagged(self):
+        findings = blocking(SLEEP_UNDER_LOCK)
+        assert len(findings) == 1
+        assert "blocking wait" in findings[0].message
+
+    def test_condition_wait_on_held_condition_is_canonical(self):
+        # cond.wait() releases the condition's lock while blocked.
+        assert blocking(CONDITION_WAIT) == []
+
+    def test_transitive_rpc_through_typed_call_graph(self):
+        findings = blocking(TRANSITIVE_RPC)
+        assert len(findings) == 1
+        assert findings[0].qualname == "Holder.save"
+        assert "persist" in findings[0].message
+
+    def test_coordination_class_internal_serialisation_is_exempt(self):
+        assert blocking(COORDINATION_INTERNAL) == []
+
+    def test_one_aggregated_finding_per_acquisition(self):
+        # Both the RPC and a sleep under one hold collapse into a single
+        # finding keyed by the lock, so one waiver can cover the site.
+        combined = RPC_UNDER_LOCK.replace(
+            'return self.client.get_data("/a")',
+            'self.client.get_data("/a")\n            time.sleep(1)',
+        )
+        findings = blocking(combined)
+        assert len(findings) == 1
+        assert "; " in findings[0].message
+
+    def test_inline_waiver_attaches_via_run_checkers(self):
+        from repro.analysis.checkers import run_checkers
+
+        index = make_index({"repro.fix.blocking": WAIVED})
+        findings = run_checkers(index, only=["blocking"])
+        assert len(findings) == 1
+        assert findings[0].waived
+        assert "intentional" in findings[0].waiver.justification

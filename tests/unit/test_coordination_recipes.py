@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import NoNodeError, SessionExpiredError
+from repro.common.errors import SessionExpiredError
 from repro.coordination.client import CoordinationClient
 from repro.coordination.election import LeaderElection
 from repro.coordination.ensemble import CoordinationEnsemble

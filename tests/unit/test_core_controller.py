@@ -1,6 +1,5 @@
 """Unit tests for the controller's logical-layer processing (Figure 2)."""
 
-import pytest
 
 from repro.common.config import TropicConfig
 from repro.coordination.client import CoordinationClient

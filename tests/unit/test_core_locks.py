@@ -1,6 +1,5 @@
 """Unit tests for the multi-granularity lock manager (§3.1.3)."""
 
-import pytest
 
 from repro.core.locks import COMPATIBLE, LockManager, LockMode, compatible
 from repro.core.txn import ReadWriteSet

@@ -13,7 +13,6 @@ from repro.core.physical import PhysicalExecutor
 from repro.core.signals import SignalBoard, TERM
 from repro.core.simulation import LogicalExecutor
 from repro.core.worker import Worker
-from repro.core.txn import Transaction
 
 
 @pytest.fixture

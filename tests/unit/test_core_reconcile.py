@@ -1,13 +1,8 @@
 """Unit tests for reload/repair reconciliation (§4)."""
 
-import pytest
-
 from repro.core.events import result_message
 from repro.core.reconcile import Reconciler
 from repro.core.txn import TransactionState
-from repro.drivers.compute import ComputeHostDevice
-from repro.drivers.registry import DeviceRegistry
-from repro.drivers.storage import StorageHostDevice
 from repro.tcloud.inventory import build_inventory
 
 from tests.unit.test_core_controller import make_controller, submit_spawn

@@ -1,19 +1,15 @@
 """Unit tests for leader-failover state recovery (§2.3)."""
 
-import pytest
-
 from repro.common.config import TropicConfig
 from repro.coordination.client import CoordinationClient
 from repro.coordination.ensemble import CoordinationEnsemble
 from repro.coordination.kvstore import KVStore
-from repro.core.events import request_message, result_message
+from repro.core.events import result_message
 from repro.core.controller import Controller
 from repro.core.persistence import TropicStore
 from repro.core.recovery import recover_state
-from repro.core.txn import Transaction, TransactionState
-from repro.coordination.queue import DistributedQueue
+from repro.core.txn import TransactionState
 from repro.tcloud.entities import build_schema
-from repro.tcloud.inventory import build_inventory
 from repro.tcloud.procedures import build_procedures
 
 from tests.unit.test_core_controller import make_controller, submit_spawn

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import DeviceError, DeviceTimeout
-from repro.drivers.base import Device, action_to_method
+from repro.drivers.base import action_to_method
 from repro.drivers.compute import ComputeHostDevice
 from repro.drivers.faults import FaultInjector, FaultRule
 from repro.drivers.network import RouterDevice

@@ -9,7 +9,6 @@ retryable gateway responses.
 
 import pytest
 
-from repro.common.config import TropicConfig
 from repro.common.errors import ConfigurationError, SessionExpiredError, TxnTimeout
 from repro.coordination.client import CoordinationClient
 from repro.coordination.ensemble import CoordinationEnsemble

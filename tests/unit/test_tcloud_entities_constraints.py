@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.errors import DataModelError
-from repro.datamodel.tree import DataModel
 from repro.tcloud.constraints import (
     storage_capacity_constraint,
     vlan_range_constraint,
