@@ -180,16 +180,24 @@ def run_cross_shard_mix(
     checkpoint_every: int,
     num_shards: int,
     mix: float,
+    submit_shard: int | None = None,
 ) -> dict:
     """Throughput of a workload where a fraction ``mix`` of the spawns
     span two shards (VM on one shard, disk image on another) under
     ``cross_shard_policy='2pc'``.
 
-    Unlike the share-nothing sharded measurement, this runs one deployment
-    hosting *all* shards (cross-shard transactions need every participant
-    reachable), so the number reflects the cost of the 2PC protocol —
-    prepare/vote/decision round-trips plus the fleet prepare ticket that
-    serialises cross-shard prepares — not scale-out capacity.
+    Runs one deployment hosting *all* shards (cross-shard transactions
+    need every participant reachable), so the number reflects the cost
+    of the 2PC protocol — prepare/vote/decision round-trips plus
+    wound-wait contention where read/write sets actually collide; since
+    PR 9 there is no fleet-wide prepare admission, so disjoint
+    cross-shard prepares run concurrently.
+
+    ``submit_shard`` restricts submissions to VM hosts owned by that
+    shard (the cross fraction still pairs them with a foreign storage
+    host).  The shard-scaling sweep uses this to measure each shard's
+    submission stream as its own deployment and sum the rates, exactly
+    like the share-nothing sharded measurement.
     """
     config = TropicConfig(
         logical_only=True,
@@ -209,11 +217,24 @@ def run_cross_shard_mix(
         storage_by_shard: dict[int, list[str]] = {}
         for host in cloud.inventory.storage_hosts:
             storage_by_shard.setdefault(router.shard_of(host), []).append(host)
+        if submit_shard is None:
+            host_indices = list(range(num_hosts))
+        else:
+            host_indices = [
+                index
+                for index in range(num_hosts)
+                if router.shard_of(cloud.inventory.vm_hosts[index]) == submit_shard
+            ]
+            if not host_indices:
+                raise SystemExit(
+                    f"shard {submit_shard} owns no compute hosts at "
+                    f"{num_hosts} hosts / {num_shards} shards"
+                )
         cross_every = max(int(round(1.0 / mix)), 1) if mix > 0 else 0
         requests = []
         cross_submitted = 0
         for index in range(txn_batch):
-            host_index = index % num_hosts
+            host_index = host_indices[index % len(host_indices)]
             vm_host = cloud.inventory.vm_hosts[host_index]
             storage_host = cloud.inventory.storage_host_for(host_index)
             if cross_every and index % cross_every == 0:
@@ -247,7 +268,7 @@ def run_cross_shard_mix(
         cross_committed = sum(
             txn.state.value == "committed" for txn in cross_results
         )
-        return {
+        result = {
             "shards": num_shards,
             "hosts": num_hosts,
             "txns": txn_batch,
@@ -265,11 +286,90 @@ def run_cross_shard_mix(
                 "One deployment hosting all shards; a fraction of spawns "
                 "pairs a VM host with a storage host owned by another "
                 "shard, exercising 2PC end to end (prepare records, "
-                "decision log, participant application).  Cross-shard "
-                "prepares are serialised fleet-wide by the 2PC ticket, so "
-                "the mix fraction directly prices the protocol."
+                "decision log, participant application).  Wound-wait "
+                "(PR 9) admits concurrent cross-shard prepares, so the "
+                "mix fraction prices the protocol round-trips plus only "
+                "the contention the read/write sets actually have."
             ),
         }
+        if submit_shard is not None:
+            result["submit_shard"] = submit_shard
+            result["owned_hosts"] = len(host_indices)
+        return result
+
+
+def run_cross_shard_sweep(
+    num_hosts: int,
+    txn_batch: int,
+    checkpoint_every: int,
+    shard_counts: list[int],
+    mix: float,
+) -> dict:
+    """Cross-shard throughput vs shard count at a fixed mix (PR 9).
+
+    For each shard count, the mixed workload is partitioned by
+    submitting shard; each partition runs against its own all-shards
+    deployment and the aggregate is the sum of per-partition rates —
+    the capacity of one submission stream per core/machine, exactly the
+    aggregation the share-nothing sharded measurement uses.  The old
+    fleet-wide prepare ticket serialised every cross-shard prepare
+    through one znode, so cross-shard capacity was flat in the shard
+    count; wound-wait only serialises transactions whose read/write
+    sets actually conflict, letting the aggregate scale.
+    """
+    sweep = []
+    for num_shards in shard_counts:
+        base = txn_batch // num_shards
+        remainder = txn_batch % num_shards
+        per_shard = []
+        for shard in range(num_shards):
+            shard_txns = base + (1 if shard < remainder else 0)
+            per_shard.append(
+                run_cross_shard_mix(
+                    num_hosts,
+                    shard_txns,
+                    checkpoint_every,
+                    num_shards,
+                    mix,
+                    submit_shard=shard,
+                )
+            )
+        committed = sum(r["committed"] for r in per_shard)
+        sweep.append(
+            {
+                "shards": num_shards,
+                "txns": txn_batch,
+                "committed": committed,
+                "cross_shard_submitted": sum(
+                    r["cross_shard_submitted"] for r in per_shard
+                ),
+                "cross_shard_committed": sum(
+                    r["cross_shard_committed"] for r in per_shard
+                ),
+                "per_shard_throughput_txn_s": [
+                    r["throughput_txn_s"] for r in per_shard
+                ],
+                "aggregate_throughput_txn_s": round(
+                    sum(r["throughput_txn_s"] for r in per_shard), 2
+                ),
+                "per_shard": per_shard,
+            }
+        )
+    return {
+        "cross_shard_mix": mix,
+        "hosts": num_hosts,
+        "checkpoint_every": checkpoint_every,
+        "sweep": sweep,
+        "method": (
+            "Per shard count, the mixed workload is partitioned by "
+            "submitting shard; each partition is measured against its own "
+            "deployment hosting all shards (2PC needs every participant "
+            "reachable) and the aggregate is the sum of per-partition "
+            "rates — one submission stream per core/machine.  Valid only "
+            "without fleet-wide prepare admission: wound-wait serialises "
+            "nothing across disjoint read/write sets."
+        ),
+    }
 
 
 def run_sharded(num_hosts: int, txn_batch: int, checkpoint_every: int, num_shards: int) -> dict:
@@ -324,6 +424,12 @@ def main() -> None:
                         help="measure a single deployment hosting --shards "
                              "shards where this fraction of the spawns spans "
                              "two shards under cross_shard_policy='2pc'")
+    parser.add_argument("--shard-sweep", type=str, default=None,
+                        help="with --cross-shard-mix: comma-separated shard "
+                             "counts (e.g. '2,4'); measures the mixed "
+                             "workload partitioned by submitting shard at "
+                             "each count and reports per-count aggregate "
+                             "throughput (the PR 9 scaling evidence)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="run the workload N times and report the run with "
                              "the median throughput (wall-clock noise on shared "
@@ -331,6 +437,24 @@ def main() -> None:
     parser.add_argument("--json", type=str, default=None, help="write result JSON to this path")
     args = parser.parse_args()
 
+    if args.cross_shard_mix is not None and args.shard_sweep:
+        counts = sorted({int(c) for c in args.shard_sweep.split(",") if c.strip()})
+        runs = [run_cross_shard_sweep(args.hosts, args.txns, args.checkpoint_every,
+                                      counts, args.cross_shard_mix)
+                for _ in range(max(args.repeat, 1))]
+        # Median by the largest shard count's aggregate (the gated number).
+        runs.sort(key=lambda r: r["sweep"][-1]["aggregate_throughput_txn_s"])
+        result = dict(runs[len(runs) // 2])
+        if len(runs) > 1:
+            result["aggregate_runs"] = [
+                [entry["aggregate_throughput_txn_s"] for entry in r["sweep"]]
+                for r in runs
+            ]
+        print(json.dumps(result, indent=2, sort_keys=True))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(result, fh, indent=2, sort_keys=True)
+        return
     if args.cross_shard_mix is not None:
         shards = max(args.shards, 2)
         runs = [run_cross_shard_mix(args.hosts, args.txns, args.checkpoint_every,

@@ -56,8 +56,17 @@ def main() -> None:
     parser.add_argument("--pr6", default=None,
                         help="BENCH_pr6.json for the fault-tolerance-era "
                              "single-shard reference (PR 7 gate)")
+    parser.add_argument("--pr8", default=None,
+                        help="write-path reference for the PR 9 gate.  PR 8 "
+                             "(the static invariant analyzer) shipped no "
+                             "benchmark, so pass BENCH_pr7.json — the last "
+                             "measured write path before PR 9")
     parser.add_argument("--cross-shard", default=None,
                         help="cross-shard 2PC mix measure_writepath JSON (PR 3)")
+    parser.add_argument("--cross-shard-sweep", default=None,
+                        help="cross-shard shard-scaling sweep JSON "
+                             "(measure_writepath --cross-shard-mix "
+                             "--shard-sweep; PR 9)")
     parser.add_argument("--replica", default=None,
                         help="measure_replica JSON (PR 4: staleness, catch-up, "
                              "read throughput, partial-hosting fleet view)")
@@ -87,7 +96,17 @@ def main() -> None:
         ),
     }
 
-    if args.pr >= 7:
+    if args.pr >= 9:
+        subsystem = (
+            "concurrent cross-shard 2PC: the fleet-wide prepare ticket is "
+            "replaced by wound-wait on txid order (disjoint cross-shard "
+            "prepares run in parallel; an older blocked transaction wounds "
+            "a younger PREPARING holder through the presumed-abort path, "
+            "younger waits on older), proven by a deterministic "
+            "interleaving + hypothesis property harness and new wound "
+            "crash points in the fault matrix"
+        )
+    elif args.pr >= 7:
         subsystem = (
             "cross-shard-atomic replica reads: decision-log-aware read "
             "fence (advance past durable 2PC decisions or atomically "
@@ -223,12 +242,42 @@ def main() -> None:
         ratios["single_shard_vs_pr6"] = round(
             large["throughput_txn_s"] / pr6_tput, 2
         )
+    if args.pr8:
+        pr8 = _load(args.pr8)
+        pr8_tput = pr8["large_fleet"]["throughput_txn_s"]
+        result["pr8_reference"] = {
+            "throughput_txn_s": pr8_tput,
+            "writes_per_commit": pr8["large_fleet"]["writes_per_commit"],
+            "source": args.pr8,
+        }
+        # The PR 9 gate: wound-wait replaces a coordination znode pair
+        # with local txid comparisons, so the single-shard write path
+        # (which never touched the ticket) must stay within 0.9x of the
+        # last measured write path (BENCH_pr7.json; PR 8 was analysis-only).
+        ratios["single_shard_vs_pr8"] = round(
+            large["throughput_txn_s"] / pr8_tput, 2
+        )
     if args.cross_shard:
         cross = _load(args.cross_shard)
         result["cross_shard_mix"] = cross
         ratios["cross_shard_mix_vs_single_shard"] = round(
             cross["throughput_txn_s"] / large["throughput_txn_s"], 2
         )
+    if args.cross_shard_sweep:
+        sweep_doc = _load(args.cross_shard_sweep)
+        result["cross_shard_sweep"] = sweep_doc
+        entries = sorted(sweep_doc["sweep"], key=lambda e: e["shards"])
+        for previous, current in zip(entries, entries[1:]):
+            # The PR 9 scaling gate: cross-shard aggregate throughput at a
+            # fixed mix must strictly increase with the shard count (the
+            # fleet-wide ticket made it flat).
+            ratios[
+                f"cross_shard_agg_{current['shards']}_vs_{previous['shards']}"
+            ] = round(
+                current["aggregate_throughput_txn_s"]
+                / max(previous["aggregate_throughput_txn_s"], 1e-9),
+                2,
+            )
     if args.replica:
         replica = _load(args.replica)
         result["replica"] = replica

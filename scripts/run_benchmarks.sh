@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Run the PR 7 write-path + sharding + cross-shard + read-path benchmark
-# suite and write BENCH_pr7.json.
+# Run the PR 9 write-path + sharding + cross-shard + read-path benchmark
+# suite and write BENCH_pr9.json.
 #
 # Covers:
 #   * bench_writepath.py        — micro-benchmarks (group commit, delta docs,
@@ -11,9 +11,13 @@
 #   * bench_sec62_safety_overhead — logical-layer constraint-checking cost
 #   * scripts/measure_writepath — LARGE-fleet end-to-end measurement at 1, 2
 #                                 and 4 controller shards (per-shard and
-#                                 aggregate txn/s), plus the cross-shard mix
+#                                 aggregate txn/s), the cross-shard mix
 #                                 (a fraction of spawns spans two shards
-#                                 under cross_shard_policy='2pc')
+#                                 under cross_shard_policy='2pc'), and the
+#                                 PR 9 cross-shard shard-scaling sweep at a
+#                                 fixed 10% mix (wound-wait replaced the
+#                                 fleet prepare ticket, so the aggregate
+#                                 must scale with the shard count)
 #   * scripts/measure_replica   — replica staleness, catch-up rate, read
 #                                 throughput, the partial-hosting fleet view,
 #                                 snapshot O(1) scaling, subscribe latency
@@ -22,20 +26,21 @@
 #                                 docs/operations.md)
 #
 # The results are merged with benchmarks/BASELINE_seed.json (seed commit)
-# and BENCH_pr1..6.json so the JSON carries the speedup and scaling
-# ratios — including the PR 7 acceptance gates (single-shard write
-# throughput >= 0.9x of BENCH_pr6.json: the read fence and stitched
-# streams are read-side only; fenced replica fleet views >= 0.5x the
-# unfenced rate under a sustained cross-shard commit mix), plus the
-# still-enforced PR 5 read-path gates (fleet views >= 20x PR 4, O(1)
-# snapshot cost).
+# and BENCH_pr1..7.json so the JSON carries the speedup and scaling
+# ratios — including the PR 9 acceptance gates (single-shard write
+# throughput >= 0.9x of the PR 8 write-path reference, which is
+# BENCH_pr7.json because PR 8 was analysis-only; cross-shard aggregate
+# throughput at a fixed 10% mix strictly increasing from 2 to 4 shards
+# — the fleet ticket made it flat), plus the still-enforced PR 5/PR 7
+# read-path gates (fleet views >= 20x PR 4, O(1) snapshot cost, fenced
+# views >= 0.5x unfenced).
 #
-# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr7.json)
+# Usage: scripts/run_benchmarks.sh [output.json]   (default: BENCH_pr9.json)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_pr7.json}"
+OUT="${1:-BENCH_pr9.json}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -83,6 +88,16 @@ python scripts/measure_writepath.py \
     --repeat "${TROPIC_BENCH_REPEAT:-5}" \
     --json "$WORK/cross_shard.json"
 
+echo "== cross-shard shard-scaling sweep (PR 9) =="
+python scripts/measure_writepath.py \
+    --hosts "${TROPIC_BENCH_SCALE_LARGE:-800}" \
+    --txns "${TROPIC_BENCH_LARGE_TXNS:-600}" \
+    --checkpoint-every 100000 \
+    --cross-shard-mix "${TROPIC_BENCH_CROSS_MIX:-0.1}" \
+    --shard-sweep "${TROPIC_BENCH_SWEEP_SHARDS:-2,4}" \
+    --repeat "${TROPIC_BENCH_REPEAT:-5}" \
+    --json "$WORK/cross_sweep.json"
+
 echo "== pytest benchmarks (sec 6.1 scalability, sec 6.2 safety overhead) =="
 TROPIC_BENCH_JSON_OUT="$WORK/fragments.jsonl" \
     python -m pytest benchmarks/bench_sec61_scalability.py \
@@ -101,13 +116,16 @@ python scripts/merge_bench.py \
     --pr4 BENCH_pr4.json \
     --pr5 BENCH_pr5.json \
     --pr6 BENCH_pr6.json \
+    --pr8 BENCH_pr7.json \
     --cross-shard "$WORK/cross_shard.json" \
+    --cross-shard-sweep "$WORK/cross_sweep.json" \
     --replica "$WORK/replica.json" \
-    --min-ratio single_shard_vs_pr6=0.9 \
+    --min-ratio single_shard_vs_pr8=0.9 \
+    --min-ratio cross_shard_agg_4_vs_2=1.01 \
     --min-ratio fleet_view_vs_pr4=20 \
     --min-ratio snapshot_size_independence=0.2 \
     --min-ratio fenced_fleet_view_vs_unfenced=0.5 \
-    --pr 7 \
+    --pr 9 \
     "${SHARDED_ARGS[@]}" \
     --out "$OUT"
 

@@ -56,8 +56,10 @@ class TropicConfig:
         Deadline in seconds for the prepare phase of a cross-shard
         two-phase commit.  A coordinator still ``PREPARING`` past the
         deadline (e.g. a participant shard is down and not failing over)
-        presumed-aborts the transaction and releases the fleet prepare
-        ticket.  ``0`` (default) disables the deadline: a stuck prepare is
+        presumed-aborts the transaction and releases its prepare-phase
+        locks, unblocking the transactions contending with it (wound-wait
+        handles live contention; the deadline handles a dead participant).
+        ``0`` (default) disables the deadline: a stuck prepare is
         then resolved only by the participant shard's failover.
     cross_shard_policy:
         What to do with a transaction whose paths span several shards:

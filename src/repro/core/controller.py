@@ -27,6 +27,7 @@ from repro.analysis.recorder import traced
 from repro.common.clock import Clock, RealClock, Stopwatch
 from repro.common.errors import ReproError, UnknownPathError
 from repro.common.config import TropicConfig
+from repro.common.retry import RetryPolicy
 from repro.coordination.queue import DistributedQueue
 from repro.core.constraints import ConstraintEngine
 from repro.core.events import (
@@ -39,6 +40,7 @@ from repro.core.events import (
     KIND_REQUEST,
     KIND_RESULT,
     KIND_VOTE,
+    KIND_WOUND,
     OUTCOME_ABORTED,
     OUTCOME_COMMITTED,
     VOTE_NO,
@@ -47,6 +49,7 @@ from repro.core.events import (
     execute_message,
     prepare_message,
     vote_message,
+    wound_message,
 )
 from repro.core.locks import LockManager
 from repro.core.persistence import TropicStore
@@ -68,18 +71,35 @@ from repro.datamodel.tree import DataModel
 
 #: Named crash edges of the controller main loop beyond the generic store/
 #: queue boundaries (see repro.testing.faults): the dispatch-loss window
-#: between the group-commit flush and the phyQ put_many, and the four
-#: protocol edges of cross-shard two-phase commit.  A ``fault_hook`` (test
-#: harness only) receives these names and may raise to model a process
-#: death at that exact edge.
+#: between the group-commit flush and the phyQ put_many, and the protocol
+#: edges of cross-shard two-phase commit — the four prepare/decision edges
+#: plus the three wound-wait edges of concurrent prepares.  A ``fault_hook``
+#: (test harness only) receives these names and may raise to model a
+#: process death at that exact edge.
 PRE_DISPATCH = "post-flush-pre-dispatch"
 TWOPC_PRE_PREPARE = "2pc-pre-prepare"
 TWOPC_POST_PREPARE = "2pc-post-prepare"
 TWOPC_PRE_DECISION = "2pc-pre-decision"
 TWOPC_POST_DECISION = "2pc-post-decision"
+#: Wound-wait edges: before any wound mutation is durable (the victim's
+#: successor presumed-aborts it), after the wound's abort record + lock
+#: release are durable but before the retry requeue, and a coordinator
+#: entering the prepare fan-out while other cross-shard transactions are
+#: already in flight on the same shard.
+TWOPC_PRE_WOUND = "2pc-pre-wound"
+TWOPC_POST_WOUND = "2pc-post-wound"
+TWOPC_CONCURRENT_PREPARE = "2pc-concurrent-prepare"
 
 #: Vote-no reason that triggers a coordinator retry instead of an abort.
 _REASON_CONFLICT = "lock-conflict"
+
+#: Wound-backoff cooldowns are expressed in *scheduling passes*, not wall
+#: time: inline test drivers and chaos scenarios step controllers to
+#: quiescence with no clock advancing, so a time-based backoff would
+#: either spin or deadlock them.  The seeded RetryPolicy's jittered delay
+#: is mapped onto a pass count (delay / base_delay, capped) — identical
+#: growth curve, deterministic under a fixed seed.
+_MAX_WOUND_COOLDOWN_PASSES = 16
 
 
 class Controller:
@@ -126,6 +146,16 @@ class Controller:
         #: Test-harness hook receiving named crash edges (see PRE_DISPATCH
         #: and the TWOPC_* constants); may raise to model a process death.
         self.fault_hook = fault_hook
+        #: Wound-wait soft state.  The seeded backoff policy prices the
+        #: cooldown (in scheduling passes) a wounded transaction sits out
+        #: before re-preparing; seeding by shard keeps interleavings
+        #: reproducible.  ``_wounds_sent`` dedupes cross-shard wound
+        #: requests per (requester, victim) so a blocked requester polling
+        #: the conflict does not flood the victim's coordinator; both are
+        #: soft state — a failover forgets them at the cost of one
+        #: duplicate (idempotent) wound message or a restarted backoff.
+        self._wound_backoff = RetryPolicy(seed=shard_id)
+        self._wounds_sent: dict[str, set[str]] = {}
 
         self.model = DataModel()
         self.constraint_engine = ConstraintEngine(schema)
@@ -180,6 +210,9 @@ class Controller:
             "cross_shard_aborted": 0,
             "cross_shard_collapsed": 0,
             "cross_shard_upgrades": 0,
+            "cross_shard_wounded": 0,
+            "cross_shard_wounds_sent": 0,
+            "cross_shard_waits": 0,
             "foreign_write_rejects": 0,
             "foreign_write_pins": 0,
             "prepare_timeouts": 0,
@@ -213,6 +246,7 @@ class Controller:
         self._dispatch_buffer = []
         self._notify_buffer = []
         self._outbound = []
+        self._wounds_sent = {}
         # Another leader may have rewritten transaction documents since
         # this replica last persisted them.
         self.store.reset_fragment_cache()
@@ -246,6 +280,7 @@ class Controller:
         self._notify_buffer = []
         self._outbound = []
         self._signals_present = None
+        self._wounds_sent = {}
         self.store.reset_fragment_cache()
 
     # ------------------------------------------------------------------
@@ -272,7 +307,6 @@ class Controller:
             txn.error = "presumed abort: coordinator failed during prepare"
             txn.mark(TransactionState.ABORTED, now)
             self.store.save_transaction(txn)
-            self.twopc.release_ticket(txn.txid)
             self._send_decisions(txn, DECISION_ABORT, direct=True)
             self.stats["cross_shard_aborted"] += 1
             self._notify(txn)
@@ -314,33 +348,16 @@ class Controller:
                 self.store.save_transaction(txn)
                 self.store.clear_claim(txid)
                 self.lock_manager.release_all(txid)
-                self.twopc.release_ticket(txid)
                 self._send_decisions(txn, DECISION_ABORT, direct=True)
                 self.outstanding.pop(txid, None)
                 self.stats["cross_shard_aborted"] += 1
                 self._notify(txn)
-        self._release_stale_ticket()
-
-    def _release_stale_ticket(self) -> None:
-        """Free the global prepare ticket if it is held by a transaction of
-        this shard that is no longer in (or advancing towards) the prepare
-        phase — e.g. the failed leader acquired it and died before the
-        PREPARING state became durable."""
-        holder = self.twopc.ticket_holder()
-        if holder is None:
-            return
-        txn = self.outstanding.get(holder)
-        if txn is not None and txn.coordinator == self.shard_id:
-            return  # still active on this shard (STARTED awaiting outcome)
-        doc = self.store.load_transaction(holder)
-        if doc is None:
-            return  # another shard's transaction; its leader owns the ticket
-        if doc.is_terminal or doc.state in (
-            TransactionState.INITIALIZED,
-            TransactionState.ACCEPTED,
-            TransactionState.DEFERRED,
-        ):
-            self.twopc.release_ticket(holder)
+        # Pre-upgrade builds serialised cross-shard prepares through a
+        # fleet-wide ticket znode; a store that last ran one of those may
+        # still hold it.  Wound-wait needs no admission control, so the
+        # stale znode is deleted as a clean no-op (idempotent; see the
+        # ticket-compat test in tests/integration/test_twopc.py).
+        self.twopc.clear_legacy_ticket()
 
     def _redispatch_lost(self) -> None:
         """Close the dispatch-loss window: re-enqueue execute messages for
@@ -456,6 +473,8 @@ class Controller:
             self._handle_vote(item)
         elif kind == KIND_DECISION:
             self._handle_decision(item)
+        elif kind == KIND_WOUND:
+            self._handle_wound(item)
 
     def _accept(self, item: dict[str, Any]) -> None:
         """Step 2: accept a client request into todoQ."""
@@ -594,6 +613,18 @@ class Controller:
         deferred: list[Transaction] = []
         pending = self.todo.transactions()
         for txn in pending:
+            if txn.wound_cooldown > 0:
+                # A wounded transaction sits out its backoff without
+                # leaving (or blocking) the queue: skipping it must not
+                # trigger the FIFO blocked-head break — the backoff exists
+                # precisely so the older wounding transaction (and
+                # unrelated traffic) can run ahead of the retry.  The
+                # decrement counts as progress: cooldowns strictly
+                # decrease, so run-until-idle drivers keep stepping until
+                # the retry itself runs instead of quiescing early.
+                txn.wound_cooldown -= 1
+                progressed = True
+                continue
             if self.todo.remove(txn.txid) is None:
                 continue
             disposition = self._try_run(txn)
@@ -804,7 +835,8 @@ class Controller:
     def _defer(self, txn: Transaction, *extra_dirty: str) -> str:
         """Undo the simulation and put the transaction back for a retry
         (3B): shared by the local conflict path and every cross-shard
-        defer (ticket busy, local conflict, participant conflict)."""
+        defer (wound-wait wait/wound, local conflict, participant
+        conflict)."""
         self.executor.rollback(txn)
         self._mark_dirty_writes(txn)
         txn.defer_count += 1
@@ -830,8 +862,20 @@ class Controller:
 
     def _try_run_cross_shard(self, txn: Transaction) -> str:
         """Coordinator side of phase 1: simulate, determine the true
-        participant set, acquire the fleet ticket and local locks, persist
+        participant set, acquire the local locks under wound-wait, persist
         the PREPARING state and fan prepare requests out to participants.
+
+        Disjoint cross-shard prepares run fully in parallel; on a lock
+        conflict the *txid order* decides locally (txids are zero-padded
+        monotonic counters, so lexicographic order is age): an older
+        transaction wounds a younger prepare-phase holder out of its locks
+        (the victim aborts its attempt via the presumed-abort machinery
+        and retries after a seeded backoff), while a younger transaction
+        waits for the older holder to finish.  The oldest active
+        transaction is never wounded and never waits on 2PC state, so it
+        always progresses — no deadlock, no livelock, and each transaction
+        is wounded at most once per older concurrent transaction per
+        attempt.
 
         When the simulation's read/write set collapses onto this shard the
         transaction silently downgrades to the ordinary single-shard 3C
@@ -855,7 +899,6 @@ class Controller:
             txn.error = outcome.error
             txn.mark(TransactionState.ABORTED, self.clock.now())
             self.store.save_transaction(txn, dirty_fields=("log", "rwset", "result"))
-            self.twopc.release_ticket(txn.txid)
             self.stats["aborted_logical"] += 1
             self._notify(txn)
             return "aborted"
@@ -866,7 +909,6 @@ class Controller:
         if shards <= {self.shard_id}:
             # All participants collapsed onto this shard: fast path.
             txn.participants = []
-            self.twopc.release_ticket(txn.txid)
             conflict = self.lock_manager.try_acquire(txn.txid, txn.rwset)
             if conflict is not None:
                 return self._defer(txn, "participants")
@@ -877,16 +919,40 @@ class Controller:
             return "started"
         txn.participants = sorted(shards)
 
-        # One cross-shard transaction prepares fleet-wide at a time; the
-        # ticket is kept across local deferrals (no other 2PC transaction
-        # can hold locks anywhere while we do, so every conflict is with a
-        # dispatched local transaction that will complete).
-        if not self.twopc.acquire_ticket(txn.txid):
-            return self._defer(txn)
+        # Retry entry: a wound leaves a durable abort decision behind (the
+        # record is what lets a crashed participant resolve the wounded
+        # attempt through the decision log exactly like any abort).  It
+        # must be cleared before this fresh attempt prepares, or the
+        # participants' decision-log polling would abort the new attempt
+        # on sight.  Guarded to ABORT records only — commit decisions are
+        # immutable, and only wound-released transactions (never genuinely
+        # aborted ones, which are terminal) re-enter this path.
+        if txn.defer_count > 0:
+            record = self.twopc.decision_record(txn.txid, self.shard_id)
+            if record is not None and record.get("decision") == DECISION_ABORT:
+                self.twopc.clear_decision(txn.txid, self.shard_id)
 
-        conflict = self.lock_manager.try_acquire(txn.txid, txn.rwset)
-        if conflict is not None:
-            return self._defer(txn)
+        requests = self.lock_manager.requests_for(txn.rwset)
+        conflicts = self.lock_manager.find_conflicts(txn.txid, requests)
+        if conflicts:
+            if self._wound_or_wait(txn.txid, conflicts):
+                # A local synchronous wound freed its locks; re-check once
+                # (remote wounds resolve asynchronously — defer for those).
+                conflicts = self.lock_manager.find_conflicts(txn.txid, requests)
+            if conflicts:
+                self.stats["cross_shard_waits"] += 1
+                return self._defer(txn)
+        self.lock_manager.acquire(txn.txid, requests)
+        self._wounds_sent.pop(txn.txid, None)
+
+        if any(
+            other.txid != txn.txid and other.is_cross_shard
+            for other in self.outstanding.values()
+        ):
+            # Another cross-shard transaction is mid-protocol on this
+            # shard while this one enters the prepare fan-out — the
+            # concurrency the ticket used to forbid.
+            self._fault(TWOPC_CONCURRENT_PREPARE)
 
         # Durable PREPARING record (rides the step's group commit); the
         # prepare fan-out is buffered until that commit lands.
@@ -942,6 +1008,18 @@ class Controller:
                     self._release_participant(existing)
                 else:
                     return  # stale attempt; the coordinator moved on
+            elif (
+                existing.state is TransactionState.ABORTED
+                and existing.defer_count < attempt
+            ):
+                # A previous attempt was wounded and this shard resolved it
+                # through the decision log into a terminal ABORTED prepare
+                # record (slice undone, locks released).  A higher-attempt
+                # prepare supersedes it — only wound-released attempts ever
+                # re-prepare (genuine aborts are terminal on the
+                # coordinator and send no further prepares) — so drop the
+                # stale record and prepare afresh.
+                self.store.delete_transaction(txid)
             elif existing.is_terminal:
                 vote = (
                     VOTE_YES
@@ -966,17 +1044,31 @@ class Controller:
         txn.log = ExecutionLog.from_dict(item.get("log") or [])
         txn.rwset = ReadWriteSet.from_dict(item.get("rwset") or {})
 
-        conflict = self.lock_manager.try_acquire(txid, txn.rwset)
-        if conflict is not None:
-            self._outbound.append(
-                (
-                    coordinator,
-                    vote_message(
-                        txid, self.shard_id, VOTE_NO, attempt, reason=_REASON_CONFLICT
-                    ),
+        requests = self.lock_manager.requests_for(txn.rwset)
+        conflicts = self.lock_manager.find_conflicts(txid, requests)
+        if conflicts:
+            # Participant-side wound-wait: if the incoming transaction is
+            # older than a prepare-phase holder, wound the holder (locally
+            # when this shard coordinates it — e.g. the classic reversed-
+            # roles livelock, T1 coordinated by A preparing at B while T2
+            # coordinated by B prepares at A — or via a wound message to
+            # its coordinator).  A local wound may free the locks within
+            # this very delivery; otherwise vote no/conflict and let the
+            # coordinator's prompt retry find them free.
+            if self._wound_or_wait(txid, conflicts):
+                conflicts = self.lock_manager.find_conflicts(txid, requests)
+            if conflicts:
+                self._outbound.append(
+                    (
+                        coordinator,
+                        vote_message(
+                            txid, self.shard_id, VOTE_NO, attempt, reason=_REASON_CONFLICT
+                        ),
+                    )
                 )
-            )
-            return
+                return
+        self.lock_manager.acquire(txid, requests)
+        self._wounds_sent.pop(txid, None)
         error = self._apply_participant_log(txn)
         if error is not None:
             self.lock_manager.release_all(txid)
@@ -1066,15 +1158,136 @@ class Controller:
 
     def _retry_cross_shard(self, txn: Transaction) -> None:
         """A participant's locks were busy: release every shard's prepare
-        state for this attempt and retry from todoQ.  The fleet ticket is
-        kept — the blocking transactions are dispatched local ones that
-        will complete (no other 2PC transaction can be holding locks)."""
+        state for this attempt and retry from todoQ.  The retry is prompt
+        (no backoff): the participant already applied wound-wait to the
+        blockers, so they are either older transactions about to finish or
+        younger ones already being wounded aside."""
         self._send_release(txn)
         self.lock_manager.release_all(txn.txid)
         txn.votes = {}
         self._defer(txn)
         self.outstanding.pop(txn.txid, None)
         self.todo.push_front(txn)
+
+    # -- wound-wait (concurrent prepare admission) ----------------------
+
+    def _wound_or_wait(
+        self, requester: str, conflicts: list["Any"]
+    ) -> bool:
+        """Apply wound-wait to every conflicting lock holder.
+
+        ``requester`` is the txid asking for the locks (a local cross-shard
+        coordinator, or a foreign transaction preparing a slice here).  For
+        each holder, txid order decides locally — no global state:
+
+        * requester older (lower txid) and the holder is a *local
+          PREPARING coordinator* — wound it synchronously (abort the
+          attempt, requeue with backoff); returns True so the caller may
+          re-check its lock requests in the same pass;
+        * requester older and the holder is a *prepared participant* of a
+          foreign coordinator — send that coordinator a wound message and
+          wait for the release to arrive (deduped per requester/victim);
+        * requester older but the holder is STARTED (single-shard, or
+          phase 2 of a committed-vote cross-shard transaction) — its
+          physical effects may be in flight, so it is past wounding; wait
+          for it to complete (it holds no 2PC waits, so it will);
+        * requester younger — wait: the older holder progresses first.
+        """
+        wounded_local = False
+        for conflict in conflicts:
+            holder_id = conflict.holder
+            if requester >= holder_id:
+                continue  # requester is younger (or self): wait
+            holder = self.outstanding.get(holder_id)
+            if holder is None or not holder.is_cross_shard:
+                continue  # single-shard STARTED holder: wait for completion
+            if (
+                holder.state is TransactionState.PREPARING
+                and holder.coordinator == self.shard_id
+            ):
+                self._wound_cross_shard(holder, requester)
+                wounded_local = True
+            elif (
+                holder.state is TransactionState.PREPARED
+                and holder.coordinator is not None
+                and holder.coordinator != self.shard_id
+            ):
+                sent = self._wounds_sent.setdefault(requester, set())
+                if holder_id not in sent:
+                    sent.add(holder_id)
+                    self._outbound.append(
+                        (
+                            holder.coordinator,
+                            wound_message(holder_id, requester, self.shard_id),
+                        )
+                    )
+                    self.stats["cross_shard_wounds_sent"] += 1
+            # else: STARTED cross-shard (phase 2) — wait.
+        if len(self._wounds_sent) > 1024:
+            # Soft-state hygiene: entries are popped as their requesters
+            # resolve, but a foreign requester that aborts elsewhere can
+            # strand one.  Dropping the map wholesale only risks a
+            # duplicate wound message, which the coordinator treats
+            # idempotently.
+            self._wounds_sent.clear()
+        return wounded_local
+
+    def _wound_cross_shard(self, txn: Transaction, by: str) -> None:
+        """Wound a local PREPARING coordinator: an older transaction
+        (``by``) is blocked by its prepare-phase locks, and txid order says
+        the younger transaction yields.
+
+        The sequence is decide → release → requeue, in that order: the
+        abort decision record is durable *before* any lock is released, so
+        a participant that persisted (or is about to persist) a prepare
+        record for this attempt resolves it through the decision log
+        exactly as it would any abort — even if this leader dies mid-wound
+        (the ``repro.analysis`` wound-without-decision rule pins this
+        ordering statically).  Live participants additionally get a
+        RELEASE message for a prompt undo.  The retry re-enters the
+        scheduler as a fresh attempt after a seeded backoff and clears the
+        wound's decision record before re-preparing."""
+        self._fault(TWOPC_PRE_WOUND)
+        self.twopc.decide(txn.txid, DECISION_ABORT, self.shard_id, txn.participants)
+        self._send_release(txn)
+        self.lock_manager.release_all(txn.txid)
+        self._fault(TWOPC_POST_WOUND)
+        txn.votes = {}
+        self._defer(txn)
+        txn.wound_count += 1
+        txn.wound_cooldown = self._wound_cooldown_passes(txn.wound_count)
+        self._wounds_sent.pop(txn.txid, None)
+        self.outstanding.pop(txn.txid, None)
+        self.todo.push_front(txn)
+        self.stats["cross_shard_wounded"] += 1
+
+    def _wound_cooldown_passes(self, wound_count: int) -> int:
+        """Scheduling passes a freshly wounded transaction sits out,
+        derived from the seeded retry policy's jittered exponential delay
+        (see _MAX_WOUND_COOLDOWN_PASSES for why passes, not seconds)."""
+        policy = self._wound_backoff
+        delay = policy.backoff(max(wound_count, 1))
+        passes = int(round(delay / policy.base_delay))
+        return max(1, min(_MAX_WOUND_COOLDOWN_PASSES, passes))
+
+    def _handle_wound(self, item: dict[str, Any]) -> None:
+        """Coordinator side of a wound request from a shard where an older
+        transaction is blocked by this (younger) transaction's prepared
+        slice.  Only a transaction still in its prepare phase is woundable;
+        anything else means the wound is stale — already wounded (DEFERRED),
+        past the vote barrier (STARTED: effects dispatched, the older
+        transaction's wait is bounded by physical completion), or terminal
+        — and is dropped idempotently."""
+        txid = item["txid"]
+        by = item.get("by")
+        txn = self.outstanding.get(txid)
+        if txn is None or txn.state is not TransactionState.PREPARING:
+            return
+        if txn.coordinator != self.shard_id:
+            return
+        if not isinstance(by, str) or by >= txid:
+            return  # only an older transaction may wound
+        self._wound_cross_shard(txn, by)
 
     def _send_release(self, txn: Transaction) -> None:
         for shard in txn.participants:
@@ -1099,8 +1312,8 @@ class Controller:
         self.store.clear_claim(txn.txid)
         self.lock_manager.release_all(txn.txid)
         self.signals.clear(txn.txid)
-        self.twopc.release_ticket(txn.txid)
         self._send_decisions(txn, DECISION_ABORT)
+        self._wounds_sent.pop(txn.txid, None)
         self.outstanding.pop(txn.txid, None)
         self.stats["cross_shard_aborted"] += 1
         self._notify(txn)
@@ -1144,8 +1357,8 @@ class Controller:
         self._mark_dirty_writes(txn)
         self.lock_manager.release_all(txn.txid)
         self.signals.clear(txn.txid)
-        self.twopc.release_ticket(txn.txid)
         self._send_decisions(txn, DECISION_COMMIT)
+        self._wounds_sent.pop(txn.txid, None)
         self.outstanding.pop(txn.txid, None)
         self.stats["committed"] += 1
         self.stats["cross_shard_committed"] += 1
@@ -1201,15 +1414,17 @@ class Controller:
 
     def _expire_preparing(self) -> bool:
         """Prepare-phase deadline: a coordinator stuck in PREPARING past
-        ``config.prepare_timeout`` presumed-aborts and releases the fleet
-        prepare ticket.  This covers the one stall the TERM watchdog and
-        shard failover do not: a participant shard that is down *and* not
+        ``config.prepare_timeout`` presumed-aborts and frees its prepare
+        locks.  This covers the one stall the TERM watchdog and shard
+        failover do not: a participant shard that is down *and* not
         failing over (no replica to elect) can neither vote nor resolve,
-        and without a deadline the coordinator would hold the ticket —
-        blocking every cross-shard prepare fleet-wide — forever.  Safe at
-        any time before a decision is logged (presumed abort is exactly
-        the protocol's answer to an undecided prepare); a late yes-vote or
-        prepare record is resolved by the abort decision record."""
+        and without a deadline the coordinator would hold its prepare
+        locks — blocking every conflicting transaction, and under
+        wound-wait every *older* one that would otherwise wound it past a
+        dead shard — forever.  Safe at any time before a decision is
+        logged (presumed abort is exactly the protocol's answer to an
+        undecided prepare); a late yes-vote or prepare record is resolved
+        by the abort decision record."""
         timeout = self.config.prepare_timeout
         if self.twopc is None or timeout <= 0:
             return False
@@ -1330,10 +1545,6 @@ class Controller:
                 txn.error = "killed"
                 txn.mark(TransactionState.ABORTED, self.clock.now())
                 self.store.save_transaction(txn)
-                if txn.is_cross_shard and self.twopc is not None:
-                    # A deferred coordinator may still hold the fleet
-                    # prepare ticket across retries.
-                    self.twopc.release_ticket(txid)
                 self.stats["killed"] += 1
                 self._notify(txn)
                 return

@@ -16,6 +16,12 @@ queues.  Six kinds exist:
   the execution log, participants answer with a vote, and the coordinator
   fans out the final decision (or a ``release`` when a conflicted attempt
   will be retried).
+* ``wound`` — wound-wait conflict resolution between concurrent
+  cross-shard transactions: a shard blocked by a *younger* transaction's
+  prepared locks asks that transaction's coordinator to abort-and-retry
+  it (the older transaction never waits on a younger one, so the oldest
+  active transaction always progresses and prepares cannot deadlock or
+  livelock).
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ KIND_RESULT = "result"
 KIND_PREPARE = "prepare"
 KIND_VOTE = "vote"
 KIND_DECISION = "decision"
+KIND_WOUND = "wound"
 
 OUTCOME_COMMITTED = "committed"
 OUTCOME_ABORTED = "aborted"
@@ -91,6 +98,13 @@ def vote_message(
 def decision_message(txid: str, decision: str, attempt: int = 0) -> dict[str, Any]:
     """Coordinator -> participant: commit, abort, or release-for-retry."""
     return {"kind": KIND_DECISION, "txid": txid, "decision": decision, "attempt": attempt}
+
+
+def wound_message(txid: str, by: str, shard: int) -> dict[str, Any]:
+    """Any shard -> ``txid``'s coordinator: the older transaction ``by`` is
+    blocked by ``txid``'s prepare-phase locks on ``shard``; abort the
+    (younger) ``txid``'s current attempt and retry it after a backoff."""
+    return {"kind": KIND_WOUND, "txid": txid, "by": by, "shard": shard}
 
 
 def result_message(

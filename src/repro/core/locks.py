@@ -162,6 +162,50 @@ class LockManager:
                         )
             return None
 
+    def find_conflicts(
+        self, txid: str, requests: dict[ResourcePath, LockMode]
+    ) -> list[LockConflictInfo]:
+        """Every conflict between ``requests`` and locks held by *other*
+        transactions, at most one per conflicting holder (the first path on
+        which that holder blocks the request).
+
+        Wound-wait conflict resolution needs the full holder set, not just
+        the first conflict: each holder's txid is compared with the
+        requester's to decide locally — with no global coordination state —
+        whether the holder is wounded (requester older) or waited on
+        (requester younger).  Returns ``[]`` when all requests are
+        grantable.
+        """
+        conflicts: list[LockConflictInfo] = []
+        seen: set[str] = set()
+        with self._mutex:
+            for path, requested in requests.items():
+                counts = self._mode_counts.get(path)
+                if not counts:
+                    continue
+                own = self._locks[path].get(txid, ())
+                for held in _INCOMPATIBLE_WITH[requested]:
+                    held_count = counts.get(held, 0)
+                    if held in own:
+                        held_count -= 1
+                    if held_count <= 0:
+                        continue
+                    for other, modes in self._locks[path].items():
+                        if other == txid or held not in modes or other in seen:
+                            continue
+                        seen.add(other)
+                        conflicts.append(
+                            LockConflictInfo(
+                                path=str(path),
+                                requested=requested,
+                                held=held,
+                                holder=other,
+                            )
+                        )
+            if conflicts:
+                self.conflicts_detected += 1
+        return conflicts
+
     def acquire(self, txid: str, requests: dict[ResourcePath, LockMode]) -> None:
         """Grant all requested locks to ``txid`` (caller must have checked
         :meth:`find_conflict` first; this method does not block)."""

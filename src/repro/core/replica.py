@@ -456,6 +456,39 @@ class ReadReplica:
                     seq=int(record["seq"]),
                     rewindable=False,
                 )
+        # Cross-shard commits *covered by the checkpoint* need barriers
+        # too: a quiesce point only quiesces this shard, so the checkpoint
+        # can contain this shard's half of a commit whose other
+        # participant has not applied its half yet.  Their applied-log
+        # entries are truncated, but a locally COMMITTED document proves
+        # the commit is in the rebuilt model (the COMMITTED write and the
+        # applied entry share a group-commit batch, so checkpoint + replay
+        # always covers it) — surface it to the fence, and stamp the
+        # recent-txid memory so ``has_applied`` reports the coverage.
+        # Barriers are capped to the window's remaining capacity, newest
+        # commits first, so historical documents cannot evict the
+        # replayed-tail barriers opened above.
+        covered = sorted(
+            (
+                txn
+                for txn in self.store.load_all_transactions()
+                if txn.state is TransactionState.COMMITTED
+                and txn.participants is not None
+                and len(txn.participants) > 1
+            ),
+            key=lambda t: t.txid,
+        )
+        for txn in covered:
+            self._remember_txid(txn.txid, self._applied_txn)
+        capacity = max(0, self.BARRIER_WINDOW - len(self._barriers))
+        for txn in covered[-capacity:] if capacity else []:
+            self._open_barrier_locked(
+                txn.txid,
+                tuple(int(p) for p in txn.participants),
+                txn.coordinator,
+                seq=None,
+                rewindable=False,
+            )
         # Early-applied commits whose document is still PREPARED are not in
         # the applied log, hence not covered by checkpoint + replay: carry
         # them over the rebuild (monotonic reads — a fenced view must not
@@ -650,14 +683,22 @@ class ReadReplica:
                 # apply) or applied long ago and wholesale-cleaned (the
                 # model covers it).  The applied log arbitrates.
                 if txid in self.store.applied_txids():
+                    self._remember_txid(txid, self._applied_txn)
                     return "already"
                 return "unavailable"
             if txn.state is not TransactionState.PREPARED:
                 if txn.state is TransactionState.COMMITTED:
                     # The commit's applied entry is durable (written in the
                     # same group-commit batch as the COMMITTED document);
-                    # a forced catch-up picks it up the normal way.
+                    # a forced catch-up picks it up the normal way.  If a
+                    # quiesce-point checkpoint already truncated the entry,
+                    # the catch-up re-bootstraps and the checkpoint covers
+                    # it — either way the model now includes the commit, so
+                    # stamp the recent-txid memory or ``has_applied`` would
+                    # keep reporting this shard as a laggard and the fence
+                    # would spin on the open barrier forever.
                     self.refresh(force=True)
+                    self._remember_txid(txid, self._applied_txn)
                     return "already"
                 return "unavailable"
             participants = tuple(sorted(int(p) for p in txn.participants or ()))

@@ -30,13 +30,21 @@ a real cross-shard protocol (``cross_shard_policy="2pc"``):
   aborts it on recovery (writing an abort decision so participants resolve
   quickly); a participant finding no decision record keeps its prepare
   record (and its locks) until one appears.
-* **Serialisation ticket.**  Concurrent cross-shard transactions with
-  reversed coordinator/participant roles could livelock (each attempt
-  voted down by the other's locks, deterministically, forever).  A single
-  fleet-wide *ticket* znode admits one transaction into the prepare phase
-  at a time; single-shard traffic never touches it.  Cross-shard
-  transactions are expected to be rare (TCloud co-locates subtrees that
-  transact together), so the ticket bounds tail latency, not throughput.
+* **Wound-wait admission.**  Concurrent cross-shard prepares run fully in
+  parallel; conflicts are resolved by *txid order* (txids are zero-padded
+  monotonic counters, so lexicographic order is transaction age).  On a
+  prepare-lock conflict the older transaction wounds a younger
+  prepare-phase holder — its coordinator writes an abort decision record,
+  releases the attempt's locks everywhere and requeues it behind a seeded
+  backoff — while a younger transaction waits for the older holder.
+  Wait-for edges therefore always point young → old: no cycles (no
+  deadlock), and the oldest active transaction is never wounded, so it
+  always progresses (no livelock — the reversed-roles scenario that
+  earlier builds serialised behind a fleet-wide ticket znode resolves by
+  the younger side yielding).  The decision is made locally from the lock
+  table's holder txids; no global coordination state exists on this path
+  (:data:`LEGACY_TICKET_KEY` survives only as a recovery-time cleanup of
+  pre-upgrade stores).
 
 ``pin`` remains the fast path: when every path the simulation touched
 collapses onto the coordinator's own shard, the transaction silently
@@ -51,8 +59,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Iterable
 
-from repro.common.errors import NodeExistsError
-from repro.common.jsonutil import dumps
 from repro.coordination.kvstore import KVStore
 from repro.core.sharding import is_global_path
 
@@ -61,7 +67,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.txn import ExecutionLog, ReadWriteSet
 
 #: Global (unsharded) coordination namespace holding decision records and
-#: the prepare-phase ticket.
+#: checkpoint horizons.
 TWOPC_PREFIX = "/tropic/2pc"
 
 DECISION_COMMIT = "commit"
@@ -69,11 +75,12 @@ DECISION_ABORT = "abort"
 
 
 class TwoPCLog:
-    """Decision records + prepare ticket in the global coordination tree.
+    """Decision records + checkpoint horizons in the global coordination
+    tree.
 
     All writes are immediate (never batched): a decision record is the
-    durable commit point of the whole protocol, and the ticket is a mutual
-    exclusion primitive — neither may sit in a leader's group-commit buffer.
+    durable commit point of the whole protocol and may never sit in a
+    leader's group-commit buffer.
 
     Decision records are keyed **by coordinator shard**
     (``decisions/shard-<N>/<txid>``), so each shard's GC sweep lists only
@@ -85,7 +92,11 @@ class TwoPCLog:
     """
 
     DECISION_PREFIX = "decisions"
-    TICKET_KEY = "ticket"
+    #: Pre-upgrade builds admitted one cross-shard prepare fleet-wide via
+    #: an atomic znode at this key.  Wound-wait removed the ticket; the
+    #: key survives only so recovery can delete a persisted ticket left by
+    #: an old build as a clean no-op (:meth:`clear_legacy_ticket`).
+    LEGACY_TICKET_KEY = "ticket"
     #: Child-name prefix distinguishing per-coordinator directories from
     #: legacy flat txid keys under :data:`DECISION_PREFIX`.
     SHARD_DIR_PREFIX = "shard-"
@@ -332,29 +343,19 @@ class TwoPCLog:
         )
         return {"records_removed": removed, "horizon_retired": 1}
 
-    # -- prepare ticket ---------------------------------------------------
+    # -- legacy prepare-ticket cleanup ------------------------------------
 
-    def acquire_ticket(self, txid: str) -> bool:
-        """Admit ``txid`` into the prepare phase; one holder fleet-wide.
-        Re-acquiring the ticket one already holds succeeds.
-
-        Acquisition is an atomic znode create: two shard leaders racing
-        for the ticket cannot both win (a get-then-put would let them)."""
-        try:
-            self.kv.client.create(self.kv.full_key(self.TICKET_KEY), dumps(txid))
-            return True
-        except NodeExistsError:
-            return self.kv.get(self.TICKET_KEY) == txid
-
-    def ticket_holder(self) -> str | None:
-        return self.kv.get(self.TICKET_KEY)
-
-    def release_ticket(self, txid: str) -> bool:
-        """Release the ticket if (and only if) ``txid`` holds it."""
-        if self.kv.get(self.TICKET_KEY) == txid:
-            self.kv.delete(self.TICKET_KEY)
-            return True
-        return False
+    def clear_legacy_ticket(self) -> bool:
+        """Delete a fleet-wide prepare-ticket znode persisted by a
+        pre-wound-wait build, if present.  Called from 2PC recovery so an
+        upgrade over an old store is a clean no-op: the znode was pure
+        admission control (never consulted for correctness), so deleting
+        it unconditionally is safe, and idempotent.  Returns whether a
+        stale ticket was actually found."""
+        if self.kv.get(self.LEGACY_TICKET_KEY) is None:
+            return False
+        self.kv.delete(self.LEGACY_TICKET_KEY)
+        return True
 
 
 # ----------------------------------------------------------------------

@@ -222,6 +222,14 @@ class Transaction:
     #: of double-applying.  ``None`` (the default) keeps token-less
     #: documents byte-identical to the pre-resilience format.
     idempotency_token: str | None = None
+    #: Wound-wait soft state (never serialised, deliberately absent from
+    #: ``to_dict``): how many times an older transaction wounded this one
+    #: out of its prepare phase, and how many scheduling passes it still
+    #: sits out before retrying.  Lost on failover by design — the backoff
+    #: restarts from zero; only the durable DEFERRED document decides that
+    #: the transaction requeues at all.
+    wound_count: int = 0
+    wound_cooldown: int = 0
 
     # -- state transitions ------------------------------------------------
 

@@ -9,7 +9,12 @@ checkpoint, a client retries a submission whose fate it cannot know.
 :class:`~repro.testing.faults.FaultyEnsemble` session/connection/latency/
 partition faults, and leader kills — over a concurrent single-shard + 2PC
 workload submitted with idempotency tokens, then checks the invariants
-that define "fault tolerant" for this system:
+that define "fault tolerant" for this system.  Since PR 9 the workload
+includes back-to-back *bursts* of overlapping cross-shard submissions
+(same compute host, same foreign storage host) under the aggressive
+scheduler, so the drain runs concurrent cross-shard prepares through the
+wound-wait admission path — including wounds and retries — with crashes,
+expiries and partitions landing mid-protocol.  The invariants:
 
 1. **Exactly-once per token** — every idempotency token maps to exactly
    one persisted transaction document, no matter how many times the
@@ -71,8 +76,11 @@ TRANSIENT_ERRORS = (SessionExpiredError, QuorumLostError, ConnectionError)
 FAULTY_SHARD = 0
 
 #: Aggressive checkpointing so checkpoint-edge crash points are reachable
-#: within a short workload (same trick as the fault matrix).
-CHAOS_CONFIG = TropicConfig(checkpoint_every=2)
+#: within a short workload (same trick as the fault matrix), and the
+#: aggressive scheduler so overlapping cross-shard bursts genuinely run
+#: concurrent prepares (and can wound) instead of serialising FIFO-style
+#: behind a blocked queue head.
+CHAOS_CONFIG = TropicConfig(checkpoint_every=2, scheduler_policy="aggressive")
 
 
 @dataclass
@@ -81,6 +89,7 @@ class ChaosReport:
 
     seed: int
     submits: int = 0
+    cross_bursts: int = 0
     duplicate_submits: int = 0
     post_drain_retries: int = 0
     client_retries: int = 0
@@ -102,6 +111,7 @@ class ChaosReport:
         verdict = "OK " if self.ok else "FAIL"
         line = (
             f"[{verdict}] seed={self.seed:<4d} submits={self.submits:<3d} "
+            f"bursts={self.cross_bursts} "
             f"dups={self.duplicate_submits} retries={self.client_retries:<3d} "
             f"crashes={len(self.crashes)} faults={len(self.ensemble_faults)} "
             f"kills={self.leader_kills} committed={self.committed} "
@@ -128,18 +138,35 @@ class ChaosScenario:
 
         #: Workload: (name, kind, host_index).  ``cross`` ops provably span
         #: two shards (VM on one shard, disk image on the other) and are
-        #: coordinated through 2PC; the rest stay single-shard.
-        self.ops: list[tuple[str, str, int]] = [
-            (
-                f"vm{index}",
-                "cross" if rng.random() < 0.3 else "spawn",
-                rng.randrange(4),
-            )
-            for index in range(num_ops)
-        ]
+        #: coordinated through 2PC; the rest stay single-shard.  Some of
+        #: the cross ops arrive as *bursts*: 2-3 submissions sharing one
+        #: compute host (hence one home shard and one foreign storage
+        #: host) enqueued back-to-back with no stepping in between, so
+        #: their prepares overlap and contend under wound-wait.
+        self.ops: list[tuple[str, str, int]] = []
         #: Inline step rounds after each submission (interleaves the
-        #: workload with execution so faults land mid-flight).
-        self.steps_between: list[int] = [rng.randint(0, 3) for _ in self.ops]
+        #: workload with execution so faults land mid-flight; zero inside
+        #: a burst, by construction).
+        self.steps_between: list[int] = []
+        self.cross_bursts = 0
+        while len(self.ops) < num_ops:
+            remaining = num_ops - len(self.ops)
+            if remaining >= 2 and rng.random() < 0.25:
+                self.cross_bursts += 1
+                host_index = rng.randrange(4)
+                for _ in range(min(rng.randint(2, 3), remaining)):
+                    self.ops.append((f"vm{len(self.ops)}", "cross", host_index))
+                    self.steps_between.append(0)
+                self.steps_between[-1] = rng.randint(0, 3)
+            else:
+                self.ops.append(
+                    (
+                        f"vm{len(self.ops)}",
+                        "cross" if rng.random() < 0.3 else "spawn",
+                        rng.randrange(4),
+                    )
+                )
+                self.steps_between.append(rng.randint(0, 3))
         #: Crash plan: the first entry is armed up front at an absolute
         #: occurrence; later entries are armed after the previous crash
         #: fires, at (hits so far + offset).
@@ -182,7 +209,7 @@ class ChaosScenario:
     # ------------------------------------------------------------------
 
     def run(self) -> ChaosReport:
-        report = ChaosReport(seed=self.seed)
+        report = ChaosReport(seed=self.seed, cross_bursts=self.cross_bursts)
         injector = FaultInjector()
         ensemble = FaultyEnsemble(num_servers=3, default_session_timeout=3600.0)
         cluster = ShardedCluster(

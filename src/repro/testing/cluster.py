@@ -87,7 +87,8 @@ class ShardedCluster:
         self.router = ShardRouter(ShardMap(num_shards, assignments), cross_shard_policy)
         self.injector = injector or FaultInjector()
         self.faulty_shards = set(faulty_shards)
-        #: Global 2PC decision log + prepare ticket (shared by all shards).
+        #: Global 2PC decision log + checkpoint horizons (shared by all
+        #: shards; prepare admission itself is wound-wait, fully local).
         self.twopc = TwoPCLog(KVStore(self.client, TWOPC_PREFIX))
 
         #: Reference (never-faulty) store per shard, used by workers and by

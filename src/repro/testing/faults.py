@@ -25,7 +25,7 @@ The named points are the crash boundaries of the controller main loop:
   reached phyQ: the dispatch-loss window, closed by claim-record-aware
   re-dispatch on recovery.
 
-Cross-shard two-phase commit adds four protocol edges (reported through
+Cross-shard two-phase commit adds seven protocol edges (reported through
 the controller's ``fault_hook``, since they are protocol positions rather
 than store/queue boundaries):
 
@@ -37,6 +37,17 @@ than store/queue boundaries):
   record not yet durable (the unacked result message re-drives cleanup).
 * ``2pc-post-decision`` — coordinator: commit decision durable, fan-out
   lost (participants resolve via the global decision log).
+* ``2pc-pre-wound`` — coordinator, about to wound a younger PREPARING
+  transaction: nothing of the wound is durable yet (the successor
+  presumed-aborts the victim exactly as the wound would have).
+* ``2pc-post-wound`` — the wound's abort decision record is durable and
+  the victim's local locks are released, but the deferred retry requeue
+  is not (the successor requeues the victim from its DEFERRED document;
+  the retry clears the wound's abort record on entry).
+* ``2pc-concurrent-prepare`` — coordinator entering the prepare fan-out
+  while other cross-shard transactions are mid-protocol on the same
+  shard: the multi-prepare in-flight window wound-wait opened (the
+  serialisation ticket used to forbid it).
 
 Crashes *inside* a ``multi`` are not modelled: ZooKeeper applies a multi
 atomically through its transaction log, so the real system never observes
@@ -62,10 +73,13 @@ from repro.coordination.kvstore import KVStore, WriteBatch
 from repro.coordination.queue import DistributedQueue
 from repro.core.controller import (
     PRE_DISPATCH,
+    TWOPC_CONCURRENT_PREPARE,
     TWOPC_POST_DECISION,
     TWOPC_POST_PREPARE,
+    TWOPC_POST_WOUND,
     TWOPC_PRE_DECISION,
     TWOPC_PRE_PREPARE,
+    TWOPC_PRE_WOUND,
 )
 from repro.core.persistence import TropicStore
 
@@ -90,6 +104,9 @@ TWOPC_FAILURE_POINTS = (
     TWOPC_POST_PREPARE,
     TWOPC_PRE_DECISION,
     TWOPC_POST_DECISION,
+    TWOPC_PRE_WOUND,
+    TWOPC_POST_WOUND,
+    TWOPC_CONCURRENT_PREPARE,
 )
 
 ALL_FAILURE_POINTS = FAILURE_POINTS + TWOPC_FAILURE_POINTS

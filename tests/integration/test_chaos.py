@@ -59,6 +59,13 @@ def test_soak_exercised_controller_crashes(soak_reports):
     assert any("2pc" not in c for c in crashes), crashes
 
 
+def test_soak_exercised_concurrent_cross_shard_bursts(soak_reports):
+    """PR 9: the workload includes back-to-back bursts of overlapping
+    cross-shard submissions, so the soak drives wound-wait's concurrent
+    prepare admission (not just isolated 2PC transactions)."""
+    assert sum(r.cross_bursts for r in soak_reports.values()) >= 5
+
+
 def test_soak_exercised_ensemble_faults(soak_reports):
     faults = [f for r in soak_reports.values() for f in r.ensemble_faults]
     kinds = {f.split("@")[0] for f in faults}

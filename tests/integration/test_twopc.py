@@ -13,7 +13,7 @@ generic controller failure point, fails the shard over, and asserts:
   shards or on neither, matching its terminal state;
 * no acknowledged transaction is lost or double-applied;
 * single-shard traffic is never disturbed;
-* no locks leak and the fleet prepare ticket is released.
+* no locks leak and no lingering wound state survives quiescence.
 """
 
 import pytest
@@ -69,7 +69,6 @@ def assert_cross_shard_atomic(cluster, txn):
 
 
 def assert_clean(cluster):
-    assert cluster.twopc.ticket_holder() is None
     for shard in cluster.shard_ids:
         assert cluster.controllers[shard].lock_manager.active_transactions() == set()
         assert cluster.controllers[shard].outstanding == {}
@@ -339,8 +338,8 @@ class TestDecisionRecordGC:
 class TestPrepareDeadline:
     """Prepare-phase deadline (the former ROADMAP open item): a coordinator
     stuck in PREPARING past ``config.prepare_timeout`` — e.g. a participant
-    shard down with no replica to fail over to — presumed-aborts and
-    releases the fleet prepare ticket."""
+    shard down with no replica to fail over to — presumed-aborts and frees
+    its prepare locks."""
 
     _DEADLINE_CONFIG = TropicConfig(checkpoint_every=1, prepare_timeout=0.02)
 
@@ -360,10 +359,10 @@ class TestPrepareDeadline:
             pass
         doc = cluster.stores[txn.coordinator].load_transaction(txn.txid)
         assert doc.state is TransactionState.PREPARING
-        assert cluster.twopc.ticket_holder() == txn.txid
+        assert txn.txid in coordinator.lock_manager.active_transactions()
         return cluster, txn, coordinator
 
-    def test_stuck_coordinator_presumed_aborts_and_frees_the_ticket(self):
+    def test_stuck_coordinator_presumed_aborts_and_frees_its_locks(self):
         import time
 
         cluster, txn, coordinator = self._stuck_coordinator()
@@ -371,7 +370,7 @@ class TestPrepareDeadline:
         assert coordinator.step()
         assert cluster.state_of(txn) is TransactionState.ABORTED
         assert cluster.twopc.decision(txn.txid) == "abort"
-        assert cluster.twopc.ticket_holder() is None
+        assert txn.txid not in coordinator.lock_manager.active_transactions()
         assert coordinator.stats["prepare_timeouts"] == 1
         # The participant comes back: its queued (stale) prepare resolves
         # against the abort decision and the fleet converges clean.
@@ -397,4 +396,42 @@ class TestPrepareDeadline:
         assert cluster.twopc.decision(txn.txid) == "abort"
         assert cluster.state_of(txn) is TransactionState.ABORTED
         assert_cross_shard_atomic(cluster, txn)
+        assert_clean(cluster)
+
+
+class TestLegacyTicketUpgrade:
+    """Upgrade compatibility: builds before wound-wait serialised every
+    cross-shard prepare behind a fleet-wide ticket znode.  A store that
+    last ran one of those can still hold the ticket; 2PC recovery must
+    delete it (it was pure admission control, never consulted for
+    correctness) and proceed to normal wound-wait operation."""
+
+    def test_recovery_clears_a_persisted_ticket_znode(self):
+        from repro.core.twopc import TwoPCLog
+
+        cluster = _cluster()
+        before = cluster.submit_cross_spawn("pre-upgrade")
+        cluster.drain()
+        assert cluster.state_of(before) is TransactionState.COMMITTED
+
+        # An old build left its fleet-wide prepare ticket behind.
+        cluster.twopc.kv.put(TwoPCLog.LEGACY_TICKET_KEY, before.txid)
+
+        # Fail the coordinator shard over: the successor's 2PC recovery
+        # (first step) sweeps the stale znode as a clean no-op.
+        cluster.controllers[0] = cluster.new_controller(0)
+        cluster.controllers[0].step()
+        assert cluster.twopc.kv.get(TwoPCLog.LEGACY_TICKET_KEY) is None
+
+        # Wound-wait needs no admission control: cross-shard traffic on
+        # the recovered cluster runs and commits without the ticket.
+        after = [
+            cluster.submit_cross_spawn(f"post-upgrade-{i}", vm_host_index=i)
+            for i in range(2)
+        ]
+        cluster.drain()
+        for txn in after:
+            assert cluster.state_of(txn) is TransactionState.COMMITTED
+            assert_cross_shard_atomic(cluster, txn)
+        assert cluster.twopc.kv.get(TwoPCLog.LEGACY_TICKET_KEY) is None
         assert_clean(cluster)

@@ -158,6 +158,7 @@ class TestRuleCatalog:
             checkers.RULE_STATE_ASSIGN,
             checkers.RULE_STATE_EDGE,
             checkers.RULE_SWALLOW,
+            checkers.RULE_WOUND,
             checkers.RULE_WAIVER,
             lockgraph.RULE_CYCLE,
             lockgraph.RULE_SELF_DEADLOCK,

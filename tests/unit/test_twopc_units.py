@@ -1,7 +1,8 @@
 """Unit tests for the cross-shard 2PC building blocks (PR 3): routing
-policy, message formats, transaction fields, the decision log + prepare
-ticket, log/rwset splitting, the strict read view and the pin visibility
-marking."""
+policy, message formats, transaction fields, the decision log,
+log/rwset splitting, the strict read view and the pin visibility
+marking.  PR 9 removed the fleet-wide prepare ticket (wound-wait handles
+prepare admission); only the legacy-ticket cleanup shim remains here."""
 
 import warnings
 
@@ -100,14 +101,20 @@ class TestTwoPCLog:
         log.clear_decision("t1")
         assert log.decision("t1") is None
 
-    def test_ticket_mutual_exclusion(self):
+    def test_ticket_primitives_are_gone(self):
+        # The fleet-wide prepare ticket serialised every cross-shard
+        # prepare; wound-wait replaced it.  Guard against reintroduction.
         log = TwoPCLog(_kv())
-        assert log.acquire_ticket("a")
-        assert log.acquire_ticket("a")  # re-entrant for the holder
-        assert not log.acquire_ticket("b")
-        assert log.ticket_holder() == "a"
-        assert not log.release_ticket("b")
-        assert log.release_ticket("a")
+        for name in ("acquire_ticket", "release_ticket", "ticket_holder"):
+            assert not hasattr(log, name)
+
+    def test_clear_legacy_ticket_is_an_idempotent_no_op(self):
+        log = TwoPCLog(_kv())
+        assert log.clear_legacy_ticket() is False  # nothing persisted
+        log.kv.put(TwoPCLog.LEGACY_TICKET_KEY, "txn-000042")
+        assert log.clear_legacy_ticket() is True
+        assert log.kv.get(TwoPCLog.LEGACY_TICKET_KEY) is None
+        assert log.clear_legacy_ticket() is False  # idempotent
 
 
 class TestDecisionGC:
@@ -158,7 +165,6 @@ class TestDecisionGC:
         log.publish_horizon(2, 1)
         assert log.gc_decisions(0) == 1
         assert log.decision("t1") is None
-        assert log.acquire_ticket("b")
 
 
 class TestShardedDecisionKeys:
