@@ -15,9 +15,10 @@ test-unit:
 test-integration:
 	$(PYTHONPATH_PREFIX) python -m pytest tests/integration tests/property -q
 
-## Full benchmark suite; writes BENCH_pr9.json (incl. 2/4-shard runs, the
-## cross-shard 2PC mix and the read-path section: replica staleness,
-## fleet views, O(1) snapshot scaling, subscribe latency, fenced views).
+## Full benchmark suite; writes BENCH_pr10.json (incl. the pipeline-depth
+## sweep, 2/4-shard runs, the cross-shard 2PC mix and the read-path
+## section: replica staleness, fleet views, O(1) snapshot scaling,
+## subscribe latency, fenced views).
 bench:
 	bash scripts/run_benchmarks.sh
 

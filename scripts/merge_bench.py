@@ -61,6 +61,15 @@ def main() -> None:
                              "(the static invariant analyzer) shipped no "
                              "benchmark, so pass BENCH_pr7.json — the last "
                              "measured write path before PR 9")
+    parser.add_argument("--pr9", default=None,
+                        help="BENCH_pr9.json for the PR 10 gates: the "
+                             "pipelined + optimised write path must beat "
+                             "the PR 9 single-shard reference outright, "
+                             "and its depth-1 (serial) configuration must "
+                             "not regress against it")
+    parser.add_argument("--pipeline-sweep", default=None,
+                        help="pipeline-depth sweep JSON (measure_writepath "
+                             "--depth-sweep; PR 10)")
     parser.add_argument("--cross-shard", default=None,
                         help="cross-shard 2PC mix measure_writepath JSON (PR 3)")
     parser.add_argument("--cross-shard-sweep", default=None,
@@ -96,7 +105,19 @@ def main() -> None:
         ),
     }
 
-    if args.pr >= 9:
+    if args.pr >= 10:
+        subsystem = (
+            "pipelined group commit: the controller step loop is split "
+            "into a CPU stage (drain/handle/simulate/lock, writes "
+            "buffered into sealed steps) and an I/O stage (one merged "
+            "group-commit flush per bounded window, then per-step "
+            "post-durability effects in seal order), with batched "
+            "checkpoint write phases and an apply-once shared-tree "
+            "ensemble; depth 1 is byte-for-byte the serial path, proven "
+            "by three new crash edges in the fault matrix, a depth-3 "
+            "chaos soak and the ack-before-flush analyzer rule"
+        )
+    elif args.pr >= 9:
         subsystem = (
             "concurrent cross-shard 2PC: the fleet-wide prepare ticket is "
             "replaced by wound-wait on txid order (disjoint cross-shard "
@@ -257,6 +278,38 @@ def main() -> None:
         ratios["single_shard_vs_pr8"] = round(
             large["throughput_txn_s"] / pr8_tput, 2
         )
+    pr9_tput = None
+    if args.pr9:
+        pr9 = _load(args.pr9)
+        pr9_tput = pr9["large_fleet"]["throughput_txn_s"]
+        result["pr9_reference"] = {
+            "throughput_txn_s": pr9_tput,
+            "writes_per_commit": pr9["large_fleet"]["writes_per_commit"],
+        }
+        # The PR 10 gate: this PR is the perf work itself, so the bar is
+        # an outright win (>= 1.25x), not the usual don't-regress 0.9x.
+        ratios["single_shard_vs_pr9"] = round(
+            large["throughput_txn_s"] / pr9_tput, 2
+        )
+        # Round-trip discipline as a gateable ratio: >= 1.0 iff the
+        # pipelined run needs no more write round-trips per commit than
+        # the 0.29 the write path has held since PR 3.
+        ratios["writes_per_commit_headroom"] = round(
+            0.29 / max(large["writes_per_commit"], 1e-9), 2
+        )
+    if args.pipeline_sweep:
+        sweep_doc = _load(args.pipeline_sweep)
+        result["pipeline_depth_sweep"] = sweep_doc
+        depth1 = next(
+            (e for e in sweep_doc["sweep"] if e.get("pipeline_depth") == 1), None
+        )
+        if depth1 is not None and pr9_tput:
+            # The PR 10 pay-for-what-you-use gate: pipeline_depth=1 is the
+            # serial write path byte-for-byte, so with the window disabled
+            # the new loop must not regress against the PR 9 reference.
+            ratios["pipeline_depth1_vs_pr9"] = round(
+                depth1["throughput_txn_s"] / pr9_tput, 2
+            )
     if args.cross_shard:
         cross = _load(args.cross_shard)
         result["cross_shard_mix"] = cross

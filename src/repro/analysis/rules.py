@@ -20,6 +20,7 @@ ALL_RULES = (
     "txn-state-invalid-transition",
     "transient-swallowed",
     "wound-without-decision",
+    "ack-before-flush",
     "waiver-missing-justification",
 )
 
@@ -213,6 +214,40 @@ WOUND_DECISION_BASES = frozenset({"twopc"})
 #: Modules exempt from wound-without-decision: test harnesses wound
 #: through spies, and the analyzer itself.
 WOUND_EXEMPT_MODULE_PREFIXES = ("repro.testing", "repro.analysis")
+
+# ---------------------------------------------------------------------------
+# ack-before-flush
+# ---------------------------------------------------------------------------
+
+#: Post-durability effect calls of the pipelined write path: inputQ
+#: acknowledgements, phyQ dispatches and 2PC fan-out.  Each presupposes
+#: that the state it reveals (terminal documents, STARTED records,
+#: decision records) is already durable, so within a function the effect
+#: must be *dominated* by a covering flush — or carry a waiver naming
+#: the out-of-function flush that covers it.
+ACK_EFFECT_TERMINALS = frozenset({"ack", "ack_many"})
+ACK_EFFECT_BASES = frozenset({"input_queue"})
+
+DISPATCH_EFFECT_TERMINALS = frozenset({"put", "put_many"})
+DISPATCH_EFFECT_BASES = frozenset({"phy_queue"})
+
+FANOUT_EFFECT_TERMINALS = frozenset({"_send_peer", "_send_outbound"})
+
+#: Calls that make the pending window/batch durable before the effect:
+#: a store/kv ``flush``, the pipeline's merged-window commit, or the
+#: controller's explicit window drain.
+DURABLE_FLUSH_TERMINALS = frozenset({"flush", "commit_batches"})
+DURABLE_FLUSH_BASES = frozenset({"store", "kv", "_pipeline"})
+DURABLE_DRAIN_TERMINALS = frozenset({"_drain_pipeline"})
+
+#: Modules exempt from ack-before-flush: the coordination layer
+#: implements the queue primitives themselves, harnesses drive faults
+#: single-threaded, and the analyzer is not a protocol participant.
+ACK_EXEMPT_MODULE_PREFIXES = (
+    "repro.coordination",
+    "repro.testing",
+    "repro.analysis",
+)
 
 # ---------------------------------------------------------------------------
 # transient-swallowed

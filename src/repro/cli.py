@@ -14,6 +14,10 @@ mechanisms from the command line:
 * ``repair-drill`` — power-cycle a host out of band and repair it (§4);
 * ``chaos``        — run seeded chaos scenarios (crashes + ensemble
   faults + retries) and check the end-to-end invariants;
+* ``stats``        — run a short workload and print the write-path
+  instrumentation: store I/O counters, the commit-pipeline flush/window
+  stats (``--pipeline-depth`` overlaps simulation with the ensemble
+  flush), checkpoint stats and resilience counters;
 * ``inventory``    — print the fleet and per-host utilisation;
 * ``2pc-gc``       — decision-record retention drill, including the
   administrative sweep for a permanently retired coordinator shard
@@ -32,7 +36,7 @@ from typing import Sequence
 
 from repro.common.config import TropicConfig
 from repro.core.txn import TransactionState
-from repro.metrics.report import ascii_table, format_resilience
+from repro.metrics.report import ascii_table, format_pipeline, format_resilience
 from repro.metrics.stats import percentile
 from repro.tcloud.service import TCloud, build_tcloud
 from repro.workloads.ec2 import EC2TraceParams, ec2_spawn_trace
@@ -54,6 +58,7 @@ def _build_cloud(args: argparse.Namespace, threaded: bool = False,
         # tenant provisioning); run them under 2PC instead of rejecting.
         cross_shard_policy=getattr(args, "cross_shard", "2pc"),
         read_mode=getattr(args, "read_mode", "replica"),
+        pipeline_depth=getattr(args, "pipeline_depth", 1),
     )
     return build_tcloud(
         num_vm_hosts=args.hosts,
@@ -272,6 +277,35 @@ def cmd_twopc_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run a short logical workload and print the write-path stats."""
+    cloud = _build_cloud(args, logical_only=True)
+    with cloud.platform:
+        for index in range(args.operations):
+            cloud.spawn_vm(f"stat-{index}", mem_mb=256)
+        leader = cloud.platform.leader()
+        io = leader.io_stats()
+        pipeline = io.pop("pipeline", {})
+        rows = [
+            (key, value)
+            for key, value in sorted(io.items())
+            if not isinstance(value, dict)
+        ]
+        print(ascii_table(
+            ("counter", "value"), rows,
+            title=f"store I/O ({args.operations} spawns, "
+                  f"pipeline depth {leader.config.pipeline_depth})",
+        ))
+        print()
+        print(format_pipeline(pipeline))
+        print()
+        checkpoint_rows = sorted(leader.store.checkpoint_stats.as_dict().items())
+        print(ascii_table(("counter", "value"), checkpoint_rows, title="checkpoints"))
+        print()
+        print(format_resilience(cloud.platform.resilience_stats()))
+    return 0
+
+
 def cmd_inventory(args: argparse.Namespace) -> int:
     """Print the fleet layout and per-host utilisation."""
     cloud = _build_cloud(args)
@@ -356,6 +390,18 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--operations", type=int, default=10,
                        help="operations per scenario")
 
+    stats = sub.add_parser(
+        "stats",
+        help="run a short workload and print write-path instrumentation: "
+             "store I/O, commit-pipeline flush/window stats, checkpoint "
+             "round-trips, resilience counters",
+    )
+    stats.add_argument("--operations", type=int, default=24,
+                       help="VMs to spawn before reporting the counters")
+    stats.add_argument("--pipeline-depth", type=int, default=1,
+                       help="commit-pipeline in-flight window depth "
+                            "(config.pipeline_depth; 1 = serial group commit)")
+
     inventory = sub.add_parser("inventory", help="show fleet and utilisation")
     inventory.add_argument("--operations", type=int, default=6,
                            help="VMs to seed before reporting utilisation")
@@ -384,6 +430,7 @@ _COMMANDS = {
     "failover": cmd_failover,
     "repair-drill": cmd_repair_drill,
     "chaos": cmd_chaos,
+    "stats": cmd_stats,
     "inventory": cmd_inventory,
     "2pc-gc": cmd_twopc_gc,
 }

@@ -18,13 +18,14 @@ class IdGenerator:
     def __init__(self, prefix: str, width: int = 6):
         self._prefix = prefix
         self._width = width
+        self._format = f"{prefix}-%0{width}d"
         self._counter = itertools.count(1)
         self._lock = threading.Lock()
 
     def next(self) -> str:
         with self._lock:
             value = next(self._counter)
-        return f"{self._prefix}-{value:0{self._width}d}"
+        return self._format % value
 
 
 _GLOBAL_COUNTERS: dict[str, IdGenerator] = {}

@@ -12,9 +12,16 @@ import json
 from typing import Any
 
 
+#: One shared encoder instance: ``json.dumps`` with keyword options builds
+#: a fresh ``JSONEncoder`` per call, which is measurable overhead on the
+#: write path (every transaction-document fragment and queue message goes
+#: through here).  The encoder is stateless, so sharing it is thread-safe.
+_ENCODER = json.JSONEncoder(sort_keys=True, separators=(",", ":"))
+
+
 def dumps(value: Any) -> str:
     """Serialize ``value`` deterministically."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return _ENCODER.encode(value)
 
 
 def loads(data: str | bytes | None) -> Any:

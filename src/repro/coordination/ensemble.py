@@ -74,6 +74,15 @@ class CoordinationEnsemble:
             raise ValueError("ensemble needs at least one server")
         self.clock = clock or RealClock()
         self.servers = [CoordinationServer(f"coord-{i}") for i in range(num_servers)]
+        # Up replicas are identical by construction, so they share one
+        # physical tree (see CoordinationServer.sync_from): each committed
+        # op is applied once and stamped on every up server's zxid, and a
+        # crashing server detaches a frozen private copy.  Round-trip and
+        # latency accounting are unaffected — replication cost in a real
+        # ensemble is paid by other machines, not this process.
+        for server in self.servers[1:]:
+            server.sync_from(self.servers[0])
+        self._up_count = num_servers
         self.default_session_timeout = default_session_timeout
         self.op_latency = op_latency
         self._zxid = 0
@@ -97,19 +106,28 @@ class CoordinationEnsemble:
         return [server for server in self.servers if server.up]
 
     def has_quorum(self) -> bool:
-        return len(self.up_servers()) * 2 > len(self.servers)
+        # _up_count is maintained by crash_server/restart_server so the
+        # per-operation quorum check does not allocate a server list.
+        return self._up_count * 2 > len(self.servers)
 
     def crash_server(self, index: int) -> None:
         with self._lock:
-            self.servers[index].crash()
+            server = self.servers[index]
+            if server.up:
+                server.freeze_copy()
+                server.crash()
+                self._up_count -= 1
 
     def restart_server(self, index: int) -> None:
         with self._lock:
             server = self.servers[index]
+            if server.up:
+                return
             healthy = next((s for s in self.servers if s.up), None)
             if healthy is not None:
                 server.sync_from(healthy)
             server.restart()
+            self._up_count += 1
 
     @property
     def op_count(self) -> int:
@@ -263,16 +281,14 @@ class CoordinationEnsemble:
                 raise NoNodeError(f"parent {parent} does not exist")
             actual_path = path
             if sequential:
-                seq = None
-                for server in self.up_servers():
-                    seq = server.apply_bump_sequence(parent)
+                seq = reference.apply_bump_sequence(parent)
                 actual_path = f"{path}{seq:010d}"
             if reference.exists(actual_path):
                 raise NodeExistsError(f"znode {actual_path} already exists")
             self._zxid += 1
             owner = session_id if ephemeral else None
-            for server in self.up_servers():
-                server.apply_create(actual_path, data, owner, self._zxid)
+            reference.apply_create(actual_path, data, owner, self._zxid)
+            self._stamp_applied(self._zxid)
             self._queue_watch(self._data_watches, actual_path, "created", events)
             self._queue_watch(self._child_watches, parent, "child", events)
         self._fire(events)
@@ -307,10 +323,10 @@ class CoordinationEnsemble:
                     f"version mismatch on {path}: expected {version}, found {node.version}"
                 )
             self._zxid += 1
-            for server in self.up_servers():
-                server.apply_set(path, data, self._zxid)
+            self._reference_server().apply_set(path, data, self._zxid)
+            self._stamp_applied(self._zxid)
             self._queue_watch(self._data_watches, path, "changed", events)
-            stat = self._reference_server().lookup(path).stat()
+            stat = node.stat()
         self._fire(events)
         return stat
 
@@ -450,6 +466,13 @@ class CoordinationEnsemble:
                 return server
         raise QuorumLostError("no coordination server is up")
 
+    def _stamp_applied(self, zxid: int) -> None:
+        """Record ``zxid`` on every up server.  The tree mutation itself is
+        applied once — all up servers share it (see ``__init__``)."""
+        for server in self.servers:
+            if server.up:
+                server.applied_zxid = zxid
+
     def _check_quorum(self) -> None:
         if not self.has_quorum():
             raise QuorumLostError(
@@ -482,52 +505,48 @@ class CoordinationEnsemble:
         """Create-or-set ``path`` (creating missing ancestors), firing the
         same watches the equivalent create/set sequence would fire.
 
-        The reference tree is walked once to find the deepest existing
-        prefix; only the missing suffix is created (instead of one
-        existence probe per ancestor per call).
+        The overwhelmingly common case — the node already exists — is a
+        single path-index probe; otherwise the deepest existing prefix is
+        found by probing upward from the leaf (instead of one existence
+        probe per ancestor per call).
         """
         reference = self._reference_server()
         parts = split_path(path)
-        servers = self.up_servers()
-        # Walk down the existing prefix.
-        node = reference.root
-        existing_depth = 0
-        for part in parts:
-            child = node.children.get(part)
-            if child is None:
-                break
-            node = child
-            existing_depth += 1
-        if existing_depth == len(parts):
+        if reference.node_at(parts) is not None:
             self._zxid += 1
-            for server in servers:
-                server.apply_set(path, data, self._zxid)
+            reference.apply_set(path, data, self._zxid)
+            self._stamp_applied(self._zxid)
             self._queue_watch(self._data_watches, path, "changed", events)
             return
+        # Probe upward for the deepest existing prefix (missing nodes are
+        # usually leaves, so this terminates after one or two probes).
+        existing_depth = len(parts) - 1
+        while existing_depth and reference.node_at(parts[:existing_depth]) is None:
+            existing_depth -= 1
         current = "/" + "/".join(parts[:existing_depth]) if existing_depth else ""
         for index in range(existing_depth, len(parts)):
             current = current + "/" + parts[index]
             is_leaf = index == len(parts) - 1
             self._zxid += 1
-            for server in servers:
-                server.apply_create(current, data if is_leaf else "", None, self._zxid)
+            reference.apply_create(current, data if is_leaf else "", None, self._zxid)
             self._queue_watch(self._data_watches, current, "created", events)
             self._queue_watch(self._child_watches, parent_path(current), "child", events)
+        self._stamp_applied(self._zxid)
 
     def _apply_create(
         self, path: str, data: str, events: list[tuple[Watcher, WatchEvent]]
     ) -> str:
         reference = self._reference_server()
-        parent = parent_path(path)
-        if not reference.exists(parent):
-            raise NoNodeError(f"parent {parent} does not exist")
-        if reference.exists(path):
+        parts = split_path(path)
+        if reference.node_at(parts[:-1]) is None:
+            raise NoNodeError(f"parent {parent_path(path)} does not exist")
+        if reference.node_at(parts) is not None:
             raise NodeExistsError(f"znode {path} already exists")
         self._zxid += 1
-        for server in self.up_servers():
-            server.apply_create(path, data, None, self._zxid)
+        reference.apply_create(path, data, None, self._zxid)
+        self._stamp_applied(self._zxid)
         self._queue_watch(self._data_watches, path, "created", events)
-        self._queue_watch(self._child_watches, parent, "child", events)
+        self._queue_watch(self._child_watches, parent_path(path), "child", events)
         return path
 
     def _apply_create_seq(
@@ -535,17 +554,15 @@ class CoordinationEnsemble:
     ) -> str:
         reference = self._reference_server()
         parent = parent_path(path_prefix)
-        if not reference.exists(parent):
+        if reference.node_at(split_path(parent)) is None:
             raise NoNodeError(f"parent {parent} does not exist")
-        seq = None
-        for server in self.up_servers():
-            seq = server.apply_bump_sequence(parent)
+        seq = reference.apply_bump_sequence(parent)
         actual_path = f"{path_prefix}{seq:010d}"
-        if reference.exists(actual_path):
+        if reference.node_at(split_path(actual_path)) is not None:
             raise NodeExistsError(f"znode {actual_path} already exists")
         self._zxid += 1
-        for server in self.up_servers():
-            server.apply_create(actual_path, data, None, self._zxid)
+        reference.apply_create(actual_path, data, None, self._zxid)
+        self._stamp_applied(self._zxid)
         self._queue_watch(self._data_watches, actual_path, "created", events)
         self._queue_watch(self._child_watches, parent, "child", events)
         return actual_path
@@ -570,8 +587,8 @@ class CoordinationEnsemble:
 
     def _commit_delete(self, path: str, events: list[tuple[Watcher, WatchEvent]]) -> None:
         self._zxid += 1
-        for server in self.up_servers():
-            server.apply_delete(path, self._zxid)
+        self._reference_server().apply_delete(path, self._zxid)
+        self._stamp_applied(self._zxid)
         self._queue_watch(self._data_watches, path, "deleted", events)
         self._queue_watch(self._child_watches, parent_path(path), "child", events)
 

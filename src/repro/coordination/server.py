@@ -1,10 +1,15 @@
 """A single coordination replica server.
 
-Each server holds a full copy of the znode tree.  The ensemble applies
-committed operations to every *up* server; a write succeeds only if a
-majority of servers are up (quorum), mirroring ZooKeeper's availability
-model.  Crashing and restarting servers lets tests and the §6.4 experiment
-exercise the platform's behaviour under coordination-service failures.
+Each server presents a full copy of the znode tree.  A write succeeds only
+if a majority of servers are up (quorum), mirroring ZooKeeper's
+availability model.  Because every committed op reaches every up server
+and a restarted server syncs before serving, in-sync replicas are
+byte-identical — so they *share* one physical tree, the ensemble applies
+each op once, and a crashing server detaches a private frozen copy
+(replication CPU on one simulated host would otherwise be charged N times
+for work real replicas do on other machines).  Crashing and restarting
+servers lets tests and the §6.4 experiment exercise the platform's
+behaviour under coordination-service failures.
 """
 
 from __future__ import annotations
@@ -21,6 +26,13 @@ class CoordinationServer:
         self.root = ZNode(path="/")
         self.up = True
         self.applied_zxid = 0
+        # Flat path index over the tree: split-path tuple -> node.  Every
+        # committed op is applied to every up server, so the per-op tree
+        # walk used to dominate coordination CPU; the index turns lookup
+        # and the parent resolution of create/delete into one dict hit.
+        # The tree (node.children) stays authoritative — the index is
+        # rebuilt wholesale whenever the tree is replaced (sync_from).
+        self._index: dict[tuple[str, ...], ZNode] = {(): self.root}
 
     # -- availability ----------------------------------------------------
 
@@ -33,43 +45,58 @@ class CoordinationServer:
         self.up = True
 
     def sync_from(self, other: "CoordinationServer") -> None:
-        """Catch up from a healthy replica after a restart."""
-        self.root = other.root.clone()
+        """Catch up from a healthy replica after a restart.
+
+        Joins ``other``'s share group: up replicas are byte-identical by
+        construction (every committed op is applied to all of them, and a
+        restarted server syncs before serving), so in-sync servers share
+        one physical tree and the ensemble applies each op once.  A
+        crashing server detaches a private frozen copy first
+        (:meth:`freeze_copy`), which is what preserves the
+        state-at-crash-point semantics of a real replica's disk log.
+        """
+        self.root = other.root
         self.applied_zxid = other.applied_zxid
+        self._index = other._index
+
+    def freeze_copy(self) -> None:
+        """Detach from the share group, keeping a private deep copy of the
+        current tree (called when this server crashes, so the survivors'
+        continued writes do not leak into its frozen state)."""
+        self.root = self.root.clone()
+        self._index = {(): self.root}
+        self._reindex(self.root, ())
+
+    def _reindex(self, node: ZNode, parts: tuple[str, ...]) -> None:
+        for name, child in node.children.items():
+            child_parts = parts + (name,)
+            self._index[child_parts] = child
+            self._reindex(child, child_parts)
 
     # -- tree access -------------------------------------------------------
 
     def lookup(self, path: str) -> ZNode:
-        node = self.root
-        for part in split_path(path):
-            child = node.children.get(part)
-            if child is None:
-                raise NoNodeError(f"no znode at {path}")
-            node = child
+        node = self._index.get(split_path(path))
+        if node is None:
+            raise NoNodeError(f"no znode at {path}")
         return node
 
     def exists(self, path: str) -> bool:
-        try:
-            self.lookup(path)
-            return True
-        except NoNodeError:
-            return False
+        return split_path(path) in self._index
+
+    def node_at(self, parts: tuple[str, ...]) -> ZNode | None:
+        """Index probe by pre-split path (``None`` if absent); lets batch
+        appliers test several candidate paths without re-splitting."""
+        return self._index.get(parts)
 
     # -- applying committed operations --------------------------------------
 
     def apply_create(self, path: str, data: str, ephemeral_owner: str | None, zxid: int) -> None:
         parts = split_path(path)
-        parent = self.root
-        for part in parts[:-1]:
-            parent = parent.children[part]
-        node = ZNode(
-            path=path,
-            data=data,
-            czxid=zxid,
-            mzxid=zxid,
-            ephemeral_owner=ephemeral_owner,
-        )
+        parent = self._index[parts[:-1]]
+        node = ZNode(path, data, 0, zxid, zxid, ephemeral_owner)
         parent.children[parts[-1]] = node
+        self._index[parts] = node
         self.applied_zxid = zxid
 
     def apply_set(self, path: str, data: str, zxid: int) -> None:
@@ -81,11 +108,20 @@ class CoordinationServer:
 
     def apply_delete(self, path: str, zxid: int) -> None:
         parts = split_path(path)
-        parent = self.root
-        for part in parts[:-1]:
-            parent = parent.children[part]
-        parent.children.pop(parts[-1], None)
+        parent = self._index[parts[:-1]]
+        node = parent.children.pop(parts[-1], None)
+        if node is not None:
+            del self._index[parts]
+            if node.children:
+                self._unindex(node, parts)
         self.applied_zxid = zxid
+
+    def _unindex(self, node: ZNode, parts: tuple[str, ...]) -> None:
+        for name, child in node.children.items():
+            child_parts = parts + (name,)
+            self._index.pop(child_parts, None)
+            if child.children:
+                self._unindex(child, child_parts)
 
     def apply_bump_sequence(self, path: str) -> int:
         node = self.lookup(path)

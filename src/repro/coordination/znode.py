@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 
@@ -26,7 +26,6 @@ class Stat:
         }
 
 
-@dataclass
 class ZNode:
     """A node in the coordination tree.
 
@@ -34,16 +33,36 @@ class ZNode:
     ``ephemeral_owner`` is the id of the owning session for ephemeral nodes;
     such nodes are removed automatically when the session expires, which is
     how controller failure is detected (§2.3).
+
+    A plain ``__slots__`` class rather than a dataclass: every committed
+    create is applied to every up replica, so znode construction sits on
+    the coordination hot path.
     """
 
-    path: str
-    data: str = ""
-    version: int = 0
-    czxid: int = 0
-    mzxid: int = 0
-    ephemeral_owner: str | None = None
-    children: dict[str, "ZNode"] = field(default_factory=dict)
-    sequence_counter: int = 0
+    __slots__ = (
+        "path", "data", "version", "czxid", "mzxid",
+        "ephemeral_owner", "children", "sequence_counter",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        data: str = "",
+        version: int = 0,
+        czxid: int = 0,
+        mzxid: int = 0,
+        ephemeral_owner: str | None = None,
+        children: "dict[str, ZNode] | None" = None,
+        sequence_counter: int = 0,
+    ) -> None:
+        self.path = path
+        self.data = data
+        self.version = version
+        self.czxid = czxid
+        self.mzxid = mzxid
+        self.ephemeral_owner = ephemeral_owner
+        self.children = {} if children is None else children
+        self.sequence_counter = sequence_counter
 
     @property
     def is_ephemeral(self) -> bool:

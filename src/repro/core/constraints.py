@@ -47,16 +47,27 @@ class ConstraintEngine:
 
     # -- checking -----------------------------------------------------------
 
-    def check_after_write(self, model: DataModel, path: str | ResourcePath) -> list[str]:
+    _SCOPE_UNRESOLVED = object()
+
+    def check_after_write(
+        self,
+        model: DataModel,
+        path: str | ResourcePath,
+        scope: "ResourcePath | None | object" = _SCOPE_UNRESOLVED,
+    ) -> list[str]:
         """Violations caused by a write at ``path``.
 
         The scope is the subtree under the highest constrained ancestor of
         ``path`` (falling back to the written subtree itself), which bounds
         checking cost while covering every constraint whose inputs the write
-        can influence through its locked subtree.
+        can influence through its locked subtree.  Callers that already
+        resolved the ancestor (the orchestration context records it as a
+        constraint read just before checking) pass it as ``scope`` to skip
+        the second resolution walk.
         """
         rpath = ResourcePath.parse(path)
-        scope = self.highest_constrained_ancestor(model, rpath)
+        if scope is ConstraintEngine._SCOPE_UNRESOLVED:
+            scope = self.highest_constrained_ancestor(model, rpath)
         if scope is None:
             scope = rpath if model.exists(rpath) else rpath.parent
         if not model.exists(scope):

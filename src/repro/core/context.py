@@ -129,7 +129,7 @@ class OrchestrationContext:
         if scope is not None:
             self.txn.rwset.record_constraint_read(str(scope))
 
-        violations = self.constraints.check_after_write(self.model, rpath)
+        violations = self.constraints.check_after_write(self.model, rpath, scope=scope)
         if violations:
             raise ConstraintViolation(
                 "; ".join(violations), constraint="post-action", path=str(rpath)

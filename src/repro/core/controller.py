@@ -53,6 +53,13 @@ from repro.core.events import (
 )
 from repro.core.locks import LockManager
 from repro.core.persistence import TropicStore
+from repro.core.pipeline import (
+    PIPELINE_POST_FLUSH_PRE_ACK,
+    PIPELINE_PRE_FLUSH,  # noqa: F401 - re-exported for the fault matrix
+    PIPELINE_WINDOW_CRASH,  # noqa: F401 - re-exported for the fault matrix
+    CommitPipeline,
+    SealedStep,
+)
 from repro.core.procedures import ProcedureRegistry
 from repro.core.recovery import recover_state
 from repro.core.scheduler import FIFO, TodoQueue
@@ -192,6 +199,20 @@ class Controller:
         #: the buffered STARTED document); the mutex restores the seed's
         #: sequential ordering.
         self._op_mutex = traced(threading.RLock(), "Controller._op_mutex")
+        #: Pipelined group commit (``config.pipeline_depth``): each step's
+        #: write batch is sealed — together with its deferred phyQ
+        #: dispatches, 2PC fan-out, notifications and inputQ acks — into a
+        #: bounded in-flight window; the window commits as one multi and
+        #: only then are the sealed effects applied, preserving
+        #: ack-after-durable / STARTED-durable-before-dispatch at any
+        #: depth.  Depth 1 reproduces the classic serial loop exactly.
+        self._pipeline = CommitPipeline(
+            kv=store.kv,
+            depth=config.pipeline_depth,
+            commit=store.commit_batches,
+            effects=self._apply_sealed_effects,
+            fault=self._fault,
+        )
         self.stats: dict[str, int] = {
             "accepted": 0,
             "committed": 0,
@@ -247,6 +268,10 @@ class Controller:
         self._notify_buffer = []
         self._outbound = []
         self._wounds_sent = {}
+        # A fresh leadership starts with an empty commit window; anything
+        # sealed before the failover is lost exactly like a dying leader's
+        # buffered group commit (the unacked messages re-deliver).
+        self._pipeline.clear()
         # Another leader may have rewritten transaction documents since
         # this replica last persisted them.
         self.store.reset_fragment_cache()
@@ -281,6 +306,7 @@ class Controller:
         self._outbound = []
         self._signals_present = None
         self._wounds_sent = {}
+        self._pipeline.clear()
         self.store.reset_fragment_cache()
 
     # ------------------------------------------------------------------
@@ -321,6 +347,7 @@ class Controller:
             elif decision == DECISION_ABORT:
                 self._abort_participant(txn)
             elif txn.coordinator is not None:
+                # repro: allow(ack-before-flush) -- recovery path: the prepare record it re-votes for was durable before the crash
                 self._send_peer(
                     txn.coordinator,
                     vote_message(txn.txid, self.shard_id, VOTE_YES, txn.defer_count),
@@ -381,6 +408,7 @@ class Controller:
         if not lost:
             return
         self.store.stamp_dispatch_epoch(self.dispatch_epoch)
+        # repro: allow(ack-before-flush) -- recovery path: the STARTED documents being re-dispatched were committed by the previous leader
         self.phy_queue.put_many(
             [execute_message(txid, self.dispatch_epoch) for txid in lost]
         )
@@ -393,12 +421,18 @@ class Controller:
     def step(self) -> bool:
         """Drain a batch of inputQ messages and run one scheduling pass.
 
-        All store writes issued while handling the batch — acceptance and
-        terminal state transitions, applied-log appends, signal clears —
-        are coalesced into a single group commit, and the messages are
-        acknowledged only after that commit: a leader crash mid-batch
-        re-delivers every message to the next leader, which handles each
-        idempotently (§2.3).
+        The step is the *CPU stage* of the pipelined write path: all store
+        writes issued while handling the batch — acceptance and terminal
+        state transitions, applied-log appends, signal clears — are
+        buffered into one sealed :class:`~repro.core.pipeline.SealedStep`,
+        together with every effect that must wait for their durability
+        (phyQ dispatches, 2PC fan-out, notifications, inputQ acks).  The
+        *I/O stage* — the group-commit flush and those deferred effects —
+        runs when the in-flight window reaches ``config.pipeline_depth``
+        (immediately, at the default depth 1) or when the loop goes idle.
+        Messages are acknowledged only after their covering commit: a
+        leader crash mid-window re-delivers every unacked message to the
+        next leader, which handles each idempotently (§2.3).
 
         Returns True if any work was performed.  All CPU time spent here is
         charged to the busy stopwatch, which backs the controller CPU
@@ -410,7 +444,10 @@ class Controller:
         # repro: allow(blocking-under-lock) -- the op mutex IS the step loop's serialisation point: holding it across the batch's coordination ops restores the seed's sequential per-shard ordering that group commit would otherwise race
         with self.busy, self._op_mutex:
             try:
-                taken = self.input_queue.take_many(self.config.input_batch_size)
+                taken = self.input_queue.take_many(
+                    self.config.input_batch_size,
+                    exclude=self._pipeline.pending_acks,
+                )
                 if taken or not self.todo.is_empty():
                     # One listing round-trip amortised over the batch; idle
                     # polls (no messages, nothing queued) skip the board
@@ -419,7 +456,9 @@ class Controller:
                     self._signals_present = self.signals.signalled()
                 else:
                     self._signals_present = None
-                with self.store.batch():
+                kv = self.store.kv
+                kv.begin_batch()
+                try:
                     for _, item in taken:
                         self._handle_message(item)
                     if taken:
@@ -432,13 +471,42 @@ class Controller:
                         did_work = True
                     if self.schedule():
                         did_work = True
-                # The batch has committed: terminal states are durable, so
-                # the buffered notifications may reach clients, protocol
-                # messages may go to peer shards, and the consumed messages
-                # may be acknowledged.
-                self._flush_notifications()
-                self._flush_outbound()
-                self.input_queue.ack_many([name for name, _ in taken])
+                    if self._dispatch_buffer:
+                        # Stamp the covering commit with the dispatch epoch
+                        # (coalesces to one sub-op per flush).
+                        self.store.stamp_dispatch_epoch(self.dispatch_epoch)
+                except BaseException:
+                    # Pre-pipeline, the batch context manager still flushed
+                    # partial writes while an exception unwound the step;
+                    # preserve that by committing the window plus this
+                    # step's partial batch, dropping the deferred effects
+                    # (unacked messages re-deliver; lost dispatches are
+                    # re-dispatched on recovery).  A commit failure — or an
+                    # armed pre-commit crash — propagates from here exactly
+                    # as an unwind-flush failure did.
+                    self._pipeline.abort_step()
+                    raise
+                self._pipeline.seal(
+                    SealedStep(
+                        batch=kv.detach_batch(),
+                        dispatches=self._dispatch_buffer,
+                        dispatch_epoch=self.dispatch_epoch,
+                        outbound=self._outbound,
+                        notifications=self._notify_buffer,
+                        acks=[name for name, _ in taken],
+                    )
+                )
+                self._dispatch_buffer = []
+                self._outbound = []
+                self._notify_buffer = []
+                # I/O stage: flush when the window is full — always, at
+                # depth 1 — or when the loop has gone idle (nothing new to
+                # overlap the in-flight window with).  Draining deferred
+                # dispatches/acks counts as progress for run-until-idle
+                # drivers.
+                if self._pipeline.should_flush() or not did_work:
+                    if self._pipeline.flush() and not did_work:
+                        did_work = True
             except Exception:
                 # A failed step may have lost buffered store writes while
                 # the in-memory transitions survived (or vice versa).  Soft
@@ -531,7 +599,13 @@ class Controller:
                 self._fence(item.get("failed_path"))
             self.store.save_transaction(txn, dirty_fields=())
         self.lock_manager.release_all(txid)
-        self.signals.clear(txid)
+        # Clearing a signal that was never sent is a store delete per
+        # commit; the per-step snapshot knows whether one exists (all
+        # sends go through send_term/send_kill under the op mutex, which
+        # also add to the live snapshot).
+        present = self._signals_present
+        if present is None or txid in present:
+            self.signals.clear(txid)
         self._notify(txn)
 
     def _signal_of(self, txid: str) -> str | None:
@@ -605,9 +679,10 @@ class Controller:
         was started or aborted.
 
         Every currently-runnable transaction is dispatched in this single
-        pass.  Dispatches to phyQ are buffered and sent only after the
-        pending store writes are flushed, so a worker can never observe a
-        transaction whose STARTED state is not yet durable.
+        pass.  Dispatches to phyQ are buffered into the step's sealed
+        batch and sent only after its covering group commit, so a worker
+        can never observe a transaction whose STARTED state is not yet
+        durable.
         """
         progressed = False
         deferred: list[Transaction] = []
@@ -636,43 +711,67 @@ class Controller:
                 progressed = True
         for txn in reversed(deferred):
             self.todo.push_front(txn)
-        self._flush_dispatches()
         return progressed
 
-    def _flush_dispatches(self) -> None:
-        """Group-commit pending state changes, then hand the buffered
-        runnable transactions to the physical workers in one queue write
-        and the buffered 2PC messages to their peer shards."""
-        if not self._dispatch_buffer and not self._outbound:
-            return
-        if self._dispatch_buffer:
-            # Stamp the group commit with the dispatch epoch (coalesces to
-            # one sub-op per flush regardless of batch size).
-            self.store.stamp_dispatch_epoch(self.dispatch_epoch)
-        self.store.flush()
-        if self._dispatch_buffer:
+    def _apply_sealed_effects(self, sealed: SealedStep) -> None:
+        """Apply one sealed step's post-durability effects (the pipeline's
+        I/O stage calls this after the step's covering flush): deliver the
+        buffered completion notifications, hand the runnable transactions
+        to the physical workers in one queue write, fan the buffered 2PC
+        messages out to peer shards, and finally acknowledge the consumed
+        inputQ messages."""
+        if sealed.dispatches:
             # The dispatch-loss window: STARTED states (and their dispatch
             # markers) are durable, the execute messages are not yet in
             # phyQ.  Recovery closes it via _redispatch_lost.
             self._fault(PRE_DISPATCH)
-        # The flush made all prior state changes durable, so buffered
-        # completion notifications can be delivered alongside.
-        self._flush_notifications()
-        batch, self._dispatch_buffer = self._dispatch_buffer, []
-        if batch:
+        for txn in sealed.notifications:
+            self._deliver_notification(txn)
+        if sealed.dispatches:
+            # repro: allow(ack-before-flush) -- post-flush callback: CommitPipeline.flush invokes this only after commit_batches made the sealed step durable
             self.phy_queue.put_many(
-                [execute_message(txid, self.dispatch_epoch) for txid in batch]
+                [
+                    execute_message(txid, sealed.dispatch_epoch)
+                    for txid in sealed.dispatches
+                ]
             )
-        self._flush_outbound()
+        # repro: allow(ack-before-flush) -- post-flush callback: the covering commit_batches already ran in CommitPipeline.flush
+        self._send_outbound(sealed.outbound)
+        if sealed.acks:
+            # The re-delivery window: the step's effects are applied but
+            # its messages are still on the queue; the successor (or a
+            # later step of this leader) re-handles them idempotently.
+            self._fault(PIPELINE_POST_FLUSH_PRE_ACK)
+            # repro: allow(ack-before-flush) -- post-flush callback: acks run strictly after the covering commit_batches in CommitPipeline.flush
+            self.input_queue.ack_many(sealed.acks)
+
+    def _drain_pipeline(self) -> None:
+        """Force the in-flight commit window down to empty.  Callers that
+        write to the store outside the step loop (term/kill signalling,
+        checkpointing) must drain first so a later window flush cannot
+        clobber their direct writes."""
+        if not self._pipeline.window:
+            return
+        try:
+            self._pipeline.flush()
+        except Exception:
+            self.demote()
+            raise
 
     def _flush_outbound(self) -> None:
+        if not self._outbound:
+            return
+        batch, self._outbound = self._outbound, []
+        # repro: allow(ack-before-flush) -- callers (kill/recovery paths) guarantee the states these messages presuppose are already durable
+        self._send_outbound(batch)
+
+    def _send_outbound(self, batch: list[tuple[int, dict[str, Any]]]) -> None:
         """Deliver buffered 2PC messages to peer shard inputQs.  Callers
         guarantee the states those messages presuppose are durable.  The
         named crash edges fire once per message kind present: a crash here
         models a leader dying after its commit but before the fan-out."""
-        if not self._outbound:
+        if not batch:
             return
-        batch, self._outbound = self._outbound, []
         fired: set[str] = set()
         edges = {
             KIND_PREPARE: TWOPC_PRE_PREPARE,
@@ -712,6 +811,7 @@ class Controller:
                 continue
             message = decision_message(txn.txid, decision, txn.defer_count)
             if direct:
+                # repro: allow(ack-before-flush) -- direct mode is used only on recovery/kill paths where the decision record is already durable
                 self._send_peer(shard, message)
             else:
                 self._outbound.append((shard, message))
@@ -1498,6 +1598,9 @@ class Controller:
         """Gracefully abort a stalled transaction (worker rolls back undo-wise)."""
         # repro: allow(blocking-under-lock) -- signal sends must be serialised with the step loop so a TERM never lands between a worker claim and its first write
         with self._op_mutex:
+            # A windowed step may hold a signals/<txid> clear; flushing it
+            # *after* the send would erase the new TERM.
+            self._drain_pipeline()
             self.signals.send(txid, TERM)
             if self._signals_present is not None:
                 self._signals_present.add(txid)
@@ -1514,6 +1617,11 @@ class Controller:
         """
         # repro: allow(blocking-under-lock) -- kill + fence + abort must be one atomic unit w.r.t. the step loop; releasing the mutex between them would let a commit interleave with the fence
         with self._op_mutex:
+            # Drain the in-flight commit window first: this path reads
+            # transaction documents and writes ABORTED directly, and a
+            # later window flush would clobber those direct writes with
+            # stale sealed state.
+            self._drain_pipeline()
             self.signals.send(txid, KILL)
             if self._signals_present is not None:
                 self._signals_present.add(txid)
@@ -1582,24 +1690,42 @@ class Controller:
         with self._op_mutex:
             if self.outstanding:
                 return False
+            # Nothing is outstanding, so the window holds no unsent
+            # dispatches — but it may hold terminal-state writes the
+            # checkpoint's log truncation presupposes durable.
+            self._drain_pipeline()
+            kv = self.store.kv
+            rt_before = kv.batch_commits + kv.direct_ops
+            serial_before = kv.puts + kv.deletes
             seq = self.store.applied_seq()
             self.store.save_checkpoint_incremental(self.model, seq)
-            self.store.truncate_applied(seq)
-            # Quiesce point: no transaction is in flight, so every worker
-            # claim record is dead weight — reclaim them all at once.
-            self.store.clear_claims()
+            # Post-snapshot bookkeeping — log truncation, claim GC, the
+            # 2PC epoch bump — rides in one batched multi instead of one
+            # round-trip per record.
+            with kv.batch():
+                self.store.truncate_applied(seq)
+                # Quiesce point: no transaction is in flight, so every
+                # worker claim record is dead weight — reclaim them all at
+                # once.
+                self.store.clear_claims()
+                if self.twopc is not None:
+                    # Publish this shard's checkpoint horizon (it provably
+                    # holds no unresolved cross-shard state right now) and
+                    # mark/sweep the decision records this shard
+                    # coordinated.  Piggybacked here, like the claim GC, so
+                    # the per-commit write path carries no retention
+                    # bookkeeping.
+                    epoch = int(self.store.get_meta("checkpoint_epoch", 0)) + 1
+                    self.store.put_meta("checkpoint_epoch", epoch)
             if self.twopc is not None:
-                # Publish this shard's checkpoint horizon (it provably holds
-                # no unresolved cross-shard state right now) and mark/sweep
-                # the decision records this shard coordinated.  Piggybacked
-                # here, like the claim GC, so the per-commit write path
-                # carries no retention bookkeeping.
-                epoch = int(self.store.get_meta("checkpoint_epoch", 0)) + 1
-                self.store.put_meta("checkpoint_epoch", epoch)
                 self.twopc.publish_horizon(self.shard_id, epoch)
                 self.stats["twopc_decisions_gced"] += self.twopc.gc_decisions(
                     self.shard_id
                 )
+            self.store.checkpoint_stats.record_round_trips(
+                kv.batch_commits + kv.direct_ops - rt_before,
+                kv.puts + kv.deletes - serial_before,
+            )
             self.applied_since_checkpoint = 0
             self.stats["checkpoints"] += 1
             return True
@@ -1631,8 +1757,11 @@ class Controller:
         return dict(self.stats)
 
     def io_stats(self) -> dict[str, Any]:
-        """Write-path counters of the underlying persistent store."""
-        return self.store.io_stats()
+        """Write-path counters of the underlying persistent store, plus
+        the commit pipeline's flush/window instrumentation."""
+        stats = self.store.io_stats()
+        stats["pipeline"] = self._pipeline.stats.as_dict()
+        return stats
 
     def __repr__(self) -> str:
         return (

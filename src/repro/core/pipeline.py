@@ -1,0 +1,278 @@
+"""Pipelined group commit: the leader's two-stage write path.
+
+The classic controller loop is strictly serial: accept → simulate/lock →
+``store.flush()`` → dispatch → ack, so every batch's CPU work idles while
+the previous batch's coordination round-trips are on the wire.  This
+module splits the loop into a **CPU stage** (drain inputQ, handle
+messages, schedule/simulate/lock, buffer store writes) and an **I/O
+stage** (group-commit flush, then the post-durability actions already
+gated on it), connected by a bounded in-flight window of
+:class:`SealedStep` records (``config.pipeline_depth``).
+
+While batch N's flush is pending, batch N+1 simulates against the
+already-updated in-memory model; the lock manager serialises true
+conflicts, and the sealed-batch read overlay (:meth:`KVStore.set_sealed`)
+lets the CPU stage read window-pending documents (duplicate detection,
+``applied_seq``).  All post-durability effects of a step — phyQ
+dispatches, 2PC fan-out, completion notifications, inputQ acks — are held
+in its :class:`SealedStep` until the covering flush commits, so the
+durability invariants are *unchanged* at any depth: ack-after-durable,
+STARTED-durable-before-dispatch, decision-durable-before-fan-out.
+
+Crash semantics are unchanged too: a failed flush loses the window's
+writes, the controller demotes and re-recovers, and the unacked inputQ
+messages re-deliver.  Three named crash edges pin this in the fault
+matrix (see :mod:`repro.testing.faults`):
+
+* ``pipeline-pre-flush`` — the whole window (possibly several sealed
+  steps) is still in memory; nothing of it is durable.
+* ``pipeline-post-flush-pre-ack`` — a sealed step's writes are durable
+  and its dispatches/fan-out/notifications were applied, but its inputQ
+  acks were not; the successor re-receives and handles idempotently.
+* ``pipeline-window-crash`` — a seal finds at least one *older* sealed
+  step already in the window (reachable only at depth > 1): the crash
+  loses multiple steps' worth of unflushed state at once.
+
+At ``pipeline_depth=1`` the sequence is byte-for-byte the pre-pipeline
+loop: seal is immediately followed by its covering flush and effects.
+See ``docs/architecture.md#the-pipelined-write-path``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter
+from typing import Any, Callable
+
+from repro.coordination.kvstore import KVStore, WriteBatch
+
+#: Named crash edges of the pipelined write path (armed through
+#: :class:`repro.testing.faults.FaultInjector` via the controller's
+#: ``fault_hook``).
+PIPELINE_PRE_FLUSH = "pipeline-pre-flush"
+PIPELINE_POST_FLUSH_PRE_ACK = "pipeline-post-flush-pre-ack"
+PIPELINE_WINDOW_CRASH = "pipeline-window-crash"
+
+#: Bound on retained per-flush latency samples (p99 estimation).
+_LATENCY_WINDOW = 4096
+
+
+class SealedStep:
+    """One CPU-stage iteration's sealed output: the detached write batch
+    plus every post-durability effect gated on its covering flush."""
+
+    __slots__ = (
+        "batch", "dispatches", "dispatch_epoch", "outbound", "notifications", "acks",
+    )
+
+    def __init__(
+        self,
+        batch: WriteBatch | None,
+        dispatches: list[str],
+        dispatch_epoch: int,
+        outbound: list[tuple[int, dict[str, Any]]],
+        notifications: list[Any],
+        acks: list[str],
+    ) -> None:
+        self.batch = batch
+        self.dispatches = dispatches
+        self.dispatch_epoch = dispatch_epoch
+        self.outbound = outbound
+        self.notifications = notifications
+        self.acks = acks
+
+    def is_empty(self) -> bool:
+        return (
+            (self.batch is None or self.batch.is_empty())
+            and not self.dispatches
+            and not self.outbound
+            and not self.notifications
+            and not self.acks
+        )
+
+
+class PipelineStats:
+    """Commit-pipeline instrumentation: per-flush latency (with a bounded
+    sample window for p99), in-flight window depth high-water mark, and
+    stalls on a full window."""
+
+    __slots__ = (
+        "steps_sealed", "flushes", "batches_flushed", "flush_seconds",
+        "last_flush_seconds", "window_high_water", "stalls", "_latencies",
+    )
+
+    def __init__(self) -> None:
+        self.steps_sealed = 0
+        self.flushes = 0
+        self.batches_flushed = 0
+        self.flush_seconds = 0.0
+        self.last_flush_seconds = 0.0
+        self.window_high_water = 0
+        #: Times the CPU stage filled the window to ``pipeline_depth`` and
+        #: had to wait for the covering flush (counted only at depth > 1;
+        #: at depth 1 every commit is synchronous by construction).
+        self.stalls = 0
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+    def record_flush(self, seconds: float, batches: int) -> None:
+        self.flushes += 1
+        self.batches_flushed += batches
+        self.flush_seconds += seconds
+        self.last_flush_seconds = seconds
+        self._latencies.append(seconds)
+
+    def p99_flush_seconds(self) -> float:
+        """The 99th-percentile flush latency over the retained sample
+        window (0.0 before the first flush)."""
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        index = min(len(ordered) - 1, int(len(ordered) * 0.99))
+        return ordered[index]
+
+    def mean_flush_seconds(self) -> float:
+        return self.flush_seconds / self.flushes if self.flushes else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "steps_sealed": self.steps_sealed,
+            "flushes": self.flushes,
+            "batches_flushed": self.batches_flushed,
+            "flush_seconds": self.flush_seconds,
+            "last_flush_seconds": self.last_flush_seconds,
+            "mean_flush_seconds": self.mean_flush_seconds(),
+            "p99_flush_seconds": self.p99_flush_seconds(),
+            "window_high_water": self.window_high_water,
+            "stalls": self.stalls,
+        }
+
+
+class CommitPipeline:
+    """Bounded in-flight window of sealed per-step write batches.
+
+    The controller seals each step's thread-local batch (detached via
+    :meth:`KVStore.detach_batch`) together with the step's deferred
+    effects into the window; :meth:`flush` commits every windowed batch
+    as **one** ``multi`` (in seal order, last-writer-wins across batches)
+    and only then applies each step's effects, oldest first.
+
+    Collaborators are injected as callables so the pipeline stays free of
+    controller internals: ``commit`` (the store-level merged-batch commit,
+    preserving fault-injection wrapper semantics), ``effects`` (applies
+    one sealed step's post-durability actions) and ``fault`` (the named
+    crash-edge hook).
+    """
+
+    def __init__(
+        self,
+        kv: KVStore,
+        depth: int,
+        commit: Callable[[list[WriteBatch]], int],
+        effects: Callable[[SealedStep], None],
+        fault: Callable[[str], None],
+    ) -> None:
+        self.kv = kv
+        self.depth = max(1, depth)
+        self._commit = commit
+        self._effects = effects
+        self._fault = fault
+        self.window: list[SealedStep] = []
+        #: inputQ item names taken by windowed steps but not yet acked;
+        #: the controller excludes them from ``take_many`` so depth > 1
+        #: windows do not re-take the queue head.
+        self.pending_acks: set[str] = set()
+        self.stats = PipelineStats()
+
+    def seal(self, sealed: SealedStep) -> bool:
+        """Admit one step's sealed output to the window.  Empty steps
+        (no writes, no effects) are dropped — they need no flush and, as
+        before the pipeline, send no acks."""
+        self.stats.steps_sealed += 1
+        if sealed.is_empty():
+            return False
+        self.window.append(sealed)
+        if sealed.acks:
+            self.pending_acks.update(sealed.acks)
+        self.kv.set_sealed(
+            tuple(
+                step.batch
+                for step in self.window
+                if step.batch is not None and not step.batch.is_empty()
+            )
+        )
+        depth_now = len(self.window)
+        if depth_now > self.stats.window_high_water:
+            self.stats.window_high_water = depth_now
+        if self.depth > 1 and depth_now >= self.depth:
+            self.stats.stalls += 1
+        if depth_now >= 2:
+            # Multiple sealed steps are in memory with nothing durable:
+            # the widest crash-loss window the pipeline can open.
+            self._fault(PIPELINE_WINDOW_CRASH)
+        return True
+
+    def should_flush(self) -> bool:
+        return len(self.window) >= self.depth
+
+    def flush(self) -> bool:
+        """Commit every windowed batch as one ``multi``, then apply each
+        sealed step's post-durability effects in seal order.  Returns
+        whether any deferred *effect* (dispatch, fan-out, notification,
+        ack) was applied — bare writes don't count as progress, so an
+        idle poll that merely re-commits unchanged scheduling state does
+        not keep run-until-idle drivers spinning.  On failure the window
+        is already dropped — the caller demotes and re-recovers, exactly
+        as for a failed serial group commit."""
+        window = self.window
+        if not window:
+            return False
+        self.window = []
+        batches = [
+            step.batch
+            for step in window
+            if step.batch is not None and not step.batch.is_empty()
+        ]
+        if batches:
+            self._fault(PIPELINE_PRE_FLUSH)
+            started = perf_counter()
+            self._commit(batches)
+            self.stats.record_flush(perf_counter() - started, len(batches))
+        self.kv.set_sealed(())
+        applied_effects = False
+        for step in window:
+            self._effects(step)
+            if step.dispatches or step.outbound or step.notifications or step.acks:
+                applied_effects = True
+            for name in step.acks:
+                self.pending_acks.discard(name)
+        return applied_effects
+
+    def abort_step(self) -> None:
+        """Unwind path for an exception inside the CPU stage: commit the
+        window plus the current thread's partial batch (writes only),
+        dropping every deferred effect — unacked messages re-deliver and
+        lost dispatches are re-dispatched on recovery.  Mirrors the
+        pre-pipeline contract where the batch context manager still
+        flushed partial writes while an exception unwound the step; a
+        commit failure (or an armed ``pre-commit`` crash) propagates
+        exactly as an unwind-flush failure did."""
+        batch = self.kv.detach_batch()
+        window, self.window = self.window, []
+        self.pending_acks = set()
+        self.kv.set_sealed(())
+        batches = [
+            step.batch
+            for step in window
+            if step.batch is not None and not step.batch.is_empty()
+        ]
+        if batch is not None and not batch.is_empty():
+            batches.append(batch)
+        if batches:
+            self._commit(batches)
+
+    def clear(self) -> None:
+        """Drop the window and overlay without committing (demotion: the
+        writes are lost exactly like a dying leader's buffered commit)."""
+        self.window = []
+        self.pending_acks = set()
+        self.kv.set_sealed(())

@@ -32,7 +32,7 @@ _CACHE_LIMIT = 1 << 16
 class ResourcePath:
     """An immutable, normalised path in the resource tree."""
 
-    __slots__ = ("_parts", "_hash")
+    __slots__ = ("_parts", "_hash", "_str")
 
     def __init__(self, parts: Iterable[str] = ()):
         parts = tuple(parts)
@@ -41,6 +41,9 @@ class ResourcePath:
                 raise DataModelError(f"invalid path component: {part!r}")
         self._parts = parts
         self._hash = hash(parts)
+        # Lazily cached text form: interned paths are rendered repeatedly
+        # (read/write-set entries, lock-table keys, log records).
+        self._str: str | None = None
 
     # -- construction -------------------------------------------------
 
@@ -139,7 +142,11 @@ class ResourcePath:
     # -- dunder -------------------------------------------------------
 
     def __str__(self) -> str:
-        return "/" + "/".join(self._parts)
+        text = self._str
+        if text is None:
+            text = "/" + "/".join(self._parts)
+            self._str = text
+        return text
 
     def __repr__(self) -> str:
         return f"ResourcePath({str(self)!r})"

@@ -194,10 +194,26 @@ class ModelSchema:
         return violations
 
     def check_subtree(self, model: DataModel, path: Any = "/") -> list[str]:
-        """Evaluate constraints over an entire subtree."""
+        """Evaluate constraints over an entire subtree.
+
+        Runs after every simulated action (§3.1.2), so the walk is a plain
+        node stack — no per-node path construction or child sorting — and
+        nodes whose entity type declares no constraints are skipped without
+        the ``check_node`` call overhead.
+        """
         violations: list[str] = []
-        for _, node in model.walk(path):
-            violations.extend(self.check_node(model, node))
+        types = self._types
+        stack = [model.get(path)]
+        while stack:
+            node = stack.pop()
+            etype = types.get(node.entity_type)
+            if etype is not None and etype.constraints:
+                for constraint in etype.constraints:
+                    for message in constraint.violations(model, node):
+                        violations.append(f"{constraint.name}@{node.path}: {message}")
+            children = node.children
+            if children:
+                stack.extend(children.values())
         return violations
 
     def enforce_subtree(self, model: DataModel, path: Any = "/") -> None:

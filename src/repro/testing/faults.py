@@ -25,6 +25,18 @@ The named points are the crash boundaries of the controller main loop:
   reached phyQ: the dispatch-loss window, closed by claim-record-aware
   re-dispatch on recovery.
 
+The pipelined write path (:mod:`repro.core.pipeline`) adds three edges:
+
+* ``pipeline-pre-flush`` — the whole in-flight window (possibly several
+  sealed steps at ``pipeline_depth > 1``) is still in memory; none of
+  its writes are durable and none of its messages are acked.
+* ``pipeline-post-flush-pre-ack`` — a sealed step's writes are durable
+  and its dispatches/fan-out/notifications were applied, but its inputQ
+  acks were not; the successor re-receives and handles idempotently.
+* ``pipeline-window-crash`` — a seal found at least one *older* sealed
+  step already windowed (reachable only at ``pipeline_depth > 1``): the
+  crash loses multiple steps' worth of unflushed state at once.
+
 Cross-shard two-phase commit adds seven protocol edges (reported through
 the controller's ``fault_hook``, since they are protocol positions rather
 than store/queue boundaries):
@@ -72,6 +84,9 @@ from repro.coordination.ensemble import CoordinationEnsemble
 from repro.coordination.kvstore import KVStore, WriteBatch
 from repro.coordination.queue import DistributedQueue
 from repro.core.controller import (
+    PIPELINE_POST_FLUSH_PRE_ACK,
+    PIPELINE_PRE_FLUSH,
+    PIPELINE_WINDOW_CRASH,
     PRE_DISPATCH,
     TWOPC_CONCURRENT_PREPARE,
     TWOPC_POST_DECISION,
@@ -97,6 +112,16 @@ FAILURE_POINTS = (
     PRE_DISPATCH,
 )
 
+#: Crash edges of the pipelined write path.  The first two are reachable
+#: by any workload at any ``pipeline_depth``; ``pipeline-window-crash``
+#: requires ``pipeline_depth > 1`` (a seal can only find an older sealed
+#: step in the window when flushes are deferred).
+PIPELINE_FAILURE_POINTS = (
+    PIPELINE_PRE_FLUSH,
+    PIPELINE_POST_FLUSH_PRE_ACK,
+    PIPELINE_WINDOW_CRASH,
+)
+
 #: Protocol edges of cross-shard two-phase commit (reachable only by
 #: workloads containing cross-shard transactions under policy ``2pc``).
 TWOPC_FAILURE_POINTS = (
@@ -109,7 +134,9 @@ TWOPC_FAILURE_POINTS = (
     TWOPC_CONCURRENT_PREPARE,
 )
 
-ALL_FAILURE_POINTS = FAILURE_POINTS + TWOPC_FAILURE_POINTS
+ALL_FAILURE_POINTS = (
+    FAILURE_POINTS + PIPELINE_FAILURE_POINTS + TWOPC_FAILURE_POINTS
+)
 
 
 class CrashPoint(Exception):

@@ -18,7 +18,12 @@ import pytest
 
 from repro.common.config import TropicConfig
 from repro.core.txn import Transaction, TransactionState
-from repro.testing import FAILURE_POINTS, FaultInjector, ShardedCluster
+from repro.testing import (
+    FAILURE_POINTS,
+    PIPELINE_FAILURE_POINTS,
+    FaultInjector,
+    ShardedCluster,
+)
 
 
 def run_with_crash_after(cluster: ShardedCluster, crash_after_rounds: int) -> None:
@@ -221,3 +226,120 @@ class TestShardFaultMatrix:
             )
             _run_workload(cluster, failover=True)
             assert [crash.point for crash in injector.fired] == [point]
+
+
+# ----------------------------------------------------------------------
+# Pipelined write-path fault matrix (PR 10 tentpole proof)
+# ----------------------------------------------------------------------
+
+#: Same aggressive checkpointing as the serial matrix, but with a real
+#: in-flight commit window (depth 3): flushes and inputQ acks are
+#: deferred across steps, so a crash can lose several steps at once.
+_PIPELINE_MATRIX_CONFIG = TropicConfig(checkpoint_every=1, pipeline_depth=3)
+
+
+class TestPipelineFaultMatrix:
+    """Crash shard 0's pipelined controller at every pipeline crash edge
+    and assert the replacement recovers the exact data model of the
+    fault-free *serial* control run — the pipeline must be invisible to
+    crash-recovery semantics, not merely self-consistent."""
+
+    @pytest.fixture(scope="class")
+    def control(self):
+        return _control_run()
+
+    def test_pipelined_run_matches_serial_control(self, control):
+        """Fault-free equivalence: a depth-3 pipelined run commits the
+        same transactions and produces the same models as the serial
+        write path."""
+        control_models, control_committed, _ = control
+        cluster = ShardedCluster(
+            num_shards=_NUM_SHARDS, config=_PIPELINE_MATRIX_CONFIG, with_devices=True
+        )
+        txns = _run_workload(cluster, failover=False)
+        for shard in cluster.shard_ids:
+            assert cluster.model(shard).to_dict() == control_models[shard]
+        committed = {
+            t.args["vm_name"]
+            for t in txns
+            if cluster.state_of(t) is TransactionState.COMMITTED
+        }
+        assert committed == control_committed
+
+    @pytest.mark.parametrize("occurrence", [0, 1, 2, 3])
+    @pytest.mark.parametrize("point", PIPELINE_FAILURE_POINTS)
+    def test_pipeline_failover_recovers_identical_model(self, control, point, occurrence):
+        control_models, control_committed, _ = control
+        injector = FaultInjector().arm(point, occurrence)
+        cluster = ShardedCluster(
+            num_shards=_NUM_SHARDS,
+            config=_PIPELINE_MATRIX_CONFIG,
+            with_devices=True,
+            injector=injector,
+            faulty_shards=(_FAULTY_SHARD,),
+        )
+        txns = _run_workload(cluster, failover=True)
+
+        # Every shard's recovered model equals the serial fault-free run:
+        # losing a whole unflushed window must be indistinguishable (after
+        # re-drive) from never having built it.
+        for shard in cluster.shard_ids:
+            assert cluster.model(shard).to_dict() == control_models[shard], (
+                f"shard {shard} diverged after crash at {point}#{occurrence}"
+            )
+
+        # No submitted transaction is lost or duplicated.
+        for txn in txns:
+            assert cluster.state_of(txn) is TransactionState.COMMITTED
+            assert txn.args["vm_name"] in control_committed
+
+        # Acked-exactly-once: a client notified of a commit (possibly from
+        # a post-flush step whose acks were lost) keeps that commit.
+        acked_commits = [t for t in cluster.acked
+                        if t.state is TransactionState.COMMITTED]
+        seen: set[str] = set()
+        for txn in acked_commits:
+            assert cluster.state_of(txn) is TransactionState.COMMITTED
+            vm = txn.args["vm_name"]
+            assert vm not in seen, f"{vm} acknowledged twice as committed"
+            seen.add(vm)
+            device = cluster.inventory.registry.device_at(txn.args["vm_host"])
+            assert device.vm_state(vm) == "running"
+
+        for shard in cluster.shard_ids:
+            assert cluster.detect_is_clean(shard)
+            assert cluster.controllers[shard].lock_manager.active_transactions() == set()
+        assert all(crash.point == point for crash in injector.fired)
+
+    def test_matrix_actually_fires_every_point(self):
+        """At occurrence 0 every pipeline edge must be reachable at depth
+        3 — including ``pipeline-window-crash``, which needs a seal to
+        find an older sealed step already in the window."""
+        for point in PIPELINE_FAILURE_POINTS:
+            injector = FaultInjector().arm(point, 0)
+            cluster = ShardedCluster(
+                num_shards=_NUM_SHARDS,
+                config=_PIPELINE_MATRIX_CONFIG,
+                with_devices=True,
+                injector=injector,
+                faulty_shards=(_FAULTY_SHARD,),
+            )
+            _run_workload(cluster, failover=True)
+            assert [crash.point for crash in injector.fired] == [point]
+
+    def test_window_crash_unreachable_at_depth_one(self):
+        """At depth 1 every seal is flushed immediately, so a seal can
+        never find an older sealed step in the window: the widest crash
+        edge simply does not exist on the serial path."""
+        injector = FaultInjector().arm("pipeline-window-crash", 0)
+        cluster = ShardedCluster(
+            num_shards=_NUM_SHARDS,
+            config=_MATRIX_CONFIG,
+            with_devices=True,
+            injector=injector,
+            faulty_shards=(_FAULTY_SHARD,),
+        )
+        txns = _run_workload(cluster, failover=True)
+        assert injector.fired == []
+        for txn in txns:
+            assert cluster.state_of(txn) is TransactionState.COMMITTED

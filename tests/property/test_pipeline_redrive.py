@@ -1,0 +1,148 @@
+"""Property test: the pipelined write path keeps tokens exactly-once.
+
+The pipelined group commit (PR 10) defers flushes and inputQ acks across
+a bounded window of sealed steps, which widens the ambiguous crash
+surface: ``pipeline-window-crash`` loses *several* steps' buffered writes
+at once, and ``pipeline-post-flush-pre-ack`` leaves durable effects with
+unacked messages.  Hypothesis interleaves crashes at exactly those edges
+with client-side re-drives of the same idempotency tokens and asserts
+the same contract as :mod:`tests.property.test_idempotency` proves for
+the serial path: one token → one transaction → one terminal state, and a
+committed spawn appears in the applied log at most once.
+
+The cluster here runs at ``pipeline_depth=3`` so the window genuinely
+holds multiple sealed steps when the crash lands; at depth 1 the
+window-crash edge is unreachable (see
+``tests/integration/test_failure_points.py``).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import TropicConfig
+from repro.core.events import request_message
+from repro.core.txn import Transaction, TransactionState
+from repro.testing import (
+    PIPELINE_FAILURE_POINTS,
+    CrashPoint,
+    FaultInjector,
+    ShardedCluster,
+)
+
+_NUM_OPS = 4
+
+#: Crash plans are drawn from the pipeline edges only — the serial edges
+#: are covered by test_idempotency — and bias toward the window crash,
+#: the one edge the serial path cannot produce.
+_crash = st.tuples(
+    st.sampled_from(PIPELINE_FAILURE_POINTS + ("pipeline-window-crash",)),
+    st.integers(0, 2),
+)
+
+
+def _submit_tokened(cluster: ShardedCluster, token: str, index: int) -> str:
+    """Client-side tokened submit; a token-index hit re-drives the
+    original transaction instead of minting a new one."""
+    args = {
+        "vm_name": f"vm{index}",
+        "image_template": "template-small",
+        "storage_host": cluster.inventory.storage_host_for(0),
+        "vm_host": cluster.inventory.vm_hosts[0],
+        "mem_mb": 256,
+    }
+    shard = cluster.router.plan("spawnVM", args).shard
+    store = cluster.stores[shard]
+    entry = store.lookup_token(token)
+    if entry is not None:
+        doc = store.load_transaction(entry["txid"])
+        if doc is not None and not doc.is_terminal:
+            cluster.input_queues[shard].put(request_message(entry["txid"]))
+        return entry["txid"]
+    txn = Transaction(procedure="spawnVM", args=args, idempotency_token=token)
+    txn.mark(TransactionState.INITIALIZED, 0.0)
+    with store.batch():
+        store.save_transaction(txn)
+        store.record_token(token, txn.txid, txn.state.value)
+    cluster.submitted.append(txn)
+    cluster.input_queues[shard].put(request_message(txn.txid))
+    return txn.txid
+
+
+def _drive(cluster: ShardedCluster, injector: FaultInjector, plan: list) -> None:
+    consumed = 0
+    for _ in range(5_000):
+        progressed = False
+        try:
+            if cluster.controllers[0].step():
+                progressed = True
+        except CrashPoint:
+            consumed += 1
+            # Failover; re-wire the fault hooks only while plan entries
+            # remain (a dead injector would wedge a clean successor).
+            rearm = consumed < len(plan)
+            cluster.controllers[0] = cluster.new_controller(0, faulty=rearm)
+            if rearm:
+                point, offset = plan[consumed]
+                injector.arm(point, injector.hits(point) + offset)
+            progressed = True
+        if cluster.workers[0].step():
+            progressed = True
+        if not progressed and cluster.queues_empty():
+            return
+    raise AssertionError("cluster did not quiesce under the crash plan")
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    st.lists(_crash, min_size=0, max_size=3),
+    st.lists(st.integers(0, _NUM_OPS - 1), min_size=0, max_size=6),
+)
+def test_window_crashes_with_tokened_redrives_apply_exactly_once(plan, retry_indices):
+    injector = FaultInjector()
+    cluster = ShardedCluster(
+        num_shards=1,
+        config=TropicConfig(checkpoint_every=2, pipeline_depth=3),
+        injector=injector,
+        faulty_shards=(0,) if plan else (),
+    )
+    if plan:
+        point, offset = plan[0]
+        injector.arm(point, injector.hits(point) + offset)
+
+    tokens = {i: f"tok-{i}" for i in range(_NUM_OPS)}
+    txids = {i: {_submit_tokened(cluster, tokens[i], i)} for i in range(_NUM_OPS)}
+    # Mid-flight re-drives interleaved with execution: from the client's
+    # side a crashed window is indistinguishable from a slow commit, so
+    # it retries the token while earlier steps may or may not be durable.
+    for index in retry_indices:
+        _drive(cluster, injector, plan)
+        txids[index].add(_submit_tokened(cluster, tokens[index], index))
+    _drive(cluster, injector, plan)
+    # Post-drain re-drives must resolve to the same txid.
+    for index in range(_NUM_OPS):
+        txids[index].add(_submit_tokened(cluster, tokens[index], index))
+    _drive(cluster, injector, plan)
+
+    store = cluster.stores[0]
+    applied = [txid for _, txid in store.applied_entries(0)]
+    for index in range(_NUM_OPS):
+        assert len(txids[index]) == 1, (tokens[index], txids[index])
+        txid = next(iter(txids[index]))
+        entry = store.lookup_token(tokens[index])
+        assert entry is not None and entry["txid"] == txid
+        doc = store.load_transaction(txid)
+        assert doc is not None and doc.is_terminal
+        # The applied log never names a txid twice, even when a re-drive
+        # raced a window whose flush was lost to the crash.
+        assert applied.count(txid) <= 1
+        if doc.state is TransactionState.COMMITTED:
+            assert cluster.model(0).exists(f"/vmRoot/vmHost0/vm{index}")
+
+    for acked in cluster.acked:
+        assert cluster.state_of(acked) is acked.state
+    assert cluster.controllers[0].outstanding == {}
+    assert cluster.controllers[0].lock_manager.active_transactions() == set()

@@ -159,6 +159,7 @@ class TestRuleCatalog:
             checkers.RULE_STATE_EDGE,
             checkers.RULE_SWALLOW,
             checkers.RULE_WOUND,
+            checkers.RULE_ACK,
             checkers.RULE_WAIVER,
             lockgraph.RULE_CYCLE,
             lockgraph.RULE_SELF_DEADLOCK,
